@@ -1,0 +1,252 @@
+//! The cloud service architecture of Fig. 11: a server with two
+//! coprocessor workers fed by a dispatcher (the paper's "Networking Arm
+//! Core"), and a thin client that ships ciphertexts over the wire format.
+//!
+//! The workers run on real threads; each executes requests *functionally*
+//! (bit-exact FV arithmetic) and reports the simulated coprocessor timing,
+//! so the server can account the platform's throughput the way §VI-A
+//! measures it.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use hefv_core::context::FvContext;
+use hefv_core::encrypt::Ciphertext;
+use hefv_core::keys::RelinKey;
+use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
+use hefv_sim::coproc::Coprocessor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A homomorphic request, as it arrives from the network.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Homomorphic addition of two wire-format ciphertexts.
+    Add(Vec<u8>, Vec<u8>),
+    /// Homomorphic multiplication of two wire-format ciphertexts.
+    Mult(Vec<u8>, Vec<u8>),
+}
+
+/// A completed response: the result ciphertext plus the simulated
+/// hardware cost of producing it.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Wire-format result ciphertext.
+    pub bytes: Vec<u8>,
+    /// Which coprocessor executed it.
+    pub worker: usize,
+    /// Simulated coprocessor time, µs (excluding transfers).
+    pub coproc_us: f64,
+}
+
+struct Job {
+    request: Request,
+    reply: Sender<Result<Response, String>>,
+}
+
+/// The cloud server: a dispatcher feeding `workers` coprocessor threads.
+pub struct CloudServer {
+    queue: Sender<Job>,
+    handles: Vec<JoinHandle<()>>,
+    /// Total simulated coprocessor busy-time, nanoseconds (µs × 1000).
+    busy_ns: Arc<AtomicU64>,
+    workers: usize,
+}
+
+impl CloudServer {
+    /// Spawns the server with `workers` coprocessor instances (the paper
+    /// places two) sharing one evaluation context and relinearization key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn start(ctx: Arc<FvContext>, rlk: Arc<RelinKey>, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one coprocessor");
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(128);
+        let busy_ns = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let rx = rx.clone();
+            let ctx = Arc::clone(&ctx);
+            let rlk = Arc::clone(&rlk);
+            let busy = Arc::clone(&busy_ns);
+            handles.push(std::thread::spawn(move || {
+                let cop = Coprocessor::default();
+                while let Ok(job) = rx.recv() {
+                    let result = Self::execute(&cop, &ctx, &rlk, worker, &job.request);
+                    if let Ok(r) = &result {
+                        busy.fetch_add((r.coproc_us * 1000.0) as u64, Ordering::Relaxed);
+                    }
+                    let _ = job.reply.send(result);
+                }
+            }));
+        }
+        CloudServer {
+            queue: tx,
+            handles,
+            busy_ns,
+            workers,
+        }
+    }
+
+    fn execute(
+        cop: &Coprocessor,
+        ctx: &FvContext,
+        rlk: &RelinKey,
+        worker: usize,
+        request: &Request,
+    ) -> Result<Response, String> {
+        let (a_bytes, b_bytes, is_mult) = match request {
+            Request::Add(a, b) => (a, b, false),
+            Request::Mult(a, b) => (a, b, true),
+        };
+        let a = decode_ciphertext(ctx, a_bytes)?;
+        let b = decode_ciphertext(ctx, b_bytes)?;
+        let (out, report) = if is_mult {
+            cop.execute_mult(ctx, &a, &b, rlk)
+        } else {
+            cop.execute_add(ctx, &a, &b)
+        };
+        Ok(Response {
+            bytes: encode_ciphertext(&out),
+            worker,
+            coproc_us: report.total_us,
+        })
+    }
+
+    /// Submits a request; returns a receiver for the response.
+    pub fn submit(&self, request: Request) -> Receiver<Result<Response, String>> {
+        let (tx, rx) = bounded(1);
+        self.queue
+            .send(Job { request, reply: tx })
+            .expect("server accepting requests");
+        rx
+    }
+
+    /// Convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/execution errors from the worker.
+    pub fn call(&self, request: Request) -> Result<Response, String> {
+        self.submit(request)
+            .recv()
+            .map_err(|_| "server stopped".to_string())?
+    }
+
+    /// Number of coprocessor workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total simulated coprocessor busy time so far, µs.
+    pub fn simulated_busy_us(&self) -> f64 {
+        self.busy_ns.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Shuts the server down, joining the worker threads.
+    pub fn shutdown(self) {
+        drop(self.queue);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Client-side helpers: encode locally encrypted data for the server.
+pub mod client {
+    use super::*;
+
+    /// Packs two ciphertexts into a `Mult` request.
+    pub fn mult_request(a: &Ciphertext, b: &Ciphertext) -> Request {
+        Request::Mult(encode_ciphertext(a), encode_ciphertext(b))
+    }
+
+    /// Packs two ciphertexts into an `Add` request.
+    pub fn add_request(a: &Ciphertext, b: &Ciphertext) -> Request {
+        Request::Add(encode_ciphertext(a), encode_ciphertext(b))
+    }
+
+    /// Unpacks a response ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-format errors.
+    pub fn unpack(ctx: &FvContext, r: &Response) -> Result<Ciphertext, String> {
+        decode_ciphertext(ctx, &r.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_core::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Arc<FvContext>, SecretKey, PublicKey, Arc<RelinKey>, StdRng) {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        (Arc::new(ctx), sk, pk, Arc::new(rlk), rng)
+    }
+
+    #[test]
+    fn server_computes_correct_results() {
+        let (ctx, sk, pk, rlk, mut rng) = setup();
+        let server = CloudServer::start(Arc::clone(&ctx), rlk, 2);
+        let t = ctx.params().t;
+        let n = ctx.params().n;
+        let ca = encrypt(&ctx, &pk, &Plaintext::new(vec![3], t, n), &mut rng);
+        let cb = encrypt(&ctx, &pk, &Plaintext::new(vec![5], t, n), &mut rng);
+
+        let prod = server.call(client::mult_request(&ca, &cb)).unwrap();
+        let sum = server.call(client::add_request(&ca, &cb)).unwrap();
+        let prod_ct = client::unpack(&ctx, &prod).unwrap();
+        let sum_ct = client::unpack(&ctx, &sum).unwrap();
+        assert_eq!(decrypt(&ctx, &sk, &prod_ct).coeffs()[0], 15);
+        assert_eq!(decrypt(&ctx, &sk, &sum_ct).coeffs()[0], 8);
+        assert!(prod.coproc_us > sum.coproc_us, "Mult costs more than Add");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_spread_over_both_workers() {
+        let (ctx, sk, pk, rlk, mut rng) = setup();
+        let server = CloudServer::start(Arc::clone(&ctx), rlk, 2);
+        let t = ctx.params().t;
+        let n = ctx.params().n;
+        let cts: Vec<Ciphertext> = (1..=8u64)
+            .map(|v| encrypt(&ctx, &pk, &Plaintext::new(vec![v % t], t, n), &mut rng))
+            .collect();
+        // Fire all requests first, then collect.
+        let pending: Vec<_> = cts
+            .iter()
+            .map(|ct| (ct, server.submit(client::mult_request(ct, ct))))
+            .collect();
+        let mut workers_seen = std::collections::HashSet::new();
+        for (ct, rx) in pending {
+            let resp = rx.recv().unwrap().unwrap();
+            workers_seen.insert(resp.worker);
+            let out = client::unpack(&ctx, &resp).unwrap();
+            let expect = decrypt(&ctx, &sk, ct).coeffs()[0].pow(2) % t;
+            assert_eq!(decrypt(&ctx, &sk, &out).coeffs()[0], expect);
+        }
+        assert_eq!(workers_seen.len(), 2, "both coprocessors used");
+        assert!(server.simulated_busy_us() > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_is_rejected_not_fatal() {
+        let (ctx, _, pk, rlk, mut rng) = setup();
+        let server = CloudServer::start(Arc::clone(&ctx), rlk, 1);
+        let garbage = Request::Add(vec![1, 2, 3], vec![4, 5, 6]);
+        assert!(server.call(garbage).is_err());
+        // The server must still serve well-formed requests afterwards.
+        let t = ctx.params().t;
+        let n = ctx.params().n;
+        let ca = encrypt(&ctx, &pk, &Plaintext::new(vec![1], t, n), &mut rng);
+        assert!(server.call(client::add_request(&ca, &ca)).is_ok());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,20 @@
+//! # hefv-apps
+//!
+//! Cloud applications over the HEAT-rs FV library — the workloads the
+//! paper's introduction and §III-A motivate:
+//!
+//! * [`meter`] — privacy-friendly smart-meter forecasting;
+//! * [`search`] — encrypted table search / private information retrieval;
+//! * [`sorting`] — encrypted sorting with comparator networks;
+//! * [`cloud`] — the Fig. 11 client/server architecture with two
+//!   coprocessor workers.
+//!
+//! Each application stays within the paper's multiplicative depth-4 budget
+//! and is exercised end-to-end (encrypt → evaluate → decrypt → compare to
+//! the plaintext reference) in its tests and in the workspace examples.
+
+pub mod cloud;
+pub mod meter;
+pub mod rasta;
+pub mod search;
+pub mod sorting;

@@ -1,0 +1,159 @@
+//! Privacy-friendly smart-meter forecasting — the paper's motivating cloud
+//! workload (§III-A, citing Bos et al. [4]).
+//!
+//! Households upload encrypted consumption readings; the (untrusted) cloud
+//! computes a per-household forecast without decrypting: a weighted moving
+//! average over the last three readings plus a quadratic trend-correction
+//! term. One homomorphic multiplication of ciphertexts and a handful of
+//! plaintext multiplications — comfortably inside the paper's depth-4
+//! budget. With batching (`t = 65537`), all `n` households are processed
+//! simultaneously in slots.
+
+use hefv_core::prelude::*;
+use rand::Rng;
+
+/// The cloud-side forecaster: fixed public weights, working entirely on
+/// ciphertexts.
+#[derive(Debug, Clone)]
+pub struct Forecaster {
+    /// Weights of the moving average, scaled by `weight_denominator`.
+    pub weights: [u64; 3],
+    /// Trend-correction coefficient (applied to the encrypted squared
+    /// difference of the last two readings).
+    pub trend_coeff: u64,
+}
+
+impl Default for Forecaster {
+    fn default() -> Self {
+        // forecast = 4·x2 + 2·x1 + 1·x0 (in units of 1/7) + 1·(x2 − x1)²
+        Forecaster {
+            weights: [1, 2, 4],
+            trend_coeff: 1,
+        }
+    }
+}
+
+impl Forecaster {
+    /// Computes the encrypted forecast from three encrypted readings
+    /// (oldest first). Uses one ciphertext-ciphertext multiplication.
+    pub fn forecast(
+        &self,
+        ctx: &FvContext,
+        enc: &BatchEncoder,
+        readings: &[Ciphertext; 3],
+        rlk: &RelinKey,
+        backend: Backend,
+    ) -> Ciphertext {
+        let w = |i: usize| {
+            enc.encode(&vec![self.weights[i]; enc.slots()])
+        };
+        // Weighted moving average (plaintext multiplications only).
+        let mut acc = mul_plain(ctx, &readings[0], &w(0));
+        acc = add(ctx, &acc, &mul_plain(ctx, &readings[1], &w(1)));
+        acc = add(ctx, &acc, &mul_plain(ctx, &readings[2], &w(2)));
+        // Quadratic trend term: (x2 − x1)² — the homomorphic Mult.
+        let diff = sub(ctx, &readings[2], &readings[1]);
+        let sq = mul(ctx, &diff, &diff, rlk, backend);
+        let coeff = enc.encode(&vec![self.trend_coeff; enc.slots()]);
+        add(ctx, &acc, &mul_plain(ctx, &sq, &coeff))
+    }
+
+    /// The plaintext reference computation, per household.
+    pub fn forecast_plain(&self, t: u64, x: [u64; 3]) -> u64 {
+        let avg = self.weights[0] * x[0] + self.weights[1] * x[1] + self.weights[2] * x[2];
+        let d = (x[2] + t - x[1]) % t;
+        (avg + self.trend_coeff * d * d) % t
+    }
+}
+
+/// Grid-level aggregation: the operator learns the *total* consumption
+/// across all households without seeing any individual reading. Uses the
+/// Galois slot-sum fold (`log2(n)` rotations), so the returned ciphertext
+/// holds `Σ_h readings_h` in every slot.
+pub fn aggregate_total(
+    ctx: &FvContext,
+    readings_ct: &Ciphertext,
+    keys: &GaloisKeySet,
+) -> Ciphertext {
+    sum_slots(ctx, readings_ct, keys)
+}
+
+/// Generates synthetic household readings (kWh-scaled integers) — the
+/// stand-in for the paper's real consumption traces, which are not public.
+pub fn synthetic_readings<R: Rng + ?Sized>(rng: &mut R, households: usize) -> Vec<[u64; 3]> {
+    (0..households)
+        .map(|_| {
+            let base = rng.gen_range(5..50u64);
+            [
+                base + rng.gen_range(0..5),
+                base + rng.gen_range(0..5),
+                base + rng.gen_range(0..5),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forecast_matches_plaintext_reference() {
+        // A batching-capable toy set: t = 257 ≡ 1 (mod 2·64)? 257-1 = 256
+        // = 4·64 ✓ prime.
+        let mut params = FvParams::insecure_toy();
+        params.t = 257;
+        let ctx = FvContext::new(params).unwrap();
+        let enc = BatchEncoder::new(257, ctx.params().n).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+
+        let households = enc.slots();
+        let readings = synthetic_readings(&mut rng, households);
+        // transpose into three slot vectors, encrypt each epoch
+        let mut epoch = |i: usize| -> Ciphertext {
+            let vals: Vec<u64> = readings.iter().map(|r| r[i] % 257).collect();
+            encrypt(&ctx, &pk, &enc.encode(&vals), &mut rng)
+        };
+        let cts = [epoch(0), epoch(1), epoch(2)];
+
+        let f = Forecaster::default();
+        let result = f.forecast(&ctx, &enc, &cts, &rlk, Backend::default());
+        let slots = enc.decode(&decrypt(&ctx, &sk, &result));
+        for (h, r) in readings.iter().enumerate() {
+            assert_eq!(
+                slots[h],
+                f.forecast_plain(257, [r[0] % 257, r[1] % 257, r[2] % 257]),
+                "household {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_reveals_only_the_total() {
+        let mut params = FvParams::insecure_medium();
+        params.t = 7681;
+        let ctx = FvContext::new(params).unwrap();
+        let enc = BatchEncoder::new(7681, ctx.params().n).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let keys = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);
+
+        let readings: Vec<u64> = (0..enc.slots() as u64).map(|h| 5 + h % 20).collect();
+        let total: u64 = readings.iter().sum::<u64>() % 7681;
+        let ct = encrypt(&ctx, &pk, &enc.encode(&readings), &mut rng);
+        let agg = aggregate_total(&ctx, &ct, &keys);
+        let slots = enc.decode(&decrypt(&ctx, &sk, &agg));
+        assert!(slots.iter().all(|&s| s == total), "every slot = grid total");
+    }
+
+    #[test]
+    fn synthetic_readings_in_plausible_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rs = synthetic_readings(&mut rng, 100);
+        assert_eq!(rs.len(), 100);
+        assert!(rs.iter().flatten().all(|&x| (5..55).contains(&x)));
+    }
+}

@@ -1,0 +1,317 @@
+//! Homomorphic evaluation of a Rasta-style cipher — §III-A's "evaluation
+//! of low-complexity block cipher such as Rasta [25] on ciphertext".
+//!
+//! The transciphering use case: a client encrypts its data with a cheap
+//! symmetric cipher and uploads the *FV-encrypted symmetric key*; the
+//! cloud homomorphically evaluates the cipher's keystream to convert the
+//! data into FV ciphertexts without ever decrypting. Rasta fits because
+//! its only nonlinear element is the χ-layer, one AND-depth per round —
+//! `r` rounds consume exactly `r` of the paper's 4 multiplicative levels.
+//!
+//! This is a *toy-sized* Rasta (small block, few rounds) exercising the
+//! real structure: random invertible affine layers over GF(2) derived
+//! from a nonce, χ-rounds, and a final affine layer plus feed-forward.
+
+use hefv_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Public per-nonce parameters of the toy Rasta instance.
+#[derive(Debug, Clone)]
+pub struct ToyRasta {
+    /// Block size in bits (odd, ≥ 3, for an invertible χ).
+    pub block: usize,
+    /// Number of χ rounds (= multiplicative depth used).
+    pub rounds: usize,
+    /// One invertible GF(2) matrix per affine layer (`rounds + 1` of them).
+    matrices: Vec<Vec<Vec<u8>>>,
+    /// Round constants.
+    constants: Vec<Vec<u8>>,
+}
+
+impl ToyRasta {
+    /// Derives an instance from a nonce (the affine layers are public and
+    /// nonce-dependent, as in Rasta).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is even or < 3, or `rounds` is 0.
+    pub fn new(block: usize, rounds: usize, nonce: u64) -> Self {
+        assert!(block >= 3 && block % 2 == 1, "χ needs an odd block ≥ 3");
+        assert!(rounds >= 1, "at least one round");
+        let mut rng = StdRng::seed_from_u64(nonce);
+        let matrices = (0..=rounds)
+            .map(|_| random_invertible_matrix(block, &mut rng))
+            .collect();
+        let constants = (0..=rounds)
+            .map(|_| (0..block).map(|_| rng.gen_range(0..2u8)).collect())
+            .collect();
+        ToyRasta {
+            block,
+            rounds,
+            matrices,
+            constants,
+        }
+    }
+
+    /// Plaintext reference: the keystream block for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key length differs from the block size.
+    pub fn keystream(&self, key: &[u8]) -> Vec<u8> {
+        assert_eq!(key.len(), self.block, "key length");
+        let mut state: Vec<u8> = key.iter().map(|&b| b & 1).collect();
+        for r in 0..self.rounds {
+            state = affine(&self.matrices[r], &self.constants[r], &state);
+            state = chi(&state);
+        }
+        state = affine(&self.matrices[self.rounds], &self.constants[self.rounds], &state);
+        // Feed-forward: ⊕ key.
+        state
+            .iter()
+            .zip(key)
+            .map(|(&s, &k)| s ^ (k & 1))
+            .collect()
+    }
+
+    /// Homomorphic evaluation: the same keystream over FV-encrypted key
+    /// bits (`t = 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encrypted key length differs from the block size.
+    pub fn keystream_encrypted(
+        &self,
+        ctx: &FvContext,
+        key_bits: &[Ciphertext],
+        rlk: &RelinKey,
+        backend: Backend,
+    ) -> Vec<Ciphertext> {
+        assert_eq!(key_bits.len(), self.block, "key length");
+        assert_eq!(ctx.params().t, 2, "binary plaintext space required");
+        let mut state: Vec<Ciphertext> = key_bits.to_vec();
+        for r in 0..self.rounds {
+            state = self.affine_encrypted(ctx, r, &state);
+            state = chi_encrypted(ctx, &state, rlk, backend);
+        }
+        state = self.affine_encrypted(ctx, self.rounds, &state);
+        state
+            .iter()
+            .zip(key_bits)
+            .map(|(s, k)| add(ctx, s, k))
+            .collect()
+    }
+
+    fn affine_encrypted(
+        &self,
+        ctx: &FvContext,
+        layer: usize,
+        state: &[Ciphertext],
+    ) -> Vec<Ciphertext> {
+        let n = ctx.params().n;
+        let zero = trivial_encrypt(ctx, &Plaintext::zero(2, n));
+        let one = trivial_encrypt(ctx, &Plaintext::new(vec![1], 2, n));
+        (0..self.block)
+            .map(|i| {
+                let mut acc = if self.constants[layer][i] == 1 {
+                    one.clone()
+                } else {
+                    zero.clone()
+                };
+                for (j, s) in state.iter().enumerate() {
+                    if self.matrices[layer][i][j] == 1 {
+                        acc = add(ctx, &acc, s);
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+/// The χ transformation: `y_i = x_i ⊕ (x_{i+1} ⊕ 1)·x_{i+2}`.
+fn chi(x: &[u8]) -> Vec<u8> {
+    let b = x.len();
+    (0..b)
+        .map(|i| x[i] ^ ((x[(i + 1) % b] ^ 1) & x[(i + 2) % b]))
+        .collect()
+}
+
+fn chi_encrypted(
+    ctx: &FvContext,
+    x: &[Ciphertext],
+    rlk: &RelinKey,
+    backend: Backend,
+) -> Vec<Ciphertext> {
+    let b = x.len();
+    let one = trivial_encrypt(ctx, &Plaintext::new(vec![1], 2, ctx.params().n));
+    (0..b)
+        .map(|i| {
+            let not_next = add(ctx, &x[(i + 1) % b], &one);
+            let and = mul(ctx, &not_next, &x[(i + 2) % b], rlk, backend);
+            add(ctx, &x[i], &and)
+        })
+        .collect()
+}
+
+fn affine(m: &[Vec<u8>], c: &[u8], x: &[u8]) -> Vec<u8> {
+    (0..x.len())
+        .map(|i| {
+            let dot: u8 = m[i].iter().zip(x).map(|(&a, &b)| a & b).fold(0, |s, v| s ^ v);
+            dot ^ c[i]
+        })
+        .collect()
+}
+
+/// Generates a random invertible GF(2) matrix as a product of random
+/// unit-diagonal lower and upper triangular matrices (always invertible).
+fn random_invertible_matrix<R: Rng + ?Sized>(b: usize, rng: &mut R) -> Vec<Vec<u8>> {
+    let mut lower = vec![vec![0u8; b]; b];
+    let mut upper = vec![vec![0u8; b]; b];
+    for i in 0..b {
+        lower[i][i] = 1;
+        upper[i][i] = 1;
+        for j in 0..i {
+            lower[i][j] = rng.gen_range(0..2);
+        }
+        for j in i + 1..b {
+            upper[i][j] = rng.gen_range(0..2);
+        }
+    }
+    // product L·U
+    let mut out = vec![vec![0u8; b]; b];
+    for i in 0..b {
+        for j in 0..b {
+            let mut acc = 0u8;
+            for (k, urow) in upper.iter().enumerate() {
+                acc ^= lower[i][k] & urow[j];
+            }
+            out[i][j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_is_nonlinear_and_correct() {
+        assert_eq!(chi(&[0, 0, 0]), vec![0, 0, 0]);
+        // x = (1,0,1): y0 = 1 ^ (0^1)&1 = 0 ; y1 = 0 ^ (1^1)&1 = 0 ;
+        // y2 = 1 ^ (1^1)&0 = 1
+        assert_eq!(chi(&[1, 0, 1]), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn matrices_are_invertible() {
+        // rank check over GF(2) by Gaussian elimination
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let b = 7;
+            let m = random_invertible_matrix(b, &mut rng);
+            let mut a = m.clone();
+            let mut rank = 0;
+            for col in 0..b {
+                if let Some(p) = (rank..b).find(|&r| a[r][col] == 1) {
+                    a.swap(rank, p);
+                    for r in 0..b {
+                        if r != rank && a[r][col] == 1 {
+                            for c in 0..b {
+                                a[r][c] ^= a[rank][c];
+                            }
+                        }
+                    }
+                    rank += 1;
+                }
+            }
+            assert_eq!(rank, b, "matrix must be full-rank");
+        }
+    }
+
+    #[test]
+    fn keystream_differs_across_nonces_and_keys() {
+        let key = [1u8, 0, 1, 1, 0];
+        let a = ToyRasta::new(5, 2, 1).keystream(&key);
+        let b = ToyRasta::new(5, 2, 2).keystream(&key);
+        assert_ne!(a, b, "nonce changes the keystream");
+        let c = ToyRasta::new(5, 2, 1).keystream(&[0, 0, 0, 0, 0]);
+        assert_ne!(a, c, "key changes the keystream");
+    }
+
+    #[test]
+    fn homomorphic_keystream_matches_reference() {
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap(); // t = 2
+        let mut rng = StdRng::seed_from_u64(71);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        let cipher = ToyRasta::new(5, 2, 0xA0A0);
+        let key = [1u8, 1, 0, 1, 0];
+        let enc_key: Vec<Ciphertext> = key
+            .iter()
+            .map(|&b| {
+                encrypt(
+                    &ctx,
+                    &pk,
+                    &Plaintext::new(vec![b as u64], 2, ctx.params().n),
+                    &mut rng,
+                )
+            })
+            .collect();
+        let expect = cipher.keystream(&key);
+        let got_ct = cipher.keystream_encrypted(&ctx, &enc_key, &rlk, Backend::default());
+        let got: Vec<u8> = got_ct
+            .iter()
+            .map(|c| decrypt(&ctx, &sk, c).coeffs()[0] as u8)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn transciphering_roundtrip() {
+        // Client: data ⊕ keystream (cheap, symmetric). Cloud: homomorphic
+        // keystream, then homomorphic XOR brings the data into FV.
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let mut rng = StdRng::seed_from_u64(72);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        let cipher = ToyRasta::new(5, 2, 7);
+        let key = [0u8, 1, 1, 0, 1];
+        let data = [1u8, 0, 0, 1, 1];
+        let stream = cipher.keystream(&key);
+        let sym_ct: Vec<u8> = data.iter().zip(&stream).map(|(&d, &s)| d ^ s).collect();
+
+        // Cloud side: FV-encrypted key → homomorphic keystream → XOR.
+        let enc_key: Vec<Ciphertext> = key
+            .iter()
+            .map(|&b| {
+                encrypt(
+                    &ctx,
+                    &pk,
+                    &Plaintext::new(vec![b as u64], 2, ctx.params().n),
+                    &mut rng,
+                )
+            })
+            .collect();
+        let hom_stream = cipher.keystream_encrypted(&ctx, &enc_key, &rlk, Backend::default());
+        let fv_data: Vec<Ciphertext> = hom_stream
+            .iter()
+            .zip(&sym_ct)
+            .map(|(ks, &bit)| {
+                let b = trivial_encrypt(&ctx, &Plaintext::new(vec![bit as u64], 2, ctx.params().n));
+                add(&ctx, ks, &b)
+            })
+            .collect();
+        let recovered: Vec<u8> = fv_data
+            .iter()
+            .map(|c| decrypt(&ctx, &sk, c).coeffs()[0] as u8)
+            .collect();
+        assert_eq!(recovered, data, "cloud now holds FV encryptions of the data");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd block")]
+    fn even_block_rejected() {
+        ToyRasta::new(4, 2, 0);
+    }
+}

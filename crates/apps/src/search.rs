@@ -1,0 +1,175 @@
+//! Encrypted table search (private information retrieval by equality) —
+//! one of the paper's target applications: "private information retrieval
+//! or encrypted search in a table of 2^16 entries" (§III-A).
+//!
+//! The client encrypts the *bits* of its query key. The server holds a
+//! plaintext table of `(key, value)` records packed one per slot. For each
+//! key bit `b`, the server computes the encrypted bit-equality
+//! `eq_b = 1 − (q_b − d_b)²` (one squaring), then multiplies the per-bit
+//! equalities together in a balanced tree — `log2(bits)` more levels — and
+//! finally masks the value column with the match indicator. The client
+//! decrypts a vector that is zero everywhere except the matching slot,
+//! which holds the value.
+//!
+//! Total depth: `1 + log2(bits)` multiplications — 3 for 4-bit keys,
+//! exactly the regime the paper's depth-4 parameters target.
+
+use hefv_core::prelude::*;
+
+/// A plaintext `(key, value)` table held by the server, one record per
+/// slot.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Record keys (each below `2^key_bits`).
+    pub keys: Vec<u64>,
+    /// Record values.
+    pub values: Vec<u64>,
+    /// Key width in bits.
+    pub key_bits: usize,
+}
+
+impl Table {
+    /// Builds a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or a key overflows `key_bits`.
+    pub fn new(keys: Vec<u64>, values: Vec<u64>, key_bits: usize) -> Self {
+        assert_eq!(keys.len(), values.len(), "ragged table");
+        assert!(key_bits >= 1 && key_bits <= 16);
+        assert!(keys.iter().all(|&k| k < 1 << key_bits), "key overflow");
+        Table {
+            keys,
+            values,
+            key_bits,
+        }
+    }
+}
+
+/// The client's encrypted query: one ciphertext per key bit, each bit
+/// broadcast across all slots.
+pub struct EncryptedQuery {
+    /// Bit ciphertexts, LSB first.
+    pub bits: Vec<Ciphertext>,
+}
+
+/// Encrypts a query key bit-by-bit (client side).
+pub fn encrypt_query<R: rand::Rng + ?Sized>(
+    ctx: &FvContext,
+    enc: &BatchEncoder,
+    pk: &PublicKey,
+    key: u64,
+    key_bits: usize,
+    rng: &mut R,
+) -> EncryptedQuery {
+    let bits = (0..key_bits)
+        .map(|b| {
+            let bit = (key >> b) & 1;
+            let pt = enc.encode(&vec![bit; enc.slots()]);
+            encrypt(ctx, pk, &pt, rng)
+        })
+        .collect();
+    EncryptedQuery { bits }
+}
+
+/// Server-side search: returns the encrypted masked value column.
+pub fn search(
+    ctx: &FvContext,
+    enc: &BatchEncoder,
+    table: &Table,
+    query: &EncryptedQuery,
+    rlk: &RelinKey,
+    backend: Backend,
+) -> Ciphertext {
+    assert_eq!(query.bits.len(), table.key_bits, "query width mismatch");
+    let ones = enc.encode(&vec![1; enc.slots()]);
+
+    // Per-bit equality: eq_b = 1 − (q_b − d_b)².
+    let mut eqs: Vec<Ciphertext> = Vec::with_capacity(table.key_bits);
+    for b in 0..table.key_bits {
+        let db: Vec<u64> = table.keys.iter().map(|&k| (k >> b) & 1).collect();
+        let d_pt = enc.encode(&db);
+        // q_b − d_b  (plaintext subtraction realized as add of negation)
+        let diff = sub(ctx, &query.bits[b], &trivial_encrypt(ctx, &d_pt));
+        let sq = mul(ctx, &diff, &diff, rlk, backend);
+        eqs.push(sub(ctx, &trivial_encrypt(ctx, &ones), &sq));
+    }
+
+    // Balanced product tree over the bit equalities.
+    while eqs.len() > 1 {
+        let mut next = Vec::with_capacity(eqs.len().div_ceil(2));
+        let mut iter = eqs.chunks(2);
+        for pair in &mut iter {
+            if pair.len() == 2 {
+                next.push(mul(ctx, &pair[0], &pair[1], rlk, backend));
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        eqs = next;
+    }
+    let indicator = eqs.pop().expect("at least one bit");
+
+    // Mask the value column.
+    let values = enc.encode(&table.values);
+    mul_plain(ctx, &indicator, &values)
+}
+
+/// Client-side extraction: decrypt and return `(slot, value)` of the
+/// single nonzero entry, or `None` when the key was absent.
+pub fn extract(enc: &BatchEncoder, pt: &Plaintext, records: usize) -> Option<(usize, u64)> {
+    let slots = enc.decode(pt);
+    slots
+        .iter()
+        .take(records)
+        .enumerate()
+        .find(|&(_, &v)| v != 0)
+        .map(|(i, &v)| (i, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FvContext, BatchEncoder, SecretKey, PublicKey, RelinKey, StdRng) {
+        let mut params = FvParams::insecure_medium();
+        params.t = 7681; // prime, 7680 = 30·256 ≡ 0 mod 512 ✓ batching-capable
+        let ctx = FvContext::new(params).unwrap();
+        let enc = BatchEncoder::new(7681, ctx.params().n).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        (ctx, enc, sk, pk, rlk, rng)
+    }
+
+    #[test]
+    fn finds_the_matching_record() {
+        let (ctx, enc, sk, pk, rlk, mut rng) = setup();
+        let keys: Vec<u64> = (0..16).collect();
+        let values: Vec<u64> = keys.iter().map(|k| 100 + k * 11).collect();
+        let table = Table::new(keys, values, 4);
+        let q = encrypt_query(&ctx, &enc, &pk, 13, 4, &mut rng);
+        let masked = search(&ctx, &enc, &table, &q, &rlk, Backend::default());
+        let pt = decrypt(&ctx, &sk, &masked);
+        let (slot, value) = extract(&enc, &pt, 16).expect("key 13 present");
+        assert_eq!(slot, 13);
+        assert_eq!(value, 100 + 13 * 11);
+    }
+
+    #[test]
+    fn absent_key_returns_none() {
+        let (ctx, enc, sk, pk, rlk, mut rng) = setup();
+        let table = Table::new(vec![1, 2, 3], vec![10, 20, 30], 4);
+        let q = encrypt_query(&ctx, &enc, &pk, 9, 4, &mut rng);
+        let masked = search(&ctx, &enc, &table, &q, &rlk, Backend::default());
+        let pt = decrypt(&ctx, &sk, &masked);
+        assert_eq!(extract(&enc, &pt, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "key overflow")]
+    fn rejects_wide_keys() {
+        Table::new(vec![16], vec![1], 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Encrypted sorting — another §III-A target application ("encrypted
+//! sorting").
+//!
+//! Works on encrypted *bits* (`t = 2`): a compare-and-swap of two encrypted
+//! bits is `min = a·b`, `max = a + b − a·b` (one homomorphic multiplication
+//! per comparator). A sorting network of depth `d` therefore consumes `d`
+//! multiplicative levels; the classic 4-input Batcher network has three
+//! comparator layers, fitting the paper's depth-4 budget with room for a
+//! fresh-noise margin.
+
+use hefv_core::prelude::*;
+
+/// A comparator network as layers of index pairs `(i, j)` meaning
+/// "place min at `i`, max at `j`".
+#[derive(Debug, Clone)]
+pub struct SortingNetwork {
+    /// Comparator layers; comparators within one layer touch disjoint
+    /// wires and cost one multiplicative level together.
+    pub layers: Vec<Vec<(usize, usize)>>,
+    /// Number of wires.
+    pub wires: usize,
+}
+
+impl SortingNetwork {
+    /// The 4-input Batcher odd-even merge network: 5 comparators in 3
+    /// layers.
+    pub fn batcher4() -> Self {
+        SortingNetwork {
+            layers: vec![
+                vec![(0, 1), (2, 3)],
+                vec![(0, 2), (1, 3)],
+                vec![(1, 2)],
+            ],
+            wires: 4,
+        }
+    }
+
+    /// The 2-input network (a single comparator).
+    pub fn pair() -> Self {
+        SortingNetwork {
+            layers: vec![vec![(0, 1)]],
+            wires: 2,
+        }
+    }
+
+    /// Multiplicative depth consumed by the network.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Validates the layer structure (wires in range, disjoint within a
+    /// layer).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut used = vec![false; self.wires];
+            for &(i, j) in layer {
+                if i >= self.wires || j >= self.wires || i == j {
+                    return Err(format!("layer {li}: bad comparator ({i},{j})"));
+                }
+                if used[i] || used[j] {
+                    return Err(format!("layer {li}: wire reuse in ({i},{j})"));
+                }
+                used[i] = true;
+                used[j] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compare-and-swap of two encrypted bits:
+/// `(min, max) = (a·b, a + b − a·b)`.
+pub fn compare_swap(
+    ctx: &FvContext,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    rlk: &RelinKey,
+    backend: Backend,
+) -> (Ciphertext, Ciphertext) {
+    let prod = mul(ctx, a, b, rlk, backend);
+    let maxv = sub(ctx, &add(ctx, a, b), &prod);
+    (prod, maxv)
+}
+
+/// Sorts a slice of encrypted bits through the network.
+///
+/// # Panics
+///
+/// Panics if the input length differs from the network's wire count or the
+/// network is malformed.
+pub fn sort_bits(
+    ctx: &FvContext,
+    network: &SortingNetwork,
+    bits: &[Ciphertext],
+    rlk: &RelinKey,
+    backend: Backend,
+) -> Vec<Ciphertext> {
+    assert_eq!(bits.len(), network.wires, "wire count mismatch");
+    network.validate().expect("well-formed network");
+    let mut wires: Vec<Ciphertext> = bits.to_vec();
+    for layer in &network.layers {
+        for &(i, j) in layer {
+            let (lo, hi) = compare_swap(ctx, &wires[i], &wires[j], rlk, backend);
+            wires[i] = lo;
+            wires[j] = hi;
+        }
+    }
+    wires
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FvContext, SecretKey, PublicKey, RelinKey, StdRng) {
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap(); // t = 2
+        let mut rng = StdRng::seed_from_u64(77);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        (ctx, sk, pk, rlk, rng)
+    }
+
+    fn enc_bit(
+        ctx: &FvContext,
+        pk: &PublicKey,
+        b: u64,
+        rng: &mut StdRng,
+    ) -> Ciphertext {
+        encrypt(ctx, pk, &Plaintext::new(vec![b], 2, ctx.params().n), rng)
+    }
+
+    fn dec_bit(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> u64 {
+        decrypt(ctx, sk, ct).coeffs()[0]
+    }
+
+    #[test]
+    fn networks_validate() {
+        assert!(SortingNetwork::batcher4().validate().is_ok());
+        assert!(SortingNetwork::pair().validate().is_ok());
+        assert_eq!(SortingNetwork::batcher4().depth(), 3);
+    }
+
+    #[test]
+    fn malformed_network_rejected() {
+        let bad = SortingNetwork {
+            layers: vec![vec![(0, 1), (1, 2)]],
+            wires: 3,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn compare_swap_truth_table() {
+        let (ctx, sk, pk, rlk, mut rng) = setup();
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            let ca = enc_bit(&ctx, &pk, a, &mut rng);
+            let cb = enc_bit(&ctx, &pk, b, &mut rng);
+            let (lo, hi) = compare_swap(&ctx, &ca, &cb, &rlk, Backend::default());
+            assert_eq!(dec_bit(&ctx, &sk, &lo), a.min(b), "min({a},{b})");
+            assert_eq!(dec_bit(&ctx, &sk, &hi), a.max(b), "max({a},{b})");
+        }
+    }
+
+    #[test]
+    fn batcher4_sorts_every_input() {
+        let (ctx, sk, pk, rlk, mut rng) = setup();
+        let net = SortingNetwork::batcher4();
+        for pattern in 0..16u64 {
+            let bits: Vec<Ciphertext> = (0..4)
+                .map(|i| enc_bit(&ctx, &pk, (pattern >> i) & 1, &mut rng))
+                .collect();
+            let sorted = sort_bits(&ctx, &net, &bits, &rlk, Backend::default());
+            let got: Vec<u64> = sorted.iter().map(|c| dec_bit(&ctx, &sk, c)).collect();
+            let mut expect: Vec<u64> = (0..4).map(|i| (pattern >> i) & 1).collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "pattern {pattern:04b}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation A1: accuracy and cost of the HPS quotient arithmetic —
+//! exact CRT (long integers) vs `f64` (the HPS paper) vs the paper's
+//! 89-bit fixed-point reciprocals.
+//!
+//! Measures (a) empirical mis-rounding rates of the approximate base
+//! extension against the exact oracle, and (b) software throughput of each
+//! variant — the trade the paper's §IV-C/§V-B2 design argument rests on.
+
+use hefv_math::primes::ntt_primes;
+use hefv_math::rns::{HpsPrecision, RnsContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let ps = ntt_primes(30, 4096, 13).expect("primes");
+    let ctx = RnsContext::new(&ps[..6], &ps[6..]).expect("context");
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let trials = 200_000usize;
+    let inputs: Vec<Vec<u64>> = (0..trials)
+        .map(|_| {
+            (0..6)
+                .map(|i| rng.gen_range(0..ctx.base_q().modulus(i).value()))
+                .collect()
+        })
+        .collect();
+
+    println!("\n=== Ablation A1 — Lift q->Q quotient arithmetic ({trials} random coefficients) ===");
+
+    // Exact oracle.
+    let t0 = Instant::now();
+    let exact: Vec<Vec<u64>> = inputs.iter().map(|a| ctx.lift().extend_exact(a)).collect();
+    let exact_time = t0.elapsed();
+
+    for (label, prec) in [("f64 (HPS paper)", HpsPrecision::F64), ("89-bit fixed point (this paper)", HpsPrecision::Fixed)] {
+        let t1 = Instant::now();
+        let got: Vec<Vec<u64>> = inputs
+            .iter()
+            .map(|a| ctx.lift().extend_hps(a, prec))
+            .collect();
+        let dt = t1.elapsed();
+        let mismatches = got.iter().zip(&exact).filter(|(g, e)| g != e).count();
+        println!(
+            "{label:<34} {:>10.1} ns/coeff   mis-rounds: {mismatches}/{trials}",
+            dt.as_nanos() as f64 / trials as f64
+        );
+    }
+    println!(
+        "{:<34} {:>10.1} ns/coeff   (oracle)",
+        "exact CRT, long integers",
+        exact_time.as_nanos() as f64 / trials as f64
+    );
+    println!();
+    println!("expected mis-round probability: ~2^-47 per coefficient (f64),");
+    println!("~2^-53 (fixed point) — zero observed here is the expected outcome;");
+    println!("a mis-round shifts the lifted value by one multiple of q, which FV");
+    println!("absorbs as noise (§IV-C). The cost column shows why the hardware");
+    println!("prefers the small-number datapath: the exact path is an order of");
+    println!("magnitude slower even in software, and in hardware it additionally");
+    println!("serializes a 390-bit datapath (Fig. 5 vs Fig. 6).");
+}

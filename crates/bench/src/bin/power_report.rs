@@ -1,0 +1,25 @@
+//! Regenerates §VI-C's power measurements and §VI-E's efficiency
+//! comparison.
+
+use hefv_bench::{header, row};
+use hefv_core::{context::FvContext, params::FvParams};
+use hefv_sim::power::PowerModel;
+use hefv_sim::system::System;
+
+fn main() {
+    let p = PowerModel::default();
+    header("§VI-C — power (W)");
+    row("static", p.static_w, 5.3, "W");
+    row("dynamic, one coprocessor busy", p.dynamic_w(1), 2.2, "W");
+    row("dynamic, two coprocessors busy", p.dynamic_w(2), 3.4, "W");
+    row("peak total", p.total_w(2), 8.7, "W");
+
+    let ctx = FvContext::new(FvParams::hpca19()).expect("params");
+    let sys = System::default();
+    let ms = sys.mult_latency_ms(&ctx);
+    println!("\nenergy per Mult (two coprocessors): {:.1} mJ", p.energy_per_mult_mj(ms, 2));
+    println!("for comparison (§VI-E): an Intel i5 at ~40 W running the 33 ms NFLlib");
+    println!("Mult spends ~{:.0} mJ per multiplication — ~{:.0}x more energy.",
+        40.0 * 33.0,
+        40.0 * 33.0 / p.energy_per_mult_mj(ms, 2));
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's headline comparison (§VI-E): the coprocessor
+//! versus optimized software.
+//!
+//! The paper compares against FV-NFLlib on an Intel i5 @1.8 GHz (33 ms per
+//! Mult, 30.3 Mult/s). We additionally *measure* this repository's own
+//! software backend on the host, so the hardware-vs-software claim is
+//! checked against a baseline we control, not just quoted.
+
+use hefv_core::prelude::*;
+use hefv_core::eval;
+use hefv_sim::system::System;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let ctx = FvContext::new(FvParams::hpca19()).expect("params");
+    let mut rng = StdRng::seed_from_u64(2019);
+    let (_sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let pa = Plaintext::new(vec![1, 1], 2, ctx.params().n);
+    let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+    let cb = encrypt(&ctx, &pk, &pa, &mut rng);
+
+    // Measure our software Mult (HPS fixed-point backend, single thread).
+    let warmup = eval::mul(&ctx, &ca, &cb, &rlk, Backend::default());
+    drop(warmup);
+    let iters = 5;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = eval::mul(&ctx, &ca, &cb, &rlk, Backend::default());
+    }
+    let sw_ms = t0.elapsed().as_secs_f64() * 1000.0 / iters as f64;
+
+    // And our software Add.
+    let t1 = Instant::now();
+    for _ in 0..1000 {
+        let _ = eval::add(&ctx, &ca, &cb);
+    }
+    let sw_add_us = t1.elapsed().as_secs_f64() * 1e6 / 1000.0;
+
+    let sys = System::default();
+    let hw_ms = sys.mult_latency_ms(&ctx);
+    let hw_tput = sys.mult_throughput_per_s(&ctx);
+
+    println!("\n=== §VI-E — homomorphic multiplication: hardware vs software ===");
+    println!("{:<52} {:>10} {:>12}", "implementation", "ms/Mult", "Mult/s");
+    println!("{}", "-".repeat(78));
+    println!("{:<52} {:>10.2} {:>12.1}", "FV-NFLlib, Intel i5 @1.8 GHz (paper baseline)", 33.0, 1000.0 / 33.0);
+    println!("{:<52} {:>10.2} {:>12.1}", "this repo, Rust software (measured, 1 thread)", sw_ms, 1000.0 / sw_ms);
+    println!("{:<52} {:>10.2} {:>12.1}", "simulated coprocessor x1 @200 MHz (incl. xfer)", hw_ms, 1000.0 / hw_ms);
+    println!("{:<52} {:>10.2} {:>12.1}", "simulated coprocessor x2 @200 MHz (paper config)", hw_ms, hw_tput);
+    println!();
+    println!("speedup of 2 coprocessors vs NFLlib baseline : {:.1}x (paper: >13x)", hw_tput / (1000.0 / 33.0));
+    println!("speedup of 2 coprocessors vs our software    : {:.1}x", hw_tput / (1000.0 / sw_ms));
+    println!();
+    let hw_add_us =
+        sys.coproc.run_add().total_us + sys.send_operands_us() + sys.receive_result_us();
+    println!("software Add (ours, measured)                : {sw_add_us:.0} µs");
+    println!("hardware Add incl. transfers (simulated)     : {hw_add_us:.0} µs (paper: 568 µs)");
+}

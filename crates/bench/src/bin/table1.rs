@@ -1,0 +1,28 @@
+//! Regenerates Table I: performance of high-level operations using one
+//! coprocessor (Mult/Add in HW, Add in SW, ciphertext transfers).
+
+use hefv_bench::{header, row};
+use hefv_core::{context::FvContext, params::FvParams};
+use hefv_sim::system::System;
+
+fn main() {
+    let ctx = FvContext::new(FvParams::hpca19()).expect("paper parameters");
+    let sys = System::default();
+    header("Table I — high-level operations, one coprocessor (Arm cycles @1.2 GHz)");
+    for r in sys.table1(&ctx) {
+        row(&r.label, r.cycles as f64, r.paper_cycles as f64, "cyc");
+    }
+    header("Table I — same rows in milliseconds");
+    for r in sys.table1(&ctx) {
+        row(&r.label, r.msec, r.paper_msec, "ms");
+    }
+    println!();
+    println!(
+        "throughput with two coprocessors: {:.0} Mult/s (paper: 400)",
+        sys.mult_throughput_per_s(&ctx)
+    );
+    println!(
+        "SW/HW Add ratio incl. transfers : {:.0}x (paper: 80x)",
+        sys.add_sw_hw_ratio(&ctx)
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates Table II: per-instruction performance and calls per Mult.
+
+use hefv_bench::{header, row};
+use hefv_sim::clock::ClockConfig;
+use hefv_sim::coproc::{mult_microcode, Op};
+use hefv_sim::cost::{CostModel, Instr};
+use std::collections::HashMap;
+
+fn main() {
+    let model = CostModel::default();
+    let clocks = ClockConfig::default();
+    let paper: [(Instr, u32, u64, f64); 7] = [
+        (Instr::Ntt, 14, 87_582, 73.0),
+        (Instr::InverseNtt, 8, 102_043, 85.0),
+        (Instr::CoeffMul, 20, 15_662, 13.1),
+        (Instr::CoeffAdd, 26, 16_292, 13.6),
+        (Instr::MemoryRearrange, 22, 25_006, 20.8),
+        (Instr::Lift, 4, 99_137, 82.6),
+        (Instr::Scale, 3, 99_274, 82.7),
+    ];
+
+    // Count calls from the actual microcode.
+    let ops = mult_microcode(6, 7, 6, 7, 4096, 19.64);
+    let mut calls: HashMap<Instr, u32> = HashMap::new();
+    for op in &ops {
+        if let Op::Instr(i) = op {
+            *calls.entry(*i).or_insert(0) += 1;
+        }
+    }
+
+    header("Table II — instruction cycles (Arm cycles @1.2 GHz)");
+    for (i, _, paper_cycles, _) in paper {
+        let arm = clocks.fpga_to_arm_cycles(model.instr_cycles(i));
+        row(i.name(), arm as f64, paper_cycles as f64, "cyc");
+    }
+
+    header("Table II — instruction time (µs)");
+    for (i, _, _, paper_us) in paper {
+        let us = clocks.fpga_cycles_to_us(model.instr_cycles(i));
+        row(i.name(), us, paper_us, "us");
+    }
+
+    header("Table II — calls per Mult (from the microcode)");
+    for (i, paper_calls, _, _) in paper {
+        row(i.name(), calls[&i] as f64, paper_calls as f64, "calls");
+    }
+
+    header("first-principles datapath vs calibrated total (FPGA cycles)");
+    for (i, _, _, _) in paper {
+        row(
+            i.name(),
+            model.datapath_cycles(i) as f64,
+            model.instr_cycles(i) as f64,
+            "cyc",
+        );
+    }
+    println!("\n(the 'ratio' column here is the uncalibrated datapath fraction;");
+    println!(" the remainder is decode/pipeline-fill/dispatch, see EXPERIMENTS.md)");
+}

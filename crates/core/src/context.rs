@@ -1,0 +1,174 @@
+//! The FV evaluation context: every precomputed table an instance needs.
+
+use crate::params::FvParams;
+use hefv_math::bigint::UBig;
+use hefv_math::ntt::NttTable;
+use hefv_math::rns::{RnsBasis, RnsContext, ScaleContext};
+use hefv_math::zq::Modulus;
+
+/// Precomputed context for one FV parameter set: RNS bases and extenders,
+/// NTT tables for every prime of `Q`, the scaling constants, and `Δ = ⌊q/t⌋`
+/// in RNS form.
+///
+/// Build once, share (`FvContext` is `Send + Sync`) — the paper's analogue
+/// is the constants burnt into on-chip ROM at configuration time.
+///
+/// # Example
+///
+/// ```
+/// use hefv_core::{context::FvContext, params::FvParams};
+/// let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+/// assert_eq!(ctx.params().n, 64);
+/// ```
+#[derive(Debug)]
+pub struct FvContext {
+    params: FvParams,
+    rns: RnsContext,
+    scale: ScaleContext,
+    /// NTT tables for all primes of `Q`: the `k` q-primes first, then the
+    /// `l` p-primes.
+    tables_full: Vec<NttTable>,
+    /// `Δ = ⌊q/t⌋ mod q_i`.
+    delta_rns: Vec<u64>,
+    /// `Δ` as a big integer (used by decryption and noise measurement).
+    delta: UBig,
+}
+
+impl FvContext {
+    /// Builds the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the primes are not NTT-friendly for `n`, overlap
+    /// between bases, or the plaintext modulus is out of range.
+    pub fn new(params: FvParams) -> Result<Self, String> {
+        let rns = RnsContext::new(&params.q_primes, &params.p_primes)?;
+        if params.t < 2 {
+            return Err("plaintext modulus must be at least 2".into());
+        }
+        let scale = ScaleContext::new(&rns, params.t);
+        let mut tables_full = Vec::with_capacity(params.k() + params.l());
+        for &p in params.q_primes.iter().chain(&params.p_primes) {
+            tables_full.push(NttTable::new(Modulus::new(p), params.n)?);
+        }
+        let delta = rns
+            .base_q()
+            .product()
+            .div_rem(&UBig::from(params.t))
+            .0;
+        let delta_rns = rns.base_q().encode(&delta);
+        Ok(FvContext {
+            params,
+            rns,
+            scale,
+            tables_full,
+            delta_rns,
+            delta,
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &FvParams {
+        &self.params
+    }
+
+    /// The RNS context (bases and extenders).
+    pub fn rns(&self) -> &RnsContext {
+        &self.rns
+    }
+
+    /// The `Scale Q→q` constants.
+    pub fn scale(&self) -> &ScaleContext {
+        &self.scale
+    }
+
+    /// The ciphertext basis `q`.
+    pub fn base_q(&self) -> &RnsBasis {
+        self.rns.base_q()
+    }
+
+    /// NTT tables for the `q` primes.
+    pub fn ntt_q(&self) -> &[NttTable] {
+        &self.tables_full[..self.params.k()]
+    }
+
+    /// NTT tables for the `p` primes.
+    pub fn ntt_p(&self) -> &[NttTable] {
+        &self.tables_full[self.params.k()..]
+    }
+
+    /// NTT tables for all primes of `Q` (q primes first).
+    pub fn ntt_full(&self) -> &[NttTable] {
+        &self.tables_full
+    }
+
+    /// `Δ = ⌊q/t⌋` reduced modulo each `q_i`.
+    pub fn delta_rns(&self) -> &[u64] {
+        &self.delta_rns
+    }
+
+    /// `Δ = ⌊q/t⌋`.
+    pub fn delta(&self) -> &UBig {
+        &self.delta
+    }
+
+    /// Spreads a single-residue digit row (values `< q_i`) to a full set of
+    /// `q`-basis rows: `a mod q_j` is `a` or `a − q_j` since all primes are
+    /// the same width. This is the cheap `WordDecomp` residue-spread the
+    /// microcode charges as coefficient-wise work (§II-B, Table II).
+    pub fn spread_digit(&self, digit_row: &[u64]) -> Vec<Vec<u64>> {
+        self.base_q()
+            .moduli()
+            .iter()
+            .map(|m| {
+                digit_row
+                    .iter()
+                    .map(|&a| if a >= m.value() { a - m.value() } else { a })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_for_all_named_sets() {
+        for p in [FvParams::insecure_toy(), FvParams::insecure_medium()] {
+            let ctx = FvContext::new(p).unwrap();
+            assert_eq!(ctx.ntt_full().len(), ctx.params().k() + ctx.params().l());
+        }
+    }
+
+    #[test]
+    fn delta_is_q_over_t() {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let q = ctx.base_q().product();
+        let t = UBig::from(ctx.params().t);
+        let recomposed = &(ctx.delta() * &t) + &q.div_rem(&t).1;
+        assert_eq!(&recomposed, q);
+        assert_eq!(ctx.delta_rns(), ctx.base_q().encode(ctx.delta()));
+    }
+
+    #[test]
+    fn rejects_bad_t() {
+        let mut p = FvParams::insecure_toy();
+        p.t = 1;
+        assert!(FvContext::new(p).is_err());
+    }
+
+    #[test]
+    fn spread_digit_values() {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let q0 = ctx.base_q().modulus(0).value();
+        let spread = ctx.spread_digit(&[0, 1, q0 - 1]);
+        for (j, m) in ctx.base_q().moduli().iter().enumerate() {
+            assert_eq!(spread[j][0], 0);
+            assert_eq!(spread[j][1], 1);
+            let expect = (q0 - 1) % m.value();
+            assert_eq!(spread[j][2], expect, "j={j}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Plaintexts and encoders.
+//!
+//! * [`Plaintext`] — an element of `R_t`.
+//! * [`IntegerEncoder`] — the signed binary (base-2) encoder the FV paper
+//!   uses for integer workloads: an integer becomes a low-degree polynomial
+//!   with coefficients in `{-1, 0, 1}`; decoding evaluates at `x = 2`.
+//! * [`BatchEncoder`] — SIMD slot packing when `t` is prime and
+//!   `t ≡ 1 (mod 2n)` (e.g. `t = 65537`), used by the application layer for
+//!   vectorized workloads such as the smart-meter aggregation.
+
+use crate::context::FvContext;
+use hefv_math::ntt::NttTable;
+use hefv_math::zq::Modulus;
+use serde::{Deserialize, Serialize};
+
+/// A plaintext polynomial: coefficients in `[0, t)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plaintext {
+    coeffs: Vec<u64>,
+    t: u64,
+}
+
+impl Plaintext {
+    /// Builds from raw coefficients, reducing mod `t`.
+    pub fn new(coeffs: Vec<u64>, t: u64, n: usize) -> Self {
+        let mut coeffs: Vec<u64> = coeffs.into_iter().map(|c| c % t).collect();
+        coeffs.resize(n, 0);
+        Plaintext { coeffs, t }
+    }
+
+    /// Builds from signed coefficients.
+    pub fn from_signed(coeffs: &[i64], t: u64, n: usize) -> Self {
+        let mut out: Vec<u64> = coeffs.iter().map(|&c| c.rem_euclid(t as i64) as u64).collect();
+        out.resize(n, 0);
+        Plaintext { coeffs: out, t }
+    }
+
+    /// The zero plaintext.
+    pub fn zero(t: u64, n: usize) -> Self {
+        Plaintext {
+            coeffs: vec![0; n],
+            t,
+        }
+    }
+
+    /// Coefficients in `[0, t)`.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// The plaintext modulus.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Centered coefficient view (values in `(-t/2, t/2]`).
+    pub fn centered(&self) -> Vec<i64> {
+        self.coeffs
+            .iter()
+            .map(|&c| {
+                if c > self.t / 2 {
+                    c as i64 - self.t as i64
+                } else {
+                    c as i64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Signed binary integer encoder.
+///
+/// # Example
+///
+/// ```
+/// use hefv_core::encoder::IntegerEncoder;
+/// let enc = IntegerEncoder::new(1 << 16, 64);
+/// let pt = enc.encode(-37);
+/// assert_eq!(enc.decode(&pt), -37);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegerEncoder {
+    t: u64,
+    n: usize,
+}
+
+impl IntegerEncoder {
+    /// Creates an encoder for plaintext modulus `t` and ring degree `n`.
+    pub fn new(t: u64, n: usize) -> Self {
+        IntegerEncoder { t, n }
+    }
+
+    /// Encodes a signed integer as a signed-binary polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|value|` needs more than `n/2` bits (the top half of the
+    /// ring is reserved so products do not wrap around `x^n + 1`).
+    pub fn encode(&self, value: i64) -> Plaintext {
+        let neg = value < 0;
+        let mut mag = value.unsigned_abs();
+        let mut coeffs = vec![0i64; self.n];
+        let mut i = 0;
+        while mag > 0 {
+            assert!(i < self.n / 2, "integer too wide for degree {}", self.n);
+            if mag & 1 == 1 {
+                coeffs[i] = if neg { -1 } else { 1 };
+            }
+            mag >>= 1;
+            i += 1;
+        }
+        Plaintext::from_signed(&coeffs, self.t, self.n)
+    }
+
+    /// Decodes by evaluating the centered polynomial at `x = 2`.
+    ///
+    /// Correct as long as the accumulated coefficient growth stayed below
+    /// `t/2` (the usual integer-encoder contract).
+    pub fn decode(&self, pt: &Plaintext) -> i64 {
+        let mut acc: i64 = 0;
+        for &c in pt.centered().iter().rev() {
+            acc = acc * 2 + c;
+        }
+        acc
+    }
+}
+
+/// SIMD batch encoder: packs `n` values of `Z_t` into the CRT slots of
+/// `R_t` via an NTT over `Z_t` (requires `t` prime, `t ≡ 1 mod 2n`).
+///
+/// # Example
+///
+/// ```
+/// use hefv_core::encoder::BatchEncoder;
+/// let enc = BatchEncoder::new(65537, 4096).unwrap();
+/// let vals: Vec<u64> = (0..4096).collect();
+/// let pt = enc.encode(&vals);
+/// assert_eq!(enc.decode(&pt), vals);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEncoder {
+    t: u64,
+    n: usize,
+    table: NttTable,
+}
+
+impl BatchEncoder {
+    /// Builds the slot transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t` is not a prime `≡ 1 (mod 2n)`.
+    pub fn new(t: u64, n: usize) -> Result<Self, String> {
+        if !hefv_math::primes::is_prime(t) {
+            return Err(format!("t={t} is not prime"));
+        }
+        let table = NttTable::new(Modulus::new(t), n)?;
+        Ok(BatchEncoder { t, n, table })
+    }
+
+    /// Number of slots (`n`).
+    pub fn slots(&self) -> usize {
+        self.n
+    }
+
+    /// Packs `values` (at most `n` of them) into slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `n` values are given.
+    pub fn encode(&self, values: &[u64]) -> Plaintext {
+        assert!(values.len() <= self.n, "too many slot values");
+        let mut slots: Vec<u64> = values.iter().map(|&v| v % self.t).collect();
+        slots.resize(self.n, 0);
+        // Slot values are the NTT-domain points; the plaintext polynomial
+        // is their inverse transform.
+        self.table.inverse(&mut slots);
+        Plaintext::new(slots, self.t, self.n)
+    }
+
+    /// Unpacks a plaintext into its `n` slot values.
+    pub fn decode(&self, pt: &Plaintext) -> Vec<u64> {
+        let mut slots = pt.coeffs().to_vec();
+        self.table.forward(&mut slots);
+        slots
+    }
+}
+
+/// Reduces a plaintext into RNS rows over the `q` basis (used by
+/// encryption: the `Encoder` block of the paper's Fig. 1).
+pub fn plaintext_to_rns(ctx: &FvContext, pt: &Plaintext) -> crate::rnspoly::RnsPoly {
+    let centered = pt.centered();
+    crate::rnspoly::RnsPoly::from_signed(&centered, ctx.base_q())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plaintext_reduction_and_centering() {
+        let pt = Plaintext::new(vec![0, 1, 15, 16, 17], 16, 8);
+        assert_eq!(pt.coeffs(), &[0, 1, 15, 0, 1, 0, 0, 0]);
+        assert_eq!(pt.centered()[2], -1);
+    }
+
+    #[test]
+    fn integer_encoder_roundtrip() {
+        let enc = IntegerEncoder::new(1 << 16, 64);
+        for v in [-1000i64, -37, -1, 0, 1, 2, 255, 31337 % 32768] {
+            assert_eq!(enc.decode(&enc.encode(v)), v, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn integer_encoder_rejects_wide() {
+        let enc = IntegerEncoder::new(1 << 16, 8);
+        enc.encode(1 << 10);
+    }
+
+    #[test]
+    fn batch_encoder_roundtrip() {
+        let enc = BatchEncoder::new(65537, 64).unwrap();
+        let vals: Vec<u64> = (0..64u64).map(|i| i * i + 1).collect();
+        assert_eq!(enc.decode(&enc.encode(&vals)), vals);
+    }
+
+    #[test]
+    fn batch_encoder_slotwise_products() {
+        // Slot structure: polynomial product = slot-wise product.
+        let n = 64;
+        let t = 65537;
+        let enc = BatchEncoder::new(t, n).unwrap();
+        let a: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| 2 * i + 3).collect();
+        let pa = enc.encode(&a);
+        let pb = enc.encode(&b);
+        // multiply in R_t with schoolbook negacyclic reduction
+        let m = Modulus::new(t);
+        let prod = hefv_math::ntt::negacyclic_mul_schoolbook(pa.coeffs(), pb.coeffs(), &m);
+        let got = enc.decode(&Plaintext::new(prod, t, n));
+        let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x * y % t).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn batch_encoder_rejects_composite_t() {
+        assert!(BatchEncoder::new(65536, 64).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Encryption and decryption (the paper's Fig. 1 datapath).
+
+use crate::context::FvContext;
+use crate::encoder::{plaintext_to_rns, Plaintext};
+use crate::keys::{PublicKey, SecretKey};
+use crate::rnspoly::{Domain, RnsPoly};
+use crate::sampler;
+use hefv_math::bigint::UBig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An FV ciphertext: `(c0, c1) ∈ R_q × R_q`, coefficient domain.
+///
+/// Fresh and evaluated ciphertexts have degree 1 (two polynomials); the
+/// intermediate degree-2 result inside `Mult` never leaves the evaluator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from its two polynomials (used by external
+    /// evaluators such as the coprocessor simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components' shapes or domains differ.
+    pub fn from_parts(c0: RnsPoly, c1: RnsPoly) -> Self {
+        assert_eq!(c0.k(), c1.k(), "residue count mismatch");
+        assert_eq!(c0.n(), c1.n(), "degree mismatch");
+        assert_eq!(c0.domain(), c1.domain(), "domain mismatch");
+        Ciphertext { c0, c1 }
+    }
+
+    /// The `c0` component.
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// The `c1` component.
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// Bytes moved when this ciphertext is DMA-transferred with 4-byte
+    /// residue coefficients (the paper's Table III workload: one ciphertext
+    /// of two polynomials × 6 residues × 4096 coefficients × 4 B =
+    /// 196 608 B; *two* operand ciphertexts are 393 216 B, sent as chunks
+    /// of 98 304 B in Table III).
+    pub fn transfer_bytes(&self) -> usize {
+        2 * self.c0.k() * self.c0.n() * 4
+    }
+}
+
+/// Encrypts a plaintext under the public key.
+///
+/// `c0 = p0·u + e1 + Δ·m`, `c1 = p1·u + e2` with ternary `u` and Gaussian
+/// `e1, e2`.
+pub fn encrypt<R: Rng + ?Sized>(
+    ctx: &FvContext,
+    pk: &PublicKey,
+    pt: &Plaintext,
+    rng: &mut R,
+) -> Ciphertext {
+    let basis = ctx.base_q();
+    let n = ctx.params().n;
+    let mut u = sampler::ternary_poly(rng, basis, n);
+    u.ntt_forward(ctx.ntt_q());
+
+    let mut c0 = pk.p0_ntt().pointwise_mul(&u, basis);
+    let mut c1 = pk.p1_ntt().pointwise_mul(&u, basis);
+    c0.ntt_inverse(ctx.ntt_q());
+    c1.ntt_inverse(ctx.ntt_q());
+
+    let e1 = sampler::gaussian_poly(rng, basis, n, ctx.params().sigma);
+    let e2 = sampler::gaussian_poly(rng, basis, n, ctx.params().sigma);
+    let dm = plaintext_to_rns(ctx, pt).scalar_mul(ctx.delta_rns(), basis);
+
+    Ciphertext {
+        c0: c0.add(&e1, basis).add(&dm, basis),
+        c1: c1.add(&e2, basis),
+    }
+}
+
+/// Encrypts directly under the secret key (symmetric encryption); useful
+/// for tests and for noise-controlled inputs.
+pub fn encrypt_symmetric<R: Rng + ?Sized>(
+    ctx: &FvContext,
+    sk: &SecretKey,
+    pt: &Plaintext,
+    rng: &mut R,
+) -> Ciphertext {
+    let basis = ctx.base_q();
+    let n = ctx.params().n;
+    let mut a = sampler::uniform_poly(rng, basis, n);
+    a.ntt_forward(ctx.ntt_q());
+    let mut c0 = a.pointwise_mul(sk.s_ntt(), basis).neg(basis);
+    c0.ntt_inverse(ctx.ntt_q());
+    let e = sampler::gaussian_poly(rng, basis, n, ctx.params().sigma);
+    let dm = plaintext_to_rns(ctx, pt).scalar_mul(ctx.delta_rns(), basis);
+    let mut c1 = a;
+    c1.ntt_inverse(ctx.ntt_q());
+    Ciphertext {
+        c0: c0.add(&e, basis).add(&dm, basis),
+        c1,
+    }
+}
+
+/// Encodes a plaintext as a trivial (noise-free, insecure) ciphertext
+/// `(Δ·m, 0)`; used to bring public constants into the encrypted domain.
+pub fn trivial_encrypt(ctx: &FvContext, pt: &Plaintext) -> Ciphertext {
+    let basis = ctx.base_q();
+    let dm = plaintext_to_rns(ctx, pt).scalar_mul(ctx.delta_rns(), basis);
+    Ciphertext {
+        c0: dm,
+        c1: RnsPoly::zero(basis.len(), ctx.params().n),
+    }
+}
+
+/// Decrypts: `m = ⌈t·[c0 + c1·s]_q / q⌋ mod t`.
+///
+/// # Panics
+///
+/// Panics if the ciphertext is not in coefficient domain.
+pub fn decrypt(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
+    let v = decrypt_phase(ctx, sk, ct);
+    let basis = ctx.base_q();
+    let t = UBig::from(ctx.params().t);
+    let q = basis.product();
+    let n = ctx.params().n;
+    let mut coeffs = Vec::with_capacity(n);
+    let mut buf = vec![0u64; basis.len()];
+    for c in 0..n {
+        for i in 0..basis.len() {
+            buf[i] = v.residues()[i][c];
+        }
+        let centered = basis.decode_centered(&buf);
+        let scaled = centered.scale_round(&t, q);
+        coeffs.push(scaled.rem_euclid(&t).to_u64().expect("fits in u64"));
+    }
+    Plaintext::new(coeffs, ctx.params().t, n)
+}
+
+/// The decryption phase `v = [c0 + c1·s]_q` in coefficient domain —
+/// exposed because noise measurement needs it too.
+pub fn decrypt_phase(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> RnsPoly {
+    assert_eq!(ct.c0.domain(), Domain::Coefficient, "ciphertext domain");
+    let basis = ctx.base_q();
+    let mut c1 = ct.c1.clone();
+    c1.ntt_forward(ctx.ntt_q());
+    let mut v = c1.pointwise_mul(sk.s_ntt(), basis);
+    v.ntt_inverse(ctx.ntt_q());
+    v.add(&ct.c0, basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::keygen;
+    use crate::params::FvParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FvContext, SecretKey, PublicKey) {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        (ctx, sk, pk)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ctx, sk, pk) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pt = Plaintext::new(vec![1, 2, 3, 4, 5], ctx.params().t, ctx.params().n);
+        let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+        assert_eq!(decrypt(&ctx, &sk, &ct), pt);
+    }
+
+    #[test]
+    fn symmetric_roundtrip() {
+        let (ctx, sk, _) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let pt = Plaintext::from_signed(&[-1, 0, 7, 3], ctx.params().t, ctx.params().n);
+        let ct = encrypt_symmetric(&ctx, &sk, &pt, &mut rng);
+        assert_eq!(decrypt(&ctx, &sk, &ct), pt);
+    }
+
+    #[test]
+    fn trivial_roundtrip() {
+        let (ctx, sk, _) = setup();
+        let pt = Plaintext::new(vec![9, 8, 7], ctx.params().t, ctx.params().n);
+        let ct = trivial_encrypt(&ctx, &pt);
+        assert_eq!(decrypt(&ctx, &sk, &ct), pt);
+    }
+
+    #[test]
+    fn different_randomness_different_ciphertexts() {
+        let (ctx, _, pk) = setup();
+        let pt = Plaintext::zero(ctx.params().t, ctx.params().n);
+        let a = encrypt(&ctx, &pk, &pt, &mut StdRng::seed_from_u64(1));
+        let b = encrypt(&ctx, &pk, &pt, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b, "semantic security sanity check");
+    }
+
+    #[test]
+    fn transfer_bytes_paper_shape() {
+        // The paper's ciphertext: 2 polys × 6 residues × 4096 × 4 B = 196 608.
+        let (ctx, _, pk) = setup();
+        let pt = Plaintext::zero(ctx.params().t, ctx.params().n);
+        let ct = encrypt(&ctx, &pk, &pt, &mut StdRng::seed_from_u64(1));
+        assert_eq!(
+            ct.transfer_bytes(),
+            2 * ctx.params().k() * ctx.params().n * 4
+        );
+    }
+
+    #[test]
+    fn paper_sized_roundtrip() {
+        // Full n=4096, 180-bit q parameter set.
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let pt = Plaintext::new(vec![1, 0, 1, 1], 2, ctx.params().n);
+        let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+        assert_eq!(decrypt(&ctx, &sk, &ct), pt);
+    }
+}

@@ -1,0 +1,243 @@
+//! Noise measurement: the invariant-noise budget of a ciphertext.
+//!
+//! The paper's parameter set is chosen for multiplicative depth 4 (§III-A);
+//! this module lets the test suite *demonstrate* that, instead of asserting
+//! it: decrypting drains no budget, each `Mult` consumes a measurable slice,
+//! and decryption fails once the budget reaches zero.
+
+use crate::context::FvContext;
+use crate::encrypt::{decrypt_phase, Ciphertext};
+use crate::keys::SecretKey;
+use hefv_math::bigint::{center, UBig};
+
+/// Noise statistics of a ciphertext.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseReport {
+    /// `log2` of the largest noise coefficient (`|v − Δ·m|`, centered).
+    pub noise_bits: f64,
+    /// Remaining budget in bits; decryption fails at ≤ 0.
+    pub budget_bits: f64,
+}
+
+/// Measures the noise of `ct` with the secret key.
+///
+/// Computes `v = [c0 + c1·s]_q`, subtracts `Δ·m` for the decrypted `m`, and
+/// reports the infinity norm of the remainder against the failure threshold
+/// `q / (2t)`.
+pub fn measure(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> NoiseReport {
+    let basis = ctx.base_q();
+    let q = basis.product();
+    let t = UBig::from(ctx.params().t);
+    let v = decrypt_phase(ctx, sk, ct);
+    let n = ctx.params().n;
+    let mut buf = vec![0u64; basis.len()];
+    let mut max_noise = UBig::zero();
+    for c in 0..n {
+        for i in 0..basis.len() {
+            buf[i] = v.residues()[i][c];
+        }
+        let vc = basis.decode(&buf);
+        // m_c = round(t*v/q) mod t ; noise = v - Δ·m - (rounding part of Δ)
+        let centered = center(&vc, q);
+        let m = centered.scale_round(&t, q).rem_euclid(&t);
+        // w = v - Δ*m (mod q), centered
+        let dm = ctx.delta() * &m;
+        let w = if centered.is_negative() {
+            // v ≡ q - |v|; noise = v - Δm computed mod q
+            let vv = q - centered.magnitude();
+            center(&(&vv + &(q - &(&dm % q))).div_rem(q).1, q)
+        } else {
+            let vv = centered.magnitude().clone();
+            center(&(&vv + &(q - &(&dm % q))).div_rem(q).1, q)
+        };
+        if w.magnitude() > &max_noise {
+            max_noise = w.magnitude().clone();
+        }
+    }
+    let noise_bits = if max_noise.is_zero() {
+        0.0
+    } else {
+        max_noise.to_f64().log2()
+    };
+    // Failure threshold: |noise| must stay below q/(2t).
+    let threshold_bits = q.to_f64().log2() - 1.0 - (ctx.params().t as f64).log2();
+    NoiseReport {
+        noise_bits,
+        budget_bits: threshold_bits - noise_bits,
+    }
+}
+
+/// Worst-case analytic noise model (after the FV paper's Lemmas 1–4,
+/// adapted to the RNS-digit relinearization gadget): predicts upper bounds
+/// on noise magnitude per operation and the supported multiplicative
+/// depth. Measurements ([`measure`]) always sit below these bounds; the
+/// test suite checks both directions.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    n: f64,
+    t: f64,
+    sigma: f64,
+    /// `log2 q`.
+    log_q: f64,
+    /// Relinearization digits and word size.
+    digits: f64,
+    word: f64,
+}
+
+impl NoiseModel {
+    /// Builds the model from a context.
+    pub fn new(ctx: &FvContext) -> Self {
+        NoiseModel {
+            n: ctx.params().n as f64,
+            t: ctx.params().t as f64,
+            sigma: ctx.params().sigma,
+            log_q: ctx.base_q().product().to_f64().log2(),
+            digits: ctx.params().k() as f64,
+            word: 2f64.powi(30),
+        }
+    }
+
+    /// Tail bound of the error distribution (`12σ`).
+    fn b(&self) -> f64 {
+        12.0 * self.sigma
+    }
+
+    /// Worst-case fresh-encryption noise magnitude.
+    pub fn fresh(&self) -> f64 {
+        // v = Δm + e1 + e2·s + u·e_pk: ≤ B(2n + 1) + t.
+        self.b() * (2.0 * self.n + 1.0) + self.t
+    }
+
+    /// Noise after a homomorphic addition of noises `n1`, `n2`.
+    pub fn after_add(&self, n1: f64, n2: f64) -> f64 {
+        n1 + n2 + self.t
+    }
+
+    /// Noise after a homomorphic multiplication of noises `n1`, `n2`
+    /// (tensor + scale + RNS-digit relinearization).
+    pub fn after_mul(&self, n1: f64, n2: f64) -> f64 {
+        let tensor = 2.0 * self.n * self.t * (n1 + n2 + 1.0) + 4.0 * self.n * self.n * self.t * self.t;
+        let relin = self.digits * self.n * self.word * self.b();
+        tensor + relin
+    }
+
+    /// The decryption-failure threshold `q / (2t)` in bits.
+    pub fn threshold_bits(&self) -> f64 {
+        self.log_q - 1.0 - self.t.log2()
+    }
+
+    /// Maximum multiplicative depth the parameters support under the
+    /// worst-case model (a chain of squarings from fresh ciphertexts).
+    pub fn supported_depth(&self) -> u32 {
+        let mut noise = self.fresh();
+        let mut depth = 0;
+        while depth < 64 {
+            noise = self.after_mul(noise, noise);
+            if noise.log2() >= self.threshold_bits() {
+                break;
+            }
+            depth += 1;
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Plaintext;
+    use crate::encrypt::{decrypt, encrypt};
+    use crate::eval::{mul, Backend};
+    use crate::keys::keygen;
+    use crate::params::FvParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measured_noise_stays_below_worst_case_model() {
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let model = NoiseModel::new(&ctx);
+        let mut rng = StdRng::seed_from_u64(17);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        let pt = Plaintext::new(vec![1], ctx.params().t, ctx.params().n);
+        let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+
+        let fresh_measured = measure(&ctx, &sk, &ct).noise_bits;
+        assert!(
+            fresh_measured <= model.fresh().log2(),
+            "fresh: measured {fresh_measured:.1} vs bound {:.1}",
+            model.fresh().log2()
+        );
+
+        let mut bound = model.fresh();
+        let mut acc = ct.clone();
+        for level in 1..=2 {
+            acc = mul(&ctx, &acc, &ct, &rlk, Backend::default());
+            bound = model.after_mul(bound, model.fresh());
+            let measured = measure(&ctx, &sk, &acc).noise_bits;
+            assert!(
+                measured <= bound.log2(),
+                "level {level}: measured {measured:.1} vs bound {:.1}",
+                bound.log2()
+            );
+        }
+    }
+
+    #[test]
+    fn model_predicts_at_least_the_papers_depth() {
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let model = NoiseModel::new(&ctx);
+        assert!(
+            model.supported_depth() >= 4,
+            "paper's depth-4 claim: model says {}",
+            model.supported_depth()
+        );
+    }
+
+    #[test]
+    fn model_add_is_cheaper_than_mul() {
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let model = NoiseModel::new(&ctx);
+        let f = model.fresh();
+        assert!(model.after_add(f, f) < model.after_mul(f, f));
+    }
+
+    #[test]
+    fn fresh_ciphertext_has_budget() {
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let pt = Plaintext::new(vec![1], ctx.params().t, ctx.params().n);
+        let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+        let r = measure(&ctx, &sk, &ct);
+        assert!(r.budget_bits > 50.0, "fresh budget {:.1}", r.budget_bits);
+        assert!(r.noise_bits > 0.0);
+    }
+
+    #[test]
+    fn mult_consumes_budget_monotonically() {
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        let pt = Plaintext::new(vec![1], ctx.params().t, ctx.params().n);
+        let one = encrypt(&ctx, &pk, &pt, &mut rng);
+        let mut acc = one.clone();
+        let mut last = measure(&ctx, &sk, &acc).budget_bits;
+        for level in 1..=3 {
+            acc = mul(&ctx, &acc, &one, &rlk, Backend::default());
+            let r = measure(&ctx, &sk, &acc);
+            assert!(
+                r.budget_bits < last,
+                "level {level}: budget must shrink ({} -> {})",
+                last,
+                r.budget_bits
+            );
+            last = r.budget_bits;
+            assert_eq!(
+                decrypt(&ctx, &sk, &acc).coeffs()[0],
+                1,
+                "still decryptable at level {level}"
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! FV parameter sets.
+//!
+//! The paper's implementation targets multiplicative depth 4 with at least
+//! 80-bit security: `n = 4096`, `q` a product of six 30-bit primes
+//! (180 bits), `Q = q·p` with `p` a product of seven more 30-bit primes
+//! (390 bits), error standard deviation `σ = 102` (§III-A, §III-B).
+//!
+//! Table V's scaled sets double both the degree and the coefficient size
+//! per step; [`FvParams::table5`] builds them.
+
+use hefv_math::primes::ntt_primes;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an FV instance.
+///
+/// # Example
+///
+/// ```
+/// use hefv_core::params::FvParams;
+/// let p = FvParams::hpca19();
+/// assert_eq!(p.n, 4096);
+/// assert_eq!(p.q_primes.len(), 6);
+/// assert_eq!(p.p_primes.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FvParams {
+    /// Human-readable name of the set.
+    pub name: String,
+    /// Ring degree (power of two).
+    pub n: usize,
+    /// RNS primes whose product is the ciphertext modulus `q`.
+    pub q_primes: Vec<u64>,
+    /// RNS primes whose product is `p = Q/q`.
+    pub p_primes: Vec<u64>,
+    /// Plaintext modulus `t`.
+    pub t: u64,
+    /// Standard deviation of the discrete Gaussian error distribution.
+    pub sigma: f64,
+}
+
+impl FvParams {
+    /// The paper's parameter set (§III): `n = 4096`, 180-bit `q` from six
+    /// 30-bit primes, seven extension primes, `σ = 102`, binary plaintexts.
+    pub fn hpca19() -> Self {
+        Self::hpca19_with_t(2)
+    }
+
+    /// The paper's set with a caller-chosen plaintext modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prime pool cannot be built (cannot happen for the
+    /// paper's sizes).
+    pub fn hpca19_with_t(t: u64) -> Self {
+        let ps = ntt_primes(30, 4096, 13).expect("13 NTT primes for n=4096");
+        FvParams {
+            name: "HPCA19".into(),
+            n: 4096,
+            q_primes: ps[..6].to_vec(),
+            p_primes: ps[6..].to_vec(),
+            t,
+            sigma: 102.0,
+        }
+    }
+
+    /// The paper's set with `t = 65537`, which is prime and `≡ 1 (mod 2n)`,
+    /// enabling SIMD batching over 4096 slots.
+    pub fn hpca19_batching() -> Self {
+        Self::hpca19_with_t(65537)
+    }
+
+    /// A small parameter set for fast tests: `n = 64`, three `q` primes,
+    /// four `p` primes. *Not secure* — testing only.
+    pub fn insecure_toy() -> Self {
+        let ps = ntt_primes(30, 64, 7).expect("7 NTT primes for n=64");
+        FvParams {
+            name: "toy".into(),
+            n: 64,
+            q_primes: ps[..3].to_vec(),
+            p_primes: ps[3..].to_vec(),
+            t: 16,
+            sigma: 3.2,
+        }
+    }
+
+    /// A mid-size test set: `n = 256`, matching the paper's 6+7 structure.
+    /// *Not secure* — testing only.
+    pub fn insecure_medium() -> Self {
+        let ps = ntt_primes(30, 256, 13).expect("13 NTT primes for n=256");
+        FvParams {
+            name: "medium".into(),
+            n: 256,
+            q_primes: ps[..6].to_vec(),
+            p_primes: ps[6..].to_vec(),
+            t: 2,
+            sigma: 3.2,
+        }
+    }
+
+    /// Table V's scaled parameter sets. `step = 0` is the paper's set
+    /// `(2^12, 180)`; each step doubles the degree and the coefficient
+    /// size: `(2^13, 360)`, `(2^14, 720)`, `(2^15, 1440)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step > 3`.
+    pub fn table5(step: usize) -> Self {
+        assert!(step <= 3, "Table V has four rows");
+        let n = 4096usize << step;
+        let q_count = 6 << step; // 180, 360, 720, 1440 bits of q
+        let p_count = q_count + 1; // keep p one prime larger, as the paper does
+        let ps = ntt_primes(30, n, q_count + p_count)
+            .expect("enough 30-bit NTT primes for the Table V sets");
+        FvParams {
+            name: format!("table5-row{}", step + 1),
+            n,
+            q_primes: ps[..q_count].to_vec(),
+            p_primes: ps[q_count..].to_vec(),
+            t: 2,
+            sigma: 102.0,
+        }
+    }
+
+    /// Bits of `q` (sum of prime widths, as the paper counts: 6 × 30 = 180).
+    pub fn log_q(&self) -> u32 {
+        self.q_primes.iter().map(|p| 64 - p.leading_zeros()).sum()
+    }
+
+    /// Bits of `Q = q·p`.
+    pub fn log_big_q(&self) -> u32 {
+        self.log_q() + self.p_primes.iter().map(|p| 64 - p.leading_zeros()).sum::<u32>()
+    }
+
+    /// Number of residues in the `q` basis.
+    pub fn k(&self) -> usize {
+        self.q_primes.len()
+    }
+
+    /// Number of residues in the `p` basis.
+    pub fn l(&self) -> usize {
+        self.p_primes.len()
+    }
+
+    /// Whether `t` supports SIMD batching (prime and `≡ 1 mod 2n`).
+    pub fn supports_batching(&self) -> bool {
+        hefv_math::primes::is_prime(self.t) && (self.t - 1) % (2 * self.n as u64) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpca19_matches_paper() {
+        let p = FvParams::hpca19();
+        assert_eq!(p.n, 4096);
+        assert_eq!(p.log_q(), 180);
+        assert_eq!(p.log_big_q(), 390);
+        assert_eq!(p.k(), 6);
+        assert_eq!(p.l(), 7);
+        assert_eq!(p.sigma, 102.0);
+    }
+
+    #[test]
+    fn batching_set_supports_batching() {
+        assert!(FvParams::hpca19_batching().supports_batching());
+        assert!(!FvParams::hpca19().supports_batching());
+    }
+
+    #[test]
+    fn toy_sets_are_consistent() {
+        for p in [FvParams::insecure_toy(), FvParams::insecure_medium()] {
+            assert!(p.n.is_power_of_two());
+            assert!(p.k() >= 2 && p.l() > p.k() - 2);
+        }
+    }
+
+    #[test]
+    fn table5_scaling() {
+        let r1 = FvParams::table5(0);
+        assert_eq!(r1.n, 4096);
+        assert_eq!(r1.log_q(), 180);
+        let r2 = FvParams::table5(1);
+        assert_eq!(r2.n, 8192);
+        assert_eq!(r2.log_q(), 360);
+    }
+
+    #[test]
+    #[should_panic(expected = "four rows")]
+    fn table5_rejects_row5() {
+        let _ = FvParams::table5(4);
+    }
+}

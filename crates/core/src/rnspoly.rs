@@ -1,0 +1,371 @@
+//! RNS polynomials: elements of `R_q` (or `R_Q`) held as parallel residue
+//! polynomials.
+//!
+//! The residue-major layout (`residues[i][c]` = coefficient `c` modulo the
+//! i-th prime) is exactly how the paper distributes work across RPAUs: each
+//! RPAU owns one (or two) residue rows.
+
+use hefv_math::ntt::NttTable;
+use hefv_math::rns::RnsBasis;
+use serde::{Deserialize, Serialize};
+
+/// Which domain the coefficients are currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Ordinary (power-basis) coefficients.
+    Coefficient,
+    /// NTT (evaluation) domain, bit-reversed order.
+    Ntt,
+}
+
+/// A polynomial in RNS representation over some basis.
+///
+/// Arithmetic methods assume both operands share the same basis and domain;
+/// this is checked with assertions (domain confusion is the classic FV
+/// implementation bug).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RnsPoly {
+    residues: Vec<Vec<u64>>,
+    domain: Domain,
+}
+
+impl RnsPoly {
+    /// The zero polynomial over `k` residues of length `n`.
+    pub fn zero(k: usize, n: usize) -> Self {
+        RnsPoly {
+            residues: vec![vec![0; n]; k],
+            domain: Domain::Coefficient,
+        }
+    }
+
+    /// Wraps residue rows produced elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged or empty.
+    pub fn from_residues(residues: Vec<Vec<u64>>, domain: Domain) -> Self {
+        assert!(!residues.is_empty(), "need at least one residue row");
+        let n = residues[0].len();
+        assert!(residues.iter().all(|r| r.len() == n), "ragged rows");
+        RnsPoly { residues, domain }
+    }
+
+    /// Builds from signed coefficients, reducing into each prime of `basis`.
+    pub fn from_signed(coeffs: &[i64], basis: &RnsBasis) -> Self {
+        let residues = basis
+            .moduli()
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| m.from_i64(c)).collect())
+            .collect();
+        RnsPoly {
+            residues,
+            domain: Domain::Coefficient,
+        }
+    }
+
+    /// Number of residue rows.
+    pub fn k(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.residues[0].len()
+    }
+
+    /// Current domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Residue rows.
+    pub fn residues(&self) -> &[Vec<u64>] {
+        &self.residues
+    }
+
+    /// Mutable residue rows (domain discipline is the caller's burden).
+    pub fn residues_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.residues
+    }
+
+    /// Consumes into the raw rows.
+    pub fn into_residues(self) -> Vec<Vec<u64>> {
+        self.residues
+    }
+
+    fn check(&self, other: &Self) {
+        assert_eq!(self.k(), other.k(), "residue count mismatch");
+        assert_eq!(self.n(), other.n(), "degree mismatch");
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+    }
+
+    /// Coefficient-wise sum over `basis` (valid in either domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape or domain mismatch.
+    pub fn add(&self, other: &Self, basis: &RnsBasis) -> Self {
+        self.check(other);
+        let residues = (0..self.k())
+            .map(|i| {
+                let m = basis.modulus(i);
+                self.residues[i]
+                    .iter()
+                    .zip(&other.residues[i])
+                    .map(|(&a, &b)| m.add(a, b))
+                    .collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            domain: self.domain,
+        }
+    }
+
+    /// Coefficient-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape or domain mismatch.
+    pub fn sub(&self, other: &Self, basis: &RnsBasis) -> Self {
+        self.check(other);
+        let residues = (0..self.k())
+            .map(|i| {
+                let m = basis.modulus(i);
+                self.residues[i]
+                    .iter()
+                    .zip(&other.residues[i])
+                    .map(|(&a, &b)| m.sub(a, b))
+                    .collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            domain: self.domain,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self, basis: &RnsBasis) -> Self {
+        let residues = (0..self.k())
+            .map(|i| {
+                let m = basis.modulus(i);
+                self.residues[i].iter().map(|&a| m.neg(a)).collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            domain: self.domain,
+        }
+    }
+
+    /// Pointwise (Hadamard) product — both operands must be NTT-domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if either operand is coefficient-domain.
+    pub fn pointwise_mul(&self, other: &Self, basis: &RnsBasis) -> Self {
+        self.check(other);
+        assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
+        let residues = (0..self.k())
+            .map(|i| {
+                let m = basis.modulus(i);
+                self.residues[i]
+                    .iter()
+                    .zip(&other.residues[i])
+                    .map(|(&a, &b)| m.mul(a, b))
+                    .collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            domain: Domain::Ntt,
+        }
+    }
+
+    /// Multiply-accumulate: `acc += a ⊙ b` in NTT domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or wrong domains.
+    pub fn pointwise_mul_acc(&mut self, a: &Self, b: &Self, basis: &RnsBasis) {
+        a.check(b);
+        assert_eq!(self.k(), a.k());
+        assert_eq!(self.domain, Domain::Ntt);
+        assert_eq!(a.domain, Domain::Ntt);
+        for i in 0..self.k() {
+            let m = basis.modulus(i);
+            for c in 0..self.n() {
+                self.residues[i][c] =
+                    m.mul_add(a.residues[i][c], b.residues[i][c], self.residues[i][c]);
+            }
+        }
+    }
+
+    /// Multiplies every coefficient by per-residue scalars (e.g. `Δ mod q_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len() != k`.
+    pub fn scalar_mul(&self, scalars: &[u64], basis: &RnsBasis) -> Self {
+        assert_eq!(scalars.len(), self.k(), "scalar count mismatch");
+        let residues = (0..self.k())
+            .map(|i| {
+                let m = basis.modulus(i);
+                let s = m.reduce(scalars[i]);
+                self.residues[i].iter().map(|&a| m.mul(a, s)).collect()
+            })
+            .collect();
+        RnsPoly {
+            residues,
+            domain: self.domain,
+        }
+    }
+
+    /// Forward NTT on every residue row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in NTT domain or if table count mismatches.
+    pub fn ntt_forward(&mut self, tables: &[NttTable]) {
+        assert_eq!(self.domain, Domain::Coefficient, "already in NTT domain");
+        assert_eq!(tables.len(), self.k(), "table count mismatch");
+        for (row, t) in self.residues.iter_mut().zip(tables) {
+            t.forward(row);
+        }
+        self.domain = Domain::Ntt;
+    }
+
+    /// Inverse NTT on every residue row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in coefficient domain or if table count mismatches.
+    pub fn ntt_inverse(&mut self, tables: &[NttTable]) {
+        assert_eq!(self.domain, Domain::Ntt, "already in coefficient domain");
+        assert_eq!(tables.len(), self.k(), "table count mismatch");
+        for (row, t) in self.residues.iter_mut().zip(tables) {
+            t.inverse(row);
+        }
+        self.domain = Domain::Coefficient;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_math::primes::ntt_primes;
+    use hefv_math::ntt::NttTable;
+    use hefv_math::zq::Modulus;
+
+    fn basis() -> RnsBasis {
+        let ps = ntt_primes(30, 16, 3).unwrap();
+        RnsBasis::new(&ps).unwrap()
+    }
+
+    fn tables(b: &RnsBasis, n: usize) -> Vec<NttTable> {
+        b.moduli()
+            .iter()
+            .map(|m| NttTable::new(Modulus::new(m.value()), n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn zero_shape() {
+        let p = RnsPoly::zero(3, 16);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.n(), 16);
+        assert_eq!(p.domain(), Domain::Coefficient);
+    }
+
+    #[test]
+    fn signed_roundtrip_through_basis() {
+        let b = basis();
+        let coeffs = vec![-1i64, 0, 1, 5, -7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
+        let p = RnsPoly::from_signed(&coeffs, &b);
+        for (i, m) in b.moduli().iter().enumerate() {
+            for (c, &v) in coeffs.iter().enumerate() {
+                assert_eq!(p.residues()[i][c], m.from_i64(v));
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let b = basis();
+        let a = RnsPoly::from_signed(&[1; 16], &b);
+        let c = RnsPoly::from_signed(&[-3; 16], &b);
+        let s = a.add(&c, &b);
+        assert_eq!(s.sub(&c, &b), a);
+        let z = a.add(&a.neg(&b), &b);
+        assert_eq!(z, RnsPoly::zero(3, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn add_rejects_domain_mix() {
+        let b = basis();
+        let t = tables(&b, 16);
+        let a = RnsPoly::from_signed(&[1; 16], &b);
+        let mut c = a.clone();
+        c.ntt_forward(&t);
+        let _ = a.add(&c, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs NTT domain")]
+    fn pointwise_rejects_coeff_domain() {
+        let b = basis();
+        let a = RnsPoly::from_signed(&[1; 16], &b);
+        let _ = a.pointwise_mul(&a, &b);
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook_sign() {
+        // x^(n-1) * x = -1
+        let b = basis();
+        let t = tables(&b, 16);
+        let mut xa = vec![0i64; 16];
+        xa[15] = 1;
+        let mut xb = vec![0i64; 16];
+        xb[1] = 1;
+        let mut a = RnsPoly::from_signed(&xa, &b);
+        let mut bb = RnsPoly::from_signed(&xb, &b);
+        a.ntt_forward(&t);
+        bb.ntt_forward(&t);
+        let mut prod = a.pointwise_mul(&bb, &b);
+        prod.ntt_inverse(&t);
+        let expect = RnsPoly::from_signed(
+            &{
+                let mut v = vec![0i64; 16];
+                v[0] = -1;
+                v
+            },
+            &b,
+        );
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn mul_acc_accumulates() {
+        let b = basis();
+        let t = tables(&b, 16);
+        let mut a = RnsPoly::from_signed(&[2; 16], &b);
+        let mut c = RnsPoly::from_signed(&[3; 16], &b);
+        a.ntt_forward(&t);
+        c.ntt_forward(&t);
+        let mut acc = a.pointwise_mul(&c, &b);
+        acc.pointwise_mul_acc(&a, &c, &b);
+        let double = a.pointwise_mul(&c, &b).add(&a.pointwise_mul(&c, &b), &b);
+        assert_eq!(acc, double);
+    }
+
+    #[test]
+    fn scalar_mul_per_residue() {
+        let b = basis();
+        let a = RnsPoly::from_signed(&[1; 16], &b);
+        let scalars: Vec<u64> = b.moduli().iter().map(|m| m.value() - 1).collect(); // -1
+        let s = a.scalar_mul(&scalars, &b);
+        assert_eq!(s, a.neg(&b));
+    }
+}

@@ -1,0 +1,124 @@
+//! Randomness: uniform ring elements, ternary secrets and the discrete
+//! Gaussian error distribution.
+//!
+//! The paper samples errors from a discrete Gaussian with `σ = 102`
+//! (§III-A) and the encryption randomness `u` from "uniformly random signed
+//! binary numbers" (§II-B), i.e. coefficients in `{-1, 0, 1}`.
+
+use crate::rnspoly::{Domain, RnsPoly};
+use hefv_math::rns::RnsBasis;
+use rand::Rng;
+
+/// Samples a polynomial with uniform coefficients modulo each prime.
+pub fn uniform_poly<R: Rng + ?Sized>(rng: &mut R, basis: &RnsBasis, n: usize) -> RnsPoly {
+    let residues = basis
+        .moduli()
+        .iter()
+        .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+        .collect();
+    RnsPoly::from_residues(residues, Domain::Coefficient)
+}
+
+/// Samples signed ternary coefficients (uniform over `{-1, 0, 1}`).
+pub fn ternary_coeffs<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+/// Samples one discrete Gaussian value by Box-Muller rounding.
+///
+/// For the paper's σ = 102 the statistical distance from the rounded
+/// continuous Gaussian is negligible; cryptographically stronger samplers
+/// (CDT, Knuth-Yao) trade code for constant-time behaviour the simulator
+/// does not need.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let mag = sigma * (-2.0 * u1.ln()).sqrt();
+        let z = mag * (2.0 * std::f64::consts::PI * u2).cos();
+        // Tail cut at 12σ, as is conventional (probability < 2^-100).
+        if z.abs() <= 12.0 * sigma {
+            return z.round() as i64;
+        }
+    }
+}
+
+/// Samples a Gaussian error polynomial over `basis`.
+pub fn gaussian_poly<R: Rng + ?Sized>(
+    rng: &mut R,
+    basis: &RnsBasis,
+    n: usize,
+    sigma: f64,
+) -> RnsPoly {
+    let coeffs: Vec<i64> = (0..n).map(|_| gaussian(rng, sigma)).collect();
+    RnsPoly::from_signed(&coeffs, basis)
+}
+
+/// Samples a ternary polynomial over `basis` (the secret / the encryption
+/// randomness `u`).
+pub fn ternary_poly<R: Rng + ?Sized>(rng: &mut R, basis: &RnsBasis, n: usize) -> RnsPoly {
+    RnsPoly::from_signed(&ternary_coeffs(rng, n), basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_math::primes::ntt_primes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn basis() -> RnsBasis {
+        RnsBasis::new(&ntt_primes(30, 64, 3).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let b = basis();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = uniform_poly(&mut rng, &b, 64);
+        for (i, m) in b.moduli().iter().enumerate() {
+            assert!(p.residues()[i].iter().all(|&c| c < m.value()));
+        }
+    }
+
+    #[test]
+    fn ternary_values_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = ternary_coeffs(&mut rng, 10_000);
+        assert!(c.iter().all(|&v| (-1..=1).contains(&v)));
+        // All three values should occur in 10k draws.
+        for v in -1..=1 {
+            assert!(c.contains(&v), "value {v} missing");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigma = 102.0;
+        let n = 50_000;
+        let xs: Vec<i64> = (0..n).map(|_| gaussian(&mut rng, sigma)).collect();
+        let mean = xs.iter().sum::<i64>() as f64 / n as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 3.0, "mean {mean} too far from 0");
+        assert!(
+            (var.sqrt() - sigma).abs() / sigma < 0.05,
+            "std {} deviates from {sigma}",
+            var.sqrt()
+        );
+        assert!(xs.iter().all(|&x| x.abs() <= (12.0 * sigma) as i64));
+    }
+
+    #[test]
+    fn polys_are_reproducible_with_seed() {
+        let b = basis();
+        let a = gaussian_poly(&mut StdRng::seed_from_u64(7), &b, 64, 3.2);
+        let c = gaussian_poly(&mut StdRng::seed_from_u64(7), &b, 64, 3.2);
+        assert_eq!(a, c);
+        let d = gaussian_poly(&mut StdRng::seed_from_u64(8), &b, 64, 3.2);
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,70 @@
+//! Heuristic security estimation for the ring-LWE parameters.
+//!
+//! The paper sizes its parameters "to achieve a multiplicative depth of
+//! four and at least 80-bit security [26]" using Albrecht's LWE estimator.
+//! That estimator is a large Sage project; here we implement the classic
+//! *Lindner–Peikert distinguishing-attack* estimate, which is simpler and
+//! strictly more conservative (it reports fewer bits for the same
+//! parameters). It is meant for sanity checks and parameter sweeps, not
+//! as a replacement for a full estimator.
+
+use crate::params::FvParams;
+
+/// Security report for one parameter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityEstimate {
+    /// `log2` of the targeted root Hermite factor `δ`.
+    pub log_delta: f64,
+    /// Estimated attack cost in bits (Lindner–Peikert BKZ runtime model).
+    pub bits: f64,
+}
+
+/// Estimates the classical security of a parameter set.
+///
+/// Model: a distinguishing attack succeeds at advantage ε when the
+/// attacker reaches root Hermite factor `δ` with
+/// `log2(δ) = log2²(q/σ) / (4·n·log2 q)`; BKZ cost
+/// `log2(T) ≈ 1.8 / log2(δ) − 110` (Lindner–Peikert 2011).
+pub fn estimate(params: &FvParams) -> SecurityEstimate {
+    let n = params.n as f64;
+    let log_q = params.log_q() as f64;
+    let log_q_over_sigma = log_q - params.sigma.log2();
+    let log_delta = log_q_over_sigma * log_q_over_sigma / (4.0 * n * log_q);
+    let bits = 1.8 / log_delta - 110.0;
+    SecurityEstimate { log_delta, bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_clears_a_conservative_floor() {
+        // The paper claims ≥80-bit via the Albrecht estimator; the
+        // Lindner–Peikert model is more conservative and lands in the
+        // mid-60s for the same parameters — assert the conservative floor
+        // and record the gap in the docs.
+        let e = estimate(&FvParams::hpca19());
+        assert!(e.bits >= 60.0, "got {:.1} bits", e.bits);
+        assert!(e.log_delta > 0.0 && e.log_delta < 0.02);
+    }
+
+    #[test]
+    fn security_grows_with_dimension() {
+        let base = estimate(&FvParams::hpca19());
+        let bigger = estimate(&FvParams::table5(1)); // n doubles, q doubles
+        // Table V doubles both n and log q; LP security stays roughly
+        // level (that's the point of the paper scaling both together).
+        assert!((bigger.bits - base.bits).abs() < 15.0);
+        // Doubling n alone must increase security.
+        let mut wide = FvParams::hpca19();
+        wide.n *= 2;
+        assert!(estimate(&wide).bits > base.bits + 30.0);
+    }
+
+    #[test]
+    fn toy_parameters_are_insecure_and_say_so() {
+        let e = estimate(&FvParams::insecure_toy());
+        assert!(e.bits < 0.0, "toy set must be obviously broken: {:.1}", e.bits);
+    }
+}

@@ -1,0 +1,162 @@
+//! Wire format for ciphertexts — the paper's transfer layout.
+//!
+//! §V-D: "The coefficients of a ciphertext are kept in contiguous memory
+//! locations" and every residue coefficient is a 30-bit value moved as
+//! 4 bytes (Table III's 98,304-byte polynomial = 6 residues × 4096 × 4 B).
+//! This module serializes ciphertexts exactly that way: a small header,
+//! then residue-major little-endian `u32` coefficients.
+
+use crate::context::FvContext;
+use crate::encrypt::Ciphertext;
+use crate::rnspoly::{Domain, RnsPoly};
+
+/// Magic tag guarding the header.
+const MAGIC: u32 = 0x4845_4154; // "HEAT"
+
+/// Serializes a ciphertext into the DMA byte layout.
+///
+/// # Panics
+///
+/// Panics if the ciphertext is in NTT domain (only coefficient-domain
+/// ciphertexts cross the interface, as in the paper).
+pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    assert_eq!(ct.c0().domain(), Domain::Coefficient, "wire domain");
+    let k = ct.c0().k() as u32;
+    let n = ct.c0().n() as u32;
+    let mut out = Vec::with_capacity(12 + 2 * (k as usize) * (n as usize) * 4);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&k.to_le_bytes());
+    out.extend_from_slice(&n.to_le_bytes());
+    for poly in [ct.c0(), ct.c1()] {
+        for row in poly.residues() {
+            for &c in row {
+                debug_assert!(c < 1 << 32, "coefficient exceeds 4-byte lane");
+                out.extend_from_slice(&(c as u32).to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes a ciphertext from the DMA byte layout.
+///
+/// # Errors
+///
+/// Returns a message when the header, sizes or length are inconsistent
+/// with the context.
+pub fn decode_ciphertext(ctx: &FvContext, bytes: &[u8]) -> Result<Ciphertext, String> {
+    let u32_at = |off: usize| -> Result<u32, String> {
+        bytes
+            .get(off..off + 4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .ok_or_else(|| "truncated header".to_string())
+    };
+    if u32_at(0)? != MAGIC {
+        return Err("bad magic".into());
+    }
+    let k = u32_at(4)? as usize;
+    let n = u32_at(8)? as usize;
+    if k != ctx.params().k() || n != ctx.params().n {
+        return Err(format!(
+            "shape mismatch: wire ({k},{n}) vs context ({},{})",
+            ctx.params().k(),
+            ctx.params().n
+        ));
+    }
+    let want = 12 + 2 * k * n * 4;
+    if bytes.len() != want {
+        return Err(format!("length {} != expected {want}", bytes.len()));
+    }
+    let mut off = 12;
+    let mut read_poly = || -> RnsPoly {
+        let mut rows = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                let b = &bytes[off..off + 4];
+                row.push(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64);
+                off += 4;
+            }
+            rows.push(row);
+        }
+        RnsPoly::from_residues(rows, Domain::Coefficient)
+    };
+    let c0 = read_poly();
+    let c1 = read_poly();
+    // Validate coefficients against the moduli (C-VALIDATE).
+    for (poly, name) in [(&c0, "c0"), (&c1, "c1")] {
+        for (i, row) in poly.residues().iter().enumerate() {
+            let q = ctx.base_q().modulus(i).value();
+            if row.iter().any(|&c| c >= q) {
+                return Err(format!("{name} residue {i} has out-of-range coefficient"));
+            }
+        }
+    }
+    Ok(Ciphertext { c0, c1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Plaintext;
+    use crate::encrypt::{decrypt, encrypt};
+    use crate::keys::keygen;
+    use crate::params::FvParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FvContext, crate::keys::SecretKey, Ciphertext) {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let pt = Plaintext::new(vec![5, 4, 3], ctx.params().t, ctx.params().n);
+        let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+        (ctx, sk, ct)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (ctx, sk, ct) = setup();
+        let bytes = encode_ciphertext(&ct);
+        let back = decode_ciphertext(&ctx, &bytes).unwrap();
+        assert_eq!(back, ct);
+        assert_eq!(decrypt(&ctx, &sk, &back).coeffs()[..3], [5, 4, 3]);
+    }
+
+    #[test]
+    fn wire_size_matches_paper_formula() {
+        let (ctx, _, ct) = setup();
+        let bytes = encode_ciphertext(&ct);
+        assert_eq!(
+            bytes.len(),
+            12 + 2 * ctx.params().k() * ctx.params().n * 4
+        );
+        assert_eq!(bytes.len() - 12, ct.transfer_bytes());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let (ctx, _, ct) = setup();
+        let mut bytes = encode_ciphertext(&ct);
+        bytes[0] ^= 0xFF;
+        assert!(decode_ciphertext(&ctx, &bytes).is_err(), "bad magic");
+
+        let mut bytes = encode_ciphertext(&ct);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_ciphertext(&ctx, &bytes).is_err(), "truncated");
+
+        let mut bytes = encode_ciphertext(&ct);
+        // Set a coefficient to u32::MAX (way above any 30-bit modulus).
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_ciphertext(&ctx, &bytes).is_err(), "out of range");
+    }
+
+    #[test]
+    fn rejects_wrong_context() {
+        let (_, _, ct) = setup();
+        let other = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let bytes = encode_ciphertext(&ct);
+        assert!(decode_ciphertext(&other, &bytes).is_err());
+    }
+}

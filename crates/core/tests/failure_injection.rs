@@ -1,0 +1,121 @@
+//! Failure injection: the noise threshold (§II-A "beyond which further
+//! homomorphic evaluations would result in decryption failures") is a real
+//! cliff, not an abstraction — drive ciphertexts over it and watch
+//! decryption break, and check the measurement/model agree about where.
+
+use hefv_core::noise::{measure, NoiseModel};
+use hefv_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deliberately shallow parameter set: the toy ring with only two
+/// 30-bit primes (60-bit q), where the 2^30-word relinearization noise
+/// eats the budget within a few levels.
+fn shallow_params() -> FvParams {
+    let mut p = FvParams::insecure_toy();
+    p.q_primes.truncate(2);
+    p.t = 4;
+    p
+}
+
+#[test]
+fn multiplication_chain_hits_the_noise_cliff() {
+    let ctx = FvContext::new(shallow_params()).unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let one = encrypt(
+        &ctx,
+        &pk,
+        &Plaintext::new(vec![1], ctx.params().t, ctx.params().n),
+        &mut rng,
+    );
+
+    let mut acc = one.clone();
+    let mut failed_at = None;
+    for level in 1..=12 {
+        acc = mul(&ctx, &acc, &one, &rlk, Backend::default());
+        let budget = measure(&ctx, &sk, &acc).budget_bits;
+        let dec = decrypt(&ctx, &sk, &acc);
+        let correct = dec.coeffs()[0] == 1 && dec.coeffs()[1..].iter().all(|&c| c == 0);
+        if budget > 2.0 {
+            assert!(
+                correct,
+                "level {level}: positive budget ({budget:.1}) must decrypt"
+            );
+        }
+        // Once the noise wraps, the measured magnitude saturates at q/2
+        // and the budget pins to ~0 — that is the cliff.
+        if budget <= 0.5 {
+            assert!(
+                !correct,
+                "level {level}: budget {budget:.1} — decryption should have failed"
+            );
+            failed_at = Some(level);
+            break;
+        }
+    }
+    let failed_at = failed_at.expect("the chain must exhaust a 60-bit modulus within 12 levels");
+    assert!(
+        failed_at >= 2,
+        "at least one multiplication must succeed first (failed at {failed_at})"
+    );
+}
+
+#[test]
+fn model_predicts_the_cliff_conservatively() {
+    // The worst-case model's supported depth must not exceed the measured
+    // failure level (it is a lower bound on capability).
+    let ctx = FvContext::new(shallow_params()).unwrap();
+    let model = NoiseModel::new(&ctx);
+    let mut rng = StdRng::seed_from_u64(14);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let one = encrypt(
+        &ctx,
+        &pk,
+        &Plaintext::new(vec![1], ctx.params().t, ctx.params().n),
+        &mut rng,
+    );
+    let mut acc = one.clone();
+    let mut measured_depth = 0;
+    for _ in 1..=12 {
+        acc = mul(&ctx, &acc, &one, &rlk, Backend::default());
+        if decrypt(&ctx, &sk, &acc).coeffs()[0] == 1
+            && measure(&ctx, &sk, &acc).budget_bits > 0.0
+        {
+            measured_depth += 1;
+        } else {
+            break;
+        }
+    }
+    assert!(
+        model.supported_depth() <= measured_depth,
+        "model depth {} must lower-bound measured depth {measured_depth}",
+        model.supported_depth()
+    );
+}
+
+#[test]
+fn oversized_plaintext_coefficients_wrap_not_corrupt() {
+    // Values ≥ t must reduce mod t at encode time, never poison the
+    // ciphertext.
+    let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+    let mut rng = StdRng::seed_from_u64(15);
+    let (sk, pk, _) = keygen(&ctx, &mut rng);
+    let t = ctx.params().t;
+    let pt = Plaintext::new(vec![t, t + 1, 3 * t + 2], t, ctx.params().n);
+    let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+    assert_eq!(decrypt(&ctx, &sk, &ct).coeffs()[..3], [0, 1, 2]);
+}
+
+#[test]
+fn mismatched_keys_decrypt_to_garbage() {
+    // Decrypting under the wrong secret is (overwhelmingly) wrong — the
+    // scheme's basic secrecy sanity check.
+    let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+    let mut rng = StdRng::seed_from_u64(16);
+    let (_, pk, _) = keygen(&ctx, &mut rng);
+    let (other_sk, _, _) = keygen(&ctx, &mut rng);
+    let pt = Plaintext::new(vec![1, 0, 1, 1, 0, 1], ctx.params().t, ctx.params().n);
+    let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+    assert_ne!(decrypt(&ctx, &other_sk, &ct), pt);
+}

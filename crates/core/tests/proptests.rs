@@ -1,0 +1,135 @@
+//! Property-based tests of the FV scheme: correctness of encryption and
+//! homomorphic evaluation over random messages, and agreement between the
+//! traditional-CRT and HPS backends.
+
+use hefv_core::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Fixture {
+    ctx: FvContext,
+    sk: SecretKey,
+    pk: PublicKey,
+    rlk: RelinKey,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xF1F1);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        Fixture { ctx, sk, pk, rlk }
+    })
+}
+
+fn msg_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..16, 1..24)
+}
+
+fn poly_mul_mod_t(a: &[u64], b: &[u64], t: u64, n: usize) -> Vec<u64> {
+    // negacyclic product in R_t
+    let mut out = vec![0i128; n];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            let k = (i + j) % n;
+            let sign = if i + j >= n { -1i128 } else { 1 };
+            out[k] += sign * (x as i128) * (y as i128);
+        }
+    }
+    out.iter()
+        .map(|&v| v.rem_euclid(t as i128) as u64)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encrypt_decrypt_roundtrip(msg in msg_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let t = f.ctx.params().t;
+        let n = f.ctx.params().n;
+        let pt = Plaintext::new(msg, t, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = encrypt(&f.ctx, &f.pk, &pt, &mut rng);
+        prop_assert_eq!(decrypt(&f.ctx, &f.sk, &ct), pt);
+    }
+
+    #[test]
+    fn homomorphic_add_is_plain_add(a in msg_strategy(), b in msg_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let t = f.ctx.params().t;
+        let n = f.ctx.params().n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = encrypt(&f.ctx, &f.pk, &Plaintext::new(a.clone(), t, n), &mut rng);
+        let cb = encrypt(&f.ctx, &f.pk, &Plaintext::new(b.clone(), t, n), &mut rng);
+        let got = decrypt(&f.ctx, &f.sk, &add(&f.ctx, &ca, &cb));
+        let mut expect = vec![0u64; n];
+        for (i, &x) in a.iter().enumerate() { expect[i] = (expect[i] + x) % t; }
+        for (i, &x) in b.iter().enumerate() { expect[i] = (expect[i] + x) % t; }
+        prop_assert_eq!(got.coeffs(), &expect[..]);
+    }
+
+    #[test]
+    fn homomorphic_mul_is_ring_product(a in msg_strategy(), b in msg_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let t = f.ctx.params().t;
+        let n = f.ctx.params().n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = encrypt(&f.ctx, &f.pk, &Plaintext::new(a.clone(), t, n), &mut rng);
+        let cb = encrypt(&f.ctx, &f.pk, &Plaintext::new(b.clone(), t, n), &mut rng);
+        let got = decrypt(&f.ctx, &f.sk, &mul(&f.ctx, &ca, &cb, &f.rlk, Backend::default()));
+        prop_assert_eq!(got.coeffs(), &poly_mul_mod_t(&a, &b, t, n)[..]);
+    }
+
+    #[test]
+    fn backends_agree_bitwise(a in msg_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let t = f.ctx.params().t;
+        let n = f.ctx.params().n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = encrypt(&f.ctx, &f.pk, &Plaintext::new(a, t, n), &mut rng);
+        let trad = mul(&f.ctx, &ca, &ca, &f.rlk, Backend::Traditional);
+        let hps_f = mul(&f.ctx, &ca, &ca, &f.rlk, Backend::Hps(HpsPrecision::F64));
+        let hps_x = mul(&f.ctx, &ca, &ca, &f.rlk, Backend::Hps(HpsPrecision::Fixed));
+        prop_assert_eq!(&trad, &hps_f);
+        prop_assert_eq!(&trad, &hps_x);
+    }
+
+    #[test]
+    fn sub_of_self_is_zero(a in msg_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let t = f.ctx.params().t;
+        let n = f.ctx.params().n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = encrypt(&f.ctx, &f.pk, &Plaintext::new(a, t, n), &mut rng);
+        let got = decrypt(&f.ctx, &f.sk, &sub(&f.ctx, &ca, &ca));
+        prop_assert!(got.coeffs().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn mul_plain_matches_ring_product(a in msg_strategy(), b in msg_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let t = f.ctx.params().t;
+        let n = f.ctx.params().n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = encrypt(&f.ctx, &f.pk, &Plaintext::new(a.clone(), t, n), &mut rng);
+        let pb = Plaintext::new(b.clone(), t, n);
+        let got = decrypt(&f.ctx, &f.sk, &mul_plain(&f.ctx, &ca, &pb));
+        prop_assert_eq!(got.coeffs(), &poly_mul_mod_t(&a, &b, t, n)[..]);
+    }
+
+    #[test]
+    fn integer_encoder_is_homomorphic_through_fv(x in -300i64..300, y in -300i64..300, seed in any::<u64>()) {
+        let f = fixture();
+        let enc = IntegerEncoder::new(f.ctx.params().t, f.ctx.params().n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cx = encrypt(&f.ctx, &f.pk, &enc.encode(x), &mut rng);
+        let cy = encrypt(&f.ctx, &f.pk, &enc.encode(y), &mut rng);
+        let sum = decrypt(&f.ctx, &f.sk, &add(&f.ctx, &cx, &cy));
+        prop_assert_eq!(enc.decode(&sum), x + y);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the wire format and the Galois machinery.
+
+use hefv_core::galois::{apply_automorphism, apply_galois, GaloisKey};
+use hefv_core::prelude::*;
+use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Fix {
+    ctx: FvContext,
+    sk: SecretKey,
+    pk: PublicKey,
+}
+
+fn fix() -> &'static Fix {
+    static F: OnceLock<Fix> = OnceLock::new();
+    F.get_or_init(|| {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        Fix { ctx, sk, pk }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wire_roundtrips_any_ciphertext(msg in prop::collection::vec(0u64..16, 1..32), seed in any::<u64>()) {
+        let f = fix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = Plaintext::new(msg, f.ctx.params().t, f.ctx.params().n);
+        let ct = encrypt(&f.ctx, &f.pk, &pt, &mut rng);
+        let bytes = encode_ciphertext(&ct);
+        let back = decode_ciphertext(&f.ctx, &bytes).unwrap();
+        prop_assert_eq!(&back, &ct);
+        prop_assert_eq!(decrypt(&f.ctx, &f.sk, &back), pt);
+    }
+
+    #[test]
+    fn wire_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let f = fix();
+        // Any byte soup must be cleanly rejected or decoded — no panic.
+        let _ = decode_ciphertext(&f.ctx, &bytes);
+    }
+
+    #[test]
+    fn wire_rejects_any_truncation(msg in prop::collection::vec(0u64..16, 1..8), cut in 1usize..64, seed in any::<u64>()) {
+        let f = fix();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = Plaintext::new(msg, f.ctx.params().t, f.ctx.params().n);
+        let ct = encrypt(&f.ctx, &f.pk, &pt, &mut rng);
+        let mut bytes = encode_ciphertext(&ct);
+        let cut = cut.min(bytes.len() - 1);
+        bytes.truncate(bytes.len() - cut);
+        prop_assert!(decode_ciphertext(&f.ctx, &bytes).is_err());
+    }
+
+    #[test]
+    fn automorphism_group_law_holds(ga in 0usize..32, gb in 0usize..32, seed in any::<u64>()) {
+        let f = fix();
+        let n = f.ctx.params().n;
+        let ga = 2 * ga + 1; // odd exponents
+        let gb = 2 * gb + 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-8i64..8)).collect();
+        let p = RnsPoly::from_signed(&coeffs, f.ctx.base_q());
+        let lhs = apply_automorphism(&f.ctx, &apply_automorphism(&f.ctx, &p, gb), ga);
+        let rhs = apply_automorphism(&f.ctx, &p, (ga * gb) % (2 * n));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn automorphism_preserves_addition(seed in any::<u64>()) {
+        let f = fix();
+        let n = f.ctx.params().n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a: Vec<i64> = (0..n).map(|_| rng.gen_range(-8i64..8)).collect();
+        let b: Vec<i64> = (0..n).map(|_| rng.gen_range(-8i64..8)).collect();
+        let pa = RnsPoly::from_signed(&a, f.ctx.base_q());
+        let pb = RnsPoly::from_signed(&b, f.ctx.base_q());
+        let g = 5;
+        let lhs = apply_automorphism(&f.ctx, &pa.add(&pb, f.ctx.base_q()), g);
+        let rhs = apply_automorphism(&f.ctx, &pa, g)
+            .add(&apply_automorphism(&f.ctx, &pb, g), f.ctx.base_q());
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn rotated_ciphertext_composes_with_homomorphic_add() {
+    // σ_g(ct_a + ct_b) decrypts to σ_g(m_a + m_b): rotation and addition
+    // commute through the encrypted domain.
+    let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let (sk, pk, _) = keygen(&ctx, &mut rng);
+    let g = 3;
+    let key = GaloisKey::generate(&ctx, &sk, g, &mut rng);
+    let pa = Plaintext::new(vec![1, 0, 1], 2, ctx.params().n);
+    let pb = Plaintext::new(vec![0, 1, 1], 2, ctx.params().n);
+    let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+    let cb = encrypt(&ctx, &pk, &pb, &mut rng);
+    let lhs = apply_galois(&ctx, &add(&ctx, &ca, &cb), &key);
+    let rhs = add(
+        &ctx,
+        &apply_galois(&ctx, &ca, &key),
+        &apply_galois(&ctx, &cb, &key),
+    );
+    assert_eq!(decrypt(&ctx, &sk, &lhs), decrypt(&ctx, &sk, &rhs));
+}

@@ -1,0 +1,727 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! The paper's *traditional CRT* datapath (Fig. 5 and Fig. 8) performs
+//! long-integer summation-of-products, division by `q` (via multiplication by
+//! a stored reciprocal) and multi-precision modular reduction. This module is
+//! the software equivalent, and also serves as the exactness oracle against
+//! which the HPS approximate datapath is property-tested.
+//!
+//! Representation: little-endian `u64` limbs, normalized (no trailing zero
+//! limbs; zero is the empty limb vector).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Rem, Shl, Shr, Sub, SubAssign};
+
+/// Arbitrary-precision unsigned integer (little-endian `u64` limbs).
+///
+/// # Example
+///
+/// ```
+/// use hefv_math::bigint::UBig;
+/// let a = UBig::from(u64::MAX);
+/// let b = &a * &a;
+/// let (quot, rem) = b.div_rem(&a);
+/// assert_eq!(quot, a);
+/// assert_eq!(rem, UBig::zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value 0.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Builds from little-endian limbs (normalizes trailing zeros).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        UBig { limbs }
+    }
+
+    /// Little-endian limb view.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The value of bit `i` (false beyond the top).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+    }
+
+    /// Converts to `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64` (with rounding; infinite for huge values).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + l as f64;
+        }
+        acc
+    }
+
+    /// `self * rhs` where `rhs` is a single limb.
+    pub fn mul_u64(&self, rhs: u64) -> UBig {
+        if rhs == 0 || self.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let t = l as u128 * rhs as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// `self mod m` where `m` is a single nonzero limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "division by zero");
+        let mut r = 0u128;
+        for &l in self.limbs.iter().rev() {
+            r = ((r << 64) | l as u128) % m as u128;
+        }
+        r as u64
+    }
+
+    /// Euclidean division: returns `(self / rhs, self mod rhs)`.
+    ///
+    /// Knuth Algorithm D for multi-limb divisors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &UBig) -> (UBig, UBig) {
+        assert!(!rhs.is_zero(), "division by zero");
+        match self.cmp(rhs) {
+            Ordering::Less => return (UBig::zero(), self.clone()),
+            Ordering::Equal => return (UBig::one(), UBig::zero()),
+            Ordering::Greater => {}
+        }
+        if rhs.limbs.len() == 1 {
+            let d = rhs.limbs[0];
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut r = 0u128;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (r << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                r = cur % d as u128;
+            }
+            return (UBig::from_limbs(q), UBig::from(r as u64));
+        }
+
+        // Knuth D. Normalize so the divisor's top limb has its MSB set.
+        let shift = rhs.limbs.last().unwrap().leading_zeros() as usize;
+        let v = rhs << shift;
+        let mut u = (self << shift).limbs;
+        let n = v.limbs.len();
+        let m = u.len() - n;
+        u.push(0); // u has m + n + 1 limbs
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate qhat from the top two limbs of the current remainder
+            // against the top limb of v.
+            let numer = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = numer / vn[n - 1] as u128;
+            let mut rhat = numer % vn[n - 1] as u128;
+            while qhat >> 64 != 0
+                || qhat * vn[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-subtract qhat * v from u[j .. j+n].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            let went_negative = sub < 0;
+
+            q[j] = qhat as u64;
+            if went_negative {
+                // Add back one v (Knuth's rare correction step).
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let t = u[j + i] as u128 + vn[i] as u128 + carry;
+                    u[j + i] = t as u64;
+                    carry = t >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+        }
+        u.truncate(n);
+        let rem = &UBig::from_limbs(u) >> shift;
+        (UBig::from_limbs(q), rem)
+    }
+
+    /// Rounded division `round(self / rhs)` (ties round up, matching the
+    /// paper's `⌈·⌋` notation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_round(&self, rhs: &UBig) -> UBig {
+        let (q, r) = self.div_rem(rhs);
+        // round up when 2r >= rhs
+        if &(&r + &r) >= rhs {
+            &q + &UBig::one()
+        } else {
+            q
+        }
+    }
+
+    /// Parses from a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty strings or non-digit characters.
+    pub fn from_decimal(s: &str) -> Result<UBig, String> {
+        if s.is_empty() {
+            return Err("empty string".into());
+        }
+        let mut acc = UBig::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or_else(|| format!("bad digit {c:?}"))?;
+            acc = acc.mul_u64(10);
+            acc += &UBig::from(d as u64);
+        }
+        Ok(acc)
+    }
+
+    /// Decimal string representation.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        let chunk = 10_000_000_000_000_000_000u64; // 10^19
+        loop {
+            let (q, r) = cur.div_rem(&UBig::from(chunk));
+            digits.push(r.to_u64().unwrap());
+            if q.is_zero() {
+                break;
+            }
+            cur = q;
+        }
+        let mut s = digits.pop().unwrap().to_string();
+        for d in digits.iter().rev() {
+            s.push_str(&format!("{d:019}"));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig({})", self.to_decimal())
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        UBig::from_limbs(vec![v])
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u128;
+        for i in 0..long.limbs.len() {
+            let t =
+                long.limbs[i] as u128 + short.limbs.get(i).copied().unwrap_or(0) as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &UBig {
+    type Output = UBig;
+    /// # Panics
+    /// Panics if `rhs > self` (unsigned subtraction would underflow).
+    fn sub(self, rhs: &UBig) -> UBig {
+        assert!(self >= rhs, "UBig subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let t = self.limbs[i] as i128 - rhs.limbs.get(i).copied().unwrap_or(0) as i128 + borrow;
+            out.push(t as u64);
+            borrow = t >> 64;
+        }
+        debug_assert_eq!(borrow, 0);
+        UBig::from_limbs(out)
+    }
+}
+
+impl SubAssign<&UBig> for UBig {
+    fn sub_assign(&mut self, rhs: &UBig) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        if self.is_zero() || rhs.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + out[i + j] as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            out[i + rhs.limbs.len()] = carry as u64;
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl Rem for &UBig {
+    type Output = UBig;
+    fn rem(self, rhs: &UBig) -> UBig {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<usize> for &UBig {
+    type Output = UBig;
+    fn shl(self, shift: usize) -> UBig {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+impl Shr<usize> for &UBig {
+    type Output = UBig;
+    fn shr(self, shift: usize) -> UBig {
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return UBig::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+        }
+        UBig::from_limbs(out)
+    }
+}
+
+/// A signed arbitrary-precision integer, as (sign, magnitude).
+///
+/// Used for centered CRT representatives in the traditional `Scale Q→q`
+/// datapath and in noise measurement.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IBig {
+    /// True when the value is negative (zero is always non-negative).
+    negative: bool,
+    magnitude: UBig,
+}
+
+impl IBig {
+    /// Zero.
+    pub fn zero() -> Self {
+        IBig {
+            negative: false,
+            magnitude: UBig::zero(),
+        }
+    }
+
+    /// Builds from sign and magnitude (normalizes −0 to +0).
+    pub fn new(negative: bool, magnitude: UBig) -> Self {
+        let negative = negative && !magnitude.is_zero();
+        IBig {
+            negative,
+            magnitude,
+        }
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &UBig {
+        &self.magnitude
+    }
+
+    /// Whether the value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// `round(self * t / d)` with ties away from zero, as a signed value.
+    pub fn scale_round(&self, t: &UBig, d: &UBig) -> IBig {
+        let scaled = &self.magnitude * t;
+        IBig::new(self.negative, scaled.div_round(d))
+    }
+
+    /// Canonical representative in `[0, m)`.
+    pub fn rem_euclid(&self, m: &UBig) -> UBig {
+        let r = &self.magnitude % m;
+        if self.negative && !r.is_zero() {
+            m - &r
+        } else {
+            r
+        }
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+/// Centers `v ∈ [0, m)` to the representative in `(-m/2, m/2]` as an [`IBig`].
+pub fn center(v: &UBig, m: &UBig) -> IBig {
+    let half = m >> 1;
+    if v > &half {
+        IBig::new(true, m - v)
+    } else {
+        IBig::new(false, v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> UBig {
+        UBig::from_decimal(s).unwrap()
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(UBig::zero().is_zero());
+        assert_eq!(UBig::zero().bits(), 0);
+        assert_eq!(UBig::one().bits(), 1);
+        assert_eq!(UBig::zero().to_decimal(), "0");
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let a = UBig::from_limbs(vec![5, 0, 0]);
+        assert_eq!(a.limbs(), &[5]);
+        assert_eq!(a, UBig::from(5u64));
+    }
+
+    #[test]
+    fn add_sub_roundtrip_u128() {
+        let a = UBig::from(u128::MAX - 12345);
+        let b = UBig::from(987_654_321u64);
+        let s = &a + &b;
+        assert_eq!(&s - &b, a);
+        assert_eq!(&s - &a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &UBig::from(1u64) - &UBig::from(2u64);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (a, b) in [(u64::MAX, u64::MAX), (12345, 67890), (0, 5), (1, u64::MAX)] {
+            let prod = &UBig::from(a) * &UBig::from(b);
+            assert_eq!(prod, UBig::from(a as u128 * b as u128));
+        }
+    }
+
+    #[test]
+    fn mul_large_known_value() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let a = UBig::from(u128::MAX);
+        let sq = &a * &a;
+        let expected = &(&(&UBig::one() << 256) - &(&UBig::one() << 129)) + &UBig::one();
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big("123456789012345678901234567890");
+        assert_eq!(&(&a << 64) >> 64, a);
+        assert_eq!(&(&a << 7) >> 7, a);
+        assert_eq!(&a >> 1000, UBig::zero());
+        assert_eq!((&a << 3), a.mul_u64(8));
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = UBig::from(0b1011u64);
+        assert!(a.bit(0) && a.bit(1) && !a.bit(2) && a.bit(3));
+        assert!(!a.bit(64));
+    }
+
+    #[test]
+    fn div_rem_single_limb() {
+        let a = big("340282366920938463463374607431768211455"); // 2^128-1
+        let (q, r) = a.div_rem(&UBig::from(10u64));
+        assert_eq!(q.to_decimal(), "34028236692093846346337460743176821145");
+        assert_eq!(r.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn div_rem_multi_limb_identity() {
+        let a = big("9999999999999999999999999999999999999999999999999999999999");
+        let b = big("12345678901234567890123456789");
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn div_rem_exercises_correction_step() {
+        // Values engineered with top limbs that trigger the qhat adjustment.
+        let a = UBig::from_limbs(vec![0, 0, u64::MAX, u64::MAX - 1]);
+        let b = UBig::from_limbs(vec![u64::MAX, u64::MAX]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn div_smaller_dividend() {
+        let a = UBig::from(5u64);
+        let b = big("123456789012345678901234567890");
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = UBig::one().div_rem(&UBig::zero());
+    }
+
+    #[test]
+    fn div_round_ties() {
+        // 7/2 = 3.5 -> 4 (ties up); 5/3 -> 2; 4/3 -> 1
+        assert_eq!(
+            UBig::from(7u64).div_round(&UBig::from(2u64)),
+            UBig::from(4u64)
+        );
+        assert_eq!(
+            UBig::from(5u64).div_round(&UBig::from(3u64)),
+            UBig::from(2u64)
+        );
+        assert_eq!(
+            UBig::from(4u64).div_round(&UBig::from(3u64)),
+            UBig::from(1u64)
+        );
+    }
+
+    #[test]
+    fn rem_u64_matches_div_rem() {
+        let a = big("98765432109876543210987654321098765432109876543210");
+        for m in [3u64, 997, 1_073_479_681, u64::MAX] {
+            assert_eq!(
+                a.rem_u64(m),
+                a.div_rem(&UBig::from(m)).1.to_u64().unwrap(),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "123456789012345678901234567890123456789012345678901234567890",
+        ] {
+            assert_eq!(big(s).to_decimal(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_rejects_garbage() {
+        assert!(UBig::from_decimal("").is_err());
+        assert!(UBig::from_decimal("12a3").is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = big("99999999999999999999");
+        let b = big("100000000000000000000");
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(UBig::zero() < UBig::one());
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        let a = &UBig::one() << 100;
+        let expect = 2f64.powi(100);
+        assert!((a.to_f64() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn ibig_center_and_rem_euclid() {
+        let m = UBig::from(97u64);
+        // 96 mod 97 centers to -1
+        let c = center(&UBig::from(96u64), &m);
+        assert!(c.is_negative());
+        assert_eq!(c.magnitude(), &UBig::one());
+        assert_eq!(c.rem_euclid(&m), UBig::from(96u64));
+        // 3 centers to +3
+        let c = center(&UBig::from(3u64), &m);
+        assert!(!c.is_negative());
+        assert_eq!(c.rem_euclid(&m), UBig::from(3u64));
+        // zero stays zero and non-negative
+        let z = IBig::new(true, UBig::zero());
+        assert!(!z.is_negative());
+    }
+
+    #[test]
+    fn ibig_scale_round() {
+        // round(-7 * 2 / 4) = round(-3.5) = -4 (ties away from zero)
+        let v = IBig::new(true, UBig::from(7u64));
+        let r = v.scale_round(&UBig::from(2u64), &UBig::from(4u64));
+        assert!(r.is_negative());
+        assert_eq!(r.magnitude(), &UBig::from(4u64));
+    }
+}

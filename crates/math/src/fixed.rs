@@ -1,0 +1,229 @@
+//! Fixed-point reciprocal arithmetic.
+//!
+//! The HPS algorithm (Halevi-Polyakov-Shoup 2018) uses IEEE-754 doubles for
+//! the divisions by `q_i`. The paper's hardware replaces this with integer
+//! multiplication by stored reciprocals: "The constant reciprocals are stored
+//! in the ROM memory with a precision of 89-bits after the decimal point.
+//! Actually the first 29 bits after the decimal point in each reciprocal
+//! `1/q_i` are all-zeros. Hence, the multiplications are actually computed
+//! between 30-bit `a'_i` and 60 non-zero bits of `1/q_i`." (§V-B2)
+//!
+//! [`SmallReciprocal`] implements exactly that datapath. [`WideReciprocal`]
+//! is the long-integer analogue used by the *traditional* architecture
+//! (Fig. 5 / Fig. 8), where division by `q` (180-bit) or by `q` of a 390-bit
+//! value "is performed by multiplying ... with the reciprocal of q".
+
+use crate::bigint::UBig;
+use serde::{Deserialize, Serialize};
+
+/// Reciprocal of a ~30-bit modulus with 89 fractional bits, stored as the
+/// 60 non-zero bits (the paper's ROM layout).
+///
+/// # Example
+///
+/// ```
+/// use hefv_math::fixed::SmallReciprocal;
+/// let r = SmallReciprocal::new(1_073_479_681);
+/// // round(sum_i y_i / q) computed purely with integer ops:
+/// let v = SmallReciprocal::round_sum(&[r.mul(1_000_000_000)]);
+/// assert_eq!(v, 1); // 1e9 / 1.073e9 ≈ 0.93 → rounds to 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmallReciprocal {
+    q: u64,
+    /// `floor(2^89 / q)`; for a 30-bit `q` this has at most 60 bits.
+    recip: u64,
+}
+
+impl SmallReciprocal {
+    /// Fractional precision in bits (the paper's value).
+    pub const FRAC_BITS: u32 = 89;
+
+    /// Builds the stored reciprocal `floor(2^89 / q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[2^29, 2^31)` — the hardware's 30-bit lane —
+    /// because larger `q` would overflow the 60-bit ROM word.
+    pub fn new(q: u64) -> Self {
+        assert!(
+            (1u64 << 29) <= q && q < (1u64 << 31),
+            "SmallReciprocal requires a 30/31-bit modulus, got {q}"
+        );
+        let recip = ((1u128 << Self::FRAC_BITS) / q as u128) as u64;
+        SmallReciprocal { q, recip }
+    }
+
+    /// The modulus.
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// The stored 60-bit reciprocal word.
+    pub fn stored_word(&self) -> u64 {
+        self.recip
+    }
+
+    /// One MAC term: `y * (1/q)` in Q89 fixed point (`y < 2^31`).
+    #[inline]
+    pub fn mul(&self, y: u64) -> u128 {
+        debug_assert!(y < 1 << 31);
+        y as u128 * self.recip as u128
+    }
+
+    /// Rounds a sum of up to 2^33 Q89 terms to the nearest integer —
+    /// the `v' = round(Σ y_i/q_i)` step of HPS Eq. (2).
+    #[inline]
+    pub fn round_sum(terms: &[u128]) -> u64 {
+        let sum: u128 = terms.iter().sum();
+        ((sum + (1u128 << (Self::FRAC_BITS - 1))) >> Self::FRAC_BITS) as u64
+    }
+}
+
+/// Reciprocal of an arbitrary-size modulus with a configurable fractional
+/// precision, used by the traditional-CRT division blocks.
+///
+/// With `frac_bits >= dividend.bits() + 1`, [`WideReciprocal::div_round`]
+/// is *exact* (a final correction step absorbs the approximation error,
+/// mirroring the RTL's conditional subtract).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WideReciprocal {
+    modulus: UBig,
+    frac_bits: usize,
+    recip: UBig,
+}
+
+impl WideReciprocal {
+    /// Builds `floor(2^frac_bits / modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn new(modulus: UBig, frac_bits: usize) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        let recip = (&UBig::one() << frac_bits).div_rem(&modulus).0;
+        WideReciprocal {
+            modulus,
+            frac_bits,
+            recip,
+        }
+    }
+
+    /// The reciprocal's fractional precision.
+    pub fn frac_bits(&self) -> usize {
+        self.frac_bits
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &UBig {
+        &self.modulus
+    }
+
+    /// Approximate floor division `x / modulus` by reciprocal
+    /// multiplication, then exact correction (at most two adjustment steps
+    /// when `frac_bits >= x.bits()`).
+    pub fn div_floor(&self, x: &UBig) -> UBig {
+        let mut quot = &(x * &self.recip) >> self.frac_bits;
+        // Correct: ensure quot*m <= x < (quot+1)*m.
+        let mut prod = &quot * &self.modulus;
+        while &prod > x {
+            quot -= &UBig::one();
+            prod -= &self.modulus;
+        }
+        while &(&prod + &self.modulus) <= x {
+            quot += &UBig::one();
+            prod += &self.modulus;
+        }
+        quot
+    }
+
+    /// Exact rounded division `round(x / modulus)` (ties up).
+    pub fn div_round(&self, x: &UBig) -> UBig {
+        let q = self.div_floor(x);
+        let rem = x - &(&q * &self.modulus);
+        if &(&rem + &rem) >= &self.modulus {
+            &q + &UBig::one()
+        } else {
+            q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P30: u64 = 1_073_479_681;
+
+    #[test]
+    fn small_reciprocal_top_29_bits_zero() {
+        // The paper's observation: 1/q for a 30-bit q has 29 leading zero
+        // fraction bits, so the stored word fits in 60 bits.
+        let r = SmallReciprocal::new(P30);
+        assert!(r.stored_word() < 1 << 60);
+        assert!(r.stored_word() >= 1 << 59);
+    }
+
+    #[test]
+    fn small_round_matches_rational() {
+        let r = SmallReciprocal::new(P30);
+        for y in [0u64, 1, P30 / 2, P30 - 1, P30, 2 * P30 - 1] {
+            let fixed = SmallReciprocal::round_sum(&[r.mul(y)]);
+            let exact = ((2 * y + P30) / (2 * P30)) as u64; // round(y/q)
+            assert_eq!(fixed, exact, "y={y}");
+        }
+    }
+
+    #[test]
+    fn small_round_sum_of_many() {
+        // 13 terms, as in the paper's 13-prime basis.
+        let qs: Vec<u64> = (0..13).map(|i| P30 - 8192 * i as u64).collect();
+        let rs: Vec<SmallReciprocal> = qs.iter().map(|&q| SmallReciprocal::new(q)).collect();
+        let ys: Vec<u64> = qs.iter().map(|&q| q / 3 + 7).collect();
+        let terms: Vec<u128> = rs.iter().zip(&ys).map(|(r, &y)| r.mul(y)).collect();
+        let fixed = SmallReciprocal::round_sum(&terms);
+        let float: f64 = ys.iter().zip(&qs).map(|(&y, &q)| y as f64 / q as f64).sum();
+        assert_eq!(fixed, float.round() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "30/31-bit modulus")]
+    fn small_rejects_wrong_size() {
+        SmallReciprocal::new(12345);
+    }
+
+    #[test]
+    fn wide_div_floor_exact() {
+        let m = UBig::from_decimal("123456789012345678901234567890123").unwrap();
+        let r = WideReciprocal::new(m.clone(), 512);
+        for mult in [0u64, 1, 7, 1000] {
+            let x = &(&m * &UBig::from(mult)) + &UBig::from(41u64);
+            assert_eq!(r.div_floor(&x), UBig::from(mult));
+        }
+    }
+
+    #[test]
+    fn wide_div_round_matches_bigint() {
+        let m = UBig::from_decimal("987654321987654321987654321").unwrap();
+        let r = WideReciprocal::new(m.clone(), 400);
+        let xs = [
+            UBig::from_decimal("123456789123456789123456789123456789").unwrap(),
+            UBig::from(5u64),
+            &m >> 1, // just below the rounding boundary
+            &(&m >> 1) + &UBig::one(),
+        ];
+        for x in xs {
+            assert_eq!(r.div_round(&x), x.div_round(&m), "x={x}");
+        }
+    }
+
+    #[test]
+    fn wide_low_precision_still_corrected() {
+        // Even with insufficient precision the correction loop makes the
+        // result exact (just slower) — this exercises the adjust path.
+        let m = UBig::from(1_000_003u64);
+        let r = WideReciprocal::new(m.clone(), 24);
+        let x = UBig::from(123_456_789_012u64);
+        assert_eq!(r.div_floor(&x), UBig::from(123_456_789_012u64 / 1_000_003));
+    }
+}

@@ -1,0 +1,50 @@
+//! # hefv-math
+//!
+//! Arithmetic substrate for the HEAT-rs reproduction of the HPCA 2019 paper
+//! *"FPGA-Based High-Performance Parallel Architecture for Homomorphic
+//! Computing on Encrypted Data"* (Sinha Roy et al.).
+//!
+//! This crate implements, in pure Rust, every arithmetic building block the
+//! paper's FPGA datapath implements in Verilog:
+//!
+//! * [`zq`] — arithmetic modulo 30-bit NTT-friendly primes, including both a
+//!   Barrett-style reduction and the paper's §V-A4 *sliding-window* reduction.
+//! * [`primes`] — generation of the RNS bases (`q_i ≡ 1 mod 2n`).
+//! * [`bigint`] — arbitrary-precision integers used by the *traditional CRT*
+//!   datapath (Fig. 5 / Fig. 8) and as the exactness oracle for HPS.
+//! * [`ntt`] — the negacyclic Number Theoretic Transform with precomputed
+//!   twiddle tables (the paper stores twiddles in on-chip ROM).
+//! * [`poly`] — residue polynomials and coefficient-wise operations.
+//! * [`rns`] — RNS contexts: exact CRT reconstruction, traditional and HPS
+//!   base extension (`Lift q→Q`), traditional and HPS scaling (`Scale Q→q`).
+//! * [`fixed`] — the fixed-point reciprocal arithmetic the paper substitutes
+//!   for HPS's floating-point divisions (89-bit fractions).
+//!
+//! # Example
+//!
+//! ```
+//! use hefv_math::{ntt::NttTable, primes::ntt_prime, zq::Modulus};
+//!
+//! let q = ntt_prime(30, 1 << 8, 0).expect("prime exists");
+//! let table = NttTable::new(Modulus::new(q), 1 << 8).expect("NTT-friendly");
+//! let mut a = vec![0u64; 256];
+//! a[1] = 1; // the polynomial x
+//! let orig = a.clone();
+//! table.forward(&mut a);
+//! table.inverse(&mut a);
+//! assert_eq!(a, orig);
+//! ```
+
+pub mod bigint;
+pub mod fixed;
+pub mod ntt;
+pub mod poly;
+pub mod primes;
+pub mod rns;
+pub mod zq;
+
+pub use bigint::UBig;
+pub use ntt::NttTable;
+pub use poly::ResiduePoly;
+pub use rns::{RnsBasis, RnsContext};
+pub use zq::Modulus;

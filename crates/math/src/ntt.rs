@@ -1,0 +1,390 @@
+//! Negacyclic Number Theoretic Transform over `Z_q[x]/(x^n + 1)`.
+//!
+//! Implements the iterative NTT of the paper's Alg. 1 in its merged
+//! negacyclic form (twiddles are powers of a primitive `2n`-th root `ψ`, so
+//! no separate pre-/post-multiplication by `ψ^i` is needed). Twiddle factors
+//! are precomputed and stored — the paper stores them in on-chip ROM
+//! precisely to avoid the 20% pipeline-bubble penalty of computing them on
+//! the fly (§V-A4).
+//!
+//! * [`NttTable::forward`]: Cooley-Tukey decimation-in-time butterflies;
+//!   natural-order input, bit-reversed output.
+//! * [`NttTable::inverse`]: Gentleman-Sande butterflies; bit-reversed input,
+//!   natural-order output, with the final scaling by `n^{-1}` folded in.
+//!
+//! Pointwise multiplication between two forward transforms followed by the
+//! inverse transform computes negacyclic convolution, which the test suite
+//! checks against a schoolbook reference.
+
+use crate::primes::primitive_2n_root;
+use crate::zq::{Modulus, ShoupMul};
+
+/// Bit-reverses the low `log2(n)` bits of `i`.
+#[inline]
+pub fn bit_reverse(i: usize, log_n: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - log_n)
+}
+
+/// Applies the bit-reversal permutation in place.
+///
+/// This is the paper's `BitReverse()` step, realized in hardware by the
+/// *Memory Rearrange* instruction (Table II).
+///
+/// # Panics
+///
+/// Panics if `a.len()` is not a power of two.
+pub fn bit_reverse_permute<T>(a: &mut [T]) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let log_n = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, log_n);
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+}
+
+/// Precomputed twiddle tables for a fixed `(q, n)` pair.
+///
+/// # Example
+///
+/// ```
+/// use hefv_math::{ntt::NttTable, primes::ntt_prime, zq::Modulus};
+/// let n = 64;
+/// let q = ntt_prime(30, n, 0).unwrap();
+/// let t = NttTable::new(Modulus::new(q), n).unwrap();
+/// // (x + 1)^2 = x^2 + 2x + 1 in Z_q[x]/(x^64 + 1)
+/// let mut a = vec![0u64; n]; a[0] = 1; a[1] = 1;
+/// let mut b = a.clone();
+/// t.forward(&mut a);
+/// t.forward(&mut b);
+/// let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| t.modulus().mul(x, y)).collect();
+/// t.inverse(&mut c);
+/// assert_eq!(&c[..3], &[1, 2, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    modulus: Modulus,
+    n: usize,
+    log_n: u32,
+    /// ψ^brev(i) with Shoup constants, for the CT forward pass.
+    psi_brev: Vec<ShoupMul>,
+    /// ψ^{-brev(i)} with Shoup constants, for the GS inverse pass.
+    inv_psi_brev: Vec<ShoupMul>,
+    /// n^{-1} mod q.
+    n_inv: ShoupMul,
+    /// ψ, kept for inspection / the simulator's ROM model.
+    psi: u64,
+}
+
+impl NttTable {
+    /// Builds twiddle tables for ring degree `n` (a power of two) over
+    /// prime modulus `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q` does not support a primitive `2n`-th root.
+    pub fn new(modulus: Modulus, n: usize) -> Result<Self, String> {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        let q = modulus.value();
+        let psi = primitive_2n_root(q, n)?;
+        let psi_inv = modulus.inv(psi);
+        let log_n = n.trailing_zeros();
+
+        let mut psi_pows = vec![1u64; n];
+        let mut inv_pows = vec![1u64; n];
+        for i in 1..n {
+            psi_pows[i] = modulus.mul(psi_pows[i - 1], psi);
+            inv_pows[i] = modulus.mul(inv_pows[i - 1], psi_inv);
+        }
+        let psi_brev = (0..n)
+            .map(|i| ShoupMul::new(psi_pows[bit_reverse(i, log_n)], q))
+            .collect();
+        let inv_psi_brev = (0..n)
+            .map(|i| ShoupMul::new(inv_pows[bit_reverse(i, log_n)], q))
+            .collect();
+        let n_inv = ShoupMul::new(modulus.inv(n as u64), q);
+        Ok(NttTable {
+            modulus,
+            n,
+            log_n,
+            psi_brev,
+            inv_psi_brev,
+            n_inv,
+            psi,
+        })
+    }
+
+    /// The modulus this table transforms over.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// Ring degree `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2(n)` — the number of butterfly stages.
+    pub fn stages(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The primitive `2n`-th root of unity used.
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Twiddle `ψ^brev(i)` (the ROM contents of the paper's NTT core).
+    pub fn twiddle(&self, i: usize) -> u64 {
+        self.psi_brev[i].w
+    }
+
+    /// Inverse twiddle `ψ^{-brev(i)}` (the inverse-NTT ROM contents).
+    pub fn inv_twiddle(&self, i: usize) -> u64 {
+        self.inv_psi_brev[i].w
+    }
+
+    /// `n^{-1} mod q`, applied by the inverse transform's scaling pass.
+    pub fn n_inv(&self) -> u64 {
+        self.n_inv.w
+    }
+
+    /// Forward negacyclic NTT: natural-order input, bit-reversed output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        let q = self.modulus.value();
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_brev[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = s.mul(a[j + t], q);
+                    a[j] = self.modulus.add(u, v);
+                    a[j + t] = self.modulus.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// Inverse negacyclic NTT: bit-reversed input, natural-order output,
+    /// including the `n^{-1}` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        let q = self.modulus.value();
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.inv_psi_brev[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = self.modulus.add(u, v);
+                    a[j + t] = s.mul(self.modulus.sub(u, v), q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// Negacyclic convolution `a * b mod (x^n + 1, q)` via NTT.
+    ///
+    /// A convenience wrapper used by tests and the software FV backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ from `n`.
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = self.modulus.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication; the O(n²) reference oracle.
+pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = modulus.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = modulus.add(out[k], prod);
+            } else {
+                out[k - n] = modulus.sub(out[k - n], prod); // x^n = -1
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::ntt_prime;
+
+    fn table(n: usize) -> NttTable {
+        let q = ntt_prime(30, n, 0).unwrap();
+        NttTable::new(Modulus::new(q), n).unwrap()
+    }
+
+    #[test]
+    fn bit_reverse_basics() {
+        assert_eq!(bit_reverse(0, 3), 0);
+        assert_eq!(bit_reverse(1, 3), 4);
+        assert_eq!(bit_reverse(3, 3), 6);
+        assert_eq!(bit_reverse(7, 3), 7);
+    }
+
+    #[test]
+    fn bit_reverse_permute_is_involution() {
+        let mut v: Vec<usize> = (0..64).collect();
+        let orig = v.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, orig);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [4usize, 16, 256, 4096] {
+            let t = table(n);
+            let q = t.modulus().value();
+            let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 0x9E3779B9 + 7) % q).collect();
+            let orig = a.clone();
+            t.forward(&mut a);
+            assert_ne!(a, orig, "transform must change a generic vector");
+            t.inverse(&mut a);
+            assert_eq!(a, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn transform_of_constant() {
+        // NTT of the constant polynomial c is c at every evaluation point.
+        let n = 16;
+        let t = table(n);
+        let mut a = vec![42u64; 1].into_iter().chain(vec![0; n - 1]).collect::<Vec<_>>();
+        t.forward(&mut a);
+        assert!(a.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let t = table(n);
+        let q = t.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| i * i % q.value()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % q.value()).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+        let (mut fa, mut fb, mut fs) = (a.clone(), b.clone(), sum.clone());
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        for i in 0..n {
+            assert_eq!(fs[i], q.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn convolution_matches_schoolbook() {
+        for n in [8usize, 32, 128] {
+            let t = table(n);
+            let q = t.modulus().value();
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 7919 + 13) % q).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| (i * 104729 + 3) % q).collect();
+            let fast = t.negacyclic_mul(&a, &b);
+            let slow = negacyclic_mul_schoolbook(&a, &b, t.modulus());
+            assert_eq!(fast, slow, "n={n}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // x^(n-1) * x = x^n = -1
+        let n = 8;
+        let t = table(n);
+        let q = t.modulus().value();
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        let c = t.negacyclic_mul(&a, &b);
+        assert_eq!(c[0], q - 1, "constant term is -1");
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn twiddles_are_roots_of_unity() {
+        let n = 256;
+        let t = table(n);
+        let m = t.modulus();
+        assert_eq!(m.pow(t.psi(), 2 * n as u64), 1);
+        assert_eq!(m.pow(t.psi(), n as u64), m.value() - 1);
+        // Table entry 1 is psi^brev(1) = psi^(n/2), a primitive 4th root.
+        let w = t.twiddle(1);
+        assert_eq!(m.mul(w, w), m.value() - 1);
+    }
+
+    #[test]
+    fn paper_sized_transform() {
+        // The paper's n = 4096 with a 30-bit prime; full roundtrip plus a
+        // spot convolution against schoolbook on sparse inputs.
+        let n = 4096;
+        let t = table(n);
+        let q = t.modulus().value();
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a[0] = 3;
+        a[2048] = q - 2;
+        b[1] = 5;
+        b[4095] = 7;
+        let fast = t.negacyclic_mul(&a, &b);
+        let slow = negacyclic_mul_schoolbook(&a, &b, t.modulus());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn forward_rejects_wrong_length() {
+        let t = table(16);
+        let mut a = vec![0u64; 8];
+        t.forward(&mut a);
+    }
+}

@@ -1,0 +1,288 @@
+//! Residue polynomials: elements of `Z_{q_i}[x]/(x^n + 1)` for one RNS prime.
+//!
+//! A [`ResiduePoly`] is what one of the paper's RPAUs operates on: 4096
+//! coefficients, each under 30 bits. Coefficient-wise addition, subtraction
+//! and (NTT-domain) multiplication are the RPAU's `CWA`/`CWS`/`CWM`
+//! instructions.
+
+use crate::ntt::NttTable;
+use crate::zq::Modulus;
+use serde::{Deserialize, Serialize};
+
+/// A polynomial with coefficients in `[0, q_i)` for a single RNS prime.
+///
+/// Whether the coefficients are in the ordinary (coefficient) domain or the
+/// NTT (evaluation) domain is tracked by the caller; the arithmetic here is
+/// domain-agnostic coefficient-wise work, matching the RPAU instructions.
+///
+/// # Example
+///
+/// ```
+/// use hefv_math::{poly::ResiduePoly, zq::Modulus};
+/// let q = Modulus::new(97);
+/// let a = ResiduePoly::from_coeffs(vec![1, 2, 3, 4], q);
+/// let b = a.add(&a);
+/// assert_eq!(b.coeffs(), &[2, 4, 6, 8]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResiduePoly {
+    coeffs: Vec<u64>,
+    modulus: Modulus,
+}
+
+impl ResiduePoly {
+    /// The zero polynomial of degree bound `n`.
+    pub fn zero(n: usize, modulus: Modulus) -> Self {
+        ResiduePoly {
+            coeffs: vec![0; n],
+            modulus,
+        }
+    }
+
+    /// Builds from coefficients, reducing each into `[0, q)`.
+    pub fn from_coeffs(coeffs: Vec<u64>, modulus: Modulus) -> Self {
+        let coeffs = coeffs.into_iter().map(|c| modulus.reduce(c)).collect();
+        ResiduePoly { coeffs, modulus }
+    }
+
+    /// Builds from signed coefficients (maps into `[0, q)`).
+    pub fn from_signed(coeffs: &[i64], modulus: Modulus) -> Self {
+        ResiduePoly {
+            coeffs: coeffs.iter().map(|&c| modulus.from_i64(c)).collect(),
+            modulus,
+        }
+    }
+
+    /// The coefficients.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable coefficient access.
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// Degree bound `n`.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True iff the polynomial has no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// True iff all coefficients are zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    fn check_compat(&self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        assert_eq!(
+            self.modulus.value(),
+            other.modulus.value(),
+            "modulus mismatch"
+        );
+    }
+
+    /// Coefficient-wise addition (the RPAU `CWA` instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or moduli differ.
+    pub fn add(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        ResiduePoly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| self.modulus.add(a, b))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Coefficient-wise subtraction (the RPAU `CWS` instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or moduli differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        ResiduePoly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| self.modulus.sub(a, b))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Coefficient-wise negation.
+    pub fn neg(&self) -> Self {
+        ResiduePoly {
+            coeffs: self.coeffs.iter().map(|&a| self.modulus.neg(a)).collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Coefficient-wise (Hadamard) product — the RPAU `CWM` instruction,
+    /// meaningful for NTT-domain operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths or moduli differ.
+    pub fn pointwise_mul(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        ResiduePoly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| self.modulus.mul(a, b))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scalar_mul(&self, s: u64) -> Self {
+        let s = self.modulus.reduce(s);
+        ResiduePoly {
+            coeffs: self.coeffs.iter().map(|&a| self.modulus.mul(a, s)).collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// In-place forward NTT using the given table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's modulus or size differ from this polynomial's.
+    pub fn ntt_forward(&mut self, table: &NttTable) {
+        assert_eq!(table.modulus().value(), self.modulus.value());
+        table.forward(&mut self.coeffs);
+    }
+
+    /// In-place inverse NTT using the given table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's modulus or size differ from this polynomial's.
+    pub fn ntt_inverse(&mut self, table: &NttTable) {
+        assert_eq!(table.modulus().value(), self.modulus.value());
+        table.inverse(&mut self.coeffs);
+    }
+
+    /// Full negacyclic product via the table (forward × forward → inverse).
+    pub fn negacyclic_mul(&self, other: &Self, table: &NttTable) -> Self {
+        self.check_compat(other);
+        ResiduePoly {
+            coeffs: table.negacyclic_mul(&self.coeffs, &other.coeffs),
+            modulus: self.modulus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::ntt_prime;
+
+    fn modulus() -> Modulus {
+        Modulus::new(97)
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        let p = ResiduePoly::zero(8, modulus());
+        assert!(p.is_zero());
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn from_coeffs_reduces() {
+        let p = ResiduePoly::from_coeffs(vec![97, 98, 200], modulus());
+        assert_eq!(p.coeffs(), &[0, 1, 6]);
+    }
+
+    #[test]
+    fn from_signed_maps() {
+        let p = ResiduePoly::from_signed(&[-1, -96, 5], modulus());
+        assert_eq!(p.coeffs(), &[96, 1, 5]);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = ResiduePoly::from_coeffs(vec![1, 2, 3], modulus());
+        let b = ResiduePoly::from_coeffs(vec![96, 95, 94], modulus());
+        let s = a.add(&b);
+        assert_eq!(s.coeffs(), &[0, 0, 0]);
+        assert_eq!(a.sub(&b).coeffs(), &[2, 4, 6]);
+        assert_eq!(a.neg().coeffs(), &[96, 95, 94]);
+    }
+
+    #[test]
+    fn pointwise_and_scalar() {
+        let a = ResiduePoly::from_coeffs(vec![2, 3, 4], modulus());
+        let b = ResiduePoly::from_coeffs(vec![10, 20, 30], modulus());
+        assert_eq!(a.pointwise_mul(&b).coeffs(), &[20, 60, 23]);
+        assert_eq!(a.scalar_mul(50).coeffs(), &[3, 53, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_length_mismatch_panics() {
+        let a = ResiduePoly::zero(4, modulus());
+        let b = ResiduePoly::zero(8, modulus());
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus mismatch")]
+    fn add_modulus_mismatch_panics() {
+        let a = ResiduePoly::zero(4, Modulus::new(97));
+        let b = ResiduePoly::zero(4, Modulus::new(101));
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn ntt_roundtrip_through_poly() {
+        let n = 128;
+        let q = ntt_prime(30, n, 0).unwrap();
+        let m = Modulus::new(q);
+        let table = NttTable::new(m, n).unwrap();
+        let mut p =
+            ResiduePoly::from_coeffs((0..n as u64).map(|i| i * 37 + 11).collect(), m);
+        let orig = p.clone();
+        p.ntt_forward(&table);
+        p.ntt_inverse(&table);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn negacyclic_mul_via_poly() {
+        let n = 32;
+        let q = ntt_prime(30, n, 0).unwrap();
+        let m = Modulus::new(q);
+        let table = NttTable::new(m, n).unwrap();
+        let a = ResiduePoly::from_signed(&vec![1i64; n], m);
+        let one = {
+            let mut c = vec![0i64; n];
+            c[0] = 1;
+            ResiduePoly::from_signed(&c, m)
+        };
+        assert_eq!(a.negacyclic_mul(&one, &table), a);
+    }
+}

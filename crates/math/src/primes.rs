@@ -1,0 +1,236 @@
+//! Generation of NTT-friendly RNS primes.
+//!
+//! The paper builds its RNS bases from 30-bit primes: six primes for `q`
+//! (180 bits) and seven more for `p = Q/q` (so `Q = q·p` is 390 bits).
+//! Negacyclic NTT over `Z_q[x]/(x^n + 1)` requires a primitive `2n`-th root
+//! of unity, i.e. primes with `q ≡ 1 (mod 2n)`.
+
+use crate::zq::Modulus;
+
+#[inline]
+fn mulmod(a: u64, b: u64, n: u64) -> u64 {
+    ((a as u128 * b as u128) % n as u128) as u64
+}
+
+fn powmod(mut base: u64, mut exp: u64, n: u64) -> u64 {
+    let mut acc = 1u64 % n;
+    base %= n;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, n);
+        }
+        base = mulmod(base, base, n);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller-Rabin primality test, exact for all `n < 2^64`.
+///
+/// Uses the standard 12-base witness set.
+///
+/// # Example
+///
+/// ```
+/// use hefv_math::primes::is_prime;
+/// assert!(is_prime(1_073_479_681));
+/// assert!(!is_prime(1_073_479_683));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let d = n - 1;
+    let s = d.trailing_zeros();
+    let d = d >> s;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns the `index`-th largest prime `q < 2^bits` with `q ≡ 1 (mod 2n)`.
+///
+/// Scanning downward from `2^bits` guarantees distinct primes for distinct
+/// indices, which is how the RNS bases are assembled.
+///
+/// Returns `None` if no such prime exists in `[2n+1, 2^bits)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 62, or if `n` is not a power of two.
+pub fn ntt_prime(bits: u32, n: usize, index: usize) -> Option<u64> {
+    assert!(bits > 0 && bits <= 62, "prime size out of range");
+    assert!(n.is_power_of_two(), "ring degree must be a power of two");
+    let step = 2 * n as u64;
+    let top = 1u64 << bits;
+    // Largest candidate ≡ 1 (mod 2n) below 2^bits.
+    let mut cand = top - ((top - 1) % step);
+    let mut found = 0usize;
+    while cand > step {
+        if is_prime(cand) {
+            if found == index {
+                return Some(cand);
+            }
+            found += 1;
+        }
+        cand -= step;
+    }
+    None
+}
+
+/// Generates `count` distinct NTT-friendly primes of the given bit size for
+/// ring degree `n` (all `≡ 1 mod 2n`), largest first.
+///
+/// # Errors
+///
+/// Returns an error message if the range does not contain enough primes.
+pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Result<Vec<u64>, String> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        match ntt_prime(bits, n, i) {
+            Some(p) => out.push(p),
+            None => {
+                return Err(format!(
+                    "only {i} NTT-friendly {bits}-bit primes exist for n={n}, need {count}"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Finds a primitive `2n`-th root of unity modulo prime `q`.
+///
+/// Requires `q ≡ 1 (mod 2n)`. The returned `ψ` satisfies `ψ^n ≡ -1 (mod q)`
+/// (hence `ψ^{2n} ≡ 1`), which is exactly what the negacyclic NTT needs.
+///
+/// # Errors
+///
+/// Returns an error if `q ≢ 1 (mod 2n)`.
+pub fn primitive_2n_root(q: u64, n: usize) -> Result<u64, String> {
+    let m = Modulus::new(q);
+    let two_n = 2 * n as u64;
+    if (q - 1) % two_n != 0 {
+        return Err(format!("q={q} is not ≡ 1 mod 2n (n={n})"));
+    }
+    let cofactor = (q - 1) / two_n;
+    // Try small bases; x^cofactor is a 2n-th root of unity, primitive iff
+    // its n-th power is -1.
+    for base in 2u64.. {
+        if base >= q {
+            break;
+        }
+        let cand = m.pow(base, cofactor);
+        if m.pow(cand, n as u64) == q - 1 {
+            return Ok(cand);
+        }
+        if base > 1000 {
+            break;
+        }
+    }
+    Err(format!("no primitive 2n-th root found for q={q}, n={n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_prime_small() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 101];
+        let composites = [0u64, 1, 4, 6, 9, 15, 91, 100];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn is_prime_carmichael() {
+        // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041] {
+            assert!(!is_prime(c), "{c} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn is_prime_large() {
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne
+        assert!(is_prime(0xFFFF_FFFF_FFFF_FFC5)); // largest prime < 2^64
+        assert!(!is_prime(u64::MAX));
+    }
+
+    #[test]
+    fn ntt_prime_properties() {
+        let n = 4096;
+        let p = ntt_prime(30, n, 0).unwrap();
+        assert!(is_prime(p));
+        assert!(p < 1 << 30);
+        assert_eq!((p - 1) % (2 * n as u64), 0);
+    }
+
+    #[test]
+    fn ntt_primes_distinct_and_sorted() {
+        let n = 4096;
+        let ps = ntt_primes(30, n, 13).unwrap();
+        assert_eq!(ps.len(), 13);
+        for w in ps.windows(2) {
+            assert!(w[0] > w[1], "descending and distinct");
+        }
+        for &p in &ps {
+            assert!(is_prime(p) && (p - 1) % (2 * n as u64) == 0);
+        }
+        // Six 30-bit primes give a 180-bit q, as in the paper.
+        let total_bits: u32 = ps.iter().take(6).map(|p| 64 - p.leading_zeros()).sum();
+        assert_eq!(total_bits, 180);
+    }
+
+    #[test]
+    fn root_is_primitive() {
+        let n = 256;
+        let q = ntt_prime(30, n, 0).unwrap();
+        let m = Modulus::new(q);
+        let psi = primitive_2n_root(q, n).unwrap();
+        assert_eq!(m.pow(psi, n as u64), q - 1, "psi^n = -1");
+        assert_eq!(m.pow(psi, 2 * n as u64), 1, "psi^2n = 1");
+        // Primitivity: psi^k != 1 for all proper divisors of 2n.
+        assert_ne!(m.pow(psi, n as u64), 1);
+        assert_ne!(m.pow(psi, n as u64 / 2), 1);
+    }
+
+    #[test]
+    fn root_rejects_bad_modulus() {
+        assert!(primitive_2n_root(97, 4096).is_err());
+    }
+
+    #[test]
+    fn paper_parameter_bases_exist() {
+        // The paper's parameter set: thirteen 30-bit primes for n = 4096.
+        let ps = ntt_primes(30, 4096, 13).unwrap();
+        assert_eq!(ps.len(), 13);
+        // And the Table V scaled sets remain satisfiable at n = 2^15.
+        let ps = ntt_primes(30, 1 << 15, 48);
+        assert!(ps.is_ok(), "48 primes needed for the (2^15, 1440-bit) set");
+    }
+}

@@ -1,0 +1,504 @@
+//! Arithmetic modulo small (≤ 62-bit, typically 30-bit) primes.
+//!
+//! The paper's residue arithmetic cores operate on 30-bit primes so that a
+//! product fits in one 60-bit DSP-chain result. Two reduction strategies are
+//! provided:
+//!
+//! * [`Modulus::reduce`] — Barrett-style reduction, used by the software
+//!   library for speed.
+//! * [`Modulus::reduce_sliding_window`] — the iterative 6-bit sliding-window
+//!   reduction of §V-A4 ("a table containing 64 integers `w · 2^30 mod q`"),
+//!   which is what the RTL implements. Both agree bit-for-bit and the test
+//!   suite checks this.
+//!
+//! For NTT inner loops, [`ShoupMul`] provides Victor Shoup's fused
+//! multiply-reduce for a fixed multiplicand (the FPGA's equivalent is the
+//! pipelined multiplier + reduction unit of Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A modulus `q` with precomputed reduction constants.
+///
+/// Supports any odd `q` with `3 <= q < 2^62`, which covers the paper's 30-bit
+/// RNS primes as well as the larger moduli used in tests.
+///
+/// # Example
+///
+/// ```
+/// use hefv_math::zq::Modulus;
+/// let q = Modulus::new(1_073_479_681); // a 30-bit NTT-friendly prime
+/// assert_eq!(q.mul(q.value() - 1, q.value() - 1), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Modulus {
+    q: u64,
+    /// floor(2^128 / q), stored as (hi, lo) 64-bit halves.
+    barrett_hi: u64,
+    barrett_lo: u64,
+}
+
+impl Modulus {
+    /// Creates a new modulus with precomputed Barrett constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 3` or `q >= 2^62`.
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 3, "modulus must be at least 3");
+        assert!(q < (1u64 << 62), "modulus must be below 2^62");
+        // floor(2^128 / q) via 128-bit long division in two halves.
+        let hi = u128::MAX / q as u128; // floor((2^128 - 1) / q)
+        // (2^128 - 1)/q and 2^128/q differ only when q | 2^128, impossible for odd q>1;
+        // for even q it can differ by 1, but we only ever use odd moduli. Still, be exact:
+        let r = u128::MAX % q as u128;
+        let exact = if r == q as u128 - 1 { hi + 1 } else { hi };
+        Modulus {
+            q,
+            barrett_hi: (exact >> 64) as u64,
+            barrett_lo: exact as u64,
+        }
+    }
+
+    /// The modulus value.
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        self.q
+    }
+
+    /// Number of significant bits of `q`.
+    pub fn bits(&self) -> u32 {
+        64 - self.q.leading_zeros()
+    }
+
+    /// Reduces a full 128-bit value modulo `q` (Barrett).
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // q_hat = floor(x * floor(2^128/q) / 2^128) approximates floor(x/q)
+        // with error at most 2. Standard Barrett argument.
+        let xl = x as u64;
+        let xh = (x >> 64) as u64;
+        // (xh*2^64 + xl) * (bh*2^64 + bl) >> 128
+        let ll = (xl as u128 * self.barrett_lo as u128) >> 64;
+        let lh = xl as u128 * self.barrett_hi as u128;
+        let hl = xh as u128 * self.barrett_lo as u128;
+        let mid = ll + (lh & 0xFFFF_FFFF_FFFF_FFFF) + (hl & 0xFFFF_FFFF_FFFF_FFFF);
+        let hh = xh as u128 * self.barrett_hi as u128;
+        let q_hat = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+        let mut r = (x.wrapping_sub(q_hat.wrapping_mul(self.q as u128))) as u64;
+        while r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
+    /// Reduces a 64-bit value modulo `q`.
+    #[inline(always)]
+    pub fn reduce(&self, x: u64) -> u64 {
+        if x < self.q {
+            x
+        } else {
+            self.reduce_u128(x as u128)
+        }
+    }
+
+    /// Modular addition of two values already in `[0, q)`.
+    #[inline(always)]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b;
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of two values already in `[0, q)`.
+    #[inline(always)]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// Modular negation of a value in `[0, q)`.
+    #[inline(always)]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// Modular multiplication of two values in `[0, q)`.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Fused multiply-add: `(a*b + c) mod q`.
+    #[inline(always)]
+    pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q && c < self.q);
+        self.reduce_u128(a as u128 * b as u128 + c as u128)
+    }
+
+    /// Modular exponentiation `base^exp mod q` by square-and-multiply.
+    pub fn pow(&self, base: u64, mut exp: u64) -> u64 {
+        let mut base = self.reduce(base);
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse via Fermat's little theorem.
+    ///
+    /// Only valid when `q` is prime and `a` is nonzero mod `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ≡ 0 (mod q)`.
+    pub fn inv(&self, a: u64) -> u64 {
+        let a = self.reduce(a);
+        assert!(a != 0, "zero has no modular inverse");
+        self.pow(a, self.q - 2)
+    }
+
+    /// Maps a signed value into `[0, q)`.
+    #[inline]
+    pub fn from_i64(&self, v: i64) -> u64 {
+        let r = v.rem_euclid(self.q as i64);
+        r as u64
+    }
+
+    /// Maps a value in `[0, q)` to its centered representative in
+    /// `(-q/2, q/2]`.
+    #[inline]
+    pub fn to_centered(&self, v: u64) -> i64 {
+        debug_assert!(v < self.q);
+        if v > self.q / 2 {
+            v as i64 - self.q as i64
+        } else {
+            v as i64
+        }
+    }
+
+    /// The paper's §V-A4 sliding-window reduction of a (≤66-bit)
+    /// multiply-accumulate result.
+    ///
+    /// Mirrors the unrolled RTL: with a window of `W = 6` bits, each
+    /// pipeline stage folds the 6 bits at positions `[30+6k, 36+6k)` via a
+    /// 64-entry table `w · 2^{30+6k} mod q`, working from the top stage
+    /// down ("the sliding window selects the most significant 6 bits ...
+    /// these sequential steps are fully unrolled"), then performs the final
+    /// conditional subtractions of `q_i` or `2·q_i`.
+    ///
+    /// Only meaningful for ~30-bit moduli (the hardware's lane width); for
+    /// larger moduli it falls back to Barrett. Tests assert bit-equality
+    /// with [`Modulus::reduce_u128`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the table belongs to a different modulus.
+    pub fn reduce_sliding_window(&self, x: u128, table: &SlidingWindowTable) -> u64 {
+        debug_assert_eq!(table.q, self.q);
+        if self.bits() > 31 {
+            return self.reduce_u128(x);
+        }
+        // Top stage window sits at bit 60; with the guard bit the datapath
+        // accepts inputs up to 67 bits (a 60-bit product plus accumulates).
+        debug_assert!(x < 1u128 << (30 + 6 * SlidingWindowTable::STAGES as u32 + 1));
+        let mut acc = x;
+        // Unrolled stages: fold the window at bit position 30 + 6k for
+        // k = STAGES-1 .. 1. Each fold replaces up to 6 high bits by a
+        // < 2^30 table value, so the accumulator shrinks monotonically.
+        for k in (1..SlidingWindowTable::STAGES).rev() {
+            let s = 30 + 6 * k as u32;
+            let w = (acc >> s) as usize;
+            // The previous stage's table-value addition can carry one bit
+            // past the window, so w ranges over [0, 128); the table carries
+            // the guard-bit entries (the RTL adds one conditional term).
+            debug_assert!(w < 2 * SlidingWindowTable::SIZE);
+            acc = (acc & ((1u128 << s) - 1)) + table.entries[k][w] as u128;
+        }
+        // Last stage (position 30) may need a second pass because earlier
+        // additions can carry into the window; the RTL sizes the final
+        // stage for this.
+        while acc >> 31 != 0 {
+            let w = (acc >> 30) as usize;
+            acc = (acc & ((1u128 << 30) - 1)) + table.entries[0][w] as u128;
+        }
+        let mut r = acc as u64;
+        while r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+}
+
+/// The §V-A4 "reduction table": per unrolled stage `k`, 64 entries
+/// `w · 2^{30+6k} mod q` for `w = 0..63`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlidingWindowTable {
+    q: u64,
+    entries: Vec<Vec<u64>>,
+}
+
+impl SlidingWindowTable {
+    /// Window width in bits (the paper uses 6).
+    pub const WINDOW: u32 = 6;
+    /// Number of table entries per stage (`2^WINDOW`).
+    pub const SIZE: usize = 1 << Self::WINDOW;
+    /// Number of unrolled stages: windows at bits 30, 36, 42, 48, 54, 60,
+    /// covering a 66-bit multiply-accumulate result.
+    pub const STAGES: usize = 6;
+
+    /// Builds the reduction tables for a modulus.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hefv_math::zq::{Modulus, SlidingWindowTable};
+    /// let q = Modulus::new(1_073_479_681);
+    /// let t = SlidingWindowTable::new(&q);
+    /// assert_eq!(q.reduce_sliding_window(12345u128 * 67890u128, &t),
+    ///            q.reduce_u128(12345u128 * 67890u128));
+    /// ```
+    pub fn new(modulus: &Modulus) -> Self {
+        let q = modulus.value();
+        // 2·SIZE entries per stage: the upper half is the guard-bit
+        // extension for the carry out of the next-lower stage.
+        let entries = (0..Self::STAGES)
+            .map(|k| {
+                (0..2 * Self::SIZE as u64)
+                    .map(|w| modulus.reduce_u128((w as u128) << (30 + 6 * k as u32)))
+                    .collect()
+            })
+            .collect();
+        SlidingWindowTable { q, entries }
+    }
+
+    /// Number of stored entries across all stages.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Shoup precomputed multiplication by a fixed constant `w < q`.
+///
+/// Precomputes `w' = floor(w * 2^64 / q)`; then `mul(a)` costs two integer
+/// multiplications and one conditional subtraction. This is the software
+/// analogue of the paper's fully pipelined twiddle multiplier (Fig. 4), where
+/// the twiddle factor comes from ROM together with its precomputed constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShoupMul {
+    /// The multiplicand `w`.
+    pub w: u64,
+    /// `floor(w << 64 / q)`.
+    pub w_shoup: u64,
+}
+
+impl ShoupMul {
+    /// Precomputes the Shoup constant for multiplicand `w` modulo `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `w >= q`.
+    #[inline]
+    pub fn new(w: u64, q: u64) -> Self {
+        debug_assert!(w < q);
+        ShoupMul {
+            w,
+            w_shoup: (((w as u128) << 64) / q as u128) as u64,
+        }
+    }
+
+    /// Computes `a * w mod q` for `a < q`; result in `[0, q)`.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, q: u64) -> u64 {
+        let q_hat = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
+        let r = (self.w.wrapping_mul(a)).wrapping_sub(q_hat.wrapping_mul(q));
+        if r >= q {
+            r - q
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P30: u64 = 1_073_479_681; // 30-bit prime, ≡ 1 mod 2^17
+    const P31: u64 = 2_147_473_409;
+
+    #[test]
+    fn new_rejects_tiny_modulus() {
+        let r = std::panic::catch_unwind(|| Modulus::new(2));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reduce_small_is_identity() {
+        let m = Modulus::new(97);
+        for x in 0..97 {
+            assert_eq!(m.reduce(x), x);
+        }
+    }
+
+    #[test]
+    fn reduce_u128_matches_naive() {
+        let m = Modulus::new(P30);
+        let cases: [u128; 6] = [
+            0,
+            P30 as u128,
+            P30 as u128 - 1,
+            u64::MAX as u128,
+            (P30 as u128 - 1) * (P30 as u128 - 1),
+            u128::MAX >> 2,
+        ];
+        for &x in &cases {
+            assert_eq!(m.reduce_u128(x) as u128, x % P30 as u128);
+        }
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let m = Modulus::new(P30);
+        let a = 123_456_789;
+        let b = 987_654_321;
+        assert_eq!(m.sub(m.add(a, b), b), a);
+        assert_eq!(m.add(a, m.neg(a)), 0);
+        assert_eq!(m.neg(0), 0);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let m = Modulus::new(P31);
+        let pairs = [(1u64, 1u64), (P31 - 1, P31 - 1), (12345, 67890), (P31 - 2, 2)];
+        for (a, b) in pairs {
+            assert_eq!(m.mul(a, b) as u128, (a as u128 * b as u128) % P31 as u128);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_u128() {
+        let m = Modulus::new(P30);
+        let (a, b, c) = (999_999_937u64, 888_888_883u64, 777_777_777u64);
+        assert_eq!(
+            m.mul_add(a, b, c) as u128,
+            (a as u128 * b as u128 + c as u128) % P30 as u128
+        );
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let m = Modulus::new(P30);
+        assert_eq!(m.pow(2, 10), 1024);
+        assert_eq!(m.pow(7, 0), 1);
+        for a in [1u64, 2, 12345, P30 - 1] {
+            let ai = m.inv(a);
+            assert_eq!(m.mul(a, ai), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no modular inverse")]
+    fn inv_zero_panics() {
+        let m = Modulus::new(P30);
+        m.inv(0);
+    }
+
+    #[test]
+    fn fermat_holds() {
+        let m = Modulus::new(P30);
+        for a in [2u64, 3, 5, 1_000_000_007 % P30] {
+            assert_eq!(m.pow(a, P30 - 1), 1);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let m = Modulus::new(P30);
+        for v in [-5i64, -1, 0, 1, 5, (P30 / 2) as i64, -((P30 / 2) as i64)] {
+            let u = m.from_i64(v);
+            assert!(u < P30);
+            assert_eq!(m.to_centered(u), v);
+        }
+    }
+
+    #[test]
+    fn sliding_window_matches_barrett() {
+        let m = Modulus::new(P30);
+        let t = SlidingWindowTable::new(&m);
+        assert_eq!(t.len(), 128 * SlidingWindowTable::STAGES);
+        assert!(!t.is_empty());
+        let cases: [u128; 7] = [
+            0,
+            1,
+            P30 as u128,
+            (P30 as u128 - 1) * (P30 as u128 - 1),
+            (P30 as u128 - 1) * (P30 as u128 - 1) + (P30 as u128 - 1), // MAC-sized
+            (1u128 << 60) - 1,
+            (1u128 << 61) + 12345,
+        ];
+        for &x in &cases {
+            assert_eq!(m.reduce_sliding_window(x, &t), m.reduce_u128(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn sliding_window_randomized() {
+        let m = Modulus::new(P30);
+        let t = SlidingWindowTable::new(&m);
+        // simple LCG so the test is deterministic
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = state % P30;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = state % P30;
+            let x = a as u128 * b as u128;
+            assert_eq!(m.reduce_sliding_window(x, &t), m.reduce_u128(x));
+        }
+    }
+
+    #[test]
+    fn shoup_mul_matches() {
+        let q = P30;
+        let m = Modulus::new(q);
+        for w in [0u64, 1, 2, 12345, q - 1] {
+            let s = ShoupMul::new(w, q);
+            for a in [0u64, 1, 7, q / 2, q - 1] {
+                assert_eq!(s.mul(a, q), m.mul(a, w), "w={w} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn modulus_works_for_large_primes() {
+        // 62-bit-boundary behaviour: 2^61-1 is a Mersenne prime.
+        let q = (1u64 << 61) - 1;
+        let m = Modulus::new(q);
+        assert_eq!(m.mul(q - 1, q - 1), 1);
+        assert_eq!(m.pow(3, q - 1), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests of the arithmetic substrate.
+
+use hefv_math::bigint::{center, UBig};
+use hefv_math::fixed::{SmallReciprocal, WideReciprocal};
+use hefv_math::ntt::{negacyclic_mul_schoolbook, NttTable};
+use hefv_math::primes::{is_prime, ntt_primes};
+use hefv_math::rns::{HpsPrecision, RnsBasis, RnsContext, ScaleContext};
+use hefv_math::zq::{Modulus, ShoupMul, SlidingWindowTable};
+use proptest::prelude::*;
+
+const P30: u64 = 1_073_479_681;
+
+fn ubig_strategy() -> impl Strategy<Value = UBig> {
+    prop::collection::vec(any::<u64>(), 0..6).prop_map(UBig::from_limbs)
+}
+
+proptest! {
+    // ---------------- Modulus / Zq ----------------
+
+    #[test]
+    fn zq_mul_commutative_associative(a in 0..P30, b in 0..P30, c in 0..P30) {
+        let m = Modulus::new(P30);
+        prop_assert_eq!(m.mul(a, b), m.mul(b, a));
+        prop_assert_eq!(m.mul(m.mul(a, b), c), m.mul(a, m.mul(b, c)));
+    }
+
+    #[test]
+    fn zq_distributive(a in 0..P30, b in 0..P30, c in 0..P30) {
+        let m = Modulus::new(P30);
+        prop_assert_eq!(m.mul(a, m.add(b, c)), m.add(m.mul(a, b), m.mul(a, c)));
+    }
+
+    #[test]
+    fn zq_inverse_is_inverse(a in 1..P30) {
+        let m = Modulus::new(P30);
+        prop_assert_eq!(m.mul(a, m.inv(a)), 1);
+    }
+
+    #[test]
+    fn zq_reduce_u128_matches_rem(x in any::<u128>()) {
+        let m = Modulus::new(P30);
+        prop_assert_eq!(m.reduce_u128(x) as u128, x % P30 as u128);
+    }
+
+    #[test]
+    fn sliding_window_equals_barrett(a in 0..P30, b in 0..P30, c in 0..P30) {
+        let m = Modulus::new(P30);
+        let t = SlidingWindowTable::new(&m);
+        let x = a as u128 * b as u128 + c as u128; // MAC-shaped input
+        prop_assert_eq!(m.reduce_sliding_window(x, &t), m.reduce_u128(x));
+    }
+
+    #[test]
+    fn shoup_equals_plain_mul(a in 0..P30, w in 0..P30) {
+        let m = Modulus::new(P30);
+        let s = ShoupMul::new(w, P30);
+        prop_assert_eq!(s.mul(a, P30), m.mul(a, w));
+    }
+
+    #[test]
+    fn centered_roundtrip(v in 0..P30) {
+        let m = Modulus::new(P30);
+        prop_assert_eq!(m.from_i64(m.to_centered(v)), v);
+    }
+
+    // ---------------- UBig ----------------
+
+    #[test]
+    fn ubig_add_commutes(a in ubig_strategy(), b in ubig_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn ubig_add_sub_roundtrip(a in ubig_strategy(), b in ubig_strategy()) {
+        let s = &a + &b;
+        prop_assert_eq!(&(&s - &a), &b);
+        prop_assert_eq!(&(&s - &b), &a);
+    }
+
+    #[test]
+    fn ubig_mul_distributes(a in ubig_strategy(), b in ubig_strategy(), c in ubig_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn ubig_div_rem_invariant(a in ubig_strategy(), b in ubig_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn ubig_shift_roundtrip(a in ubig_strategy(), s in 0usize..200) {
+        prop_assert_eq!(&(&(&a << s) >> s), &a);
+    }
+
+    #[test]
+    fn ubig_decimal_roundtrip(a in ubig_strategy()) {
+        prop_assert_eq!(UBig::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn ubig_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(&UBig::from(a) * &UBig::from(b), UBig::from(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn center_magnitude_at_most_half(v in 0..P30) {
+        let m = UBig::from(P30);
+        let c = center(&UBig::from(v), &m);
+        prop_assert!(c.magnitude() <= &(&m >> 1) || (c.is_negative() && c.magnitude() < &m));
+        prop_assert_eq!(c.rem_euclid(&m).to_u64().unwrap(), v);
+    }
+
+    // ---------------- reciprocals ----------------
+
+    #[test]
+    fn small_reciprocal_round_exact(y in 0u64..(1 << 31)) {
+        let r = SmallReciprocal::new(P30);
+        let got = SmallReciprocal::round_sum(&[r.mul(y)]);
+        let exact = (2 * y as u128 + P30 as u128) / (2 * P30 as u128);
+        prop_assert_eq!(got as u128, exact);
+    }
+
+    #[test]
+    fn wide_reciprocal_div_exact(a in ubig_strategy(), m in 2u64..) {
+        let modulus = UBig::from(m);
+        let r = WideReciprocal::new(modulus.clone(), 420);
+        prop_assert_eq!(r.div_floor(&a), a.div_rem(&modulus).0);
+        prop_assert_eq!(r.div_round(&a), a.div_round(&modulus));
+    }
+}
+
+// ---------------- NTT ----------------
+
+fn ntt_setup(n: usize) -> NttTable {
+    let ps = ntt_primes(30, n, 1).unwrap();
+    NttTable::new(Modulus::new(ps[0]), n).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ntt_roundtrip_random(coeffs in prop::collection::vec(any::<u64>(), 64)) {
+        let t = ntt_setup(64);
+        let q = t.modulus().value();
+        let a: Vec<u64> = coeffs.iter().map(|&c| c % q).collect();
+        let mut x = a.clone();
+        t.forward(&mut x);
+        t.inverse(&mut x);
+        prop_assert_eq!(x, a);
+    }
+
+    #[test]
+    fn ntt_convolution_theorem(
+        a in prop::collection::vec(any::<u64>(), 32),
+        b in prop::collection::vec(any::<u64>(), 32),
+    ) {
+        let t = ntt_setup(32);
+        let q = t.modulus().value();
+        let a: Vec<u64> = a.iter().map(|&c| c % q).collect();
+        let b: Vec<u64> = b.iter().map(|&c| c % q).collect();
+        prop_assert_eq!(
+            t.negacyclic_mul(&a, &b),
+            negacyclic_mul_schoolbook(&a, &b, t.modulus())
+        );
+    }
+
+    #[test]
+    fn ntt_is_linear(
+        a in prop::collection::vec(any::<u64>(), 32),
+        s in any::<u64>(),
+    ) {
+        let t = ntt_setup(32);
+        let q = t.modulus();
+        let s = q.reduce(s);
+        let a: Vec<u64> = a.iter().map(|&c| q.reduce(c)).collect();
+        let scaled: Vec<u64> = a.iter().map(|&c| q.mul(c, s)).collect();
+        let (mut fa, mut fs) = (a, scaled);
+        t.forward(&mut fa);
+        t.forward(&mut fs);
+        for (x, y) in fa.iter().zip(&fs) {
+            prop_assert_eq!(q.mul(*x, s), *y);
+        }
+    }
+}
+
+// ---------------- RNS ----------------
+
+fn rns_ctx() -> RnsContext {
+    let ps = ntt_primes(30, 64, 13).unwrap();
+    RnsContext::new(&ps[..6], &ps[6..]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rns_encode_decode_roundtrip(limbs in prop::collection::vec(any::<u64>(), 0..3)) {
+        let ps = ntt_primes(30, 64, 4).unwrap();
+        let basis = RnsBasis::new(&ps).unwrap();
+        let v = UBig::from_limbs(limbs).div_rem(basis.product()).1;
+        prop_assert_eq!(basis.decode(&basis.encode(&v)), v);
+    }
+
+    #[test]
+    fn hps_lift_equals_exact_lift(residue_seed in any::<u64>()) {
+        let ctx = rns_ctx();
+        let mut st = residue_seed;
+        let res: Vec<u64> = (0..6).map(|i| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            st % ctx.base_q().modulus(i).value()
+        }).collect();
+        let exact = ctx.lift().extend_exact(&res);
+        prop_assert_eq!(&ctx.lift().extend_hps(&res, HpsPrecision::F64), &exact);
+        prop_assert_eq!(&ctx.lift().extend_hps(&res, HpsPrecision::Fixed), &exact);
+    }
+
+    #[test]
+    fn hps_scale_equals_exact_scale(limbs in prop::collection::vec(any::<u64>(), 6), negate in any::<bool>()) {
+        let ctx = rns_ctx();
+        let sc = ScaleContext::new(&ctx, 2);
+        // tensor-magnitude value: < n·q²·t ≪ Q/2
+        let q = ctx.base_q().product().clone();
+        let bound = &(&q * &q) << 7;
+        let v = UBig::from_limbs(limbs).div_rem(&bound).1;
+        let rep = if negate { ctx.big_q() - &v } else { v };
+        let res = ctx.base_full().encode(&rep);
+        let exact = sc.scale_exact(&ctx, &res);
+        prop_assert_eq!(&sc.scale_hps(&ctx, &res[..6], &res[6..], HpsPrecision::F64), &exact);
+        prop_assert_eq!(&sc.scale_hps(&ctx, &res[..6], &res[6..], HpsPrecision::Fixed), &exact);
+    }
+
+    #[test]
+    fn prime_generator_output_is_prime(bits in 20u32..33, idx in 0usize..3) {
+        if let Some(p) = hefv_math::primes::ntt_prime(bits, 64, idx) {
+            prop_assert!(is_prime(p));
+            prop_assert_eq!((p - 1) % 128, 0);
+            prop_assert!(p < 1u64 << bits);
+        }
+    }
+}

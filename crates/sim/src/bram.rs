@@ -1,0 +1,186 @@
+//! BRAM36K memory model with per-cycle port accounting.
+//!
+//! §V-A2/3: a residue polynomial (4096 30-bit coefficients) is stored as
+//! 2048 virtual 60-bit words (two paired coefficients per word) across two
+//! banks of 1024 words; each bank is two aligned BRAM36Ks sharing address
+//! buses. During NTT one port of a bank reads while the other writes, so a
+//! bank sustains at most **one read and one write per cycle** — the
+//! constraint the Fig. 3 schedule is built to satisfy.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the two banks of a polynomial memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bank {
+    /// Word addresses 0..1024 (the paper's address range 0–1023).
+    Lower,
+    /// Word addresses 1024..2048.
+    Upper,
+}
+
+/// Which bank a word address belongs to, given `words` total words.
+///
+/// # Panics
+///
+/// Panics if the address is out of range.
+pub fn bank_of(addr: usize, words: usize) -> Bank {
+    assert!(addr < words, "word address {addr} out of range {words}");
+    if addr < words / 2 {
+        Bank::Lower
+    } else {
+        Bank::Upper
+    }
+}
+
+/// A dual-bank paired-coefficient polynomial memory: `n` coefficients as
+/// `n/2` words of two coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolyMem {
+    /// Coefficient storage; word `w` holds coefficients `2w` and `2w+1`.
+    data: Vec<u64>,
+}
+
+impl PolyMem {
+    /// Loads a polynomial (coefficient order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not an even power-of-two.
+    pub fn load(coeffs: &[u64]) -> Self {
+        assert!(coeffs.len().is_power_of_two() && coeffs.len() >= 4);
+        PolyMem {
+            data: coeffs.to_vec(),
+        }
+    }
+
+    /// Number of coefficients.
+    pub fn n(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of 60-bit words.
+    pub fn words(&self) -> usize {
+        self.data.len() / 2
+    }
+
+    /// Reads word `w` → the coefficient pair `(2w, 2w+1)`.
+    pub fn read_word(&self, w: usize) -> (u64, u64) {
+        (self.data[2 * w], self.data[2 * w + 1])
+    }
+
+    /// Writes word `w`.
+    pub fn write_word(&mut self, w: usize, pair: (u64, u64)) {
+        self.data[2 * w] = pair.0;
+        self.data[2 * w + 1] = pair.1;
+    }
+
+    /// The stored coefficients.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.data
+    }
+}
+
+/// Per-cycle port-usage auditor: records every access and reports
+/// violations of the one-read + one-write per bank per cycle budget.
+#[derive(Debug, Default, Clone)]
+pub struct PortAuditor {
+    /// (cycle, bank) -> reads this cycle.
+    reads: std::collections::HashMap<(u64, Bank), u32>,
+    /// (cycle, bank) -> writes this cycle.
+    writes: std::collections::HashMap<(u64, Bank), u32>,
+    violations: Vec<String>,
+}
+
+impl PortAuditor {
+    /// Fresh auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `bank` at `cycle`.
+    pub fn read(&mut self, cycle: u64, bank: Bank) {
+        let c = self.reads.entry((cycle, bank)).or_insert(0);
+        *c += 1;
+        if *c > 1 {
+            self.violations
+                .push(format!("cycle {cycle}: {c} reads on {bank:?}"));
+        }
+    }
+
+    /// Records a write of `bank` at `cycle`.
+    pub fn write(&mut self, cycle: u64, bank: Bank) {
+        let c = self.writes.entry((cycle, bank)).or_insert(0);
+        *c += 1;
+        if *c > 1 {
+            self.violations
+                .push(format!("cycle {cycle}: {c} writes on {bank:?}"));
+        }
+    }
+
+    /// All recorded violations (empty for a conflict-free schedule).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Whether the recorded trace is conflict-free.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total reads recorded.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.values().map(|&v| v as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_split() {
+        assert_eq!(bank_of(0, 2048), Bank::Lower);
+        assert_eq!(bank_of(1023, 2048), Bank::Lower);
+        assert_eq!(bank_of(1024, 2048), Bank::Upper);
+        assert_eq!(bank_of(2047, 2048), Bank::Upper);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bank_rejects_oob() {
+        bank_of(2048, 2048);
+    }
+
+    #[test]
+    fn polymem_word_pairing() {
+        let coeffs: Vec<u64> = (0..16).collect();
+        let mut m = PolyMem::load(&coeffs);
+        assert_eq!(m.words(), 8);
+        assert_eq!(m.read_word(3), (6, 7));
+        m.write_word(3, (60, 70));
+        assert_eq!(m.coeffs()[6], 60);
+        assert_eq!(m.coeffs()[7], 70);
+    }
+
+    #[test]
+    fn auditor_flags_double_read() {
+        let mut a = PortAuditor::new();
+        a.read(5, Bank::Lower);
+        a.read(5, Bank::Upper); // fine: different bank
+        assert!(a.is_clean());
+        a.read(5, Bank::Lower); // second read, same bank, same cycle
+        assert!(!a.is_clean());
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.total_reads(), 3);
+    }
+
+    #[test]
+    fn auditor_tracks_writes_independently() {
+        let mut a = PortAuditor::new();
+        a.read(1, Bank::Lower);
+        a.write(1, Bank::Lower); // read + write same bank is allowed
+        assert!(a.is_clean());
+        a.write(1, Bank::Lower);
+        assert!(!a.is_clean());
+    }
+}

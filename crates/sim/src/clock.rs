@@ -1,0 +1,89 @@
+//! Clock domains of the paper's platform (§VI-A): the FPGA coprocessor at
+//! 200 MHz, the Arm cores at 1.2 GHz, the DMA at 250 MHz.
+//!
+//! All of the paper's cycle counts (Tables I–III) are *Arm* cycles, read
+//! from the Arm cycle-count register ("Cycle counts for various operations
+//! are measured from the software side"); the simulator's native unit is
+//! FPGA cycles, converted here.
+
+use serde::{Deserialize, Serialize};
+
+/// Clock frequencies of the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// FPGA fabric clock in MHz (200 in the paper's fast design,
+    /// 225 in the non-HPS design).
+    pub fpga_mhz: f64,
+    /// Arm application-core clock in MHz (1200).
+    pub arm_mhz: f64,
+    /// DMA clock in MHz (250).
+    pub dma_mhz: f64,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig {
+            fpga_mhz: 200.0,
+            arm_mhz: 1200.0,
+            dma_mhz: 250.0,
+        }
+    }
+}
+
+impl ClockConfig {
+    /// The non-HPS coprocessor's clocks (§VI-C: 225 MHz).
+    pub fn non_hps() -> Self {
+        ClockConfig {
+            fpga_mhz: 225.0,
+            ..Default::default()
+        }
+    }
+
+    /// Converts FPGA cycles to microseconds.
+    pub fn fpga_cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.fpga_mhz
+    }
+
+    /// Converts FPGA cycles to the Arm-cycle unit the paper reports.
+    pub fn fpga_to_arm_cycles(&self, cycles: u64) -> u64 {
+        (cycles as f64 * self.arm_mhz / self.fpga_mhz).round() as u64
+    }
+
+    /// Converts microseconds to Arm cycles.
+    pub fn us_to_arm_cycles(&self, us: f64) -> u64 {
+        (us * self.arm_mhz).round() as u64
+    }
+
+    /// Converts Arm cycles to milliseconds.
+    pub fn arm_cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.arm_mhz * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_unit_conversions() {
+        let c = ClockConfig::default();
+        // Table I: Mult = 5,349,567 Arm cycles = 4.458 ms.
+        assert!((c.arm_cycles_to_ms(5_349_567) - 4.458).abs() < 0.001);
+        // Table II: NTT = 87,582 Arm cycles = 73.0 µs = 14,597 FPGA cycles.
+        assert_eq!(c.fpga_to_arm_cycles(14_597), 87_582);
+        assert!((c.fpga_cycles_to_us(14_597) - 73.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn us_roundtrip() {
+        let c = ClockConfig::default();
+        assert_eq!(c.us_to_arm_cycles(76.0), 91_200);
+    }
+
+    #[test]
+    fn non_hps_clock() {
+        let c = ClockConfig::non_hps();
+        assert_eq!(c.fpga_mhz, 225.0);
+        assert_eq!(c.arm_mhz, 1200.0);
+    }
+}

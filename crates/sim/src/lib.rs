@@ -1,0 +1,53 @@
+//! # hefv-sim
+//!
+//! Cycle-level architectural simulator of the HPCA 2019 FV coprocessor.
+//! The paper's quantitative results are cycle counts, resource totals and
+//! power figures for a Xilinx ZCU102 design; this crate models that design
+//! bottom-up:
+//!
+//! * [`bram`] — the paired-coefficient dual-bank polynomial memory with a
+//!   per-cycle port auditor;
+//! * [`nttsched`] — the dual-core conflict-free NTT schedule (Fig. 3),
+//!   which *executes real transforms* through the memory model;
+//! * [`cost`] — the per-instruction cycle model (Table II), with
+//!   first-principles datapath terms and documented calibration constants;
+//! * [`coproc`] — the instruction-set coprocessor: `Mult`/`Add` microcode
+//!   (Table II call counts), timing reports, and functional execution;
+//! * [`dma`] — the DMA burst model (Table III);
+//! * [`system`] — the Arm+FPGA platform (Table I, the 400 Mult/s and 80×
+//!   `Add` headlines);
+//! * [`resources`] — the analytic resource model (Tables IV and V);
+//! * [`power`] — the power model (§VI-C);
+//! * [`rpau`] — functional residue-lane execution with the RTL's
+//!   sliding-window reduction datapath;
+//! * [`liftsim`] — the Fig. 6/9 block-pipelined Lift/Scale units,
+//!   bit-exact against the software library;
+//! * [`functional`] — a whole `Mult` executed through the unit models;
+//! * [`program`] — the instruction-set assembly layer (programs over a
+//!   polynomial register file with Table II cycle accounting).
+//!
+//! # Example
+//!
+//! ```
+//! use hefv_core::{context::FvContext, params::FvParams};
+//! use hefv_sim::system::System;
+//!
+//! let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+//! let sys = System::default();
+//! let tput = sys.mult_throughput_per_s(&ctx);
+//! assert!(tput > 390.0, "the paper's 400 Mult/s: got {tput:.0}");
+//! ```
+
+pub mod bram;
+pub mod clock;
+pub mod coproc;
+pub mod cost;
+pub mod dma;
+pub mod functional;
+pub mod liftsim;
+pub mod nttsched;
+pub mod power;
+pub mod program;
+pub mod resources;
+pub mod rpau;
+pub mod system;

@@ -1,0 +1,364 @@
+//! Block-pipelined `Lift q→Q` and `Scale Q→q` units (Fig. 6 / Fig. 9),
+//! executed block-by-block the way the RTL computes them.
+//!
+//! Each unit is a five-block pipeline with an initiation interval of seven
+//! cycles (§V-B2: every block is sized so "the output is a set of seven
+//! residues"). The functional model runs every block's arithmetic with the
+//! hardware's datapaths — sliding-window reductions and the 89-bit
+//! fixed-point reciprocal MACs — and the tests pin it bit-for-bit against
+//! the software library's [`hefv_math::rns`] HPS implementation.
+
+use hefv_math::fixed::SmallReciprocal;
+use hefv_math::rns::{Extender, RnsContext, ScaleContext};
+use hefv_math::zq::{Modulus, SlidingWindowTable};
+
+/// The HPS `Lift` unit for one base-extension direction.
+#[derive(Debug, Clone)]
+pub struct HpsLiftUnit {
+    /// Source moduli `q_i` with their reduction tables (Block 1).
+    from: Vec<(Modulus, SlidingWindowTable)>,
+    /// `q̃_i = (q/q_i)^{-1} mod q_i` ROM.
+    tilde: Vec<u64>,
+    /// Destination moduli with reduction tables (Blocks 2/4/5).
+    to: Vec<(Modulus, SlidingWindowTable)>,
+    /// Block-2 ROM: `(q/q_i) mod p_j`, `[i][j]`.
+    cross: Vec<Vec<u64>>,
+    /// Block-4 ROM: `q mod p_j`.
+    q_mod_to: Vec<u64>,
+    /// Block-3 ROM: fixed-point reciprocals `1/q_i`.
+    recips: Vec<SmallReciprocal>,
+    /// Block pipeline initiation interval.
+    ii: u64,
+}
+
+impl HpsLiftUnit {
+    /// Block-pipeline initiation interval (§V-B2).
+    pub const BLOCK_II: u64 = 7;
+    /// Number of pipeline blocks (Fig. 6).
+    pub const BLOCKS: u64 = 5;
+
+    /// Builds the unit from an [`Extender`]'s ROM contents.
+    pub fn from_extender(ext: &Extender) -> Self {
+        let mk = |m: &Modulus| (*m, SlidingWindowTable::new(m));
+        HpsLiftUnit {
+            from: ext.from_basis().moduli().iter().map(mk).collect(),
+            tilde: (0..ext.from_basis().len())
+                .map(|i| ext.from_basis().tilde(i))
+                .collect(),
+            to: ext.to_basis().moduli().iter().map(mk).collect(),
+            cross: ext.cross_table().to_vec(),
+            q_mod_to: ext.product_mod_to_table().to_vec(),
+            recips: ext.reciprocal_roms().to_vec(),
+            ii: Self::BLOCK_II,
+        }
+    }
+
+    /// Lifts one coefficient through the five blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residue count mismatches the unit's source basis.
+    pub fn lift_coeff(&self, a: &[u64]) -> Vec<u64> {
+        assert_eq!(a.len(), self.from.len(), "residue count mismatch");
+        // Block 1: y_i = a_i · q̃_i mod q_i, one per cycle.
+        let ys: Vec<u64> = self
+            .from
+            .iter()
+            .zip(&self.tilde)
+            .zip(a)
+            .map(|(((m, table), &t), &ai)| {
+                m.reduce_sliding_window(m.reduce(ai) as u128 * t as u128, table)
+            })
+            .collect();
+        // Block 3: v' = round(Σ y_i / q_i) with the stored reciprocals.
+        let terms: Vec<u128> = ys.iter().zip(&self.recips).map(|(&y, r)| r.mul(y)).collect();
+        let v = SmallReciprocal::round_sum(&terms);
+        // Blocks 2, 4, 5 per destination residue.
+        (0..self.to.len())
+            .map(|j| {
+                let (m, table) = &self.to[j];
+                // Block 2: seven parallel MACs, accumulate then reduce.
+                let mut acc = 0u128;
+                for (i, &y) in ys.iter().enumerate() {
+                    acc += y as u128 * self.cross[i][j] as u128;
+                }
+                let sop = m.reduce_sliding_window(acc, table);
+                // Block 4: v'_j = v' · (q mod p_j) mod p_j.
+                let vj = m.reduce_sliding_window(v as u128 * self.q_mod_to[j] as u128, table);
+                // Block 5: a_j = sop − v'_j mod p_j.
+                m.sub(sop, vj)
+            })
+            .collect()
+    }
+
+    /// Lifts a residue-major polynomial; returns the extension rows and
+    /// the single-core datapath cycles (pipeline fill + one coefficient
+    /// per initiation interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged or mismatch the source basis.
+    pub fn lift_poly(&self, rows: &[Vec<u64>]) -> (Vec<Vec<u64>>, u64) {
+        assert_eq!(rows.len(), self.from.len(), "residue count mismatch");
+        let n = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == n), "ragged rows");
+        let mut out = vec![vec![0u64; n]; self.to.len()];
+        let mut buf = vec![0u64; self.from.len()];
+        for c in 0..n {
+            for i in 0..self.from.len() {
+                buf[i] = rows[i][c];
+            }
+            let ext = self.lift_coeff(&buf);
+            for j in 0..self.to.len() {
+                out[j][c] = ext[j];
+            }
+        }
+        let cycles = Self::BLOCKS * self.ii + n as u64 * self.ii;
+        (out, cycles)
+    }
+}
+
+/// The HPS `Scale` unit (Fig. 9): blocks 1–3 compute `⌈t·a/q⌋` in the RNS
+/// of `p`; the embedded lift unit (Block "RNS", reused datapath) switches
+/// the result into the RNS of `q`.
+#[derive(Debug, Clone)]
+pub struct HpsScaleUnit {
+    /// q-basis moduli with reduction tables.
+    from_q: Vec<(Modulus, SlidingWindowTable)>,
+    /// p-basis moduli with reduction tables.
+    from_p: Vec<(Modulus, SlidingWindowTable)>,
+    /// `Q̃_i mod q_i` ROM.
+    tilde_q: Vec<u64>,
+    /// `Q̃_j mod p_j` ROM.
+    tilde_p: Vec<u64>,
+    /// `t·(p/p_j) mod p_m` ROM, `[j][m]`.
+    c_jm: Vec<Vec<u64>>,
+    /// `floor(t·p/q_i) mod p_m` ROM (integer parts `I_i`).
+    int_im: Vec<Vec<u64>>,
+    /// `frac(t·p/q_i)` in Q64 (real parts `R_i`).
+    frac: Vec<u64>,
+    /// The reused `Lift p→q` datapath.
+    unlift: HpsLiftUnit,
+}
+
+impl HpsScaleUnit {
+    /// Builds the unit from the library's ROM contents.
+    pub fn new(ctx: &RnsContext, sc: &ScaleContext) -> Self {
+        let mk = |m: &Modulus| (*m, SlidingWindowTable::new(m));
+        HpsScaleUnit {
+            from_q: ctx.base_q().moduli().iter().map(mk).collect(),
+            from_p: ctx.base_p().moduli().iter().map(mk).collect(),
+            tilde_q: sc.big_q_tilde_q_table().to_vec(),
+            tilde_p: sc.big_q_tilde_p_table().to_vec(),
+            c_jm: sc.c_jm_table().to_vec(),
+            int_im: sc.int_table().to_vec(),
+            frac: sc.frac_fixed_table().to_vec(),
+            unlift: HpsLiftUnit::from_extender(ctx.unlift()),
+        }
+    }
+
+    /// Scales one coefficient: input residues over `q` and `p`, output
+    /// residues over `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on residue-count mismatch.
+    pub fn scale_coeff(&self, a_q: &[u64], a_p: &[u64]) -> Vec<u64> {
+        let d_p = self.scale_coeff_to_p(a_q, a_p);
+        self.unlift.lift_coeff(&d_p)
+    }
+
+    /// Blocks 1–3 only: `⌈t·a/q⌋ mod p_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on residue-count mismatch.
+    pub fn scale_coeff_to_p(&self, a_q: &[u64], a_p: &[u64]) -> Vec<u64> {
+        assert_eq!(a_q.len(), self.from_q.len(), "q residue count");
+        assert_eq!(a_p.len(), self.from_p.len(), "p residue count");
+        // Premultiplications y_k = a_k · Q̃_k mod m_k.
+        let yq: Vec<u64> = self
+            .from_q
+            .iter()
+            .zip(&self.tilde_q)
+            .zip(a_q)
+            .map(|(((m, t), &td), &a)| {
+                m.reduce_sliding_window(m.reduce(a) as u128 * td as u128, t)
+            })
+            .collect();
+        let yp: Vec<u64> = self
+            .from_p
+            .iter()
+            .zip(&self.tilde_p)
+            .zip(a_p)
+            .map(|(((m, t), &td), &a)| {
+                m.reduce_sliding_window(m.reduce(a) as u128 * td as u128, t)
+            })
+            .collect();
+        // Block 2 (real parts): G = ⌈Σ y_i · R_i⌋ in Q64 fixed point.
+        let gsum: u128 = yq
+            .iter()
+            .zip(&self.frac)
+            .map(|(&y, &f)| y as u128 * f as u128)
+            .sum();
+        let g = ((gsum + (1u128 << 63)) >> 64) as u64;
+        // Blocks 1 + 3 per output residue: integer-part MACs.
+        (0..self.from_p.len())
+            .map(|m_idx| {
+                let (m, table) = &self.from_p[m_idx];
+                let mut acc = g as u128;
+                for (j, &y) in yp.iter().enumerate() {
+                    acc += y as u128 * self.c_jm[j][m_idx] as u128;
+                }
+                // 13 MAC terms of ≤60 bits exceed the 67-bit reduction
+                // window, so the RTL reduces the accumulator in two
+                // halves; reduce the q-part separately here.
+                let first = m.reduce_sliding_window(acc, table);
+                let mut acc2 = first as u128;
+                for (i, &y) in yq.iter().enumerate() {
+                    acc2 += y as u128 * self.int_im[i][m_idx] as u128;
+                }
+                m.reduce_sliding_window(acc2, table)
+            })
+            .collect()
+    }
+
+    /// Scales a residue-major polynomial over the full basis of `Q`
+    /// (q rows first); returns q rows and single-core datapath cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch.
+    pub fn scale_poly(&self, rows: &[Vec<u64>]) -> (Vec<Vec<u64>>, u64) {
+        let k = self.from_q.len();
+        let l = self.from_p.len();
+        assert_eq!(rows.len(), k + l, "row count mismatch");
+        let n = rows[0].len();
+        let mut out = vec![vec![0u64; n]; k];
+        let mut bq = vec![0u64; k];
+        let mut bp = vec![0u64; l];
+        for c in 0..n {
+            for i in 0..k {
+                bq[i] = rows[i][c];
+            }
+            for j in 0..l {
+                bp[j] = rows[k + j][c];
+            }
+            let d = self.scale_coeff(&bq, &bp);
+            for i in 0..k {
+                out[i][c] = d[i];
+            }
+        }
+        // Twice the lift fill (the scale blocks plus the reused lift),
+        // then one coefficient per initiation interval.
+        let cycles = 2 * HpsLiftUnit::BLOCKS * HpsLiftUnit::BLOCK_II
+            + n as u64 * HpsLiftUnit::BLOCK_II;
+        (out, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_math::primes::ntt_primes;
+    use hefv_math::rns::HpsPrecision;
+
+    fn ctx() -> RnsContext {
+        let ps = ntt_primes(30, 4096, 13).unwrap();
+        RnsContext::new(&ps[..6], &ps[6..]).unwrap()
+    }
+
+    #[test]
+    fn lift_unit_matches_library_hps() {
+        let ctx = ctx();
+        let unit = HpsLiftUnit::from_extender(ctx.lift());
+        let mut st = 0xABCDEFu64;
+        for _ in 0..300 {
+            let a: Vec<u64> = (0..6)
+                .map(|i| {
+                    st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    st % ctx.base_q().modulus(i).value()
+                })
+                .collect();
+            assert_eq!(
+                unit.lift_coeff(&a),
+                ctx.lift().extend_hps(&a, HpsPrecision::Fixed)
+            );
+        }
+    }
+
+    #[test]
+    fn lift_unit_poly_cycles_are_ii_bound() {
+        let ctx = ctx();
+        let unit = HpsLiftUnit::from_extender(ctx.lift());
+        let n = 64;
+        let rows: Vec<Vec<u64>> = (0..6)
+            .map(|i| {
+                (0..n as u64)
+                    .map(|c| (c * 7 + i as u64) % ctx.base_q().modulus(i).value())
+                    .collect()
+            })
+            .collect();
+        let (out, cycles) = unit.lift_poly(&rows);
+        assert_eq!(out, ctx.lift().extend_poly_hps(&rows, HpsPrecision::Fixed));
+        assert_eq!(cycles, 5 * 7 + 64 * 7);
+    }
+
+    #[test]
+    fn scale_unit_matches_library_hps() {
+        let ctx = ctx();
+        let sc = ScaleContext::new(&ctx, 2);
+        let unit = HpsScaleUnit::new(&ctx, &sc);
+        // Tensor-magnitude inputs.
+        let q = ctx.base_q().product().clone();
+        let bound = &(&q * &q) << 10;
+        let mut st = 0x13572468u64;
+        for trial in 0..100 {
+            let mut v = hefv_math::bigint::UBig::zero();
+            for _ in 0..7 {
+                st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+                v = &(&v << 64) + &hefv_math::bigint::UBig::from(st);
+            }
+            let v = v.div_rem(&bound).1;
+            let rep = if trial % 2 == 0 { v } else { ctx.big_q() - &v };
+            let res = ctx.base_full().encode(&rep);
+            let got = unit.scale_coeff(&res[..6], &res[6..]);
+            let expect = sc.scale_hps(&ctx, &res[..6], &res[6..], HpsPrecision::Fixed);
+            assert_eq!(got, expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn scale_unit_poly_matches_and_counts() {
+        let ctx = ctx();
+        let sc = ScaleContext::new(&ctx, 2);
+        let unit = HpsScaleUnit::new(&ctx, &sc);
+        let n = 16;
+        let q = ctx.base_q().product().clone();
+        let vals: Vec<hefv_math::bigint::UBig> = (0..n as u64)
+            .map(|c| (&(&q * &q) >> 2).mul_u64(c + 3))
+            .collect();
+        let rows: Vec<Vec<u64>> = (0..13)
+            .map(|i| {
+                vals.iter()
+                    .map(|v| v.rem_u64(ctx.base_full().modulus(i).value()))
+                    .collect()
+            })
+            .collect();
+        let (out, cycles) = unit.scale_poly(&rows);
+        assert_eq!(out, sc.scale_poly_hps(&ctx, &rows, HpsPrecision::Fixed));
+        assert_eq!(cycles, 2 * 5 * 7 + 16 * 7);
+    }
+
+    #[test]
+    fn two_units_halve_the_stream() {
+        // The instruction model assumes two lift cores split the 4096
+        // coefficients; check the unit-level cycles compose to the
+        // instruction-level figure (14,336 + fill ≈ Table II's 16.5k
+        // minus the dispatch overhead).
+        let per_core_coeffs = 2048u64;
+        let cycles = HpsLiftUnit::BLOCKS * HpsLiftUnit::BLOCK_II
+            + per_core_coeffs * HpsLiftUnit::BLOCK_II;
+        assert_eq!(cycles, 35 + 14_336);
+    }
+}

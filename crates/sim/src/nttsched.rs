@@ -1,0 +1,469 @@
+//! The dual-core memory-conflict-free NTT schedule (§V-A3, Fig. 3).
+//!
+//! A residue polynomial lives in two banks of paired-coefficient words
+//! ([`crate::bram::PolyMem`]). Two butterfly cores each read one word per
+//! cycle; a bank sustains one read and one write per cycle. The schedule
+//! below keeps both cores busy every cycle of every stage with zero bank
+//! conflicts:
+//!
+//! * **Word gap `G ≤ W/4`** (the paper's `m ≤ 1024`, index gap ≤ 512):
+//!   butterfly word-pairs never straddle the bank boundary, so core 0 owns
+//!   the lower bank and core 1 the upper bank exclusively.
+//! * **Word gap `G = W/2`** (the paper's `m = 2048`, index gap 1024): every
+//!   pair straddles the banks. Core 0 reads *lower first* (`0, 1024, 1,
+//!   1025, …`) while core 1 reads *upper first* (`1536, 512, 1537, 513,
+//!   …`) — the paper's order inversion — so the cores touch opposite banks
+//!   every cycle.
+//! * **Same-word stage** (the paper's `m = 4096`): the two butterfly
+//!   operands share a word [30], so each core streams its own bank one
+//!   word per cycle.
+//!
+//! Every stage takes exactly `n/4` cycles of dual-issue work, and
+//! [`execute_forward`]/[`execute_inverse`] drive the *real arithmetic*
+//! through this schedule — the test suite checks bit-equality with
+//! [`hefv_math::ntt::NttTable`] and zero auditor violations.
+
+use crate::bram::{bank_of, PolyMem, PortAuditor};
+use hefv_math::ntt::NttTable;
+
+/// One scheduled word access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Cycle within the stage.
+    pub cycle: u64,
+    /// Which butterfly core issues it (0 or 1).
+    pub core: usize,
+    /// Word address.
+    pub addr: usize,
+}
+
+/// One scheduled butterfly word-pair operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairOp {
+    /// Core executing the pair.
+    pub core: usize,
+    /// Cycle of the first word read (second word, if distinct, reads on
+    /// `cycle + 1`).
+    pub cycle: u64,
+    /// First word address.
+    pub w_lo: usize,
+    /// Second word address; `None` for the same-word stage.
+    pub w_hi: Option<usize>,
+    /// Butterfly block index (selects the twiddle factor).
+    pub block: usize,
+}
+
+/// The schedule generator for ring degree `n`.
+#[derive(Debug, Clone)]
+pub struct NttSchedule {
+    n: usize,
+}
+
+impl NttSchedule {
+    /// Creates a schedule for degree `n` (power of two, ≥ 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two at least 8.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 8, "n must be a power of two ≥ 8");
+        NttSchedule { n }
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of butterfly stages (`log2 n`).
+    pub fn stages(&self) -> usize {
+        self.n.trailing_zeros() as usize
+    }
+
+    /// Cycles per stage with two butterfly cores (`n/4`).
+    pub fn stage_cycles(&self) -> u64 {
+        (self.n / 4) as u64
+    }
+
+    /// The word-pair operations of the stage with butterfly distance `t`
+    /// (in coefficients). `t` ranges over `n/2, n/4, …, 1` for the forward
+    /// transform; the inverse uses the same set in reverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a power of two in `[1, n/2]`.
+    pub fn stage_ops(&self, t: usize) -> Vec<PairOp> {
+        assert!(t.is_power_of_two() && t >= 1 && t <= self.n / 2);
+        let w = self.n / 2; // total words
+        let half = w / 2; // words per bank
+        let mut ops = Vec::with_capacity(w / 2);
+        if t == 1 {
+            // Same-word stage: one butterfly per word, cores own banks.
+            for k in 0..half {
+                ops.push(PairOp {
+                    core: 0,
+                    cycle: k as u64,
+                    w_lo: k,
+                    w_hi: None,
+                    block: k,
+                });
+                ops.push(PairOp {
+                    core: 1,
+                    cycle: k as u64,
+                    w_lo: half + k,
+                    w_hi: None,
+                    block: half + k,
+                });
+            }
+            return ops;
+        }
+        let g = t / 2; // word gap
+        if g < half {
+            // Pairs confined to one bank; core 0 = lower, core 1 = upper.
+            // Enumerate pairs of each bank in address order.
+            let pairs_in_bank = half / 2;
+            let mut emitted = 0usize;
+            let mut base = 0usize;
+            while emitted < pairs_in_bank {
+                for off in 0..g {
+                    let w_lo = base + off;
+                    let cycle = (2 * emitted) as u64;
+                    ops.push(PairOp {
+                        core: 0,
+                        cycle,
+                        w_lo,
+                        w_hi: Some(w_lo + g),
+                        block: w_lo / g,
+                    });
+                    let u_lo = half + w_lo;
+                    ops.push(PairOp {
+                        core: 1,
+                        cycle,
+                        w_lo: u_lo,
+                        w_hi: Some(u_lo + g),
+                        block: u_lo / g,
+                    });
+                    emitted += 1;
+                }
+                base += 2 * g;
+            }
+        } else {
+            // Cross-bank stage (G = half): core 0 takes the first half of
+            // the pairs reading lower-bank-first; core 1 takes the second
+            // half reading upper-bank-first (the paper's inverted order).
+            for k in 0..half / 2 {
+                ops.push(PairOp {
+                    core: 0,
+                    cycle: (2 * k) as u64,
+                    w_lo: k,
+                    w_hi: Some(k + half),
+                    block: 0, // single block at this stage size
+                });
+                let w1 = half / 2 + k;
+                ops.push(PairOp {
+                    core: 1,
+                    cycle: (2 * k) as u64,
+                    // upper word first — the inverted request order
+                    w_lo: w1 + half,
+                    w_hi: Some(w1),
+                    block: 0,
+                });
+            }
+        }
+        ops
+    }
+
+    /// Expands a stage's pair operations into the per-cycle read stream
+    /// (the pattern Fig. 3 draws).
+    pub fn read_accesses(&self, t: usize) -> Vec<Access> {
+        let mut out = Vec::new();
+        for op in self.stage_ops(t) {
+            out.push(Access {
+                cycle: op.cycle,
+                core: op.core,
+                addr: op.w_lo,
+            });
+            if let Some(hi) = op.w_hi {
+                out.push(Access {
+                    cycle: op.cycle + 1,
+                    core: op.core,
+                    addr: hi,
+                });
+            }
+        }
+        out.sort_by_key(|a| (a.cycle, a.core));
+        out
+    }
+
+    /// Audits every stage's reads (and the writes, which replay the same
+    /// pattern `pipeline_depth` cycles later) against the one-read +
+    /// one-write per bank per cycle budget.
+    ///
+    /// Returns the auditor so callers can inspect totals.
+    pub fn audit(&self, pipeline_depth: u64) -> PortAuditor {
+        let mut auditor = PortAuditor::new();
+        let words = self.n / 2;
+        let mut t = self.n / 2;
+        let mut stage_base = 0u64;
+        loop {
+            for a in self.read_accesses(t) {
+                let b = bank_of(a.addr, words);
+                auditor.read(stage_base + a.cycle, b);
+                auditor.write(stage_base + a.cycle + pipeline_depth, b);
+            }
+            stage_base += self.stage_cycles() + pipeline_depth;
+            if t == 1 {
+                break;
+            }
+            t /= 2;
+        }
+        auditor
+    }
+}
+
+fn butterfly_ct(
+    table: &NttTable,
+    pair: (u64, u64),
+    twiddle_index: usize,
+) -> (u64, u64) {
+    let m = table.modulus();
+    let v = m.mul(pair.1, table.twiddle(twiddle_index));
+    (m.add(pair.0, v), m.sub(pair.0, v))
+}
+
+/// Executes the forward negacyclic NTT *through the schedule*, returning
+/// the transformed memory and the datapath cycle count (stage cycles only;
+/// the instruction-level cost model adds pipeline fill and dispatch).
+///
+/// # Panics
+///
+/// Panics if the memory size disagrees with the table.
+pub fn execute_forward(sched: &NttSchedule, mem: &mut PolyMem, table: &NttTable) -> u64 {
+    assert_eq!(mem.n(), table.n(), "size mismatch");
+    let n = sched.n();
+    let mut cycles = 0u64;
+    let mut t = n / 2;
+    loop {
+        let m = n / (2 * t); // number of twiddle blocks this stage
+        for op in sched.stage_ops(t) {
+            match op.w_hi {
+                Some(hi) => {
+                    // Two butterflies across words (w_lo may be the upper
+                    // word in the inverted-order cross-bank stage).
+                    let (a, b) = if op.w_lo < hi {
+                        (op.w_lo, hi)
+                    } else {
+                        (hi, op.w_lo)
+                    };
+                    let block = 2 * a / (2 * t);
+                    let wa = mem.read_word(a);
+                    let wb = mem.read_word(b);
+                    let (x0, y0) = butterfly_ct(table, (wa.0, wb.0), m + block);
+                    let (x1, y1) = butterfly_ct(table, (wa.1, wb.1), m + block);
+                    mem.write_word(a, (x0, x1));
+                    mem.write_word(b, (y0, y1));
+                }
+                None => {
+                    // Same-word butterfly (t = 1).
+                    let wa = mem.read_word(op.w_lo);
+                    let (x, y) = butterfly_ct(table, wa, m + op.block);
+                    mem.write_word(op.w_lo, (x, y));
+                }
+            }
+        }
+        cycles += sched.stage_cycles();
+        if t == 1 {
+            break;
+        }
+        t /= 2;
+    }
+    cycles
+}
+
+fn butterfly_gs(table: &NttTable, pair: (u64, u64), twiddle_index: usize) -> (u64, u64) {
+    let m = table.modulus();
+    let u = m.add(pair.0, pair.1);
+    let v = m.sub(pair.0, pair.1);
+    (u, m.mul(v, table.inv_twiddle(twiddle_index)))
+}
+
+/// Executes the inverse negacyclic NTT through the schedule (stages in
+/// reverse order plus the `n^{-1}` scaling pass), returning datapath
+/// cycles.
+///
+/// # Panics
+///
+/// Panics if the memory size disagrees with the table.
+pub fn execute_inverse(sched: &NttSchedule, mem: &mut PolyMem, table: &NttTable) -> u64 {
+    assert_eq!(mem.n(), table.n(), "size mismatch");
+    let n = sched.n();
+    let mut cycles = 0u64;
+    let mut t = 1usize;
+    while t <= n / 2 {
+        let h = n / (2 * t);
+        for op in sched.stage_ops(t) {
+            match op.w_hi {
+                Some(hi) => {
+                    let (a, b) = if op.w_lo < hi {
+                        (op.w_lo, hi)
+                    } else {
+                        (hi, op.w_lo)
+                    };
+                    let block = 2 * a / (2 * t);
+                    let wa = mem.read_word(a);
+                    let wb = mem.read_word(b);
+                    let (x0, y0) = butterfly_gs(table, (wa.0, wb.0), h + block);
+                    let (x1, y1) = butterfly_gs(table, (wa.1, wb.1), h + block);
+                    mem.write_word(a, (x0, x1));
+                    mem.write_word(b, (y0, y1));
+                }
+                None => {
+                    let wa = mem.read_word(op.w_lo);
+                    let (x, y) = butterfly_gs(table, wa, h + op.block);
+                    mem.write_word(op.w_lo, (x, y));
+                }
+            }
+        }
+        cycles += sched.stage_cycles();
+        t *= 2;
+    }
+    // Scaling pass: every word read, both coefficients × n^{-1}, written.
+    let words = n / 2;
+    let m = table.modulus();
+    let n_inv = table.n_inv();
+    for w in 0..words {
+        let (a, b) = mem.read_word(w);
+        mem.write_word(w, (m.mul(a, n_inv), m.mul(b, n_inv)));
+    }
+    cycles += (words / 2) as u64; // two cores, one word each per cycle
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_math::primes::ntt_prime;
+    use hefv_math::zq::Modulus;
+
+    fn table(n: usize) -> NttTable {
+        let q = ntt_prime(30, n, 0).unwrap();
+        NttTable::new(Modulus::new(q), n).unwrap()
+    }
+
+    #[test]
+    fn stage_op_counts() {
+        let s = NttSchedule::new(4096);
+        assert_eq!(s.stages(), 12);
+        assert_eq!(s.stage_cycles(), 1024);
+        let mut t = 2048;
+        loop {
+            let ops = s.stage_ops(t);
+            let butterflies: usize = ops
+                .iter()
+                .map(|o| if o.w_hi.is_some() { 2 } else { 1 })
+                .sum();
+            assert_eq!(butterflies, 2048, "t={t}: n/2 butterflies per stage");
+            if t == 1 {
+                break;
+            }
+            t /= 2;
+        }
+    }
+
+    #[test]
+    fn every_stage_is_conflict_free() {
+        for n in [16usize, 64, 4096] {
+            let s = NttSchedule::new(n);
+            let auditor = s.audit(12);
+            assert!(
+                auditor.is_clean(),
+                "n={n}: {:?}",
+                &auditor.violations()[..auditor.violations().len().min(5)]
+            );
+            // log2(n) stages × n/2 word reads each
+            assert_eq!(
+                auditor.total_reads(),
+                (s.stages() * n / 2) as u64,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_bank_stage_matches_paper_pattern() {
+        // Fig. 3, m = 2048 (word gap = half the memory): core 0 starts at
+        // word 0 (lower), core 1 starts at word 1536 (upper).
+        let s = NttSchedule::new(4096);
+        let ops = s.stage_ops(2048);
+        let first_core0 = ops.iter().find(|o| o.core == 0).unwrap();
+        let first_core1 = ops.iter().find(|o| o.core == 1).unwrap();
+        assert_eq!(first_core0.w_lo, 0);
+        assert_eq!(first_core0.w_hi, Some(1024));
+        assert_eq!(first_core1.w_lo, 1536, "inverted order: upper first");
+        assert_eq!(first_core1.w_hi, Some(512));
+    }
+
+    #[test]
+    fn bank_exclusive_stages_stay_in_bank() {
+        use crate::bram::Bank;
+        let s = NttSchedule::new(4096);
+        for t in [2usize, 8, 512, 1024] {
+            for a in s.read_accesses(t) {
+                let bank = bank_of(a.addr, 2048);
+                let expect = if a.core == 0 { Bank::Lower } else { Bank::Upper };
+                assert_eq!(bank, expect, "t={t} core{} addr {}", a.core, a.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_through_memory_matches_reference() {
+        for n in [16usize, 256, 4096] {
+            let tb = table(n);
+            let q = tb.modulus().value();
+            let coeffs: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761 + 17) % q).collect();
+            let mut reference = coeffs.clone();
+            tb.forward(&mut reference);
+
+            let s = NttSchedule::new(n);
+            let mut mem = PolyMem::load(&coeffs);
+            let cycles = execute_forward(&s, &mut mem, &tb);
+            assert_eq!(mem.coeffs(), &reference[..], "n={n}");
+            assert_eq!(cycles, (s.stages() * n / 4) as u64);
+        }
+    }
+
+    #[test]
+    fn inverse_through_memory_roundtrips() {
+        let n = 256;
+        let tb = table(n);
+        let q = tb.modulus().value();
+        let coeffs: Vec<u64> = (0..n as u64).map(|i| (i * 40503 + 9) % q).collect();
+        let s = NttSchedule::new(n);
+        let mut mem = PolyMem::load(&coeffs);
+        execute_forward(&s, &mut mem, &tb);
+        let cycles = execute_inverse(&s, &mut mem, &tb);
+        assert_eq!(mem.coeffs(), &coeffs[..]);
+        assert_eq!(cycles, (s.stages() * n / 4 + n / 4) as u64);
+    }
+
+    #[test]
+    fn inverse_matches_reference_directly() {
+        let n = 64;
+        let tb = table(n);
+        let q = tb.modulus().value();
+        let coeffs: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q).collect();
+        let mut reference = coeffs.clone();
+        tb.inverse(&mut reference);
+        let s = NttSchedule::new(n);
+        let mut mem = PolyMem::load(&coeffs);
+        execute_inverse(&s, &mut mem, &tb);
+        assert_eq!(mem.coeffs(), &reference[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        NttSchedule::new(100);
+    }
+}

@@ -1,0 +1,82 @@
+//! Power model (§VI-C): static power plus per-active-coprocessor dynamic
+//! power, calibrated to the paper's Power Advantage Tool measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibrated platform power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static power, W (paper: 5.3 W).
+    pub static_w: f64,
+    /// Dynamic power of the shared infrastructure (Arm + DMA) while any
+    /// multiplication stream runs, W.
+    pub base_dynamic_w: f64,
+    /// Additional dynamic power per active coprocessor, W.
+    pub per_coproc_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Fit to §VI-C: one core ⇒ 2.2 W dynamic, two cores ⇒ 3.4 W.
+        PowerModel {
+            static_w: 5.3,
+            base_dynamic_w: 1.0,
+            per_coproc_w: 1.2,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Dynamic power with `active` coprocessors running multiplications.
+    pub fn dynamic_w(&self, active: usize) -> f64 {
+        if active == 0 {
+            0.0
+        } else {
+            self.base_dynamic_w + self.per_coproc_w * active as f64
+        }
+    }
+
+    /// Total (static + dynamic) power.
+    pub fn total_w(&self, active: usize) -> f64 {
+        self.static_w + self.dynamic_w(active)
+    }
+
+    /// Energy per homomorphic multiplication in millijoules, given the
+    /// per-`Mult` latency and the number of concurrently active
+    /// coprocessors.
+    pub fn energy_per_mult_mj(&self, mult_ms: f64, active: usize) -> f64 {
+        // With `active` coprocessors each finishing one Mult per mult_ms:
+        self.total_w(active) * mult_ms / active as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_measurements() {
+        let p = PowerModel::default();
+        assert!((p.static_w - 5.3).abs() < 1e-9);
+        assert!((p.dynamic_w(1) - 2.2).abs() < 1e-9, "single core 2.2 W");
+        assert!((p.dynamic_w(2) - 3.4).abs() < 1e-9, "double core 3.4 W");
+        // Peak = 5.3 + 3.4 = 8.7 W, the figure quoted against the Intel
+        // i5's 40 W (§VI-E).
+        assert!((p.total_w(2) - 8.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_has_no_dynamic_power() {
+        let p = PowerModel::default();
+        assert_eq!(p.dynamic_w(0), 0.0);
+        assert!((p.total_w(0) - 5.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_mult_is_a_few_tens_of_mj() {
+        let p = PowerModel::default();
+        // Two coprocessors, 5 ms per offloaded Mult: 8.7 W / 400 Mult/s.
+        let mj = p.energy_per_mult_mj(5.0, 2);
+        assert!((mj - 21.75).abs() < 0.1, "{mj} mJ");
+    }
+}

@@ -1,0 +1,352 @@
+//! The coprocessor's programmability: an assembly layer over the
+//! instruction set.
+//!
+//! The paper stresses that the accelerator is an *instruction-set*
+//! coprocessor ("domain specific programmability in the FPGA... This
+//! gives flexibility to the Arm processor to support various cloud
+//! computing applications", §IV-A). This module makes that concrete: a
+//! [`Program`] is a sequence of register-addressed instructions over a
+//! polynomial register file; [`Machine`] executes it functionally (real
+//! arithmetic through the RPAU lanes) while charging the Table II cycle
+//! model; [`assemble_add`] emits the paper's `Add` routine and arbitrary
+//! other routines can be written by hand ([`assemble_fma`] programs a
+//! plaintext-constant fused multiply-add the way an application developer
+//! would extend the coprocessor).
+
+use crate::bram::PolyMem;
+use crate::clock::ClockConfig;
+use crate::cost::{CostModel, Instr};
+use crate::rpau::RpauArray;
+use hefv_core::context::FvContext;
+use hefv_math::ntt::NttTable;
+use serde::{Deserialize, Serialize};
+
+/// A register name in the polynomial register file: one register holds
+/// one residue polynomial row per prime lane it spans.
+pub type Reg = usize;
+
+/// Assembly instructions. Each operates on a *batch* of residue rows
+/// (`rows` lanes starting at lane `lane0`), mirroring how the coprocessor
+/// maps operations onto its seven RPAUs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Asm {
+    /// Forward NTT of `reg` rows `[lane0, lane0+rows)`.
+    Ntt { reg: Reg, lane0: usize, rows: usize },
+    /// Inverse NTT.
+    Intt { reg: Reg, lane0: usize, rows: usize },
+    /// `dst = a ⊙ b` coefficient-wise.
+    Cwm { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    /// `dst += a ⊙ b` (MAC configuration of Fig. 7).
+    CwmAcc { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    /// `dst = a + b`.
+    Cwa { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    /// `dst = a − b`.
+    Cws { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    /// Memory rearrange (bit-reversal) of a register's rows.
+    Rearrange { reg: Reg, lane0: usize, rows: usize },
+    /// Copy rows between registers.
+    Move { dst: Reg, src: Reg, lane0: usize, rows: usize },
+}
+
+/// A program: named for the trace, plus its instruction list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    /// Routine name.
+    pub name: String,
+    /// The instruction stream.
+    pub code: Vec<Asm>,
+}
+
+/// Execution report: cycles by the Table II cost model and the
+/// instruction mix.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Modeled FPGA cycles (instruction model, incl. per-call overheads).
+    pub fpga_cycles: u64,
+    /// Instruction count by class name.
+    pub mix: std::collections::BTreeMap<String, u32>,
+}
+
+impl RunReport {
+    /// Wall-clock at the coprocessor clock.
+    pub fn us(&self, clocks: &ClockConfig) -> f64 {
+        clocks.fpga_cycles_to_us(self.fpga_cycles)
+    }
+}
+
+/// The programmable machine: a register file of residue-polynomial rows
+/// over the full prime set of a context.
+pub struct Machine<'a> {
+    ctx: &'a FvContext,
+    lanes: RpauArray,
+    cost: CostModel,
+    /// Register file: `file[reg][lane]`.
+    file: Vec<Vec<PolyMem>>,
+}
+
+impl<'a> Machine<'a> {
+    /// Builds a machine with `registers` polynomial registers.
+    pub fn new(ctx: &'a FvContext, registers: usize) -> Self {
+        let primes: Vec<u64> = ctx
+            .params()
+            .q_primes
+            .iter()
+            .chain(&ctx.params().p_primes)
+            .copied()
+            .collect();
+        let n = ctx.params().n;
+        let lanes = RpauArray::new(&primes, n);
+        let zero = vec![0u64; n];
+        let file = (0..registers)
+            .map(|_| primes.iter().map(|_| PolyMem::load(&zero)).collect())
+            .collect();
+        Machine {
+            ctx,
+            lanes,
+            cost: CostModel {
+                n,
+                ..CostModel::default()
+            },
+            file,
+        }
+    }
+
+    /// Loads residue rows into a register starting at `lane0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range register or lanes.
+    pub fn load(&mut self, reg: Reg, lane0: usize, rows: &[Vec<u64>]) {
+        for (i, row) in rows.iter().enumerate() {
+            self.file[reg][lane0 + i] = PolyMem::load(row);
+        }
+    }
+
+    /// Reads residue rows back out of a register.
+    pub fn store(&self, reg: Reg, lane0: usize, rows: usize) -> Vec<Vec<u64>> {
+        (0..rows)
+            .map(|i| self.file[reg][lane0 + i].coeffs().to_vec())
+            .collect()
+    }
+
+    fn table(&self, lane: usize) -> &NttTable {
+        &self.ctx.ntt_full()[lane]
+    }
+
+    /// Executes a program, returning the cycle/mix report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range registers or lanes (the hardware analogue is
+    /// an illegal-instruction trap).
+    pub fn run(&mut self, program: &Program) -> RunReport {
+        let mut report = RunReport::default();
+        let charge = |r: &mut RunReport, i: Instr, batches: u64, cost: &CostModel| {
+            r.fpga_cycles += batches * cost.instr_cycles(i);
+            *r.mix.entry(i.name().to_string()).or_insert(0) += batches as u32;
+        };
+        for op in &program.code {
+            match *op {
+                Asm::Ntt { reg, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        let table = self.table(l);
+                        let mut mem = self.file[reg][l].clone();
+                        self.lanes.lane(l).ntt(&mut mem, table);
+                        self.file[reg][l] = mem;
+                    }
+                    charge(&mut report, Instr::Ntt, self.lanes.batches(rows) as u64, &self.cost);
+                }
+                Asm::Intt { reg, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        let table = self.table(l);
+                        let mut mem = self.file[reg][l].clone();
+                        self.lanes.lane(l).intt(&mut mem, table);
+                        self.file[reg][l] = mem;
+                    }
+                    charge(&mut report, Instr::InverseNtt, self.lanes.batches(rows) as u64, &self.cost);
+                }
+                Asm::Cwm { dst, a, b, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        let (out, _) = self.lanes.lane(l).cwm(&self.file[a][l], &self.file[b][l]);
+                        self.file[dst][l] = out;
+                    }
+                    charge(&mut report, Instr::CoeffMul, self.lanes.batches(rows) as u64, &self.cost);
+                }
+                Asm::CwmAcc { dst, a, b, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        let mut acc = self.file[dst][l].clone();
+                        self.lanes.lane(l).cwm_acc(&mut acc, &self.file[a][l], &self.file[b][l]);
+                        self.file[dst][l] = acc;
+                    }
+                    charge(&mut report, Instr::CoeffMul, self.lanes.batches(rows) as u64, &self.cost);
+                }
+                Asm::Cwa { dst, a, b, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        let (out, _) = self.lanes.lane(l).cwa(&self.file[a][l], &self.file[b][l]);
+                        self.file[dst][l] = out;
+                    }
+                    charge(&mut report, Instr::CoeffAdd, self.lanes.batches(rows) as u64, &self.cost);
+                }
+                Asm::Cws { dst, a, b, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        let (out, _) = self.lanes.lane(l).cws(&self.file[a][l], &self.file[b][l]);
+                        self.file[dst][l] = out;
+                    }
+                    charge(&mut report, Instr::CoeffAdd, self.lanes.batches(rows) as u64, &self.cost);
+                }
+                Asm::Rearrange { reg, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        let mut mem = self.file[reg][l].clone();
+                        self.lanes.lane(l).rearrange(&mut mem);
+                        self.file[reg][l] = mem;
+                    }
+                    charge(&mut report, Instr::MemoryRearrange, self.lanes.batches(rows) as u64, &self.cost);
+                }
+                Asm::Move { dst, src, lane0, rows } => {
+                    for l in lane0..lane0 + rows {
+                        self.file[dst][l] = self.file[src][l].clone();
+                    }
+                    // register moves ride the rearrange datapath
+                    charge(&mut report, Instr::MemoryRearrange, self.lanes.batches(rows) as u64, &self.cost);
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Assembles the ciphertext `Add` routine: two batch additions over the
+/// `q` rows (registers 0..4 = c0,0 c0,1 c1,0 c1,1; results in 4, 5).
+pub fn assemble_add(k: usize) -> Program {
+    Program {
+        name: "fv_add".into(),
+        code: vec![
+            Asm::Cwa { dst: 4, a: 0, b: 2, lane0: 0, rows: k },
+            Asm::Cwa { dst: 5, a: 1, b: 3, lane0: 0, rows: k },
+        ],
+    }
+}
+
+/// Assembles the NTT-domain part of a plaintext fused multiply-add
+/// `r = a ⊙ m + b` over the `q` rows — the kind of custom routine the
+/// paper's programmable coprocessor exists for (registers: 0 = a,
+/// 1 = m (NTT domain), 2 = b, 3 = result).
+pub fn assemble_fma(k: usize) -> Program {
+    Program {
+        name: "fused_multiply_add".into(),
+        code: vec![
+            Asm::Rearrange { reg: 0, lane0: 0, rows: k },
+            Asm::Rearrange { reg: 0, lane0: 0, rows: k },
+            Asm::Ntt { reg: 0, lane0: 0, rows: k },
+            Asm::Cwm { dst: 3, a: 0, b: 1, lane0: 0, rows: k },
+            Asm::Intt { reg: 3, lane0: 0, rows: k },
+            Asm::Rearrange { reg: 3, lane0: 0, rows: k },
+            Asm::Rearrange { reg: 3, lane0: 0, rows: k },
+            Asm::Cwa { dst: 3, a: 3, b: 2, lane0: 0, rows: k },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_core::params::FvParams;
+    use hefv_core::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FvContext, SecretKey, PublicKey, StdRng) {
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1001);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        (ctx, sk, pk, rng)
+    }
+
+    #[test]
+    fn programmed_add_matches_library() {
+        let (ctx, _sk, pk, mut rng) = setup();
+        let k = ctx.params().k();
+        let pa = Plaintext::new(vec![1, 0, 1], 2, ctx.params().n);
+        let pb = Plaintext::new(vec![1, 1, 1], 2, ctx.params().n);
+        let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+        let cb = encrypt(&ctx, &pk, &pb, &mut rng);
+
+        let mut m = Machine::new(&ctx, 6);
+        m.load(0, 0, ca.c0().residues());
+        m.load(1, 0, ca.c1().residues());
+        m.load(2, 0, cb.c0().residues());
+        m.load(3, 0, cb.c1().residues());
+        let report = m.run(&assemble_add(k));
+        let out = Ciphertext::from_parts(
+            RnsPoly::from_residues(m.store(4, 0, k), Domain::Coefficient),
+            RnsPoly::from_residues(m.store(5, 0, k), Domain::Coefficient),
+        );
+        let expect = add(&ctx, &ca, &cb);
+        assert_eq!(out, expect);
+        assert_eq!(report.mix["Coeff. wise Addition"], 2);
+        // Matches the Table I Add structure (2 CWA batches).
+        assert!(report.fpga_cycles > 0);
+    }
+
+    #[test]
+    fn programmed_fma_computes_a_times_m_plus_b() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let k = ctx.params().k();
+        let n = ctx.params().n;
+        let pa = Plaintext::new(vec![1, 1], 2, n);
+        let pb = Plaintext::new(vec![0, 1, 1], 2, n);
+        let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+        let cb = encrypt(&ctx, &pk, &pb, &mut rng);
+        let msg = Plaintext::new(vec![1, 0, 1], 2, n); // m = 1 + x²
+
+        // Machine computes r0 = c_a0 ⊙ m + c_b0 and r1 = c_a1 ⊙ m + c_b1.
+        let mut mach = Machine::new(&ctx, 8);
+        let mut mpoly = hefv_core::encoder::plaintext_to_rns(&ctx, &msg);
+        mpoly.ntt_forward(ctx.ntt_q());
+        let mut run_half = |a_rows: &[Vec<u64>], b_rows: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            mach.load(0, 0, a_rows);
+            mach.load(1, 0, mpoly.residues());
+            mach.load(2, 0, b_rows);
+            mach.run(&assemble_fma(k));
+            mach.store(3, 0, k)
+        };
+        let r0 = run_half(ca.c0().residues(), cb.c0().residues());
+        let r1 = run_half(ca.c1().residues(), cb.c1().residues());
+        let out = Ciphertext::from_parts(
+            RnsPoly::from_residues(r0, Domain::Coefficient),
+            RnsPoly::from_residues(r1, Domain::Coefficient),
+        );
+        // Library reference: mul_plain(a, m) + b.
+        let expect = add(&ctx, &mul_plain(&ctx, &ca, &msg), &cb);
+        assert_eq!(out, expect);
+        assert_eq!(
+            decrypt(&ctx, &sk, &out),
+            decrypt(&ctx, &sk, &expect)
+        );
+    }
+
+    #[test]
+    fn cycle_accounting_follows_table2_model() {
+        let (ctx, _, _, _) = setup();
+        let k = ctx.params().k();
+        let mut m = Machine::new(&ctx, 6);
+        let report = m.run(&assemble_add(k));
+        let cost = CostModel {
+            n: ctx.params().n,
+            ..CostModel::default()
+        };
+        assert_eq!(report.fpga_cycles, 2 * cost.instr_cycles(Instr::CoeffAdd));
+    }
+
+    #[test]
+    #[should_panic]
+    fn illegal_register_traps() {
+        let (ctx, _, _, _) = setup();
+        let mut m = Machine::new(&ctx, 2);
+        let p = Program {
+            name: "bad".into(),
+            code: vec![Asm::Cwa { dst: 9, a: 0, b: 1, lane0: 0, rows: 1 }],
+        };
+        m.run(&p);
+    }
+}

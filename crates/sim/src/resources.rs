@@ -1,0 +1,263 @@
+//! Analytic resource model: Table IV (utilization on the ZCU102) and
+//! Table V (estimates for scaled parameter sets).
+//!
+//! Resources are accounted bottom-up per architectural block. DSP and BRAM
+//! counts follow directly from the datapath structure (a 30×30 multiplier
+//! is four DSP48 slices; a residue polynomial is four BRAM36Ks — §V-A2);
+//! LUT/FF counts per block are calibrated against the paper's
+//! single-coprocessor totals and kept as named constants so the breakdown
+//! is inspectable.
+
+use serde::{Deserialize, Serialize};
+
+/// FPGA resource vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops / registers.
+    pub reg: u64,
+    /// BRAM36K blocks.
+    pub bram: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+}
+
+impl Resources {
+    /// Component-wise sum.
+    pub fn plus(self, other: Resources) -> Resources {
+        Resources {
+            lut: self.lut + other.lut,
+            reg: self.reg + other.reg,
+            bram: self.bram + other.bram,
+            dsp: self.dsp + other.dsp,
+        }
+    }
+
+    /// Component-wise scale.
+    pub fn times(self, k: u64) -> Resources {
+        Resources {
+            lut: self.lut * k,
+            reg: self.reg * k,
+            bram: self.bram * k,
+            dsp: self.dsp * k,
+        }
+    }
+}
+
+/// Capacity of the paper's target device (Zynq UltraScale+ ZCU102 /
+/// XCZU9EG), used for the utilization percentages of Table IV.
+pub const ZCU102: Resources = Resources {
+    lut: 274_080,
+    reg: 548_160,
+    bram: 912,
+    dsp: 2_520,
+};
+
+/// One architectural block with its resource cost and instance count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block name.
+    pub name: String,
+    /// Instances per coprocessor.
+    pub count: u64,
+    /// Cost of one instance.
+    pub each: Resources,
+}
+
+/// The per-block decomposition of one coprocessor.
+///
+/// DSP structure: 14 butterfly cores × 4 (one 30×30 multiplier each) +
+/// 2 HPS lift cores × 48 (one input multiplier, seven MACs, the 30×60
+/// reciprocal multiplier, two output stages) + 2 scale cores × 28 (the two
+/// MAC summation blocks of Fig. 9, the lift datapath itself being reused)
+/// = 208, matching Table IV exactly.
+///
+/// BRAM structure: 81 residue-polynomial slots in the memory file × 4 +
+/// 14 twiddle ROMs (one per RPAU prime; inverse twiddles are derived by
+/// address reflection) × 4 + 8 for reduction tables, constants and the
+/// instruction queue = 388, matching Table IV exactly.
+pub fn coprocessor_blocks() -> Vec<Block> {
+    let blocks = [
+        ("butterfly core (30x30 mult + sliding-window reduce + add/sub)",
+            14, 1_650u64, 690u64, 0u64, 4u64),
+        ("HPS Lift core (Fig. 6 block pipeline)", 2, 8_000, 3_200, 0, 48),
+        ("HPS Scale core (Fig. 9 blocks 1-3)", 2, 6_000, 2_400, 0, 28),
+        ("RPAU control / address generation", 7, 700, 280, 0, 0),
+        ("instruction decoder & sequencer", 1, 2_500, 1_000, 4, 0),
+        ("memory file interconnect", 1, 5_022, 1_802, 0, 0),
+        ("memory file (81 residue-poly slots)", 81, 0, 0, 4, 0),
+        ("twiddle ROMs (2 primes x 7 RPAUs)", 14, 0, 0, 4, 0),
+        ("reduction tables & lift/scale constant ROMs", 1, 0, 0, 4, 0),
+    ];
+    blocks
+        .iter()
+        .map(|&(name, count, lut, reg, bram, dsp)| Block {
+            name: name.into(),
+            count,
+            each: Resources {
+                lut,
+                reg,
+                bram,
+                dsp,
+            },
+        })
+        .collect()
+}
+
+/// Totals one coprocessor.
+pub fn coprocessor_total() -> Resources {
+    coprocessor_blocks()
+        .iter()
+        .fold(Resources::default(), |acc, b| acc.plus(b.each.times(b.count)))
+}
+
+/// The DMA + interfacing + mutex logic shared by both coprocessors
+/// (difference of Table IV's two rows).
+pub fn interface_total() -> Resources {
+    Resources {
+        lut: 6_648,
+        reg: 9_068,
+        bram: 39,
+        dsp: 0,
+    }
+}
+
+/// Table IV: `coprocessors` instances plus the interface.
+pub fn table4(coprocessors: u64) -> Resources {
+    coprocessor_total()
+        .times(coprocessors)
+        .plus(interface_total())
+}
+
+/// Utilization percentage of a resource vector on a device.
+pub fn utilization(used: Resources, device: Resources) -> [f64; 4] {
+    [
+        100.0 * used.lut as f64 / device.lut as f64,
+        100.0 * used.reg as f64 / device.reg as f64,
+        100.0 * used.bram as f64 / device.bram as f64,
+        100.0 * used.dsp as f64 / device.dsp as f64,
+    ]
+}
+
+/// One row of Table V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// log2 of the ring degree.
+    pub log_n: u32,
+    /// Bits of `q`.
+    pub log_q: u32,
+    /// Estimated resources.
+    pub res: Resources,
+    /// Computation time, ms.
+    pub comp_ms: f64,
+    /// Communication time, ms.
+    pub comm_ms: f64,
+    /// Total, ms.
+    pub total_ms: f64,
+}
+
+/// Table V's estimation model (§VI-D): per doubling of both the degree
+/// and the coefficient size, the RPAU and Lift/Scale core counts double
+/// (2× logic, 2× DSP, 4× BRAM), net computation grows ≈2.17× and off-chip
+/// transfer 4×.
+pub fn table5() -> Vec<Table5Row> {
+    let mut rows = Vec::with_capacity(4);
+    // Row 1 seeds from the implemented single-coprocessor design.
+    let mut res = Resources {
+        lut: 64_000,
+        reg: 25_000,
+        bram: 400,
+        dsp: 200,
+    };
+    let mut comp_ms = 4.46;
+    let mut comm_ms = 0.54;
+    for step in 0..4u32 {
+        rows.push(Table5Row {
+            log_n: 12 + step,
+            log_q: 180 << step,
+            res,
+            comp_ms,
+            comm_ms,
+            total_ms: comp_ms + comm_ms,
+        });
+        res = Resources {
+            lut: res.lut * 2,
+            reg: res.reg * 2,
+            bram: res.bram * 4,
+            dsp: res.dsp * 2,
+        };
+        comp_ms *= 2.17;
+        comm_ms *= 4.0;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_coprocessor_matches_table4() {
+        let r = coprocessor_total();
+        assert_eq!(r.lut, 63_522);
+        assert_eq!(r.reg, 25_622);
+        assert_eq!(r.bram, 388);
+        assert_eq!(r.dsp, 208);
+    }
+
+    #[test]
+    fn two_coprocessors_match_table4() {
+        let r = table4(2);
+        assert_eq!(r.lut, 133_692);
+        assert_eq!(r.reg, 60_312);
+        assert_eq!(r.bram, 815);
+        assert_eq!(r.dsp, 416);
+    }
+
+    #[test]
+    fn utilization_matches_paper_percentages() {
+        // Paper: two coprocessors = 49% LUT, 11% Reg, 89% BRAM, 16% DSP.
+        let u = utilization(table4(2), ZCU102);
+        assert!((u[0] - 49.0).abs() < 1.0, "LUT {:.1}%", u[0]);
+        assert!((u[1] - 11.0).abs() < 1.0, "Reg {:.1}%", u[1]);
+        assert!((u[2] - 89.0).abs() < 1.5, "BRAM {:.1}%", u[2]);
+        assert!((u[3] - 16.0).abs() < 1.0, "DSP {:.1}%", u[3]);
+    }
+
+    #[test]
+    fn design_is_memory_constrained() {
+        // §VI-B: "the design is constrained on memory size" — BRAM is by
+        // far the dominant utilization.
+        let u = utilization(table4(2), ZCU102);
+        assert!(u[2] > u[0] && u[2] > u[1] && u[2] > u[3]);
+    }
+
+    #[test]
+    fn dsp_breakdown_is_structural() {
+        // 14 butterflies×4 + 2 lifts×48 + 2 scales×28 = 208.
+        assert_eq!(14 * 4 + 2 * 48 + 2 * 28, 208);
+    }
+
+    #[test]
+    fn table5_matches_paper() {
+        let rows = table5();
+        let paper = [
+            (12u32, 180u32, 64_000u64, 25_000u64, 400u64, 200u64, 4.46, 0.54, 5.0),
+            (13, 360, 128_000, 50_000, 1_600, 400, 9.68, 2.16, 11.9),
+            (14, 720, 256_000, 100_000, 6_400, 800, 21.0, 8.64, 29.6),
+            (15, 1_440, 512_000, 200_000, 25_600, 1_600, 45.6, 34.6, 80.2),
+        ];
+        for (row, p) in rows.iter().zip(paper) {
+            assert_eq!(row.log_n, p.0);
+            assert_eq!(row.log_q, p.1);
+            assert_eq!(row.res.lut, p.2);
+            assert_eq!(row.res.reg, p.3);
+            assert_eq!(row.res.bram, p.4);
+            assert_eq!(row.res.dsp, p.5);
+            assert!((row.comp_ms - p.6).abs() / p.6 < 0.02, "comp {}", row.comp_ms);
+            assert!((row.comm_ms - p.7).abs() / p.7 < 0.02, "comm {}", row.comm_ms);
+            assert!((row.total_ms - p.8).abs() / p.8 < 0.02, "total {}", row.total_ms);
+        }
+    }
+}

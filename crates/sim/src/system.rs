@@ -1,0 +1,218 @@
+//! The full Arm+FPGA platform model (Fig. 11): Arm application cores, two
+//! coprocessors, the DMA path — and the Table I roll-up.
+
+use crate::clock::ClockConfig;
+use crate::coproc::{Coprocessor, OpReport};
+use crate::dma::{DmaModel, POLY_BYTES};
+use hefv_core::context::FvContext;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated model of the baremetal Arm software path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmSwModel {
+    /// Arm cycles per modular coefficient addition, memory-bound on the
+    /// baremetal DDR path (calibrated from Table I: 54,680,467 cycles for
+    /// 2 polys × 6 residues × 4096 coefficients).
+    pub add_cycles_per_coeff: f64,
+}
+
+impl Default for ArmSwModel {
+    fn default() -> Self {
+        ArmSwModel {
+            add_cycles_per_coeff: 54_680_467.0 / (2.0 * 6.0 * 4096.0),
+        }
+    }
+}
+
+impl ArmSwModel {
+    /// Arm cycles for a software ciphertext addition.
+    pub fn add_arm_cycles(&self, k: usize, n: usize) -> u64 {
+        (self.add_cycles_per_coeff * (2 * k * n) as f64).round() as u64
+    }
+}
+
+/// The whole platform: `coprocessors` parallel coprocessor instances (the
+/// paper places two), one Arm core driving each, one networking core.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// The coprocessor template (both instances are identical).
+    pub coproc: Coprocessor,
+    /// Number of coprocessor instances (2 in the paper).
+    pub coprocessors: usize,
+    /// DMA model.
+    pub dma: DmaModel,
+    /// Software model.
+    pub sw: ArmSwModel,
+}
+
+impl Default for System {
+    fn default() -> Self {
+        System {
+            coproc: Coprocessor::default(),
+            coprocessors: 2,
+            dma: DmaModel::default(),
+            sw: ArmSwModel::default(),
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Operation label (the paper's wording).
+    pub label: String,
+    /// Modeled Arm cycles.
+    pub cycles: u64,
+    /// Modeled milliseconds.
+    pub msec: f64,
+    /// The paper's Arm cycles.
+    pub paper_cycles: u64,
+    /// The paper's milliseconds.
+    pub paper_msec: f64,
+}
+
+impl System {
+    /// Clock configuration shared by the platform.
+    pub fn clocks(&self) -> &ClockConfig {
+        &self.coproc.clocks
+    }
+
+    /// Time to send the two operand ciphertexts to the FPGA, µs
+    /// (4 residue polynomials).
+    pub fn send_operands_us(&self) -> f64 {
+        self.dma.ciphertext_transfer_us(4, POLY_BYTES)
+    }
+
+    /// Time to receive the result ciphertext, µs (2 polynomials).
+    pub fn receive_result_us(&self) -> f64 {
+        self.dma.ciphertext_transfer_us(2, POLY_BYTES)
+    }
+
+    /// `Mult` report on one coprocessor.
+    pub fn mult_report(&self, ctx: &FvContext) -> OpReport {
+        self.coproc.run_mult(ctx)
+    }
+
+    /// Regenerates Table I.
+    pub fn table1(&self, ctx: &FvContext) -> Vec<Table1Row> {
+        let clocks = self.clocks();
+        let mult = self.coproc.run_mult(ctx);
+        let add = self.coproc.run_add();
+        let sw_add = self.sw.add_arm_cycles(ctx.params().k(), ctx.params().n);
+        let send = self.send_operands_us();
+        let recv = self.receive_result_us();
+        let row = |label: &str, cycles: u64, paper_cycles: u64, paper_msec: f64| Table1Row {
+            label: label.into(),
+            cycles,
+            msec: clocks.arm_cycles_to_ms(cycles),
+            paper_cycles,
+            paper_msec,
+        };
+        vec![
+            row("Mult in HW", mult.total_arm_cycles, 5_349_567, 4.458),
+            row("Add in HW", add.total_arm_cycles, 31_339, 0.026),
+            row("Add in SW", sw_add, 54_680_467, 45.567),
+            row(
+                "Send two ciphertexts to HW",
+                clocks.us_to_arm_cycles(send),
+                434_013,
+                0.362,
+            ),
+            row(
+                "Receive result ciphertext from HW",
+                clocks.us_to_arm_cycles(recv),
+                215_697,
+                0.180,
+            ),
+        ]
+    }
+
+    /// End-to-end latency of one offloaded `Mult` including both
+    /// transfers, ms.
+    pub fn mult_latency_ms(&self, ctx: &FvContext) -> f64 {
+        (self.coproc.run_mult(ctx).total_us + self.send_operands_us() + self.receive_result_us())
+            / 1000.0
+    }
+
+    /// Sustained throughput in multiplications per second with all
+    /// coprocessors busy (the paper's 400 Mult/s headline: two
+    /// coprocessors, 5 ms per offloaded Mult each).
+    pub fn mult_throughput_per_s(&self, ctx: &FvContext) -> f64 {
+        self.coprocessors as f64 * 1000.0 / self.mult_latency_ms(ctx)
+    }
+
+    /// The software/hardware `Add` ratio the paper quotes (§VI-A: "80
+    /// times more time than the same computation in HW, including the
+    /// overhead of sending and receiving ciphertexts").
+    pub fn add_sw_hw_ratio(&self, ctx: &FvContext) -> f64 {
+        let hw_us =
+            self.coproc.run_add().total_us + self.send_operands_us() + self.receive_result_us();
+        let sw_us = self
+            .clocks()
+            .arm_cycles_to_ms(self.sw.add_arm_cycles(ctx.params().k(), ctx.params().n))
+            * 1000.0;
+        sw_us / hw_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_core::params::FvParams;
+
+    fn ctx() -> FvContext {
+        FvContext::new(FvParams::hpca19()).unwrap()
+    }
+
+    #[test]
+    fn table1_within_one_percent() {
+        let sys = System::default();
+        let rows = sys.table1(&ctx());
+        for r in &rows {
+            let ratio = r.cycles as f64 / r.paper_cycles as f64;
+            assert!(
+                (0.99..=1.01).contains(&ratio),
+                "{}: modeled {} vs paper {} (ratio {ratio:.4})",
+                r.label,
+                r.cycles,
+                r.paper_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_is_about_400_per_second() {
+        let sys = System::default();
+        let tput = sys.mult_throughput_per_s(&ctx());
+        assert!(
+            (392.0..=408.0).contains(&tput),
+            "throughput {tput:.1} Mult/s vs paper 400"
+        );
+    }
+
+    #[test]
+    fn one_coprocessor_halves_throughput() {
+        let mut sys = System::default();
+        sys.coprocessors = 1;
+        let tput = sys.mult_throughput_per_s(&ctx());
+        assert!((196.0..=204.0).contains(&tput), "{tput}");
+    }
+
+    #[test]
+    fn sw_add_is_80x_slower_than_hw() {
+        let sys = System::default();
+        let ratio = sys.add_sw_hw_ratio(&ctx());
+        assert!(
+            (75.0..=85.0).contains(&ratio),
+            "SW/HW Add ratio {ratio:.1} vs paper 80"
+        );
+    }
+
+    #[test]
+    fn sw_add_model_matches_table1() {
+        let sw = ArmSwModel::default();
+        let cycles = sw.add_arm_cycles(6, 4096);
+        let ratio = cycles as f64 / 54_680_467.0;
+        assert!((0.9999..=1.0001).contains(&ratio));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the simulator: the NTT schedule stays
+//! conflict-free and functionally correct for every power-of-two size, the
+//! DMA model is monotone, and the cost model scales sanely.
+
+use hefv_math::ntt::NttTable;
+use hefv_math::primes::ntt_prime;
+use hefv_math::zq::Modulus;
+use hefv_sim::bram::PolyMem;
+use hefv_sim::clock::ClockConfig;
+use hefv_sim::cost::{CostModel, Instr};
+use hefv_sim::dma::DmaModel;
+use hefv_sim::nttsched::{execute_forward, execute_inverse, NttSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn schedule_conflict_free_for_all_sizes(log_n in 3u32..13, depth in 1u64..32) {
+        let n = 1usize << log_n;
+        let auditor = NttSchedule::new(n).audit(depth);
+        prop_assert!(auditor.is_clean(), "n={n} depth={depth}");
+        prop_assert_eq!(auditor.total_reads(), (log_n as u64) * (n as u64) / 2);
+    }
+
+    #[test]
+    fn schedule_ntt_matches_reference(log_n in 3u32..9, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let q = ntt_prime(30, n, 0).unwrap();
+        let table = NttTable::new(Modulus::new(q), n).unwrap();
+        let mut st = seed;
+        let coeffs: Vec<u64> = (0..n).map(|_| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            st % q
+        }).collect();
+        let mut reference = coeffs.clone();
+        table.forward(&mut reference);
+        let sched = NttSchedule::new(n);
+        let mut mem = PolyMem::load(&coeffs);
+        execute_forward(&sched, &mut mem, &table);
+        prop_assert_eq!(mem.coeffs(), &reference[..]);
+        // and the inverse brings it back
+        execute_inverse(&sched, &mut mem, &table);
+        prop_assert_eq!(mem.coeffs(), &coeffs[..]);
+    }
+
+    #[test]
+    fn dma_monotone_in_bytes_and_chunks(
+        bytes in 1usize..1_000_000,
+        chunks in 1usize..64,
+    ) {
+        let m = DmaModel::default();
+        let t = m.transfer_us(bytes, chunks);
+        prop_assert!(t > 0.0);
+        prop_assert!(m.transfer_us(bytes + 4096, chunks) > t);
+        prop_assert!(m.transfer_us(bytes, chunks + 1) > t);
+    }
+
+    #[test]
+    fn cost_model_monotone_in_n(log_n in 10u32..16) {
+        let small = CostModel { n: 1 << log_n, ..CostModel::default() };
+        let big = CostModel { n: 1 << (log_n + 1), ..CostModel::default() };
+        for i in Instr::ALL {
+            prop_assert!(
+                big.datapath_cycles(i) > small.datapath_cycles(i),
+                "{}", i.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clock_conversions_consistent(cycles in 1u64..100_000_000) {
+        let c = ClockConfig::default();
+        let us = c.fpga_cycles_to_us(cycles);
+        let arm = c.fpga_to_arm_cycles(cycles);
+        // arm cycles = 6x fpga cycles at the paper's clocks
+        prop_assert_eq!(arm, cycles * 6);
+        prop_assert!((c.us_to_arm_cycles(us) as i64 - arm as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn more_lift_cores_never_slower(cores in 1usize..8) {
+        let base = CostModel { lift_cores: cores, ..CostModel::default() };
+        let more = CostModel { lift_cores: cores + 1, ..CostModel::default() };
+        prop_assert!(more.datapath_cycles(Instr::Lift) <= base.datapath_cycles(Instr::Lift));
+    }
+}

@@ -1,0 +1,10 @@
+//! # hefv — facade crate
+//!
+//! Re-exports the HEAT-rs workspace: the FV homomorphic-encryption library
+//! ([`core`]), its arithmetic substrate ([`math`]), the cycle-level
+//! coprocessor simulator ([`sim`]) and the application layer ([`apps`]).
+
+pub use hefv_apps as apps;
+pub use hefv_core as core;
+pub use hefv_math as math;
+pub use hefv_sim as sim;

@@ -1,0 +1,73 @@
+//! Integration tests of the application layer through the public facade.
+
+use hefv::apps::meter::{synthetic_readings, Forecaster};
+use hefv::apps::search::{encrypt_query, extract, search, Table};
+use hefv::apps::sorting::{sort_bits, SortingNetwork};
+use hefv::core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn meter_forecast_end_to_end() {
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681; // batching-capable for n = 256
+    let ctx = FvContext::new(params).unwrap();
+    let enc = BatchEncoder::new(7681, ctx.params().n).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+
+    let readings = synthetic_readings(&mut rng, enc.slots());
+    let mut epoch = |i: usize| {
+        let vals: Vec<u64> = readings.iter().map(|r| r[i]).collect();
+        encrypt(&ctx, &pk, &enc.encode(&vals), &mut rng)
+    };
+    let cts = [epoch(0), epoch(1), epoch(2)];
+    let f = Forecaster::default();
+    let out = f.forecast(&ctx, &enc, &cts, &rlk, Backend::default());
+    let slots = enc.decode(&decrypt(&ctx, &sk, &out));
+    for h in [0usize, 17, 255] {
+        assert_eq!(slots[h], f.forecast_plain(7681, readings[h]), "household {h}");
+    }
+}
+
+#[test]
+fn search_end_to_end_multiple_queries() {
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681;
+    let ctx = FvContext::new(params).unwrap();
+    let enc = BatchEncoder::new(7681, ctx.params().n).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+
+    let keys: Vec<u64> = vec![3, 9, 12, 1, 7];
+    let values: Vec<u64> = vec![33, 99, 120, 11, 77];
+    let table = Table::new(keys, values, 4);
+    for (k, v) in [(9u64, 99u64), (1, 11), (12, 120)] {
+        let q = encrypt_query(&ctx, &enc, &pk, k, 4, &mut rng);
+        let masked = search(&ctx, &enc, &table, &q, &rlk, Backend::default());
+        let pt = decrypt(&ctx, &sk, &masked);
+        let (_, value) = extract(&enc, &pt, 5).expect("present");
+        assert_eq!(value, v, "key {k}");
+    }
+}
+
+#[test]
+fn sorting_network_on_both_backends() {
+    let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let input = [1u64, 1, 0, 1];
+    let bits: Vec<Ciphertext> = input
+        .iter()
+        .map(|&b| encrypt(&ctx, &pk, &Plaintext::new(vec![b], 2, ctx.params().n), &mut rng))
+        .collect();
+    let net = SortingNetwork::batcher4();
+    for backend in [Backend::Traditional, Backend::Hps(HpsPrecision::F64)] {
+        let sorted = sort_bits(&ctx, &net, &bits, &rlk, backend);
+        let got: Vec<u64> = sorted
+            .iter()
+            .map(|c| decrypt(&ctx, &sk, c).coeffs()[0])
+            .collect();
+        assert_eq!(got, [0, 1, 1, 1], "backend {backend:?}");
+    }
+}

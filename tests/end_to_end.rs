@@ -1,0 +1,105 @@
+//! End-to-end integration tests across the workspace crates: the FV
+//! library, the simulator, and the application layer working together.
+
+use hefv::core::prelude::*;
+use hefv::sim::coproc::Coprocessor;
+use hefv::sim::system::System;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn medium() -> (FvContext, SecretKey, PublicKey, RelinKey, StdRng) {
+    let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    (ctx, sk, pk, rlk, rng)
+}
+
+#[test]
+fn depth_four_chain_decrypts_on_paper_sized_modulus() {
+    // The paper's headline capability: multiplicative depth 4 with the
+    // 180-bit six-prime modulus (n reduced for test speed; the modulus,
+    // prime structure, digit count and noise machinery are the paper's).
+    let (ctx, sk, pk, rlk, mut rng) = medium();
+    let one = encrypt(
+        &ctx,
+        &pk,
+        &Plaintext::new(vec![1], ctx.params().t, ctx.params().n),
+        &mut rng,
+    );
+    let mut acc = one.clone();
+    for level in 1..=4 {
+        acc = mul(&ctx, &acc, &one, &rlk, Backend::default());
+        let budget = measure(&ctx, &sk, &acc).budget_bits;
+        assert!(
+            budget > 0.0,
+            "budget exhausted at level {level}: {budget:.1} bits"
+        );
+    }
+    assert_eq!(decrypt(&ctx, &sk, &acc).coeffs()[0], 1);
+}
+
+#[test]
+fn simulator_and_library_agree_bit_for_bit() {
+    let (ctx, sk, pk, rlk, mut rng) = medium();
+    let pa = Plaintext::new(vec![3, 1, 4], ctx.params().t, ctx.params().n);
+    let pb = Plaintext::new(vec![1, 5, 9], ctx.params().t, ctx.params().n);
+    let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+    let cb = encrypt(&ctx, &pk, &pb, &mut rng);
+    let cop = Coprocessor::default();
+    let (hw, _) = cop.execute_mult(&ctx, &ca, &cb, &rlk);
+    let sw = mul(&ctx, &ca, &cb, &rlk, Backend::Hps(HpsPrecision::Fixed));
+    assert_eq!(hw, sw);
+    let _ = sk;
+}
+
+#[test]
+fn backends_agree_on_random_workloads() {
+    let (ctx, sk, pk, rlk, mut rng) = medium();
+    use rand::Rng;
+    for trial in 0..3 {
+        let coeffs: Vec<u64> = (0..8).map(|_| rng.gen_range(0..ctx.params().t)).collect();
+        let pa = Plaintext::new(coeffs.clone(), ctx.params().t, ctx.params().n);
+        let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+        let trad = mul(&ctx, &ca, &ca, &rlk, Backend::Traditional);
+        let hps = mul(&ctx, &ca, &ca, &rlk, Backend::Hps(HpsPrecision::Fixed));
+        assert_eq!(trad, hps, "trial {trial}");
+        assert_eq!(
+            decrypt(&ctx, &sk, &trad),
+            decrypt(&ctx, &sk, &hps),
+            "trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn table1_and_throughput_reproduce_at_integration_level() {
+    let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+    let sys = System::default();
+    let rows = sys.table1(&ctx);
+    assert_eq!(rows.len(), 5);
+    for r in &rows {
+        let ratio = r.cycles as f64 / r.paper_cycles as f64;
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "{} off by {ratio:.3}",
+            r.label
+        );
+    }
+    let tput = sys.mult_throughput_per_s(&ctx);
+    assert!((392.0..=408.0).contains(&tput));
+}
+
+#[test]
+fn fresh_ciphertexts_survive_transport_shape() {
+    // Ciphertexts cross the network in the paper's client/server model;
+    // the transfer size must match the DMA workload of Table III.
+    let (ctx, sk, pk, _, mut rng) = medium();
+    let pt = Plaintext::new(vec![7, 7, 7], ctx.params().t, ctx.params().n);
+    let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+    assert_eq!(
+        ct.transfer_bytes(),
+        2 * ctx.params().k() * ctx.params().n * 4
+    );
+    let ct2 = ct.clone();
+    assert_eq!(decrypt(&ctx, &sk, &ct2), pt);
+}

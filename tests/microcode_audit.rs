@@ -1,0 +1,70 @@
+//! Audits the simulator's microarchitectural claims at the integration
+//! level: instruction traces, schedule conflict-freedom, and the
+//! Table II call-count contract.
+
+use hefv::core::{context::FvContext, params::FvParams};
+use hefv::sim::coproc::{mult_microcode, Coprocessor, Op};
+use hefv::sim::cost::Instr;
+use hefv::sim::nttsched::NttSchedule;
+use std::collections::HashMap;
+
+#[test]
+fn paper_microcode_matches_table2_call_counts() {
+    let ops = mult_microcode(6, 7, 6, 7, 4096, 19.64);
+    let mut counts: HashMap<&'static str, u32> = HashMap::new();
+    for op in &ops {
+        if let Op::Instr(i) = op {
+            *counts.entry(i.name()).or_insert(0) += 1;
+        }
+    }
+    let expected = [
+        ("NTT", 14u32),
+        ("Inverse-NTT", 8),
+        ("Coeff. wise Multiplication", 20),
+        ("Coeff. wise Addition", 26),
+        ("Memory Rearrange", 22),
+        ("Lift q->Q (2 cores)", 4),
+        ("Scale Q->q (2 cores)", 3),
+    ];
+    for (name, n) in expected {
+        assert_eq!(counts[name], n, "{name}");
+    }
+}
+
+#[test]
+fn microcode_scales_with_parameter_shape() {
+    // Table V row 2 shape: n = 8192, twelve q primes, thirteen p primes.
+    let ops = mult_microcode(12, 13, 12, 13, 8192, 19.64);
+    let ntt = ops
+        .iter()
+        .filter(|o| matches!(o, Op::Instr(Instr::Ntt)))
+        .count();
+    // 4 polys × ceil(25/13)=2 batches + 12 digits × 1 batch = 20.
+    assert_eq!(ntt, 20);
+}
+
+#[test]
+fn full_size_schedule_is_conflict_free_with_realistic_pipeline() {
+    for depth in [1u64, 8, 12, 24] {
+        let auditor = NttSchedule::new(4096).audit(depth);
+        assert!(
+            auditor.is_clean(),
+            "pipeline depth {depth}: {:?}",
+            auditor.violations().first()
+        );
+    }
+}
+
+#[test]
+fn mult_report_composition_is_consistent() {
+    let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+    let cop = Coprocessor::default();
+    let r = cop.run_mult(&ctx);
+    // Components must add up to the total.
+    let us_from_parts = cop.clocks.fpga_cycles_to_us(r.instr_fpga_cycles)
+        + r.rlk_dma_us
+        + r.sync_us;
+    assert!((us_from_parts - r.total_us).abs() < 1e-6);
+    // Instruction time should dominate DMA (the paper: transfers ≈ 30%).
+    assert!(r.rlk_dma_us < cop.clocks.fpga_cycles_to_us(r.instr_fpga_cycles));
+}
