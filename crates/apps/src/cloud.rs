@@ -1,21 +1,21 @@
-//! The cloud service architecture of Fig. 11: a server with two
-//! coprocessor workers fed by a dispatcher (the paper's "Networking Arm
-//! Core"), and a thin client that ships ciphertexts over the wire format.
+//! The cloud service architecture of Fig. 11, running on `hefv-engine`.
 //!
-//! The workers run on real threads; each executes requests *functionally*
-//! (bit-exact FV arithmetic) and reports the simulated coprocessor timing,
-//! so the server can account the platform's throughput the way §VI-A
-//! measures it.
+//! Earlier revisions of this module owned a bespoke dispatcher and worker
+//! threads; it is now a thin adapter over the evaluation engine, which
+//! adds cost-aware scheduling, per-tenant key isolation and telemetry.
+//! The public surface (requests over the §V-D wire format, per-response
+//! worker id and simulated coprocessor cost) is unchanged.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use hefv_core::context::FvContext;
 use hefv_core::encrypt::Ciphertext;
 use hefv_core::keys::RelinKey;
 use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
-use hefv_sim::coproc::Coprocessor;
-use std::sync::atomic::{AtomicU64, Ordering};
+use hefv_engine::{Engine, EngineConfig, EvalOp, EvalRequest, TenantKeys};
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+
+/// The tenant id the single-tenant cloud façade registers its key under.
+const CLOUD_TENANT: u64 = 0;
 
 /// A homomorphic request, as it arrives from the network.
 #[derive(Debug, Clone)]
@@ -32,93 +32,86 @@ pub enum Request {
 pub struct Response {
     /// Wire-format result ciphertext.
     pub bytes: Vec<u8>,
-    /// Which coprocessor executed it.
+    /// Which engine worker executed it.
     pub worker: usize,
     /// Simulated coprocessor time, µs (excluding transfers).
     pub coproc_us: f64,
 }
 
-struct Job {
-    request: Request,
-    reply: Sender<Result<Response, String>>,
-}
-
-/// The cloud server: a dispatcher feeding `workers` coprocessor threads.
+/// The cloud server: the engine's worker pool behind the Fig. 11 API.
 pub struct CloudServer {
-    queue: Sender<Job>,
-    handles: Vec<JoinHandle<()>>,
-    /// Total simulated coprocessor busy-time, nanoseconds (µs × 1000).
-    busy_ns: Arc<AtomicU64>,
-    workers: usize,
+    engine: Engine,
 }
 
 impl CloudServer {
-    /// Spawns the server with `workers` coprocessor instances (the paper
-    /// places two) sharing one evaluation context and relinearization key.
+    /// Spawns the server with `workers` engine workers (the paper places
+    /// two coprocessors) sharing one evaluation context and
+    /// relinearization key.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn start(ctx: Arc<FvContext>, rlk: Arc<RelinKey>, workers: usize) -> Self {
-        assert!(workers > 0, "need at least one coprocessor");
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(128);
-        let busy_ns = Arc::new(AtomicU64::new(0));
-        let mut handles = Vec::with_capacity(workers);
-        for worker in 0..workers {
-            let rx = rx.clone();
-            let ctx = Arc::clone(&ctx);
-            let rlk = Arc::clone(&rlk);
-            let busy = Arc::clone(&busy_ns);
-            handles.push(std::thread::spawn(move || {
-                let cop = Coprocessor::default();
-                while let Ok(job) = rx.recv() {
-                    let result = Self::execute(&cop, &ctx, &rlk, worker, &job.request);
-                    if let Ok(r) = &result {
-                        busy.fetch_add((r.coproc_us * 1000.0) as u64, Ordering::Relaxed);
-                    }
-                    let _ = job.reply.send(result);
-                }
-            }));
-        }
-        CloudServer {
-            queue: tx,
-            handles,
-            busy_ns,
-            workers,
-        }
+        assert!(workers > 0, "need at least one worker");
+        let engine = Engine::start(
+            ctx,
+            EngineConfig {
+                workers,
+                threads_per_job: 1,
+                queue_capacity: 128,
+                ..EngineConfig::default()
+            },
+        );
+        engine.register_tenant(
+            CLOUD_TENANT,
+            TenantKeys {
+                pk: None,
+                rlk: Some(rlk),
+                galois: None,
+            },
+        );
+        CloudServer { engine }
     }
 
-    fn execute(
-        cop: &Coprocessor,
-        ctx: &FvContext,
-        rlk: &RelinKey,
-        worker: usize,
-        request: &Request,
-    ) -> Result<Response, String> {
-        let (a_bytes, b_bytes, is_mult) = match request {
-            Request::Add(a, b) => (a, b, false),
-            Request::Mult(a, b) => (a, b, true),
+    fn to_eval_request(&self, request: &Request) -> Result<EvalRequest, String> {
+        let ctx = self.engine.context();
+        let (a_bytes, b_bytes, op): (_, _, fn(_, _) -> EvalOp) = match request {
+            Request::Add(a, b) => (a, b, EvalOp::Add),
+            Request::Mult(a, b) => (a, b, EvalOp::Mul),
         };
-        let a = decode_ciphertext(ctx, a_bytes)?;
-        let b = decode_ciphertext(ctx, b_bytes)?;
-        let (out, report) = if is_mult {
-            cop.execute_mult(ctx, &a, &b, rlk)
-        } else {
-            cop.execute_add(ctx, &a, &b)
-        };
-        Ok(Response {
-            bytes: encode_ciphertext(&out),
-            worker,
-            coproc_us: report.total_us,
-        })
+        let a = decode_ciphertext(ctx, a_bytes).map_err(String::from)?;
+        let b = decode_ciphertext(ctx, b_bytes).map_err(String::from)?;
+        Ok(EvalRequest::binary(CLOUD_TENANT, op, a, b))
     }
 
     /// Submits a request; returns a receiver for the response.
     pub fn submit(&self, request: Request) -> Receiver<Result<Response, String>> {
-        let (tx, rx) = bounded(1);
-        self.queue
-            .send(Job { request, reply: tx })
-            .expect("server accepting requests");
+        let (tx, rx) = channel();
+        match self.to_eval_request(&request) {
+            Ok(req) => {
+                let sent = self.engine.submit_with_callback(req, move |outcome| {
+                    let _ = tx.send(
+                        outcome
+                            .map(|resp| Response {
+                                bytes: encode_ciphertext(&resp.result),
+                                worker: resp.report.worker as usize,
+                                coproc_us: resp.report.est_cost_us,
+                            })
+                            .map_err(String::from),
+                    );
+                });
+                if let Err(e) = sent {
+                    // The callback (and tx with it) was dropped unused; a
+                    // fresh channel carries the submission error instead.
+                    let (tx2, rx2) = channel();
+                    let _ = tx2.send(Err(String::from(e)));
+                    return rx2;
+                }
+            }
+            Err(e) => {
+                let _ = tx.send(Err(e));
+            }
+        }
         rx
     }
 
@@ -126,29 +119,31 @@ impl CloudServer {
     ///
     /// # Errors
     ///
-    /// Propagates decode/execution errors from the worker.
+    /// Propagates decode/execution errors from the engine.
     pub fn call(&self, request: Request) -> Result<Response, String> {
         self.submit(request)
             .recv()
             .map_err(|_| "server stopped".to_string())?
     }
 
-    /// Number of coprocessor workers.
+    /// Number of engine workers.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.engine.workers()
     }
 
     /// Total simulated coprocessor busy time so far, µs.
     pub fn simulated_busy_us(&self) -> f64 {
-        self.busy_ns.load(Ordering::Relaxed) as f64 / 1000.0
+        self.engine.stats().sim_cost_us
+    }
+
+    /// The underlying engine (stats, registry, batching).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Shuts the server down, joining the worker threads.
     pub fn shutdown(self) {
-        drop(self.queue);
-        for h in self.handles {
-            let _ = h.join();
-        }
+        self.engine.shutdown();
     }
 }
 
@@ -172,7 +167,7 @@ pub mod client {
     ///
     /// Propagates wire-format errors.
     pub fn unpack(ctx: &FvContext, r: &Response) -> Result<Ciphertext, String> {
-        decode_ciphertext(ctx, &r.bytes)
+        decode_ciphertext(ctx, &r.bytes).map_err(String::from)
     }
 }
 
@@ -231,7 +226,7 @@ mod tests {
             let expect = decrypt(&ctx, &sk, ct).coeffs()[0].pow(2) % t;
             assert_eq!(decrypt(&ctx, &sk, &out).coeffs()[0], expect);
         }
-        assert_eq!(workers_seen.len(), 2, "both coprocessors used");
+        assert_eq!(workers_seen.len(), 2, "both workers used");
         assert!(server.simulated_busy_us() > 0.0);
         server.shutdown();
     }
@@ -247,6 +242,20 @@ mod tests {
         let n = ctx.params().n;
         let ca = encrypt(&ctx, &pk, &Plaintext::new(vec![1], t, n), &mut rng);
         assert!(server.call(client::add_request(&ca, &ca)).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn engine_stats_visible_through_server() {
+        let (ctx, _, pk, rlk, mut rng) = setup();
+        let server = CloudServer::start(Arc::clone(&ctx), rlk, 1);
+        let t = ctx.params().t;
+        let n = ctx.params().n;
+        let ca = encrypt(&ctx, &pk, &Plaintext::new(vec![2], t, n), &mut rng);
+        server.call(client::mult_request(&ca, &ca)).unwrap();
+        let stats = server.engine().stats();
+        assert_eq!(stats.jobs_completed, 1);
+        assert!(stats.per_op.iter().any(|o| o.name == "mul" && o.count == 1));
         server.shutdown();
     }
 }

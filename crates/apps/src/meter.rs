@@ -44,9 +44,7 @@ impl Forecaster {
         rlk: &RelinKey,
         backend: Backend,
     ) -> Ciphertext {
-        let w = |i: usize| {
-            enc.encode(&vec![self.weights[i]; enc.slots()])
-        };
+        let w = |i: usize| enc.encode(&vec![self.weights[i]; enc.slots()]);
         // Weighted moving average (plaintext multiplications only).
         let mut acc = mul_plain(ctx, &readings[0], &w(0));
         acc = add(ctx, &acc, &mul_plain(ctx, &readings[1], &w(1)));

@@ -66,13 +66,13 @@ impl ToyRasta {
             state = affine(&self.matrices[r], &self.constants[r], &state);
             state = chi(&state);
         }
-        state = affine(&self.matrices[self.rounds], &self.constants[self.rounds], &state);
+        state = affine(
+            &self.matrices[self.rounds],
+            &self.constants[self.rounds],
+            &state,
+        );
         // Feed-forward: ⊕ key.
-        state
-            .iter()
-            .zip(key)
-            .map(|(&s, &k)| s ^ (k & 1))
-            .collect()
+        state.iter().zip(key).map(|(&s, &k)| s ^ (k & 1)).collect()
     }
 
     /// Homomorphic evaluation: the same keystream over FV-encrypted key
@@ -158,7 +158,11 @@ fn chi_encrypted(
 fn affine(m: &[Vec<u8>], c: &[u8], x: &[u8]) -> Vec<u8> {
     (0..x.len())
         .map(|i| {
-            let dot: u8 = m[i].iter().zip(x).map(|(&a, &b)| a & b).fold(0, |s, v| s ^ v);
+            let dot: u8 = m[i]
+                .iter()
+                .zip(x)
+                .map(|(&a, &b)| a & b)
+                .fold(0, |s, v| s ^ v);
             dot ^ c[i]
         })
         .collect()
@@ -172,11 +176,11 @@ fn random_invertible_matrix<R: Rng + ?Sized>(b: usize, rng: &mut R) -> Vec<Vec<u
     for i in 0..b {
         lower[i][i] = 1;
         upper[i][i] = 1;
-        for j in 0..i {
-            lower[i][j] = rng.gen_range(0..2);
+        for cell in lower[i].iter_mut().take(i) {
+            *cell = rng.gen_range(0..2);
         }
-        for j in i + 1..b {
-            upper[i][j] = rng.gen_range(0..2);
+        for cell in upper[i].iter_mut().skip(i + 1) {
+            *cell = rng.gen_range(0..2);
         }
     }
     // product L·U
@@ -219,8 +223,9 @@ mod tests {
                     a.swap(rank, p);
                     for r in 0..b {
                         if r != rank && a[r][col] == 1 {
-                            for c in 0..b {
-                                a[r][c] ^= a[rank][c];
+                            let pivot = a[rank].clone();
+                            for (x, p) in a[r].iter_mut().zip(&pivot) {
+                                *x ^= p;
                             }
                         }
                     }
@@ -306,7 +311,10 @@ mod tests {
             .iter()
             .map(|c| decrypt(&ctx, &sk, c).coeffs()[0] as u8)
             .collect();
-        assert_eq!(recovered, data, "cloud now holds FV encryptions of the data");
+        assert_eq!(
+            recovered, data,
+            "cloud now holds FV encryptions of the data"
+        );
     }
 
     #[test]

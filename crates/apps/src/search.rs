@@ -36,7 +36,7 @@ impl Table {
     /// Panics if lengths mismatch or a key overflows `key_bits`.
     pub fn new(keys: Vec<u64>, values: Vec<u64>, key_bits: usize) -> Self {
         assert_eq!(keys.len(), values.len(), "ragged table");
-        assert!(key_bits >= 1 && key_bits <= 16);
+        assert!((1..=16).contains(&key_bits));
         assert!(keys.iter().all(|&k| k < 1 << key_bits), "key overflow");
         Table {
             keys,
@@ -133,7 +133,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (FvContext, BatchEncoder, SecretKey, PublicKey, RelinKey, StdRng) {
+    fn setup() -> (
+        FvContext,
+        BatchEncoder,
+        SecretKey,
+        PublicKey,
+        RelinKey,
+        StdRng,
+    ) {
         let mut params = FvParams::insecure_medium();
         params.t = 7681; // prime, 7680 = 30·256 ≡ 0 mod 512 ✓ batching-capable
         let ctx = FvContext::new(params).unwrap();

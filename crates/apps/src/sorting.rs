@@ -26,11 +26,7 @@ impl SortingNetwork {
     /// layers.
     pub fn batcher4() -> Self {
         SortingNetwork {
-            layers: vec![
-                vec![(0, 1), (2, 3)],
-                vec![(0, 2), (1, 3)],
-                vec![(1, 2)],
-            ],
+            layers: vec![vec![(0, 1), (2, 3)], vec![(0, 2), (1, 3)], vec![(1, 2)]],
             wires: 4,
         }
     }
@@ -125,12 +121,7 @@ mod tests {
         (ctx, sk, pk, rlk, rng)
     }
 
-    fn enc_bit(
-        ctx: &FvContext,
-        pk: &PublicKey,
-        b: u64,
-        rng: &mut StdRng,
-    ) -> Ciphertext {
+    fn enc_bit(ctx: &FvContext, pk: &PublicKey, b: u64, rng: &mut StdRng) -> Ciphertext {
         encrypt(ctx, pk, &Plaintext::new(vec![b], 2, ctx.params().n), rng)
     }
 

@@ -15,7 +15,10 @@ fn main() {
     let clocks = ClockConfig::default();
 
     println!("\n=== Ablation A3 — butterfly cores per RPAU ===");
-    println!("{:<10} {:>12} {:>14} {:>16}", "cores", "NTT cycles", "fed by BRAM?", "Mult (ms)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>16}",
+        "cores", "NTT cycles", "fed by BRAM?", "Mult (ms)"
+    );
     for cores in [1usize, 2, 4, 8] {
         // The dual-bank paired-word memory sustains 2 words/cycle; beyond
         // 2 cores the memory is the bottleneck and cycles stop improving.
@@ -24,8 +27,10 @@ fn main() {
             butterfly_cores: effective,
             ..CostModel::default()
         };
-        let mut cop = Coprocessor::default();
-        cop.cost = model;
+        let cop = Coprocessor {
+            cost: model,
+            ..Default::default()
+        };
         let ntt = model.instr_cycles(Instr::Ntt);
         let ms = cop.run_mult(&ctx).total_us / 1000.0;
         let fed = if cores <= 2 { "yes" } else { "no (port-bound)" };
@@ -33,14 +38,19 @@ fn main() {
     }
 
     println!("\n=== Ablation A3 — Lift/Scale cores ===");
-    println!("{:<10} {:>14} {:>14} {:>16}", "cores", "Lift (us)", "Scale (us)", "Mult (ms)");
+    println!(
+        "{:<10} {:>14} {:>14} {:>16}",
+        "cores", "Lift (us)", "Scale (us)", "Mult (ms)"
+    );
     for cores in [1usize, 2, 4] {
         let model = CostModel {
             lift_cores: cores,
             ..CostModel::default()
         };
-        let mut cop = Coprocessor::default();
-        cop.cost = model;
+        let cop = Coprocessor {
+            cost: model,
+            ..Default::default()
+        };
         let ms = cop.run_mult(&ctx).total_us / 1000.0;
         println!(
             "{:<10} {:>14.1} {:>14.1} {:>16.3}",

@@ -26,14 +26,19 @@ fn main() {
         })
         .collect();
 
-    println!("\n=== Ablation A1 — Lift q->Q quotient arithmetic ({trials} random coefficients) ===");
+    println!(
+        "\n=== Ablation A1 — Lift q->Q quotient arithmetic ({trials} random coefficients) ==="
+    );
 
     // Exact oracle.
     let t0 = Instant::now();
     let exact: Vec<Vec<u64>> = inputs.iter().map(|a| ctx.lift().extend_exact(a)).collect();
     let exact_time = t0.elapsed();
 
-    for (label, prec) in [("f64 (HPS paper)", HpsPrecision::F64), ("89-bit fixed point (this paper)", HpsPrecision::Fixed)] {
+    for (label, prec) in [
+        ("f64 (HPS paper)", HpsPrecision::F64),
+        ("89-bit fixed point (this paper)", HpsPrecision::Fixed),
+    ] {
         let t1 = Instant::now();
         let got: Vec<Vec<u64>> = inputs
             .iter()

@@ -18,14 +18,29 @@ fn main() {
     // (the [20] measurement), i.e. the stage stream runs at 80% issue rate.
     let bubble_factor = 1.0 / 0.8;
     let ntt_fly = (stored.datapath_cycles(Instr::Ntt) as f64 * bubble_factor) as u64
-        + stored.instr_cycles(Instr::Ntt) - stored.datapath_cycles(Instr::Ntt);
+        + stored.instr_cycles(Instr::Ntt)
+        - stored.datapath_cycles(Instr::Ntt);
     let intt_fly = (stored.datapath_cycles(Instr::InverseNtt) as f64 * bubble_factor) as u64
-        + stored.instr_cycles(Instr::InverseNtt) - stored.datapath_cycles(Instr::InverseNtt);
+        + stored.instr_cycles(Instr::InverseNtt)
+        - stored.datapath_cycles(Instr::InverseNtt);
 
     println!("\n=== Ablation A2 — twiddle factors: ROM vs on-the-fly ===");
-    println!("{:<28} {:>14} {:>14}", "instruction", "stored (cyc)", "on-the-fly");
-    println!("{:<28} {:>14} {:>14}", "NTT", stored.instr_cycles(Instr::Ntt), ntt_fly);
-    println!("{:<28} {:>14} {:>14}", "Inverse-NTT", stored.instr_cycles(Instr::InverseNtt), intt_fly);
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "instruction", "stored (cyc)", "on-the-fly"
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "NTT",
+        stored.instr_cycles(Instr::Ntt),
+        ntt_fly
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Inverse-NTT",
+        stored.instr_cycles(Instr::InverseNtt),
+        intt_fly
+    );
 
     // Mult-level impact: 14 NTT + 8 INTT calls per Mult.
     let cop = Coprocessor::default();
@@ -34,9 +49,14 @@ fn main() {
     let extra = 14 * (ntt_fly - stored.instr_cycles(Instr::Ntt))
         + 8 * (intt_fly - stored.instr_cycles(Instr::InverseNtt));
     let fly_ms = (base.total_us + clocks.fpga_cycles_to_us(extra)) / 1000.0;
-    println!("\nMult with stored twiddles   : {:.3} ms", base.total_us / 1000.0);
-    println!("Mult with on-the-fly twiddles: {fly_ms:.3} ms (+{:.1}%)",
-        100.0 * (fly_ms * 1000.0 - base.total_us) / base.total_us);
+    println!(
+        "\nMult with stored twiddles   : {:.3} ms",
+        base.total_us / 1000.0
+    );
+    println!(
+        "Mult with on-the-fly twiddles: {fly_ms:.3} ms (+{:.1}%)",
+        100.0 * (fly_ms * 1000.0 - base.total_us) / base.total_us
+    );
 
     // The price: twiddle ROM BRAM cost from the resource model.
     println!("\nROM cost: 14 twiddle ROMs x 4 BRAM36K = 56 BRAMs (14% of the");

@@ -33,8 +33,10 @@ fn main() {
 
     assert_eq!(hw, sw, "MISMATCH — functional model diverged");
     println!("n=4096, 13 primes: functional Mult == library Mult, bit for bit ✓");
-    println!("decrypted product: {:?} (1+x+x³)(1+x²) mod 2",
-        &decrypt(&ctx, &sk, &hw).coeffs()[..6]);
+    println!(
+        "decrypted product: {:?} (1+x+x³)(1+x²) mod 2",
+        &decrypt(&ctx, &sk, &hw).coeffs()[..6]
+    );
     println!("\nhost wall-clock: functional model {t_hw:.2?}, library {t_sw:.2?}");
 
     println!("\ndatapath cycles from the functional execution:");
@@ -54,10 +56,14 @@ fn main() {
         + 4 * m.datapath_cycles(Instr::Lift)
         + 3 * m.datapath_cycles(Instr::Scale);
     println!("\nanalytic datapath total (drain-free): {analytic}");
-    println!("functional / analytic ratio         : {:.3}",
-        trace.total() as f64 / analytic as f64);
+    println!(
+        "functional / analytic ratio         : {:.3}",
+        trace.total() as f64 / analytic as f64
+    );
     let clocks = ClockConfig::default();
-    println!("functional datapath at 200 MHz      : {:.2} ms (instruction model: 3.35 ms)",
-        clocks.fpga_cycles_to_us(trace.total()) / 1000.0);
+    println!(
+        "functional datapath at 200 MHz      : {:.2} ms (instruction model: 3.35 ms)",
+        clocks.fpga_cycles_to_us(trace.total()) / 1000.0
+    );
     println!("\nOK");
 }

@@ -20,14 +20,28 @@ fn main() {
         "security (conservative LP estimate): {:.0} bits (paper claims ≥80 via [26])",
         sec.bits
     );
-    println!("worst-case model supported depth   : {}", model.supported_depth());
+    println!(
+        "worst-case model supported depth   : {}",
+        model.supported_depth()
+    );
     println!();
-    println!("{:<8} {:>16} {:>18} {:>12}", "level", "noise (bits)", "budget (bits)", "decrypts?");
+    println!(
+        "{:<8} {:>16} {:>18} {:>12}",
+        "level", "noise (bits)", "budget (bits)", "decrypts?"
+    );
 
-    let one = encrypt(&ctx, &pk, &Plaintext::new(vec![1], 2, ctx.params().n), &mut rng);
+    let one = encrypt(
+        &ctx,
+        &pk,
+        &Plaintext::new(vec![1], 2, ctx.params().n),
+        &mut rng,
+    );
     let mut acc = one.clone();
     let fresh = measure(&ctx, &sk, &acc);
-    println!("{:<8} {:>16.1} {:>18.1} {:>12}", 0, fresh.noise_bits, fresh.budget_bits, "yes");
+    println!(
+        "{:<8} {:>16.1} {:>18.1} {:>12}",
+        0, fresh.noise_bits, fresh.budget_bits, "yes"
+    );
     for level in 1..=8 {
         acc = mul(&ctx, &acc, &one, &rlk, Backend::default());
         let r = measure(&ctx, &sk, &acc);

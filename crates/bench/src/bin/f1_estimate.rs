@@ -43,8 +43,10 @@ fn main() {
         "utilization at {fit} coprocessors: LUT {:.0}%, Reg {:.0}%, BRAM {:.0}%, DSP {:.0}%",
         u[0], u[1], u[2], u[3]
     );
-    let mut sys = System::default();
-    sys.coprocessors = fit as usize;
+    let sys = System {
+        coprocessors: fit as usize,
+        ..Default::default()
+    };
     println!(
         "projected F1 throughput: {:.0} Mult/s ({}x the ZCU102's 400)",
         sys.mult_throughput_per_s(&ctx),

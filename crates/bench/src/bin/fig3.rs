@@ -10,7 +10,10 @@ use hefv_sim::nttsched::{execute_forward, NttSchedule};
 
 fn show_stage(s: &NttSchedule, t: usize, label: &str, cycles_to_show: u64) {
     println!("\n--- {label} ---");
-    println!("{:<8} {:<26} {:<26}", "cycle", "core 0 reads", "core 1 reads");
+    println!(
+        "{:<8} {:<26} {:<26}",
+        "cycle", "core 0 reads", "core 1 reads"
+    );
     let acc = s.read_accesses(t);
     for cycle in 0..cycles_to_show {
         let fmt = |core: usize| {
@@ -38,9 +41,24 @@ fn main() {
 
     // The paper's three illustrated regimes (its loop counts m map to our
     // butterfly distances t: index gap = m/2 coefficients).
-    show_stage(&s, 1024, "index gap 512 (paper's m = 1024): cores bank-exclusive", 6);
-    show_stage(&s, 2048, "index gap 1024 (paper's m = 2048): inverted order, cross-bank", 6);
-    show_stage(&s, 1, "final stage (paper's m = 4096): one word at a time", 6);
+    show_stage(
+        &s,
+        1024,
+        "index gap 512 (paper's m = 1024): cores bank-exclusive",
+        6,
+    );
+    show_stage(
+        &s,
+        2048,
+        "index gap 1024 (paper's m = 2048): inverted order, cross-bank",
+        6,
+    );
+    show_stage(
+        &s,
+        1,
+        "final stage (paper's m = 4096): one word at a time",
+        6,
+    );
 
     // Conflict audit over all stages.
     let auditor = s.audit(12);

@@ -17,9 +17,14 @@ fn main() {
     let ctx = FvContext::new(FvParams::hpca19()).expect("params");
     let sys = System::default();
     let ms = sys.mult_latency_ms(&ctx);
-    println!("\nenergy per Mult (two coprocessors): {:.1} mJ", p.energy_per_mult_mj(ms, 2));
+    println!(
+        "\nenergy per Mult (two coprocessors): {:.1} mJ",
+        p.energy_per_mult_mj(ms, 2)
+    );
     println!("for comparison (§VI-E): an Intel i5 at ~40 W running the 33 ms NFLlib");
-    println!("Mult spends ~{:.0} mJ per multiplication — ~{:.0}x more energy.",
+    println!(
+        "Mult spends ~{:.0} mJ per multiplication — ~{:.0}x more energy.",
         40.0 * 33.0,
-        40.0 * 33.0 / p.energy_per_mult_mj(ms, 2));
+        40.0 * 33.0 / p.energy_per_mult_mj(ms, 2)
+    );
 }

@@ -6,8 +6,8 @@
 //! software backend on the host, so the hardware-vs-software claim is
 //! checked against a baseline we control, not just quoted.
 
-use hefv_core::prelude::*;
 use hefv_core::eval;
+use hefv_core::prelude::*;
 use hefv_sim::system::System;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,15 +43,42 @@ fn main() {
     let hw_tput = sys.mult_throughput_per_s(&ctx);
 
     println!("\n=== §VI-E — homomorphic multiplication: hardware vs software ===");
-    println!("{:<52} {:>10} {:>12}", "implementation", "ms/Mult", "Mult/s");
+    println!(
+        "{:<52} {:>10} {:>12}",
+        "implementation", "ms/Mult", "Mult/s"
+    );
     println!("{}", "-".repeat(78));
-    println!("{:<52} {:>10.2} {:>12.1}", "FV-NFLlib, Intel i5 @1.8 GHz (paper baseline)", 33.0, 1000.0 / 33.0);
-    println!("{:<52} {:>10.2} {:>12.1}", "this repo, Rust software (measured, 1 thread)", sw_ms, 1000.0 / sw_ms);
-    println!("{:<52} {:>10.2} {:>12.1}", "simulated coprocessor x1 @200 MHz (incl. xfer)", hw_ms, 1000.0 / hw_ms);
-    println!("{:<52} {:>10.2} {:>12.1}", "simulated coprocessor x2 @200 MHz (paper config)", hw_ms, hw_tput);
+    println!(
+        "{:<52} {:>10.2} {:>12.1}",
+        "FV-NFLlib, Intel i5 @1.8 GHz (paper baseline)",
+        33.0,
+        1000.0 / 33.0
+    );
+    println!(
+        "{:<52} {:>10.2} {:>12.1}",
+        "this repo, Rust software (measured, 1 thread)",
+        sw_ms,
+        1000.0 / sw_ms
+    );
+    println!(
+        "{:<52} {:>10.2} {:>12.1}",
+        "simulated coprocessor x1 @200 MHz (incl. xfer)",
+        hw_ms,
+        1000.0 / hw_ms
+    );
+    println!(
+        "{:<52} {:>10.2} {:>12.1}",
+        "simulated coprocessor x2 @200 MHz (paper config)", hw_ms, hw_tput
+    );
     println!();
-    println!("speedup of 2 coprocessors vs NFLlib baseline : {:.1}x (paper: >13x)", hw_tput / (1000.0 / 33.0));
-    println!("speedup of 2 coprocessors vs our software    : {:.1}x", hw_tput / (1000.0 / sw_ms));
+    println!(
+        "speedup of 2 coprocessors vs NFLlib baseline : {:.1}x (paper: >13x)",
+        hw_tput / (1000.0 / 33.0)
+    );
+    println!(
+        "speedup of 2 coprocessors vs our software    : {:.1}x",
+        hw_tput / (1000.0 / sw_ms)
+    );
     println!();
     let hw_add_us =
         sys.coproc.run_add().total_us + sys.send_operands_us() + sys.receive_result_us();

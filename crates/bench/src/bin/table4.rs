@@ -1,32 +1,62 @@
 //! Regenerates Table IV: FPGA resource utilization on the ZCU102.
 
 use hefv_bench::{header, row};
-use hefv_sim::resources::{
-    coprocessor_blocks, coprocessor_total, table4, utilization, ZCU102,
-};
+use hefv_sim::resources::{coprocessor_blocks, coprocessor_total, table4, utilization, ZCU102};
 
 fn main() {
     header("Table IV — resource utilization (ZCU102)");
     let two = table4(2);
     let one = coprocessor_total();
-    row("2 coprocessors+interface LUTs", two.lut as f64, 133_692.0, "LUT");
-    row("2 coprocessors+interface Registers", two.reg as f64, 60_312.0, "FF");
-    row("2 coprocessors+interface BRAMs", two.bram as f64, 815.0, "BRAM");
-    row("2 coprocessors+interface DSPs", two.dsp as f64, 416.0, "DSP");
+    row(
+        "2 coprocessors+interface LUTs",
+        two.lut as f64,
+        133_692.0,
+        "LUT",
+    );
+    row(
+        "2 coprocessors+interface Registers",
+        two.reg as f64,
+        60_312.0,
+        "FF",
+    );
+    row(
+        "2 coprocessors+interface BRAMs",
+        two.bram as f64,
+        815.0,
+        "BRAM",
+    );
+    row(
+        "2 coprocessors+interface DSPs",
+        two.dsp as f64,
+        416.0,
+        "DSP",
+    );
     row("single coprocessor LUTs", one.lut as f64, 63_522.0, "LUT");
-    row("single coprocessor Registers", one.reg as f64, 25_622.0, "FF");
+    row(
+        "single coprocessor Registers",
+        one.reg as f64,
+        25_622.0,
+        "FF",
+    );
     row("single coprocessor BRAMs", one.bram as f64, 388.0, "BRAM");
     row("single coprocessor DSPs", one.dsp as f64, 208.0, "DSP");
 
     let u2 = utilization(two, ZCU102);
     let u1 = utilization(one, ZCU102);
-    println!("\nutilization %: two coprocessors {:.0}/{:.0}/{:.0}/{:.0} (paper 49/11/89/16)",
-        u2[0], u2[1], u2[2], u2[3]);
-    println!("utilization %: one coprocessor  {:.0}/{:.0}/{:.0}/{:.0} (paper 23/5/43/8)",
-        u1[0], u1[1], u1[2], u1[3]);
+    println!(
+        "\nutilization %: two coprocessors {:.0}/{:.0}/{:.0}/{:.0} (paper 49/11/89/16)",
+        u2[0], u2[1], u2[2], u2[3]
+    );
+    println!(
+        "utilization %: one coprocessor  {:.0}/{:.0}/{:.0}/{:.0} (paper 23/5/43/8)",
+        u1[0], u1[1], u1[2], u1[3]
+    );
 
     println!("\nper-block decomposition of one coprocessor:");
-    println!("{:<58} {:>5} {:>8} {:>8} {:>6} {:>5}", "block", "count", "LUT", "FF", "BRAM", "DSP");
+    println!(
+        "{:<58} {:>5} {:>8} {:>8} {:>6} {:>5}",
+        "block", "count", "LUT", "FF", "BRAM", "DSP"
+    );
     for b in coprocessor_blocks() {
         println!(
             "{:<58} {:>5} {:>8} {:>8} {:>6} {:>5}",

@@ -13,8 +13,15 @@ fn main() {
     for (r, paper) in table5().iter().zip(paper_totals) {
         println!(
             "(2^{:<2}, {:>5}) {:>8} {:>8} {:>8} {:>7} | {:>9.2} {:>9.2} {:>9.2} | {paper:>6.1} ms",
-            r.log_n, r.log_q, r.res.lut, r.res.reg, r.res.bram, r.res.dsp,
-            r.comp_ms, r.comm_ms, r.total_ms
+            r.log_n,
+            r.log_q,
+            r.res.lut,
+            r.res.reg,
+            r.res.bram,
+            r.res.dsp,
+            r.comp_ms,
+            r.comm_ms,
+            r.total_ms
         );
     }
     println!("\nmodel: per doubling of degree AND coefficient size — logic x2, BRAM x4,");

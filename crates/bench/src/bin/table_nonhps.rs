@@ -29,8 +29,10 @@ fn main() {
 
     let ctx = FvContext::new(FvParams::hpca19()).expect("params");
     let fast_ms = Coprocessor::default().run_mult(&ctx).total_us / 1000.0;
-    println!("\nHPS coprocessor Mult: {fast_ms:.2} ms -> slowdown without HPS: {:.2}x",
-        slow_ms / fast_ms);
+    println!(
+        "\nHPS coprocessor Mult: {fast_ms:.2} ms -> slowdown without HPS: {:.2}x",
+        slow_ms / fast_ms
+    );
     println!("paper: \"the time for Mult is less than 2x slower\" — and the slower");
     println!("design uses a 3x smaller relinearization key; with equal keys it would");
     println!("be another ~30% slower (§VI-C).");

@@ -35,9 +35,24 @@ fn main() {
     let par_ms = t1.elapsed().as_secs_f64() * 1000.0 / iters as f64;
 
     println!("\n=== software Mult: sequential vs multi-threaded (n=4096, 180-bit q) ===");
-    println!("available parallelism: {} cores", std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
-    println!("{:<36} {:>10.2} ms/Mult {:>10.1} Mult/s", "sequential (1 thread)", seq_ms, 1000.0 / seq_ms);
-    println!("{:<36} {:>10.2} ms/Mult {:>10.1} Mult/s", "threaded (lifts/tensors/digits)", par_ms, 1000.0 / par_ms);
+    println!(
+        "available parallelism: {} cores",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+    println!(
+        "{:<36} {:>10.2} ms/Mult {:>10.1} Mult/s",
+        "sequential (1 thread)",
+        seq_ms,
+        1000.0 / seq_ms
+    );
+    println!(
+        "{:<36} {:>10.2} ms/Mult {:>10.1} Mult/s",
+        "threaded (lifts/tensors/digits)",
+        par_ms,
+        1000.0 / par_ms
+    );
     println!("speedup: {:.2}x", seq_ms / par_ms);
     println!("\nreference points (§VI-E): Badawi et al. single-thread 10 ms (60-bit q),");
     println!("26 threads 4 ms — a 2.5x gain; the coprocessor's fixed-function");

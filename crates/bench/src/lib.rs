@@ -8,13 +8,20 @@
 /// Prints a formatted comparison row: label, modeled value, paper value,
 /// ratio.
 pub fn row(label: &str, modeled: f64, paper: f64, unit: &str) {
-    let ratio = if paper != 0.0 { modeled / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        modeled / paper
+    } else {
+        f64::NAN
+    };
     println!("{label:<44} {modeled:>14.3} {paper:>14.3} {unit:<6} {ratio:>7.3}");
 }
 
 /// Prints the standard comparison header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
-    println!("{:<44} {:>14} {:>14} {:<6} {:>7}", "row", "modeled", "paper", "unit", "ratio");
+    println!(
+        "{:<44} {:>14} {:>14} {:<6} {:>7}",
+        "row", "modeled", "paper", "unit", "ratio"
+    );
     println!("{}", "-".repeat(92));
 }

@@ -1,5 +1,6 @@
 //! The FV evaluation context: every precomputed table an instance needs.
 
+use crate::error::Error;
 use crate::params::FvParams;
 use hefv_math::bigint::UBig;
 use hefv_math::ntt::NttTable;
@@ -41,21 +42,19 @@ impl FvContext {
     ///
     /// Returns an error if the primes are not NTT-friendly for `n`, overlap
     /// between bases, or the plaintext modulus is out of range.
-    pub fn new(params: FvParams) -> Result<Self, String> {
-        let rns = RnsContext::new(&params.q_primes, &params.p_primes)?;
+    pub fn new(params: FvParams) -> Result<Self, Error> {
+        let rns = RnsContext::new(&params.q_primes, &params.p_primes).map_err(Error::Math)?;
         if params.t < 2 {
-            return Err("plaintext modulus must be at least 2".into());
+            return Err(Error::InvalidParams(
+                "plaintext modulus must be at least 2".into(),
+            ));
         }
         let scale = ScaleContext::new(&rns, params.t);
         let mut tables_full = Vec::with_capacity(params.k() + params.l());
         for &p in params.q_primes.iter().chain(&params.p_primes) {
-            tables_full.push(NttTable::new(Modulus::new(p), params.n)?);
+            tables_full.push(NttTable::new(Modulus::new(p), params.n).map_err(Error::Math)?);
         }
-        let delta = rns
-            .base_q()
-            .product()
-            .div_rem(&UBig::from(params.t))
-            .0;
+        let delta = rns.base_q().product().div_rem(&UBig::from(params.t)).0;
         let delta_rns = rns.base_q().encode(&delta);
         Ok(FvContext {
             params,

@@ -132,8 +132,8 @@ pub fn decrypt(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
     let mut coeffs = Vec::with_capacity(n);
     let mut buf = vec![0u64; basis.len()];
     for c in 0..n {
-        for i in 0..basis.len() {
-            buf[i] = v.residues()[i][c];
+        for (slot, row) in buf.iter_mut().zip(v.residues()) {
+            *slot = row[c];
         }
         let centered = basis.decode_centered(&buf);
         let scaled = centered.scale_round(&t, q);

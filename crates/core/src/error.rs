@@ -1,0 +1,95 @@
+//! The library error type.
+//!
+//! The arithmetic substrate (`hefv-math`) reports failures as plain
+//! `String`s — those are construction-time conditions (non-NTT-friendly
+//! primes, overlapping bases) that the paper's hardware flow would catch at
+//! configuration time. This crate wraps them, and its own validation, in a
+//! structured [`Error`] so callers (notably `hefv-engine`) can route on the
+//! failure class instead of parsing messages.
+
+use core::fmt;
+
+/// Everything that can go wrong constructing or using an FV instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A parameter set failed validation (`t` out of range, bad shapes).
+    InvalidParams(String),
+    /// The arithmetic substrate rejected the configuration (primes not
+    /// NTT-friendly for `n`, overlapping RNS bases, …).
+    Math(String),
+    /// An encoder precondition failed (e.g. batching needs a prime
+    /// `t ≡ 1 mod 2n`).
+    Encoding(String),
+    /// A wire-format payload was malformed or inconsistent with the
+    /// receiving context.
+    Wire(String),
+}
+
+impl Error {
+    /// The failure class as a stable lowercase tag (for logs/telemetry).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::InvalidParams(_) => "invalid-params",
+            Error::Math(_) => "math",
+            Error::Encoding(_) => "encoding",
+            Error::Wire(_) => "wire",
+        }
+    }
+
+    /// The human-readable reason.
+    pub fn reason(&self) -> &str {
+        match self {
+            Error::InvalidParams(r) | Error::Math(r) | Error::Encoding(r) | Error::Wire(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParams(r) => write!(f, "invalid parameters: {r}"),
+            Error::Math(r) => write!(f, "arithmetic substrate: {r}"),
+            Error::Encoding(r) => write!(f, "encoding: {r}"),
+            Error::Wire(r) => write!(f, "wire format: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Bridge for callers (the workspace examples, app binaries) that return
+/// `Result<_, String>`.
+impl From<Error> for String {
+    fn from(e: Error) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind_are_stable() {
+        let e = Error::InvalidParams("t must be at least 2".into());
+        assert_eq!(e.kind(), "invalid-params");
+        assert_eq!(e.to_string(), "invalid parameters: t must be at least 2");
+        assert_eq!(Error::Math("x".into()).kind(), "math");
+        assert_eq!(Error::Wire("y".into()).reason(), "y");
+    }
+
+    #[test]
+    fn string_bridge_keeps_question_mark_working() {
+        fn f() -> Result<(), String> {
+            Err(Error::Encoding("no batching".into()))?;
+            Ok(())
+        }
+        assert_eq!(f().unwrap_err(), "encoding: no batching");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::Wire("bad magic".into()));
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

@@ -92,7 +92,11 @@ pub fn mul_plain(ctx: &FvContext, a: &Ciphertext, pt: &crate::encoder::Plaintext
 /// (the paper's `Lift q→Q`): keeps the `q` residues and appends the
 /// extension residues.
 pub fn lift_q_to_full(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> RnsPoly {
-    assert_eq!(poly.domain(), Domain::Coefficient, "lift needs coefficients");
+    assert_eq!(
+        poly.domain(),
+        Domain::Coefficient,
+        "lift needs coefficients"
+    );
     let ext = match backend {
         Backend::Traditional => ctx.rns().lift().extend_poly_exact(poly.residues()),
         Backend::Hps(prec) => ctx.rns().lift().extend_poly_hps(poly.residues(), prec),
@@ -105,12 +109,14 @@ pub fn lift_q_to_full(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> RnsP
 /// Scales a coefficient-domain polynomial over the full `Q` basis down to
 /// `R_q` (the paper's `Scale Q→q`).
 pub fn scale_full_to_q(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> RnsPoly {
-    assert_eq!(poly.domain(), Domain::Coefficient, "scale needs coefficients");
+    assert_eq!(
+        poly.domain(),
+        Domain::Coefficient,
+        "scale needs coefficients"
+    );
     let rows = match backend {
         Backend::Traditional => ctx.scale().scale_poly_exact(ctx.rns(), poly.residues()),
-        Backend::Hps(prec) => ctx
-            .scale()
-            .scale_poly_hps(ctx.rns(), poly.residues(), prec),
+        Backend::Hps(prec) => ctx.scale().scale_poly_hps(ctx.rns(), poly.residues(), prec),
     };
     RnsPoly::from_residues(rows, Domain::Coefficient)
 }

@@ -277,14 +277,8 @@ mod tests {
         let rotated = apply_galois(&ctx, &ct, &key);
         let got = decrypt(&ctx, &sk, &rotated);
         // Expected: the plaintext polynomial under σ_g.
-        let expect_rns = apply_automorphism(
-            &ctx,
-            &RnsPoly::from_signed(
-                &pt.centered(),
-                ctx.base_q(),
-            ),
-            g,
-        );
+        let expect_rns =
+            apply_automorphism(&ctx, &RnsPoly::from_signed(&pt.centered(), ctx.base_q()), g);
         // Compare modulo t by re-deriving plaintext coefficients.
         let m0 = ctx.base_q().modulus(0);
         for c in 0..n {
@@ -325,7 +319,11 @@ mod tests {
         assert_eq!(keys.keys().len(), 8, "log2(128) + 1 keys for n=256");
         let summed = sum_slots(&ctx, &ct, &keys);
         let got = enc.decode(&decrypt(&ctx, &sk, &summed));
-        assert!(got.iter().all(|&v| v == total), "all slots = {total}, got {:?}", &got[..4]);
+        assert!(
+            got.iter().all(|&v| v == total),
+            "all slots = {total}, got {:?}",
+            &got[..4]
+        );
     }
 
     #[test]

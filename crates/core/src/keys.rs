@@ -94,10 +94,7 @@ impl RelinKey {
             a.ntt_forward(ctx.ntt_q());
             let mut e = sampler::gaussian_poly(rng, basis, n, ctx.params().sigma);
             e.ntt_forward(ctx.ntt_q());
-            let mut key0 = a
-                .pointwise_mul(&sk.s_ntt, basis)
-                .add(&e, basis)
-                .neg(basis);
+            let mut key0 = a.pointwise_mul(&sk.s_ntt, basis).add(&e, basis).neg(basis);
             // add h_i * s^2: only residue row i is nonzero (h_i ≡ δ_ij).
             {
                 let m = basis.modulus(i);
@@ -133,8 +130,8 @@ impl RelinKey {
     /// needed to load the large relinearization keys").
     pub fn transfer_bytes(&self) -> usize {
         let per_poly = |p: &RnsPoly| p.k() * p.n() * 4;
-        self.rlk0.iter().map(|p| per_poly(p)).sum::<usize>()
-            + self.rlk1.iter().map(|p| per_poly(p)).sum::<usize>()
+        self.rlk0.iter().map(&per_poly).sum::<usize>()
+            + self.rlk1.iter().map(per_poly).sum::<usize>()
     }
 }
 

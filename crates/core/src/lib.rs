@@ -13,7 +13,7 @@
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
-//! # fn main() -> Result<(), String> {
+//! # fn main() -> Result<(), hefv_core::Error> {
 //! let ctx = FvContext::new(FvParams::insecure_toy())?;
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let (sk, pk, rlk) = keygen(&ctx, &mut rng);
@@ -31,6 +31,7 @@
 pub mod context;
 pub mod encoder;
 pub mod encrypt;
+pub mod error;
 pub mod eval;
 pub mod galois;
 pub mod keys;
@@ -42,11 +43,14 @@ pub mod sampler;
 pub mod security;
 pub mod wire;
 
+pub use error::Error;
+
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::context::FvContext;
     pub use crate::encoder::{BatchEncoder, IntegerEncoder, Plaintext};
     pub use crate::encrypt::{decrypt, encrypt, encrypt_symmetric, trivial_encrypt, Ciphertext};
+    pub use crate::error::Error;
     pub use crate::eval::{add, mul, mul_plain, neg, square, sub, Backend};
     pub use crate::galois::{apply_galois, sum_slots, GaloisKey, GaloisKeySet};
     pub use crate::keys::{keygen, PublicKey, RelinKey, SecretKey};

@@ -33,8 +33,8 @@ pub fn measure(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> NoiseReport 
     let mut buf = vec![0u64; basis.len()];
     let mut max_noise = UBig::zero();
     for c in 0..n {
-        for i in 0..basis.len() {
-            buf[i] = v.residues()[i][c];
+        for (slot, row) in buf.iter_mut().zip(v.residues()) {
+            *slot = row[c];
         }
         let vc = basis.decode(&buf);
         // m_c = round(t*v/q) mod t ; noise = v - Δ·m - (rounding part of Δ)
@@ -116,9 +116,23 @@ impl NoiseModel {
     /// Noise after a homomorphic multiplication of noises `n1`, `n2`
     /// (tensor + scale + RNS-digit relinearization).
     pub fn after_mul(&self, n1: f64, n2: f64) -> f64 {
-        let tensor = 2.0 * self.n * self.t * (n1 + n2 + 1.0) + 4.0 * self.n * self.n * self.t * self.t;
+        let tensor =
+            2.0 * self.n * self.t * (n1 + n2 + 1.0) + 4.0 * self.n * self.n * self.t * self.t;
         let relin = self.digits * self.n * self.word * self.b();
         tensor + relin
+    }
+
+    /// Noise after multiplying by a plaintext polynomial: the operand
+    /// noise is scaled by the plaintext's worst-case 1-norm `t·n`.
+    pub fn after_mul_plain(&self, n1: f64) -> f64 {
+        n1 * self.t * self.n
+    }
+
+    /// Noise after one key switch (rotation): the operand noise plus the
+    /// RNS-digit SoP term — the same `digits·n·w·B` term relinearization
+    /// contributes inside [`NoiseModel::after_mul`].
+    pub fn after_key_switch(&self, n1: f64) -> f64 {
+        n1 + self.digits * self.n * self.word * self.b()
     }
 
     /// The decryption-failure threshold `q / (2t)` in bits.

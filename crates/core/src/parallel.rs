@@ -5,76 +5,134 @@
 //! provides the same axis for our software backend: the four lifts, the
 //! per-residue transforms, the three tensor/scale pipelines and the relin
 //! digits are all independent — exactly the parallelism the paper's RPAUs
-//! exploit in hardware — so they fan out across OS threads with crossbeam
-//! scoped threads.
+//! exploit in hardware.
+//!
+//! Fan-out is *budgeted*: every entry point has a `_with_budget` variant
+//! taking the maximum number of OS threads the call may occupy, and the
+//! convenience wrappers derive their budget from
+//! `std::thread::available_parallelism()`. A multi-job caller (the
+//! `hefv-engine` worker pool) passes an explicit per-job budget so that
+//! concurrent jobs do not oversubscribe the machine.
 
 use crate::context::FvContext;
 use crate::encrypt::Ciphertext;
 use crate::eval::{lift_q_to_full, scale_full_to_q, Backend, TensorResult};
 use crate::keys::RelinKey;
 use crate::rnspoly::{Domain, RnsPoly};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Steps 1–3 of `Mult` with the lifts, transforms and scales fanned out
-/// over threads.
-pub fn tensor_threaded(
+/// The machine's thread capacity (`available_parallelism`, ≥ 1).
+pub fn machine_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..count)` on at most `budget` OS threads and collects the
+/// results in index order. With `budget <= 1` (or a single task) everything
+/// runs inline on the caller's thread — no spawn cost.
+pub fn fan_out_indexed<T, F>(count: usize, budget: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let workers = budget.max(1).min(count);
+    if workers == 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = f(i);
+                results.lock().unwrap()[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("every index produced"))
+        .collect()
+}
+
+/// Steps 1–3 of `Mult` fanned out over at most `budget` threads.
+pub fn tensor_threaded_with_budget(
     ctx: &FvContext,
     a: &Ciphertext,
     b: &Ciphertext,
     backend: Backend,
+    budget: usize,
 ) -> TensorResult {
     let full = ctx.rns().base_full();
 
-    // Phase 1: lift all four polynomials concurrently, then transform
-    // each poly's residue rows concurrently.
+    // Phase 1: lift + forward-transform all four operand polynomials.
     let inputs = [a.c0(), a.c1(), b.c0(), b.c1()];
-    let mut lifted: Vec<RnsPoly> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = inputs
-            .iter()
-            .map(|p| {
-                s.spawn(move |_| {
-                    let mut l = lift_q_to_full(ctx, p, backend);
-                    l.ntt_forward(ctx.ntt_full());
-                    l
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("threads");
-
+    let mut lifted = fan_out_indexed(4, budget, |i| {
+        let mut l = lift_q_to_full(ctx, inputs[i], backend);
+        l.ntt_forward(ctx.ntt_full());
+        l
+    });
     let l11 = lifted.pop().unwrap();
     let l10 = lifted.pop().unwrap();
     let l01 = lifted.pop().unwrap();
     let l00 = lifted.pop().unwrap();
 
     // Phase 2: the three tensor outputs, each with its inverse transform
-    // and scale, in parallel.
-    let (d0, d1, d2) = crossbeam::thread::scope(|s| {
-        let h0 = s.spawn(|_| {
-            let mut t = l00.pointwise_mul(&l10, full);
-            t.ntt_inverse(ctx.ntt_full());
-            scale_full_to_q(ctx, &t, backend)
-        });
-        let h1 = s.spawn(|_| {
-            let mut t = l00.pointwise_mul(&l11, full);
-            t.pointwise_mul_acc(&l01, &l10, full);
-            t.ntt_inverse(ctx.ntt_full());
-            scale_full_to_q(ctx, &t, backend)
-        });
-        let h2 = s.spawn(|_| {
-            let mut t = l01.pointwise_mul(&l11, full);
-            t.ntt_inverse(ctx.ntt_full());
-            scale_full_to_q(ctx, &t, backend)
-        });
-        (h0.join().unwrap(), h1.join().unwrap(), h2.join().unwrap())
-    })
-    .expect("threads");
-
+    // and scale.
+    let mut outs = fan_out_indexed(3, budget, |i| {
+        let mut t = match i {
+            0 => l00.pointwise_mul(&l10, full),
+            1 => {
+                let mut t = l00.pointwise_mul(&l11, full);
+                t.pointwise_mul_acc(&l01, &l10, full);
+                t
+            }
+            _ => l01.pointwise_mul(&l11, full),
+        };
+        t.ntt_inverse(ctx.ntt_full());
+        scale_full_to_q(ctx, &t, backend)
+    });
+    let d2 = outs.pop().unwrap();
+    let d1 = outs.pop().unwrap();
+    let d0 = outs.pop().unwrap();
     TensorResult { d0, d1, d2 }
 }
 
-/// Full multi-threaded `Mult`: threaded tensor, then relinearization with
-/// the digit SoPs fanned out.
+/// Steps 1–3 of `Mult` with the machine-wide thread budget.
+pub fn tensor_threaded(
+    ctx: &FvContext,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    backend: Backend,
+) -> TensorResult {
+    tensor_threaded_with_budget(ctx, a, b, backend, machine_budget())
+}
+
+/// Full multi-threaded `Mult` under an explicit thread budget.
+pub fn mul_threaded_with_budget(
+    ctx: &FvContext,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    rlk: &RelinKey,
+    backend: Backend,
+    budget: usize,
+) -> Ciphertext {
+    let t = tensor_threaded_with_budget(ctx, a, b, backend, budget);
+    relinearize_threaded_with_budget(ctx, &t, rlk, budget)
+}
+
+/// Full multi-threaded `Mult` with the machine-wide thread budget.
 pub fn mul_threaded(
     ctx: &FvContext,
     a: &Ciphertext,
@@ -82,36 +140,31 @@ pub fn mul_threaded(
     rlk: &RelinKey,
     backend: Backend,
 ) -> Ciphertext {
-    let t = tensor_threaded(ctx, a, b, backend);
-    relinearize_threaded(ctx, &t, rlk)
+    mul_threaded_with_budget(ctx, a, b, rlk, backend, machine_budget())
 }
 
-/// Relinearization with per-digit parallelism: each digit's spread + NTT +
-/// two pointwise products runs on its own thread; the partial products are
-/// reduced pairwise at the end.
-pub fn relinearize_threaded(ctx: &FvContext, t: &TensorResult, rlk: &RelinKey) -> Ciphertext {
+/// Relinearization with per-digit parallelism under an explicit budget:
+/// each digit's spread + NTT + two pointwise products is one task; the
+/// partial products are reduced pairwise at the end.
+pub fn relinearize_threaded_with_budget(
+    ctx: &FvContext,
+    t: &TensorResult,
+    rlk: &RelinKey,
+    budget: usize,
+) -> Ciphertext {
     let basis = ctx.base_q();
     let k = ctx.params().k();
     assert_eq!(rlk.digits(), k, "relin key digit count mismatch");
 
-    let partials: Vec<(RnsPoly, RnsPoly)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..k)
-            .map(|i| {
-                let d2 = &t.d2;
-                s.spawn(move |_| {
-                    let spread = ctx.spread_digit(&d2.residues()[i]);
-                    let mut digit = RnsPoly::from_residues(spread, Domain::Coefficient);
-                    digit.ntt_forward(ctx.ntt_q());
-                    (
-                        digit.pointwise_mul(rlk.rlk0(i), basis),
-                        digit.pointwise_mul(rlk.rlk1(i), basis),
-                    )
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("threads");
+    let partials = fan_out_indexed(k, budget, |i| {
+        let spread = ctx.spread_digit(&t.d2.residues()[i]);
+        let mut digit = RnsPoly::from_residues(spread, Domain::Coefficient);
+        digit.ntt_forward(ctx.ntt_q());
+        (
+            digit.pointwise_mul(rlk.rlk0(i), basis),
+            digit.pointwise_mul(rlk.rlk1(i), basis),
+        )
+    });
 
     let mut iter = partials.into_iter();
     let (mut acc0, mut acc1) = iter.next().expect("at least one digit");
@@ -127,6 +180,11 @@ pub fn relinearize_threaded(ctx: &FvContext, t: &TensorResult, rlk: &RelinKey) -
     }
 }
 
+/// Relinearization with the machine-wide thread budget.
+pub fn relinearize_threaded(ctx: &FvContext, t: &TensorResult, rlk: &RelinKey) -> Ciphertext {
+    relinearize_threaded_with_budget(ctx, t, rlk, machine_budget())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +195,15 @@ mod tests {
     use crate::params::FvParams;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn fan_out_preserves_index_order() {
+        for budget in [1, 2, 3, 16] {
+            let out = fan_out_indexed(7, budget, |i| i * i);
+            assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36], "budget {budget}");
+        }
+        assert!(fan_out_indexed(0, 4, |i| i).is_empty());
+    }
 
     #[test]
     fn threaded_mul_is_bit_identical_to_sequential() {
@@ -156,6 +223,20 @@ mod tests {
     }
 
     #[test]
+    fn every_budget_gives_the_same_ciphertext() {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(83);
+        let (_, pk, rlk) = keygen(&ctx, &mut rng);
+        let pa = Plaintext::new(vec![1, 1], ctx.params().t, ctx.params().n);
+        let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+        let reference = eval::mul(&ctx, &ca, &ca, &rlk, Backend::default());
+        for budget in [1, 2, 4, 64] {
+            let got = mul_threaded_with_budget(&ctx, &ca, &ca, &rlk, Backend::default(), budget);
+            assert_eq!(got, reference, "budget {budget}");
+        }
+    }
+
+    #[test]
     fn threaded_chain_stays_correct() {
         let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
         let mut rng = StdRng::seed_from_u64(82);
@@ -171,5 +252,10 @@ mod tests {
             acc = mul_threaded(&ctx, &acc, &one, &rlk, Backend::default());
         }
         assert_eq!(decrypt(&ctx, &sk, &acc).coeffs()[0], 1);
+    }
+
+    #[test]
+    fn machine_budget_is_positive() {
+        assert!(machine_budget() >= 1);
     }
 }

@@ -128,7 +128,12 @@ impl FvParams {
 
     /// Bits of `Q = q·p`.
     pub fn log_big_q(&self) -> u32 {
-        self.log_q() + self.p_primes.iter().map(|p| 64 - p.leading_zeros()).sum::<u32>()
+        self.log_q()
+            + self
+                .p_primes
+                .iter()
+                .map(|p| 64 - p.leading_zeros())
+                .sum::<u32>()
     }
 
     /// Number of residues in the `q` basis.
@@ -143,7 +148,7 @@ impl FvParams {
 
     /// Whether `t` supports SIMD batching (prime and `≡ 1 mod 2n`).
     pub fn supports_batching(&self) -> bool {
-        hefv_math::primes::is_prime(self.t) && (self.t - 1) % (2 * self.n as u64) == 0
+        hefv_math::primes::is_prime(self.t) && (self.t - 1).is_multiple_of(2 * self.n as u64)
     }
 }
 

@@ -166,7 +166,11 @@ impl RnsPoly {
     /// Panics on shape mismatch or if either operand is coefficient-domain.
     pub fn pointwise_mul(&self, other: &Self, basis: &RnsBasis) -> Self {
         self.check(other);
-        assert_eq!(self.domain, Domain::Ntt, "pointwise product needs NTT domain");
+        assert_eq!(
+            self.domain,
+            Domain::Ntt,
+            "pointwise product needs NTT domain"
+        );
         let residues = (0..self.k())
             .map(|i| {
                 let m = basis.modulus(i);
@@ -254,8 +258,8 @@ impl RnsPoly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hefv_math::primes::ntt_primes;
     use hefv_math::ntt::NttTable;
+    use hefv_math::primes::ntt_primes;
     use hefv_math::zq::Modulus;
 
     fn basis() -> RnsBasis {

@@ -53,8 +53,8 @@ mod tests {
     fn security_grows_with_dimension() {
         let base = estimate(&FvParams::hpca19());
         let bigger = estimate(&FvParams::table5(1)); // n doubles, q doubles
-        // Table V doubles both n and log q; LP security stays roughly
-        // level (that's the point of the paper scaling both together).
+                                                     // Table V doubles both n and log q; LP security stays roughly
+                                                     // level (that's the point of the paper scaling both together).
         assert!((bigger.bits - base.bits).abs() < 15.0);
         // Doubling n alone must increase security.
         let mut wide = FvParams::hpca19();
@@ -65,6 +65,10 @@ mod tests {
     #[test]
     fn toy_parameters_are_insecure_and_say_so() {
         let e = estimate(&FvParams::insecure_toy());
-        assert!(e.bits < 0.0, "toy set must be obviously broken: {:.1}", e.bits);
+        assert!(
+            e.bits < 0.0,
+            "toy set must be obviously broken: {:.1}",
+            e.bits
+        );
     }
 }

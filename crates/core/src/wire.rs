@@ -8,6 +8,7 @@
 
 use crate::context::FvContext;
 use crate::encrypt::Ciphertext;
+use crate::error::Error;
 use crate::rnspoly::{Domain, RnsPoly};
 
 /// Magic tag guarding the header.
@@ -42,30 +43,33 @@ pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a message when the header, sizes or length are inconsistent
-/// with the context.
-pub fn decode_ciphertext(ctx: &FvContext, bytes: &[u8]) -> Result<Ciphertext, String> {
-    let u32_at = |off: usize| -> Result<u32, String> {
+/// Returns [`Error::Wire`] when the header, sizes or length are
+/// inconsistent with the context.
+pub fn decode_ciphertext(ctx: &FvContext, bytes: &[u8]) -> Result<Ciphertext, Error> {
+    let u32_at = |off: usize| -> Result<u32, Error> {
         bytes
             .get(off..off + 4)
             .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-            .ok_or_else(|| "truncated header".to_string())
+            .ok_or_else(|| Error::Wire("truncated header".into()))
     };
     if u32_at(0)? != MAGIC {
-        return Err("bad magic".into());
+        return Err(Error::Wire("bad magic".into()));
     }
     let k = u32_at(4)? as usize;
     let n = u32_at(8)? as usize;
     if k != ctx.params().k() || n != ctx.params().n {
-        return Err(format!(
+        return Err(Error::Wire(format!(
             "shape mismatch: wire ({k},{n}) vs context ({},{})",
             ctx.params().k(),
             ctx.params().n
-        ));
+        )));
     }
     let want = 12 + 2 * k * n * 4;
     if bytes.len() != want {
-        return Err(format!("length {} != expected {want}", bytes.len()));
+        return Err(Error::Wire(format!(
+            "length {} != expected {want}",
+            bytes.len()
+        )));
     }
     let mut off = 12;
     let mut read_poly = || -> RnsPoly {
@@ -88,7 +92,9 @@ pub fn decode_ciphertext(ctx: &FvContext, bytes: &[u8]) -> Result<Ciphertext, St
         for (i, row) in poly.residues().iter().enumerate() {
             let q = ctx.base_q().modulus(i).value();
             if row.iter().any(|&c| c >= q) {
-                return Err(format!("{name} residue {i} has out-of-range coefficient"));
+                return Err(Error::Wire(format!(
+                    "{name} residue {i} has out-of-range coefficient"
+                )));
             }
         }
     }
@@ -127,10 +133,7 @@ mod tests {
     fn wire_size_matches_paper_formula() {
         let (ctx, _, ct) = setup();
         let bytes = encode_ciphertext(&ct);
-        assert_eq!(
-            bytes.len(),
-            12 + 2 * ctx.params().k() * ctx.params().n * 4
-        );
+        assert_eq!(bytes.len(), 12 + 2 * ctx.params().k() * ctx.params().n * 4);
         assert_eq!(bytes.len() - 12, ct.transfer_bytes());
     }
 

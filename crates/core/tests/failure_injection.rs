@@ -79,9 +79,7 @@ fn model_predicts_the_cliff_conservatively() {
     let mut measured_depth = 0;
     for _ in 1..=12 {
         acc = mul(&ctx, &acc, &one, &rlk, Backend::default());
-        if decrypt(&ctx, &sk, &acc).coeffs()[0] == 1
-            && measure(&ctx, &sk, &acc).budget_bits > 0.0
-        {
+        if decrypt(&ctx, &sk, &acc).coeffs()[0] == 1 && measure(&ctx, &sk, &acc).budget_bits > 0.0 {
             measured_depth += 1;
         } else {
             break;

@@ -1,0 +1,299 @@
+//! The batching front-end: coalesces compatible scalar requests into
+//! slot-packed ciphertexts.
+//!
+//! The paper's parameter set with `t = 65537` supports SIMD batching over
+//! `n = 4096` slots ([`BatchEncoder`]); one homomorphic `Mult` then
+//! computes 4096 independent scalar products. The engine exploits this for
+//! tenants submitting *scalar* work at the service boundary: pending
+//! requests with the same `(tenant, op)` are packed into two slot vectors,
+//! encrypted once under the tenant's public key, evaluated as a single
+//! ciphertext op, and demuxed — each requester learns the packed result
+//! plus its slot index, and decrypts only its own slot. Mixing tenants in
+//! one batch is impossible by construction: a batch key is `(tenant, op)`
+//! and encryption uses that tenant's registered public key.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::EngineError;
+use crate::registry::TenantId;
+use crate::request::{EvalOp, EvalRequest, JobReport, ValRef};
+use hefv_core::context::FvContext;
+use hefv_core::encoder::BatchEncoder;
+use hefv_core::encrypt::{encrypt, Ciphertext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{mpsc, Mutex};
+
+/// Scalar operations the batcher can coalesce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// Slot-wise `lhs + rhs`.
+    Add,
+    /// Slot-wise `lhs - rhs`.
+    Sub,
+    /// Slot-wise `lhs × rhs`.
+    Mul,
+}
+
+impl ScalarOp {
+    fn eval_op(self) -> EvalOp {
+        let (a, b) = (ValRef::Input(0), ValRef::Input(1));
+        match self {
+            ScalarOp::Add => EvalOp::Add(a, b),
+            ScalarOp::Sub => EvalOp::Sub(a, b),
+            ScalarOp::Mul => EvalOp::Mul(a, b),
+        }
+    }
+}
+
+/// One scalar request (two operands in `Z_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalarRequest {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The operation.
+    pub op: ScalarOp,
+    /// Left operand (reduced mod `t`).
+    pub lhs: u64,
+    /// Right operand (reduced mod `t`).
+    pub rhs: u64,
+}
+
+/// Outcome of one scalar request: the *shared* packed result plus this
+/// request's slot. The client decrypts the packed ciphertext with its
+/// secret key and reads slot `slot` of the decoded vector.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Engine job id of the coalesced evaluation.
+    pub job_id: u64,
+    /// The packed result ciphertext (identical for all batch members).
+    pub packed: Ciphertext,
+    /// This request's slot index.
+    pub slot: usize,
+    /// How many scalar requests shared the evaluation.
+    pub batch_size: usize,
+    /// Accounting of the shared job.
+    pub report: JobReport,
+}
+
+/// Handle to one pending scalar request.
+#[derive(Debug)]
+pub struct ScalarTicket {
+    rx: mpsc::Receiver<Result<BatchResult, EngineError>>,
+}
+
+impl ScalarTicket {
+    /// Blocks until the batch containing this request completes. The batch
+    /// is dispatched when full; call [`Engine::flush_batches`] to force
+    /// partial batches out first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shared job's error to every batch member.
+    pub fn wait(self) -> Result<BatchResult, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::QueueClosed))
+    }
+}
+
+struct Pending {
+    lhs: Vec<u64>,
+    rhs: Vec<u64>,
+    replies: Vec<mpsc::Sender<Result<BatchResult, EngineError>>>,
+}
+
+/// Batching state owned by an [`Engine`] (present only when the parameter
+/// set supports SIMD slots).
+pub(crate) struct Batching {
+    encoder: BatchEncoder,
+    max_batch: usize,
+    pending: Mutex<HashMap<(TenantId, ScalarOp), Pending>>,
+    rng: Mutex<StdRng>,
+}
+
+impl Batching {
+    pub(crate) fn for_context(ctx: &FvContext, config: &EngineConfig) -> Option<Self> {
+        if !ctx.params().supports_batching() {
+            return None;
+        }
+        let encoder = BatchEncoder::new(ctx.params().t, ctx.params().n).ok()?;
+        let slots = encoder.slots();
+        let max_batch = if config.max_batch == 0 {
+            slots
+        } else {
+            config.max_batch.min(slots)
+        };
+        Some(Batching {
+            encoder,
+            max_batch,
+            pending: Mutex::new(HashMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+        })
+    }
+}
+
+impl Engine {
+    /// The slot encoder, when the parameter set supports batching.
+    pub fn batch_encoder(&self) -> Option<&BatchEncoder> {
+        self.batching.as_ref().map(|b| &b.encoder)
+    }
+
+    /// Enqueues a scalar request for coalescing. The batch dispatches
+    /// automatically once `max_batch` requests with the same
+    /// `(tenant, op)` are pending; use [`Engine::flush_batches`] to
+    /// dispatch partial batches.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BatchUnsupported`] when `t` has no SIMD slots;
+    /// [`EngineError::UnknownTenant`]/[`EngineError::MissingKey`] when the
+    /// tenant lacks the public (and, for `Mul`, relinearization) key.
+    pub fn submit_scalar(&self, req: ScalarRequest) -> Result<ScalarTicket, EngineError> {
+        let batching = self.batching.as_ref().ok_or_else(|| {
+            EngineError::BatchUnsupported(format!(
+                "t={} is not a SIMD-friendly prime for n={}",
+                self.context().params().t,
+                self.context().params().n
+            ))
+        })?;
+        // Fail fast on key material so a bad tenant cannot poison a batch.
+        let keys = self
+            .registry()
+            .get(req.tenant)
+            .ok_or(EngineError::UnknownTenant(req.tenant))?;
+        if keys.pk.is_none() {
+            return Err(EngineError::MissingKey {
+                tenant: req.tenant,
+                which: "public",
+            });
+        }
+        if req.op == ScalarOp::Mul && keys.rlk.is_none() {
+            return Err(EngineError::MissingKey {
+                tenant: req.tenant,
+                which: "relin",
+            });
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let full = {
+            let mut pending = batching.pending.lock().unwrap();
+            let slot = pending
+                .entry((req.tenant, req.op))
+                .or_insert_with(|| Pending {
+                    lhs: Vec::new(),
+                    rhs: Vec::new(),
+                    replies: Vec::new(),
+                });
+            slot.lhs.push(req.lhs);
+            slot.rhs.push(req.rhs);
+            slot.replies.push(tx);
+            if slot.lhs.len() >= batching.max_batch {
+                pending.remove(&(req.tenant, req.op))
+            } else {
+                None
+            }
+        };
+        if let Some(batch) = full {
+            self.dispatch_batch(req.tenant, req.op, batch)?;
+        }
+        Ok(ScalarTicket { rx })
+    }
+
+    /// Dispatches every partially-filled batch immediately.
+    pub fn flush_batches(&self) {
+        let Some(batching) = self.batching.as_ref() else {
+            return;
+        };
+        let drained: Vec<_> = {
+            let mut pending = batching.pending.lock().unwrap();
+            pending.drain().collect()
+        };
+        for ((tenant, op), batch) in drained {
+            // On failure every reply channel has already been notified (or
+            // disconnected, which tickets surface as QueueClosed).
+            let _ = self.dispatch_batch(tenant, op, batch);
+        }
+    }
+
+    fn dispatch_batch(
+        &self,
+        tenant: TenantId,
+        op: ScalarOp,
+        batch: Pending,
+    ) -> Result<(), EngineError> {
+        let batching = self.batching.as_ref().expect("checked by callers");
+        let size = batch.lhs.len();
+        let fail_all = |replies: &[mpsc::Sender<Result<BatchResult, EngineError>>],
+                        e: &EngineError| {
+            for tx in replies {
+                let _ = tx.send(Err(e.clone()));
+            }
+        };
+
+        let keys = match self.registry().get(tenant) {
+            Some(k) => k,
+            None => {
+                let e = EngineError::UnknownTenant(tenant);
+                fail_all(&batch.replies, &e);
+                return Err(e);
+            }
+        };
+        let pk = match keys.pk.as_ref() {
+            Some(pk) => pk,
+            None => {
+                let e = EngineError::MissingKey {
+                    tenant,
+                    which: "public",
+                };
+                fail_all(&batch.replies, &e);
+                return Err(e);
+            }
+        };
+
+        let ctx = self.context();
+        let pa = batching.encoder.encode(&batch.lhs);
+        let pb = batching.encoder.encode(&batch.rhs);
+        let (ca, cb) = {
+            let mut rng = batching.rng.lock().unwrap();
+            (
+                encrypt(ctx, pk, &pa, &mut *rng),
+                encrypt(ctx, pk, &pb, &mut *rng),
+            )
+        };
+        let req = EvalRequest {
+            tenant,
+            inputs: vec![ca, cb],
+            plaintexts: Vec::new(),
+            ops: vec![op.eval_op()],
+        };
+        let replies = batch.replies;
+        self.stats_ref().on_batch(size);
+        let submitted = self.submit_with_callback(req, move |outcome| match outcome {
+            Ok(resp) => {
+                for (slot, tx) in replies.iter().enumerate() {
+                    let _ = tx.send(Ok(BatchResult {
+                        job_id: resp.job_id,
+                        packed: resp.result.clone(),
+                        slot,
+                        batch_size: size,
+                        report: resp.report,
+                    }));
+                }
+            }
+            Err(e) => {
+                for tx in &replies {
+                    let _ = tx.send(Err(e.clone()));
+                }
+            }
+        });
+        match submitted {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                // The callback was never installed; nothing was sent yet —
+                // but `replies` moved into it. Report the error to the
+                // caller; ticket holders see a disconnected channel, which
+                // `ScalarTicket::wait` maps to `QueueClosed`.
+                Err(e)
+            }
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The evaluation engine: a worker pool over the cost-aware job queue.
+//!
+//! Submission path: validate → price with [`CostEstimator`] → enqueue.
+//! Workers pop the lowest aged-cost job, resolve the tenant's keys from the
+//! [`KeyRegistry`], execute the op-graph (heavy `Mul`s fan out over
+//! `hefv_core::parallel` under a per-job thread budget), and deliver the
+//! result through the job's completion callback. All counters land in
+//! [`EngineStats`].
+
+use crate::error::EngineError;
+use crate::registry::{KeyRegistry, TenantId, TenantKeys};
+use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
+use crate::sched::{CostEstimator, JobQueue};
+use crate::stats::EngineStats;
+use hefv_core::context::FvContext;
+use hefv_core::encrypt::Ciphertext;
+use hefv_core::eval::{self, Backend};
+use hefv_core::galois::{apply_galois, sum_slots};
+use hefv_core::noise::NoiseModel;
+use hefv_core::parallel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine construction parameters. `Default` picks sane values for the
+/// current machine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing jobs (≥ 1).
+    pub workers: usize,
+    /// OS threads one job may fan out over (0 = machine budget / workers).
+    pub threads_per_job: usize,
+    /// Key-registry capacity in tenants.
+    pub registry_capacity: usize,
+    /// Queue bound: `submit` blocks once this many jobs are pending,
+    /// pushing backpressure onto producers instead of growing memory.
+    pub queue_capacity: usize,
+    /// Scalar requests coalesced per batch (0 = the encoder's slot count).
+    pub max_batch: usize,
+    /// Scheduler aging weight in µs per arrival (0 = `mult_us / 16`).
+    pub aging_weight_us: f64,
+    /// Lift/Scale datapath for multiplications.
+    pub backend: Backend,
+    /// Seed for the engine's internal randomness (batch encryption).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: parallel::machine_budget().min(4),
+            threads_per_job: 0,
+            registry_capacity: 64,
+            queue_capacity: 128,
+            max_batch: 0,
+            aging_weight_us: 0.0,
+            backend: Backend::default(),
+            seed: 0x4845_4154, // "HEAT"
+        }
+    }
+}
+
+type Callback = Box<dyn FnOnce(Result<EvalResponse, EngineError>) + Send + 'static>;
+
+struct Job {
+    id: u64,
+    req: EvalRequest,
+    cost_us: f64,
+    enqueued: Instant,
+    done: Callback,
+}
+
+struct Shared {
+    ctx: Arc<FvContext>,
+    registry: KeyRegistry,
+    stats: EngineStats,
+    queue: JobQueue<Job>,
+    noise: NoiseModel,
+    backend: Backend,
+    threads_per_job: usize,
+}
+
+/// Handle to one submitted job.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Engine-assigned job id.
+    pub id: u64,
+    rx: mpsc::Receiver<Result<EvalResponse, EngineError>>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors; [`EngineError::QueueClosed`] if the
+    /// engine shut down before running the job.
+    pub fn wait(self) -> Result<EvalResponse, EngineError> {
+        self.rx.recv().unwrap_or(Err(EngineError::QueueClosed))
+    }
+}
+
+/// The multi-tenant FHE evaluation engine. See the crate docs for an
+/// end-to-end example.
+pub struct Engine {
+    shared: Arc<Shared>,
+    estimator: CostEstimator,
+    next_job_id: AtomicU64,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+    pub(crate) batching: Option<crate::batch::Batching>,
+}
+
+impl Engine {
+    /// Starts the worker pool for one parameter set.
+    pub fn start(ctx: Arc<FvContext>, config: EngineConfig) -> Self {
+        let workers = config.workers.max(1);
+        let threads_per_job = if config.threads_per_job == 0 {
+            (parallel::machine_budget() / workers).max(1)
+        } else {
+            config.threads_per_job
+        };
+        let estimator = CostEstimator::new(&ctx);
+        let aging = if config.aging_weight_us > 0.0 {
+            config.aging_weight_us
+        } else {
+            (estimator.mult_us() / 16.0).max(1e-6)
+        };
+        let shared = Arc::new(Shared {
+            noise: NoiseModel::new(&ctx),
+            registry: KeyRegistry::new(config.registry_capacity),
+            stats: EngineStats::default(),
+            queue: JobQueue::new(aging, config.queue_capacity),
+            backend: config.backend,
+            threads_per_job,
+            ctx,
+        });
+        let handles = (0..workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hefv-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker as u32))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        let batching = crate::batch::Batching::for_context(&shared.ctx, &config);
+        Engine {
+            shared,
+            estimator,
+            next_job_id: AtomicU64::new(0),
+            workers,
+            handles,
+            batching,
+        }
+    }
+
+    /// The evaluation context this engine serves.
+    pub fn context(&self) -> &Arc<FvContext> {
+        &self.shared.ctx
+    }
+
+    /// The tenant key registry (register/evict/inspect).
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.shared.registry
+    }
+
+    /// Registers a tenant's keys (convenience for `registry().register`).
+    pub fn register_tenant(&self, tenant: TenantId, keys: TenantKeys) {
+        self.shared.registry.register(tenant, keys);
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current telemetry snapshot.
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    pub(crate) fn stats_ref(&self) -> &EngineStats {
+        &self.shared.stats
+    }
+
+    /// The scheduler's price for a request, µs (what the queue orders by).
+    pub fn estimate_cost_us(&self, req: &EvalRequest) -> f64 {
+        self.estimator.request_us(req)
+    }
+
+    /// Submits a request, delivering the result to `done` from a worker
+    /// thread. Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast (without calling `done`) on validation errors, unknown
+    /// tenants, missing keys, or a closed queue.
+    pub fn submit_with_callback<F>(&self, req: EvalRequest, done: F) -> Result<u64, EngineError>
+    where
+        F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
+    {
+        req.validate(&self.shared.ctx)?;
+        let keys = self
+            .shared
+            .registry
+            .get(req.tenant)
+            .ok_or(EngineError::UnknownTenant(req.tenant))?;
+        if req.needs_rlk() && keys.rlk.is_none() {
+            return Err(EngineError::MissingKey {
+                tenant: req.tenant,
+                which: "relin",
+            });
+        }
+        if req.needs_galois() && keys.galois.is_none() {
+            return Err(EngineError::MissingKey {
+                tenant: req.tenant,
+                which: "galois",
+            });
+        }
+        let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let cost_us = self.estimator.request_us(&req);
+        let job = Job {
+            id,
+            req,
+            cost_us,
+            enqueued: Instant::now(),
+            done: Box::new(done),
+        };
+        self.shared.stats.on_submit();
+        if !self.shared.queue.push(cost_us, job) {
+            self.shared.stats.on_reject();
+            return Err(EngineError::QueueClosed);
+        }
+        Ok(id)
+    }
+
+    /// Submits a request, returning a handle to wait on.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit_with_callback`].
+    pub fn submit(&self, req: EvalRequest) -> Result<JobHandle, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        let id = self.submit_with_callback(req, move |r| {
+            let _ = tx.send(r);
+        })?;
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Submit and wait (convenience).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit`].
+    pub fn call(&self, req: EvalRequest) -> Result<EvalResponse, EngineError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Shuts the engine down: pending jobs drain, then workers exit.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.queue.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: u32) {
+    while let Some(job) = shared.queue.pop() {
+        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+        shared.stats.on_dequeue(queue_ns);
+        let Job {
+            id,
+            req,
+            cost_us,
+            done,
+            ..
+        } = job;
+        let started = Instant::now();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, &req)))
+                .unwrap_or_else(|_| {
+                    Err(EngineError::Internal(
+                        "job panicked during execution".into(),
+                    ))
+                });
+        let exec_ns = started.elapsed().as_nanos() as u64;
+        let result = match result {
+            Ok((result, noise_bits)) => {
+                shared.stats.on_complete(exec_ns, cost_us, noise_bits);
+                Ok(EvalResponse {
+                    job_id: id,
+                    result,
+                    report: JobReport {
+                        worker,
+                        queue_ns,
+                        exec_ns,
+                        est_cost_us: cost_us,
+                        noise_bits_consumed: noise_bits,
+                    },
+                })
+            }
+            Err(e) => {
+                shared.stats.on_fail();
+                Err(e)
+            }
+        };
+        done(result);
+    }
+}
+
+/// Runs the op program. Returns the result ciphertext and the estimated
+/// noise bits consumed — `log2(out_magnitude / fresh_magnitude)` under the
+/// analytic worst-case [`NoiseModel`] (decryption is never possible here
+/// because the engine holds no secret keys).
+fn execute(shared: &Shared, req: &EvalRequest) -> Result<(Ciphertext, f64), EngineError> {
+    let ctx = &*shared.ctx;
+    let keys = shared
+        .registry
+        .get(req.tenant)
+        .ok_or(EngineError::UnknownTenant(req.tenant))?;
+    let fresh = shared.noise.fresh();
+    let mut values: Vec<Ciphertext> = Vec::with_capacity(req.ops.len());
+    let mut noise: Vec<f64> = Vec::with_capacity(req.ops.len());
+    // Operands resolve to borrows: a ciphertext is hundreds of KB at the
+    // paper's parameters, so cloning per reference would dominate cheap ops.
+    fn val<'a>(inputs: &'a [Ciphertext], values: &'a [Ciphertext], r: ValRef) -> &'a Ciphertext {
+        match r {
+            ValRef::Input(i) => &inputs[i as usize],
+            ValRef::Op(j) => &values[j as usize],
+        }
+    }
+    let mag = |noise: &[f64], r: ValRef| -> f64 {
+        match r {
+            ValRef::Input(_) => fresh,
+            ValRef::Op(j) => noise[j as usize],
+        }
+    };
+    for op in &req.ops {
+        let t0 = Instant::now();
+        let (out, out_bits) = match *op {
+            EvalOp::Add(a, b) => (
+                eval::add(
+                    ctx,
+                    val(&req.inputs, &values, a),
+                    val(&req.inputs, &values, b),
+                ),
+                shared.noise.after_add(mag(&noise, a), mag(&noise, b)),
+            ),
+            EvalOp::Sub(a, b) => (
+                eval::sub(
+                    ctx,
+                    val(&req.inputs, &values, a),
+                    val(&req.inputs, &values, b),
+                ),
+                shared.noise.after_add(mag(&noise, a), mag(&noise, b)),
+            ),
+            EvalOp::Neg(a) => (eval::neg(ctx, val(&req.inputs, &values, a)), mag(&noise, a)),
+            EvalOp::Mul(a, b) => {
+                let rlk = keys.rlk.as_ref().ok_or(EngineError::MissingKey {
+                    tenant: req.tenant,
+                    which: "relin",
+                })?;
+                let (ca, cb) = (val(&req.inputs, &values, a), val(&req.inputs, &values, b));
+                let out = if shared.threads_per_job > 1 {
+                    parallel::mul_threaded_with_budget(
+                        ctx,
+                        ca,
+                        cb,
+                        rlk,
+                        shared.backend,
+                        shared.threads_per_job,
+                    )
+                } else {
+                    eval::mul(ctx, ca, cb, rlk, shared.backend)
+                };
+                (out, shared.noise.after_mul(mag(&noise, a), mag(&noise, b)))
+            }
+            EvalOp::MulPlain(a, p) => (
+                eval::mul_plain(
+                    ctx,
+                    val(&req.inputs, &values, a),
+                    &req.plaintexts[p as usize],
+                ),
+                shared.noise.after_mul_plain(mag(&noise, a)),
+            ),
+            EvalOp::Rotate(a, g) => {
+                let set = keys.galois.as_ref().ok_or(EngineError::MissingKey {
+                    tenant: req.tenant,
+                    which: "galois",
+                })?;
+                let key = set.keys().iter().find(|k| k.g == g as usize).ok_or(
+                    EngineError::MissingKey {
+                        tenant: req.tenant,
+                        which: "galois",
+                    },
+                )?;
+                (
+                    apply_galois(ctx, val(&req.inputs, &values, a), key),
+                    shared.noise.after_key_switch(mag(&noise, a)),
+                )
+            }
+            EvalOp::SumSlots(a) => {
+                let set = keys.galois.as_ref().ok_or(EngineError::MissingKey {
+                    tenant: req.tenant,
+                    which: "galois",
+                })?;
+                let rounds = set.keys().len();
+                // Each round adds the rotated (key-switched) ciphertext
+                // back onto the accumulator.
+                let mut acc = mag(&noise, a);
+                for _ in 0..rounds {
+                    acc = shared
+                        .noise
+                        .after_add(shared.noise.after_key_switch(acc), acc);
+                }
+                (sum_slots(ctx, val(&req.inputs, &values, a), set), acc)
+            }
+        };
+        shared
+            .stats
+            .record_op(op.name(), t0.elapsed().as_nanos() as u64);
+        values.push(out);
+        noise.push(out_bits);
+    }
+    let result = values.pop().expect("validated: at least one op");
+    // Magnitudes → consumed bits relative to a fresh ciphertext.
+    let out_magnitude = noise.last().copied().unwrap_or(fresh).max(fresh);
+    let consumed = (out_magnitude.log2() - fresh.log2()).max(0.0);
+    Ok((result, consumed))
+}

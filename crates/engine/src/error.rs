@@ -1,0 +1,94 @@
+//! Engine error type, wrapping [`hefv_core::Error`].
+
+use crate::registry::TenantId;
+use core::fmt;
+
+/// Everything the evaluation engine can reject or fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The underlying FV library failed (context construction, wire decode).
+    Core(hefv_core::Error),
+    /// The request graph failed validation before scheduling.
+    Validation(String),
+    /// The request names a tenant with no registered key material.
+    UnknownTenant(TenantId),
+    /// The tenant is registered but lacks the key an op needs.
+    MissingKey {
+        /// The tenant whose key set is incomplete.
+        tenant: TenantId,
+        /// Which key class is missing (`"public"`, `"relin"`, `"galois"`).
+        which: &'static str,
+    },
+    /// The engine is shutting down and no longer accepts work.
+    QueueClosed,
+    /// The engine itself failed while executing a job (worker panic).
+    /// Unlike [`EngineError::Validation`], this is not the client's
+    /// fault and the request may succeed on retry after a fix.
+    Internal(String),
+    /// Scalar batching was requested but the parameter set does not
+    /// support SIMD slots (`t` not a prime `≡ 1 mod 2n`).
+    BatchUnsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "core: {e}"),
+            EngineError::Validation(r) => write!(f, "invalid request: {r}"),
+            EngineError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            EngineError::MissingKey { tenant, which } => {
+                write!(f, "tenant {tenant} has no {which} key registered")
+            }
+            EngineError::QueueClosed => write!(f, "engine is shut down"),
+            EngineError::Internal(r) => write!(f, "internal engine failure: {r}"),
+            EngineError::BatchUnsupported(r) => write!(f, "batching unsupported: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hefv_core::Error> for EngineError {
+    fn from(e: hefv_core::Error) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+/// Bridge for `Result<_, String>` callers (examples, the cloud app layer).
+impl From<EngineError> for String {
+    fn from(e: EngineError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_core_errors_with_source() {
+        let e = EngineError::from(hefv_core::Error::Wire("bad magic".into()));
+        assert!(e.to_string().contains("bad magic"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::MissingKey {
+            tenant: 7,
+            which: "relin",
+        };
+        assert_eq!(e.to_string(), "tenant 7 has no relin key registered");
+        assert_eq!(
+            EngineError::UnknownTenant(3).to_string(),
+            "unknown tenant 3"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! # hefv-engine
+//!
+//! A multi-tenant evaluation engine over the HEAT-rs FV library: the
+//! software analogue of the paper's coprocessor scheduling, lifted to the
+//! service level. The HPCA'19 design gets its throughput by dispatching
+//! independent RNS/NTT work units onto parallel RPAUs; this crate applies
+//! the same idea one layer up — concurrent encrypted-compute requests from
+//! many tenants are validated, priced with the simulated-coprocessor cost
+//! model ([`hefv_sim::cost`], Table II), and dispatched onto a worker pool
+//! with bounded-bypass shortest-job-first scheduling, while each heavy
+//! `Mult` fans out over `hefv_core::parallel` under a per-job thread
+//! budget.
+//!
+//! The pieces:
+//!
+//! * [`engine`] — the [`Engine`]: worker pool, submission, lifecycle;
+//! * [`request`] — [`EvalRequest`]: a straight-line op-graph
+//!   (add/sub/neg/mul/mul_plain/rotate/sum_slots) over inline ciphertexts;
+//! * [`registry`] — per-tenant key registry (pk/rlk/Galois) with LRU
+//!   eviction; a tenant's jobs are evaluated *only* with that tenant's
+//!   registered keys;
+//! * [`batch`] — the batching front-end: compatible scalar requests are
+//!   coalesced into slot-packed ciphertexts via `BatchEncoder` and the
+//!   packed results demuxed back to each requester;
+//! * [`sched`] — the cost estimator and the aged-cost priority queue;
+//! * [`wire`] — request/response framing extending `hefv_core::wire`;
+//! * [`stats`] — per-op latency, queue depth and noise-budget telemetry.
+//!
+//! # Example
+//!
+//! ```
+//! use hefv_core::prelude::*;
+//! use hefv_engine::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! // One shared context; two tenants with independent keys.
+//! let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+//! let engine = Engine::start(Arc::clone(&ctx), EngineConfig::default());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let (sk_a, pk_a, rlk_a) = keygen(&ctx, &mut rng);
+//! let (_sk_b, pk_b, rlk_b) = keygen(&ctx, &mut rng);
+//! engine.register_tenant(1, TenantKeys::compute(pk_a.clone(), rlk_a));
+//! engine.register_tenant(2, TenantKeys::compute(pk_b, rlk_b));
+//!
+//! // Tenant 1 asks for 2·3 + 4 over encrypted inputs.
+//! let t = ctx.params().t;
+//! let n = ctx.params().n;
+//! let enc = |v, rng: &mut StdRng| encrypt(&ctx, &pk_a, &Plaintext::new(vec![v], t, n), rng);
+//! let req = EvalRequest {
+//!     tenant: 1,
+//!     inputs: vec![enc(2, &mut rng), enc(3, &mut rng), enc(4, &mut rng)],
+//!     plaintexts: vec![],
+//!     ops: vec![
+//!         EvalOp::Mul(ValRef::Input(0), ValRef::Input(1)),
+//!         EvalOp::Add(ValRef::Op(0), ValRef::Input(2)),
+//!     ],
+//! };
+//! let resp = engine.call(req).unwrap();
+//! assert_eq!(decrypt(&ctx, &sk_a, &resp.result).coeffs()[0], 10);
+//! assert!(resp.report.est_cost_us > 0.0);
+//! engine.shutdown();
+//! ```
+
+pub mod batch;
+pub mod engine;
+pub mod error;
+pub mod registry;
+pub mod request;
+pub mod sched;
+pub mod stats;
+pub mod wire;
+
+pub use batch::{BatchResult, ScalarOp, ScalarRequest, ScalarTicket};
+pub use engine::{Engine, EngineConfig, JobHandle};
+pub use error::EngineError;
+pub use registry::{KeyRegistry, TenantId, TenantKeys};
+pub use request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
+pub use stats::StatsSnapshot;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::batch::{BatchResult, ScalarOp, ScalarRequest, ScalarTicket};
+    pub use crate::engine::{Engine, EngineConfig, JobHandle};
+    pub use crate::error::EngineError;
+    pub use crate::registry::{KeyRegistry, TenantId, TenantKeys};
+    pub use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
+    pub use crate::stats::StatsSnapshot;
+}

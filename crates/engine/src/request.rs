@@ -1,0 +1,289 @@
+//! The evaluation request model: a small op-graph over named ciphertexts.
+//!
+//! A request carries its operand ciphertexts and plaintexts inline (indexed
+//! slots), plus a straight-line program of [`EvalOp`]s. Op `i` produces
+//! value [`ValRef::Op(i)`]; the last op's value is the job's result. This is
+//! deliberately a DAG-as-straight-line encoding — the same shape as the
+//! coprocessor's instruction stream in the paper's Table II microcode — so
+//! wire framing and cost estimation stay trivial.
+
+use crate::error::EngineError;
+use crate::registry::TenantId;
+use hefv_core::context::FvContext;
+use hefv_core::encoder::Plaintext;
+use hefv_core::encrypt::Ciphertext;
+use hefv_core::galois::is_valid_exponent;
+
+/// Reference to a value inside one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValRef {
+    /// The `i`-th input ciphertext.
+    Input(u32),
+    /// The result of the `i`-th op (must precede the referencing op).
+    Op(u32),
+}
+
+/// One node of the op-graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalOp {
+    /// Homomorphic addition.
+    Add(ValRef, ValRef),
+    /// Homomorphic subtraction.
+    Sub(ValRef, ValRef),
+    /// Homomorphic negation.
+    Neg(ValRef),
+    /// Relinearized homomorphic multiplication (needs the tenant's rlk).
+    Mul(ValRef, ValRef),
+    /// Ciphertext × plaintext; the second index is into
+    /// [`EvalRequest::plaintexts`].
+    MulPlain(ValRef, u32),
+    /// Galois rotation by exponent `g` (needs a matching Galois key).
+    Rotate(ValRef, u32),
+    /// Fold all SIMD slots into their sum (needs the slot-sum key set).
+    SumSlots(ValRef),
+}
+
+impl EvalOp {
+    /// Short stable name for telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvalOp::Add(..) => "add",
+            EvalOp::Sub(..) => "sub",
+            EvalOp::Neg(..) => "neg",
+            EvalOp::Mul(..) => "mul",
+            EvalOp::MulPlain(..) => "mul_plain",
+            EvalOp::Rotate(..) => "rotate",
+            EvalOp::SumSlots(..) => "sum_slots",
+        }
+    }
+}
+
+/// A complete evaluation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// Whose keys evaluate this job (strictly enforced by the engine).
+    pub tenant: TenantId,
+    /// Operand ciphertexts, referenced as `ValRef::Input(i)`.
+    pub inputs: Vec<Ciphertext>,
+    /// Plaintext operands for [`EvalOp::MulPlain`].
+    pub plaintexts: Vec<Plaintext>,
+    /// The straight-line op program; the last op's value is the result.
+    pub ops: Vec<EvalOp>,
+}
+
+/// Hard cap on request size (inputs + ops), a denial-of-service guard.
+pub const MAX_REQUEST_NODES: usize = 4096;
+
+impl EvalRequest {
+    /// Convenience: a single binary op over two ciphertexts.
+    pub fn binary(
+        tenant: TenantId,
+        op: fn(ValRef, ValRef) -> EvalOp,
+        a: Ciphertext,
+        b: Ciphertext,
+    ) -> Self {
+        EvalRequest {
+            tenant,
+            inputs: vec![a, b],
+            plaintexts: Vec::new(),
+            ops: vec![op(ValRef::Input(0), ValRef::Input(1))],
+        }
+    }
+
+    /// Structural validation against a context: reference ranges, shapes,
+    /// exponent validity. Key availability is checked at execution time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Validation`] describing the first defect.
+    pub fn validate(&self, ctx: &FvContext) -> Result<(), EngineError> {
+        let fail = |r: String| Err(EngineError::Validation(r));
+        if self.ops.is_empty() {
+            return fail("request has no ops".into());
+        }
+        if self.inputs.is_empty() {
+            return fail("request has no input ciphertexts".into());
+        }
+        if self.inputs.len() + self.ops.len() > MAX_REQUEST_NODES {
+            return fail(format!(
+                "request too large: {} nodes > {MAX_REQUEST_NODES}",
+                self.inputs.len() + self.ops.len()
+            ));
+        }
+        let (k, n) = (ctx.params().k(), ctx.params().n);
+        for (i, ct) in self.inputs.iter().enumerate() {
+            if ct.c0().k() != k || ct.c0().n() != n {
+                return fail(format!(
+                    "input {i} shape ({},{}) does not match context ({k},{n})",
+                    ct.c0().k(),
+                    ct.c0().n()
+                ));
+            }
+        }
+        for (i, pt) in self.plaintexts.iter().enumerate() {
+            if pt.t() != ctx.params().t {
+                return fail(format!(
+                    "plaintext {i} has t={} but context has t={}",
+                    pt.t(),
+                    ctx.params().t
+                ));
+            }
+        }
+        let check_ref = |r: ValRef, at: usize| -> Result<(), EngineError> {
+            match r {
+                ValRef::Input(i) if (i as usize) < self.inputs.len() => Ok(()),
+                ValRef::Input(i) => Err(EngineError::Validation(format!(
+                    "op {at} references missing input {i}"
+                ))),
+                ValRef::Op(j) if (j as usize) < at => Ok(()),
+                ValRef::Op(j) => Err(EngineError::Validation(format!(
+                    "op {at} references op {j}, which is not earlier in the program"
+                ))),
+            }
+        };
+        for (at, op) in self.ops.iter().enumerate() {
+            match *op {
+                EvalOp::Add(a, b) | EvalOp::Sub(a, b) | EvalOp::Mul(a, b) => {
+                    check_ref(a, at)?;
+                    check_ref(b, at)?;
+                }
+                EvalOp::Neg(a) | EvalOp::SumSlots(a) => check_ref(a, at)?,
+                EvalOp::MulPlain(a, p) => {
+                    check_ref(a, at)?;
+                    if p as usize >= self.plaintexts.len() {
+                        return fail(format!("op {at} references missing plaintext {p}"));
+                    }
+                }
+                EvalOp::Rotate(a, g) => {
+                    check_ref(a, at)?;
+                    if !is_valid_exponent(g as usize, n) {
+                        return fail(format!("op {at} has invalid Galois exponent {g}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any op needs the relinearization key.
+    pub fn needs_rlk(&self) -> bool {
+        self.ops.iter().any(|o| matches!(o, EvalOp::Mul(..)))
+    }
+
+    /// Whether any op needs Galois keys.
+    pub fn needs_galois(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|o| matches!(o, EvalOp::Rotate(..) | EvalOp::SumSlots(..)))
+    }
+}
+
+/// Per-job accounting returned with every result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobReport {
+    /// Which engine worker executed the job.
+    pub worker: u32,
+    /// Time spent queued, nanoseconds.
+    pub queue_ns: u64,
+    /// Execution wall time, nanoseconds.
+    pub exec_ns: u64,
+    /// The scheduler's simulated-coprocessor cost estimate, µs.
+    pub est_cost_us: f64,
+    /// Estimated noise bits consumed (output estimate − fresh estimate,
+    /// per the analytic [`hefv_core::noise::NoiseModel`]).
+    pub noise_bits_consumed: f64,
+}
+
+/// A completed evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResponse {
+    /// Engine-assigned job id (unique per engine instance).
+    pub job_id: u64,
+    /// The result ciphertext (the last op's value).
+    pub result: Ciphertext,
+    /// Accounting for this job.
+    pub report: JobReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_core::encrypt::trivial_encrypt;
+    use hefv_core::params::FvParams;
+
+    fn ctx() -> FvContext {
+        FvContext::new(FvParams::insecure_toy()).unwrap()
+    }
+
+    fn some_ct(ctx: &FvContext) -> Ciphertext {
+        trivial_encrypt(
+            ctx,
+            &Plaintext::new(vec![1], ctx.params().t, ctx.params().n),
+        )
+    }
+
+    #[test]
+    fn valid_request_passes() {
+        let ctx = ctx();
+        let req = EvalRequest::binary(1, EvalOp::Add, some_ct(&ctx), some_ct(&ctx));
+        assert!(req.validate(&ctx).is_ok());
+        assert!(!req.needs_rlk());
+        assert!(EvalRequest::binary(1, EvalOp::Mul, some_ct(&ctx), some_ct(&ctx)).needs_rlk());
+    }
+
+    #[test]
+    fn rejects_bad_references() {
+        let ctx = ctx();
+        let mut req = EvalRequest::binary(1, EvalOp::Add, some_ct(&ctx), some_ct(&ctx));
+        req.ops = vec![EvalOp::Add(ValRef::Input(0), ValRef::Input(9))];
+        assert!(matches!(
+            req.validate(&ctx),
+            Err(EngineError::Validation(_))
+        ));
+        // Forward op reference.
+        req.ops = vec![EvalOp::Neg(ValRef::Op(0))];
+        assert!(req.validate(&ctx).is_err());
+        // Self/forward reference at op 1.
+        req.ops = vec![
+            EvalOp::Neg(ValRef::Input(0)),
+            EvalOp::Add(ValRef::Op(1), ValRef::Op(0)),
+        ];
+        assert!(req.validate(&ctx).is_err());
+        // Valid chain.
+        req.ops = vec![
+            EvalOp::Neg(ValRef::Input(0)),
+            EvalOp::Add(ValRef::Op(0), ValRef::Input(1)),
+        ];
+        assert!(req.validate(&ctx).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        let ctx = ctx();
+        let mut req = EvalRequest::binary(1, EvalOp::Add, some_ct(&ctx), some_ct(&ctx));
+        req.ops.clear();
+        assert!(req.validate(&ctx).is_err());
+
+        let mut req = EvalRequest::binary(1, EvalOp::Add, some_ct(&ctx), some_ct(&ctx));
+        req.ops = vec![EvalOp::Neg(ValRef::Input(0)); MAX_REQUEST_NODES];
+        assert!(req.validate(&ctx).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_galois_exponent_and_missing_plaintext() {
+        let ctx = ctx();
+        let mut req = EvalRequest::binary(1, EvalOp::Add, some_ct(&ctx), some_ct(&ctx));
+        req.ops = vec![EvalOp::Rotate(ValRef::Input(0), 4)]; // even exponent
+        assert!(req.validate(&ctx).is_err());
+        req.ops = vec![EvalOp::MulPlain(ValRef::Input(0), 0)]; // no plaintexts
+        assert!(req.validate(&ctx).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let toy = ctx();
+        let medium = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let req = EvalRequest::binary(1, EvalOp::Add, some_ct(&toy), some_ct(&toy));
+        assert!(req.validate(&medium).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Cost-aware scheduling: the simulated-coprocessor cost model prices each
+//! request, and a priority queue orders work by *aged cost*.
+//!
+//! The paper's coprocessor gets its throughput from scheduling independent
+//! RNS/NTT work units onto parallel RPAUs; at the service level the
+//! analogous lever is choosing *which job* each worker runs next. The
+//! engine uses shortest-job-first over the [`hefv_sim::cost`] estimates
+//! (Table II cycle model), which minimizes mean latency under mixed
+//! `Add`/`Mult` traffic — but pure SJF starves expensive jobs under a
+//! stream of cheap ones, so each job's key is
+//!
+//! ```text
+//! key = arrival_seq × aging_weight_us + estimated_cost_us
+//! ```
+//!
+//! A job can be overtaken by at most `cost / aging_weight` later-arriving
+//! cheaper jobs before its key is the minimum: bounded-bypass SJF.
+
+use crate::request::{EvalOp, EvalRequest};
+use hefv_core::context::FvContext;
+use hefv_sim::coproc::Coprocessor;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Prices a request in simulated coprocessor microseconds.
+#[derive(Debug, Clone)]
+pub struct CostEstimator {
+    mult_us: f64,
+    add_us: f64,
+    rotate_us: f64,
+    sum_slots_us: f64,
+}
+
+impl CostEstimator {
+    /// Builds the per-op price list for one context by running the
+    /// Table II microcode through the coprocessor cycle model once.
+    pub fn new(ctx: &FvContext) -> Self {
+        let cop = Coprocessor::default();
+        let mult_us = cop.run_mult(ctx).total_us;
+        let add_us = cop.run_add().total_us;
+        let rotate_us = cop.run_rotate(ctx).total_us;
+        let rotations = (ctx.params().n / 2).trailing_zeros() as f64 + 1.0;
+        CostEstimator {
+            mult_us,
+            add_us,
+            rotate_us,
+            sum_slots_us: rotations * (rotate_us + add_us),
+        }
+    }
+
+    /// Price of one op, µs.
+    pub fn op_us(&self, op: &EvalOp) -> f64 {
+        match op {
+            EvalOp::Add(..) | EvalOp::Sub(..) | EvalOp::Neg(..) => self.add_us,
+            EvalOp::Mul(..) => self.mult_us,
+            // Ciphertext × plaintext skips lift/scale/relin: two forward
+            // and two inverse transform sets plus pointwise work — priced
+            // as a quarter Mult (the Mult microcode runs 4× that work
+            // across the Q basis plus relinearization).
+            EvalOp::MulPlain(..) => self.mult_us / 4.0,
+            EvalOp::Rotate(..) => self.rotate_us,
+            EvalOp::SumSlots(..) => self.sum_slots_us,
+        }
+    }
+
+    /// Price of a whole request, µs.
+    pub fn request_us(&self, req: &EvalRequest) -> f64 {
+        req.ops.iter().map(|o| self.op_us(o)).sum()
+    }
+
+    /// The price of one `Mult`, µs (used to derive the aging weight).
+    pub fn mult_us(&self) -> f64 {
+        self.mult_us
+    }
+}
+
+/// A queued unit of work, ordered by aged cost.
+pub struct Scheduled<T> {
+    key: f64,
+    seq: u64,
+    /// The payload.
+    pub job: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest key pops first.
+        // Keys are finite by construction; ties break FIFO by seq.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct QueueInner<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// Blocking multi-producer/multi-consumer priority queue, bounded for
+/// backpressure: `push` blocks while the queue is at capacity, so
+/// producers slow to the workers' drain rate instead of growing the heap
+/// (and the inline ciphertexts it holds) without limit.
+pub struct JobQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    available: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    aging_weight_us: f64,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates the queue. `aging_weight_us` is the per-arrival aging
+    /// increment (see the module docs for the starvation bound);
+    /// `capacity` is the backpressure bound (≥ 1).
+    pub fn new(aging_weight_us: f64, capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            aging_weight_us: aging_weight_us.max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// Enqueues a job with its cost estimate, blocking while the queue is
+    /// full. Returns `false` (dropping the job) if the queue is closed.
+    pub fn push(&self, cost_us: f64, job: T) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.heap.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return false;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let key = seq as f64 * self.aging_weight_us + cost_us.max(0.0);
+        inner.heap.push(Scheduled { key, seq, job });
+        drop(inner);
+        self.available.notify_one();
+        true
+    }
+
+    /// Blocks until a job is available (returning the lowest aged-cost
+    /// job) or the queue is closed and drained (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(s) = inner.heap.pop() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(s.job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes are refused,
+    /// blocked poppers wake up.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hefv_core::params::FvParams;
+
+    #[test]
+    fn estimator_orders_ops_like_the_paper() {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let est = CostEstimator::new(&ctx);
+        let mul = est.op_us(&EvalOp::Mul(
+            crate::request::ValRef::Input(0),
+            crate::request::ValRef::Input(1),
+        ));
+        let add = est.op_us(&EvalOp::Add(
+            crate::request::ValRef::Input(0),
+            crate::request::ValRef::Input(1),
+        ));
+        let rot = est.op_us(&EvalOp::Rotate(crate::request::ValRef::Input(0), 3));
+        let sum = est.op_us(&EvalOp::SumSlots(crate::request::ValRef::Input(0)));
+        assert!(mul > add, "Mult must cost more than Add");
+        assert!(rot > add, "a rotation is a relinearization-shaped SoP");
+        assert!(sum > rot, "slot-sum is log2(n) rotations");
+    }
+
+    #[test]
+    fn cheap_jobs_overtake_expensive_ones() {
+        let q = JobQueue::new(1.0, 64);
+        q.push(1000.0, "mult");
+        q.push(3.0, "add1");
+        q.push(3.0, "add2");
+        assert_eq!(q.pop(), Some("add1"));
+        assert_eq!(q.pop(), Some("add2"));
+        assert_eq!(q.pop(), Some("mult"));
+    }
+
+    #[test]
+    fn aging_bounds_bypass() {
+        // aging weight 100 ⇒ a job costing 1000 more than the stream can
+        // be overtaken at most 10 times.
+        let q = JobQueue::new(100.0, 64);
+        q.push(1000.0, -1i64); // the expensive job, seq 0, key 1000
+        for i in 0..20 {
+            q.push(0.0, i); // seq 1.., key 100, 200, ...
+        }
+        let mut seen_expensive_at = None;
+        for pos in 0..21 {
+            let j = q.pop().unwrap();
+            if j == -1 {
+                seen_expensive_at = Some(pos);
+                break;
+            }
+        }
+        let pos = seen_expensive_at.expect("expensive job served");
+        assert!(pos <= 10, "bounded bypass violated: served at {pos}");
+        assert!(pos >= 5, "SJF not in effect: served at {pos}");
+    }
+
+    #[test]
+    fn full_queue_blocks_until_drained_or_closed() {
+        let q = std::sync::Arc::new(JobQueue::new(1.0, 2));
+        assert!(q.push(1.0, 1u32));
+        assert!(q.push(1.0, 2));
+        let qc = std::sync::Arc::clone(&q);
+        let producer = std::thread::spawn(move || qc.push(1.0, 3));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.depth(), 2, "third push is blocked, not queued");
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap(), "push completes once drained");
+        assert_eq!(q.depth(), 2);
+
+        // A producer blocked on a full queue wakes (refused) on close.
+        let q2 = std::sync::Arc::new(JobQueue::new(1.0, 1));
+        assert!(q2.push(1.0, 1u32));
+        let qc = std::sync::Arc::clone(&q2);
+        let producer = std::thread::spawn(move || qc.push(1.0, 2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert!(
+            !producer.join().unwrap(),
+            "closed queue refuses blocked push"
+        );
+    }
+
+    #[test]
+    fn fifo_among_equal_costs() {
+        let q = JobQueue::new(1.0, 64);
+        for i in 0..10 {
+            q.push(7.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_wakes() {
+        let q = std::sync::Arc::new(JobQueue::new(1.0, 64));
+        q.push(1.0, 1u32);
+        q.close();
+        assert!(!q.push(1.0, 2), "closed queue refuses work");
+        assert_eq!(q.pop(), Some(1), "pending work drains");
+        assert_eq!(q.pop(), None, "then poppers see shutdown");
+
+        // A popper blocked on an empty queue wakes on close.
+        let q2 = std::sync::Arc::new(JobQueue::<u32>::new(1.0, 64));
+        let qc = std::sync::Arc::clone(&q2);
+        let h = std::thread::spawn(move || qc.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

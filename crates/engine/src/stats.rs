@@ -1,0 +1,269 @@
+//! Engine telemetry: per-op latency, queue depth, noise-budget accounting.
+//!
+//! Everything is lock-free atomics so the hot path (workers) never
+//! serializes on the stats; [`EngineStats::snapshot`] produces a consistent
+//! read-mostly view for operators.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Op classes tracked separately (indexes into the per-op tables).
+pub const OP_KINDS: [&str; 7] = [
+    "add",
+    "sub",
+    "neg",
+    "mul",
+    "mul_plain",
+    "rotate",
+    "sum_slots",
+];
+
+/// Index of an op name in [`OP_KINDS`] (`None` for unknown names).
+pub fn op_index(name: &str) -> Option<usize> {
+    OP_KINDS.iter().position(|&k| k == name)
+}
+
+#[derive(Default)]
+struct OpCell {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl OpCell {
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Shared engine counters.
+#[derive(Default)]
+pub struct EngineStats {
+    per_op: [OpCell; OP_KINDS.len()],
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    exec_ns: AtomicU64,
+    /// Simulated coprocessor µs ×1000 (stored fixed-point for atomics).
+    sim_cost_mus: AtomicU64,
+    /// Noise bits consumed ×1000.
+    noise_bits_milli: AtomicU64,
+    batches_formed: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+impl EngineStats {
+    /// Records one executed op of class `name` taking `ns` nanoseconds.
+    pub fn record_op(&self, name: &str, ns: u64) {
+        if let Some(i) = op_index(name) {
+            self.per_op[i].record(ns);
+        }
+    }
+
+    /// A job entered the queue.
+    pub fn on_submit(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job left the queue for a worker after waiting `queue_ns`.
+    pub fn on_dequeue(&self, queue_ns: u64) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_wait_ns.fetch_add(queue_ns, Ordering::Relaxed);
+    }
+
+    /// A job finished successfully.
+    pub fn on_complete(&self, exec_ns: u64, sim_cost_us: f64, noise_bits: f64) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.sim_cost_mus
+            .fetch_add((sim_cost_us * 1000.0) as u64, Ordering::Relaxed);
+        self.noise_bits_milli
+            .fetch_add((noise_bits.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// A job failed (after validation, i.e. at execution time).
+    pub fn on_fail(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submitted job was refused by a closing queue: undo its
+    /// submission so `submitted = completed + failed + queued` holds.
+    pub fn on_reject(&self) {
+        self.jobs_submitted.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A scalar batch of `size` requests was coalesced into one job.
+    pub fn on_batch(&self, size: usize) {
+        self.batches_formed.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            per_op: OP_KINDS
+                .iter()
+                .zip(&self.per_op)
+                .map(|(&name, c)| OpSnapshot {
+                    name,
+                    count: c.count.load(Ordering::Relaxed),
+                    total_ns: c.total_ns.load(Ordering::Relaxed),
+                    max_ns: c.max_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            exec_ns: self.exec_ns.load(Ordering::Relaxed),
+            sim_cost_us: self.sim_cost_mus.load(Ordering::Relaxed) as f64 / 1000.0,
+            noise_bits_consumed: self.noise_bits_milli.load(Ordering::Relaxed) as f64 / 1000.0,
+            batches_formed: self.batches_formed.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen view of one op class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSnapshot {
+    /// Op class name.
+    pub name: &'static str,
+    /// Executions.
+    pub count: u64,
+    /// Total execution time, ns.
+    pub total_ns: u64,
+    /// Worst single execution, ns.
+    pub max_ns: u64,
+}
+
+impl OpSnapshot {
+    /// Mean execution time in µs (0 when never executed).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1000.0
+        }
+    }
+}
+
+/// Frozen view of the whole engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Per-op latency table (one entry per [`OP_KINDS`] class).
+    pub per_op: Vec<OpSnapshot>,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs finished successfully.
+    pub jobs_completed: u64,
+    /// Jobs failed at execution time.
+    pub jobs_failed: u64,
+    /// Jobs waiting right now.
+    pub queue_depth: u64,
+    /// Cumulative queue wait, ns.
+    pub queue_wait_ns: u64,
+    /// Cumulative execution wall time, ns.
+    pub exec_ns: u64,
+    /// Cumulative simulated coprocessor cost, µs.
+    pub sim_cost_us: f64,
+    /// Cumulative estimated noise bits consumed.
+    pub noise_bits_consumed: f64,
+    /// Scalar batches coalesced.
+    pub batches_formed: u64,
+    /// Scalar requests inside those batches.
+    pub batched_requests: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} submitted, {} completed, {} failed, {} queued",
+            self.jobs_submitted, self.jobs_completed, self.jobs_failed, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "time: {:.1} ms executing, {:.1} ms queued, {:.1} µs simulated coprocessor",
+            self.exec_ns as f64 / 1e6,
+            self.queue_wait_ns as f64 / 1e6,
+            self.sim_cost_us
+        )?;
+        writeln!(
+            f,
+            "noise: {:.1} bits consumed; batching: {} requests in {} batches",
+            self.noise_bits_consumed, self.batched_requests, self.batches_formed
+        )?;
+        for op in self.per_op.iter().filter(|o| o.count > 0) {
+            writeln!(
+                f,
+                "  {:<10} × {:<6} mean {:>9.1} µs  max {:>9.1} µs",
+                op.name,
+                op.count,
+                op.mean_us(),
+                op.max_ns as f64 / 1000.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = EngineStats::default();
+        s.on_submit();
+        s.on_submit();
+        assert_eq!(s.queue_depth(), 2);
+        s.on_dequeue(500);
+        s.record_op("mul", 2000);
+        s.record_op("mul", 4000);
+        s.record_op("add", 100);
+        s.on_complete(6000, 42.5, 3.25);
+        s.on_dequeue(500);
+        s.on_fail();
+        s.on_batch(64);
+
+        let snap = s.snapshot();
+        assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.queue_wait_ns, 1000);
+        assert!((snap.sim_cost_us - 42.5).abs() < 1e-3);
+        assert!((snap.noise_bits_consumed - 3.25).abs() < 1e-3);
+        assert_eq!(snap.batched_requests, 64);
+
+        let mul = snap.per_op.iter().find(|o| o.name == "mul").unwrap();
+        assert_eq!(mul.count, 2);
+        assert_eq!(mul.max_ns, 4000);
+        assert!((mul.mean_us() - 3.0).abs() < 1e-9);
+
+        let text = snap.to_string();
+        assert!(text.contains("2 submitted"));
+        assert!(text.contains("mul"));
+        assert!(!text.contains("rotate"), "unused ops omitted from display");
+    }
+
+    #[test]
+    fn unknown_op_names_are_ignored() {
+        let s = EngineStats::default();
+        s.record_op("nonsense", 1);
+        assert!(s.snapshot().per_op.iter().all(|o| o.count == 0));
+    }
+}

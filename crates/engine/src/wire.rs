@@ -1,0 +1,403 @@
+//! Request/response framing, extending the ciphertext wire format.
+//!
+//! `hefv_core::wire` fixes how one ciphertext crosses an interface (the
+//! paper's §V-D DMA layout); this module frames whole [`EvalRequest`]s and
+//! [`EvalResponse`]s around it so requests can arrive serialized from
+//! remote clients. Layout (all little-endian):
+//!
+//! ```text
+//! request  := "HEVQ" u32 | version u16 | reserved u16 | tenant u64
+//!           | n_inputs u16 | n_plaintexts u16 | n_ops u16 | reserved u16
+//!           | inputs…(len u32, core-wire ciphertext)
+//!           | plaintexts…(n_coeffs u32, coeffs u64…)
+//!           | ops…(opcode u8, a_tag u8, a_idx u32, b_tag u8, b_idx u32)
+//! response := "HEVP" u32 | version u16 | status u8 | reserved u8
+//!           | job_id u64
+//!           | ok:  worker u32 | queue_ns u64 | exec_ns u64
+//!                | est_cost_us f64 | noise_bits f64
+//!                | len u32 | core-wire ciphertext
+//!           | err: len u32 | utf-8 message
+//! ```
+//!
+//! Decoding is strict: unknown magic/version/opcodes, truncation, trailing
+//! bytes, or counts that disagree with the payload are all rejected with
+//! [`hefv_core::Error::Wire`] (wrapped in [`EngineError::Core`]), and the
+//! embedded ciphertexts go through `hefv_core::wire`'s C-VALIDATE checks
+//! against the receiving context.
+
+use crate::error::EngineError;
+use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
+use hefv_core::context::FvContext;
+use hefv_core::encoder::Plaintext;
+use hefv_core::error::Error;
+use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
+
+const REQ_MAGIC: u32 = 0x4845_5651; // "HEVQ"
+const RESP_MAGIC: u32 = 0x4845_5650; // "HEVP"
+const VERSION: u16 = 1;
+
+/// A decoded response frame: the remote outcome of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseFrame {
+    /// The job succeeded.
+    Ok(EvalResponse),
+    /// The job failed; the engine's error rendered as text.
+    Err {
+        /// The failing job's id.
+        job_id: u64,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+fn wire_err(reason: impl Into<String>) -> EngineError {
+    EngineError::Core(Error::Wire(reason.into()))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], EngineError> {
+        let end = self
+            .off
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| wire_err("truncated frame"))?;
+        let s = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, EngineError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, EngineError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, EngineError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, EngineError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn finish(&self) -> Result<(), EngineError> {
+        if self.off == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(wire_err(format!(
+                "{} trailing bytes after frame",
+                self.bytes.len() - self.off
+            )))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+const TAG_INPUT: u8 = 0;
+const TAG_OP: u8 = 1;
+const TAG_IMM: u8 = 2;
+const TAG_NONE: u8 = 0xFF;
+
+fn put_ref(out: &mut Vec<u8>, r: ValRef) {
+    match r {
+        ValRef::Input(i) => {
+            out.push(TAG_INPUT);
+            put_u32(out, i);
+        }
+        ValRef::Op(i) => {
+            out.push(TAG_OP);
+            put_u32(out, i);
+        }
+    }
+}
+
+fn read_ref(c: &mut Cursor) -> Result<ValRef, EngineError> {
+    let tag = c.u8()?;
+    let idx = c.u32()?;
+    match tag {
+        TAG_INPUT => Ok(ValRef::Input(idx)),
+        TAG_OP => Ok(ValRef::Op(idx)),
+        t => Err(wire_err(format!("bad value-ref tag {t}"))),
+    }
+}
+
+/// Serializes a request.
+///
+/// # Panics
+///
+/// Panics if any section exceeds the format's `u16` counters. Requests
+/// satisfying [`EvalRequest::validate`] (≤ [`MAX_REQUEST_NODES`] nodes)
+/// always fit; the assert turns an invalid oversized request into a loud
+/// error instead of a silently corrupt frame.
+///
+/// [`MAX_REQUEST_NODES`]: crate::request::MAX_REQUEST_NODES
+pub fn encode_request(req: &EvalRequest) -> Vec<u8> {
+    for (what, len) in [
+        ("inputs", req.inputs.len()),
+        ("plaintexts", req.plaintexts.len()),
+        ("ops", req.ops.len()),
+    ] {
+        assert!(
+            len <= u16::MAX as usize,
+            "request has {len} {what}, wire format caps sections at {}",
+            u16::MAX
+        );
+    }
+    let mut out = Vec::new();
+    put_u32(&mut out, REQ_MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u16(&mut out, 0);
+    put_u64(&mut out, req.tenant);
+    put_u16(&mut out, req.inputs.len() as u16);
+    put_u16(&mut out, req.plaintexts.len() as u16);
+    put_u16(&mut out, req.ops.len() as u16);
+    put_u16(&mut out, 0);
+    for ct in &req.inputs {
+        let bytes = encode_ciphertext(ct);
+        put_u32(&mut out, bytes.len() as u32);
+        out.extend_from_slice(&bytes);
+    }
+    for pt in &req.plaintexts {
+        put_u32(&mut out, pt.coeffs().len() as u32);
+        for &c in pt.coeffs() {
+            put_u64(&mut out, c);
+        }
+    }
+    for op in &req.ops {
+        match *op {
+            EvalOp::Add(a, b) => {
+                out.push(0);
+                put_ref(&mut out, a);
+                put_ref(&mut out, b);
+            }
+            EvalOp::Sub(a, b) => {
+                out.push(1);
+                put_ref(&mut out, a);
+                put_ref(&mut out, b);
+            }
+            EvalOp::Neg(a) => {
+                out.push(2);
+                put_ref(&mut out, a);
+                out.push(TAG_NONE);
+                put_u32(&mut out, 0);
+            }
+            EvalOp::Mul(a, b) => {
+                out.push(3);
+                put_ref(&mut out, a);
+                put_ref(&mut out, b);
+            }
+            EvalOp::MulPlain(a, p) => {
+                out.push(4);
+                put_ref(&mut out, a);
+                out.push(TAG_IMM);
+                put_u32(&mut out, p);
+            }
+            EvalOp::Rotate(a, g) => {
+                out.push(5);
+                put_ref(&mut out, a);
+                out.push(TAG_IMM);
+                put_u32(&mut out, g);
+            }
+            EvalOp::SumSlots(a) => {
+                out.push(6);
+                put_ref(&mut out, a);
+                out.push(TAG_NONE);
+                put_u32(&mut out, 0);
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes and structurally validates a request against `ctx`.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames;
+/// [`EngineError::Validation`] when the frame parses but the graph is
+/// invalid.
+pub fn decode_request(ctx: &FvContext, bytes: &[u8]) -> Result<EvalRequest, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != REQ_MAGIC {
+        return Err(wire_err("bad request magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported request version"));
+    }
+    c.u16()?;
+    let tenant = c.u64()?;
+    let n_inputs = c.u16()? as usize;
+    let n_plain = c.u16()? as usize;
+    let n_ops = c.u16()? as usize;
+    c.u16()?;
+
+    let mut inputs = Vec::with_capacity(n_inputs.min(1024));
+    for _ in 0..n_inputs {
+        let len = c.u32()? as usize;
+        let ct_bytes = c.take(len)?;
+        inputs.push(decode_ciphertext(ctx, ct_bytes)?);
+    }
+    let mut plaintexts = Vec::with_capacity(n_plain.min(1024));
+    let (t, n) = (ctx.params().t, ctx.params().n);
+    for i in 0..n_plain {
+        let n_coeffs = c.u32()? as usize;
+        if n_coeffs > n {
+            return Err(wire_err(format!(
+                "plaintext {i} has {n_coeffs} coefficients, ring degree is {n}"
+            )));
+        }
+        let mut coeffs = Vec::with_capacity(n_coeffs);
+        for _ in 0..n_coeffs {
+            let v = c.u64()?;
+            if v >= t {
+                return Err(wire_err(format!(
+                    "plaintext {i} coefficient {v} out of range for t={t}"
+                )));
+            }
+            coeffs.push(v);
+        }
+        plaintexts.push(Plaintext::new(coeffs, t, n));
+    }
+    let mut ops = Vec::with_capacity(n_ops.min(4096));
+    for at in 0..n_ops {
+        let opcode = c.u8()?;
+        let a = read_ref(&mut c)?;
+        let b_tag = c.u8()?;
+        let b_idx = c.u32()?;
+        let b_ref = |tag: u8, idx: u32| -> Result<ValRef, EngineError> {
+            match tag {
+                TAG_INPUT => Ok(ValRef::Input(idx)),
+                TAG_OP => Ok(ValRef::Op(idx)),
+                t => Err(wire_err(format!("op {at}: bad second-operand tag {t}"))),
+            }
+        };
+        let op = match opcode {
+            0 => EvalOp::Add(a, b_ref(b_tag, b_idx)?),
+            1 => EvalOp::Sub(a, b_ref(b_tag, b_idx)?),
+            2 => EvalOp::Neg(a),
+            3 => EvalOp::Mul(a, b_ref(b_tag, b_idx)?),
+            4 if b_tag == TAG_IMM => EvalOp::MulPlain(a, b_idx),
+            5 if b_tag == TAG_IMM => EvalOp::Rotate(a, b_idx),
+            6 => EvalOp::SumSlots(a),
+            o => return Err(wire_err(format!("op {at}: bad opcode {o} (tag {b_tag})"))),
+        };
+        ops.push(op);
+    }
+    c.finish()?;
+    let req = EvalRequest {
+        tenant,
+        inputs,
+        plaintexts,
+        ops,
+    };
+    req.validate(ctx)?;
+    Ok(req)
+}
+
+/// Serializes a job outcome.
+pub fn encode_response(outcome: &Result<EvalResponse, (u64, EngineError)>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, RESP_MAGIC);
+    put_u16(&mut out, VERSION);
+    match outcome {
+        Ok(resp) => {
+            out.push(0);
+            out.push(0);
+            put_u64(&mut out, resp.job_id);
+            put_u32(&mut out, resp.report.worker);
+            put_u64(&mut out, resp.report.queue_ns);
+            put_u64(&mut out, resp.report.exec_ns);
+            put_u64(&mut out, resp.report.est_cost_us.to_bits());
+            put_u64(&mut out, resp.report.noise_bits_consumed.to_bits());
+            let bytes = encode_ciphertext(&resp.result);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(&bytes);
+        }
+        Err((job_id, e)) => {
+            out.push(1);
+            out.push(0);
+            put_u64(&mut out, *job_id);
+            let msg = e.to_string();
+            put_u32(&mut out, msg.len() as u32);
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a response frame.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames.
+pub fn decode_response(ctx: &FvContext, bytes: &[u8]) -> Result<ResponseFrame, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != RESP_MAGIC {
+        return Err(wire_err("bad response magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported response version"));
+    }
+    let status = c.u8()?;
+    c.u8()?;
+    let job_id = c.u64()?;
+    match status {
+        0 => {
+            let worker = c.u32()?;
+            let queue_ns = c.u64()?;
+            let exec_ns = c.u64()?;
+            let est_cost_us = f64::from_bits(c.u64()?);
+            let noise_bits_consumed = f64::from_bits(c.u64()?);
+            if !est_cost_us.is_finite() || !noise_bits_consumed.is_finite() {
+                return Err(wire_err("non-finite cost/noise in response"));
+            }
+            let len = c.u32()? as usize;
+            let ct = decode_ciphertext(ctx, c.take(len)?)?;
+            c.finish()?;
+            Ok(ResponseFrame::Ok(EvalResponse {
+                job_id,
+                result: ct,
+                report: JobReport {
+                    worker,
+                    queue_ns,
+                    exec_ns,
+                    est_cost_us,
+                    noise_bits_consumed,
+                },
+            }))
+        }
+        1 => {
+            let len = c.u32()? as usize;
+            let msg = std::str::from_utf8(c.take(len)?)
+                .map_err(|_| wire_err("error message is not UTF-8"))?
+                .to_string();
+            c.finish()?;
+            Ok(ResponseFrame::Err {
+                job_id,
+                message: msg,
+            })
+        }
+        s => Err(wire_err(format!("bad response status {s}"))),
+    }
+}

@@ -1,0 +1,289 @@
+//! End-to-end engine tests: multi-tenant isolation, concurrent traffic,
+//! and the batching front-end's mux/demux correctness.
+
+use hefv_core::galois::GaloisKeySet;
+use hefv_core::prelude::*;
+use hefv_engine::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn enc(ctx: &FvContext, pk: &PublicKey, v: u64, rng: &mut StdRng) -> Ciphertext {
+    let (t, n) = (ctx.params().t, ctx.params().n);
+    encrypt(ctx, pk, &Plaintext::new(vec![v], t, n), rng)
+}
+
+#[test]
+fn tenant_keys_never_cross() {
+    let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+    let engine = Engine::start(Arc::clone(&ctx), EngineConfig::default());
+    let mut rng = StdRng::seed_from_u64(1001);
+    let (sk_a, pk_a, rlk_a) = keygen(&ctx, &mut rng);
+    let (sk_b, pk_b, rlk_b) = keygen(&ctx, &mut rng);
+    engine.register_tenant(1, TenantKeys::compute(pk_a.clone(), rlk_a));
+    engine.register_tenant(2, TenantKeys::compute(pk_b.clone(), rlk_b));
+
+    let make_req = |tenant, pk: &PublicKey, rng: &mut StdRng| {
+        EvalRequest::binary(
+            tenant,
+            EvalOp::Mul,
+            enc(&ctx, pk, 2, rng),
+            enc(&ctx, pk, 3, rng),
+        )
+    };
+
+    // Each tenant's job, evaluated with its own rlk, decrypts correctly
+    // under its own secret key.
+    let ra = engine.call(make_req(1, &pk_a, &mut rng)).unwrap();
+    assert_eq!(decrypt(&ctx, &sk_a, &ra.result).coeffs()[0], 6);
+    let rb = engine.call(make_req(2, &pk_b, &mut rng)).unwrap();
+    assert_eq!(decrypt(&ctx, &sk_b, &rb.result).coeffs()[0], 6);
+
+    // A job submitted under tenant 2 but carrying tenant 1's ciphertexts
+    // is relinearized with tenant 2's key: the full decrypted polynomial
+    // under either secret key is garbage, not the true product.
+    let cross = engine.call(make_req(2, &pk_a, &mut rng)).unwrap();
+    let expected: Vec<u64> = {
+        let correct = engine.call(make_req(1, &pk_a, &mut rng)).unwrap();
+        decrypt(&ctx, &sk_a, &correct.result).coeffs().to_vec()
+    };
+    assert_ne!(
+        decrypt(&ctx, &sk_a, &cross.result).coeffs(),
+        &expected[..],
+        "tenant 2's rlk must not produce tenant 1's result"
+    );
+
+    // Unknown tenants are rejected before queueing; tenants without the
+    // needed key class are rejected with a precise error.
+    let err = engine
+        .submit(make_req(99, &pk_a, &mut rng))
+        .expect_err("unregistered tenant");
+    assert_eq!(err, EngineError::UnknownTenant(99));
+
+    engine.register_tenant(3, TenantKeys::default());
+    let err = engine
+        .submit(make_req(3, &pk_a, &mut rng))
+        .expect_err("tenant 3 has no rlk");
+    assert_eq!(
+        err,
+        EngineError::MissingKey {
+            tenant: 3,
+            which: "relin"
+        }
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn concurrent_multi_tenant_traffic_stays_correct() {
+    let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+    let engine = Engine::start(
+        Arc::clone(&ctx),
+        EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(1002);
+    let t = ctx.params().t;
+    let tenants: Vec<(u64, SecretKey, PublicKey)> = (1..=2)
+        .map(|id| {
+            let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+            engine.register_tenant(id, TenantKeys::compute(pk.clone(), rlk));
+            (id, sk, pk)
+        })
+        .collect();
+
+    // Interleave adds and muls from both tenants, then collect.
+    let mut pending = Vec::new();
+    for i in 0..12u64 {
+        let (id, _, pk) = &tenants[(i % 2) as usize];
+        let (a, b) = (i % t, (i + 3) % t);
+        let op: fn(ValRef, ValRef) -> EvalOp = if i % 3 == 0 { EvalOp::Mul } else { EvalOp::Add };
+        let req = EvalRequest::binary(
+            *id,
+            op,
+            enc(&ctx, pk, a, &mut rng),
+            enc(&ctx, pk, b, &mut rng),
+        );
+        let expect = if i % 3 == 0 { a * b % t } else { (a + b) % t };
+        pending.push((i, expect, engine.submit(req).unwrap()));
+    }
+    for (i, expect, handle) in pending {
+        let resp = handle.wait().unwrap();
+        let (_, sk, _) = &tenants[(i % 2) as usize];
+        assert_eq!(
+            decrypt(&ctx, sk, &resp.result).coeffs()[0],
+            expect,
+            "job {i}"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.jobs_completed, 12);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.per_op.iter().any(|o| o.name == "mul" && o.count == 4));
+    assert!(stats.per_op.iter().any(|o| o.name == "add" && o.count == 8));
+    engine.shutdown();
+}
+
+#[test]
+fn galois_ops_run_through_the_engine() {
+    // t = 7681 ≡ 1 (mod 512) is SIMD-friendly for n = 256.
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681;
+    let ctx = Arc::new(FvContext::new(params).unwrap());
+    let engine = Engine::start(Arc::clone(&ctx), EngineConfig::default());
+    let mut rng = StdRng::seed_from_u64(1003);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let galois = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);
+    engine.register_tenant(1, TenantKeys::full(pk.clone(), rlk, galois));
+
+    let encdr = engine.batch_encoder().expect("SIMD params");
+    let vals: Vec<u64> = (0..encdr.slots() as u64).collect();
+    let ct = encrypt(&ctx, &pk, &encdr.encode(&vals), &mut rng);
+    let req = EvalRequest {
+        tenant: 1,
+        inputs: vec![ct],
+        plaintexts: vec![],
+        ops: vec![EvalOp::SumSlots(ValRef::Input(0))],
+    };
+    let resp = engine.call(req).unwrap();
+    let sum: u64 = vals.iter().sum::<u64>() % ctx.params().t;
+    let slots = encdr.decode(&decrypt(&ctx, &sk, &resp.result));
+    assert!(slots.iter().all(|&s| s == sum), "every slot holds the sum");
+    assert!(resp.report.noise_bits_consumed > 0.0);
+    engine.shutdown();
+}
+
+#[test]
+fn scalar_batching_muxes_and_demuxes_correctly() {
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681;
+    let t = params.t;
+    let ctx = Arc::new(FvContext::new(params).unwrap());
+    let engine = Engine::start(
+        Arc::clone(&ctx),
+        EngineConfig {
+            max_batch: 8,
+            ..EngineConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(1004);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    engine.register_tenant(1, TenantKeys::compute(pk, rlk));
+    let encdr = engine.batch_encoder().unwrap().clone();
+
+    // 10 scalar products: the first 8 dispatch as one full batch, the
+    // remaining 2 on flush — 10 requests, 2 homomorphic evaluations.
+    let tickets: Vec<_> = (0..10u64)
+        .map(|i| {
+            engine
+                .submit_scalar(ScalarRequest {
+                    tenant: 1,
+                    op: ScalarOp::Mul,
+                    lhs: 100 + i,
+                    rhs: 200 + i,
+                })
+                .unwrap()
+        })
+        .collect();
+    engine.flush_batches();
+
+    let mut seen = std::collections::HashSet::new();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let r = ticket.wait().unwrap();
+        let i = i as u64;
+        let expect = (100 + i) * (200 + i) % t;
+        let slots = encdr.decode(&decrypt(&ctx, &sk, &r.packed));
+        assert_eq!(slots[r.slot], expect, "request {i} demuxes its own slot");
+        assert!(
+            seen.insert((r.job_id, r.slot)),
+            "two requests mapped to one slot"
+        );
+        assert_eq!(r.batch_size, if i < 8 { 8 } else { 2 });
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.batches_formed, 2, "10 requests coalesced to 2 jobs");
+    assert_eq!(stats.batched_requests, 10);
+    assert_eq!(stats.jobs_completed, 2);
+    engine.shutdown();
+}
+
+#[test]
+fn scalar_batching_is_rejected_without_simd_params() {
+    let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+    let engine = Engine::start(Arc::clone(&ctx), EngineConfig::default());
+    let mut rng = StdRng::seed_from_u64(1005);
+    let (_, pk, rlk) = keygen(&ctx, &mut rng);
+    engine.register_tenant(1, TenantKeys::compute(pk, rlk));
+    let err = engine
+        .submit_scalar(ScalarRequest {
+            tenant: 1,
+            op: ScalarOp::Add,
+            lhs: 1,
+            rhs: 2,
+        })
+        .expect_err("t=16 has no SIMD slots");
+    assert!(matches!(err, EngineError::BatchUnsupported(_)));
+    engine.shutdown();
+}
+
+#[test]
+fn batches_never_mix_tenants() {
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681;
+    let t = params.t;
+    let ctx = Arc::new(FvContext::new(params).unwrap());
+    let engine = Engine::start(
+        Arc::clone(&ctx),
+        EngineConfig {
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(1006);
+    let (sk_a, pk_a, rlk_a) = keygen(&ctx, &mut rng);
+    let (sk_b, pk_b, rlk_b) = keygen(&ctx, &mut rng);
+    engine.register_tenant(1, TenantKeys::compute(pk_a, rlk_a));
+    engine.register_tenant(2, TenantKeys::compute(pk_b, rlk_b));
+
+    // Interleaved submissions from both tenants; same op, so a naive
+    // batcher would mix them into one ciphertext.
+    let tickets: Vec<_> = (0..8u64)
+        .map(|i| {
+            let tenant = 1 + i % 2;
+            (
+                tenant,
+                i,
+                engine
+                    .submit_scalar(ScalarRequest {
+                        tenant,
+                        op: ScalarOp::Add,
+                        lhs: 10 + i,
+                        rhs: 20 + i,
+                    })
+                    .unwrap(),
+            )
+        })
+        .collect();
+    engine.flush_batches();
+    let mut jobs_by_tenant: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+        Default::default();
+    for (tenant, i, ticket) in tickets {
+        let r = ticket.wait().unwrap();
+        let sk = if tenant == 1 { &sk_a } else { &sk_b };
+        let slots = hefv_core::encoder::BatchEncoder::new(t, ctx.params().n)
+            .unwrap()
+            .decode(&decrypt(&ctx, sk, &r.packed));
+        assert_eq!(slots[r.slot], 30 + 2 * i, "tenant {tenant} request {i}");
+        jobs_by_tenant.entry(tenant).or_default().insert(r.job_id);
+    }
+    let jobs_1 = jobs_by_tenant.remove(&1).unwrap();
+    let jobs_2 = jobs_by_tenant.remove(&2).unwrap();
+    assert!(
+        jobs_1.is_disjoint(&jobs_2),
+        "a shared job would mean tenants were batched together"
+    );
+    engine.shutdown();
+}

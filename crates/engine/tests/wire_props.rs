@@ -1,0 +1,181 @@
+//! Property tests of the engine's request/response wire framing.
+
+use hefv_core::prelude::*;
+use hefv_engine::wire::{
+    decode_request, decode_response, encode_request, encode_response, ResponseFrame,
+};
+use hefv_engine::{EngineError, EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+struct Fix {
+    ctx: FvContext,
+    sk: SecretKey,
+    pk: PublicKey,
+}
+
+fn fix() -> &'static Fix {
+    static F: OnceLock<Fix> = OnceLock::new();
+    F.get_or_init(|| {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        Fix { ctx, sk, pk }
+    })
+}
+
+/// Builds a structurally valid random request: every op references only
+/// earlier values, plaintext/rotation indices stay in range.
+fn random_request(seed: u64, n_inputs: usize, n_plain: usize, n_ops: usize) -> EvalRequest {
+    let f = fix();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = f.ctx.params().t;
+    let n = f.ctx.params().n;
+    let inputs = (0..n_inputs)
+        .map(|_| {
+            let msg: Vec<u64> = (0..4).map(|_| rng.gen_range(0..t)).collect();
+            encrypt(&f.ctx, &f.pk, &Plaintext::new(msg, t, n), &mut rng)
+        })
+        .collect();
+    let plaintexts: Vec<Plaintext> = (0..n_plain)
+        .map(|_| {
+            let msg: Vec<u64> = (0..3).map(|_| rng.gen_range(0..t)).collect();
+            Plaintext::new(msg, t, n)
+        })
+        .collect();
+    let mut ops = Vec::new();
+    for at in 0..n_ops {
+        let pick_ref = |rng: &mut StdRng| {
+            if at > 0 && rng.gen_range(0..2u8) == 1 {
+                ValRef::Op(rng.gen_range(0..at as u32))
+            } else {
+                ValRef::Input(rng.gen_range(0..n_inputs as u32))
+            }
+        };
+        let a = pick_ref(&mut rng);
+        let b = pick_ref(&mut rng);
+        let op = match rng.gen_range(0..7u8) {
+            0 => EvalOp::Add(a, b),
+            1 => EvalOp::Sub(a, b),
+            2 => EvalOp::Neg(a),
+            3 => EvalOp::Mul(a, b),
+            4 if n_plain > 0 => EvalOp::MulPlain(a, rng.gen_range(0..n_plain as u32)),
+            5 => EvalOp::Rotate(a, 2 * rng.gen_range(0..n as u32) + 1),
+            _ => EvalOp::SumSlots(a),
+        };
+        ops.push(op);
+    }
+    EvalRequest {
+        tenant: rng.gen_range(0..u64::MAX),
+        inputs,
+        plaintexts,
+        ops,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn request_roundtrips(seed in any::<u64>(), n_inputs in 1usize..4, n_plain in 0usize..3, n_ops in 1usize..8) {
+        let f = fix();
+        let req = random_request(seed, n_inputs, n_plain, n_ops);
+        prop_assume!(req.validate(&f.ctx).is_ok());
+        let bytes = encode_request(&req);
+        let back = decode_request(&f.ctx, &bytes).unwrap();
+        prop_assert_eq!(&back, &req);
+        // The embedded ciphertexts survive intact: decrypt one.
+        let pt0 = decrypt(&f.ctx, &f.sk, &back.inputs[0]);
+        prop_assert_eq!(pt0, decrypt(&f.ctx, &f.sk, &req.inputs[0]));
+    }
+
+    #[test]
+    fn request_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let f = fix();
+        let _ = decode_request(&f.ctx, &bytes);
+    }
+
+    #[test]
+    fn request_rejects_any_truncation(seed in any::<u64>(), cut in 1usize..64) {
+        let f = fix();
+        let req = random_request(seed, 2, 1, 3);
+        prop_assume!(req.validate(&f.ctx).is_ok());
+        let bytes = encode_request(&req);
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(decode_request(&f.ctx, &bytes[..bytes.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn request_rejects_bit_flips_in_header(seed in any::<u64>(), byte in 0usize..16, bit in 0u8..8) {
+        let f = fix();
+        let req = random_request(seed, 1, 0, 1);
+        prop_assume!(req.validate(&f.ctx).is_ok());
+        // Bytes 6..8 are reserved padding; flips there are ignored by
+        // design. Everything else must either fail or change the request.
+        prop_assume!(!(6..8).contains(&byte));
+        let mut bytes = encode_request(&req);
+        bytes[byte] ^= 1 << bit;
+        // Tenant-id bytes (8..16) are opaque, so flips there still
+        // decode — but never to the original request.
+        if let Ok(back) = decode_request(&f.ctx, &bytes) {
+            prop_assert_ne!(back, req);
+        }
+    }
+
+    #[test]
+    fn ok_response_roundtrips(seed in any::<u64>(), worker in any::<u32>(), qn in any::<u64>(), en in any::<u64>()) {
+        let f = fix();
+        let req = random_request(seed, 1, 0, 1);
+        let resp = EvalResponse {
+            job_id: seed ^ 0xABCD,
+            result: req.inputs[0].clone(),
+            report: JobReport {
+                worker,
+                queue_ns: qn,
+                exec_ns: en,
+                est_cost_us: (seed % 100_000) as f64 / 7.0,
+                noise_bits_consumed: (seed % 1000) as f64 / 3.0,
+            },
+        };
+        let bytes = encode_response(&Ok(resp.clone()));
+        let back = decode_response(&f.ctx, &bytes).unwrap();
+        prop_assert_eq!(back, ResponseFrame::Ok(resp));
+    }
+
+    #[test]
+    fn err_response_roundtrips(job_id in any::<u64>(), which in 0u8..4) {
+        let f = fix();
+        let err = match which {
+            0 => EngineError::UnknownTenant(job_id),
+            1 => EngineError::Validation("no ops".into()),
+            2 => EngineError::QueueClosed,
+            _ => EngineError::MissingKey { tenant: job_id, which: "relin" },
+        };
+        let bytes = encode_response(&Err((job_id, err.clone())));
+        match decode_response(&f.ctx, &bytes).unwrap() {
+            ResponseFrame::Err { job_id: got, message } => {
+                prop_assert_eq!(got, job_id);
+                prop_assert_eq!(message, err.to_string());
+            }
+            other => return Err(TestCaseError(format!("expected Err frame, got {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn response_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let f = fix();
+        let _ = decode_response(&f.ctx, &bytes);
+    }
+}
+
+#[test]
+fn request_frames_are_not_response_frames() {
+    let f = fix();
+    let req = random_request(1, 1, 0, 1);
+    let bytes = encode_request(&req);
+    assert!(decode_response(&f.ctx, &bytes).is_err());
+    let resp_bytes = encode_response(&Err((0, EngineError::QueueClosed)));
+    assert!(decode_request(&f.ctx, &resp_bytes).is_err());
+}

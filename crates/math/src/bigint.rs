@@ -71,7 +71,7 @@ impl UBig {
     /// The value of bit `i` (false beyond the top).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
     }
 
     /// Converts to `u64`, if it fits.

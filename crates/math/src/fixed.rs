@@ -47,7 +47,7 @@ impl SmallReciprocal {
     /// because larger `q` would overflow the 60-bit ROM word.
     pub fn new(q: u64) -> Self {
         assert!(
-            (1u64 << 29) <= q && q < (1u64 << 31),
+            ((1u64 << 29)..(1u64 << 31)).contains(&q),
             "SmallReciprocal requires a 30/31-bit modulus, got {q}"
         );
         let recip = ((1u128 << Self::FRAC_BITS) / q as u128) as u64;
@@ -141,7 +141,7 @@ impl WideReciprocal {
     pub fn div_round(&self, x: &UBig) -> UBig {
         let q = self.div_floor(x);
         let rem = x - &(&q * &self.modulus);
-        if &(&rem + &rem) >= &self.modulus {
+        if (&rem + &rem) >= self.modulus {
             &q + &UBig::one()
         } else {
             q
@@ -169,7 +169,7 @@ mod tests {
         let r = SmallReciprocal::new(P30);
         for y in [0u64, 1, P30 / 2, P30 - 1, P30, 2 * P30 - 1] {
             let fixed = SmallReciprocal::round_sum(&[r.mul(y)]);
-            let exact = ((2 * y + P30) / (2 * P30)) as u64; // round(y/q)
+            let exact = (2 * y + P30) / (2 * P30); // round(y/q)
             assert_eq!(fixed, exact, "y={y}");
         }
     }

@@ -86,7 +86,10 @@ impl NttTable {
     ///
     /// Returns an error if `q` does not support a primitive `2n`-th root.
     pub fn new(modulus: Modulus, n: usize) -> Result<Self, String> {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         let q = modulus.value();
         let psi = primitive_2n_root(q, n)?;
         let psi_inv = modulus.inv(psi);
@@ -236,12 +239,12 @@ pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], modulus: &Modulus) -> Vec
     let n = a.len();
     assert_eq!(b.len(), n);
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        if a[i] == 0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
             continue;
         }
-        for j in 0..n {
-            let prod = modulus.mul(a[i], b[j]);
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = modulus.mul(ai, bj);
             let k = i + j;
             if k < n {
                 out[k] = modulus.add(out[k], prod);
@@ -300,7 +303,10 @@ mod tests {
         // NTT of the constant polynomial c is c at every evaluation point.
         let n = 16;
         let t = table(n);
-        let mut a = vec![42u64; 1].into_iter().chain(vec![0; n - 1]).collect::<Vec<_>>();
+        let mut a = vec![42u64; 1]
+            .into_iter()
+            .chain(vec![0; n - 1])
+            .collect::<Vec<_>>();
         t.forward(&mut a);
         assert!(a.iter().all(|&x| x == 42));
     }

@@ -159,7 +159,11 @@ impl ResiduePoly {
     pub fn scalar_mul(&self, s: u64) -> Self {
         let s = self.modulus.reduce(s);
         ResiduePoly {
-            coeffs: self.coeffs.iter().map(|&a| self.modulus.mul(a, s)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| self.modulus.mul(a, s))
+                .collect(),
             modulus: self.modulus,
         }
     }
@@ -263,8 +267,7 @@ mod tests {
         let q = ntt_prime(30, n, 0).unwrap();
         let m = Modulus::new(q);
         let table = NttTable::new(m, n).unwrap();
-        let mut p =
-            ResiduePoly::from_coeffs((0..n as u64).map(|i| i * 37 + 11).collect(), m);
+        let mut p = ResiduePoly::from_coeffs((0..n as u64).map(|i| i * 37 + 11).collect(), m);
         let orig = p.clone();
         p.ntt_forward(&table);
         p.ntt_inverse(&table);

@@ -44,7 +44,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -129,7 +129,7 @@ pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Result<Vec<u64>, String>
 pub fn primitive_2n_root(q: u64, n: usize) -> Result<u64, String> {
     let m = Modulus::new(q);
     let two_n = 2 * n as u64;
-    if (q - 1) % two_n != 0 {
+    if !(q - 1).is_multiple_of(two_n) {
         return Err(format!("q={q} is not ≡ 1 mod 2n (n={n})"));
     }
     let cofactor = (q - 1) / two_n;

@@ -153,9 +153,9 @@ impl RnsBasis {
     pub fn decode(&self, residues: &[u64]) -> UBig {
         assert_eq!(residues.len(), self.len(), "residue count mismatch");
         let mut acc = UBig::zero();
-        for i in 0..self.len() {
+        for (i, &r) in residues.iter().enumerate() {
             // y_i = a_i * tilde_i mod m_i ; acc += y_i * (M/m_i)
-            let y = self.moduli[i].mul(self.moduli[i].reduce(residues[i]), self.mi_tilde[i]);
+            let y = self.moduli[i].mul(self.moduli[i].reduce(r), self.mi_tilde[i]);
             acc += &self.m_over_mi[i].mul_u64(y);
         }
         acc.div_rem(&self.product).1
@@ -304,8 +304,8 @@ impl Extender {
             .map(|j| {
                 let m = self.to.modulus(j);
                 let mut acc = 0u128;
-                for i in 0..self.from.len() {
-                    acc += ys[i] as u128 * self.cross[i][j] as u128;
+                for (&y, row) in ys.iter().zip(&self.cross) {
+                    acc += y as u128 * row[j] as u128;
                 }
                 let pos = m.reduce_u128(acc);
                 let neg = m.reduce_u128(v as u128 * self.product_mod_to[j] as u128);
@@ -798,7 +798,9 @@ mod tests {
         let ctx = paper_context();
         let mut state = 0xDEAD_BEEF_1234_5678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for _ in 0..500 {
@@ -847,7 +849,9 @@ mod tests {
         let sc = ScaleContext::new(&ctx, 2);
         let mut state = 0x0123_4567_89AB_CDEFu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         // Values bounded like FV tensor coefficients: |a| < n·(q)^2·t ≪ Q/2.
@@ -855,7 +859,7 @@ mod tests {
             let q = ctx.base_q().product().clone();
             (&(&q * &q) << 12).mul_u64(2)
         };
-        assert!(&bound < &(ctx.big_q() >> 1), "tensor bound below Q/2");
+        assert!(bound < (ctx.big_q() >> 1), "tensor bound below Q/2");
         for trial in 0..200 {
             // random value in [0, bound), possibly representing a negative
             let mut v = UBig::zero();
@@ -867,18 +871,8 @@ mod tests {
             let rep = if signed { ctx.big_q() - &v } else { v.clone() };
             let res = ctx.base_full().encode(&rep);
             let exact = sc.scale_exact(&ctx, &res);
-            let hps_f = sc.scale_hps(
-                &ctx,
-                &res[..6],
-                &res[6..],
-                HpsPrecision::F64,
-            );
-            let hps_x = sc.scale_hps(
-                &ctx,
-                &res[..6],
-                &res[6..],
-                HpsPrecision::Fixed,
-            );
+            let hps_f = sc.scale_hps(&ctx, &res[..6], &res[6..], HpsPrecision::F64);
+            let hps_x = sc.scale_hps(&ctx, &res[..6], &res[6..], HpsPrecision::Fixed);
             assert_eq!(hps_f, exact, "trial={trial} f64");
             assert_eq!(hps_x, exact, "trial={trial} fixed");
         }

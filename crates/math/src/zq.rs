@@ -48,8 +48,8 @@ impl Modulus {
         assert!(q < (1u64 << 62), "modulus must be below 2^62");
         // floor(2^128 / q) via 128-bit long division in two halves.
         let hi = u128::MAX / q as u128; // floor((2^128 - 1) / q)
-        // (2^128 - 1)/q and 2^128/q differ only when q | 2^128, impossible for odd q>1;
-        // for even q it can differ by 1, but we only ever use odd moduli. Still, be exact:
+                                        // (2^128 - 1)/q and 2^128/q differ only when q | 2^128, impossible for odd q>1;
+                                        // for even q it can differ by 1, but we only ever use odd moduli. Still, be exact:
         let r = u128::MAX % q as u128;
         let exact = if r == q as u128 - 1 { hi + 1 } else { hi };
         Modulus {
@@ -393,7 +393,12 @@ mod tests {
     #[test]
     fn mul_matches_u128() {
         let m = Modulus::new(P31);
-        let pairs = [(1u64, 1u64), (P31 - 1, P31 - 1), (12345, 67890), (P31 - 2, 2)];
+        let pairs = [
+            (1u64, 1u64),
+            (P31 - 1, P31 - 1),
+            (12345, 67890),
+            (P31 - 2, 2),
+        ];
         for (a, b) in pairs {
             assert_eq!(m.mul(a, b) as u128, (a as u128 * b as u128) % P31 as u128);
         }

@@ -1,0 +1,446 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_filter`,
+//! integer-range and `any::<T>()` strategies, `prop::collection::vec`,
+//! [`ProptestConfig`], and the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!` and `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed seed
+//! (fully deterministic across runs) and failing inputs are *not shrunk* —
+//! the failing case's `Debug` rendering is reported as-is.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error raised by the `prop_assert*` family; aborts the current case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Result type the generated test bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    type Value: core::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (retries, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: core::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+    }
+}
+
+/// Strategy producing a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker for types `any::<T>()` can generate.
+pub trait Arbitrary: Sized + core::fmt::Debug {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // Mix full-width values with small ones so boundary-heavy
+                // code sees both regimes.
+                match rng.gen_range(0..4u8) {
+                    0 => (rng.gen::<u64>() % 16) as $t,
+                    1 => <$t>::MAX - (rng.gen::<u64>() % 4) as $t,
+                    _ => {
+                        let mut wide = rng.gen::<u64>() as u128;
+                        wide |= (rng.gen::<u64>() as u128) << 64;
+                        wide as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over every value of `T` (the proptest entry point).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// The `prop::` namespace (`prop::collection::vec` and friends).
+pub mod prop {
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// Length specification for [`vec`]: an exact size or a range.
+        pub struct SizeRange {
+            lo: usize,
+            /// Exclusive upper bound.
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
+            }
+        }
+
+        /// Strategy for `Vec`s with lengths drawn from `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.gen_range(self.len.lo..self.len.hi);
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element_strategy, size)` where `size` is
+        /// an exact length or a length range.
+        pub fn vec<S: Strategy, L: Into<SizeRange>>(elem: S, len: L) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                len: len.into(),
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs in one import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-test seed derived from the test path.
+    pub fn seed_for(name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Aborts the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Aborts the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Aborts the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            use $crate::__rt::SeedableRng as _;
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::__rt::StdRng::seed_from_u64(
+                    $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name)), case),
+                );
+                $(let $arg = ($strat).generate(&mut __proptest_rng);)+
+                let __proptest_inputs =
+                    [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+].join(", ");
+                let result: $crate::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        e.0,
+                        __proptest_inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..100, b in 3u32..13, c in -4i64..=4) {
+            prop_assert!(a < 100);
+            prop_assert!((3..13).contains(&b));
+            prop_assert!((-4..=4).contains(&c));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u64>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn map_applies(x in (1u64..50).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0 && (2..100).contains(&x));
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_between_runs() {
+        use crate::__rt::{seed_for, StdRng};
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let s = crate::prop::collection::vec(crate::any::<u64>(), 0..6);
+        let a: Vec<Vec<u64>> = (0..5)
+            .map(|c| s.generate(&mut StdRng::seed_from_u64(seed_for("t", c))))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..5)
+            .map(|c| s.generate(&mut StdRng::seed_from_u64(seed_for("t", c))))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x too small");
+            }
+        }
+        always_fails();
+    }
+}

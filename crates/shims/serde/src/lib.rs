@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types so
+//! that switching to the real `serde` is a Cargo.toml change, but nothing
+//! in-tree serializes through serde (the wire formats under
+//! `hefv_core::wire` and `hefv_engine::wire` are explicit binary layouts).
+//! These derives therefore expand to nothing; they exist so `#[derive(...)]`
+//! attributes and `use serde::{Serialize, Deserialize}` imports compile
+//! without the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

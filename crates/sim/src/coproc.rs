@@ -89,12 +89,8 @@ pub fn mult_microcode(
     // accumulating adds per key, streaming the key from DDR.
     for _ in 0..digits {
         // one rlk0_i and one rlk1_i polynomial per digit
-        ops.push(Op::RlkDma {
-            bytes: k * n * 4,
-        });
-        ops.push(Op::RlkDma {
-            bytes: k * n * 4,
-        });
+        ops.push(Op::RlkDma { bytes: k * n * 4 });
+        ops.push(Op::RlkDma { bytes: k * n * 4 });
         instr(&mut ops, Instr::CoeffMul, 2 * q_batches);
     }
     instr(&mut ops, Instr::CoeffAdd, 2 * (digits - 1) * q_batches);

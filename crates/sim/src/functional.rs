@@ -74,7 +74,10 @@ impl<'a> FunctionalCoprocessor<'a> {
     }
 
     fn from_mems(mems: Vec<PolyMem>, domain: Domain) -> RnsPoly {
-        RnsPoly::from_residues(mems.into_iter().map(|m| m.coeffs().to_vec()).collect(), domain)
+        RnsPoly::from_residues(
+            mems.into_iter().map(|m| m.coeffs().to_vec()).collect(),
+            domain,
+        )
     }
 
     /// Rearrange + forward NTT of `k` rows, charging batch cycles.
@@ -91,10 +94,7 @@ impl<'a> FunctionalCoprocessor<'a> {
             // natural order, so rearrange twice (cycle cost charged once,
             // as in the microcode).
             self.lanes.lane(i).rearrange(mem);
-            per_lane_t = self
-                .lanes
-                .lane(i)
-                .ntt(mem, &self.ctx.ntt_full()[i]);
+            per_lane_t = self.lanes.lane(i).ntt(mem, &self.ctx.ntt_full()[i]);
         }
         trace.transform += batches * per_lane_t;
         trace.rearrange += batches * per_lane_r;
@@ -186,10 +186,10 @@ impl<'a> FunctionalCoprocessor<'a> {
         let mut acc0: Vec<PolyMem> = (0..k).map(|_| PolyMem::load(&vec![0u64; n])).collect();
         let mut acc1: Vec<PolyMem> = (0..k).map(|_| PolyMem::load(&vec![0u64; n])).collect();
         let batches_q = self.lanes.batches(k) as u64;
-        for digit in 0..k {
+        for (digit, d2_row) in d2.iter().enumerate() {
             // Spread the digit row across the q lanes (the 2 CWA-class
             // passes of the microcode).
-            let spread = ctx.spread_digit(d2[digit].coeffs());
+            let spread = ctx.spread_digit(d2_row.coeffs());
             let mut digit_mems: Vec<PolyMem> = spread.iter().map(|r| PolyMem::load(r)).collect();
             trace.coeffwise += 2 * batches_q * (n as u64 / 2);
             self.transform_rows(&mut digit_mems, &mut trace);

@@ -71,7 +71,11 @@ impl HpsLiftUnit {
             })
             .collect();
         // Block 3: v' = round(Σ y_i / q_i) with the stored reciprocals.
-        let terms: Vec<u128> = ys.iter().zip(&self.recips).map(|(&y, r)| r.mul(y)).collect();
+        let terms: Vec<u128> = ys
+            .iter()
+            .zip(&self.recips)
+            .map(|(&y, r)| r.mul(y))
+            .collect();
         let v = SmallReciprocal::round_sum(&terms);
         // Blocks 2, 4, 5 per destination residue.
         (0..self.to.len())
@@ -182,18 +186,14 @@ impl HpsScaleUnit {
             .iter()
             .zip(&self.tilde_q)
             .zip(a_q)
-            .map(|(((m, t), &td), &a)| {
-                m.reduce_sliding_window(m.reduce(a) as u128 * td as u128, t)
-            })
+            .map(|(((m, t), &td), &a)| m.reduce_sliding_window(m.reduce(a) as u128 * td as u128, t))
             .collect();
         let yp: Vec<u64> = self
             .from_p
             .iter()
             .zip(&self.tilde_p)
             .zip(a_p)
-            .map(|(((m, t), &td), &a)| {
-                m.reduce_sliding_window(m.reduce(a) as u128 * td as u128, t)
-            })
+            .map(|(((m, t), &td), &a)| m.reduce_sliding_window(m.reduce(a) as u128 * td as u128, t))
             .collect();
         // Block 2 (real parts): G = ⌈Σ y_i · R_i⌋ in Q64 fixed point.
         let gsum: u128 = yq
@@ -251,8 +251,8 @@ impl HpsScaleUnit {
         }
         // Twice the lift fill (the scale blocks plus the reused lift),
         // then one coefficient per initiation interval.
-        let cycles = 2 * HpsLiftUnit::BLOCKS * HpsLiftUnit::BLOCK_II
-            + n as u64 * HpsLiftUnit::BLOCK_II;
+        let cycles =
+            2 * HpsLiftUnit::BLOCKS * HpsLiftUnit::BLOCK_II + n as u64 * HpsLiftUnit::BLOCK_II;
         (out, cycles)
     }
 }
@@ -357,8 +357,8 @@ mod tests {
         // instruction-level figure (14,336 + fill ≈ Table II's 16.5k
         // minus the dispatch overhead).
         let per_core_coeffs = 2048u64;
-        let cycles = HpsLiftUnit::BLOCKS * HpsLiftUnit::BLOCK_II
-            + per_core_coeffs * HpsLiftUnit::BLOCK_II;
+        let cycles =
+            HpsLiftUnit::BLOCKS * HpsLiftUnit::BLOCK_II + per_core_coeffs * HpsLiftUnit::BLOCK_II;
         assert_eq!(cycles, 35 + 14_336);
     }
 }

@@ -66,7 +66,10 @@ impl NttSchedule {
     ///
     /// Panics if `n` is not a power of two at least 8.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 8, "n must be a power of two ≥ 8");
+        assert!(
+            n.is_power_of_two() && n >= 8,
+            "n must be a power of two ≥ 8"
+        );
         NttSchedule { n }
     }
 
@@ -221,11 +224,7 @@ impl NttSchedule {
     }
 }
 
-fn butterfly_ct(
-    table: &NttTable,
-    pair: (u64, u64),
-    twiddle_index: usize,
-) -> (u64, u64) {
+fn butterfly_ct(table: &NttTable, pair: (u64, u64), twiddle_index: usize) -> (u64, u64) {
     let m = table.modulus();
     let v = m.mul(pair.1, table.twiddle(twiddle_index));
     (m.add(pair.0, v), m.sub(pair.0, v))
@@ -381,11 +380,7 @@ mod tests {
                 &auditor.violations()[..auditor.violations().len().min(5)]
             );
             // log2(n) stages × n/2 word reads each
-            assert_eq!(
-                auditor.total_reads(),
-                (s.stages() * n / 2) as u64,
-                "n={n}"
-            );
+            assert_eq!(auditor.total_reads(), (s.stages() * n / 2) as u64, "n={n}");
         }
     }
 
@@ -410,7 +405,11 @@ mod tests {
         for t in [2usize, 8, 512, 1024] {
             for a in s.read_accesses(t) {
                 let bank = bank_of(a.addr, 2048);
-                let expect = if a.core == 0 { Bank::Lower } else { Bank::Upper };
+                let expect = if a.core == 0 {
+                    Bank::Lower
+                } else {
+                    Bank::Upper
+                };
                 assert_eq!(bank, expect, "t={t} core{} addr {}", a.core, a.addr);
             }
         }

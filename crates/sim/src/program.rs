@@ -35,17 +35,46 @@ pub enum Asm {
     /// Inverse NTT.
     Intt { reg: Reg, lane0: usize, rows: usize },
     /// `dst = a ⊙ b` coefficient-wise.
-    Cwm { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    Cwm {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        lane0: usize,
+        rows: usize,
+    },
     /// `dst += a ⊙ b` (MAC configuration of Fig. 7).
-    CwmAcc { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    CwmAcc {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        lane0: usize,
+        rows: usize,
+    },
     /// `dst = a + b`.
-    Cwa { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    Cwa {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        lane0: usize,
+        rows: usize,
+    },
     /// `dst = a − b`.
-    Cws { dst: Reg, a: Reg, b: Reg, lane0: usize, rows: usize },
+    Cws {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        lane0: usize,
+        rows: usize,
+    },
     /// Memory rearrange (bit-reversal) of a register's rows.
     Rearrange { reg: Reg, lane0: usize, rows: usize },
     /// Copy rows between registers.
-    Move { dst: Reg, src: Reg, lane0: usize, rows: usize },
+    Move {
+        dst: Reg,
+        src: Reg,
+        lane0: usize,
+        rows: usize,
+    },
 }
 
 /// A program: named for the trace, plus its instruction list.
@@ -154,7 +183,12 @@ impl<'a> Machine<'a> {
                         self.lanes.lane(l).ntt(&mut mem, table);
                         self.file[reg][l] = mem;
                     }
-                    charge(&mut report, Instr::Ntt, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::Ntt,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
                 Asm::Intt { reg, lane0, rows } => {
                     for l in lane0..lane0 + rows {
@@ -163,36 +197,87 @@ impl<'a> Machine<'a> {
                         self.lanes.lane(l).intt(&mut mem, table);
                         self.file[reg][l] = mem;
                     }
-                    charge(&mut report, Instr::InverseNtt, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::InverseNtt,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
-                Asm::Cwm { dst, a, b, lane0, rows } => {
+                Asm::Cwm {
+                    dst,
+                    a,
+                    b,
+                    lane0,
+                    rows,
+                } => {
                     for l in lane0..lane0 + rows {
                         let (out, _) = self.lanes.lane(l).cwm(&self.file[a][l], &self.file[b][l]);
                         self.file[dst][l] = out;
                     }
-                    charge(&mut report, Instr::CoeffMul, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::CoeffMul,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
-                Asm::CwmAcc { dst, a, b, lane0, rows } => {
+                Asm::CwmAcc {
+                    dst,
+                    a,
+                    b,
+                    lane0,
+                    rows,
+                } => {
                     for l in lane0..lane0 + rows {
                         let mut acc = self.file[dst][l].clone();
-                        self.lanes.lane(l).cwm_acc(&mut acc, &self.file[a][l], &self.file[b][l]);
+                        self.lanes
+                            .lane(l)
+                            .cwm_acc(&mut acc, &self.file[a][l], &self.file[b][l]);
                         self.file[dst][l] = acc;
                     }
-                    charge(&mut report, Instr::CoeffMul, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::CoeffMul,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
-                Asm::Cwa { dst, a, b, lane0, rows } => {
+                Asm::Cwa {
+                    dst,
+                    a,
+                    b,
+                    lane0,
+                    rows,
+                } => {
                     for l in lane0..lane0 + rows {
                         let (out, _) = self.lanes.lane(l).cwa(&self.file[a][l], &self.file[b][l]);
                         self.file[dst][l] = out;
                     }
-                    charge(&mut report, Instr::CoeffAdd, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::CoeffAdd,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
-                Asm::Cws { dst, a, b, lane0, rows } => {
+                Asm::Cws {
+                    dst,
+                    a,
+                    b,
+                    lane0,
+                    rows,
+                } => {
                     for l in lane0..lane0 + rows {
                         let (out, _) = self.lanes.lane(l).cws(&self.file[a][l], &self.file[b][l]);
                         self.file[dst][l] = out;
                     }
-                    charge(&mut report, Instr::CoeffAdd, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::CoeffAdd,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
                 Asm::Rearrange { reg, lane0, rows } => {
                     for l in lane0..lane0 + rows {
@@ -200,14 +285,29 @@ impl<'a> Machine<'a> {
                         self.lanes.lane(l).rearrange(&mut mem);
                         self.file[reg][l] = mem;
                     }
-                    charge(&mut report, Instr::MemoryRearrange, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::MemoryRearrange,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
-                Asm::Move { dst, src, lane0, rows } => {
+                Asm::Move {
+                    dst,
+                    src,
+                    lane0,
+                    rows,
+                } => {
                     for l in lane0..lane0 + rows {
                         self.file[dst][l] = self.file[src][l].clone();
                     }
                     // register moves ride the rearrange datapath
-                    charge(&mut report, Instr::MemoryRearrange, self.lanes.batches(rows) as u64, &self.cost);
+                    charge(
+                        &mut report,
+                        Instr::MemoryRearrange,
+                        self.lanes.batches(rows) as u64,
+                        &self.cost,
+                    );
                 }
             }
         }
@@ -221,8 +321,20 @@ pub fn assemble_add(k: usize) -> Program {
     Program {
         name: "fv_add".into(),
         code: vec![
-            Asm::Cwa { dst: 4, a: 0, b: 2, lane0: 0, rows: k },
-            Asm::Cwa { dst: 5, a: 1, b: 3, lane0: 0, rows: k },
+            Asm::Cwa {
+                dst: 4,
+                a: 0,
+                b: 2,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Cwa {
+                dst: 5,
+                a: 1,
+                b: 3,
+                lane0: 0,
+                rows: k,
+            },
         ],
     }
 }
@@ -235,14 +347,50 @@ pub fn assemble_fma(k: usize) -> Program {
     Program {
         name: "fused_multiply_add".into(),
         code: vec![
-            Asm::Rearrange { reg: 0, lane0: 0, rows: k },
-            Asm::Rearrange { reg: 0, lane0: 0, rows: k },
-            Asm::Ntt { reg: 0, lane0: 0, rows: k },
-            Asm::Cwm { dst: 3, a: 0, b: 1, lane0: 0, rows: k },
-            Asm::Intt { reg: 3, lane0: 0, rows: k },
-            Asm::Rearrange { reg: 3, lane0: 0, rows: k },
-            Asm::Rearrange { reg: 3, lane0: 0, rows: k },
-            Asm::Cwa { dst: 3, a: 3, b: 2, lane0: 0, rows: k },
+            Asm::Rearrange {
+                reg: 0,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Rearrange {
+                reg: 0,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Ntt {
+                reg: 0,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Cwm {
+                dst: 3,
+                a: 0,
+                b: 1,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Intt {
+                reg: 3,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Rearrange {
+                reg: 3,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Rearrange {
+                reg: 3,
+                lane0: 0,
+                rows: k,
+            },
+            Asm::Cwa {
+                dst: 3,
+                a: 3,
+                b: 2,
+                lane0: 0,
+                rows: k,
+            },
         ],
     }
 }
@@ -319,10 +467,7 @@ mod tests {
         // Library reference: mul_plain(a, m) + b.
         let expect = add(&ctx, &mul_plain(&ctx, &ca, &msg), &cb);
         assert_eq!(out, expect);
-        assert_eq!(
-            decrypt(&ctx, &sk, &out),
-            decrypt(&ctx, &sk, &expect)
-        );
+        assert_eq!(decrypt(&ctx, &sk, &out), decrypt(&ctx, &sk, &expect));
     }
 
     #[test]
@@ -345,7 +490,13 @@ mod tests {
         let mut m = Machine::new(&ctx, 2);
         let p = Program {
             name: "bad".into(),
-            code: vec![Asm::Cwa { dst: 9, a: 0, b: 1, lane0: 0, rows: 1 }],
+            code: vec![Asm::Cwa {
+                dst: 9,
+                a: 0,
+                b: 1,
+                lane0: 0,
+                rows: 1,
+            }],
         };
         m.run(&p);
     }

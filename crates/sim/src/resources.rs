@@ -79,9 +79,22 @@ pub struct Block {
 /// instruction queue = 388, matching Table IV exactly.
 pub fn coprocessor_blocks() -> Vec<Block> {
     let blocks = [
-        ("butterfly core (30x30 mult + sliding-window reduce + add/sub)",
-            14, 1_650u64, 690u64, 0u64, 4u64),
-        ("HPS Lift core (Fig. 6 block pipeline)", 2, 8_000, 3_200, 0, 48),
+        (
+            "butterfly core (30x30 mult + sliding-window reduce + add/sub)",
+            14,
+            1_650u64,
+            690u64,
+            0u64,
+            4u64,
+        ),
+        (
+            "HPS Lift core (Fig. 6 block pipeline)",
+            2,
+            8_000,
+            3_200,
+            0,
+            48,
+        ),
         ("HPS Scale core (Fig. 9 blocks 1-3)", 2, 6_000, 2_400, 0, 28),
         ("RPAU control / address generation", 7, 700, 280, 0, 0),
         ("instruction decoder & sequencer", 1, 2_500, 1_000, 4, 0),
@@ -109,7 +122,9 @@ pub fn coprocessor_blocks() -> Vec<Block> {
 pub fn coprocessor_total() -> Resources {
     coprocessor_blocks()
         .iter()
-        .fold(Resources::default(), |acc, b| acc.plus(b.each.times(b.count)))
+        .fold(Resources::default(), |acc, b| {
+            acc.plus(b.each.times(b.count))
+        })
 }
 
 /// The DMA + interfacing + mutex logic shared by both coprocessors
@@ -243,7 +258,9 @@ mod tests {
     fn table5_matches_paper() {
         let rows = table5();
         let paper = [
-            (12u32, 180u32, 64_000u64, 25_000u64, 400u64, 200u64, 4.46, 0.54, 5.0),
+            (
+                12u32, 180u32, 64_000u64, 25_000u64, 400u64, 200u64, 4.46, 0.54, 5.0,
+            ),
             (13, 360, 128_000, 50_000, 1_600, 400, 9.68, 2.16, 11.9),
             (14, 720, 256_000, 100_000, 6_400, 800, 21.0, 8.64, 29.6),
             (15, 1_440, 512_000, 200_000, 25_600, 1_600, 45.6, 34.6, 80.2),
@@ -255,9 +272,21 @@ mod tests {
             assert_eq!(row.res.reg, p.3);
             assert_eq!(row.res.bram, p.4);
             assert_eq!(row.res.dsp, p.5);
-            assert!((row.comp_ms - p.6).abs() / p.6 < 0.02, "comp {}", row.comp_ms);
-            assert!((row.comm_ms - p.7).abs() / p.7 < 0.02, "comm {}", row.comm_ms);
-            assert!((row.total_ms - p.8).abs() / p.8 < 0.02, "total {}", row.total_ms);
+            assert!(
+                (row.comp_ms - p.6).abs() / p.6 < 0.02,
+                "comp {}",
+                row.comp_ms
+            );
+            assert!(
+                (row.comm_ms - p.7).abs() / p.7 < 0.02,
+                "comm {}",
+                row.comm_ms
+            );
+            assert!(
+                (row.total_ms - p.8).abs() / p.8 < 0.02,
+                "total {}",
+                row.total_ms
+            );
         }
     }
 }

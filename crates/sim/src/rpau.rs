@@ -285,7 +285,10 @@ mod tests {
         lane.cwm_acc(&mut acc, &a, &b);
         for w in 0..acc.words() {
             let m = lane.modulus();
-            let expect0 = m.add(orig.read_word(w).0, m.mul(a.read_word(w).0, b.read_word(w).0));
+            let expect0 = m.add(
+                orig.read_word(w).0,
+                m.mul(a.read_word(w).0, b.read_word(w).0),
+            );
             assert_eq!(acc.read_word(w).0, expect0);
         }
     }
@@ -344,7 +347,7 @@ mod tests {
         let arr = RpauArray::new(&primes, 64);
         assert_eq!(arr.rpaus(), 7);
         assert_eq!(arr.lanes(), 13);
-        let mut load = vec![0; 7];
+        let mut load = [0; 7];
         for i in 0..13 {
             load[arr.rpau_of(i)] += 1;
         }

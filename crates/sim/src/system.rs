@@ -192,8 +192,10 @@ mod tests {
 
     #[test]
     fn one_coprocessor_halves_throughput() {
-        let mut sys = System::default();
-        sys.coprocessors = 1;
+        let sys = System {
+            coprocessors: 1,
+            ..Default::default()
+        };
         let tput = sys.mult_throughput_per_s(&ctx());
         assert!((196.0..=204.0).contains(&tput), "{tput}");
     }

@@ -46,7 +46,7 @@ fn main() -> Result<(), String> {
         .collect();
     let mut sim_us = 0.0;
     for (i, rx) in pending {
-        let resp = rx.recv().map_err(|_| "server died")?.map_err(|e| e)?;
+        let resp = rx.recv().map_err(|_| "server died")??;
         sim_us += resp.coproc_us;
         let out = client::unpack(&ctx, &resp)?;
         let slots = enc.decode(&decrypt(&ctx, &sk, &out));
@@ -61,9 +61,15 @@ fn main() -> Result<(), String> {
             resp.worker, resp.coproc_us
         );
     }
-    println!("\n8 requests done in {:.2?} wall-clock (software execution)", t0.elapsed());
-    println!("simulated coprocessor busy time: {:.1} ms total, {:.1} ms per worker",
-        sim_us / 1000.0, sim_us / 2000.0);
+    println!(
+        "\n8 requests done in {:.2?} wall-clock (software execution)",
+        t0.elapsed()
+    );
+    println!(
+        "simulated coprocessor busy time: {:.1} ms total, {:.1} ms per worker",
+        sim_us / 1000.0,
+        sim_us / 2000.0
+    );
 
     // Aggregation query: the operator wants only the grid total.
     let keys = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);

@@ -32,28 +32,50 @@ fn main() -> Result<(), String> {
     for (name, count) in calls {
         println!("  {count:>3} x {name}");
     }
-    println!("\ninstruction cycles (FPGA @200 MHz): {}", report.instr_fpga_cycles);
-    println!("relin-key DMA                     : {:.0} us", report.rlk_dma_us);
-    println!("Mult total                        : {:.3} ms ({} Arm cycles; paper: 4.458 ms)",
-        report.total_us / 1000.0, report.total_arm_cycles);
+    println!(
+        "\ninstruction cycles (FPGA @200 MHz): {}",
+        report.instr_fpga_cycles
+    );
+    println!(
+        "relin-key DMA                     : {:.0} us",
+        report.rlk_dma_us
+    );
+    println!(
+        "Mult total                        : {:.3} ms ({} Arm cycles; paper: 4.458 ms)",
+        report.total_us / 1000.0,
+        report.total_arm_cycles
+    );
 
     let sys = System::default();
     println!("\nplatform (two coprocessors):");
-    println!("  Mult latency incl. transfers : {:.2} ms", sys.mult_latency_ms(&ctx));
-    println!("  throughput                   : {:.0} Mult/s (paper: 400)",
-        sys.mult_throughput_per_s(&ctx));
-    println!("  SW/HW Add ratio              : {:.0}x (paper: 80x)",
-        sys.add_sw_hw_ratio(&ctx));
+    println!(
+        "  Mult latency incl. transfers : {:.2} ms",
+        sys.mult_latency_ms(&ctx)
+    );
+    println!(
+        "  throughput                   : {:.0} Mult/s (paper: 400)",
+        sys.mult_throughput_per_s(&ctx)
+    );
+    println!(
+        "  SW/HW Add ratio              : {:.0}x (paper: 80x)",
+        sys.add_sw_hw_ratio(&ctx)
+    );
 
     let r = table4(2);
     let u = utilization(r, ZCU102);
     println!("\nresources (2 coprocessors + interface on ZCU102):");
-    println!("  LUT {} ({:.0}%)  Reg {} ({:.0}%)  BRAM {} ({:.0}%)  DSP {} ({:.0}%)",
-        r.lut, u[0], r.reg, u[1], r.bram, u[2], r.dsp, u[3]);
+    println!(
+        "  LUT {} ({:.0}%)  Reg {} ({:.0}%)  BRAM {} ({:.0}%)  DSP {} ({:.0}%)",
+        r.lut, u[0], r.reg, u[1], r.bram, u[2], r.dsp, u[3]
+    );
 
     let p = PowerModel::default();
-    println!("\npower: static {:.1} W, dual-core dynamic {:.1} W, peak {:.1} W",
-        p.static_w, p.dynamic_w(2), p.total_w(2));
+    println!(
+        "\npower: static {:.1} W, dual-core dynamic {:.1} W, peak {:.1} W",
+        p.static_w,
+        p.dynamic_w(2),
+        p.total_w(2)
+    );
     println!("\nOK");
     Ok(())
 }

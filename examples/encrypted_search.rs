@@ -34,8 +34,11 @@ fn main() -> Result<(), String> {
     // Server searches without learning the key.
     let t0 = Instant::now();
     let masked = search(&ctx, &enc, &table, &q, &rlk, Backend::default());
-    println!("server-side search: {:.2?} ({} ciphertext Mults)",
-        t0.elapsed(), key_bits + key_bits - 1);
+    println!(
+        "server-side search: {:.2?} ({} ciphertext Mults)",
+        t0.elapsed(),
+        key_bits + key_bits - 1
+    );
 
     // Client decrypts the masked value column.
     let pt = decrypt(&ctx, &sk, &masked);

@@ -20,7 +20,14 @@ fn main() -> Result<(), String> {
     println!("client input bits: {input:?}");
     let bits: Vec<Ciphertext> = input
         .iter()
-        .map(|&b| encrypt(&ctx, &pk, &Plaintext::new(vec![b], 2, ctx.params().n), &mut rng))
+        .map(|&b| {
+            encrypt(
+                &ctx,
+                &pk,
+                &Plaintext::new(vec![b], 2, ctx.params().n),
+                &mut rng,
+            )
+        })
         .collect();
 
     let net = SortingNetwork::batcher4();
@@ -46,7 +53,10 @@ fn main() -> Result<(), String> {
 
     // Show the budget headroom after three levels.
     let r = measure(&ctx, &sk, &sorted[1]);
-    println!("noise budget remaining on a depth-3 wire: {:.0} bits", r.budget_bits);
+    println!(
+        "noise budget remaining on a depth-3 wire: {:.0} bits",
+        r.budget_bits
+    );
     println!("OK");
     Ok(())
 }

@@ -29,7 +29,11 @@ fn main() -> Result<(), String> {
     let cb = encrypt(&ctx, &pk, &pb, &mut rng);
 
     let program = assemble_fma(k);
-    println!("routine '{}' — {} instructions:", program.name, program.code.len());
+    println!(
+        "routine '{}' — {} instructions:",
+        program.name,
+        program.code.len()
+    );
     for op in &program.code {
         println!("    {op:?}");
     }
@@ -60,7 +64,10 @@ fn main() -> Result<(), String> {
     assert_eq!(got.coeffs()[..4], [11, 2, 21, 7]);
     println!("\ndecrypted a·m + b = 11 + 2x + 21x² + 7x³ ✓");
     println!("modeled coprocessor time for the custom routine: {total_us:.1} µs");
-    println!("(vs {:.0} µs for a full ciphertext·ciphertext Mult — plaintext", 4458.0);
+    println!(
+        "(vs {:.0} µs for a full ciphertext·ciphertext Mult — plaintext",
+        4458.0
+    );
     println!(" multiplication avoids Lift/Scale/ReLin entirely)");
     println!("OK");
     Ok(())

@@ -13,8 +13,12 @@ fn main() -> Result<(), String> {
 
     let t0 = Instant::now();
     let ctx = FvContext::new(FvParams::hpca19_with_t(1 << 12))?;
-    println!("context built in {:.1?} (q = {} bits, Q = {} bits)",
-        t0.elapsed(), ctx.params().log_q(), ctx.params().log_big_q());
+    println!(
+        "context built in {:.1?} (q = {} bits, Q = {} bits)",
+        t0.elapsed(),
+        ctx.params().log_q(),
+        ctx.params().log_big_q()
+    );
 
     let mut rng = StdRng::seed_from_u64(2019);
     let (sk, pk, rlk) = keygen(&ctx, &mut rng);
@@ -25,8 +29,10 @@ fn main() -> Result<(), String> {
     let b = -45;
     let ca = encrypt(&ctx, &pk, &encoder.encode(a), &mut rng);
     let cb = encrypt(&ctx, &pk, &encoder.encode(b), &mut rng);
-    println!("\nencrypted a = {a}, b = {b}  ({} KiB per ciphertext)",
-        ca.transfer_bytes() / 1024);
+    println!(
+        "\nencrypted a = {a}, b = {b}  ({} KiB per ciphertext)",
+        ca.transfer_bytes() / 1024
+    );
 
     // a + b and a · b on ciphertext.
     let t1 = Instant::now();
@@ -35,14 +41,26 @@ fn main() -> Result<(), String> {
 
     let t2 = Instant::now();
     let prod = mul(&ctx, &ca, &cb, &rlk, Backend::default());
-    println!("homomorphic Mult  : {:>10.2?}  (HPS fixed-point backend)", t2.elapsed());
+    println!(
+        "homomorphic Mult  : {:>10.2?}  (HPS fixed-point backend)",
+        t2.elapsed()
+    );
 
     // (a·b) + a
     let combo = add(&ctx, &prod, &ca);
 
-    println!("\ndecrypt(a + b)     = {}", encoder.decode(&decrypt(&ctx, &sk, &sum)));
-    println!("decrypt(a · b)     = {}", encoder.decode(&decrypt(&ctx, &sk, &prod)));
-    println!("decrypt(a·b + a)   = {}", encoder.decode(&decrypt(&ctx, &sk, &combo)));
+    println!(
+        "\ndecrypt(a + b)     = {}",
+        encoder.decode(&decrypt(&ctx, &sk, &sum))
+    );
+    println!(
+        "decrypt(a · b)     = {}",
+        encoder.decode(&decrypt(&ctx, &sk, &prod))
+    );
+    println!(
+        "decrypt(a·b + a)   = {}",
+        encoder.decode(&decrypt(&ctx, &sk, &combo))
+    );
     assert_eq!(encoder.decode(&decrypt(&ctx, &sk, &sum)), a + b);
     assert_eq!(encoder.decode(&decrypt(&ctx, &sk, &prod)), a * b);
     assert_eq!(encoder.decode(&decrypt(&ctx, &sk, &combo)), a * b + a);
@@ -50,8 +68,10 @@ fn main() -> Result<(), String> {
     // Noise budget after one multiplication.
     let fresh = measure(&ctx, &sk, &ca);
     let used = measure(&ctx, &sk, &prod);
-    println!("\nnoise budget: fresh {:.0} bits -> after Mult {:.0} bits",
-        fresh.budget_bits, used.budget_bits);
+    println!(
+        "\nnoise budget: fresh {:.0} bits -> after Mult {:.0} bits",
+        fresh.budget_bits, used.budget_bits
+    );
     println!("\nOK — all results decrypted correctly.");
     Ok(())
 }

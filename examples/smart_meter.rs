@@ -50,7 +50,10 @@ fn main() -> Result<(), String> {
         checked += 1;
     }
     println!("\nverified {checked} sampled households against the plaintext reference");
-    println!("household 0: readings {:?} -> forecast {}", readings[0], slots[0]);
+    println!(
+        "household 0: readings {:?} -> forecast {}",
+        readings[0], slots[0]
+    );
     println!("OK");
     Ok(())
 }

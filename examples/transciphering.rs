@@ -36,10 +36,20 @@ fn main() -> Result<(), String> {
     // Client uploads the FV-encrypted symmetric key once.
     let enc_key: Vec<Ciphertext> = key
         .iter()
-        .map(|&b| encrypt(&ctx, &pk, &Plaintext::new(vec![b as u64], 2, ctx.params().n), &mut rng))
+        .map(|&b| {
+            encrypt(
+                &ctx,
+                &pk,
+                &Plaintext::new(vec![b as u64], 2, ctx.params().n),
+                &mut rng,
+            )
+        })
         .collect();
-    println!("client:   uploaded {} FV-encrypted key bits ({} KiB)",
-        enc_key.len(), enc_key.len() * enc_key[0].transfer_bytes() / 1024);
+    println!(
+        "client:   uploaded {} FV-encrypted key bits ({} KiB)",
+        enc_key.len(),
+        enc_key.len() * enc_key[0].transfer_bytes() / 1024
+    );
 
     // Cloud: homomorphic keystream, then XOR the symmetric ciphertext in.
     let t0 = Instant::now();
@@ -52,8 +62,11 @@ fn main() -> Result<(), String> {
             add(&ctx, ks, &b)
         })
         .collect();
-    println!("cloud:    evaluated {} χ-AND gates homomorphically in {:.2?}",
-        cipher.block * cipher.rounds, t0.elapsed());
+    println!(
+        "cloud:    evaluated {} χ-AND gates homomorphically in {:.2?}",
+        cipher.block * cipher.rounds,
+        t0.elapsed()
+    );
 
     // The cloud can now compute on fv_data; prove it holds the data and
     // still has budget by AND-ing two bits.

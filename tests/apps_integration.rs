@@ -26,7 +26,11 @@ fn meter_forecast_end_to_end() {
     let out = f.forecast(&ctx, &enc, &cts, &rlk, Backend::default());
     let slots = enc.decode(&decrypt(&ctx, &sk, &out));
     for h in [0usize, 17, 255] {
-        assert_eq!(slots[h], f.forecast_plain(7681, readings[h]), "household {h}");
+        assert_eq!(
+            slots[h],
+            f.forecast_plain(7681, readings[h]),
+            "household {h}"
+        );
     }
 }
 
@@ -59,7 +63,14 @@ fn sorting_network_on_both_backends() {
     let input = [1u64, 1, 0, 1];
     let bits: Vec<Ciphertext> = input
         .iter()
-        .map(|&b| encrypt(&ctx, &pk, &Plaintext::new(vec![b], 2, ctx.params().n), &mut rng))
+        .map(|&b| {
+            encrypt(
+                &ctx,
+                &pk,
+                &Plaintext::new(vec![b], 2, ctx.params().n),
+                &mut rng,
+            )
+        })
         .collect();
     let net = SortingNetwork::batcher4();
     for backend in [Backend::Traditional, Backend::Hps(HpsPrecision::F64)] {

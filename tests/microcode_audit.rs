@@ -61,9 +61,8 @@ fn mult_report_composition_is_consistent() {
     let cop = Coprocessor::default();
     let r = cop.run_mult(&ctx);
     // Components must add up to the total.
-    let us_from_parts = cop.clocks.fpga_cycles_to_us(r.instr_fpga_cycles)
-        + r.rlk_dma_us
-        + r.sync_us;
+    let us_from_parts =
+        cop.clocks.fpga_cycles_to_us(r.instr_fpga_cycles) + r.rlk_dma_us + r.sync_us;
     assert!((us_from_parts - r.total_us).abs() < 1e-6);
     // Instruction time should dominate DMA (the paper: transfers ≈ 30%).
     assert!(r.rlk_dma_us < cop.clocks.fpga_cycles_to_us(r.instr_fpga_cycles));
