@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cores-1222627a84d9fbcb.d: crates/bench/src/bin/ablation_cores.rs
+
+/root/repo/target/debug/deps/ablation_cores-1222627a84d9fbcb: crates/bench/src/bin/ablation_cores.rs
+
+crates/bench/src/bin/ablation_cores.rs:

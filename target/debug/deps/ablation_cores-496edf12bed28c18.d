@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cores-496edf12bed28c18.d: crates/bench/src/bin/ablation_cores.rs
+
+/root/repo/target/debug/deps/ablation_cores-496edf12bed28c18: crates/bench/src/bin/ablation_cores.rs
+
+crates/bench/src/bin/ablation_cores.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cores-8ff91fe1adfdf79a.d: crates/bench/src/bin/ablation_cores.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cores-8ff91fe1adfdf79a.rmeta: crates/bench/src/bin/ablation_cores.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cores.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

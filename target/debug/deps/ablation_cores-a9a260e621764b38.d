@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cores-a9a260e621764b38.d: crates/bench/src/bin/ablation_cores.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cores-a9a260e621764b38.rmeta: crates/bench/src/bin/ablation_cores.rs Cargo.toml
+
+crates/bench/src/bin/ablation_cores.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

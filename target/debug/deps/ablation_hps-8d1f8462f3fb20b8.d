@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hps-8d1f8462f3fb20b8.d: crates/bench/src/bin/ablation_hps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hps-8d1f8462f3fb20b8.rmeta: crates/bench/src/bin/ablation_hps.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

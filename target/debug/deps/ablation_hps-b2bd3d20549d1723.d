@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hps-b2bd3d20549d1723.d: crates/bench/src/bin/ablation_hps.rs
+
+/root/repo/target/debug/deps/ablation_hps-b2bd3d20549d1723: crates/bench/src/bin/ablation_hps.rs
+
+crates/bench/src/bin/ablation_hps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hps-cf0f914e9531c91d.d: crates/bench/src/bin/ablation_hps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hps-cf0f914e9531c91d.rmeta: crates/bench/src/bin/ablation_hps.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

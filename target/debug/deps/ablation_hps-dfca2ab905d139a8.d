@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hps-dfca2ab905d139a8.d: crates/bench/src/bin/ablation_hps.rs
+
+/root/repo/target/debug/deps/ablation_hps-dfca2ab905d139a8: crates/bench/src/bin/ablation_hps.rs
+
+crates/bench/src/bin/ablation_hps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_twiddle-03105c339c8f0a09.d: crates/bench/src/bin/ablation_twiddle.rs
+
+/root/repo/target/debug/deps/ablation_twiddle-03105c339c8f0a09: crates/bench/src/bin/ablation_twiddle.rs
+
+crates/bench/src/bin/ablation_twiddle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_twiddle-39b8bf8b6634e361.d: crates/bench/src/bin/ablation_twiddle.rs
+
+/root/repo/target/debug/deps/ablation_twiddle-39b8bf8b6634e361: crates/bench/src/bin/ablation_twiddle.rs
+
+crates/bench/src/bin/ablation_twiddle.rs:

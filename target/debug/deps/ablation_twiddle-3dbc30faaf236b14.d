@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_twiddle-3dbc30faaf236b14.d: crates/bench/src/bin/ablation_twiddle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_twiddle-3dbc30faaf236b14.rmeta: crates/bench/src/bin/ablation_twiddle.rs Cargo.toml
+
+crates/bench/src/bin/ablation_twiddle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

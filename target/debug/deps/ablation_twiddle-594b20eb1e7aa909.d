@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_twiddle-594b20eb1e7aa909.d: crates/bench/src/bin/ablation_twiddle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_twiddle-594b20eb1e7aa909.rmeta: crates/bench/src/bin/ablation_twiddle.rs Cargo.toml
+
+crates/bench/src/bin/ablation_twiddle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps_integration-39bb4442cc0ac4c6.d: tests/apps_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps_integration-39bb4442cc0ac4c6.rmeta: tests/apps_integration.rs Cargo.toml
+
+tests/apps_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_integration-ae6551a9ce2b8448.d: tests/apps_integration.rs
+
+/root/repo/target/debug/deps/apps_integration-ae6551a9ce2b8448: tests/apps_integration.rs
+
+tests/apps_integration.rs:

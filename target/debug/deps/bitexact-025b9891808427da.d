@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bitexact-025b9891808427da.d: crates/bench/src/bin/bitexact.rs
+
+/root/repo/target/debug/deps/bitexact-025b9891808427da: crates/bench/src/bin/bitexact.rs
+
+crates/bench/src/bin/bitexact.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bitexact-129cbda861bfcca3.d: crates/bench/src/bin/bitexact.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbitexact-129cbda861bfcca3.rmeta: crates/bench/src/bin/bitexact.rs Cargo.toml
+
+crates/bench/src/bin/bitexact.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bitexact-9a51df3a6118530a.d: crates/bench/src/bin/bitexact.rs
+
+/root/repo/target/debug/deps/bitexact-9a51df3a6118530a: crates/bench/src/bin/bitexact.rs
+
+crates/bench/src/bin/bitexact.rs:

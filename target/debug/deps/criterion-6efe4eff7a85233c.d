@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6efe4eff7a85233c.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-6efe4eff7a85233c: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

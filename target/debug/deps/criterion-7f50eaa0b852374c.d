@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-7f50eaa0b852374c.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7f50eaa0b852374c.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7f50eaa0b852374c.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/depth_sweep-1f740ce600961254.d: crates/bench/src/bin/depth_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdepth_sweep-1f740ce600961254.rmeta: crates/bench/src/bin/depth_sweep.rs Cargo.toml
+
+crates/bench/src/bin/depth_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

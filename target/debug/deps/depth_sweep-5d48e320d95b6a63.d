@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/depth_sweep-5d48e320d95b6a63.d: crates/bench/src/bin/depth_sweep.rs
+
+/root/repo/target/debug/deps/depth_sweep-5d48e320d95b6a63: crates/bench/src/bin/depth_sweep.rs
+
+crates/bench/src/bin/depth_sweep.rs:

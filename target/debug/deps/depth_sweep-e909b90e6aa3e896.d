@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/depth_sweep-e909b90e6aa3e896.d: crates/bench/src/bin/depth_sweep.rs
+
+/root/repo/target/debug/deps/depth_sweep-e909b90e6aa3e896: crates/bench/src/bin/depth_sweep.rs
+
+crates/bench/src/bin/depth_sweep.rs:

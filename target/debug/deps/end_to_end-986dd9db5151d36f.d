@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-986dd9db5151d36f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-986dd9db5151d36f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

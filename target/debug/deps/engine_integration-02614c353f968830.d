@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_integration-02614c353f968830.d: crates/engine/tests/engine_integration.rs
+
+/root/repo/target/debug/deps/engine_integration-02614c353f968830: crates/engine/tests/engine_integration.rs
+
+crates/engine/tests/engine_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_integration-4755424bb5c6ca1f.d: crates/engine/tests/engine_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_integration-4755424bb5c6ca1f.rmeta: crates/engine/tests/engine_integration.rs Cargo.toml
+
+crates/engine/tests/engine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

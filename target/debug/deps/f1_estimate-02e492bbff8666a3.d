@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/f1_estimate-02e492bbff8666a3.d: crates/bench/src/bin/f1_estimate.rs
+
+/root/repo/target/debug/deps/f1_estimate-02e492bbff8666a3: crates/bench/src/bin/f1_estimate.rs
+
+crates/bench/src/bin/f1_estimate.rs:

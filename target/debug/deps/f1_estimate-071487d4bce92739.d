@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/f1_estimate-071487d4bce92739.d: crates/bench/src/bin/f1_estimate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libf1_estimate-071487d4bce92739.rmeta: crates/bench/src/bin/f1_estimate.rs Cargo.toml
+
+crates/bench/src/bin/f1_estimate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/f1_estimate-e4659225e414bed6.d: crates/bench/src/bin/f1_estimate.rs
+
+/root/repo/target/debug/deps/f1_estimate-e4659225e414bed6: crates/bench/src/bin/f1_estimate.rs
+
+crates/bench/src/bin/f1_estimate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-147a9e26ce017caf.d: crates/core/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-147a9e26ce017caf: crates/core/tests/failure_injection.rs
+
+crates/core/tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-5d40370d6a4727b4.d: crates/core/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-5d40370d6a4727b4.rmeta: crates/core/tests/failure_injection.rs Cargo.toml
+
+crates/core/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-7533e1018b06f415.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-7533e1018b06f415: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

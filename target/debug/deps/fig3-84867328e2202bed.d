@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-84867328e2202bed.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-84867328e2202bed: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

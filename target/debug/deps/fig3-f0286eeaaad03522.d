@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-f0286eeaaad03522.d: crates/bench/src/bin/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-f0286eeaaad03522.rmeta: crates/bench/src/bin/fig3.rs Cargo.toml
+
+crates/bench/src/bin/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

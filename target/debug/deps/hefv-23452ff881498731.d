@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hefv-23452ff881498731.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv-23452ff881498731.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

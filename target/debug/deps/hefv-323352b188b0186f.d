@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hefv-323352b188b0186f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhefv-323352b188b0186f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhefv-323352b188b0186f.rmeta: src/lib.rs
+
+src/lib.rs:

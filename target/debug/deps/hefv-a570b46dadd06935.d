@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hefv-a570b46dadd06935.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhefv-a570b46dadd06935.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhefv-a570b46dadd06935.rmeta: src/lib.rs
+
+src/lib.rs:

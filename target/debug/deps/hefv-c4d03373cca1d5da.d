@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hefv-c4d03373cca1d5da.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv-c4d03373cca1d5da.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hefv-ea4016cbfa67104c.d: src/lib.rs
+
+/root/repo/target/debug/deps/hefv-ea4016cbfa67104c: src/lib.rs
+
+src/lib.rs:

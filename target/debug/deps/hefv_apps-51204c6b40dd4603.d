@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hefv_apps-51204c6b40dd4603.d: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+/root/repo/target/debug/deps/libhefv_apps-51204c6b40dd4603.rlib: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+/root/repo/target/debug/deps/libhefv_apps-51204c6b40dd4603.rmeta: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cloud.rs:
+crates/apps/src/meter.rs:
+crates/apps/src/rasta.rs:
+crates/apps/src/search.rs:
+crates/apps/src/sorting.rs:

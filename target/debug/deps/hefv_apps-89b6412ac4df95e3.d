@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hefv_apps-89b6412ac4df95e3.d: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+/root/repo/target/debug/deps/hefv_apps-89b6412ac4df95e3: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cloud.rs:
+crates/apps/src/meter.rs:
+crates/apps/src/rasta.rs:
+crates/apps/src/search.rs:
+crates/apps/src/sorting.rs:

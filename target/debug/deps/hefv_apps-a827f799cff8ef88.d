@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hefv_apps-a827f799cff8ef88.d: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv_apps-a827f799cff8ef88.rmeta: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/cloud.rs:
+crates/apps/src/meter.rs:
+crates/apps/src/rasta.rs:
+crates/apps/src/search.rs:
+crates/apps/src/sorting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hefv_apps-e6855d42e5328ea3.d: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+/root/repo/target/debug/deps/libhefv_apps-e6855d42e5328ea3.rlib: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+/root/repo/target/debug/deps/libhefv_apps-e6855d42e5328ea3.rmeta: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cloud.rs:
+crates/apps/src/meter.rs:
+crates/apps/src/rasta.rs:
+crates/apps/src/search.rs:
+crates/apps/src/sorting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hefv_bench-256df3d746a4aea9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hefv_bench-256df3d746a4aea9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

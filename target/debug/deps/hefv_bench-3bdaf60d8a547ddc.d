@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hefv_bench-3bdaf60d8a547ddc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhefv_bench-3bdaf60d8a547ddc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhefv_bench-3bdaf60d8a547ddc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

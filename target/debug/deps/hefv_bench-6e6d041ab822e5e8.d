@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hefv_bench-6e6d041ab822e5e8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv_bench-6e6d041ab822e5e8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hefv_bench-711a0535a2bb336b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhefv_bench-711a0535a2bb336b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhefv_bench-711a0535a2bb336b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

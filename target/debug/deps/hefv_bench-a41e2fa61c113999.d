@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hefv_bench-a41e2fa61c113999.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv_bench-a41e2fa61c113999.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hefv_core-1df3c8437036d655.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/encoder.rs crates/core/src/encrypt.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/galois.rs crates/core/src/keys.rs crates/core/src/noise.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/rnspoly.rs crates/core/src/sampler.rs crates/core/src/security.rs crates/core/src/wire.rs
+
+/root/repo/target/debug/deps/hefv_core-1df3c8437036d655: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/encoder.rs crates/core/src/encrypt.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/galois.rs crates/core/src/keys.rs crates/core/src/noise.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/rnspoly.rs crates/core/src/sampler.rs crates/core/src/security.rs crates/core/src/wire.rs
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/encoder.rs:
+crates/core/src/encrypt.rs:
+crates/core/src/error.rs:
+crates/core/src/eval.rs:
+crates/core/src/galois.rs:
+crates/core/src/keys.rs:
+crates/core/src/noise.rs:
+crates/core/src/parallel.rs:
+crates/core/src/params.rs:
+crates/core/src/rnspoly.rs:
+crates/core/src/sampler.rs:
+crates/core/src/security.rs:
+crates/core/src/wire.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/hefv_core-a9c52cf5b244bead.d: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/encoder.rs crates/core/src/encrypt.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/galois.rs crates/core/src/keys.rs crates/core/src/noise.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/rnspoly.rs crates/core/src/sampler.rs crates/core/src/security.rs crates/core/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv_core-a9c52cf5b244bead.rmeta: crates/core/src/lib.rs crates/core/src/context.rs crates/core/src/encoder.rs crates/core/src/encrypt.rs crates/core/src/error.rs crates/core/src/eval.rs crates/core/src/galois.rs crates/core/src/keys.rs crates/core/src/noise.rs crates/core/src/parallel.rs crates/core/src/params.rs crates/core/src/rnspoly.rs crates/core/src/sampler.rs crates/core/src/security.rs crates/core/src/wire.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/context.rs:
+crates/core/src/encoder.rs:
+crates/core/src/encrypt.rs:
+crates/core/src/error.rs:
+crates/core/src/eval.rs:
+crates/core/src/galois.rs:
+crates/core/src/keys.rs:
+crates/core/src/noise.rs:
+crates/core/src/parallel.rs:
+crates/core/src/params.rs:
+crates/core/src/rnspoly.rs:
+crates/core/src/sampler.rs:
+crates/core/src/security.rs:
+crates/core/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hefv_engine-2e656e30409a98f5.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv_engine-2e656e30409a98f5.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/error.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/request.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hefv_engine-549f27767f1f7966.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+/root/repo/target/debug/deps/libhefv_engine-549f27767f1f7966.rlib: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+/root/repo/target/debug/deps/libhefv_engine-549f27767f1f7966.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/error.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/request.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hefv_engine-5b2dd8de24050aa6.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+/root/repo/target/debug/deps/libhefv_engine-5b2dd8de24050aa6.rlib: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+/root/repo/target/debug/deps/libhefv_engine-5b2dd8de24050aa6.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/error.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/request.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/wire.rs:

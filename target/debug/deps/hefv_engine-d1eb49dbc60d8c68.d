@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hefv_engine-d1eb49dbc60d8c68.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+/root/repo/target/debug/deps/hefv_engine-d1eb49dbc60d8c68: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/error.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/request.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hefv_math-7338e0e0ceb4d6df.d: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+/root/repo/target/debug/deps/hefv_math-7338e0e0ceb4d6df: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+crates/math/src/lib.rs:
+crates/math/src/bigint.rs:
+crates/math/src/fixed.rs:
+crates/math/src/ntt.rs:
+crates/math/src/poly.rs:
+crates/math/src/primes.rs:
+crates/math/src/rns.rs:
+crates/math/src/zq.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hefv_math-7e9668a106edef70.d: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+/root/repo/target/debug/deps/libhefv_math-7e9668a106edef70.rlib: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+/root/repo/target/debug/deps/libhefv_math-7e9668a106edef70.rmeta: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+crates/math/src/lib.rs:
+crates/math/src/bigint.rs:
+crates/math/src/fixed.rs:
+crates/math/src/ntt.rs:
+crates/math/src/poly.rs:
+crates/math/src/primes.rs:
+crates/math/src/rns.rs:
+crates/math/src/zq.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hefv_math-9b28912f3b0ff590.d: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv_math-9b28912f3b0ff590.rmeta: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs Cargo.toml
+
+crates/math/src/lib.rs:
+crates/math/src/bigint.rs:
+crates/math/src/fixed.rs:
+crates/math/src/ntt.rs:
+crates/math/src/poly.rs:
+crates/math/src/primes.rs:
+crates/math/src/rns.rs:
+crates/math/src/zq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/hefv_sim-52f9268ee69e7328.d: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhefv_sim-52f9268ee69e7328.rmeta: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/bram.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/dma.rs:
+crates/sim/src/functional.rs:
+crates/sim/src/liftsim.rs:
+crates/sim/src/nttsched.rs:
+crates/sim/src/power.rs:
+crates/sim/src/program.rs:
+crates/sim/src/resources.rs:
+crates/sim/src/rpau.rs:
+crates/sim/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

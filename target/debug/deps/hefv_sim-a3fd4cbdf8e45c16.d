@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hefv_sim-a3fd4cbdf8e45c16.d: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libhefv_sim-a3fd4cbdf8e45c16.rlib: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libhefv_sim-a3fd4cbdf8e45c16.rmeta: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bram.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/dma.rs:
+crates/sim/src/functional.rs:
+crates/sim/src/liftsim.rs:
+crates/sim/src/nttsched.rs:
+crates/sim/src/power.rs:
+crates/sim/src/program.rs:
+crates/sim/src/resources.rs:
+crates/sim/src/rpau.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hefv_sim-b668cdd1797ae846.d: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/hefv_sim-b668cdd1797ae846: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bram.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/dma.rs:
+crates/sim/src/functional.rs:
+crates/sim/src/liftsim.rs:
+crates/sim/src/nttsched.rs:
+crates/sim/src/power.rs:
+crates/sim/src/program.rs:
+crates/sim/src/resources.rs:
+crates/sim/src/rpau.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microcode_audit-121dc9dc6141c795.d: tests/microcode_audit.rs
+
+/root/repo/target/debug/deps/microcode_audit-121dc9dc6141c795: tests/microcode_audit.rs
+
+tests/microcode_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microcode_audit-5ad52956c6144ca9.d: tests/microcode_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrocode_audit-5ad52956c6144ca9.rmeta: tests/microcode_audit.rs Cargo.toml
+
+tests/microcode_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mult-8ee83a0062328215.d: crates/bench/benches/mult.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmult-8ee83a0062328215.rmeta: crates/bench/benches/mult.rs Cargo.toml
+
+crates/bench/benches/mult.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

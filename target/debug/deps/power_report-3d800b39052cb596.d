@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_report-3d800b39052cb596.d: crates/bench/src/bin/power_report.rs
+
+/root/repo/target/debug/deps/power_report-3d800b39052cb596: crates/bench/src/bin/power_report.rs
+
+crates/bench/src/bin/power_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_report-8f0e0a597a90558c.d: crates/bench/src/bin/power_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_report-8f0e0a597a90558c.rmeta: crates/bench/src/bin/power_report.rs Cargo.toml
+
+crates/bench/src/bin/power_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_report-a703fd765dea8c57.d: crates/bench/src/bin/power_report.rs
+
+/root/repo/target/debug/deps/power_report-a703fd765dea8c57: crates/bench/src/bin/power_report.rs
+
+crates/bench/src/bin/power_report.rs:

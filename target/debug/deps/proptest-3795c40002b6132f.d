@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-3795c40002b6132f.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-3795c40002b6132f.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4cf4c674c76291c1.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4cf4c674c76291c1: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

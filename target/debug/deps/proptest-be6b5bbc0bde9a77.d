@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-be6b5bbc0bde9a77.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-be6b5bbc0bde9a77.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-be6b5bbc0bde9a77.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

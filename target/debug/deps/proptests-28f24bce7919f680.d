@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-28f24bce7919f680.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-28f24bce7919f680.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-31db1463a59b3a90.d: crates/math/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-31db1463a59b3a90: crates/math/tests/proptests.rs
+
+crates/math/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-565a062368b0eb0c.d: crates/sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-565a062368b0eb0c.rmeta: crates/sim/tests/proptests.rs Cargo.toml
+
+crates/sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

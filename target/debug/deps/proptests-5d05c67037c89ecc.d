@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5d05c67037c89ecc.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5d05c67037c89ecc: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

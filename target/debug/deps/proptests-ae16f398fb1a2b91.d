@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ae16f398fb1a2b91.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ae16f398fb1a2b91: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f51af96cf51df9bb.d: crates/math/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f51af96cf51df9bb.rmeta: crates/math/tests/proptests.rs Cargo.toml
+
+crates/math/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-674253b958d1dde3.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-674253b958d1dde3.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

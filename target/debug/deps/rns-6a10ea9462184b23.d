@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rns-6a10ea9462184b23.d: crates/bench/benches/rns.rs Cargo.toml
+
+/root/repo/target/debug/deps/librns-6a10ea9462184b23.rmeta: crates/bench/benches/rns.rs Cargo.toml
+
+crates/bench/benches/rns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-1811532e5d1b7daf.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-1811532e5d1b7daf: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-1faacb44bbd33552.d: crates/shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-1faacb44bbd33552.rmeta: crates/shims/serde/src/lib.rs Cargo.toml
+
+crates/shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2b3b981e73d7f2c6.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2b3b981e73d7f2c6.so: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-33038713f6671a63.d: crates/shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-33038713f6671a63.so: crates/shims/serde/src/lib.rs Cargo.toml
+
+crates/shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

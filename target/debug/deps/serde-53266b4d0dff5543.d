@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-53266b4d0dff5543.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-53266b4d0dff5543.so: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-df3a38c18258651a.d: crates/shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-df3a38c18258651a.rmeta: crates/shims/serde/src/lib.rs Cargo.toml
+
+crates/shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedup-1f42fb4195d9e63e.d: crates/bench/src/bin/speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedup-1f42fb4195d9e63e.rmeta: crates/bench/src/bin/speedup.rs Cargo.toml
+
+crates/bench/src/bin/speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedup-4ecad9c21e314557.d: crates/bench/src/bin/speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedup-4ecad9c21e314557.rmeta: crates/bench/src/bin/speedup.rs Cargo.toml
+
+crates/bench/src/bin/speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

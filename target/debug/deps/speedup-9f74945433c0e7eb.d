@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup-9f74945433c0e7eb.d: crates/bench/src/bin/speedup.rs
+
+/root/repo/target/debug/deps/speedup-9f74945433c0e7eb: crates/bench/src/bin/speedup.rs
+
+crates/bench/src/bin/speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup-ede8b17cd84dc474.d: crates/bench/src/bin/speedup.rs
+
+/root/repo/target/debug/deps/speedup-ede8b17cd84dc474: crates/bench/src/bin/speedup.rs
+
+crates/bench/src/bin/speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5408dcd9907f1e87.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5408dcd9907f1e87: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

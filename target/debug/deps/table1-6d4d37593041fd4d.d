@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-6d4d37593041fd4d.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-6d4d37593041fd4d.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

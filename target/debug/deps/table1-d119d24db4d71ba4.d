@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d119d24db4d71ba4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d119d24db4d71ba4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

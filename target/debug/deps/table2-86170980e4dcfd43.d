@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-86170980e4dcfd43.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-86170980e4dcfd43: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8fb7d53e67edc263.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8fb7d53e67edc263: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

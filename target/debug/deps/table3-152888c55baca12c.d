@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-152888c55baca12c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-152888c55baca12c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ac6866886ca6d75c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ac6866886ca6d75c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-54a180463f103c76.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-54a180463f103c76: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

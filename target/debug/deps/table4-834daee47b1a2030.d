@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-834daee47b1a2030.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-834daee47b1a2030: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

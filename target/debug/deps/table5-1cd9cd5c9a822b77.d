@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-1cd9cd5c9a822b77.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-1cd9cd5c9a822b77: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

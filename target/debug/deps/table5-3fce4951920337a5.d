@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-3fce4951920337a5.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-3fce4951920337a5: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

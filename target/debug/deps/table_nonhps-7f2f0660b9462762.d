@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_nonhps-7f2f0660b9462762.d: crates/bench/src/bin/table_nonhps.rs
+
+/root/repo/target/debug/deps/table_nonhps-7f2f0660b9462762: crates/bench/src/bin/table_nonhps.rs
+
+crates/bench/src/bin/table_nonhps.rs:

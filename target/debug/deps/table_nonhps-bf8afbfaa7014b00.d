@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_nonhps-bf8afbfaa7014b00.d: crates/bench/src/bin/table_nonhps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_nonhps-bf8afbfaa7014b00.rmeta: crates/bench/src/bin/table_nonhps.rs Cargo.toml
+
+crates/bench/src/bin/table_nonhps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

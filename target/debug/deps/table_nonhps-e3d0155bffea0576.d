@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_nonhps-e3d0155bffea0576.d: crates/bench/src/bin/table_nonhps.rs
+
+/root/repo/target/debug/deps/table_nonhps-e3d0155bffea0576: crates/bench/src/bin/table_nonhps.rs
+
+crates/bench/src/bin/table_nonhps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threads-88f294fcc238d4d8.d: crates/bench/src/bin/threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreads-88f294fcc238d4d8.rmeta: crates/bench/src/bin/threads.rs Cargo.toml
+
+crates/bench/src/bin/threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threads-b09cc351dced3be2.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/debug/deps/threads-b09cc351dced3be2: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

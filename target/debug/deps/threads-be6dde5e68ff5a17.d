@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threads-be6dde5e68ff5a17.d: crates/bench/src/bin/threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreads-be6dde5e68ff5a17.rmeta: crates/bench/src/bin/threads.rs Cargo.toml
+
+crates/bench/src/bin/threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

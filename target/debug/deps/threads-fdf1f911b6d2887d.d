@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threads-fdf1f911b6d2887d.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/debug/deps/threads-fdf1f911b6d2887d: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_and_galois_props-7c55e6dce9be7e42.d: crates/core/tests/wire_and_galois_props.rs
+
+/root/repo/target/debug/deps/wire_and_galois_props-7c55e6dce9be7e42: crates/core/tests/wire_and_galois_props.rs
+
+crates/core/tests/wire_and_galois_props.rs:

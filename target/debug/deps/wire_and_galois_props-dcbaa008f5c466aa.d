@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_and_galois_props-dcbaa008f5c466aa.d: crates/core/tests/wire_and_galois_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_and_galois_props-dcbaa008f5c466aa.rmeta: crates/core/tests/wire_and_galois_props.rs Cargo.toml
+
+crates/core/tests/wire_and_galois_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_props-5a265184bad7e3f7.d: crates/engine/tests/wire_props.rs
+
+/root/repo/target/debug/deps/wire_props-5a265184bad7e3f7: crates/engine/tests/wire_props.rs
+
+crates/engine/tests/wire_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_props-c9d5d43a80d61a18.d: crates/engine/tests/wire_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_props-c9d5d43a80d61a18.rmeta: crates/engine/tests/wire_props.rs Cargo.toml
+
+crates/engine/tests/wire_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cloud_service-3fdc860e96f38c9d.d: examples/cloud_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcloud_service-3fdc860e96f38c9d.rmeta: examples/cloud_service.rs Cargo.toml
+
+examples/cloud_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

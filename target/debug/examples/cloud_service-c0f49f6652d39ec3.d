@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_service-c0f49f6652d39ec3.d: examples/cloud_service.rs
+
+/root/repo/target/debug/examples/cloud_service-c0f49f6652d39ec3: examples/cloud_service.rs
+
+examples/cloud_service.rs:

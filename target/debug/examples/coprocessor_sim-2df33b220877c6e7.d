@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coprocessor_sim-2df33b220877c6e7.d: examples/coprocessor_sim.rs
+
+/root/repo/target/debug/examples/coprocessor_sim-2df33b220877c6e7: examples/coprocessor_sim.rs
+
+examples/coprocessor_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coprocessor_sim-aced84badb51c1c7.d: examples/coprocessor_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoprocessor_sim-aced84badb51c1c7.rmeta: examples/coprocessor_sim.rs Cargo.toml
+
+examples/coprocessor_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

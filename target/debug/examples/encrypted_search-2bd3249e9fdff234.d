@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_search-2bd3249e9fdff234.d: examples/encrypted_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_search-2bd3249e9fdff234.rmeta: examples/encrypted_search.rs Cargo.toml
+
+examples/encrypted_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_search-f3c4891b9bc60f9f.d: examples/encrypted_search.rs
+
+/root/repo/target/debug/examples/encrypted_search-f3c4891b9bc60f9f: examples/encrypted_search.rs
+
+examples/encrypted_search.rs:

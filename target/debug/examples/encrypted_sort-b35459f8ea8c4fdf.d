@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/encrypted_sort-b35459f8ea8c4fdf.d: examples/encrypted_sort.rs
+
+/root/repo/target/debug/examples/encrypted_sort-b35459f8ea8c4fdf: examples/encrypted_sort.rs
+
+examples/encrypted_sort.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/encrypted_sort-bc191d849cc8f896.d: examples/encrypted_sort.rs Cargo.toml
+
+/root/repo/target/debug/examples/libencrypted_sort-bc191d849cc8f896.rmeta: examples/encrypted_sort.rs Cargo.toml
+
+examples/encrypted_sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_service-46ba97fd5a711f82.d: examples/engine_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_service-46ba97fd5a711f82.rmeta: examples/engine_service.rs Cargo.toml
+
+examples/engine_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_service-d216e5606f6eba3f.d: examples/engine_service.rs
+
+/root/repo/target/debug/examples/engine_service-d216e5606f6eba3f: examples/engine_service.rs
+
+examples/engine_service.rs:

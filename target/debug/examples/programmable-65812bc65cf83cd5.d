@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/programmable-65812bc65cf83cd5.d: examples/programmable.rs
+
+/root/repo/target/debug/examples/programmable-65812bc65cf83cd5: examples/programmable.rs
+
+examples/programmable.rs:

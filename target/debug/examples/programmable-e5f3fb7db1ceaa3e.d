@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/programmable-e5f3fb7db1ceaa3e.d: examples/programmable.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogrammable-e5f3fb7db1ceaa3e.rmeta: examples/programmable.rs Cargo.toml
+
+examples/programmable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

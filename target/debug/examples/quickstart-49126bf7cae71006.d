@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-49126bf7cae71006.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-49126bf7cae71006.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

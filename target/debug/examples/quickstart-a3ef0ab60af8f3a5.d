@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a3ef0ab60af8f3a5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a3ef0ab60af8f3a5: examples/quickstart.rs
+
+examples/quickstart.rs:

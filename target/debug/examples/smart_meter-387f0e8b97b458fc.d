@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_meter-387f0e8b97b458fc.d: examples/smart_meter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_meter-387f0e8b97b458fc.rmeta: examples/smart_meter.rs Cargo.toml
+
+examples/smart_meter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

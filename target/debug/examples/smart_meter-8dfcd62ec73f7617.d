@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_meter-8dfcd62ec73f7617.d: examples/smart_meter.rs
+
+/root/repo/target/debug/examples/smart_meter-8dfcd62ec73f7617: examples/smart_meter.rs
+
+examples/smart_meter.rs:

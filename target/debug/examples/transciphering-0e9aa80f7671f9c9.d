@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transciphering-0e9aa80f7671f9c9.d: examples/transciphering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransciphering-0e9aa80f7671f9c9.rmeta: examples/transciphering.rs Cargo.toml
+
+examples/transciphering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

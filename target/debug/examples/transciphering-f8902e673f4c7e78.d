@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transciphering-f8902e673f4c7e78.d: examples/transciphering.rs
+
+/root/repo/target/debug/examples/transciphering-f8902e673f4c7e78: examples/transciphering.rs
+
+examples/transciphering.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand.rlib: /root/repo/crates/shims/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde.so: /root/repo/crates/shims/serde/src/lib.rs

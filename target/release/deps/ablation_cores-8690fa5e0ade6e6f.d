@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cores-8690fa5e0ade6e6f.d: crates/bench/src/bin/ablation_cores.rs
+
+/root/repo/target/release/deps/ablation_cores-8690fa5e0ade6e6f: crates/bench/src/bin/ablation_cores.rs
+
+crates/bench/src/bin/ablation_cores.rs:

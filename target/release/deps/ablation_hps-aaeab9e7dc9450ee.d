@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hps-aaeab9e7dc9450ee.d: crates/bench/src/bin/ablation_hps.rs
+
+/root/repo/target/release/deps/ablation_hps-aaeab9e7dc9450ee: crates/bench/src/bin/ablation_hps.rs
+
+crates/bench/src/bin/ablation_hps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_twiddle-a8d16bbfd9ee7f07.d: crates/bench/src/bin/ablation_twiddle.rs
+
+/root/repo/target/release/deps/ablation_twiddle-a8d16bbfd9ee7f07: crates/bench/src/bin/ablation_twiddle.rs
+
+crates/bench/src/bin/ablation_twiddle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bitexact-727ea978e1d2bb14.d: crates/bench/src/bin/bitexact.rs
+
+/root/repo/target/release/deps/bitexact-727ea978e1d2bb14: crates/bench/src/bin/bitexact.rs
+
+crates/bench/src/bin/bitexact.rs:

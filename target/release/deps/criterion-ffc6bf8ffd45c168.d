@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ffc6bf8ffd45c168.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ffc6bf8ffd45c168.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ffc6bf8ffd45c168.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

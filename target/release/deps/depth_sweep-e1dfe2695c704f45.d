@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/depth_sweep-e1dfe2695c704f45.d: crates/bench/src/bin/depth_sweep.rs
+
+/root/repo/target/release/deps/depth_sweep-e1dfe2695c704f45: crates/bench/src/bin/depth_sweep.rs
+
+crates/bench/src/bin/depth_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-594b8b81003d9553.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-594b8b81003d9553: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/f1_estimate-590035f9099b9e76.d: crates/bench/src/bin/f1_estimate.rs
+
+/root/repo/target/release/deps/f1_estimate-590035f9099b9e76: crates/bench/src/bin/f1_estimate.rs
+
+crates/bench/src/bin/f1_estimate.rs:

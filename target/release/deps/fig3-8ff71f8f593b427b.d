@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-8ff71f8f593b427b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-8ff71f8f593b427b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hefv-d3cc44efd0bc82aa.d: src/lib.rs
+
+/root/repo/target/release/deps/libhefv-d3cc44efd0bc82aa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhefv-d3cc44efd0bc82aa.rmeta: src/lib.rs
+
+src/lib.rs:

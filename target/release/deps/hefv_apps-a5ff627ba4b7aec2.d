@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hefv_apps-a5ff627ba4b7aec2.d: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+/root/repo/target/release/deps/libhefv_apps-a5ff627ba4b7aec2.rlib: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+/root/repo/target/release/deps/libhefv_apps-a5ff627ba4b7aec2.rmeta: crates/apps/src/lib.rs crates/apps/src/cloud.rs crates/apps/src/meter.rs crates/apps/src/rasta.rs crates/apps/src/search.rs crates/apps/src/sorting.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cloud.rs:
+crates/apps/src/meter.rs:
+crates/apps/src/rasta.rs:
+crates/apps/src/search.rs:
+crates/apps/src/sorting.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hefv_bench-def6fcd1b4855697.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhefv_bench-def6fcd1b4855697.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhefv_bench-def6fcd1b4855697.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hefv_engine-1fa32ca0ddcd1097.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+/root/repo/target/release/deps/libhefv_engine-1fa32ca0ddcd1097.rlib: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+/root/repo/target/release/deps/libhefv_engine-1fa32ca0ddcd1097.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/engine.rs crates/engine/src/error.rs crates/engine/src/registry.rs crates/engine/src/request.rs crates/engine/src/sched.rs crates/engine/src/stats.rs crates/engine/src/wire.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/error.rs:
+crates/engine/src/registry.rs:
+crates/engine/src/request.rs:
+crates/engine/src/sched.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hefv_math-a71dfbbe0a697d02.d: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+/root/repo/target/release/deps/libhefv_math-a71dfbbe0a697d02.rlib: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+/root/repo/target/release/deps/libhefv_math-a71dfbbe0a697d02.rmeta: crates/math/src/lib.rs crates/math/src/bigint.rs crates/math/src/fixed.rs crates/math/src/ntt.rs crates/math/src/poly.rs crates/math/src/primes.rs crates/math/src/rns.rs crates/math/src/zq.rs
+
+crates/math/src/lib.rs:
+crates/math/src/bigint.rs:
+crates/math/src/fixed.rs:
+crates/math/src/ntt.rs:
+crates/math/src/poly.rs:
+crates/math/src/primes.rs:
+crates/math/src/rns.rs:
+crates/math/src/zq.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/hefv_sim-801bb305bd67e20d.d: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libhefv_sim-801bb305bd67e20d.rlib: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libhefv_sim-801bb305bd67e20d.rmeta: crates/sim/src/lib.rs crates/sim/src/bram.rs crates/sim/src/clock.rs crates/sim/src/coproc.rs crates/sim/src/cost.rs crates/sim/src/dma.rs crates/sim/src/functional.rs crates/sim/src/liftsim.rs crates/sim/src/nttsched.rs crates/sim/src/power.rs crates/sim/src/program.rs crates/sim/src/resources.rs crates/sim/src/rpau.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bram.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/coproc.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/dma.rs:
+crates/sim/src/functional.rs:
+crates/sim/src/liftsim.rs:
+crates/sim/src/nttsched.rs:
+crates/sim/src/power.rs:
+crates/sim/src/program.rs:
+crates/sim/src/resources.rs:
+crates/sim/src/rpau.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power_report-51664a4145709d70.d: crates/bench/src/bin/power_report.rs
+
+/root/repo/target/release/deps/power_report-51664a4145709d70: crates/bench/src/bin/power_report.rs
+
+crates/bench/src/bin/power_report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-6dfcd6bec90a8702.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6dfcd6bec90a8702.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-6dfcd6bec90a8702.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-3d1201c3700cf1a9.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-3d1201c3700cf1a9.so: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

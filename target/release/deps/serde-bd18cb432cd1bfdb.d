@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-bd18cb432cd1bfdb.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-bd18cb432cd1bfdb.so: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

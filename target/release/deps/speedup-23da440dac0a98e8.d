@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speedup-23da440dac0a98e8.d: crates/bench/src/bin/speedup.rs
+
+/root/repo/target/release/deps/speedup-23da440dac0a98e8: crates/bench/src/bin/speedup.rs
+
+crates/bench/src/bin/speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e7864406e3dcee7b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e7864406e3dcee7b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-825ec781f3cec479.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-825ec781f3cec479: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

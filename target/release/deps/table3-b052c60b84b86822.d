@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-b052c60b84b86822.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-b052c60b84b86822: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-29e53e04039ea184.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-29e53e04039ea184: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

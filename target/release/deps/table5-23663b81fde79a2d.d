@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-23663b81fde79a2d.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-23663b81fde79a2d: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_nonhps-6854975363bd869c.d: crates/bench/src/bin/table_nonhps.rs
+
+/root/repo/target/release/deps/table_nonhps-6854975363bd869c: crates/bench/src/bin/table_nonhps.rs
+
+crates/bench/src/bin/table_nonhps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threads-01b621e1ee78331f.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/release/deps/threads-01b621e1ee78331f: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cloud_service-88eab22f5672b22c.d: examples/cloud_service.rs
+
+/root/repo/target/release/examples/cloud_service-88eab22f5672b22c: examples/cloud_service.rs
+
+examples/cloud_service.rs:

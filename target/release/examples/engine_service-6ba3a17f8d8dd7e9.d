@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_service-6ba3a17f8d8dd7e9.d: examples/engine_service.rs
+
+/root/repo/target/release/examples/engine_service-6ba3a17f8d8dd7e9: examples/engine_service.rs
+
+examples/engine_service.rs:

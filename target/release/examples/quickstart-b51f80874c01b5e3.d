@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b51f80874c01b5e3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b51f80874c01b5e3: examples/quickstart.rs
+
+examples/quickstart.rs:

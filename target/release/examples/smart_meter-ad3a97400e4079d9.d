@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_meter-ad3a97400e4079d9.d: examples/smart_meter.rs
+
+/root/repo/target/release/examples/smart_meter-ad3a97400e4079d9: examples/smart_meter.rs
+
+examples/smart_meter.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.so: /root/repo/crates/shims/serde/src/lib.rs
