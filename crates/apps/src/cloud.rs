@@ -1,16 +1,20 @@
-//! The cloud service architecture of Fig. 11, running on `hefv-engine`.
+//! The cloud service architecture of Fig. 11, running on
+//! `hefv_engine::router::ShardRouter`.
 //!
 //! Earlier revisions of this module owned a bespoke dispatcher and worker
-//! threads; it is now a thin adapter over the evaluation engine, which
-//! adds cost-aware scheduling, per-tenant key isolation and telemetry.
-//! The public surface (requests over the §V-D wire format, per-response
-//! worker id and simulated coprocessor cost) is unchanged.
+//! threads, then a single `Engine`; it is now a thin adapter over the
+//! shard router, which adds consistent-hash tenant placement, per-job
+//! Traditional-vs-HPS datapath dispatch (`Backend::Auto`), cost-aware
+//! scheduling, per-tenant key isolation and fleet telemetry. The public
+//! surface (requests over the §V-D wire format, per-response worker id
+//! and simulated coprocessor cost) is unchanged.
 
 use hefv_core::context::FvContext;
 use hefv_core::encrypt::Ciphertext;
+use hefv_core::eval::Backend;
 use hefv_core::keys::RelinKey;
 use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
-use hefv_engine::{Engine, EngineConfig, EvalOp, EvalRequest, TenantKeys};
+use hefv_engine::{EngineConfig, EvalOp, EvalRequest, ShardRouter, ShardSpec, TenantKeys};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 
@@ -38,49 +42,65 @@ pub struct Response {
     pub coproc_us: f64,
 }
 
-/// The cloud server: the engine's worker pool behind the Fig. 11 API.
+/// The cloud server: an engine shard behind the Fig. 11 API, fronted by
+/// the shard router so more parameter sets / datapath policies can join
+/// the fleet without touching this layer.
 pub struct CloudServer {
-    engine: Engine,
+    ctx: Arc<FvContext>,
+    router: ShardRouter,
+    workers: usize,
 }
 
 impl CloudServer {
     /// Spawns the server with `workers` engine workers (the paper places
     /// two coprocessors) sharing one evaluation context and
-    /// relinearization key.
+    /// relinearization key. The shard runs `Backend::Auto`, so each job
+    /// executes on whichever Lift/Scale datapath the paper's cycle model
+    /// prices cheaper.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn start(ctx: Arc<FvContext>, rlk: Arc<RelinKey>, workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        let engine = Engine::start(
+        let router = ShardRouter::new();
+        router
+            .add_shard(ShardSpec {
+                name: "cloud-0".into(),
+                ctx: Arc::clone(&ctx),
+                config: EngineConfig {
+                    workers,
+                    threads_per_job: 1,
+                    queue_capacity: 128,
+                    backend: Backend::Auto,
+                    ..EngineConfig::default()
+                },
+            })
+            .expect("fresh router has shard ids available");
+        router
+            .register_tenant(
+                CLOUD_TENANT,
+                TenantKeys {
+                    pk: None,
+                    rlk: Some(rlk),
+                    galois: None,
+                },
+            )
+            .expect("router has a shard");
+        CloudServer {
             ctx,
-            EngineConfig {
-                workers,
-                threads_per_job: 1,
-                queue_capacity: 128,
-                ..EngineConfig::default()
-            },
-        );
-        engine.register_tenant(
-            CLOUD_TENANT,
-            TenantKeys {
-                pk: None,
-                rlk: Some(rlk),
-                galois: None,
-            },
-        );
-        CloudServer { engine }
+            router,
+            workers,
+        }
     }
 
     fn to_eval_request(&self, request: &Request) -> Result<EvalRequest, String> {
-        let ctx = self.engine.context();
         let (a_bytes, b_bytes, op): (_, _, fn(_, _) -> EvalOp) = match request {
             Request::Add(a, b) => (a, b, EvalOp::Add),
             Request::Mult(a, b) => (a, b, EvalOp::Mul),
         };
-        let a = decode_ciphertext(ctx, a_bytes).map_err(String::from)?;
-        let b = decode_ciphertext(ctx, b_bytes).map_err(String::from)?;
+        let a = decode_ciphertext(&self.ctx, a_bytes).map_err(String::from)?;
+        let b = decode_ciphertext(&self.ctx, b_bytes).map_err(String::from)?;
         Ok(EvalRequest::binary(CLOUD_TENANT, op, a, b))
     }
 
@@ -89,7 +109,7 @@ impl CloudServer {
         let (tx, rx) = channel();
         match self.to_eval_request(&request) {
             Ok(req) => {
-                let sent = self.engine.submit_with_callback(req, move |outcome| {
+                let sent = self.router.submit_with_callback(req, move |outcome| {
                     let _ = tx.send(
                         outcome
                             .map(|resp| Response {
@@ -128,22 +148,22 @@ impl CloudServer {
 
     /// Number of engine workers.
     pub fn workers(&self) -> usize {
-        self.engine.workers()
+        self.workers
     }
 
     /// Total simulated coprocessor busy time so far, µs.
     pub fn simulated_busy_us(&self) -> f64 {
-        self.engine.stats().sim_cost_us
+        self.router.stats().total.sim_cost_us
     }
 
-    /// The underlying engine (stats, registry, batching).
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The underlying shard router (stats, placement, pinning, batching).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
     }
 
     /// Shuts the server down, joining the worker threads.
     pub fn shutdown(self) {
-        self.engine.shutdown();
+        self.router.shutdown();
     }
 }
 
@@ -246,16 +266,24 @@ mod tests {
     }
 
     #[test]
-    fn engine_stats_visible_through_server() {
+    fn router_stats_visible_through_server() {
         let (ctx, _, pk, rlk, mut rng) = setup();
         let server = CloudServer::start(Arc::clone(&ctx), rlk, 1);
         let t = ctx.params().t;
         let n = ctx.params().n;
         let ca = encrypt(&ctx, &pk, &Plaintext::new(vec![2], t, n), &mut rng);
         server.call(client::mult_request(&ca, &ca)).unwrap();
-        let stats = server.engine().stats();
-        assert_eq!(stats.jobs_completed, 1);
-        assert!(stats.per_op.iter().any(|o| o.name == "mul" && o.count == 1));
+        let stats = server.router().stats();
+        assert_eq!(stats.total.jobs_completed, 1);
+        assert_eq!(stats.per_shard.len(), 1);
+        assert_eq!(stats.per_shard[0].name, "cloud-0");
+        assert!(stats
+            .total
+            .per_op
+            .iter()
+            .any(|o| o.name == "mul" && o.count == 1));
+        // Auto dispatch ran the job on exactly one concrete datapath.
+        assert_eq!(stats.total.jobs_traditional + stats.total.jobs_hps, 1);
         server.shutdown();
     }
 }

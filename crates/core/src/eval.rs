@@ -26,6 +26,25 @@ pub enum Backend {
     /// The HPS small-number datapath (the paper's faster architecture,
     /// Fig. 6/9), with the chosen quotient precision.
     Hps(HpsPrecision),
+    /// Defer the choice to the dispatcher: schedulers with a cost model
+    /// (e.g. `hefv_engine`) pick [`Backend::Traditional`] or
+    /// [`Backend::Hps`] per job, whichever the paper's cycle model prices
+    /// cheaper for that job's op mix and parameter size. When an `Auto`
+    /// value reaches the evaluation kernels directly it resolves to the
+    /// default HPS datapath.
+    Auto,
+}
+
+impl Backend {
+    /// The concrete datapath this backend evaluates with: `Auto` resolves
+    /// to the paper's best-performing configuration, everything else is
+    /// already concrete.
+    pub fn resolve(self) -> Backend {
+        match self {
+            Backend::Auto => Backend::Hps(HpsPrecision::Fixed),
+            b => b,
+        }
+    }
 }
 
 impl Default for Backend {
@@ -97,9 +116,10 @@ pub fn lift_q_to_full(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> RnsP
         Domain::Coefficient,
         "lift needs coefficients"
     );
-    let ext = match backend {
+    let ext = match backend.resolve() {
         Backend::Traditional => ctx.rns().lift().extend_poly_exact(poly.residues()),
         Backend::Hps(prec) => ctx.rns().lift().extend_poly_hps(poly.residues(), prec),
+        Backend::Auto => unreachable!("resolve() never returns Auto"),
     };
     let mut rows = poly.residues().to_vec();
     rows.extend(ext);
@@ -114,9 +134,10 @@ pub fn scale_full_to_q(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> Rns
         Domain::Coefficient,
         "scale needs coefficients"
     );
-    let rows = match backend {
+    let rows = match backend.resolve() {
         Backend::Traditional => ctx.scale().scale_poly_exact(ctx.rns(), poly.residues()),
         Backend::Hps(prec) => ctx.scale().scale_poly_hps(ctx.rns(), poly.residues(), prec),
+        Backend::Auto => unreachable!("resolve() never returns Auto"),
     };
     RnsPoly::from_residues(rows, Domain::Coefficient)
 }
@@ -298,6 +319,20 @@ mod tests {
         // HPS mis-rounding (probability ~2^-47 per coefficient), so demand
         // equality here.
         assert_eq!(trad, hps);
+    }
+
+    #[test]
+    fn auto_backend_resolves_to_hps_fixed() {
+        assert_eq!(Backend::Auto.resolve(), Backend::Hps(HpsPrecision::Fixed));
+        assert_eq!(Backend::Traditional.resolve(), Backend::Traditional);
+        let (ctx, _, pk, rlk, mut rng) = setup(FvParams::insecure_toy());
+        let t = ctx.params().t;
+        let n = ctx.params().n;
+        let ca = encrypt(&ctx, &pk, &Plaintext::new(vec![3, 2], t, n), &mut rng);
+        assert_eq!(
+            mul(&ctx, &ca, &ca, &rlk, Backend::Auto),
+            mul(&ctx, &ca, &ca, &rlk, Backend::Hps(HpsPrecision::Fixed)),
+        );
     }
 
     #[test]

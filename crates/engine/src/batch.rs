@@ -11,8 +11,13 @@
 //! plus its slot index, and decrypts only its own slot. Mixing tenants in
 //! one batch is impossible by construction: a batch key is `(tenant, op)`
 //! and encryption uses that tenant's registered public key.
+//!
+//! A batch dispatches when it fills, on [`Engine::flush_batches`], or —
+//! under light load — when the engine's linger timer finds it older than
+//! [`crate::engine::EngineConfig::batch_linger`], bounding the latency a
+//! lone scalar request can sit waiting for slot-mates.
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, Shared};
 use crate::error::EngineError;
 use crate::registry::TenantId;
 use crate::request::{EvalOp, EvalRequest, JobReport, ValRef};
@@ -23,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Scalar operations the batcher can coalesce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,8 +90,8 @@ pub struct ScalarTicket {
 
 impl ScalarTicket {
     /// Blocks until the batch containing this request completes. The batch
-    /// is dispatched when full; call [`Engine::flush_batches`] to force
-    /// partial batches out first.
+    /// is dispatched when full, when the engine's linger timer expires it,
+    /// or when [`Engine::flush_batches`] forces partial batches out.
     ///
     /// # Errors
     ///
@@ -99,6 +105,8 @@ struct Pending {
     lhs: Vec<u64>,
     rhs: Vec<u64>,
     replies: Vec<mpsc::Sender<Result<BatchResult, EngineError>>>,
+    /// When the oldest member joined (what the linger timer ages against).
+    opened: Instant,
 }
 
 /// Batching state owned by an [`Engine`] (present only when the parameter
@@ -131,16 +139,122 @@ impl Batching {
     }
 }
 
+/// Dispatches every pending batch older than `linger` (called by the
+/// engine's timer thread).
+pub(crate) fn flush_expired(shared: &Shared, linger: Duration) {
+    let Some(batching) = shared.batching.as_ref() else {
+        return;
+    };
+    let expired: Vec<_> = {
+        let mut pending = batching.pending.lock().unwrap();
+        let keys: Vec<_> = pending
+            .iter()
+            .filter(|(_, p)| p.opened.elapsed() >= linger)
+            .map(|(&k, _)| k)
+            .collect();
+        keys.into_iter()
+            .map(|k| (k, pending.remove(&k).expect("key just listed")))
+            .collect()
+    };
+    for ((tenant, op), batch) in expired {
+        // On failure every reply channel has already been notified.
+        let _ = dispatch_batch(shared, tenant, op, batch);
+    }
+}
+
+fn dispatch_batch(
+    shared: &Shared,
+    tenant: TenantId,
+    op: ScalarOp,
+    batch: Pending,
+) -> Result<(), EngineError> {
+    let batching = shared.batching.as_ref().expect("checked by callers");
+    let size = batch.lhs.len();
+    let fail_all = |replies: &[mpsc::Sender<Result<BatchResult, EngineError>>], e: &EngineError| {
+        for tx in replies {
+            let _ = tx.send(Err(e.clone()));
+        }
+    };
+
+    let keys = match shared.registry().get(tenant) {
+        Some(k) => k,
+        None => {
+            let e = EngineError::UnknownTenant(tenant);
+            fail_all(&batch.replies, &e);
+            return Err(e);
+        }
+    };
+    let pk = match keys.pk.as_ref() {
+        Some(pk) => pk,
+        None => {
+            let e = EngineError::MissingKey {
+                tenant,
+                which: "public",
+            };
+            fail_all(&batch.replies, &e);
+            return Err(e);
+        }
+    };
+
+    let ctx = shared.ctx();
+    let pa = batching.encoder.encode(&batch.lhs);
+    let pb = batching.encoder.encode(&batch.rhs);
+    let (ca, cb) = {
+        let mut rng = batching.rng.lock().unwrap();
+        (
+            encrypt(ctx, pk, &pa, &mut *rng),
+            encrypt(ctx, pk, &pb, &mut *rng),
+        )
+    };
+    let req = EvalRequest {
+        tenant,
+        inputs: vec![ca, cb],
+        plaintexts: Vec::new(),
+        ops: vec![op.eval_op()],
+        deadline_us: None,
+    };
+    let replies = batch.replies;
+    shared.stats().on_batch(size);
+    let submitted = shared.submit_with_callback(req, move |outcome| match outcome {
+        Ok(resp) => {
+            for (slot, tx) in replies.iter().enumerate() {
+                let _ = tx.send(Ok(BatchResult {
+                    job_id: resp.job_id,
+                    packed: resp.result.clone(),
+                    slot,
+                    batch_size: size,
+                    report: resp.report,
+                }));
+            }
+        }
+        Err(e) => {
+            for tx in &replies {
+                let _ = tx.send(Err(e.clone()));
+            }
+        }
+    });
+    match submitted {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            // The callback was never installed; nothing was sent yet —
+            // but `replies` moved into it. Report the error to the
+            // caller; ticket holders see a disconnected channel, which
+            // `ScalarTicket::wait` maps to `QueueClosed`.
+            Err(e)
+        }
+    }
+}
+
 impl Engine {
     /// The slot encoder, when the parameter set supports batching.
     pub fn batch_encoder(&self) -> Option<&BatchEncoder> {
-        self.batching.as_ref().map(|b| &b.encoder)
+        self.shared().batching.as_ref().map(|b| &b.encoder)
     }
 
     /// Enqueues a scalar request for coalescing. The batch dispatches
     /// automatically once `max_batch` requests with the same
-    /// `(tenant, op)` are pending; use [`Engine::flush_batches`] to
-    /// dispatch partial batches.
+    /// `(tenant, op)` are pending or the linger timer expires it; use
+    /// [`Engine::flush_batches`] to dispatch partial batches immediately.
     ///
     /// # Errors
     ///
@@ -148,7 +262,8 @@ impl Engine {
     /// [`EngineError::UnknownTenant`]/[`EngineError::MissingKey`] when the
     /// tenant lacks the public (and, for `Mul`, relinearization) key.
     pub fn submit_scalar(&self, req: ScalarRequest) -> Result<ScalarTicket, EngineError> {
-        let batching = self.batching.as_ref().ok_or_else(|| {
+        let shared = self.shared();
+        let batching = shared.batching.as_ref().ok_or_else(|| {
             EngineError::BatchUnsupported(format!(
                 "t={} is not a SIMD-friendly prime for n={}",
                 self.context().params().t,
@@ -182,6 +297,7 @@ impl Engine {
                     lhs: Vec::new(),
                     rhs: Vec::new(),
                     replies: Vec::new(),
+                    opened: Instant::now(),
                 });
             slot.lhs.push(req.lhs);
             slot.rhs.push(req.rhs);
@@ -193,14 +309,15 @@ impl Engine {
             }
         };
         if let Some(batch) = full {
-            self.dispatch_batch(req.tenant, req.op, batch)?;
+            dispatch_batch(shared, req.tenant, req.op, batch)?;
         }
         Ok(ScalarTicket { rx })
     }
 
     /// Dispatches every partially-filled batch immediately.
     pub fn flush_batches(&self) {
-        let Some(batching) = self.batching.as_ref() else {
+        let shared = self.shared();
+        let Some(batching) = shared.batching.as_ref() else {
             return;
         };
         let drained: Vec<_> = {
@@ -210,90 +327,7 @@ impl Engine {
         for ((tenant, op), batch) in drained {
             // On failure every reply channel has already been notified (or
             // disconnected, which tickets surface as QueueClosed).
-            let _ = self.dispatch_batch(tenant, op, batch);
-        }
-    }
-
-    fn dispatch_batch(
-        &self,
-        tenant: TenantId,
-        op: ScalarOp,
-        batch: Pending,
-    ) -> Result<(), EngineError> {
-        let batching = self.batching.as_ref().expect("checked by callers");
-        let size = batch.lhs.len();
-        let fail_all = |replies: &[mpsc::Sender<Result<BatchResult, EngineError>>],
-                        e: &EngineError| {
-            for tx in replies {
-                let _ = tx.send(Err(e.clone()));
-            }
-        };
-
-        let keys = match self.registry().get(tenant) {
-            Some(k) => k,
-            None => {
-                let e = EngineError::UnknownTenant(tenant);
-                fail_all(&batch.replies, &e);
-                return Err(e);
-            }
-        };
-        let pk = match keys.pk.as_ref() {
-            Some(pk) => pk,
-            None => {
-                let e = EngineError::MissingKey {
-                    tenant,
-                    which: "public",
-                };
-                fail_all(&batch.replies, &e);
-                return Err(e);
-            }
-        };
-
-        let ctx = self.context();
-        let pa = batching.encoder.encode(&batch.lhs);
-        let pb = batching.encoder.encode(&batch.rhs);
-        let (ca, cb) = {
-            let mut rng = batching.rng.lock().unwrap();
-            (
-                encrypt(ctx, pk, &pa, &mut *rng),
-                encrypt(ctx, pk, &pb, &mut *rng),
-            )
-        };
-        let req = EvalRequest {
-            tenant,
-            inputs: vec![ca, cb],
-            plaintexts: Vec::new(),
-            ops: vec![op.eval_op()],
-        };
-        let replies = batch.replies;
-        self.stats_ref().on_batch(size);
-        let submitted = self.submit_with_callback(req, move |outcome| match outcome {
-            Ok(resp) => {
-                for (slot, tx) in replies.iter().enumerate() {
-                    let _ = tx.send(Ok(BatchResult {
-                        job_id: resp.job_id,
-                        packed: resp.result.clone(),
-                        slot,
-                        batch_size: size,
-                        report: resp.report,
-                    }));
-                }
-            }
-            Err(e) => {
-                for tx in &replies {
-                    let _ = tx.send(Err(e.clone()));
-                }
-            }
-        });
-        match submitted {
-            Ok(_) => Ok(()),
-            Err(e) => {
-                // The callback was never installed; nothing was sent yet —
-                // but `replies` moved into it. Report the error to the
-                // caller; ticket holders see a disconnected channel, which
-                // `ScalarTicket::wait` maps to `QueueClosed`.
-                Err(e)
-            }
+            let _ = dispatch_batch(shared, tenant, op, batch);
         }
     }
 }

@@ -1,16 +1,19 @@
 //! The evaluation engine: a worker pool over the cost-aware job queue.
 //!
-//! Submission path: validate → price with [`CostEstimator`] → enqueue.
-//! Workers pop the lowest aged-cost job, resolve the tenant's keys from the
-//! [`KeyRegistry`], execute the op-graph (heavy `Mul`s fan out over
+//! Submission path: validate → price with [`CostEstimator`] (resolving
+//! [`Backend::Auto`] to the cheaper datapath per job) → enqueue with the
+//! tenant's QoS (weight, optional deadline). Workers pop the next job
+//! under the EDF/stride/aged-cost policy, resolve the tenant's keys from
+//! the [`KeyRegistry`], execute the op-graph (heavy `Mul`s fan out over
 //! `hefv_core::parallel` under a per-job thread budget), and deliver the
-//! result through the job's completion callback. All counters land in
-//! [`EngineStats`].
+//! result through the job's completion callback. A background linger
+//! timer drains partially-filled scalar batches under light load. All
+//! counters land in [`EngineStats`].
 
 use crate::error::EngineError;
 use crate::registry::{KeyRegistry, TenantId, TenantKeys};
 use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
-use crate::sched::{CostEstimator, JobQueue};
+use crate::sched::{CostEstimator, JobQueue, QosSpec};
 use crate::stats::EngineStats;
 use hefv_core::context::FvContext;
 use hefv_core::encrypt::Ciphertext;
@@ -19,10 +22,9 @@ use hefv_core::galois::{apply_galois, sum_slots};
 use hefv_core::noise::NoiseModel;
 use hefv_core::parallel;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine construction parameters. `Default` picks sane values for the
 /// current machine.
@@ -39,9 +41,16 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Scalar requests coalesced per batch (0 = the encoder's slot count).
     pub max_batch: usize,
+    /// Max latency of a partially-filled scalar batch: a background timer
+    /// dispatches any pending batch this old, so light-load traffic drains
+    /// without waiting for the batch to fill or for an explicit
+    /// [`Engine::flush_batches`]. `None` disables the timer.
+    pub batch_linger: Option<Duration>,
     /// Scheduler aging weight in µs per arrival (0 = `mult_us / 16`).
     pub aging_weight_us: f64,
-    /// Lift/Scale datapath for multiplications.
+    /// Lift/Scale datapath for multiplications. [`Backend::Auto`] lets the
+    /// scheduler pick Traditional vs HPS per job, whichever the cost model
+    /// prices cheaper for that job's op mix and parameter size.
     pub backend: Backend,
     /// Seed for the engine's internal randomness (batch encryption).
     pub seed: u64,
@@ -55,6 +64,7 @@ impl Default for EngineConfig {
             registry_capacity: 64,
             queue_capacity: 128,
             max_batch: 0,
+            batch_linger: Some(Duration::from_millis(100)),
             aging_weight_us: 0.0,
             backend: Backend::default(),
             seed: 0x4845_4154, // "HEAT"
@@ -68,11 +78,14 @@ struct Job {
     id: u64,
     req: EvalRequest,
     cost_us: f64,
+    /// The concrete datapath this job runs on (`Auto` is resolved at
+    /// submission time against the cost model).
+    backend: Backend,
     enqueued: Instant,
     done: Callback,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     ctx: Arc<FvContext>,
     registry: KeyRegistry,
     stats: EngineStats,
@@ -80,6 +93,78 @@ struct Shared {
     noise: NoiseModel,
     backend: Backend,
     threads_per_job: usize,
+    estimator: CostEstimator,
+    next_job_id: AtomicU64,
+    pub(crate) batching: Option<crate::batch::Batching>,
+}
+
+impl Shared {
+    pub(crate) fn ctx(&self) -> &Arc<FvContext> {
+        &self.ctx
+    }
+
+    pub(crate) fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    pub(crate) fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The submission path shared by [`Engine::submit_with_callback`] and
+    /// the batching front-end (including its linger timer thread).
+    pub(crate) fn submit_with_callback<F>(
+        &self,
+        req: EvalRequest,
+        done: F,
+    ) -> Result<u64, EngineError>
+    where
+        F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
+    {
+        req.validate(&self.ctx)?;
+        let keys = self
+            .registry
+            .get(req.tenant)
+            .ok_or(EngineError::UnknownTenant(req.tenant))?;
+        if req.needs_rlk() && keys.rlk.is_none() {
+            return Err(EngineError::MissingKey {
+                tenant: req.tenant,
+                which: "relin",
+            });
+        }
+        if req.needs_galois() && keys.galois.is_none() {
+            return Err(EngineError::MissingKey {
+                tenant: req.tenant,
+                which: "galois",
+            });
+        }
+        let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        // Backend::Auto resolves here, per job: the queue is priced (and
+        // the job later executed) with whichever datapath the cost model
+        // says is cheaper for this op mix at these parameters.
+        let (backend, cost_us) = match self.backend {
+            Backend::Auto => self.estimator.cheaper_backend(&req),
+            b => (b, self.estimator.request_us_for(&req, b)),
+        };
+        let qos = QosSpec {
+            tenant: req.tenant,
+            deadline_us: req.deadline_us,
+        };
+        let job = Job {
+            id,
+            req,
+            cost_us,
+            backend,
+            enqueued: Instant::now(),
+            done: Box::new(done),
+        };
+        self.stats.on_submit();
+        if !self.queue.push_qos(cost_us, qos, job) {
+            self.stats.on_reject();
+            return Err(EngineError::QueueClosed);
+        }
+        Ok(id)
+    }
 }
 
 /// Handle to one submitted job.
@@ -102,15 +187,20 @@ impl JobHandle {
     }
 }
 
+/// Linger-timer shutdown flag (mutex + condvar so the timer sleeps
+/// between ticks and wakes immediately on shutdown).
+struct TimerStop {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
 /// The multi-tenant FHE evaluation engine. See the crate docs for an
 /// end-to-end example.
 pub struct Engine {
     shared: Arc<Shared>,
-    estimator: CostEstimator,
-    next_job_id: AtomicU64,
     workers: usize,
     handles: Vec<JoinHandle<()>>,
-    pub(crate) batching: Option<crate::batch::Batching>,
+    timer: Option<(Arc<TimerStop>, JoinHandle<()>)>,
 }
 
 impl Engine {
@@ -128,6 +218,7 @@ impl Engine {
         } else {
             (estimator.mult_us() / 16.0).max(1e-6)
         };
+        let batching = crate::batch::Batching::for_context(&ctx, &config);
         let shared = Arc::new(Shared {
             noise: NoiseModel::new(&ctx),
             registry: KeyRegistry::new(config.registry_capacity),
@@ -135,6 +226,9 @@ impl Engine {
             queue: JobQueue::new(aging, config.queue_capacity),
             backend: config.backend,
             threads_per_job,
+            estimator,
+            next_job_id: AtomicU64::new(0),
+            batching,
             ctx,
         });
         let handles = (0..workers)
@@ -146,14 +240,44 @@ impl Engine {
                     .expect("spawn engine worker")
             })
             .collect();
-        let batching = crate::batch::Batching::for_context(&shared.ctx, &config);
+        let timer = match (config.batch_linger, shared.batching.is_some()) {
+            (Some(linger), true) => {
+                let stop = Arc::new(TimerStop {
+                    stopped: Mutex::new(false),
+                    wake: Condvar::new(),
+                });
+                let tick = (linger / 4).max(Duration::from_millis(1));
+                let shared = Arc::clone(&shared);
+                let stop2 = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name("hefv-batch-linger".into())
+                    .spawn(move || loop {
+                        // The stop flag is released before flushing: a
+                        // flush can block on queue backpressure, and
+                        // shutdown must not wait behind it to even set
+                        // the flag.
+                        {
+                            let guard = stop2.stopped.lock().unwrap();
+                            if *guard {
+                                break;
+                            }
+                            let (guard, _) = stop2.wake.wait_timeout(guard, tick).unwrap();
+                            if *guard {
+                                break;
+                            }
+                        }
+                        crate::batch::flush_expired(&shared, linger);
+                    })
+                    .expect("spawn batch linger timer");
+                Some((stop, handle))
+            }
+            _ => None,
+        };
         Engine {
             shared,
-            estimator,
-            next_job_id: AtomicU64::new(0),
             workers,
             handles,
-            batching,
+            timer,
         }
     }
 
@@ -172,6 +296,13 @@ impl Engine {
         self.shared.registry.register(tenant, keys);
     }
 
+    /// Sets a tenant's fair-share weight (default 1.0): while several
+    /// tenants are backlogged, each receives service in proportion to its
+    /// weight (stride scheduling — see [`crate::sched::JobQueue`]).
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: f64) {
+        self.shared.queue.set_weight(tenant, weight);
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
@@ -182,13 +313,23 @@ impl Engine {
         self.shared.stats.snapshot()
     }
 
-    pub(crate) fn stats_ref(&self) -> &EngineStats {
-        &self.shared.stats
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
     }
 
-    /// The scheduler's price for a request, µs (what the queue orders by).
+    /// The scheduler's price for a request on this engine's configured
+    /// datapath, µs (what the queue orders by). `Auto` engines price each
+    /// request at the cheaper of the two architectures.
     pub fn estimate_cost_us(&self, req: &EvalRequest) -> f64 {
-        self.estimator.request_us(req)
+        self.shared
+            .estimator
+            .request_us_for(req, self.shared.backend)
+    }
+
+    /// The cost estimator (both datapaths' price lists) for this engine's
+    /// parameter set.
+    pub fn estimator(&self) -> &CostEstimator {
+        &self.shared.estimator
     }
 
     /// Submits a request, delivering the result to `done` from a worker
@@ -202,39 +343,7 @@ impl Engine {
     where
         F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
     {
-        req.validate(&self.shared.ctx)?;
-        let keys = self
-            .shared
-            .registry
-            .get(req.tenant)
-            .ok_or(EngineError::UnknownTenant(req.tenant))?;
-        if req.needs_rlk() && keys.rlk.is_none() {
-            return Err(EngineError::MissingKey {
-                tenant: req.tenant,
-                which: "relin",
-            });
-        }
-        if req.needs_galois() && keys.galois.is_none() {
-            return Err(EngineError::MissingKey {
-                tenant: req.tenant,
-                which: "galois",
-            });
-        }
-        let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let cost_us = self.estimator.request_us(&req);
-        let job = Job {
-            id,
-            req,
-            cost_us,
-            enqueued: Instant::now(),
-            done: Box::new(done),
-        };
-        self.shared.stats.on_submit();
-        if !self.shared.queue.push(cost_us, job) {
-            self.shared.stats.on_reject();
-            return Err(EngineError::QueueClosed);
-        }
-        Ok(id)
+        self.shared.submit_with_callback(req, done)
     }
 
     /// Submits a request, returning a handle to wait on.
@@ -265,6 +374,11 @@ impl Engine {
     }
 
     fn close_and_join(&mut self) {
+        if let Some((stop, handle)) = self.timer.take() {
+            *stop.stopped.lock().unwrap() = true;
+            stop.wake.notify_all();
+            let _ = handle.join();
+        }
         self.shared.queue.close();
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -286,17 +400,20 @@ fn worker_loop(shared: &Shared, worker: u32) {
             id,
             req,
             cost_us,
+            backend,
             done,
             ..
         } = job;
+        shared.stats.on_backend(backend);
         let started = Instant::now();
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(shared, &req)))
-                .unwrap_or_else(|_| {
-                    Err(EngineError::Internal(
-                        "job panicked during execution".into(),
-                    ))
-                });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(shared, &req, backend)
+        }))
+        .unwrap_or_else(|_| {
+            Err(EngineError::Internal(
+                "job panicked during execution".into(),
+            ))
+        });
         let exec_ns = started.elapsed().as_nanos() as u64;
         let result = match result {
             Ok((result, noise_bits)) => {
@@ -322,11 +439,16 @@ fn worker_loop(shared: &Shared, worker: u32) {
     }
 }
 
-/// Runs the op program. Returns the result ciphertext and the estimated
-/// noise bits consumed — `log2(out_magnitude / fresh_magnitude)` under the
-/// analytic worst-case [`NoiseModel`] (decryption is never possible here
-/// because the engine holds no secret keys).
-fn execute(shared: &Shared, req: &EvalRequest) -> Result<(Ciphertext, f64), EngineError> {
+/// Runs the op program on the given concrete datapath. Returns the result
+/// ciphertext and the estimated noise bits consumed —
+/// `log2(out_magnitude / fresh_magnitude)` under the analytic worst-case
+/// [`NoiseModel`] (decryption is never possible here because the engine
+/// holds no secret keys).
+fn execute(
+    shared: &Shared,
+    req: &EvalRequest,
+    backend: Backend,
+) -> Result<(Ciphertext, f64), EngineError> {
     let ctx = &*shared.ctx;
     let keys = shared
         .registry
@@ -381,11 +503,11 @@ fn execute(shared: &Shared, req: &EvalRequest) -> Result<(Ciphertext, f64), Engi
                         ca,
                         cb,
                         rlk,
-                        shared.backend,
+                        backend,
                         shared.threads_per_job,
                     )
                 } else {
-                    eval::mul(ctx, ca, cb, rlk, shared.backend)
+                    eval::mul(ctx, ca, cb, rlk, backend)
                 };
                 (out, shared.noise.after_mul(mag(&noise, a), mag(&noise, b)))
             }

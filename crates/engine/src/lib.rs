@@ -13,18 +13,28 @@
 //!
 //! The pieces:
 //!
+//! * [`router`] — the [`ShardRouter`]: consistent-hash tenant placement
+//!   over several engine shards, explicit pinning, shard-addressed frame
+//!   dispatch, and aggregated fleet telemetry;
 //! * [`engine`] — the [`Engine`]: worker pool, submission, lifecycle;
+//!   `Backend::Auto` engines pick the Traditional or HPS datapath per job
+//!   from the cost model;
 //! * [`request`] — [`EvalRequest`]: a straight-line op-graph
-//!   (add/sub/neg/mul/mul_plain/rotate/sum_slots) over inline ciphertexts;
+//!   (add/sub/neg/mul/mul_plain/rotate/sum_slots) over inline
+//!   ciphertexts, with an optional virtual-clock deadline;
 //! * [`registry`] — per-tenant key registry (pk/rlk/Galois) with LRU
 //!   eviction; a tenant's jobs are evaluated *only* with that tenant's
 //!   registered keys;
 //! * [`batch`] — the batching front-end: compatible scalar requests are
 //!   coalesced into slot-packed ciphertexts via `BatchEncoder` and the
-//!   packed results demuxed back to each requester;
-//! * [`sched`] — the cost estimator and the aged-cost priority queue;
-//! * [`wire`] — request/response framing extending `hefv_core::wire`;
-//! * [`stats`] — per-op latency, queue depth and noise-budget telemetry.
+//!   packed results demuxed back to each requester; a linger timer drains
+//!   partial batches under light load;
+//! * [`sched`] — the two-datapath cost estimator and the deterministic
+//!   EDF/stride/aged-cost queue (per-tenant weights, optional deadlines);
+//! * [`wire`] — shard-addressed request/response framing extending
+//!   `hefv_core::wire`;
+//! * [`stats`] — per-op latency, queue depth, datapath dispatch and
+//!   noise-budget telemetry.
 //!
 //! # Example
 //!
@@ -56,6 +66,7 @@
 //!         EvalOp::Mul(ValRef::Input(0), ValRef::Input(1)),
 //!         EvalOp::Add(ValRef::Op(0), ValRef::Input(2)),
 //!     ],
+//!     deadline_us: None,
 //! };
 //! let resp = engine.call(req).unwrap();
 //! assert_eq!(decrypt(&ctx, &sk_a, &resp.result).coeffs()[0], 10);
@@ -68,6 +79,7 @@ pub mod engine;
 pub mod error;
 pub mod registry;
 pub mod request;
+pub mod router;
 pub mod sched;
 pub mod stats;
 pub mod wire;
@@ -77,6 +89,7 @@ pub use engine::{Engine, EngineConfig, JobHandle};
 pub use error::EngineError;
 pub use registry::{KeyRegistry, TenantId, TenantKeys};
 pub use request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
+pub use router::{RouterStats, ShardId, ShardRouter, ShardSpec, ShardStats};
 pub use stats::StatsSnapshot;
 
 /// Commonly used items in one import.
@@ -86,5 +99,6 @@ pub mod prelude {
     pub use crate::error::EngineError;
     pub use crate::registry::{KeyRegistry, TenantId, TenantKeys};
     pub use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
+    pub use crate::router::{RouterStats, ShardId, ShardRouter, ShardSpec, ShardStats};
     pub use crate::stats::StatsSnapshot;
 }

@@ -69,6 +69,12 @@ pub struct EvalRequest {
     pub plaintexts: Vec<Plaintext>,
     /// The straight-line op program; the last op's value is the result.
     pub ops: Vec<EvalOp>,
+    /// Optional relative deadline on the scheduler's virtual clock
+    /// (cumulative estimated µs of service): the earliest-deadline-first
+    /// guard in [`crate::sched::JobQueue`] serves this job before its
+    /// aged-cost turn once the deadline is at stake. `None` jobs are
+    /// scheduled purely by weighted aged cost.
+    pub deadline_us: Option<f64>,
 }
 
 /// Hard cap on request size (inputs + ops), a denial-of-service guard.
@@ -87,7 +93,15 @@ impl EvalRequest {
             inputs: vec![a, b],
             plaintexts: Vec::new(),
             ops: vec![op(ValRef::Input(0), ValRef::Input(1))],
+            deadline_us: None,
         }
+    }
+
+    /// Attaches a relative virtual-clock deadline (µs of estimated
+    /// service) to this request.
+    pub fn with_deadline(mut self, deadline_us: f64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
     }
 
     /// Structural validation against a context: reference ranges, shapes,
@@ -100,6 +114,11 @@ impl EvalRequest {
         let fail = |r: String| Err(EngineError::Validation(r));
         if self.ops.is_empty() {
             return fail("request has no ops".into());
+        }
+        if let Some(d) = self.deadline_us {
+            if !d.is_finite() || d < 0.0 {
+                return fail(format!("deadline {d} must be finite and non-negative"));
+            }
         }
         if self.inputs.is_empty() {
             return fail("request has no input ciphertexts".into());
@@ -277,6 +296,20 @@ mod tests {
         assert!(req.validate(&ctx).is_err());
         req.ops = vec![EvalOp::MulPlain(ValRef::Input(0), 0)]; // no plaintexts
         assert!(req.validate(&ctx).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_deadlines() {
+        let ctx = ctx();
+        let req = EvalRequest::binary(1, EvalOp::Add, some_ct(&ctx), some_ct(&ctx));
+        assert!(req.clone().with_deadline(125.0).validate(&ctx).is_ok());
+        assert!(req.clone().with_deadline(f64::NAN).validate(&ctx).is_err());
+        assert!(req
+            .clone()
+            .with_deadline(f64::INFINITY)
+            .validate(&ctx)
+            .is_err());
+        assert!(req.with_deadline(-1.0).validate(&ctx).is_err());
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! The cluster layer: a [`ShardRouter`] owning several [`Engine`] shards.
+//!
+//! The paper fixes one datapath per coprocessor; a serving fleet does not
+//! have to. The router partitions tenants across engine shards — one per
+//! parameter set, NUMA node or datapath policy — and routes every request
+//! to its tenant's shard:
+//!
+//! * **Placement** is consistent hashing over a ring of virtual nodes
+//!   (deterministic splitmix64 points, no wall-clock or process state), so
+//!   adding or removing a shard remaps only the tenants that land on the
+//!   new/removed shard's arcs; everyone else stays put. Operators can
+//!   override the hash with an explicit [`ShardRouter::pin_tenant`].
+//! * **Datapath dispatch** rides on [`Backend::Auto`]: a shard configured
+//!   with it prices every job on both the Traditional and HPS cost models
+//!   and executes on the cheaper one (see [`crate::sched::CostEstimator`]),
+//!   so a mixed workload beats either fixed-datapath fleet on total
+//!   estimated cost.
+//! * **Remote traffic** enters through [`ShardRouter::dispatch_frame`]:
+//!   `HEVQ` request frames carry an optional shard address
+//!   ([`crate::wire::peek_shard`]) and are otherwise placed by tenant
+//!   hash; responses come back stamped with the shard that produced them.
+//!   This is the seam a TCP/async front-end plugs into — it never needs
+//!   to decode a payload to route it.
+//!
+//! Job ids are scoped per shard; the `(shard, job_id)` pair is globally
+//! unique.
+//!
+//! # Example
+//!
+//! ```
+//! use hefv_core::prelude::*;
+//! use hefv_engine::prelude::*;
+//! use hefv_engine::router::{ShardRouter, ShardSpec};
+//! use hefv_core::eval::Backend;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+//! let router = ShardRouter::new();
+//! // Two shards over one parameter set; Auto picks the cheaper datapath
+//! // per job from the paper's cost model.
+//! for name in ["shard-a", "shard-b"] {
+//!     router
+//!         .add_shard(ShardSpec {
+//!             name: name.into(),
+//!             ctx: Arc::clone(&ctx),
+//!             config: EngineConfig {
+//!                 workers: 1,
+//!                 backend: Backend::Auto,
+//!                 ..EngineConfig::default()
+//!             },
+//!         })
+//!         .unwrap();
+//! }
+//! let mut rng = StdRng::seed_from_u64(9);
+//! let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+//! let tenant = 42;
+//! router.register_tenant(tenant, TenantKeys::compute(pk.clone(), rlk)).unwrap();
+//!
+//! let t = ctx.params().t;
+//! let n = ctx.params().n;
+//! let enc = |v, rng: &mut StdRng| encrypt(&ctx, &pk, &Plaintext::new(vec![v], t, n), rng);
+//! let req = EvalRequest::binary(tenant, EvalOp::Mul, enc(2, &mut rng), enc(3, &mut rng));
+//! let resp = router.call(req).unwrap();
+//! assert_eq!(decrypt(&ctx, &sk, &resp.result).coeffs()[0], 6);
+//! assert_eq!(router.stats().total.jobs_completed, 1);
+//! router.shutdown();
+//! ```
+
+use crate::batch::{ScalarRequest, ScalarTicket};
+use crate::engine::{Engine, EngineConfig, JobHandle};
+use crate::error::EngineError;
+use crate::registry::{TenantId, TenantKeys};
+use crate::request::{EvalRequest, EvalResponse};
+use crate::stats::StatsSnapshot;
+use crate::wire;
+use hefv_core::context::FvContext;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
+
+/// Shard identifier, unique within one router. Kept below
+/// [`wire::NO_SHARD`] and within a byte so it fits both frame directions.
+pub type ShardId = u16;
+
+/// Highest shard id a router hands out (the response frame stamps the
+/// shard into one byte).
+pub const MAX_SHARD_ID: ShardId = u8::MAX as ShardId;
+
+/// Everything needed to start one engine shard.
+pub struct ShardSpec {
+    /// Operator-facing shard name.
+    pub name: String,
+    /// The parameter set this shard serves.
+    pub ctx: Arc<FvContext>,
+    /// Engine configuration — set `backend: Backend::Auto` for per-job
+    /// datapath dispatch.
+    pub config: EngineConfig,
+}
+
+struct Shard {
+    id: ShardId,
+    name: String,
+    engine: Engine,
+}
+
+struct Topology {
+    shards: BTreeMap<ShardId, Arc<Shard>>,
+    /// Consistent-hash ring: vnode point → shard id.
+    ring: BTreeMap<u64, ShardId>,
+    pins: HashMap<TenantId, ShardId>,
+    /// Ids reserved for engines currently starting (outside the lock):
+    /// counted as taken so concurrent `add_shard`s cannot collide.
+    starting: std::collections::BTreeSet<ShardId>,
+}
+
+impl Topology {
+    /// Smallest id not held by a live or starting shard. Removed shards'
+    /// ids are reused — a replacement shard inherits exactly the retired
+    /// shard's ring arcs, so rolling replacement never exhausts the id
+    /// space and never remaps bystander tenants.
+    fn reserve_id(&mut self) -> Option<ShardId> {
+        let id = (0..=MAX_SHARD_ID)
+            .find(|id| !self.shards.contains_key(id) && !self.starting.contains(id))?;
+        self.starting.insert(id);
+        Some(id)
+    }
+}
+
+/// One shard's stats row in a [`RouterStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard id.
+    pub id: ShardId,
+    /// Shard name.
+    pub name: String,
+    /// That engine's telemetry snapshot.
+    pub stats: StatsSnapshot,
+}
+
+/// Aggregated router telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterStats {
+    /// Per-shard snapshots, in shard-id order.
+    pub per_shard: Vec<ShardStats>,
+    /// All shards folded together.
+    pub total: StatsSnapshot,
+}
+
+impl std::fmt::Display for RouterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.per_shard {
+            writeln!(f, "shard {} ({}):", s.id, s.name)?;
+            for line in s.stats.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        writeln!(f, "total:")?;
+        for line in self.total.to_string().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// splitmix64 finalizer: a stable, process-independent mixing function so
+/// ring points (and therefore placement) are identical across runs.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Routes tenants to engine shards. See the module docs.
+pub struct ShardRouter {
+    topo: RwLock<Topology>,
+    vnodes: usize,
+}
+
+impl Default for ShardRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardRouter {
+    /// An empty router with the default ring density (64 virtual nodes
+    /// per shard — placement imbalance a few percent at realistic fleet
+    /// sizes).
+    pub fn new() -> Self {
+        Self::with_vnodes(64)
+    }
+
+    /// An empty router with an explicit virtual-node count per shard
+    /// (≥ 1; more vnodes = smoother placement, larger ring).
+    pub fn with_vnodes(vnodes: usize) -> Self {
+        ShardRouter {
+            topo: RwLock::new(Topology {
+                shards: BTreeMap::new(),
+                ring: BTreeMap::new(),
+                pins: HashMap::new(),
+                starting: std::collections::BTreeSet::new(),
+            }),
+            vnodes: vnodes.max(1),
+        }
+    }
+
+    /// Starts a new engine shard and joins it to the ring, reusing the
+    /// smallest free shard id (a replacement for a removed shard inherits
+    /// its ring arcs exactly). Tenants whose hash lands on the new
+    /// shard's arcs are remapped to it (and must re-register their keys
+    /// there); everyone else keeps their shard.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Validation`] while all `MAX_SHARD_ID + 1` ids are
+    /// held by live (or still-starting) shards.
+    pub fn add_shard(&self, spec: ShardSpec) -> Result<ShardId, EngineError> {
+        // Reserve the id under the lock, then start the engine outside
+        // it: worker spawn and cost-model pricing are slow.
+        let id = self.topo.write().unwrap().reserve_id().ok_or_else(|| {
+            EngineError::Validation(format!(
+                "router is at its {}-shard capacity",
+                u32::from(MAX_SHARD_ID) + 1
+            ))
+        })?;
+        let engine = Engine::start(spec.ctx, spec.config);
+        let shard = Arc::new(Shard {
+            id,
+            name: spec.name,
+            engine,
+        });
+        let mut topo = self.topo.write().unwrap();
+        for replica in 0..self.vnodes {
+            let point = mix64(mix64(u64::from(id) + 1) ^ replica as u64);
+            topo.ring.insert(point, id);
+        }
+        topo.starting.remove(&id);
+        topo.shards.insert(id, shard);
+        Ok(id)
+    }
+
+    /// Removes a shard from the ring: no new requests route to it, and
+    /// its engine shuts down (pending jobs finish, workers join) as soon
+    /// as the last in-flight reference drops — immediately when no
+    /// request is mid-dispatch, otherwise when that request completes.
+    /// Tenants mapped there move to the ring's next shard; pins to the
+    /// removed shard are dropped. Returns `false` if the shard is
+    /// unknown.
+    pub fn remove_shard(&self, id: ShardId) -> bool {
+        let removed = {
+            let mut topo = self.topo.write().unwrap();
+            let removed = topo.shards.remove(&id);
+            if removed.is_some() {
+                topo.ring.retain(|_, v| *v != id);
+                topo.pins.retain(|_, v| *v != id);
+            }
+            removed
+        };
+        // Dropping the (usually last) Arc shuts the engine down; done
+        // outside the lock so routing never blocks on a draining shard.
+        removed.is_some()
+    }
+
+    /// Shard ids and names, in id order.
+    pub fn shards(&self) -> Vec<(ShardId, String)> {
+        self.topo
+            .read()
+            .unwrap()
+            .shards
+            .values()
+            .map(|s| (s.id, s.name.clone()))
+            .collect()
+    }
+
+    /// The shard a tenant routes to right now: its pin if set, otherwise
+    /// the first ring point clockwise of the tenant's hash. `None` when
+    /// the router has no shards.
+    pub fn shard_for(&self, tenant: TenantId) -> Option<ShardId> {
+        let topo = self.topo.read().unwrap();
+        Self::place(&topo, tenant)
+    }
+
+    fn place(topo: &Topology, tenant: TenantId) -> Option<ShardId> {
+        if let Some(&pin) = topo.pins.get(&tenant) {
+            return Some(pin);
+        }
+        if topo.ring.is_empty() {
+            return None;
+        }
+        let point = mix64(tenant);
+        topo.ring
+            .range(point..)
+            .next()
+            .or_else(|| topo.ring.iter().next())
+            .map(|(_, &id)| id)
+    }
+
+    fn shard(&self, id: ShardId) -> Result<Arc<Shard>, EngineError> {
+        self.topo
+            .read()
+            .unwrap()
+            .shards
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| EngineError::Validation(format!("unknown shard {id}")))
+    }
+
+    fn shard_of(&self, tenant: TenantId) -> Result<Arc<Shard>, EngineError> {
+        let topo = self.topo.read().unwrap();
+        let id = Self::place(&topo, tenant)
+            .ok_or_else(|| EngineError::Validation("router has no shards".into()))?;
+        topo.shards
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| EngineError::Validation(format!("shard {id} is gone")))
+    }
+
+    /// Pins a tenant to an explicit shard, overriding the hash ring.
+    /// Placement changes do not move key material: pin *before*
+    /// registering, or re-register the tenant's keys afterwards (its next
+    /// [`ShardRouter::register_tenant`] lands on the pinned shard).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Validation`] when the shard does not exist.
+    pub fn pin_tenant(&self, tenant: TenantId, shard: ShardId) -> Result<(), EngineError> {
+        let mut topo = self.topo.write().unwrap();
+        if !topo.shards.contains_key(&shard) {
+            return Err(EngineError::Validation(format!("unknown shard {shard}")));
+        }
+        topo.pins.insert(tenant, shard);
+        Ok(())
+    }
+
+    /// Removes a tenant's pin (it reverts to hash placement). Returns
+    /// whether a pin existed.
+    pub fn unpin_tenant(&self, tenant: TenantId) -> bool {
+        self.topo.write().unwrap().pins.remove(&tenant).is_some()
+    }
+
+    /// Registers a tenant's keys with the shard it currently routes to,
+    /// returning that shard. After topology changes remap a tenant, it
+    /// must re-register (clients always hold their own keys).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Validation`] when the router has no shards.
+    pub fn register_tenant(
+        &self,
+        tenant: TenantId,
+        keys: TenantKeys,
+    ) -> Result<ShardId, EngineError> {
+        let shard = self.shard_of(tenant)?;
+        shard.engine.register_tenant(tenant, keys);
+        Ok(shard.id)
+    }
+
+    /// Sets a tenant's fair-share weight on its current shard.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Validation`] when the router has no shards.
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: f64) -> Result<(), EngineError> {
+        self.shard_of(tenant)?
+            .engine
+            .set_tenant_weight(tenant, weight);
+        Ok(())
+    }
+
+    /// Routes a request to its tenant's shard and submits it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit`]; additionally fails when the router has no
+    /// shards.
+    pub fn submit(&self, req: EvalRequest) -> Result<JobHandle, EngineError> {
+        self.shard_of(req.tenant)?.engine.submit(req)
+    }
+
+    /// Routes a request and delivers the outcome to `done` from the
+    /// owning shard's worker thread. Returns `(shard, job_id)` — job ids
+    /// are scoped per shard.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit_with_callback`]; additionally fails when the
+    /// router has no shards.
+    pub fn submit_with_callback<F>(
+        &self,
+        req: EvalRequest,
+        done: F,
+    ) -> Result<(ShardId, u64), EngineError>
+    where
+        F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
+    {
+        let shard = self.shard_of(req.tenant)?;
+        let id = shard.engine.submit_with_callback(req, done)?;
+        Ok((shard.id, id))
+    }
+
+    /// Submit and wait (convenience).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardRouter::submit`].
+    pub fn call(&self, req: EvalRequest) -> Result<EvalResponse, EngineError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Routes a scalar request to its tenant's shard for batching.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit_scalar`]; additionally fails when the router
+    /// has no shards.
+    pub fn submit_scalar(&self, req: ScalarRequest) -> Result<ScalarTicket, EngineError> {
+        self.shard_of(req.tenant)?.engine.submit_scalar(req)
+    }
+
+    /// Dispatches every partially-filled batch on every shard.
+    pub fn flush_batches(&self) {
+        for shard in self.all_shards() {
+            shard.engine.flush_batches();
+        }
+    }
+
+    /// Routes a serialized `HEVQ` request frame: an explicit shard address
+    /// wins, an unrouted frame is placed by tenant hash; the request is
+    /// decoded against that shard's context, evaluated, and the outcome
+    /// returned as an `HEVP` frame stamped with the producing shard.
+    /// Transport-level failures (bad frame, no shards) come back as error
+    /// frames with job id `u64::MAX`.
+    pub fn dispatch_frame(&self, frame: &[u8]) -> Vec<u8> {
+        match self.dispatch_frame_inner(frame) {
+            Ok(out) => out,
+            Err(e) => wire::encode_response(&Err((u64::MAX, e))),
+        }
+    }
+
+    fn dispatch_frame_inner(&self, frame: &[u8]) -> Result<Vec<u8>, EngineError> {
+        let shard = match wire::peek_shard(frame)? {
+            Some(id) => self.shard(id)?,
+            None => self.shard_of(wire::peek_tenant(frame)?)?,
+        };
+        let req = wire::decode_request(shard.engine.context(), frame)?;
+        let outcome = match shard.engine.submit(req) {
+            Ok(handle) => {
+                let id = handle.id;
+                handle.wait().map_err(|e| (id, e))
+            }
+            Err(e) => Err((u64::MAX, e)),
+        };
+        Ok(wire::encode_response_from_shard(&outcome, shard.id as u8))
+    }
+
+    fn all_shards(&self) -> Vec<Arc<Shard>> {
+        self.topo.read().unwrap().shards.values().cloned().collect()
+    }
+
+    /// Telemetry: every shard's snapshot plus the fleet total.
+    pub fn stats(&self) -> RouterStats {
+        let mut total: Option<StatsSnapshot> = None;
+        let mut per_shard = Vec::new();
+        for shard in self.all_shards() {
+            let stats = shard.engine.stats();
+            match &mut total {
+                None => total = Some(stats.clone()),
+                Some(t) => t.absorb(&stats),
+            }
+            per_shard.push(ShardStats {
+                id: shard.id,
+                name: shard.name.clone(),
+                stats,
+            });
+        }
+        RouterStats {
+            per_shard,
+            total: total.unwrap_or_else(|| crate::stats::EngineStats::default().snapshot()),
+        }
+    }
+
+    /// Shuts every shard down: pending jobs drain, workers join.
+    pub fn shutdown(self) {
+        let shards = {
+            let mut topo = self.topo.write().unwrap();
+            topo.ring.clear();
+            topo.pins.clear();
+            std::mem::take(&mut topo.shards)
+        };
+        drop(shards);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare_router(n_shards: usize) -> ShardRouter {
+        use hefv_core::params::FvParams;
+        let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+        let router = ShardRouter::new();
+        for i in 0..n_shards {
+            router
+                .add_shard(ShardSpec {
+                    name: format!("s{i}"),
+                    ctx: Arc::clone(&ctx),
+                    config: EngineConfig {
+                        workers: 1,
+                        ..EngineConfig::default()
+                    },
+                })
+                .unwrap();
+        }
+        router
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let router = bare_router(3);
+        for tenant in 0..200u64 {
+            let a = router.shard_for(tenant).unwrap();
+            let b = router.shard_for(tenant).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 3);
+        }
+        router.shutdown();
+    }
+
+    #[test]
+    fn every_shard_owns_some_tenants() {
+        let router = bare_router(3);
+        let mut seen = std::collections::HashSet::new();
+        for tenant in 0..500u64 {
+            seen.insert(router.shard_for(tenant).unwrap());
+        }
+        assert_eq!(seen.len(), 3, "ring leaves a shard empty");
+        router.shutdown();
+    }
+
+    #[test]
+    fn pins_override_the_ring() {
+        let router = bare_router(2);
+        let tenant = 7;
+        let hashed = router.shard_for(tenant).unwrap();
+        let other = 1 - hashed;
+        router.pin_tenant(tenant, other).unwrap();
+        assert_eq!(router.shard_for(tenant), Some(other));
+        assert!(router.unpin_tenant(tenant));
+        assert_eq!(router.shard_for(tenant), Some(hashed));
+        assert!(router.pin_tenant(tenant, 99).is_err(), "unknown shard");
+        router.shutdown();
+    }
+
+    #[test]
+    fn removed_shard_ids_are_reused() {
+        use hefv_core::params::FvParams;
+        let router = bare_router(2);
+        assert!(router.remove_shard(0));
+        assert!(!router.remove_shard(0), "already gone");
+        let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+        let id = router
+            .add_shard(ShardSpec {
+                name: "replacement".into(),
+                ctx,
+                config: EngineConfig {
+                    workers: 1,
+                    ..EngineConfig::default()
+                },
+            })
+            .unwrap();
+        assert_eq!(id, 0, "rolling replacement reuses the retired id");
+        assert_eq!(router.shards().len(), 2);
+        router.shutdown();
+    }
+
+    #[test]
+    fn empty_router_rejects_traffic() {
+        let router = ShardRouter::new();
+        assert_eq!(router.shard_for(1), None);
+        assert!(router.register_tenant(1, TenantKeys::default()).is_err());
+        router.shutdown();
+    }
+}

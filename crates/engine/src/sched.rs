@@ -1,55 +1,69 @@
 //! Cost-aware scheduling: the simulated-coprocessor cost model prices each
-//! request, and a priority queue orders work by *aged cost*.
+//! request on *both* datapaths, and a weighted, deadline-aware priority
+//! queue orders work on a deterministic virtual clock.
 //!
 //! The paper's coprocessor gets its throughput from scheduling independent
 //! RNS/NTT work units onto parallel RPAUs; at the service level the
-//! analogous lever is choosing *which job* each worker runs next. The
-//! engine uses shortest-job-first over the [`hefv_sim::cost`] estimates
-//! (Table II cycle model), which minimizes mean latency under mixed
-//! `Add`/`Mult` traffic — but pure SJF starves expensive jobs under a
-//! stream of cheap ones, so each job's key is
+//! analogous levers are choosing *which job* each worker runs next and
+//! *which datapath* runs it. Both decisions come from the same cost model:
 //!
-//! ```text
-//! key = arrival_seq × aging_weight_us + estimated_cost_us
-//! ```
+//! * [`CostEstimator`] prices every request twice — once on the HPS
+//!   coprocessor ([`hefv_sim::coproc::Coprocessor`], Table II) and once on
+//!   the traditional-CRT coprocessor (§VI-C). The two architectures win in
+//!   different regimes: HPS `Lift`/`Scale` is constant-latency while the
+//!   traditional long-integer cores scale with `n`, but the traditional
+//!   design streams a 3× smaller switching key, so key-switch-heavy jobs
+//!   (rotations, slot sums) price cheaper there. [`Backend::Auto`] engines
+//!   use [`CostEstimator::cheaper_backend`] to dispatch per job.
 //!
-//! A job can be overtaken by at most `cost / aging_weight` later-arriving
-//! cheaper jobs before its key is the minimum: bounded-bypass SJF.
+//! * [`JobQueue`] is a three-level scheduler, deterministic given the push
+//!   sequence (no wall-clock reads — time is *virtual*, advanced by the
+//!   estimated cost of each popped job):
+//!
+//!   1. **Deadline guard (EDF).** A job may carry an absolute virtual
+//!      deadline. The guard tracks every deadline job's *latest feasible
+//!      start* (`deadline − cost`); if serving the cost-order candidate
+//!      would push the virtual clock past any of them (or one has
+//!      already passed), deadline jobs are served earliest-deadline-first
+//!      instead — EDF exactly when feasibility is at stake, cost order
+//!      otherwise. Each deadline job preempts at most once (it is then
+//!      gone), so the bypass it inflicts on the cost order is bounded by
+//!      the number of deadline jobs in the queue.
+//!   2. **Weighted fair sharing across tenants (stride scheduling).**
+//!      Every tenant has a weight; serving one of its jobs advances its
+//!      *pass* by `cost / weight`, and the tenant with the smallest pass
+//!      is served next. Over any backlogged interval each tenant's share
+//!      of simulated service converges to `weight / Σ weights`. A tenant
+//!      going idle forfeits unused credit: on re-activation its pass is
+//!      clamped up to the global virtual service time.
+//!   3. **Bounded-bypass SJF within a tenant.** Jobs of one tenant are
+//!      ordered by *aged cost*, `key = arrival_seq × aging_weight_us +
+//!      cost_us`: shortest-job-first, but a job can be overtaken by at
+//!      most `cost / aging_weight` later-arriving cheaper jobs before its
+//!      key is the minimum.
 
+use crate::registry::TenantId;
 use crate::request::{EvalOp, EvalRequest};
 use hefv_core::context::FvContext;
-use hefv_sim::coproc::Coprocessor;
-use std::collections::BinaryHeap;
+use hefv_core::eval::Backend;
+use hefv_sim::clock::ClockConfig;
+use hefv_sim::coproc::{trad_add_us, trad_mult_us_for, trad_rotate_us_for, Coprocessor};
+use hefv_sim::cost::TradCostModel;
+use hefv_sim::dma::DmaModel;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Condvar, Mutex};
 
-/// Prices a request in simulated coprocessor microseconds.
-#[derive(Debug, Clone)]
-pub struct CostEstimator {
+/// Per-op prices of one datapath, µs.
+#[derive(Debug, Clone, Copy)]
+struct OpPrices {
     mult_us: f64,
     add_us: f64,
     rotate_us: f64,
     sum_slots_us: f64,
 }
 
-impl CostEstimator {
-    /// Builds the per-op price list for one context by running the
-    /// Table II microcode through the coprocessor cycle model once.
-    pub fn new(ctx: &FvContext) -> Self {
-        let cop = Coprocessor::default();
-        let mult_us = cop.run_mult(ctx).total_us;
-        let add_us = cop.run_add().total_us;
-        let rotate_us = cop.run_rotate(ctx).total_us;
-        let rotations = (ctx.params().n / 2).trailing_zeros() as f64 + 1.0;
-        CostEstimator {
-            mult_us,
-            add_us,
-            rotate_us,
-            sum_slots_us: rotations * (rotate_us + add_us),
-        }
-    }
-
-    /// Price of one op, µs.
-    pub fn op_us(&self, op: &EvalOp) -> f64 {
+impl OpPrices {
+    fn op_us(&self, op: &EvalOp) -> f64 {
         match op {
             EvalOp::Add(..) | EvalOp::Sub(..) | EvalOp::Neg(..) => self.add_us,
             EvalOp::Mul(..) => self.mult_us,
@@ -63,37 +77,150 @@ impl CostEstimator {
         }
     }
 
-    /// Price of a whole request, µs.
-    pub fn request_us(&self, req: &EvalRequest) -> f64 {
+    fn request_us(&self, req: &EvalRequest) -> f64 {
         req.ops.iter().map(|o| self.op_us(o)).sum()
     }
+}
 
-    /// The price of one `Mult`, µs (used to derive the aging weight).
+/// Prices a request in simulated coprocessor microseconds, on either
+/// datapath.
+#[derive(Debug, Clone)]
+pub struct CostEstimator {
+    hps: OpPrices,
+    trad: OpPrices,
+}
+
+impl CostEstimator {
+    /// Builds the per-op price lists for one context by running the
+    /// Table II microcode through both architectures' cycle models once.
+    ///
+    /// Both cycle models are instantiated at the *context's* ring degree
+    /// (the calibrated per-instruction overheads stay at their Table II
+    /// values): comparing a ctx-scaled traditional estimate against
+    /// n=4096-frozen HPS instruction prices would bias every dispatch
+    /// decision off the paper's shape.
+    pub fn new(ctx: &FvContext) -> Self {
+        let poly = hefv_sim::cost::CostModel {
+            n: ctx.params().n,
+            ..hefv_sim::cost::CostModel::default()
+        };
+        let cop = Coprocessor {
+            cost: poly,
+            ..Coprocessor::default()
+        };
+        let rotations = (ctx.params().n / 2).trailing_zeros() as f64 + 1.0;
+        let hps = {
+            let mult_us = cop.run_mult(ctx).total_us;
+            let add_us = cop.run_add().total_us;
+            let rotate_us = cop.run_rotate(ctx).total_us;
+            OpPrices {
+                mult_us,
+                add_us,
+                rotate_us,
+                sum_slots_us: rotations * (rotate_us + add_us),
+            }
+        };
+        let trad = {
+            let model = TradCostModel {
+                poly,
+                ..TradCostModel::default()
+            };
+            let dma = DmaModel::default();
+            let clocks = ClockConfig::non_hps();
+            let mult_us = trad_mult_us_for(ctx, &model, &dma, &clocks);
+            let add_us = trad_add_us(&model, &clocks);
+            let rotate_us = trad_rotate_us_for(ctx, &model, &dma, &clocks);
+            OpPrices {
+                mult_us,
+                add_us,
+                rotate_us,
+                sum_slots_us: rotations * (rotate_us + add_us),
+            }
+        };
+        CostEstimator { hps, trad }
+    }
+
+    fn prices(&self, backend: Backend) -> &OpPrices {
+        match backend {
+            Backend::Traditional => &self.trad,
+            _ => &self.hps,
+        }
+    }
+
+    /// Price of one op on the default (HPS) datapath, µs.
+    pub fn op_us(&self, op: &EvalOp) -> f64 {
+        self.hps.op_us(op)
+    }
+
+    /// Price of one op on a specific datapath, µs ([`Backend::Auto`]
+    /// prices as the cheaper of the two).
+    pub fn op_us_for(&self, op: &EvalOp, backend: Backend) -> f64 {
+        match backend {
+            Backend::Auto => self.trad.op_us(op).min(self.hps.op_us(op)),
+            b => self.prices(b).op_us(op),
+        }
+    }
+
+    /// Price of a whole request on the default (HPS) datapath, µs.
+    pub fn request_us(&self, req: &EvalRequest) -> f64 {
+        self.hps.request_us(req)
+    }
+
+    /// Price of a whole request on a specific datapath, µs
+    /// ([`Backend::Auto`] prices as [`CostEstimator::cheaper_backend`]).
+    pub fn request_us_for(&self, req: &EvalRequest, backend: Backend) -> f64 {
+        match backend {
+            Backend::Auto => self.cheaper_backend(req).1,
+            b => self.prices(b).request_us(req),
+        }
+    }
+
+    /// The concrete datapath that prices this request cheaper, with its
+    /// price. Ties go to HPS (the paper's default configuration).
+    pub fn cheaper_backend(&self, req: &EvalRequest) -> (Backend, f64) {
+        let hps = self.hps.request_us(req);
+        let trad = self.trad.request_us(req);
+        if trad < hps {
+            (Backend::Traditional, trad)
+        } else {
+            (Backend::default(), hps)
+        }
+    }
+
+    /// The price of one `Mult` on the HPS datapath, µs (used to derive the
+    /// aging weight).
     pub fn mult_us(&self) -> f64 {
-        self.mult_us
+        self.hps.mult_us
     }
 }
 
-/// A queued unit of work, ordered by aged cost.
-pub struct Scheduled<T> {
-    key: f64,
-    seq: u64,
-    /// The payload.
-    pub job: T,
+/// Per-job scheduling metadata handed to [`JobQueue::push_qos`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QosSpec {
+    /// The tenant whose fair-share account this job bills against.
+    pub tenant: TenantId,
+    /// Relative deadline on the virtual clock, µs from enqueue. `None`
+    /// jobs are scheduled purely by weighted aged cost.
+    pub deadline_us: Option<f64>,
 }
 
-impl<T> PartialEq for Scheduled<T> {
+/// Index-heap entry (lazily invalidated against the slab).
+struct Keyed {
+    key: f64,
+    seq: u64,
+}
+
+impl PartialEq for Keyed {
     fn eq(&self, other: &Self) -> bool {
         self.seq == other.seq
     }
 }
 
-impl<T> Eq for Scheduled<T> {}
+impl Eq for Keyed {}
 
-impl<T> Ord for Scheduled<T> {
+impl Ord for Keyed {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the smallest key pops first.
-        // Keys are finite by construction; ties break FIFO by seq.
+        // Min-heap over (key, seq) through a max BinaryHeap.
         other
             .key
             .partial_cmp(&self.key)
@@ -102,22 +229,59 @@ impl<T> Ord for Scheduled<T> {
     }
 }
 
-impl<T> PartialOrd for Scheduled<T> {
+impl PartialOrd for Keyed {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
+struct Entry<T> {
+    job: T,
+    tenant: TenantId,
+    cost_us: f64,
+}
+
+struct TenantState {
+    /// Stride pass: cumulative weighted service, µs.
+    pass_us: f64,
+    weight: f64,
+    /// Aged-cost order over this tenant's live jobs (lazily invalidated).
+    queued: BinaryHeap<Keyed>,
+    /// Live jobs (heap entries may be stale after an EDF steal).
+    live: usize,
+}
+
 struct QueueInner<T> {
-    heap: BinaryHeap<Scheduled<T>>,
+    slab: HashMap<u64, Entry<T>>,
+    /// Per-tenant scheduling state, present only while the tenant has
+    /// live jobs — so the stride scan on pop is O(backlogged tenants)
+    /// and tenant churn cannot grow the map without bound.
+    tenants: HashMap<TenantId, TenantState>,
+    /// Configured fair-share weights (operator-set, survives idleness).
+    weights: HashMap<TenantId, f64>,
+    /// Earliest-deadline index over deadline-carrying jobs (lazy).
+    edf: BinaryHeap<Keyed>,
+    /// Latest-feasible-start index (`deadline − cost`) over the same
+    /// jobs (lazy): the admission guard that keeps a long non-deadline
+    /// job from overshooting any deadline job's last start.
+    lst: BinaryHeap<Keyed>,
+    /// Virtual service clock: Σ cost of popped jobs, µs.
+    virtual_now_us: f64,
+    /// Pass of the most recently selected tenant (activation clamp).
+    vtime_us: f64,
     next_seq: u64,
     closed: bool,
 }
 
-/// Blocking multi-producer/multi-consumer priority queue, bounded for
+/// Blocking multi-producer/multi-consumer scheduling queue, bounded for
 /// backpressure: `push` blocks while the queue is at capacity, so
 /// producers slow to the workers' drain rate instead of growing the heap
 /// (and the inline ciphertexts it holds) without limit.
+///
+/// Ordering is the three-level policy described in the module docs:
+/// EDF-when-urgent over stride-weighted tenants over aged-cost SJF. The
+/// queue never reads a wall clock, so the pop order is a deterministic
+/// function of the push sequence.
 pub struct JobQueue<T> {
     inner: Mutex<QueueInner<T>>,
     available: Condvar,
@@ -133,7 +297,13 @@ impl<T> JobQueue<T> {
     pub fn new(aging_weight_us: f64, capacity: usize) -> Self {
         JobQueue {
             inner: Mutex::new(QueueInner {
-                heap: BinaryHeap::new(),
+                slab: HashMap::new(),
+                tenants: HashMap::new(),
+                weights: HashMap::new(),
+                edf: BinaryHeap::new(),
+                lst: BinaryHeap::new(),
+                virtual_now_us: 0.0,
+                vtime_us: 0.0,
                 next_seq: 0,
                 closed: false,
             }),
@@ -144,11 +314,36 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// Enqueues a job with its cost estimate, blocking while the queue is
-    /// full. Returns `false` (dropping the job) if the queue is closed.
-    pub fn push(&self, cost_us: f64, job: T) -> bool {
+    /// Sets a tenant's fair-share weight (default 1.0; clamped to a small
+    /// positive minimum). Takes effect for jobs served after the call.
+    pub fn set_weight(&self, tenant: TenantId, weight: f64) {
+        let weight = weight.max(1e-6);
         let mut inner = self.inner.lock().unwrap();
-        while inner.heap.len() >= self.capacity && !inner.closed {
+        inner.weights.insert(tenant, weight);
+        if let Some(state) = inner.tenants.get_mut(&tenant) {
+            state.weight = weight;
+        }
+    }
+
+    /// The virtual service clock: cumulative estimated cost of every job
+    /// popped so far, µs. Deadlines live on this axis.
+    pub fn virtual_now_us(&self) -> f64 {
+        self.inner.lock().unwrap().virtual_now_us
+    }
+
+    /// Enqueues a job with its cost estimate under tenant 0 with no
+    /// deadline, blocking while the queue is full. Returns `false`
+    /// (dropping the job) if the queue is closed.
+    pub fn push(&self, cost_us: f64, job: T) -> bool {
+        self.push_qos(cost_us, QosSpec::default(), job)
+    }
+
+    /// Enqueues a job with its cost estimate and scheduling metadata,
+    /// blocking while the queue is full. Returns `false` (dropping the
+    /// job) if the queue is closed.
+    pub fn push_qos(&self, cost_us: f64, qos: QosSpec, job: T) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.slab.len() >= self.capacity && !inner.closed {
             inner = self.not_full.wait(inner).unwrap();
         }
         if inner.closed {
@@ -156,22 +351,74 @@ impl<T> JobQueue<T> {
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        let key = seq as f64 * self.aging_weight_us + cost_us.max(0.0);
-        inner.heap.push(Scheduled { key, seq, job });
+        let cost_us = cost_us.max(0.0);
+        let key = seq as f64 * self.aging_weight_us + cost_us;
+        let deadline_us = qos
+            .deadline_us
+            .map(|rel| inner.virtual_now_us + rel.max(0.0));
+        let vtime = inner.vtime_us;
+        let weight = inner.weights.get(&qos.tenant).copied().unwrap_or(1.0);
+        let tenant = inner.tenants.entry(qos.tenant).or_insert_with(|| {
+            // A tenant (re-)activates at the current virtual service
+            // point: unused credit is forfeited, so a long-idle tenant
+            // cannot burst past everyone on a stale pass.
+            TenantState {
+                pass_us: vtime,
+                weight,
+                queued: BinaryHeap::new(),
+                live: 0,
+            }
+        });
+        tenant.queued.push(Keyed { key, seq });
+        tenant.live += 1;
+        if let Some(dl) = deadline_us {
+            inner.edf.push(Keyed { key: dl, seq });
+            inner.lst.push(Keyed {
+                key: dl - cost_us,
+                seq,
+            });
+        }
+        inner.slab.insert(
+            seq,
+            Entry {
+                job,
+                tenant: qos.tenant,
+                cost_us,
+            },
+        );
         drop(inner);
         self.available.notify_one();
         true
     }
 
-    /// Blocks until a job is available (returning the lowest aged-cost
-    /// job) or the queue is closed and drained (returning `None`).
+    /// Blocks until a job is available (returning the next job under the
+    /// EDF/stride/aged-cost policy) or the queue is closed and drained
+    /// (returning `None`).
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(s) = inner.heap.pop() {
+            if let Some(seq) = Self::select(&mut inner) {
+                let entry = inner.slab.remove(&seq).expect("selected seq is live");
+                let t = inner
+                    .tenants
+                    .get_mut(&entry.tenant)
+                    .expect("live job has a tenant");
+                t.live -= 1;
+                let pass = t.pass_us;
+                t.pass_us += entry.cost_us / t.weight;
+                let drained = t.live == 0;
+                inner.vtime_us = inner.vtime_us.max(pass);
+                inner.virtual_now_us += entry.cost_us;
+                if drained {
+                    // Idle tenants carry no state: the stride scan stays
+                    // O(backlogged tenants) and tenant churn cannot grow
+                    // the map. Forfeited pass is re-clamped on
+                    // re-activation anyway.
+                    inner.tenants.remove(&entry.tenant);
+                }
                 drop(inner);
                 self.not_full.notify_one();
-                return Some(s.job);
+                return Some(entry.job);
             }
             if inner.closed {
                 return None;
@@ -180,9 +427,86 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Picks the next job's seq, or `None` when empty. Caller holds the
+    /// lock and removes the returned seq from the slab.
+    fn select(inner: &mut QueueInner<T>) -> Option<u64> {
+        if inner.slab.is_empty() {
+            return None;
+        }
+        // The deadline guard's trigger: the earliest *latest feasible
+        // start* (`deadline − cost`) among live deadline jobs. Serving
+        // any job that would push the virtual clock past it risks a
+        // deadline that was still feasible, so the stride pick below is
+        // admitted only if it fits in that slack.
+        let min_lst = loop {
+            match inner.lst.peek() {
+                Some(top) if !inner.slab.contains_key(&top.seq) => {
+                    inner.lst.pop();
+                }
+                Some(top) => break Some(top.key),
+                None => break None,
+            }
+        };
+        // Level 1: deadline work is already at stake — serve deadline
+        // jobs earliest-deadline-first until the slack recovers.
+        if min_lst.is_some_and(|lst| lst <= inner.virtual_now_us) {
+            return Some(Self::pop_earliest_deadline(inner));
+        }
+        // Level 2: the backlogged tenant with the smallest stride pass
+        // (ties broken by tenant id for determinism).
+        let tenant = inner
+            .tenants
+            .iter()
+            .filter(|(_, t)| t.live > 0)
+            .min_by(|(ida, a), (idb, b)| {
+                a.pass_us
+                    .partial_cmp(&b.pass_us)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| ida.cmp(idb))
+            })
+            .map(|(id, _)| *id)?;
+        // Level 3: that tenant's lowest aged-cost job (skipping entries
+        // stolen earlier by the deadline guard).
+        let t = inner.tenants.get_mut(&tenant).expect("selected tenant");
+        let candidate = loop {
+            match t.queued.peek() {
+                Some(top) if !inner.slab.contains_key(&top.seq) => {
+                    t.queued.pop();
+                }
+                Some(top) => break top.seq,
+                None => unreachable!("tenant with live > 0 has a live heap entry"),
+            }
+        };
+        // Admission: running the candidate must not overshoot any
+        // deadline job's last feasible start; otherwise divert to EDF
+        // now, while the deadline is still makeable.
+        let cost = inner.slab[&candidate].cost_us;
+        if min_lst.is_some_and(|lst| inner.virtual_now_us + cost > lst) {
+            return Some(Self::pop_earliest_deadline(inner));
+        }
+        inner
+            .tenants
+            .get_mut(&tenant)
+            .expect("selected tenant")
+            .queued
+            .pop();
+        Some(candidate)
+    }
+
+    /// Pops the live job with the earliest deadline (the deadline guard's
+    /// serve order). Only called when the `lst` index proved one exists.
+    fn pop_earliest_deadline(inner: &mut QueueInner<T>) -> u64 {
+        while let Some(top) = inner.edf.pop() {
+            if inner.slab.contains_key(&top.seq) {
+                return top.seq;
+            }
+        }
+        unreachable!("lst index has a live entry, so edf does too");
+    }
+
     /// Jobs currently waiting.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().heap.len()
+        self.inner.lock().unwrap().slab.len()
     }
 
     /// Closes the queue: pending jobs still drain, new pushes are refused,
@@ -216,6 +540,36 @@ mod tests {
         assert!(mul > add, "Mult must cost more than Add");
         assert!(rot > add, "a rotation is a relinearization-shaped SoP");
         assert!(sum > rot, "slot-sum is log2(n) rotations");
+    }
+
+    #[test]
+    fn estimator_prices_flip_between_datapaths() {
+        use crate::request::ValRef;
+        let mul = EvalOp::Mul(ValRef::Input(0), ValRef::Input(1));
+        let rot = EvalOp::Rotate(ValRef::Input(0), 3);
+        // Rotations always favor the traditional datapath (3× smaller
+        // switching key, no lift/scale in the op at all).
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let est = CostEstimator::new(&ctx);
+        assert!(
+            est.op_us_for(&rot, Backend::Traditional) < est.op_us_for(&rot, Backend::default())
+        );
+        // At the paper's n = 4096, Mult favors HPS (§VI-C)…
+        assert!(
+            est.op_us_for(&mul, Backend::Traditional) > est.op_us_for(&mul, Backend::default())
+        );
+        // …while small rings flip it: the long-integer lift finishes fast.
+        let toy = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let est = CostEstimator::new(&toy);
+        assert!(
+            est.op_us_for(&mul, Backend::Traditional) < est.op_us_for(&mul, Backend::default())
+        );
+        // Auto is never worse than either concrete datapath.
+        for op in [mul, rot] {
+            let auto = est.op_us_for(&op, Backend::Auto);
+            assert!(auto <= est.op_us_for(&op, Backend::Traditional) + 1e-9);
+            assert!(auto <= est.op_us_for(&op, Backend::default()) + 1e-9);
+        }
     }
 
     #[test]
@@ -304,5 +658,70 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q2.close();
         assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn weights_bias_service_toward_heavier_tenants() {
+        let q = JobQueue::new(1e-9, 1024); // negligible aging: pure shares
+        q.set_weight(1, 1.0);
+        q.set_weight(2, 3.0);
+        for i in 0..40 {
+            q.push_qos(
+                10.0,
+                QosSpec {
+                    tenant: 1 + i % 2,
+                    deadline_us: None,
+                },
+                1 + i % 2,
+            );
+        }
+        // While both tenants are backlogged, the first 8 services split
+        // 3:1 in favor of tenant 2.
+        let first: Vec<u64> = (0..8).map(|_| q.pop().unwrap()).collect();
+        let t2 = first.iter().filter(|&&t| t == 2).count();
+        assert_eq!(t2, 6, "weight-3 tenant gets 3/4 of service: {first:?}");
+    }
+
+    #[test]
+    fn urgent_deadlines_preempt_cost_order() {
+        let q = JobQueue::new(1e-9, 64);
+        // A deadline job that must start immediately (deadline == cost).
+        q.push_qos(
+            100.0,
+            QosSpec {
+                tenant: 1,
+                deadline_us: Some(100.0),
+            },
+            -1i64,
+        );
+        for i in 0..5 {
+            q.push(1.0, i); // cheaper, would otherwise all run first
+        }
+        assert_eq!(q.pop(), Some(-1), "urgent deadline preempts SJF");
+        // A deadline with plenty of slack does NOT preempt.
+        let q = JobQueue::new(1e-9, 64);
+        q.push_qos(
+            100.0,
+            QosSpec {
+                tenant: 1,
+                deadline_us: Some(1_000_000.0),
+            },
+            -1i64,
+        );
+        q.push(1.0, 7i64);
+        assert_eq!(q.pop(), Some(7), "slack deadline defers to SJF");
+        assert_eq!(q.pop(), Some(-1));
+    }
+
+    #[test]
+    fn virtual_clock_advances_by_served_cost() {
+        let q = JobQueue::new(1.0, 64);
+        q.push(25.0, 1u32);
+        q.push(75.0, 2);
+        assert_eq!(q.virtual_now_us(), 0.0);
+        q.pop();
+        assert!((q.virtual_now_us() - 25.0).abs() < 1e-9);
+        q.pop();
+        assert!((q.virtual_now_us() - 100.0).abs() < 1e-9);
     }
 }

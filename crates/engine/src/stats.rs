@@ -53,6 +53,8 @@ pub struct EngineStats {
     noise_bits_milli: AtomicU64,
     batches_formed: AtomicU64,
     batched_requests: AtomicU64,
+    jobs_traditional: AtomicU64,
+    jobs_hps: AtomicU64,
 }
 
 impl EngineStats {
@@ -97,6 +99,19 @@ impl EngineStats {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// A job was dispatched onto a concrete Lift/Scale datapath (for
+    /// `Backend::Auto` engines this is the cost model's per-job choice).
+    pub fn on_backend(&self, backend: hefv_core::eval::Backend) {
+        match backend.resolve() {
+            hefv_core::eval::Backend::Traditional => {
+                self.jobs_traditional.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.jobs_hps.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// A scalar batch of `size` requests was coalesced into one job.
     pub fn on_batch(&self, size: usize) {
         self.batches_formed.fetch_add(1, Ordering::Relaxed);
@@ -132,6 +147,8 @@ impl EngineStats {
             noise_bits_consumed: self.noise_bits_milli.load(Ordering::Relaxed) as f64 / 1000.0,
             batches_formed: self.batches_formed.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            jobs_traditional: self.jobs_traditional.load(Ordering::Relaxed),
+            jobs_hps: self.jobs_hps.load(Ordering::Relaxed),
         }
     }
 }
@@ -185,6 +202,36 @@ pub struct StatsSnapshot {
     pub batches_formed: u64,
     /// Scalar requests inside those batches.
     pub batched_requests: u64,
+    /// Jobs executed on the traditional-CRT Lift/Scale datapath.
+    pub jobs_traditional: u64,
+    /// Jobs executed on the HPS Lift/Scale datapath.
+    pub jobs_hps: u64,
+}
+
+impl StatsSnapshot {
+    /// Folds another snapshot into this one (the shard router aggregates
+    /// its shards' engines this way): counts and totals add, per-op maxima
+    /// take the max.
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        for (mine, theirs) in self.per_op.iter_mut().zip(&other.per_op) {
+            debug_assert_eq!(mine.name, theirs.name, "OP_KINDS order is fixed");
+            mine.count += theirs.count;
+            mine.total_ns += theirs.total_ns;
+            mine.max_ns = mine.max_ns.max(theirs.max_ns);
+        }
+        self.jobs_submitted += other.jobs_submitted;
+        self.jobs_completed += other.jobs_completed;
+        self.jobs_failed += other.jobs_failed;
+        self.queue_depth += other.queue_depth;
+        self.queue_wait_ns += other.queue_wait_ns;
+        self.exec_ns += other.exec_ns;
+        self.sim_cost_us += other.sim_cost_us;
+        self.noise_bits_consumed += other.noise_bits_consumed;
+        self.batches_formed += other.batches_formed;
+        self.batched_requests += other.batched_requests;
+        self.jobs_traditional += other.jobs_traditional;
+        self.jobs_hps += other.jobs_hps;
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -205,6 +252,11 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "noise: {:.1} bits consumed; batching: {} requests in {} batches",
             self.noise_bits_consumed, self.batched_requests, self.batches_formed
+        )?;
+        writeln!(
+            f,
+            "datapath: {} jobs HPS, {} jobs traditional",
+            self.jobs_hps, self.jobs_traditional
         )?;
         for op in self.per_op.iter().filter(|o| o.count > 0) {
             writeln!(

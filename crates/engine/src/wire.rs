@@ -3,15 +3,18 @@
 //! `hefv_core::wire` fixes how one ciphertext crosses an interface (the
 //! paper's §V-D DMA layout); this module frames whole [`EvalRequest`]s and
 //! [`EvalResponse`]s around it so requests can arrive serialized from
-//! remote clients. Layout (all little-endian):
+//! remote clients — and, since v2, so a [`crate::router::ShardRouter`]
+//! front-end can route frames to engine shards without decoding the
+//! payload. Layout (all little-endian):
 //!
 //! ```text
-//! request  := "HEVQ" u32 | version u16 | reserved u16 | tenant u64
-//!           | n_inputs u16 | n_plaintexts u16 | n_ops u16 | reserved u16
+//! request  := "HEVQ" u32 | version=2 u16 | flags u16 | tenant u64
+//!           | shard u16 | n_inputs u16 | n_plaintexts u16 | n_ops u16
+//!           | deadline_us f64            (only when flags bit 0 is set)
 //!           | inputs…(len u32, core-wire ciphertext)
 //!           | plaintexts…(n_coeffs u32, coeffs u64…)
 //!           | ops…(opcode u8, a_tag u8, a_idx u32, b_tag u8, b_idx u32)
-//! response := "HEVP" u32 | version u16 | status u8 | reserved u8
+//! response := "HEVP" u32 | version=2 u16 | status u8 | shard u8
 //!           | job_id u64
 //!           | ok:  worker u32 | queue_ns u64 | exec_ns u64
 //!                | est_cost_us f64 | noise_bits f64
@@ -19,8 +22,14 @@
 //!           | err: len u32 | utf-8 message
 //! ```
 //!
-//! Decoding is strict: unknown magic/version/opcodes, truncation, trailing
-//! bytes, or counts that disagree with the payload are all rejected with
+//! `shard` names the target engine shard; [`NO_SHARD`] (`0xFFFF`) asks the
+//! router to place the request by consistent-hashing its tenant id.
+//! [`peek_shard`] and [`peek_response_shard`] read it without touching the
+//! payload, so a TCP front-end can route each frame in O(header).
+//!
+//! Decoding is strict: unknown magic/version/flags/opcodes, truncation,
+//! trailing bytes, frames beyond [`MAX_FRAME_BYTES`], or counts that
+//! disagree with the payload are all rejected with
 //! [`hefv_core::Error::Wire`] (wrapped in [`EngineError::Core`]), and the
 //! embedded ciphertexts go through `hefv_core::wire`'s C-VALIDATE checks
 //! against the receiving context.
@@ -34,7 +43,18 @@ use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
 
 const REQ_MAGIC: u32 = 0x4845_5651; // "HEVQ"
 const RESP_MAGIC: u32 = 0x4845_5650; // "HEVP"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// Flag bit: the header carries a relative virtual-clock deadline.
+const FLAG_DEADLINE: u16 = 1;
+
+/// Shard value meaning "unrouted — place by tenant hash".
+pub const NO_SHARD: u16 = 0xFFFF;
+
+/// Hard ceiling on an accepted frame (64 MiB — an order of magnitude above
+/// the largest legitimate request at the paper's parameters). Oversized
+/// frames are rejected before any allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// A decoded response frame: the remote outcome of a job.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +173,13 @@ fn read_ref(c: &mut Cursor) -> Result<ValRef, EngineError> {
 ///
 /// [`MAX_REQUEST_NODES`]: crate::request::MAX_REQUEST_NODES
 pub fn encode_request(req: &EvalRequest) -> Vec<u8> {
+    encode_request_for_shard(req, NO_SHARD)
+}
+
+/// Serializes a request addressed to a specific engine shard (see
+/// [`encode_request`] for the panic conditions). `shard` [`NO_SHARD`]
+/// leaves placement to the router's consistent hash.
+pub fn encode_request_for_shard(req: &EvalRequest, shard: u16) -> Vec<u8> {
     for (what, len) in [
         ("inputs", req.inputs.len()),
         ("plaintexts", req.plaintexts.len()),
@@ -167,12 +194,20 @@ pub fn encode_request(req: &EvalRequest) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, REQ_MAGIC);
     put_u16(&mut out, VERSION);
-    put_u16(&mut out, 0);
+    let flags = if req.deadline_us.is_some() {
+        FLAG_DEADLINE
+    } else {
+        0
+    };
+    put_u16(&mut out, flags);
     put_u64(&mut out, req.tenant);
+    put_u16(&mut out, shard);
     put_u16(&mut out, req.inputs.len() as u16);
     put_u16(&mut out, req.plaintexts.len() as u16);
     put_u16(&mut out, req.ops.len() as u16);
-    put_u16(&mut out, 0);
+    if let Some(d) = req.deadline_us {
+        put_u64(&mut out, d.to_bits());
+    }
     for ct in &req.inputs {
         let bytes = encode_ciphertext(ct);
         put_u32(&mut out, bytes.len() as u32);
@@ -238,6 +273,12 @@ pub fn encode_request(req: &EvalRequest) -> Vec<u8> {
 /// [`EngineError::Validation`] when the frame parses but the graph is
 /// invalid.
 pub fn decode_request(ctx: &FvContext, bytes: &[u8]) -> Result<EvalRequest, EngineError> {
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(wire_err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            bytes.len()
+        )));
+    }
     let mut c = Cursor { bytes, off: 0 };
     if c.u32()? != REQ_MAGIC {
         return Err(wire_err("bad request magic"));
@@ -245,12 +286,24 @@ pub fn decode_request(ctx: &FvContext, bytes: &[u8]) -> Result<EvalRequest, Engi
     if c.u16()? != VERSION {
         return Err(wire_err("unsupported request version"));
     }
-    c.u16()?;
+    let flags = c.u16()?;
+    if flags & !FLAG_DEADLINE != 0 {
+        return Err(wire_err(format!("unknown request flags {flags:#06x}")));
+    }
     let tenant = c.u64()?;
+    c.u16()?; // shard routing hint: opaque to the decoder (see peek_shard)
     let n_inputs = c.u16()? as usize;
     let n_plain = c.u16()? as usize;
     let n_ops = c.u16()? as usize;
-    c.u16()?;
+    let deadline_us = if flags & FLAG_DEADLINE != 0 {
+        let d = f64::from_bits(c.u64()?);
+        if !d.is_finite() || d < 0.0 {
+            return Err(wire_err(format!("bad deadline {d} in request header")));
+        }
+        Some(d)
+    } else {
+        None
+    };
 
     let mut inputs = Vec::with_capacity(n_inputs.min(1024));
     for _ in 0..n_inputs {
@@ -310,20 +363,70 @@ pub fn decode_request(ctx: &FvContext, bytes: &[u8]) -> Result<EvalRequest, Engi
         inputs,
         plaintexts,
         ops,
+        deadline_us,
     };
     req.validate(ctx)?;
     Ok(req)
 }
 
-/// Serializes a job outcome.
+/// Reads a request frame's shard address from the header alone (no
+/// payload work): `Ok(None)` when the frame is unrouted ([`NO_SHARD`]) and
+/// placement is the router's call.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the header is not a
+/// well-formed v2 request header.
+pub fn peek_shard(bytes: &[u8]) -> Result<Option<u16>, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != REQ_MAGIC {
+        return Err(wire_err("bad request magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported request version"));
+    }
+    c.u16()?; // flags
+    c.u64()?; // tenant
+    let shard = c.u16()?;
+    Ok((shard != NO_SHARD).then_some(shard))
+}
+
+/// Reads a request frame's tenant id from the header alone.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the header is not a
+/// well-formed v2 request header.
+pub fn peek_tenant(bytes: &[u8]) -> Result<u64, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != REQ_MAGIC {
+        return Err(wire_err("bad request magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported request version"));
+    }
+    c.u16()?; // flags
+    c.u64()
+}
+
+/// Serializes a job outcome (shard 0; routers use
+/// [`encode_response_from_shard`]).
 pub fn encode_response(outcome: &Result<EvalResponse, (u64, EngineError)>) -> Vec<u8> {
+    encode_response_from_shard(outcome, 0)
+}
+
+/// Serializes a job outcome stamped with the shard that produced it.
+pub fn encode_response_from_shard(
+    outcome: &Result<EvalResponse, (u64, EngineError)>,
+    shard: u8,
+) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, RESP_MAGIC);
     put_u16(&mut out, VERSION);
     match outcome {
         Ok(resp) => {
             out.push(0);
-            out.push(0);
+            out.push(shard);
             put_u64(&mut out, resp.job_id);
             put_u32(&mut out, resp.report.worker);
             put_u64(&mut out, resp.report.queue_ns);
@@ -336,7 +439,7 @@ pub fn encode_response(outcome: &Result<EvalResponse, (u64, EngineError)>) -> Ve
         }
         Err((job_id, e)) => {
             out.push(1);
-            out.push(0);
+            out.push(shard);
             put_u64(&mut out, *job_id);
             let msg = e.to_string();
             put_u32(&mut out, msg.len() as u32);
@@ -352,6 +455,12 @@ pub fn encode_response(outcome: &Result<EvalResponse, (u64, EngineError)>) -> Ve
 ///
 /// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames.
 pub fn decode_response(ctx: &FvContext, bytes: &[u8]) -> Result<ResponseFrame, EngineError> {
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(wire_err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            bytes.len()
+        )));
+    }
     let mut c = Cursor { bytes, off: 0 };
     if c.u32()? != RESP_MAGIC {
         return Err(wire_err("bad response magic"));
@@ -360,7 +469,7 @@ pub fn decode_response(ctx: &FvContext, bytes: &[u8]) -> Result<ResponseFrame, E
         return Err(wire_err("unsupported response version"));
     }
     let status = c.u8()?;
-    c.u8()?;
+    c.u8()?; // producing shard: opaque here (see peek_response_shard)
     let job_id = c.u64()?;
     match status {
         0 => {
@@ -400,4 +509,22 @@ pub fn decode_response(ctx: &FvContext, bytes: &[u8]) -> Result<ResponseFrame, E
         }
         s => Err(wire_err(format!("bad response status {s}"))),
     }
+}
+
+/// Reads the shard that produced a response frame from the header alone.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the header is not a
+/// well-formed v2 response header.
+pub fn peek_response_shard(bytes: &[u8]) -> Result<u8, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != RESP_MAGIC {
+        return Err(wire_err("bad response magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported response version"));
+    }
+    c.u8()?; // status
+    c.u8()
 }

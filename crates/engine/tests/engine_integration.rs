@@ -147,6 +147,7 @@ fn galois_ops_run_through_the_engine() {
         inputs: vec![ct],
         plaintexts: vec![],
         ops: vec![EvalOp::SumSlots(ValRef::Input(0))],
+        deadline_us: None,
     };
     let resp = engine.call(req).unwrap();
     let sum: u64 = vals.iter().sum::<u64>() % ctx.params().t;

@@ -1,0 +1,343 @@
+//! Router-level integration tests: the `Backend::Auto` acceptance
+//! criterion (a mixed workload beats either fixed datapath on total
+//! estimated cost), consistent-hash placement stability under shard
+//! add/remove, the batch linger timer, and shard-addressed frame dispatch.
+
+use hefv_core::eval::Backend;
+use hefv_core::galois::GaloisKeySet;
+use hefv_core::params::FvParams;
+use hefv_core::prelude::*;
+use hefv_engine::prelude::*;
+use hefv_engine::router::ShardSpec;
+use hefv_engine::sched::CostEstimator;
+use hefv_engine::wire;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A ring big enough that the HPS constant-latency `Lift`/`Scale` beats
+/// the traditional long-integer cores on `Mult` (the flip happens around
+/// n ≈ 1k), while the key switch still favors the traditional datapath's
+/// 3× smaller switching key — so an op mix genuinely splits between the
+/// two architectures. *Not secure* — testing only.
+fn flip_params() -> FvParams {
+    let ps = hefv_math::primes::ntt_primes(30, 1024, 7).expect("7 NTT primes for n=1024");
+    FvParams {
+        name: "router-flip".into(),
+        n: 1024,
+        q_primes: ps[..3].to_vec(),
+        p_primes: ps[3..].to_vec(),
+        t: 2,
+        sigma: 3.2,
+    }
+}
+
+fn toy_router(n_shards: usize) -> ShardRouter {
+    let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+    let router = ShardRouter::new();
+    for i in 0..n_shards {
+        router
+            .add_shard(ShardSpec {
+                name: format!("s{i}"),
+                ctx: Arc::clone(&ctx),
+                config: EngineConfig {
+                    workers: 1,
+                    ..EngineConfig::default()
+                },
+            })
+            .unwrap();
+    }
+    router
+}
+
+/// The acceptance criterion: with `Backend::Auto`, a fixed-seed mixed
+/// Traditional/HPS-favoring workload completes with strictly lower total
+/// estimated cost than the same workload on either single-backend engine,
+/// and both datapaths actually ran jobs.
+#[test]
+fn auto_dispatch_beats_both_single_backend_fleets() {
+    let ctx = Arc::new(FvContext::new(flip_params()).unwrap());
+    let est = CostEstimator::new(&ctx);
+    let mut rng = StdRng::seed_from_u64(0x2019_1024);
+
+    // Precondition (pinned by crates/sim tests too): at this n, Mult
+    // favors HPS and the key switch favors Traditional. If the cost model
+    // changes shape, fail here with a clear message instead of deep in
+    // the totals.
+    let mul_op = EvalOp::Mul(ValRef::Input(0), ValRef::Input(1));
+    let rot_op = EvalOp::Rotate(ValRef::Input(0), 3);
+    assert!(
+        est.op_us_for(&mul_op, Backend::Traditional) > est.op_us_for(&mul_op, Backend::default()),
+        "Mult must favor HPS at n=1024"
+    );
+    assert!(
+        est.op_us_for(&rot_op, Backend::Traditional) < est.op_us_for(&rot_op, Backend::default()),
+        "Rotate must favor Traditional"
+    );
+
+    let router = ShardRouter::new();
+    for name in ["auto-0", "auto-1"] {
+        router
+            .add_shard(ShardSpec {
+                name: name.into(),
+                ctx: Arc::clone(&ctx),
+                config: EngineConfig {
+                    workers: 1,
+                    threads_per_job: 1,
+                    backend: Backend::Auto,
+                    ..EngineConfig::default()
+                },
+            })
+            .unwrap();
+    }
+
+    let t = ctx.params().t;
+    let n = ctx.params().n;
+    let mut requests = Vec::new();
+    let mut tenants = Vec::new();
+    for id in 1..=2u64 {
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        let galois = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);
+        router
+            .register_tenant(id, TenantKeys::full(pk.clone(), rlk, galois))
+            .unwrap();
+        let ct = encrypt(&ctx, &pk, &Plaintext::new(vec![1, 1], t, n), &mut rng);
+        // HPS-favoring: a plain product.
+        requests.push(EvalRequest::binary(id, EvalOp::Mul, ct.clone(), ct.clone()));
+        // Traditional-favoring: a key-switch chain.
+        requests.push(EvalRequest {
+            tenant: id,
+            inputs: vec![ct],
+            plaintexts: vec![],
+            ops: vec![
+                EvalOp::Rotate(ValRef::Input(0), 3),
+                EvalOp::Rotate(ValRef::Op(0), 3),
+            ],
+            deadline_us: None,
+        });
+        tenants.push((id, sk));
+    }
+
+    // Price the whole workload on each fixed datapath up front.
+    let total_hps: f64 = requests
+        .iter()
+        .map(|r| est.request_us_for(r, Backend::default()))
+        .sum();
+    let total_trad: f64 = requests
+        .iter()
+        .map(|r| est.request_us_for(r, Backend::Traditional))
+        .sum();
+
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| router.submit(r.clone()).unwrap())
+        .collect();
+    let mut responses = Vec::new();
+    for h in handles {
+        responses.push(h.wait().unwrap());
+    }
+    // The products decrypt correctly ((1+x)² = 1+2x+x², t=2 → 1+x²).
+    let (id, sk) = &tenants[0];
+    let prod = decrypt(&ctx, sk, &responses[0].result);
+    assert_eq!(prod.coeffs()[..3], [1, 0, 1], "tenant {id} product");
+
+    let total_auto = router.stats().total;
+    assert_eq!(total_auto.jobs_completed, requests.len() as u64);
+    assert!(
+        total_auto.jobs_traditional > 0 && total_auto.jobs_hps > 0,
+        "mixed workload must use both datapaths: {} traditional, {} hps",
+        total_auto.jobs_traditional,
+        total_auto.jobs_hps
+    );
+    let auto_cost = total_auto.sim_cost_us;
+    assert!(
+        auto_cost < total_hps - 1.0 && auto_cost < total_trad - 1.0,
+        "auto {auto_cost:.1} µs must beat hps {total_hps:.1} and traditional {total_trad:.1}"
+    );
+    // Determinism: the dispatch decision is a pure function of the
+    // request, so re-pricing yields the same split.
+    let recomputed: f64 = requests
+        .iter()
+        .map(|r| est.request_us_for(r, Backend::Auto))
+        .sum();
+    assert!(
+        (recomputed - auto_cost).abs() < 0.1,
+        "served cost {auto_cost:.3} vs re-priced {recomputed:.3}"
+    );
+    router.shutdown();
+}
+
+#[test]
+fn consistent_hash_placement_is_stable_under_shard_changes() {
+    let router = toy_router(3);
+    let tenants: Vec<u64> = (0..300).collect();
+    let before: Vec<ShardId> = tenants
+        .iter()
+        .map(|&t| router.shard_for(t).unwrap())
+        .collect();
+
+    // Adding a shard remaps only the tenants that now land on it.
+    let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+    let new_shard = router
+        .add_shard(ShardSpec {
+            name: "s3".into(),
+            ctx,
+            config: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        })
+        .unwrap();
+    let mut moved = 0usize;
+    for (tenant, &old) in tenants.iter().zip(&before) {
+        let now = router.shard_for(*tenant).unwrap();
+        if now != old {
+            assert_eq!(
+                now, new_shard,
+                "tenant {tenant} moved {old}->{now}, not to the new shard"
+            );
+            moved += 1;
+        }
+    }
+    assert!(moved > 0, "a new shard must take over some tenants");
+    assert!(
+        moved < tenants.len() / 2,
+        "only the new shard's arc may remap: {moved}/300 moved"
+    );
+
+    // Removing it restores the original placement exactly.
+    assert!(router.remove_shard(new_shard));
+    let after: Vec<ShardId> = tenants
+        .iter()
+        .map(|&t| router.shard_for(t).unwrap())
+        .collect();
+    assert_eq!(after, before, "removal must restore the previous ring");
+    router.shutdown();
+}
+
+#[test]
+fn partial_batches_drain_within_the_linger_latency() {
+    // SIMD-friendly medium params; a batch of up to 8 with a 40 ms linger.
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681;
+    let t = params.t;
+    let ctx = Arc::new(FvContext::new(params).unwrap());
+    let router = ShardRouter::new();
+    router
+        .add_shard(ShardSpec {
+            name: "batched".into(),
+            ctx: Arc::clone(&ctx),
+            config: EngineConfig {
+                workers: 1,
+                max_batch: 8,
+                batch_linger: Some(Duration::from_millis(40)),
+                ..EngineConfig::default()
+            },
+        })
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    router
+        .register_tenant(1, TenantKeys::compute(pk, rlk))
+        .unwrap();
+
+    // Three scalar requests: far from filling the batch of 8, and nobody
+    // ever calls flush_batches() — the linger timer must dispatch them.
+    let started = Instant::now();
+    let tickets: Vec<_> = (0..3u64)
+        .map(|i| {
+            router
+                .submit_scalar(ScalarRequest {
+                    tenant: 1,
+                    op: ScalarOp::Mul,
+                    lhs: 10 + i,
+                    rhs: 20 + i,
+                })
+                .unwrap()
+        })
+        .collect();
+    let encoder = hefv_core::encoder::BatchEncoder::new(t, ctx.params().n).unwrap();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let r = ticket.wait().expect("linger timer dispatches the batch");
+        let i = i as u64;
+        assert_eq!(r.batch_size, 3, "all three coalesced into one job");
+        let slots = encoder.decode(&decrypt(&ctx, &sk, &r.packed));
+        assert_eq!(slots[r.slot], (10 + i) * (20 + i) % t);
+    }
+    let waited = started.elapsed();
+    assert!(
+        waited >= Duration::from_millis(20),
+        "a partial batch should linger briefly, not dispatch instantly: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "linger drain took {waited:?}, timer looks dead"
+    );
+    let stats = router.stats().total;
+    assert_eq!(stats.batches_formed, 1);
+    assert_eq!(stats.batched_requests, 3);
+    router.shutdown();
+}
+
+#[test]
+fn frames_route_by_shard_address_and_tenant_hash() {
+    let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+    let router = ShardRouter::new();
+    for name in ["w0", "w1"] {
+        router
+            .add_shard(ShardSpec {
+                name: name.into(),
+                ctx: Arc::clone(&ctx),
+                config: EngineConfig {
+                    workers: 1,
+                    ..EngineConfig::default()
+                },
+            })
+            .unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(0xF4A3);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let tenant = 11u64;
+    let home = router
+        .register_tenant(tenant, TenantKeys::compute(pk.clone(), rlk))
+        .unwrap();
+
+    let t = ctx.params().t;
+    let n = ctx.params().n;
+    let enc = |v, rng: &mut StdRng| encrypt(&ctx, &pk, &Plaintext::new(vec![v], t, n), rng);
+    let req = EvalRequest::binary(tenant, EvalOp::Add, enc(2, &mut rng), enc(5, &mut rng));
+
+    // Unrouted frame: placed by tenant hash, response stamped with the
+    // producing shard.
+    let reply = router.dispatch_frame(&wire::encode_request(&req));
+    assert_eq!(wire::peek_response_shard(&reply).unwrap(), home as u8);
+    match wire::decode_response(&ctx, &reply).unwrap() {
+        wire::ResponseFrame::Ok(resp) => {
+            assert_eq!(decrypt(&ctx, &sk, &resp.result).coeffs()[0], 7);
+        }
+        wire::ResponseFrame::Err { message, .. } => panic!("dispatch failed: {message}"),
+    }
+
+    // Explicitly addressing the *other* shard is honored — and fails,
+    // because the tenant's keys live on its home shard only.
+    let other = 1 - home;
+    let reply = router.dispatch_frame(&wire::encode_request_for_shard(&req, other));
+    match wire::decode_response(&ctx, &reply).unwrap() {
+        wire::ResponseFrame::Err { message, .. } => {
+            assert!(message.contains("unknown tenant"), "{message}");
+        }
+        wire::ResponseFrame::Ok(_) => panic!("foreign shard must not hold the tenant's keys"),
+    }
+
+    // A frame addressed to a nonexistent shard is a transport error.
+    let reply = router.dispatch_frame(&wire::encode_request_for_shard(&req, 200));
+    match wire::decode_response(&ctx, &reply).unwrap() {
+        wire::ResponseFrame::Err { job_id, message } => {
+            assert_eq!(job_id, u64::MAX);
+            assert!(message.contains("unknown shard"), "{message}");
+        }
+        wire::ResponseFrame::Ok(_) => panic!("unknown shard must not serve"),
+    }
+    router.shutdown();
+}

@@ -1,8 +1,13 @@
-//! Property tests of the engine's request/response wire framing.
+//! Property tests of the engine's request/response wire framing: v2
+//! roundtrips (including shard addresses and deadlines), and strict
+//! rejection — truncated, corrupted, trailing-garbage and oversized frames
+//! all come back as `Error::Wire`, never a panic.
 
 use hefv_core::prelude::*;
 use hefv_engine::wire::{
-    decode_request, decode_response, encode_request, encode_response, ResponseFrame,
+    decode_request, decode_response, encode_request, encode_request_for_shard, encode_response,
+    encode_response_from_shard, peek_response_shard, peek_shard, peek_tenant, ResponseFrame,
+    MAX_FRAME_BYTES, NO_SHARD,
 };
 use hefv_engine::{EngineError, EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
 use proptest::prelude::*;
@@ -26,8 +31,13 @@ fn fix() -> &'static Fix {
     })
 }
 
+fn is_wire_err(e: &EngineError) -> bool {
+    matches!(e, EngineError::Core(hefv_core::Error::Wire(_)))
+}
+
 /// Builds a structurally valid random request: every op references only
-/// earlier values, plaintext/rotation indices stay in range.
+/// earlier values, plaintext/rotation indices stay in range; one request
+/// in three carries a deadline.
 fn random_request(seed: u64, n_inputs: usize, n_plain: usize, n_ops: usize) -> EvalRequest {
     let f = fix();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -67,11 +77,13 @@ fn random_request(seed: u64, n_inputs: usize, n_plain: usize, n_ops: usize) -> E
         };
         ops.push(op);
     }
+    let deadline_us = (seed.is_multiple_of(3)).then(|| (seed % 100_000) as f64 / 3.0);
     EvalRequest {
         tenant: rng.gen_range(0..u64::MAX),
         inputs,
         plaintexts,
         ops,
+        deadline_us,
     }
 }
 
@@ -92,9 +104,26 @@ proptest! {
     }
 
     #[test]
+    fn shard_address_roundtrips_without_touching_the_payload(seed in any::<u64>(), shard in 0u16..0xFFFF) {
+        let f = fix();
+        let req = random_request(seed, 1, 0, 1);
+        prop_assume!(req.validate(&f.ctx).is_ok());
+        let routed = encode_request_for_shard(&req, shard);
+        prop_assert_eq!(peek_shard(&routed).unwrap(), Some(shard));
+        prop_assert_eq!(peek_tenant(&routed).unwrap(), req.tenant);
+        // The shard address is transport metadata: the decoded request is
+        // identical however the frame was addressed.
+        prop_assert_eq!(decode_request(&f.ctx, &routed).unwrap(), req);
+        let unrouted = encode_request(&req);
+        prop_assert_eq!(peek_shard(&unrouted).unwrap(), None);
+    }
+
+    #[test]
     fn request_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
         let f = fix();
-        let _ = decode_request(&f.ctx, &bytes);
+        if let Err(e) = decode_request(&f.ctx, &bytes) {
+            prop_assert!(is_wire_err(&e) || matches!(e, EngineError::Validation(_)));
+        }
     }
 
     #[test]
@@ -104,17 +133,30 @@ proptest! {
         prop_assume!(req.validate(&f.ctx).is_ok());
         let bytes = encode_request(&req);
         let cut = cut.min(bytes.len() - 1);
-        prop_assert!(decode_request(&f.ctx, &bytes[..bytes.len() - cut]).is_err());
+        let e = decode_request(&f.ctx, &bytes[..bytes.len() - cut]).unwrap_err();
+        prop_assert!(is_wire_err(&e), "truncation must be Error::Wire, got {e}");
     }
 
     #[test]
-    fn request_rejects_bit_flips_in_header(seed in any::<u64>(), byte in 0usize..16, bit in 0u8..8) {
+    fn request_rejects_trailing_garbage(seed in any::<u64>(), extra in prop::collection::vec(any::<u8>(), 1..32)) {
+        let f = fix();
+        let req = random_request(seed, 1, 0, 2);
+        prop_assume!(req.validate(&f.ctx).is_ok());
+        let mut bytes = encode_request(&req);
+        bytes.extend_from_slice(&extra);
+        let e = decode_request(&f.ctx, &bytes).unwrap_err();
+        prop_assert!(is_wire_err(&e), "trailing bytes must be Error::Wire, got {e}");
+    }
+
+    #[test]
+    fn request_rejects_bit_flips_in_header(seed in any::<u64>(), byte in 0usize..24, bit in 0u8..8) {
         let f = fix();
         let req = random_request(seed, 1, 0, 1);
         prop_assume!(req.validate(&f.ctx).is_ok());
-        // Bytes 6..8 are reserved padding; flips there are ignored by
-        // design. Everything else must either fail or change the request.
-        prop_assume!(!(6..8).contains(&byte));
+        // Bytes 16..18 are the shard routing hint, transport metadata the
+        // request decoder ignores by design. Everything else must either
+        // fail or change the request.
+        prop_assume!(!(16..18).contains(&byte));
         let mut bytes = encode_request(&req);
         bytes[byte] ^= 1 << bit;
         // Tenant-id bytes (8..16) are opaque, so flips there still
@@ -125,7 +167,7 @@ proptest! {
     }
 
     #[test]
-    fn ok_response_roundtrips(seed in any::<u64>(), worker in any::<u32>(), qn in any::<u64>(), en in any::<u64>()) {
+    fn ok_response_roundtrips(seed in any::<u64>(), worker in any::<u32>(), qn in any::<u64>(), en in any::<u64>(), shard in any::<u8>()) {
         let f = fix();
         let req = random_request(seed, 1, 0, 1);
         let resp = EvalResponse {
@@ -139,7 +181,8 @@ proptest! {
                 noise_bits_consumed: (seed % 1000) as f64 / 3.0,
             },
         };
-        let bytes = encode_response(&Ok(resp.clone()));
+        let bytes = encode_response_from_shard(&Ok(resp.clone()), shard);
+        prop_assert_eq!(peek_response_shard(&bytes).unwrap(), shard);
         let back = decode_response(&f.ctx, &bytes).unwrap();
         prop_assert_eq!(back, ResponseFrame::Ok(resp));
     }
@@ -164,9 +207,32 @@ proptest! {
     }
 
     #[test]
+    fn response_rejects_any_truncation(seed in any::<u64>(), cut in 1usize..48) {
+        let f = fix();
+        let req = random_request(seed, 1, 0, 1);
+        let resp = EvalResponse {
+            job_id: seed,
+            result: req.inputs[0].clone(),
+            report: JobReport {
+                worker: 0,
+                queue_ns: 1,
+                exec_ns: 2,
+                est_cost_us: 3.0,
+                noise_bits_consumed: 4.0,
+            },
+        };
+        let bytes = encode_response(&Ok(resp));
+        let cut = cut.min(bytes.len() - 1);
+        let e = decode_response(&f.ctx, &bytes[..bytes.len() - cut]).unwrap_err();
+        prop_assert!(is_wire_err(&e), "truncation must be Error::Wire, got {e}");
+    }
+
+    #[test]
     fn response_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
         let f = fix();
-        let _ = decode_response(&f.ctx, &bytes);
+        if let Err(e) = decode_response(&f.ctx, &bytes) {
+            prop_assert!(is_wire_err(&e));
+        }
     }
 }
 
@@ -178,4 +244,47 @@ fn request_frames_are_not_response_frames() {
     assert!(decode_response(&f.ctx, &bytes).is_err());
     let resp_bytes = encode_response(&Err((0, EngineError::QueueClosed)));
     assert!(decode_request(&f.ctx, &resp_bytes).is_err());
+    assert!(peek_shard(&resp_bytes).is_err());
+    assert!(peek_response_shard(&bytes).is_err());
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_parsing() {
+    let f = fix();
+    // A frame over the cap is refused outright, whatever its header says.
+    let mut huge = encode_request(&random_request(2, 1, 0, 1));
+    huge.resize(MAX_FRAME_BYTES + 1, 0);
+    let e = decode_request(&f.ctx, &huge).unwrap_err();
+    assert!(is_wire_err(&e), "oversized frame must be Error::Wire: {e}");
+    let e = decode_response(&f.ctx, &huge).unwrap_err();
+    assert!(is_wire_err(&e), "oversized frame must be Error::Wire: {e}");
+    // A frame whose section counts promise more payload than it carries is
+    // a truncation, not an allocation.
+    let req = random_request(3, 1, 0, 1);
+    let mut bytes = encode_request(&req);
+    bytes[18] = 0xFF; // n_inputs := huge
+    bytes[19] = 0xFF;
+    let e = decode_request(&f.ctx, &bytes).unwrap_err();
+    assert!(is_wire_err(&e), "lying counts must be Error::Wire: {e}");
+}
+
+#[test]
+fn legacy_v1_frames_are_refused() {
+    let f = fix();
+    let mut bytes = encode_request(&random_request(4, 1, 0, 1));
+    bytes[4] = 1; // version := 1
+    bytes[5] = 0;
+    let e = decode_request(&f.ctx, &bytes).unwrap_err();
+    assert!(e.to_string().contains("unsupported request version"), "{e}");
+}
+
+#[test]
+fn unrouted_shard_sentinel_is_distinct_from_every_shard() {
+    let req = random_request(5, 1, 0, 1);
+    for shard in [0u16, 1, 7, 0xFFFE] {
+        let bytes = encode_request_for_shard(&req, shard);
+        assert_eq!(peek_shard(&bytes).unwrap(), Some(shard));
+    }
+    assert_eq!(peek_shard(&encode_request(&req)).unwrap(), None);
+    assert_eq!(NO_SHARD, 0xFFFF);
 }

@@ -105,6 +105,50 @@ pub fn mult_microcode(
     ops
 }
 
+/// Emits the key-switch (Galois rotation) microcode for a shape with `k`
+/// ciphertext primes, `digits` decomposition digits and `rpaus` parallel
+/// RPAUs: one automorphism permutation pass per ciphertext polynomial,
+/// digit decomposition of the permuted `c1`, and a relinearization-shaped
+/// SoP streaming the switching key (`2·digits` polynomials of `k` residues)
+/// from DDR. The HPS coprocessor decomposes into `digits = k` words; the
+/// traditional architecture uses its coarser relinearization digit count.
+pub fn rotate_microcode(k: usize, digits: usize, rpaus: usize, n: usize, sync_us: f64) -> Vec<Op> {
+    let q_batches = k.div_ceil(rpaus);
+    let mut ops = Vec::new();
+    // σ_g applied to c0 and c1: permutation passes.
+    ops.push(Op::Instr(Instr::MemoryRearrange));
+    ops.push(Op::Instr(Instr::MemoryRearrange));
+    // Digit decomposition of σ(c1): spread + sign-correct, transform.
+    for _ in 0..digits {
+        for _ in 0..2 * q_batches {
+            ops.push(Op::Instr(Instr::CoeffAdd));
+        }
+        ops.push(Op::Instr(Instr::MemoryRearrange));
+        ops.push(Op::Instr(Instr::Ntt));
+    }
+    // SoP against both key halves, streaming the switching key.
+    for _ in 0..digits {
+        ops.push(Op::RlkDma { bytes: k * n * 4 });
+        ops.push(Op::RlkDma { bytes: k * n * 4 });
+        for _ in 0..2 * q_batches {
+            ops.push(Op::Instr(Instr::CoeffMul));
+        }
+    }
+    for _ in 0..2 * digits.saturating_sub(1) * q_batches {
+        ops.push(Op::Instr(Instr::CoeffAdd));
+    }
+    for _ in 0..2 * q_batches {
+        ops.push(Op::Instr(Instr::InverseNtt));
+        ops.push(Op::Instr(Instr::MemoryRearrange));
+    }
+    // Final add of σ(c0).
+    for _ in 0..q_batches {
+        ops.push(Op::Instr(Instr::CoeffAdd));
+    }
+    ops.push(Op::SyncUs(sync_us));
+    ops
+}
+
 /// Timing report for one high-level operation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpReport {
@@ -209,41 +253,8 @@ impl Coprocessor {
     /// exactly the Table II instruction classes, no new hardware.
     pub fn run_rotate(&self, ctx: &FvContext) -> OpReport {
         let p = ctx.params();
-        let k = p.k();
         let rpaus = (p.k() + p.l()).div_ceil(2);
-        let q_batches = k.div_ceil(rpaus);
-        let mut ops = Vec::new();
-        // σ_g applied to c0 and c1: permutation passes.
-        ops.push(Op::Instr(Instr::MemoryRearrange));
-        ops.push(Op::Instr(Instr::MemoryRearrange));
-        // Digit decomposition of σ(c1): spread + sign-correct, transform.
-        for _ in 0..k {
-            for _ in 0..2 * q_batches {
-                ops.push(Op::Instr(Instr::CoeffAdd));
-            }
-            ops.push(Op::Instr(Instr::MemoryRearrange));
-            ops.push(Op::Instr(Instr::Ntt));
-        }
-        // SoP against both key halves, streaming the switching key.
-        for _ in 0..k {
-            ops.push(Op::RlkDma { bytes: k * p.n * 4 });
-            ops.push(Op::RlkDma { bytes: k * p.n * 4 });
-            for _ in 0..2 * q_batches {
-                ops.push(Op::Instr(Instr::CoeffMul));
-            }
-        }
-        for _ in 0..2 * (k - 1) * q_batches {
-            ops.push(Op::Instr(Instr::CoeffAdd));
-        }
-        for _ in 0..2 * q_batches {
-            ops.push(Op::Instr(Instr::InverseNtt));
-            ops.push(Op::Instr(Instr::MemoryRearrange));
-        }
-        // Final add of σ(c0).
-        for _ in 0..q_batches {
-            ops.push(Op::Instr(Instr::CoeffAdd));
-        }
-        ops.push(Op::SyncUs(self.mult_sync_us));
+        let ops = rotate_microcode(p.k(), p.k(), rpaus, p.n, self.mult_sync_us);
         self.run(&ops)
     }
 
@@ -272,33 +283,87 @@ impl Coprocessor {
     }
 }
 
-/// Timing of one `Mult` on the traditional-CRT coprocessor (§VI-C):
-/// 225 MHz, four parallel single-core `Lift`/`Scale` units (the four lifts
-/// run concurrently, as do the three scales), smaller relinearization key.
-pub fn trad_mult_us(model: &TradCostModel, dma: &DmaModel, clocks: &ClockConfig) -> f64 {
-    let k = 6;
-    let l = 7;
-    let digits = model.relin_digits;
-    let rpaus = 7;
-    let n = model.poly.n;
-    // Phase 1: four lifts in parallel across the four cores.
-    let lift_us = clocks.fpga_cycles_to_us(model.lift_cycles());
-    // Phase 3: three scales in parallel.
-    let scale_us = clocks.fpga_cycles_to_us(model.scale_cycles());
-    // Polynomial instructions: same microcode minus Lift/Scale.
-    let ops = mult_microcode(k, l, digits, rpaus, n, 19.64);
+/// Prices a microcode sequence on the traditional polynomial datapath:
+/// RPAU instructions at the non-HPS clock plus key DMA and sync, with
+/// `Lift`/`Scale` skipped (the traditional architecture runs those on its
+/// dedicated long-integer cores, priced separately).
+fn trad_poly_us(ops: &[Op], model: &TradCostModel, dma: &DmaModel, clocks: &ClockConfig) -> f64 {
     let mut fpga = 0u64;
     let mut rlk_us = 0.0;
     let mut sync_us = 0.0;
     for op in ops {
-        match op {
+        match *op {
             Op::Instr(Instr::Lift) | Op::Instr(Instr::Scale) => {}
             Op::Instr(i) => fpga += model.poly.instr_cycles(i),
             Op::RlkDma { bytes } => rlk_us += dma.transfer_us(bytes, 1) + dma.mutex_sync_us,
             Op::SyncUs(us) => sync_us += us,
         }
     }
-    lift_us + scale_us + clocks.fpga_cycles_to_us(fpga) + rlk_us + sync_us
+    clocks.fpga_cycles_to_us(fpga) + rlk_us + sync_us
+}
+
+/// Timing of one `Mult` on the traditional-CRT coprocessor (§VI-C):
+/// 225 MHz, four parallel single-core `Lift`/`Scale` units (the four lifts
+/// run concurrently, as do the three scales), smaller relinearization key.
+pub fn trad_mult_us(model: &TradCostModel, dma: &DmaModel, clocks: &ClockConfig) -> f64 {
+    // Phase 1: four lifts in parallel across the four cores.
+    let lift_us = clocks.fpga_cycles_to_us(model.lift_cycles());
+    // Phase 3: three scales in parallel.
+    let scale_us = clocks.fpga_cycles_to_us(model.scale_cycles());
+    // Polynomial instructions: same microcode minus Lift/Scale.
+    let ops = mult_microcode(6, 7, model.relin_digits, 7, model.poly.n, 19.64);
+    lift_us + scale_us + trad_poly_us(&ops, model, dma, clocks)
+}
+
+/// Timing of one `Mult` on the traditional-CRT coprocessor for an
+/// arbitrary parameter set: the long-integer `Lift`/`Scale` phases scale
+/// with the ring degree `n` (one coefficient per initiation interval per
+/// core), while the polynomial instructions follow the same microcode as
+/// [`trad_mult_us`] with the traditional architecture's coarser
+/// relinearization digit count.
+pub fn trad_mult_us_for(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    dma: &DmaModel,
+    clocks: &ClockConfig,
+) -> f64 {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    // Four operand lifts and three result scales spread over the parallel
+    // single-core units, one coefficient per initiation interval.
+    let lift_waves = 4usize.div_ceil(model.cores) as u64;
+    let scale_waves = 3usize.div_ceil(model.cores) as u64;
+    let lift_us = clocks.fpga_cycles_to_us(lift_waves * n as u64 * model.lift_ii);
+    let scale_us = clocks.fpga_cycles_to_us(scale_waves * n as u64 * model.scale_ii);
+    let ops = mult_microcode(k, l, digits, rpaus, n, 19.64);
+    lift_us + scale_us + trad_poly_us(&ops, model, dma, clocks)
+}
+
+/// Timing of one Galois rotation on the traditional-CRT coprocessor: the
+/// key switch has no `Lift`/`Scale` at all, and the traditional
+/// architecture's coarser digit decomposition means fewer transforms and a
+/// smaller switching key to stream — which is why rotation-heavy jobs can
+/// favor the otherwise slower datapath.
+pub fn trad_rotate_us_for(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    dma: &DmaModel,
+    clocks: &ClockConfig,
+) -> f64 {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    let ops = rotate_microcode(k, digits, rpaus, n, 19.64);
+    trad_poly_us(&ops, model, dma, clocks)
+}
+
+/// Timing of one homomorphic `Add` on the traditional-CRT coprocessor:
+/// identical RPAU work, 225 MHz clock.
+pub fn trad_add_us(model: &TradCostModel, clocks: &ClockConfig) -> f64 {
+    clocks.fpga_cycles_to_us(model.poly.add_op_cycles())
 }
 
 #[cfg(test)]
@@ -419,6 +484,50 @@ mod tests {
             (7.6..=9.0).contains(&ms),
             "traditional Mult modeled at {ms:.2} ms vs paper 8.3 ms"
         );
+    }
+
+    #[test]
+    fn generalized_trad_mult_matches_legacy_at_paper_shape() {
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let model = TradCostModel::default();
+        let dma = DmaModel::default();
+        let clocks = ClockConfig::non_hps();
+        let legacy = trad_mult_us(&model, &dma, &clocks);
+        let general = trad_mult_us_for(&ctx, &model, &dma, &clocks);
+        assert!(
+            (legacy - general).abs() < 1e-6,
+            "legacy {legacy} vs generalized {general}"
+        );
+    }
+
+    #[test]
+    fn trad_rotation_beats_hps_rotation() {
+        // The key switch skips Lift/Scale entirely, so the traditional
+        // architecture's faster clock and 3x smaller switching key win.
+        let cop = Coprocessor::default();
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let hps = cop.run_rotate(&ctx).total_us;
+        let trad = trad_rotate_us_for(
+            &ctx,
+            &TradCostModel::default(),
+            &DmaModel::default(),
+            &ClockConfig::non_hps(),
+        );
+        assert!(trad < hps, "traditional rotate {trad} vs HPS {hps}");
+    }
+
+    #[test]
+    fn trad_mult_advantage_flips_with_ring_degree() {
+        // Small rings: the long-integer Lift/Scale cores finish quickly and
+        // the 225 MHz clock wins. The paper's n = 4096: HPS wins (§VI-C).
+        let cop = Coprocessor::default();
+        let model = TradCostModel::default();
+        let dma = DmaModel::default();
+        let clocks = ClockConfig::non_hps();
+        let small = FvContext::new(FvParams::insecure_toy()).unwrap();
+        assert!(trad_mult_us_for(&small, &model, &dma, &clocks) < cop.run_mult(&small).total_us);
+        let paper = FvContext::new(FvParams::hpca19()).unwrap();
+        assert!(trad_mult_us_for(&paper, &model, &dma, &clocks) > cop.run_mult(&paper).total_us);
     }
 
     #[test]

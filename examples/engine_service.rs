@@ -71,6 +71,7 @@ fn main() -> Result<(), String> {
                     EvalOp::Mul(ValRef::Input(0), ValRef::Input(1)),
                     EvalOp::Add(ValRef::Op(0), ValRef::Input(2)),
                 ],
+                deadline_us: None,
             };
             expected.push((tenant.id, (a * b + c) % t));
             handles.push(engine.submit(req).map_err(String::from)?);
