@@ -15,6 +15,8 @@ use hefv_core::eval::Backend;
 use hefv_core::keys::RelinKey;
 use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
 use hefv_engine::{EngineConfig, EvalOp, EvalRequest, ShardRouter, ShardSpec, TenantKeys};
+use hefv_net::{NetServer, ServerConfig};
+use std::net::ToSocketAddrs;
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 
@@ -47,7 +49,7 @@ pub struct Response {
 /// the fleet without touching this layer.
 pub struct CloudServer {
     ctx: Arc<FvContext>,
-    router: ShardRouter,
+    router: Arc<ShardRouter>,
     workers: usize,
 }
 
@@ -89,9 +91,22 @@ impl CloudServer {
             .expect("router has a shard");
         CloudServer {
             ctx,
-            router,
+            router: Arc::new(router),
             workers,
         }
+    }
+
+    /// Serves this cloud server's router over TCP: clients connect with
+    /// `hefv_net::Client` and speak length-prefixed `HEVQ`/`HEVP` frames
+    /// (tenant 0 holds the server's relinearization key). Bind to port 0
+    /// for an ephemeral port; the returned front-end shuts down
+    /// independently of the server itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind.
+    pub fn serve(&self, addr: impl ToSocketAddrs) -> std::io::Result<NetServer> {
+        NetServer::bind(addr, Arc::clone(&self.router), ServerConfig::default())
     }
 
     fn to_eval_request(&self, request: &Request) -> Result<EvalRequest, String> {
@@ -262,6 +277,34 @@ mod tests {
         let n = ctx.params().n;
         let ca = encrypt(&ctx, &pk, &Plaintext::new(vec![1], t, n), &mut rng);
         assert!(server.call(client::add_request(&ca, &ca)).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_front_end_serves_wire_requests() {
+        use hefv_engine::wire;
+        let (ctx, sk, pk, rlk, mut rng) = setup();
+        let server = CloudServer::start(Arc::clone(&ctx), rlk, 2);
+        let net = server.serve("127.0.0.1:0").unwrap();
+        let mut client = hefv_net::Client::connect(net.local_addr()).unwrap();
+        let t = ctx.params().t;
+        let n = ctx.params().n;
+        let enc = |v, rng: &mut StdRng| encrypt(&ctx, &pk, &Plaintext::new(vec![v], t, n), rng);
+        // Pipeline a product and a sum on the single-tenant wire seam.
+        let req_mul = EvalRequest::binary(0, EvalOp::Mul, enc(3, &mut rng), enc(5, &mut rng));
+        let req_add = EvalRequest::binary(0, EvalOp::Add, enc(3, &mut rng), enc(5, &mut rng));
+        let c_mul = client.send_frame(&wire::encode_request(&req_mul)).unwrap();
+        let c_add = client.send_frame(&wire::encode_request(&req_add)).unwrap();
+        for (corr, expect) in [(c_mul, 15), (c_add, 8)] {
+            let reply = client.recv_reply_for(corr).unwrap();
+            match wire::decode_response(&ctx, &reply).unwrap() {
+                wire::ResponseFrame::Ok(resp) => {
+                    assert_eq!(decrypt(&ctx, &sk, &resp.result).coeffs()[0], expect);
+                }
+                wire::ResponseFrame::Err { message, .. } => panic!("{message}"),
+            }
+        }
+        net.shutdown();
         server.shutdown();
     }
 

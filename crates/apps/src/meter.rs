@@ -1,5 +1,5 @@
 //! Privacy-friendly smart-meter forecasting — the paper's motivating cloud
-//! workload (§III-A, citing Bos et al. [4]).
+//! workload (§III-A, citing Bos et al. \[4\]).
 //!
 //! Households upload encrypted consumption readings; the (untrusted) cloud
 //! computes a per-household forecast without decrypting: a weighted moving

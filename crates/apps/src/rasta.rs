@@ -1,5 +1,5 @@
 //! Homomorphic evaluation of a Rasta-style cipher — §III-A's "evaluation
-//! of low-complexity block cipher such as Rasta [25] on ciphertext".
+//! of low-complexity block cipher such as Rasta \[25\] on ciphertext".
 //!
 //! The transciphering use case: a client encrypts its data with a cheap
 //! symmetric cipher and uploads the *FV-encrypted symmetric key*; the

@@ -2,7 +2,7 @@
 //!
 //! §V-A4: the design stores all twiddle factors in on-chip ROM because
 //! computing them on the fly creates data-dependent pipeline bubbles —
-//! prior work [20] lost 20% of NTT cycles to them. This ablation models
+//! prior work \[20\] lost 20% of NTT cycles to them. This ablation models
 //! both options and propagates the difference to the Mult level.
 
 use hefv_core::{context::FvContext, params::FvParams};

@@ -1,7 +1,7 @@
 //! Heuristic security estimation for the ring-LWE parameters.
 //!
 //! The paper sizes its parameters "to achieve a multiplicative depth of
-//! four and at least 80-bit security [26]" using Albrecht's LWE estimator.
+//! four and at least 80-bit security \[26\]" using Albrecht's LWE estimator.
 //! That estimator is a large Sage project; here we implement the classic
 //! *Lindner–Peikert distinguishing-attack* estimate, which is simpler and
 //! strictly more conservative (it reports fewer bits for the same

@@ -121,6 +121,45 @@ impl Shared {
     where
         F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
     {
+        let (id, cost_us, qos, job) = self.prepare(req, done)?;
+        self.stats.on_submit();
+        if !self.queue.push_qos(cost_us, qos, job) {
+            self.stats.on_reject();
+            return Err(EngineError::QueueClosed);
+        }
+        Ok(id)
+    }
+
+    /// Non-blocking submission for callers that must never wait on queue
+    /// backpressure (the TCP poll loop): `Ok(None)` means the queue is
+    /// at capacity right now — nothing was enqueued, `done` was dropped
+    /// unused, and the caller should retry later.
+    pub(crate) fn try_submit_with_callback<F>(
+        &self,
+        req: EvalRequest,
+        done: F,
+    ) -> Result<Option<u64>, EngineError>
+    where
+        F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
+    {
+        let (id, cost_us, qos, job) = self.prepare(req, done)?;
+        match self.queue.try_push_qos(cost_us, qos, job) {
+            crate::sched::TryPush::Queued => {
+                self.stats.on_submit();
+                Ok(Some(id))
+            }
+            crate::sched::TryPush::Full(_) => Ok(None),
+            crate::sched::TryPush::Closed(_) => Err(EngineError::QueueClosed),
+        }
+    }
+
+    /// Validation, key checks, pricing and job construction — everything
+    /// up to the actual enqueue.
+    #[allow(clippy::type_complexity)]
+    fn prepare<F>(&self, req: EvalRequest, done: F) -> Result<(u64, f64, QosSpec, Job), EngineError>
+    where
+        F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
+    {
         req.validate(&self.ctx)?;
         let keys = self
             .registry
@@ -158,12 +197,7 @@ impl Shared {
             enqueued: Instant::now(),
             done: Box::new(done),
         };
-        self.stats.on_submit();
-        if !self.queue.push_qos(cost_us, qos, job) {
-            self.stats.on_reject();
-            return Err(EngineError::QueueClosed);
-        }
-        Ok(id)
+        Ok((id, cost_us, qos, job))
     }
 }
 
@@ -308,6 +342,13 @@ impl Engine {
         self.workers
     }
 
+    /// Whether the job queue is at capacity right now (racy — a cheap
+    /// pre-check for non-blocking submitters; see
+    /// [`Engine::try_submit_with_callback`]).
+    pub fn queue_is_full(&self) -> bool {
+        self.shared.queue.is_full()
+    }
+
     /// Current telemetry snapshot.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
         self.shared.stats.snapshot()
@@ -344,6 +385,27 @@ impl Engine {
         F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
     {
         self.shared.submit_with_callback(req, done)
+    }
+
+    /// Non-blocking [`Engine::submit_with_callback`]: `Ok(None)` means
+    /// the queue is at capacity — nothing was enqueued (and `done` was
+    /// not called); retry when load drops. This is the submission path
+    /// for callers that must never park on backpressure, like the
+    /// `hefv-net` poll thread.
+    ///
+    /// # Errors
+    ///
+    /// Same hard failures as [`Engine::submit_with_callback`];
+    /// a full queue is `Ok(None)`, not an error.
+    pub fn try_submit_with_callback<F>(
+        &self,
+        req: EvalRequest,
+        done: F,
+    ) -> Result<Option<u64>, EngineError>
+    where
+        F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
+    {
+        self.shared.try_submit_with_callback(req, done)
     }
 
     /// Submits a request, returning a handle to wait on.

@@ -2,7 +2,7 @@
 //!
 //! A request carries its operand ciphertexts and plaintexts inline (indexed
 //! slots), plus a straight-line program of [`EvalOp`]s. Op `i` produces
-//! value [`ValRef::Op(i)`]; the last op's value is the job's result. This is
+//! value `ValRef::Op(i)`; the last op's value is the job's result. This is
 //! deliberately a DAG-as-straight-line encoding — the same shape as the
 //! coprocessor's instruction stream in the paper's Table II microcode — so
 //! wire framing and cost estimation stay trivial.

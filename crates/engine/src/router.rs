@@ -10,7 +10,7 @@
 //!   adding or removing a shard remaps only the tenants that land on the
 //!   new/removed shard's arcs; everyone else stays put. Operators can
 //!   override the hash with an explicit [`ShardRouter::pin_tenant`].
-//! * **Datapath dispatch** rides on [`Backend::Auto`]: a shard configured
+//! * **Datapath dispatch** rides on [`Backend::Auto`](hefv_core::eval::Backend::Auto): a shard configured
 //!   with it prices every job on both the Traditional and HPS cost models
 //!   and executes on the cheaper one (see [`crate::sched::CostEstimator`]),
 //!   so a mixed workload beats either fixed-datapath fleet on total
@@ -83,9 +83,11 @@ use std::sync::{Arc, RwLock};
 /// [`wire::NO_SHARD`] and within a byte so it fits both frame directions.
 pub type ShardId = u16;
 
-/// Highest shard id a router hands out (the response frame stamps the
-/// shard into one byte).
-pub const MAX_SHARD_ID: ShardId = u8::MAX as ShardId;
+/// Highest shard id a router hands out: the response frame stamps the
+/// shard into one byte, and the top value is reserved for
+/// [`wire::ERROR_SHARD`] (transport-level failures that never reached a
+/// shard).
+pub const MAX_SHARD_ID: ShardId = u8::MAX as ShardId - 1;
 
 /// Everything needed to start one engine shard.
 pub struct ShardSpec {
@@ -439,12 +441,27 @@ impl ShardRouter {
         }
     }
 
-    fn dispatch_frame_inner(&self, frame: &[u8]) -> Result<Vec<u8>, EngineError> {
-        let shard = match wire::peek_shard(frame)? {
-            Some(id) => self.shard(id)?,
-            None => self.shard_of(wire::peek_tenant(frame)?)?,
-        };
+    /// Resolves a frame's target shard from its header alone: an
+    /// explicit shard address wins, an unrouted frame is placed by
+    /// tenant hash.
+    fn resolve_shard(&self, frame: &[u8]) -> Result<Arc<Shard>, EngineError> {
+        match wire::peek_shard(frame)? {
+            Some(id) => self.shard(id),
+            None => self.shard_of(wire::peek_tenant(frame)?),
+        }
+    }
+
+    /// The routing preamble shared by every frame-dispatch entry point:
+    /// resolve the target shard and decode the request against that
+    /// shard's context.
+    fn route_frame(&self, frame: &[u8]) -> Result<(Arc<Shard>, EvalRequest), EngineError> {
+        let shard = self.resolve_shard(frame)?;
         let req = wire::decode_request(shard.engine.context(), frame)?;
+        Ok((shard, req))
+    }
+
+    fn dispatch_frame_inner(&self, frame: &[u8]) -> Result<Vec<u8>, EngineError> {
+        let (shard, req) = self.route_frame(frame)?;
         let outcome = match shard.engine.submit(req) {
             Ok(handle) => {
                 let id = handle.id;
@@ -453,6 +470,77 @@ impl ShardRouter {
             Err(e) => Err((u64::MAX, e)),
         };
         Ok(wire::encode_response_from_shard(&outcome, shard.id as u8))
+    }
+
+    /// The pipelined frame seam: routes a serialized `HEVQ` request frame
+    /// like [`ShardRouter::dispatch_frame`], but returns as soon as the
+    /// job is queued and delivers the stamped `HEVP` reply frame to `done`
+    /// from the owning shard's worker thread. This is what a TCP
+    /// front-end uses to keep many frames in flight per connection.
+    ///
+    /// Jobs that fail *after* submission come back through `done` as
+    /// error frames stamped with the producing shard and job id
+    /// `u64::MAX` (the engine's callback does not carry the id on the
+    /// error path); transports that need exact correlation attach their
+    /// own envelope around the frame, as `hefv-net` does.
+    ///
+    /// # Errors
+    ///
+    /// Routing, decode and submission failures are returned synchronously
+    /// — `done` is *not* called — so the caller can encode them itself
+    /// (e.g. with [`wire::encode_response`]) without giving up the
+    /// callback.
+    pub fn dispatch_frame_with_callback<F>(
+        &self,
+        frame: &[u8],
+        done: F,
+    ) -> Result<(ShardId, u64), EngineError>
+    where
+        F: FnOnce(Vec<u8>) + Send + 'static,
+    {
+        let (shard, req) = self.route_frame(frame)?;
+        let stamp = shard.id as u8;
+        let id = shard.engine.submit_with_callback(req, move |outcome| {
+            let outcome = outcome.map_err(|e| (u64::MAX, e));
+            done(wire::encode_response_from_shard(&outcome, stamp));
+        })?;
+        Ok((shard.id, id))
+    }
+
+    /// Non-blocking [`ShardRouter::dispatch_frame_with_callback`]:
+    /// `Ok(None)` means the owning shard's queue is at capacity —
+    /// nothing was enqueued, `done` was dropped unused, and the caller
+    /// should hold the frame and retry. This is what lets the TCP poll
+    /// thread turn engine backpressure into TCP backpressure instead of
+    /// parking mid-sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardRouter::dispatch_frame_with_callback`]; a full
+    /// queue is `Ok(None)`, not an error.
+    pub fn try_dispatch_frame_with_callback<F>(
+        &self,
+        frame: &[u8],
+        done: F,
+    ) -> Result<Option<(ShardId, u64)>, EngineError>
+    where
+        F: FnOnce(Vec<u8>) + Send + 'static,
+    {
+        // Header-only pre-check: while the shard is saturated, refuse
+        // before paying for the payload decode — a stalled caller may
+        // retry the same multi-MB frame every sweep. The try-push below
+        // remains the authority on the race.
+        let shard = self.resolve_shard(frame)?;
+        if shard.engine.queue_is_full() {
+            return Ok(None);
+        }
+        let req = wire::decode_request(shard.engine.context(), frame)?;
+        let stamp = shard.id as u8;
+        let id = shard.engine.try_submit_with_callback(req, move |outcome| {
+            let outcome = outcome.map_err(|e| (u64::MAX, e));
+            done(wire::encode_response_from_shard(&outcome, stamp));
+        })?;
+        Ok(id.map(|id| (shard.id, id)))
     }
 
     fn all_shards(&self) -> Vec<Arc<Shard>> {
@@ -481,8 +569,11 @@ impl ShardRouter {
         }
     }
 
-    /// Shuts every shard down: pending jobs drain, workers join.
-    pub fn shutdown(self) {
+    /// Shuts every shard down: pending jobs drain, workers join. Takes
+    /// `&self` so a router shared behind an [`Arc`] (e.g. with a TCP
+    /// front-end) can be stopped by any holder; the router is empty — but
+    /// valid — afterwards, and refuses traffic like a fresh one.
+    pub fn shutdown(&self) {
         let shards = {
             let mut topo = self.topo.write().unwrap();
             topo.ring.clear();

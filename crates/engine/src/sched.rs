@@ -204,6 +204,18 @@ pub struct QosSpec {
     pub deadline_us: Option<f64>,
 }
 
+/// Outcome of a [`JobQueue::try_push_qos`]: a refused job is handed
+/// back so the caller can retry later (or drop it) without the queue
+/// ever invoking — or losing — its callback.
+pub enum TryPush<T> {
+    /// The job was enqueued.
+    Queued,
+    /// The queue is at capacity; the job is returned untouched.
+    Full(T),
+    /// The queue is closed; the job is returned untouched.
+    Closed(T),
+}
+
 /// Index-heap entry (lazily invalidated against the slab).
 struct Keyed {
     key: f64,
@@ -349,10 +361,43 @@ impl<T> JobQueue<T> {
         if inner.closed {
             return false;
         }
+        Self::enqueue(&mut inner, self.aging_weight_us, cost_us, qos, job);
+        drop(inner);
+        self.available.notify_one();
+        true
+    }
+
+    /// Non-blocking [`JobQueue::push_qos`]: refuses instead of waiting
+    /// when the queue is at capacity, handing the job back so callers
+    /// that must never block (a network poll loop) can apply their own
+    /// backpressure and retry.
+    pub fn try_push_qos(&self, cost_us: f64, qos: QosSpec, job: T) -> TryPush<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return TryPush::Closed(job);
+        }
+        if inner.slab.len() >= self.capacity {
+            return TryPush::Full(job);
+        }
+        Self::enqueue(&mut inner, self.aging_weight_us, cost_us, qos, job);
+        drop(inner);
+        self.available.notify_one();
+        TryPush::Queued
+    }
+
+    /// The enqueue body shared by the blocking and non-blocking pushes.
+    /// Caller holds the lock and has already checked closed/capacity.
+    fn enqueue(
+        inner: &mut QueueInner<T>,
+        aging_weight_us: f64,
+        cost_us: f64,
+        qos: QosSpec,
+        job: T,
+    ) {
         let seq = inner.next_seq;
         inner.next_seq += 1;
         let cost_us = cost_us.max(0.0);
-        let key = seq as f64 * self.aging_weight_us + cost_us;
+        let key = seq as f64 * aging_weight_us + cost_us;
         let deadline_us = qos
             .deadline_us
             .map(|rel| inner.virtual_now_us + rel.max(0.0));
@@ -386,9 +431,6 @@ impl<T> JobQueue<T> {
                 cost_us,
             },
         );
-        drop(inner);
-        self.available.notify_one();
-        true
     }
 
     /// Blocks until a job is available (returning the next job under the
@@ -507,6 +549,14 @@ impl<T> JobQueue<T> {
     /// Jobs currently waiting.
     pub fn depth(&self) -> usize {
         self.inner.lock().unwrap().slab.len()
+    }
+
+    /// Whether a push right now would block (or a try-push refuse). Racy
+    /// by nature — a cheap pre-check that lets callers skip expensive
+    /// work (frame decode) while the queue is saturated; the push itself
+    /// remains the authority.
+    pub fn is_full(&self) -> bool {
+        self.inner.lock().unwrap().slab.len() >= self.capacity
     }
 
     /// Closes the queue: pending jobs still drain, new pushes are refused,

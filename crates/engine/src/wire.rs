@@ -51,6 +51,13 @@ const FLAG_DEADLINE: u16 = 1;
 /// Shard value meaning "unrouted — place by tenant hash".
 pub const NO_SHARD: u16 = 0xFFFF;
 
+/// Response-frame shard stamp for transport-level failures that never
+/// reached a shard (bad frame, unknown tenant, routing errors). Real
+/// shard ids stay below this (see `router::MAX_SHARD_ID`), so clients
+/// can tell "shard X produced this error" from "the router/front-end
+/// refused the frame".
+pub const ERROR_SHARD: u8 = u8::MAX;
+
 /// Hard ceiling on an accepted frame (64 MiB — an order of magnitude above
 /// the largest legitimate request at the paper's parameters). Oversized
 /// frames are rejected before any allocation.
@@ -409,10 +416,13 @@ pub fn peek_tenant(bytes: &[u8]) -> Result<u64, EngineError> {
     c.u64()
 }
 
-/// Serializes a job outcome (shard 0; routers use
+/// Serializes a job outcome that did not come from an identifiable
+/// shard, stamped [`ERROR_SHARD`] on the error path (single-engine
+/// deployments get shard 0 on success; routers use
 /// [`encode_response_from_shard`]).
 pub fn encode_response(outcome: &Result<EvalResponse, (u64, EngineError)>) -> Vec<u8> {
-    encode_response_from_shard(outcome, 0)
+    let stamp = if outcome.is_ok() { 0 } else { ERROR_SHARD };
+    encode_response_from_shard(outcome, stamp)
 }
 
 /// Serializes a job outcome stamped with the shard that produced it.
@@ -527,4 +537,24 @@ pub fn peek_response_shard(bytes: &[u8]) -> Result<u8, EngineError> {
     }
     c.u8()?; // status
     c.u8()
+}
+
+/// Reads a response frame's job id from the header alone (`u64::MAX`
+/// marks transport-level failures and asynchronously-failed jobs).
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the header is not a
+/// well-formed v2 response header.
+pub fn peek_response_job_id(bytes: &[u8]) -> Result<u64, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != RESP_MAGIC {
+        return Err(wire_err("bad response magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported response version"));
+    }
+    c.u8()?; // status
+    c.u8()?; // shard
+    c.u64()
 }

@@ -1,0 +1,147 @@
+//! A small blocking client for the envelope protocol.
+//!
+//! [`Client`] owns one TCP connection and hands out sequential
+//! correlation ids. It supports both one-shot request/reply
+//! ([`Client::call`]) and pipelining: send any number of frames with
+//! [`Client::send_frame`], then collect replies with
+//! [`Client::recv_reply`] (completion order) or
+//! [`Client::recv_reply_for`] (a specific request — replies that arrive
+//! for other ids are stashed and returned by later calls, so the two
+//! styles mix freely).
+
+use crate::envelope::{self, CORR_BYTES, LEN_BYTES};
+use hefv_engine::wire;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Blocking client over one connection. See the module docs.
+pub struct Client {
+    stream: TcpStream,
+    next_corr: u64,
+    /// Replies read while waiting for a different correlation id.
+    stashed: HashMap<u64, Vec<u8>>,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, since frames are latency-sensitive
+    /// and self-contained).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_corr: 0,
+            stashed: HashMap::new(),
+        })
+    }
+
+    /// The server's address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Bounds how long a `recv` blocks (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one `HEVQ` frame, returning the correlation id its reply
+    /// will carry. Does not wait for the reply — call repeatedly to
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_frame(&mut self, frame: &[u8]) -> io::Result<u64> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        self.stream.write_all(&envelope::encode(corr, frame))?;
+        Ok(corr)
+    }
+
+    /// Receives the next reply in completion order: `(corr, HEVP
+    /// frame)`. Replies stashed by [`Client::recv_reply_for`] are
+    /// returned first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; `UnexpectedEof` when the server closed
+    /// the connection; `InvalidData` for envelopes breaking the
+    /// protocol.
+    pub fn recv_reply(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        if let Some(&corr) = self.stashed.keys().next() {
+            let frame = self.stashed.remove(&corr).expect("key just seen");
+            return Ok((corr, frame));
+        }
+        self.read_envelope()
+    }
+
+    /// Receives the reply to a specific request, stashing any other
+    /// replies that arrive first.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::recv_reply`].
+    pub fn recv_reply_for(&mut self, corr: u64) -> io::Result<Vec<u8>> {
+        if let Some(frame) = self.stashed.remove(&corr) {
+            return Ok(frame);
+        }
+        loop {
+            let (got, frame) = self.read_envelope()?;
+            if got == corr {
+                return Ok(frame);
+            }
+            self.stashed.insert(got, frame);
+        }
+    }
+
+    /// One-shot convenience: send a frame, wait for its reply.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::send_frame`] and [`Client::recv_reply_for`].
+    pub fn call(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
+        let corr = self.send_frame(frame)?;
+        self.recv_reply_for(corr)
+    }
+
+    /// Half-closes the write side: tells the server no more requests are
+    /// coming while replies to pipelined frames keep arriving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn finish_sending(&mut self) -> io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+
+    fn read_envelope(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        let mut header = [0u8; LEN_BYTES + CORR_BYTES];
+        self.stream.read_exact(&mut header)?;
+        let len = envelope::read_len(&header);
+        if len < CORR_BYTES || len - CORR_BYTES > wire::MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply envelope of {len} bytes breaks the protocol"),
+            ));
+        }
+        let corr = envelope::read_corr(&header);
+        let mut frame = vec![0u8; len - CORR_BYTES];
+        self.stream.read_exact(&mut frame)?;
+        Ok((corr, frame))
+    }
+}

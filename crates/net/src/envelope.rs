@@ -1,0 +1,71 @@
+//! The transport envelope wrapping each `HEVQ`/`HEVP` frame on a TCP
+//! stream.
+//!
+//! Engine wire frames are self-describing but not self-delimiting, and
+//! the server completes jobs out of order (that is the point of
+//! pipelining), so the stream protocol adds the two things TCP needs:
+//! a length prefix to find frame boundaries and a caller-chosen
+//! correlation id echoed verbatim in the reply. Layout (little-endian):
+//!
+//! ```text
+//! envelope := len u32 | corr u64 | frame…        (len = 8 + frame length)
+//! ```
+//!
+//! The same envelope carries requests client→server and replies
+//! server→client. `corr` is opaque to the server; [`crate::Client`]
+//! assigns sequential ids and matches replies back to calls with them.
+
+/// Bytes of the length prefix.
+pub const LEN_BYTES: usize = 4;
+
+/// Bytes of the correlation id (counted inside the length prefix).
+pub const CORR_BYTES: usize = 8;
+
+/// Wraps one frame in an envelope.
+///
+/// # Panics
+///
+/// Panics if `frame` exceeds `u32::MAX - 8` bytes — unreachable for
+/// frames under the engine's 64 MiB cap, which both endpoints enforce.
+pub fn encode(corr: u64, frame: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(CORR_BYTES + frame.len()).expect("frame under the u32 envelope limit");
+    let mut out = Vec::with_capacity(LEN_BYTES + CORR_BYTES + frame.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&corr.to_le_bytes());
+    out.extend_from_slice(frame);
+    out
+}
+
+/// Reads the length prefix from the first [`LEN_BYTES`] of `bytes`.
+pub(crate) fn read_len(bytes: &[u8]) -> usize {
+    u32::from_le_bytes(bytes[..LEN_BYTES].try_into().expect("4 bytes")) as usize
+}
+
+/// Reads the correlation id following the length prefix.
+pub(crate) fn read_corr(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(
+        bytes[LEN_BYTES..LEN_BYTES + CORR_BYTES]
+            .try_into()
+            .expect("8 bytes"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let env = encode(0xDEAD_BEEF, b"frame");
+        assert_eq!(read_len(&env), CORR_BYTES + 5);
+        assert_eq!(read_corr(&env), 0xDEAD_BEEF);
+        assert_eq!(&env[LEN_BYTES + CORR_BYTES..], b"frame");
+    }
+
+    #[test]
+    fn empty_frame_is_representable() {
+        let env = encode(1, b"");
+        assert_eq!(env.len(), LEN_BYTES + CORR_BYTES);
+        assert_eq!(read_len(&env), CORR_BYTES);
+    }
+}

@@ -1,0 +1,89 @@
+//! # hefv-net
+//!
+//! The TCP front-end for the evaluation engine: the listener the
+//! ROADMAP's "async TCP front-end" item called for, feeding
+//! [`hefv_engine::router::ShardRouter`] from off-box clients.
+//!
+//! The design is runtime-agnostic by construction — no async runtime, no
+//! poll syscall wrapper, no external crates (consistent with the
+//! workspace's offline shim policy): a single background thread drives
+//! non-blocking std sockets in a small poll loop. Each connection speaks
+//! the [`envelope`] protocol (a length prefix plus a correlation id
+//! around the engine's v2 `HEVQ`/`HEVP` frames from
+//! [`hefv_engine::wire`]), and every frame is dispatched through
+//! [`ShardRouter::dispatch_frame_with_callback`] so a connection can
+//! keep many jobs in flight: replies come back in *completion* order,
+//! correlated by the envelope id, exactly like the engine's own
+//! pipelined seam.
+//!
+//! What the server guarantees:
+//!
+//! * **Framing under adversarial segmentation** — frames split across
+//!   arbitrary TCP read boundaries (or many-per-read) reassemble
+//!   correctly; partial writes resume where they stopped.
+//! * **Bounded resources** — the engine's 64 MiB frame cap (tightened
+//!   per server by [`ServerConfig::max_frame_bytes`]) is enforced
+//!   mid-stream: an oversized frame gets an error reply and its body is
+//!   skipped without buffering, while the connection keeps serving.
+//!   Per-connection in-flight jobs are capped ([`ServerConfig::max_inflight`])
+//!   by *not reading* past the cap — backpressure through TCP, not
+//!   unbounded queues. Idle connections time out.
+//! * **Graceful shutdown** — [`NetServer::shutdown`] stops accepting,
+//!   lets in-flight jobs finish, flushes their replies (bounded by
+//!   [`ServerConfig::drain_timeout`]) and joins the poll thread; no
+//!   thread outlives the server.
+//!
+//! [`ShardRouter::dispatch_frame_with_callback`]:
+//! hefv_engine::router::ShardRouter::dispatch_frame_with_callback
+//!
+//! # Example: a loopback round trip
+//!
+//! ```
+//! use hefv_core::prelude::*;
+//! use hefv_engine::prelude::*;
+//! use hefv_engine::router::ShardSpec;
+//! use hefv_engine::wire;
+//! use hefv_net::{Client, NetServer, ServerConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! // A one-shard router serving toy parameters.
+//! let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
+//! let router = Arc::new(ShardRouter::new());
+//! router
+//!     .add_shard(ShardSpec {
+//!         name: "s0".into(),
+//!         ctx: Arc::clone(&ctx),
+//!         config: EngineConfig { workers: 1, ..EngineConfig::default() },
+//!     })
+//!     .unwrap();
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+//! router.register_tenant(7, TenantKeys::compute(pk.clone(), rlk)).unwrap();
+//!
+//! // Serve it over TCP on an ephemeral loopback port.
+//! let server = NetServer::bind("127.0.0.1:0", Arc::clone(&router), ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! // One encrypted 20 + 22 over the wire.
+//! let (t, n) = (ctx.params().t, ctx.params().n);
+//! let enc = |v, rng: &mut StdRng| encrypt(&ctx, &pk, &Plaintext::new(vec![v], t, n), rng);
+//! let req = EvalRequest::binary(7, EvalOp::Add, enc(20, &mut rng), enc(22, &mut rng));
+//! let reply = client.call(&wire::encode_request(&req)).unwrap();
+//! match wire::decode_response(&ctx, &reply).unwrap() {
+//!     wire::ResponseFrame::Ok(resp) => {
+//!         assert_eq!(decrypt(&ctx, &sk, &resp.result).coeffs()[0], 42 % t);
+//!     }
+//!     wire::ResponseFrame::Err { message, .. } => panic!("{message}"),
+//! }
+//! server.shutdown();
+//! router.shutdown();
+//! ```
+
+pub mod client;
+pub mod envelope;
+pub mod server;
+
+pub use client::Client;
+pub use server::{NetServer, NetStatsSnapshot, ServerConfig};

@@ -1,0 +1,558 @@
+//! The TCP server: a single poll thread multiplexing every connection
+//! over non-blocking std sockets.
+//!
+//! Each accepted connection runs a small state machine: bytes are read
+//! into a reassembly buffer (frames may arrive split across arbitrary
+//! read boundaries), complete envelopes are peeled off and dispatched
+//! through [`ShardRouter::dispatch_frame_with_callback`], and finished
+//! replies — delivered by engine worker threads in completion order —
+//! are drained from a per-connection write queue back onto the socket,
+//! again tolerating partial writes. The poll thread never blocks:
+//! sockets are non-blocking, and submission uses the router's
+//! non-blocking seam — a full shard queue leaves the frame buffered and
+//! retried, converting engine backpressure into TCP backpressure. It
+//! sleeps [`ServerConfig::poll_interval`] only when an entire sweep
+//! made no progress.
+//!
+//! Overload and misuse are bounded per connection: at most
+//! [`ServerConfig::max_inflight`] jobs are in flight (further frames
+//! stay in the socket until slots free up — backpressure, not errors),
+//! frames beyond [`ServerConfig::max_frame_bytes`] are answered with an
+//! error reply while the stream skips the oversized body and keeps
+//! serving, and connections idle past [`ServerConfig::idle_timeout`]
+//! with nothing pending are closed.
+
+use crate::envelope::{self, CORR_BYTES, LEN_BYTES};
+use hefv_core::error::Error;
+use hefv_engine::router::ShardRouter;
+use hefv_engine::wire;
+use hefv_engine::EngineError;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. `Default` is sized for a loopback service.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest accepted `HEVQ` frame, bytes. Clamped to the engine's
+    /// [`wire::MAX_FRAME_BYTES`] ceiling; oversized frames are answered
+    /// with an error reply and their bytes skipped.
+    pub max_frame_bytes: usize,
+    /// Jobs one connection may have in flight (≥ 1). Once reached, the
+    /// connection's frames wait in the socket — backpressure toward the
+    /// client instead of unbounded queueing.
+    pub max_inflight: usize,
+    /// Close a connection after this long with no jobs in flight and no
+    /// socket progress in either direction — covers both quiet
+    /// connections and clients that stopped reading their replies.
+    /// `None` keeps such connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// Concurrent connections; excess accepts are dropped immediately.
+    pub max_connections: usize,
+    /// Sleep between poll sweeps that made no progress.
+    pub poll_interval: Duration,
+    /// How long [`NetServer::shutdown`] waits for in-flight jobs to
+    /// complete and their replies to flush before closing sockets
+    /// anyway (a client that stops reading must not wedge shutdown).
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame_bytes: wire::MAX_FRAME_BYTES,
+            max_inflight: 64,
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_connections: 1024,
+            poll_interval: Duration::from_micros(500),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Monotonic server counters (snapshot with [`NetServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections refused at [`ServerConfig::max_connections`].
+    pub connections_refused: u64,
+    /// Complete request frames read off sockets.
+    pub frames_in: u64,
+    /// Frames refused before reaching the router (oversized).
+    pub frames_rejected: u64,
+    /// Reply envelopes fully written back.
+    pub replies_out: u64,
+}
+
+#[derive(Default)]
+struct NetStats {
+    connections: AtomicU64,
+    connections_refused: AtomicU64,
+    frames_in: AtomicU64,
+    frames_rejected: AtomicU64,
+    replies_out: AtomicU64,
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            replies_out: self.replies_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The half of a connection shared with engine worker threads: finished
+/// replies land here (in completion order) and the in-flight count
+/// gates how fast the poll thread admits new frames.
+#[derive(Default)]
+struct ConnShared {
+    replies: VecDeque<Vec<u8>>,
+    inflight: usize,
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Reassembly buffer: bytes read but not yet peeled into frames.
+    rbuf: Vec<u8>,
+    /// Remaining bytes of an oversized frame being skipped.
+    discard: usize,
+    shared: Arc<Mutex<ConnShared>>,
+    /// Reply currently being written, and how much of it went out.
+    wbuf: Vec<u8>,
+    woff: usize,
+    last_activity: Instant,
+    /// Peer sent EOF: no more reads, but buffered frames still execute
+    /// and their replies still flush (clients may half-close after
+    /// their last request).
+    read_closed: bool,
+    /// Connection is broken; drop it without draining.
+    dead: bool,
+}
+
+impl Conn {
+    fn pending(&self) -> (usize, bool) {
+        let s = self.shared.lock().unwrap();
+        (
+            s.inflight,
+            s.replies.is_empty() && self.woff >= self.wbuf.len(),
+        )
+    }
+
+    /// In-flight jobs plus unwritten replies: the per-connection
+    /// outstanding-work bound admission gates on. Counting queued
+    /// replies means a peer that never reads stops being admitted once
+    /// the backlog hits the cap, instead of growing the reply queue
+    /// without bound while its jobs keep completing.
+    fn outstanding(&self) -> usize {
+        let s = self.shared.lock().unwrap();
+        s.inflight + s.replies.len()
+    }
+}
+
+fn oversized_reply(corr: u64, frame_len: usize, cap: usize) -> Vec<u8> {
+    let e = EngineError::Core(Error::Wire(format!(
+        "frame of {frame_len} bytes exceeds this server's {cap}-byte cap"
+    )));
+    envelope::encode(corr, &wire::encode_response(&Err((u64::MAX, e))))
+}
+
+/// A running TCP front-end. Bind with [`NetServer::bind`]; the listener
+/// and every connection are serviced by one background poll thread until
+/// [`NetServer::shutdown`] (or drop) stops accepting, drains in-flight
+/// jobs and joins the thread.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`NetServer::local_addr`]) and starts the poll thread serving
+    /// `router`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: Arc<ShardRouter>,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let config = ServerConfig {
+            max_frame_bytes: config.max_frame_bytes.min(wire::MAX_FRAME_BYTES),
+            max_inflight: config.max_inflight.max(1),
+            max_connections: config.max_connections.max(1),
+            ..config
+        };
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(NetStats::default());
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("hefv-net-poll".into())
+                .spawn(move || poll_loop(&listener, &router, &config, &stop, &stats))
+                .expect("spawn net poll thread")
+        };
+        Ok(NetServer {
+            addr,
+            stop,
+            stats,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current transport counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stops accepting connections and reading new
+    /// frames, waits for in-flight jobs to finish and their replies to
+    /// flush (bounded by [`ServerConfig::drain_timeout`]), closes every
+    /// socket, and joins the poll thread. Dropping the server does the
+    /// same.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn poll_loop(
+    listener: &TcpListener,
+    router: &Arc<ShardRouter>,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    stats: &Arc<NetStats>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut draining_since: Option<Instant> = None;
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+        if stopping && draining_since.is_none() {
+            draining_since = Some(Instant::now());
+        }
+        let mut progress = false;
+        if !stopping {
+            progress |= accept_new(listener, &mut conns, config, stats);
+        }
+        for conn in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            let (inflight, _) = conn.pending();
+            if !stopping && !conn.read_closed && inflight < config.max_inflight {
+                match read_some(conn, config) {
+                    Ok(p) => progress |= p,
+                    Err(_) => {
+                        conn.dead = true;
+                        continue;
+                    }
+                }
+            }
+            if !stopping {
+                progress |= parse_frames(conn, router, config, stats);
+            }
+            match write_some(conn, stats) {
+                Ok(p) => progress |= p,
+                Err(_) => conn.dead = true,
+            }
+        }
+        conns.retain(|c| {
+            if c.dead {
+                return false;
+            }
+            let (inflight, flushed) = c.pending();
+            if c.read_closed && inflight == 0 && flushed && !has_complete_frame(c, config) {
+                // EOF with nothing pending anywhere — jobs, replies, or
+                // complete-but-not-yet-admitted frames (those may be
+                // waiting out the in-flight cap and must still run).
+                // Leftover bytes are a partial frame that cannot grow.
+                return false;
+            }
+            if let Some(idle) = config.idle_timeout {
+                // No in-flight work and no socket progress for the whole
+                // window: either a quiet connection or a client that
+                // stopped reading its replies — both are reaped (write
+                // progress refreshes `last_activity`, so a slow but live
+                // reader never trips this).
+                if inflight == 0 && c.last_activity.elapsed() > idle {
+                    return false;
+                }
+            }
+            true
+        });
+        if stopping {
+            let drained = conns.iter().all(|c| {
+                let (inflight, flushed) = c.pending();
+                inflight == 0 && flushed
+            });
+            let expired = draining_since.is_some_and(|t| t.elapsed() > config.drain_timeout);
+            if drained || expired {
+                return;
+            }
+        }
+        if !progress {
+            std::thread::sleep(config.poll_interval);
+        }
+    }
+}
+
+fn accept_new(
+    listener: &TcpListener,
+    conns: &mut Vec<Conn>,
+    config: &ServerConfig,
+    stats: &NetStats,
+) -> bool {
+    let mut progress = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                progress = true;
+                if conns.len() >= config.max_connections {
+                    stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+                    continue; // dropped: refused at capacity
+                }
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                conns.push(Conn {
+                    stream,
+                    rbuf: Vec::new(),
+                    discard: 0,
+                    shared: Arc::new(Mutex::new(ConnShared::default())),
+                    wbuf: Vec::new(),
+                    woff: 0,
+                    last_activity: Instant::now(),
+                    read_closed: false,
+                    dead: false,
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return progress,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return progress, // transient accept failure; retry next sweep
+        }
+    }
+}
+
+/// Reads whatever the socket has, up to a per-sweep budget so one noisy
+/// connection cannot starve the rest.
+fn read_some(conn: &mut Conn, config: &ServerConfig) -> io::Result<bool> {
+    // High-water: one max-size envelope beyond what is already buffered.
+    let high_water = LEN_BYTES + CORR_BYTES + config.max_frame_bytes;
+    let mut scratch = [0u8; 16 * 1024];
+    let mut progress = false;
+    let mut budget: usize = 256 * 1024;
+    while budget > 0 && (conn.rbuf.len() < high_water || conn.discard > 0) {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                conn.read_closed = true;
+                return Ok(progress);
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                conn.last_activity = Instant::now();
+                progress = true;
+                budget = budget.saturating_sub(n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(progress)
+}
+
+/// Peels complete envelopes off the reassembly buffer and dispatches
+/// them, honoring the in-flight cap and the oversized-frame skip state.
+fn parse_frames(
+    conn: &mut Conn,
+    router: &Arc<ShardRouter>,
+    config: &ServerConfig,
+    stats: &Arc<NetStats>,
+) -> bool {
+    // Consumed bytes advance an offset; the buffer is compacted once at
+    // the end of the sweep. Draining the Vec per frame would memmove the
+    // entire backlog for every admitted frame — quadratic when a client
+    // pipelines far ahead of `max_inflight`.
+    let mut off = 0;
+    loop {
+        if conn.discard > 0 {
+            let take = conn.discard.min(conn.rbuf.len() - off);
+            if take == 0 {
+                break;
+            }
+            off += take;
+            conn.discard -= take;
+            continue;
+        }
+        let rest = &conn.rbuf[off..];
+        if rest.len() < LEN_BYTES {
+            break;
+        }
+        let len = envelope::read_len(rest);
+        if len < CORR_BYTES {
+            // The stream is not speaking the envelope protocol; there is
+            // no way to resynchronize, and no corr id to reply under.
+            conn.dead = true;
+            break;
+        }
+        if len - CORR_BYTES > config.max_frame_bytes {
+            if rest.len() < LEN_BYTES + CORR_BYTES {
+                break; // need the corr id to reject under
+            }
+            // Rejections produce replies too: the outstanding-work cap
+            // pauses the parse so a peer streaming oversized headers
+            // while never reading stays bounded.
+            if conn.outstanding() >= config.max_inflight {
+                break;
+            }
+            let corr = envelope::read_corr(rest);
+            let reply = oversized_reply(corr, len - CORR_BYTES, config.max_frame_bytes);
+            conn.shared.lock().unwrap().replies.push_back(reply);
+            stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            off += LEN_BYTES + CORR_BYTES;
+            conn.discard = len - CORR_BYTES;
+            continue;
+        }
+        if conn.outstanding() >= config.max_inflight {
+            break; // backpressure: leave the frame buffered
+        }
+        if rest.len() < LEN_BYTES + len {
+            break;
+        }
+        let corr = envelope::read_corr(rest);
+        let frame = &rest[LEN_BYTES + CORR_BYTES..LEN_BYTES + len];
+        if !dispatch(conn, router, corr, frame) {
+            // Shard queue full: keep the frame and retry next sweep.
+            // This counts as liveness — a connection with admissible
+            // work waiting out fleet saturation must not be reaped as
+            // idle (a peer that stopped *reading* never gets here: the
+            // outstanding cap above halts it first, with no refresh).
+            conn.last_activity = Instant::now();
+            break;
+        }
+        stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        off += LEN_BYTES + len;
+    }
+    if off > 0 {
+        conn.rbuf.drain(..off);
+    }
+    off > 0 || conn.dead
+}
+
+/// Whether the reassembly buffer still holds a complete envelope that a
+/// later sweep could serve (it may be held back *right now* by the
+/// in-flight cap, the reply backlog or a full shard queue). Half-closed
+/// connections must not be reaped while this is true, or a pipelined
+/// tail would be silently dropped.
+fn has_complete_frame(conn: &Conn, config: &ServerConfig) -> bool {
+    if conn.discard > 0 || conn.rbuf.len() < LEN_BYTES {
+        return false;
+    }
+    let len = envelope::read_len(&conn.rbuf);
+    if len < CORR_BYTES {
+        return false; // malformed: the next parse marks the conn dead
+    }
+    if len - CORR_BYTES > config.max_frame_bytes {
+        // Rejectable (and answerable) once the corr id is present.
+        return conn.rbuf.len() >= LEN_BYTES + CORR_BYTES;
+    }
+    conn.rbuf.len() >= LEN_BYTES + len
+}
+
+/// Hands one frame to the router without ever blocking the poll thread.
+/// Returns whether the frame was consumed: `false` means the owning
+/// shard's queue was full — nothing happened, the caller keeps the
+/// frame buffered and engine backpressure becomes TCP backpressure. The
+/// completion callback runs on an engine worker thread and only touches
+/// the connection's shared half.
+fn dispatch(conn: &Conn, router: &Arc<ShardRouter>, corr: u64, frame: &[u8]) -> bool {
+    conn.shared.lock().unwrap().inflight += 1;
+    let shared = Arc::clone(&conn.shared);
+    let sent = router.try_dispatch_frame_with_callback(frame, move |reply| {
+        let mut s = shared.lock().unwrap();
+        s.inflight -= 1;
+        s.replies.push_back(envelope::encode(corr, &reply));
+    });
+    match sent {
+        Ok(Some(_)) => true,
+        Ok(None) => {
+            // Shard queue at capacity; the callback was dropped unused.
+            conn.shared.lock().unwrap().inflight -= 1;
+            false
+        }
+        Err(e) => {
+            // Synchronous refusal (bad frame, unknown tenant/shard,
+            // closed queue): the callback was never registered, so the
+            // error reply is produced here — the frame is consumed.
+            let reply = envelope::encode(corr, &wire::encode_response(&Err((u64::MAX, e))));
+            let mut s = conn.shared.lock().unwrap();
+            s.inflight -= 1;
+            s.replies.push_back(reply);
+            true
+        }
+    }
+}
+
+/// Flushes the write queue as far as the socket allows.
+fn write_some(conn: &mut Conn, stats: &Arc<NetStats>) -> io::Result<bool> {
+    let mut progress = false;
+    loop {
+        if conn.woff >= conn.wbuf.len() {
+            match conn.shared.lock().unwrap().replies.pop_front() {
+                Some(next) => {
+                    conn.wbuf = next;
+                    conn.woff = 0;
+                }
+                None => return Ok(progress),
+            }
+        }
+        match conn.stream.write(&conn.wbuf[conn.woff..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                conn.woff += n;
+                conn.last_activity = Instant::now();
+                progress = true;
+                if conn.woff >= conn.wbuf.len() {
+                    stats.replies_out.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(progress),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

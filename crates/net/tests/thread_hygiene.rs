@@ -1,0 +1,126 @@
+//! Thread-lifecycle hygiene: engines (with their batch-linger timers),
+//! routers and net servers must not leak OS threads across repeated
+//! start/stop cycles.
+//!
+//! The engine's linger timer and workers, the router's shard engines and
+//! the net server's poll thread are all joined on shutdown; this suite
+//! pins that down by counting the process's live tasks around many
+//! cycles. Linux-only (it reads `/proc/self/task`), which covers CI.
+
+#![cfg(target_os = "linux")]
+
+use hefv_core::prelude::*;
+use hefv_engine::prelude::*;
+use hefv_engine::router::ShardSpec;
+use hefv_net::{Client, NetServer, ServerConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The harness runs `#[test]`s concurrently, and a sibling test's live
+/// workers would skew this process's task count — every counting test
+/// holds this lock for its whole body.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+fn toy_ctx() -> Arc<FvContext> {
+    Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap())
+}
+
+#[test]
+fn repeated_engine_start_stop_leaks_no_threads() {
+    let _guard = serial();
+    let ctx = toy_ctx();
+    // Warm up allocator/runtime threads before taking the baseline.
+    Engine::start(Arc::clone(&ctx), EngineConfig::default()).shutdown();
+    let before = live_threads();
+    for _ in 0..20 {
+        let engine = Engine::start(
+            Arc::clone(&ctx),
+            EngineConfig {
+                workers: 3,
+                // A short linger so the timer thread actually ticks
+                // (not just parks) before shutdown joins it.
+                batch_linger: Some(Duration::from_millis(1)),
+                ..EngineConfig::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(3));
+        engine.shutdown();
+    }
+    let after = live_threads();
+    assert!(
+        after <= before,
+        "thread leak: {before} tasks before, {after} after 20 engine cycles"
+    );
+}
+
+#[test]
+fn repeated_router_and_server_start_stop_leaks_no_threads() {
+    let _guard = serial();
+    let ctx = toy_ctx();
+    let cycle = || {
+        let router = Arc::new(ShardRouter::new());
+        for i in 0..2 {
+            router
+                .add_shard(ShardSpec {
+                    name: format!("s{i}"),
+                    ctx: Arc::clone(&ctx),
+                    config: EngineConfig {
+                        workers: 2,
+                        batch_linger: Some(Duration::from_millis(1)),
+                        ..EngineConfig::default()
+                    },
+                })
+                .unwrap();
+        }
+        let server =
+            NetServer::bind("127.0.0.1:0", Arc::clone(&router), ServerConfig::default()).unwrap();
+        // Touch the socket path so the poll loop does real work.
+        let _ = Client::connect(server.local_addr()).unwrap();
+        server.shutdown();
+        router.shutdown();
+    };
+    cycle(); // warm-up
+    let before = live_threads();
+    for _ in 0..10 {
+        cycle();
+    }
+    let after = live_threads();
+    assert!(
+        after <= before,
+        "thread leak: {before} tasks before, {after} after 10 router+server cycles"
+    );
+}
+
+#[test]
+fn dropping_the_server_joins_the_poll_thread() {
+    let _guard = serial();
+    let ctx = toy_ctx();
+    let router = Arc::new(ShardRouter::new());
+    router
+        .add_shard(ShardSpec {
+            name: "s0".into(),
+            ctx,
+            config: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        })
+        .unwrap();
+    let before = live_threads();
+    {
+        let _server =
+            NetServer::bind("127.0.0.1:0", Arc::clone(&router), ServerConfig::default()).unwrap();
+        assert!(live_threads() > before, "poll thread is running");
+        // Dropped here without an explicit shutdown().
+    }
+    assert_eq!(live_threads(), before, "drop must join the poll thread");
+    router.shutdown();
+}

@@ -200,7 +200,7 @@ pub mod prop {
         use super::super::{StdRng, Strategy};
         use rand::Rng;
 
-        /// Length specification for [`vec`]: an exact size or a range.
+        /// Length specification for [`vec()`]: an exact size or a range.
         pub struct SizeRange {
             lo: usize,
             /// Exclusive upper bound.

@@ -15,7 +15,7 @@
 //!   …`) — the paper's order inversion — so the cores touch opposite banks
 //!   every cycle.
 //! * **Same-word stage** (the paper's `m = 4096`): the two butterfly
-//!   operands share a word [30], so each core streams its own bank one
+//!   operands share a word \[30\], so each core streams its own bank one
 //!   word per cycle.
 //!
 //! Every stage takes exactly `n/4` cycles of dual-issue work, and

@@ -1,0 +1,182 @@
+//! Loopback TCP service smoke: the CI `net-smoke` workload.
+//!
+//! A four-shard router is served over TCP by `hefv_net::NetServer`; four
+//! client threads (one tenant each, every tenant hashing to a distinct
+//! shard) pipeline 256 encrypted additions apiece through one connection
+//! each, half-close, and collect replies in completion order. The
+//! process exits non-zero if any frame is lost, duplicated, misrouted
+//! (reply stamped with the wrong shard), or decrypts to the wrong value.
+//!
+//! Run with: `cargo run --release --example tcp_service`
+
+use hefv::core::prelude::*;
+use hefv::engine::prelude::*;
+use hefv::engine::router::ShardSpec;
+use hefv::engine::wire;
+use hefv::net::{Client, NetServer, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+const CLIENTS: u64 = 4;
+const FRAMES_PER_CLIENT: u64 = 256;
+
+fn main() -> Result<(), String> {
+    let ctx = Arc::new(FvContext::new(FvParams::insecure_toy())?);
+    let t = ctx.params().t;
+    let n = ctx.params().n;
+
+    let router = Arc::new(ShardRouter::new());
+    for i in 0..SHARDS {
+        router
+            .add_shard(ShardSpec {
+                name: format!("net-{i}"),
+                ctx: Arc::clone(&ctx),
+                config: EngineConfig {
+                    workers: 2,
+                    threads_per_job: 1,
+                    queue_capacity: 512,
+                    ..EngineConfig::default()
+                },
+            })
+            .map_err(String::from)?;
+    }
+
+    // One tenant per client, chosen so the four tenants hash to four
+    // distinct shards — every shard sees traffic.
+    let mut tenants: Vec<u64> = Vec::new();
+    let mut shards_covered = HashSet::new();
+    for candidate in 1u64.. {
+        let shard = router.shard_for(candidate).expect("router has shards");
+        if shards_covered.insert(shard) {
+            tenants.push(candidate);
+            if tenants.len() == CLIENTS as usize {
+                break;
+            }
+        }
+    }
+
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        ServerConfig {
+            max_inflight: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    println!("serving {SHARDS} shards on {addr}");
+
+    let workers: Vec<_> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, &tenant)| {
+            let ctx = Arc::clone(&ctx);
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+                let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+                let home = router
+                    .register_tenant(tenant, TenantKeys::compute(pk.clone(), rlk))
+                    .map_err(String::from)?;
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+
+                // Pipeline every frame before reading a single reply.
+                let mut expected = std::collections::HashMap::new();
+                for f in 0..FRAMES_PER_CLIENT {
+                    let (a, b) = (f % t, (f + i as u64) % t);
+                    let enc =
+                        |v, rng: &mut StdRng| encrypt(&ctx, &pk, &Plaintext::new(vec![v], t, n), rng);
+                    let req = EvalRequest::binary(
+                        tenant,
+                        EvalOp::Add,
+                        enc(a, &mut rng),
+                        enc(b, &mut rng),
+                    );
+                    // Every fourth frame is explicitly addressed to the
+                    // tenant's home shard; the rest let the router place it.
+                    let frame = if f % 4 == 0 {
+                        wire::encode_request_for_shard(&req, home)
+                    } else {
+                        wire::encode_request(&req)
+                    };
+                    let corr = client.send_frame(&frame).map_err(|e| e.to_string())?;
+                    expected.insert(corr, (a + b) % t);
+                }
+                client.finish_sending().map_err(|e| e.to_string())?;
+
+                // Replies arrive in completion order; each corr exactly once.
+                let mut seen = HashSet::new();
+                for _ in 0..FRAMES_PER_CLIENT {
+                    let (corr, reply) = client.recv_reply().map_err(|e| e.to_string())?;
+                    if !seen.insert(corr) {
+                        return Err(format!("duplicate reply for corr {corr}"));
+                    }
+                    let stamp = wire::peek_response_shard(&reply).map_err(String::from)?;
+                    if u16::from(stamp) != home {
+                        return Err(format!(
+                            "misrouted: corr {corr} stamped shard {stamp}, tenant {tenant} lives on {home}"
+                        ));
+                    }
+                    let expect = expected
+                        .get(&corr)
+                        .copied()
+                        .ok_or_else(|| format!("reply for unknown corr {corr}"))?;
+                    match wire::decode_response(&ctx, &reply).map_err(String::from)? {
+                        wire::ResponseFrame::Ok(resp) => {
+                            let got = decrypt(&ctx, &sk, &resp.result).coeffs()[0];
+                            if got != expect {
+                                return Err(format!("corr {corr}: got {got}, want {expect}"));
+                            }
+                        }
+                        wire::ResponseFrame::Err { message, .. } => {
+                            return Err(format!("corr {corr} failed: {message}"));
+                        }
+                    }
+                }
+                if seen.len() as u64 != FRAMES_PER_CLIENT {
+                    return Err(format!("lost frames: {} of {FRAMES_PER_CLIENT}", seen.len()));
+                }
+                Ok(())
+            })
+        })
+        .collect();
+
+    for (i, w) in workers.into_iter().enumerate() {
+        w.join()
+            .map_err(|_| format!("client {i} panicked"))?
+            .map_err(|e| format!("client {i}: {e}"))?;
+    }
+
+    let net = server.stats();
+    let fleet = router.stats();
+    println!(
+        "{} frames in, {} replies out over {} connections",
+        net.frames_in, net.replies_out, net.connections
+    );
+    for s in &fleet.per_shard {
+        println!(
+            "shard {} ({}): {} jobs",
+            s.id, s.name, s.stats.jobs_completed
+        );
+    }
+    let total = CLIENTS * FRAMES_PER_CLIENT;
+    assert_eq!(net.frames_in, total, "server read every frame");
+    assert_eq!(net.replies_out, total, "every reply was written");
+    assert_eq!(fleet.total.jobs_completed, total, "every job completed");
+    for s in &fleet.per_shard {
+        assert!(
+            s.stats.jobs_completed > 0,
+            "shard {} served no traffic",
+            s.id
+        );
+    }
+
+    server.shutdown();
+    router.shutdown();
+    println!("net-smoke OK: {total} frames, exactly once, correctly stamped");
+    Ok(())
+}

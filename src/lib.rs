@@ -2,11 +2,13 @@
 //!
 //! Re-exports the HEAT-rs workspace: the FV homomorphic-encryption library
 //! ([`core`]), its arithmetic substrate ([`math`]), the cycle-level
-//! coprocessor simulator ([`sim`]), the application layer ([`apps`]) and
-//! the multi-tenant evaluation engine ([`engine`]).
+//! coprocessor simulator ([`sim`]), the application layer ([`apps`]), the
+//! multi-tenant evaluation engine ([`engine`]) and its TCP front-end
+//! ([`net`]).
 
 pub use hefv_apps as apps;
 pub use hefv_core as core;
 pub use hefv_engine as engine;
 pub use hefv_math as math;
+pub use hefv_net as net;
 pub use hefv_sim as sim;
