@@ -1,0 +1,157 @@
+//! Before/after bench for the PR-4 hot-path overhaul: Harvey lazy-reduction
+//! NTT vs the strict reference path, plus the end-to-end `Mult` and
+//! `relinearize` kernels, emitted as machine-readable JSON.
+//!
+//! The strict transforms (`forward_strict`/`inverse_strict`) are the exact
+//! pre-overhaul implementation, kept in-tree as the oracle — so the
+//! speedup this bench reports is a live before/after measurement, not a
+//! stale number. Results are printed as a table and written to
+//! `$BENCH_PR4_OUT` (default `BENCH_PR4.json` in the crate directory; CI
+//! uploads it as an artifact).
+//!
+//! Environment knobs:
+//! * `BENCH_PR4_OUT` — output path for the JSON report.
+//! * `BENCH_PR4_QUICK` — any value shrinks the iteration budget for CI
+//!   smoke runs.
+
+use hefv_core::eval::{self, Backend};
+use hefv_core::prelude::*;
+use hefv_math::ntt::NttTable;
+use hefv_math::primes::ntt_prime;
+use hefv_math::rns::HpsPrecision;
+use hefv_math::zq::Modulus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Minimum time per measurement in seconds (keeps samples meaningful
+/// without pinning the CI smoke job).
+fn measure<F: FnMut()>(mut f: F, quick: bool) -> f64 {
+    // Warm up and size the batch.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let target = if quick { 0.02 } else { 0.2 };
+    let batch = ((target / 8.0 / once) as u64).clamp(1, 1 << 20);
+    let samples = if quick { 3 } else { 8 };
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::var_os("BENCH_PR4_QUICK").is_some();
+    let n = 4096usize;
+    let q = ntt_prime(30, n, 0).unwrap();
+    let table = NttTable::new(Modulus::new(q), n).unwrap();
+    let input: Vec<u64> = (0..n as u64).map(|i| (i * 48271 + 3) % q).collect();
+
+    let strict_fwd = measure(
+        || {
+            let mut x = input.clone();
+            table.forward_strict(&mut x);
+            black_box(x);
+        },
+        quick,
+    ) * 1e6;
+    let lazy_fwd = measure(
+        || {
+            let mut x = input.clone();
+            table.forward(&mut x);
+            black_box(x);
+        },
+        quick,
+    ) * 1e6;
+    let mut frev = input.clone();
+    table.forward(&mut frev);
+    let strict_inv = measure(
+        || {
+            let mut x = frev.clone();
+            table.inverse_strict(&mut x);
+            black_box(x);
+        },
+        quick,
+    ) * 1e6;
+    let lazy_inv = measure(
+        || {
+            let mut x = frev.clone();
+            table.inverse(&mut x);
+            black_box(x);
+        },
+        quick,
+    ) * 1e6;
+
+    // End-to-end Mult + relinearize at the paper's full parameter size.
+    let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+    let mut rng = StdRng::seed_from_u64(2019);
+    let (_sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let pa = Plaintext::new(vec![1, 1], 2, ctx.params().n);
+    let ca = encrypt(&ctx, &pk, &pa, &mut rng);
+    let cb = encrypt(&ctx, &pk, &pa, &mut rng);
+    let backend = Backend::Hps(HpsPrecision::Fixed);
+    let mult_ms = measure(
+        || {
+            black_box(eval::mul(&ctx, &ca, &cb, &rlk, backend));
+        },
+        quick,
+    ) * 1e3;
+    let tensor = eval::tensor(&ctx, &ca, &cb, backend);
+    let relin_ms = measure(
+        || {
+            black_box(eval::relinearize(&ctx, &tensor, &rlk));
+        },
+        quick,
+    ) * 1e3;
+
+    let fwd_speedup = strict_fwd / lazy_fwd;
+    let inv_speedup = strict_inv / lazy_inv;
+    let combined = (strict_fwd + strict_inv) / (lazy_fwd + lazy_inv);
+    println!("NTT n={n}, 30-bit prime (times are per-transform minima):");
+    println!("  forward  strict {strict_fwd:9.2} µs   lazy {lazy_fwd:9.2} µs   ×{fwd_speedup:.2}");
+    println!("  inverse  strict {strict_inv:9.2} µs   lazy {lazy_inv:9.2} µs   ×{inv_speedup:.2}");
+    println!("  forward+inverse speedup ×{combined:.2}");
+    println!("End-to-end (n=4096, 6+7 primes, HPS fixed-point):");
+    println!("  Mult        {mult_ms:8.2} ms");
+    println!("  relinearize {relin_ms:8.2} ms");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"n\": {n},\n",
+            "  \"ntt\": {{\n",
+            "    \"strict_forward_us\": {sf:.3},\n",
+            "    \"lazy_forward_us\": {lf:.3},\n",
+            "    \"strict_inverse_us\": {si:.3},\n",
+            "    \"lazy_inverse_us\": {li:.3},\n",
+            "    \"forward_speedup\": {fs:.3},\n",
+            "    \"inverse_speedup\": {is:.3},\n",
+            "    \"forward_plus_inverse_speedup\": {cs:.3}\n",
+            "  }},\n",
+            "  \"kernels\": {{\n",
+            "    \"mult_hps_fixed_ms\": {mm:.3},\n",
+            "    \"relinearize_ms\": {rm:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        n = n,
+        sf = strict_fwd,
+        lf = lazy_fwd,
+        si = strict_inv,
+        li = lazy_inv,
+        fs = fwd_speedup,
+        is = inv_speedup,
+        cs = combined,
+        mm = mult_ms,
+        rm = relin_ms,
+    );
+    let out = std::env::var("BENCH_PR4_OUT").unwrap_or_else(|_| "BENCH_PR4.json".into());
+    std::fs::write(&out, json).expect("write bench report");
+    println!("report written to {out}");
+}

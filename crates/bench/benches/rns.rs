@@ -1,61 +1,86 @@
 //! Criterion benches of the RNS machinery: `Lift q→Q` and `Scale Q→q` in
 //! all three arithmetic variants — the software-side counterpart of the
-//! paper's Fig. 5/6 and Fig. 8/9 comparison.
+//! paper's Fig. 5/6 and Fig. 8/9 comparison. Inputs and outputs use the
+//! flat limb-major layout the hot path runs on; output buffers are
+//! allocated once outside the timed loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hefv_math::primes::ntt_primes;
 use hefv_math::rns::{HpsPrecision, RnsContext, ScaleContext};
 use std::hint::black_box;
 
-fn setup() -> (RnsContext, ScaleContext, Vec<Vec<u64>>, Vec<Vec<u64>>) {
+const N: usize = 512; // coefficients per bench iteration
+
+fn setup() -> (RnsContext, ScaleContext, Vec<u64>, Vec<u64>) {
     let ps = ntt_primes(30, 4096, 13).unwrap();
     let ctx = RnsContext::new(&ps[..6], &ps[6..]).unwrap();
     let sc = ScaleContext::new(&ctx, 2);
-    let n = 512; // coefficients per bench iteration
-    let lift_in: Vec<Vec<u64>> = (0..6)
-        .map(|i| {
-            (0..n as u64)
-                .map(|c| (c * 2654435761 + i as u64) % ctx.base_q().modulus(i).value())
-                .collect()
-        })
-        .collect();
-    let scale_in: Vec<Vec<u64>> = (0..13)
-        .map(|i| {
-            (0..n as u64)
-                .map(|c| (c * 40503 + i as u64 * 11) % ctx.base_full().modulus(i).value())
-                .collect()
-        })
-        .collect();
+    let mut lift_in = vec![0u64; 6 * N];
+    for i in 0..6 {
+        let q = ctx.base_q().modulus(i).value();
+        for c in 0..N {
+            lift_in[i * N + c] = (c as u64 * 2654435761 + i as u64) % q;
+        }
+    }
+    let mut scale_in = vec![0u64; 13 * N];
+    for i in 0..13 {
+        let q = ctx.base_full().modulus(i).value();
+        for c in 0..N {
+            scale_in[i * N + c] = (c as u64 * 40503 + i as u64 * 11) % q;
+        }
+    }
     (ctx, sc, lift_in, scale_in)
 }
 
 fn bench_lift(c: &mut Criterion) {
     let (ctx, _, lift_in, _) = setup();
+    let mut out = vec![0u64; 7 * N];
     let mut g = c.benchmark_group("lift_512_coeffs");
     g.bench_function("traditional CRT (Fig. 5)", |b| {
-        b.iter(|| black_box(ctx.lift().extend_poly_exact(&lift_in)))
+        b.iter(|| {
+            ctx.lift().extend_poly_exact_into(&lift_in, N, &mut out);
+            black_box(&out);
+        })
     });
     g.bench_function("HPS f64", |b| {
-        b.iter(|| black_box(ctx.lift().extend_poly_hps(&lift_in, HpsPrecision::F64)))
+        b.iter(|| {
+            ctx.lift()
+                .extend_poly_hps_into(&lift_in, N, &mut out, HpsPrecision::F64);
+            black_box(&out);
+        })
     });
     g.bench_function("HPS fixed-point (Fig. 6)", |b| {
-        b.iter(|| black_box(ctx.lift().extend_poly_hps(&lift_in, HpsPrecision::Fixed)))
+        b.iter(|| {
+            ctx.lift()
+                .extend_poly_hps_into(&lift_in, N, &mut out, HpsPrecision::Fixed);
+            black_box(&out);
+        })
     });
     g.finish();
 }
 
 fn bench_scale(c: &mut Criterion) {
     let (ctx, sc, _, scale_in) = setup();
+    let mut out = vec![0u64; 6 * N];
     let mut g = c.benchmark_group("scale_512_coeffs");
     g.sample_size(20);
     g.bench_function("traditional CRT (Fig. 8)", |b| {
-        b.iter(|| black_box(sc.scale_poly_exact(&ctx, &scale_in)))
+        b.iter(|| {
+            sc.scale_poly_exact_into(&ctx, &scale_in, N, &mut out);
+            black_box(&out);
+        })
     });
     g.bench_function("HPS f64", |b| {
-        b.iter(|| black_box(sc.scale_poly_hps(&ctx, &scale_in, HpsPrecision::F64)))
+        b.iter(|| {
+            sc.scale_poly_hps_into(&ctx, &scale_in, N, &mut out, HpsPrecision::F64);
+            black_box(&out);
+        })
     });
     g.bench_function("HPS fixed-point (Fig. 9)", |b| {
-        b.iter(|| black_box(sc.scale_poly_hps(&ctx, &scale_in, HpsPrecision::Fixed)))
+        b.iter(|| {
+            sc.scale_poly_hps_into(&ctx, &scale_in, N, &mut out, HpsPrecision::Fixed);
+            black_box(&out);
+        })
     });
     g.finish();
 }

@@ -115,17 +115,17 @@ impl FvContext {
     /// `q`-basis rows: `a mod q_j` is `a` or `a − q_j` since all primes are
     /// the same width. This is the cheap `WordDecomp` residue-spread the
     /// microcode charges as coefficient-wise work (§II-B, Table II).
-    pub fn spread_digit(&self, digit_row: &[u64]) -> Vec<Vec<u64>> {
-        self.base_q()
-            .moduli()
-            .iter()
-            .map(|m| {
-                digit_row
-                    .iter()
-                    .map(|&a| if a >= m.value() { a - m.value() } else { a })
-                    .collect()
-            })
-            .collect()
+    ///
+    /// Returns one flat limb-major `k·n` buffer (row `j` at stride
+    /// `digit_row.len()`), ready for [`crate::rnspoly::RnsPoly::from_flat`].
+    pub fn spread_digit(&self, digit_row: &[u64]) -> Vec<u64> {
+        let moduli = self.base_q().moduli();
+        let mut out = Vec::with_capacity(moduli.len() * digit_row.len());
+        for m in moduli {
+            let q = m.value();
+            out.extend(digit_row.iter().map(|&a| if a >= q { a - q } else { a }));
+        }
+        out
     }
 }
 
@@ -163,11 +163,12 @@ mod tests {
         let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
         let q0 = ctx.base_q().modulus(0).value();
         let spread = ctx.spread_digit(&[0, 1, q0 - 1]);
+        assert_eq!(spread.len(), ctx.base_q().len() * 3);
         for (j, m) in ctx.base_q().moduli().iter().enumerate() {
-            assert_eq!(spread[j][0], 0);
-            assert_eq!(spread[j][1], 1);
+            assert_eq!(spread[j * 3], 0);
+            assert_eq!(spread[j * 3 + 1], 1);
             let expect = (q0 - 1) % m.value();
-            assert_eq!(spread[j][2], expect, "j={j}");
+            assert_eq!(spread[j * 3 + 2], expect, "j={j}");
         }
     }
 }

@@ -132,7 +132,7 @@ pub fn decrypt(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> Plaintext {
     let mut coeffs = Vec::with_capacity(n);
     let mut buf = vec![0u64; basis.len()];
     for c in 0..n {
-        for (slot, row) in buf.iter_mut().zip(v.residues()) {
+        for (slot, row) in buf.iter_mut().zip(v.rows()) {
             *slot = row[c];
         }
         let centered = basis.decode_centered(&buf);

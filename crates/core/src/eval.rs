@@ -96,12 +96,14 @@ pub fn mul_plain(ctx: &FvContext, a: &Ciphertext, pt: &crate::encoder::Plaintext
     let basis = ctx.base_q();
     let mut m = crate::encoder::plaintext_to_rns(ctx, pt);
     m.ntt_forward(ctx.ntt_q());
-    let mut c0 = a.c0.clone();
-    let mut c1 = a.c1.clone();
-    c0.ntt_forward(ctx.ntt_q());
-    c1.ntt_forward(ctx.ntt_q());
-    let mut r0 = c0.pointwise_mul(&m, basis);
-    let mut r1 = c1.pointwise_mul(&m, basis);
+    // The clones *are* the output buffers: transform in place, multiply in
+    // place, transform back — no intermediate product allocation.
+    let mut r0 = a.c0.clone();
+    let mut r1 = a.c1.clone();
+    r0.ntt_forward(ctx.ntt_q());
+    r1.ntt_forward(ctx.ntt_q());
+    r0.pointwise_mul_assign(&m, basis);
+    r1.pointwise_mul_assign(&m, basis);
     r0.ntt_inverse(ctx.ntt_q());
     r1.ntt_inverse(ctx.ntt_q());
     Ciphertext { c0: r0, c1: r1 }
@@ -111,35 +113,114 @@ pub fn mul_plain(ctx: &FvContext, a: &Ciphertext, pt: &crate::encoder::Plaintext
 /// (the paper's `Lift q→Q`): keeps the `q` residues and appends the
 /// extension residues.
 pub fn lift_q_to_full(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> RnsPoly {
+    lift_q_to_full_with_budget(ctx, poly, backend, 1)
+}
+
+/// [`lift_q_to_full`] with the extension rows computed by at most `budget`
+/// OS threads over disjoint coefficient ranges (the extension is
+/// coefficient-streaming, so columns — not rows — are the parallel axis).
+///
+/// The output buffer is allocated **once** at full `(k+l)·n` size: the `q`
+/// rows are copied in as one memcpy and the extender writes the `p` rows
+/// directly through [`RnsPoly::rows_mut`].
+pub fn lift_q_to_full_with_budget(
+    ctx: &FvContext,
+    poly: &RnsPoly,
+    backend: Backend,
+    budget: usize,
+) -> RnsPoly {
     assert_eq!(
         poly.domain(),
         Domain::Coefficient,
         "lift needs coefficients"
     );
-    let ext = match backend.resolve() {
-        Backend::Traditional => ctx.rns().lift().extend_poly_exact(poly.residues()),
-        Backend::Hps(prec) => ctx.rns().lift().extend_poly_hps(poly.residues(), prec),
-        Backend::Auto => unreachable!("resolve() never returns Auto"),
-    };
-    let mut rows = poly.residues().to_vec();
-    rows.extend(ext);
-    RnsPoly::from_residues(rows, Domain::Coefficient)
+    let k = poly.k();
+    let l = ctx.rns().base_p().len();
+    let n = poly.n();
+    let lift = ctx.rns().lift();
+    let mut out = RnsPoly::zero(k + l, n);
+    out.rows_mut(0, k).copy_from_slice(poly.flat());
+    let backend = backend.resolve();
+    let src = poly.flat();
+    fan_out_cols(
+        n,
+        l,
+        out.rows_mut(k, k + l),
+        budget,
+        |cols, dst| match backend {
+            Backend::Traditional => lift.extend_poly_exact_cols_into(src, n, cols, dst),
+            Backend::Hps(prec) => lift.extend_poly_hps_cols_into(src, n, cols, dst, prec),
+            Backend::Auto => unreachable!("resolve() never returns Auto"),
+        },
+    );
+    out
 }
 
 /// Scales a coefficient-domain polynomial over the full `Q` basis down to
 /// `R_q` (the paper's `Scale Q→q`).
 pub fn scale_full_to_q(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> RnsPoly {
+    scale_full_to_q_with_budget(ctx, poly, backend, 1)
+}
+
+/// [`scale_full_to_q`] with at most `budget` OS threads over disjoint
+/// coefficient ranges, writing straight into the single output buffer.
+pub fn scale_full_to_q_with_budget(
+    ctx: &FvContext,
+    poly: &RnsPoly,
+    backend: Backend,
+    budget: usize,
+) -> RnsPoly {
     assert_eq!(
         poly.domain(),
         Domain::Coefficient,
         "scale needs coefficients"
     );
-    let rows = match backend.resolve() {
-        Backend::Traditional => ctx.scale().scale_poly_exact(ctx.rns(), poly.residues()),
-        Backend::Hps(prec) => ctx.scale().scale_poly_hps(ctx.rns(), poly.residues(), prec),
+    let k = ctx.rns().base_q().len();
+    let n = poly.n();
+    let rns = ctx.rns();
+    let sc = ctx.scale();
+    let mut out = RnsPoly::zero(k, n);
+    let backend = backend.resolve();
+    let src = poly.flat();
+    fan_out_cols(n, k, out.flat_mut(), budget, |cols, dst| match backend {
+        Backend::Traditional => sc.scale_poly_exact_cols_into(rns, src, n, cols, dst),
+        Backend::Hps(prec) => sc.scale_poly_hps_cols_into(rns, src, n, cols, dst, prec),
         Backend::Auto => unreachable!("resolve() never returns Auto"),
-    };
-    RnsPoly::from_residues(rows, Domain::Coefficient)
+    });
+    out
+}
+
+/// Runs a column-streaming kernel over `[0, n)` with at most `budget`
+/// threads. `out` is a flat `rows × n` buffer (stride `n`); each task
+/// computes one contiguous column chunk into a dense `rows × chunk` scratch
+/// that is scattered back row by row. With `budget <= 1` the kernel writes
+/// the full-width buffer directly — no scratch, no copy.
+fn fan_out_cols(
+    n: usize,
+    rows: usize,
+    out: &mut [u64],
+    budget: usize,
+    kernel: impl Fn(std::ops::Range<usize>, &mut [u64]) + Sync,
+) {
+    debug_assert_eq!(out.len(), rows * n);
+    let tasks = budget.max(1).min(n.max(1));
+    if tasks == 1 {
+        kernel(0..n, out);
+        return;
+    }
+    let chunk = n.div_ceil(tasks);
+    let pieces = crate::parallel::fan_out_indexed(tasks, budget, |t| {
+        let cols = (t * chunk).min(n)..((t + 1) * chunk).min(n);
+        let mut buf = vec![0u64; rows * cols.len()];
+        kernel(cols.clone(), &mut buf);
+        (cols, buf)
+    });
+    for (cols, buf) in pieces {
+        let w = cols.len();
+        for r in 0..rows {
+            out[r * n + cols.start..r * n + cols.end].copy_from_slice(&buf[r * w..(r + 1) * w]);
+        }
+    }
 }
 
 /// The degree-2 intermediate of `Mult` before relinearization.
@@ -189,12 +270,12 @@ pub fn relinearize(ctx: &FvContext, t: &TensorResult, rlk: &RelinKey) -> Ciphert
     assert_eq!(rlk.digits(), k, "relin key digit count mismatch");
     let n = ctx.params().n;
 
-    let mut acc0 = RnsPoly::from_residues(vec![vec![0u64; n]; k], Domain::Ntt);
-    let mut acc1 = RnsPoly::from_residues(vec![vec![0u64; n]; k], Domain::Ntt);
+    let mut acc0 = RnsPoly::zero_in(k, n, Domain::Ntt);
+    let mut acc1 = RnsPoly::zero_in(k, n, Domain::Ntt);
     for i in 0..k {
         // WordDecomp digit i = residue row i of d2, spread across all rows.
-        let spread = ctx.spread_digit(&t.d2.residues()[i]);
-        let mut digit = RnsPoly::from_residues(spread, Domain::Coefficient);
+        let spread = ctx.spread_digit(t.d2.row(i));
+        let mut digit = RnsPoly::from_flat(spread, k, Domain::Coefficient);
         digit.ntt_forward(ctx.ntt_q());
         acc0.pointwise_mul_acc(&digit, rlk.rlk0(i), basis);
         acc1.pointwise_mul_acc(&digit, rlk.rlk1(i), basis);

@@ -40,25 +40,21 @@ pub fn apply_automorphism(ctx: &FvContext, poly: &RnsPoly, g: usize) -> RnsPoly 
     let n = poly.n();
     assert!(is_valid_exponent(g, n), "invalid Galois exponent {g}");
     let basis = ctx.base_q();
-    let rows = poly
-        .residues()
-        .iter()
-        .enumerate()
-        .map(|(r, row)| {
-            let m = basis.modulus(r);
-            let mut out = vec![0u64; n];
-            for (i, &c) in row.iter().enumerate() {
-                let pos = (i * g) % (2 * n);
-                if pos < n {
-                    out[pos] = c;
-                } else {
-                    out[pos - n] = m.neg(c);
-                }
+    let mut out = RnsPoly::zero(poly.k(), n);
+    for r in 0..poly.k() {
+        let m = *basis.modulus(r);
+        let src = poly.row(r);
+        let dst = out.row_mut(r);
+        for (i, &c) in src.iter().enumerate() {
+            let pos = (i * g) % (2 * n);
+            if pos < n {
+                dst[pos] = c;
+            } else {
+                dst[pos - n] = m.neg(c);
             }
-            out
-        })
-        .collect();
-    RnsPoly::from_residues(rows, Domain::Coefficient)
+        }
+    }
+    out
 }
 
 /// A key-switching key for one Galois exponent: digit-wise encryptions of
@@ -103,9 +99,8 @@ impl GaloisKey {
             let mut key0 = a.pointwise_mul(sk.s_ntt(), basis).add(&e, basis).neg(basis);
             {
                 // + h_i · σ_g(s): the idempotent touches only row i.
-                let m = basis.modulus(i);
-                let dst = &mut key0.residues_mut()[i];
-                for (d, &sc) in dst.iter_mut().zip(&s_g.residues()[i]) {
+                let m = *basis.modulus(i);
+                for (d, &sc) in key0.row_mut(i).iter_mut().zip(s_g.row(i)) {
                     *d = m.add(*d, sc);
                 }
             }
@@ -136,11 +131,11 @@ pub fn apply_galois(ctx: &FvContext, ct: &Ciphertext, key: &GaloisKey) -> Cipher
     let c0g = apply_automorphism(ctx, ct.c0(), key.g);
     let c1g = apply_automorphism(ctx, ct.c1(), key.g);
 
-    let mut acc0 = RnsPoly::from_residues(vec![vec![0u64; n]; k], Domain::Ntt);
-    let mut acc1 = RnsPoly::from_residues(vec![vec![0u64; n]; k], Domain::Ntt);
+    let mut acc0 = RnsPoly::zero_in(k, n, Domain::Ntt);
+    let mut acc1 = RnsPoly::zero_in(k, n, Domain::Ntt);
     for i in 0..k {
-        let spread = ctx.spread_digit(&c1g.residues()[i]);
-        let mut digit = RnsPoly::from_residues(spread, Domain::Coefficient);
+        let spread = ctx.spread_digit(c1g.row(i));
+        let mut digit = RnsPoly::from_flat(spread, k, Domain::Coefficient);
         digit.ntt_forward(ctx.ntt_q());
         acc0.pointwise_mul_acc(&digit, &key.ksk0[i], basis);
         acc1.pointwise_mul_acc(&digit, &key.ksk1[i], basis);
@@ -223,8 +218,8 @@ mod tests {
         let g = 3;
         let out = apply_automorphism(&ctx, &p, g);
         // x^3 has coefficient 1 at position 3
-        assert_eq!(out.residues()[0][3], 1);
-        assert!(out.residues()[0].iter().filter(|&&c| c != 0).count() == 1);
+        assert_eq!(out.row(0)[3], 1);
+        assert!(out.row(0).iter().filter(|&&c| c != 0).count() == 1);
     }
 
     #[test]
@@ -239,14 +234,14 @@ mod tests {
         // (x^(2n−1) = −x^(n−1) since x^n = −1).
         let out = apply_automorphism(&ctx, &p, 2 * n - 1);
         let m = ctx.base_q().modulus(0);
-        assert_eq!(out.residues()[0][n - 1], m.neg(1));
+        assert_eq!(out.row(0)[n - 1], m.neg(1));
         // And x^(3n−3) = x^(n−3) with *no* flip (x^(2n) = 1): check via g=3
         // on x^(n−1).
         let mut c2 = vec![0i64; n];
         c2[n - 1] = 1;
         let p2 = RnsPoly::from_signed(&c2, ctx.base_q());
         let out2 = apply_automorphism(&ctx, &p2, 3);
-        assert_eq!(out2.residues()[0][n - 3], 1);
+        assert_eq!(out2.row(0)[n - 3], 1);
     }
 
     #[test]
@@ -282,7 +277,7 @@ mod tests {
         // Compare modulo t by re-deriving plaintext coefficients.
         let m0 = ctx.base_q().modulus(0);
         for c in 0..n {
-            let signed = m0.to_centered(expect_rns.residues()[0][c]);
+            let signed = m0.to_centered(expect_rns.row(0)[c]);
             let expect = signed.rem_euclid(7681) as u64;
             assert_eq!(got.coeffs()[c], expect, "coeff {c}");
         }

@@ -97,9 +97,8 @@ impl RelinKey {
             let mut key0 = a.pointwise_mul(&sk.s_ntt, basis).add(&e, basis).neg(basis);
             // add h_i * s^2: only residue row i is nonzero (h_i ≡ δ_ij).
             {
-                let m = basis.modulus(i);
-                let dst = &mut key0.residues_mut()[i];
-                for (d, &s2c) in dst.iter_mut().zip(&s2.residues()[i]) {
+                let m = *basis.modulus(i);
+                for (d, &s2c) in key0.row_mut(i).iter_mut().zip(s2.row(i)) {
                     *d = m.add(*d, s2c);
                 }
             }
@@ -179,7 +178,7 @@ mod tests {
         v.ntt_inverse(ctx.ntt_q());
         // every coefficient must be small (|e| <= 12σ) once centered
         for c in 0..ctx.params().n {
-            let residues: Vec<u64> = (0..basis.len()).map(|i| v.residues()[i][c]).collect();
+            let residues: Vec<u64> = (0..basis.len()).map(|i| v.row(i)[c]).collect();
             let centered = basis.decode_centered(&residues);
             let mag = centered.magnitude().to_u64().expect("small");
             assert!(mag <= (12.0 * ctx.params().sigma) as u64 + 1, "coeff {c}");
@@ -203,15 +202,15 @@ mod tests {
                 .sub(
                     &{
                         // h_i * s²: zero except row i
-                        let mut h = RnsPoly::zero(basis.len(), ctx.params().n);
-                        h.residues_mut()[i].copy_from_slice(&s2.residues()[i]);
-                        RnsPoly::from_residues(h.into_residues(), Domain::Ntt)
+                        let mut h = RnsPoly::zero_in(basis.len(), ctx.params().n, Domain::Ntt);
+                        h.row_mut(i).copy_from_slice(s2.row(i));
+                        h
                     },
                     basis,
                 );
             v.ntt_inverse(ctx.ntt_q());
             for c in 0..ctx.params().n {
-                let residues: Vec<u64> = (0..basis.len()).map(|r| v.residues()[r][c]).collect();
+                let residues: Vec<u64> = (0..basis.len()).map(|r| v.row(r)[c]).collect();
                 let centered = basis.decode_centered(&residues);
                 let mag = centered.magnitude().to_u64().expect("noise is small");
                 assert!(mag <= (12.0 * ctx.params().sigma) as u64 + 1);

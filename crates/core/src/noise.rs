@@ -33,7 +33,7 @@ pub fn measure(ctx: &FvContext, sk: &SecretKey, ct: &Ciphertext) -> NoiseReport 
     let mut buf = vec![0u64; basis.len()];
     let mut max_noise = UBig::zero();
     for c in 0..n {
-        for (slot, row) in buf.iter_mut().zip(v.residues()) {
+        for (slot, row) in buf.iter_mut().zip(v.rows()) {
             *slot = row[c];
         }
         let vc = basis.decode(&buf);

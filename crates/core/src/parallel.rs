@@ -16,7 +16,7 @@
 
 use crate::context::FvContext;
 use crate::encrypt::Ciphertext;
-use crate::eval::{lift_q_to_full, scale_full_to_q, Backend, TensorResult};
+use crate::eval::{self, Backend, TensorResult};
 use crate::keys::RelinKey;
 use crate::rnspoly::{Domain, RnsPoly};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -66,6 +66,43 @@ where
         .collect()
 }
 
+/// Applies `f(row_index, row)` to every stride-`n` row of a flat
+/// limb-major buffer, fanning the rows out over at most `budget` OS
+/// threads via [`fan_out_indexed`]. This is the software form of the
+/// paper's RPAU-per-residue distribution: each task owns one dense residue
+/// row. With `budget <= 1` everything runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if `n` does not divide `data.len()` (ragged rows).
+pub fn for_each_row_mut<F>(data: &mut [u64], n: usize, budget: usize, f: F)
+where
+    F: Fn(usize, &mut [u64]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        n > 0 && data.len().is_multiple_of(n),
+        "flat buffer not row-aligned"
+    );
+    let count = data.len() / n;
+    if budget.max(1).min(count) == 1 {
+        for (i, row) in data.chunks_mut(n).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    // Hand each scoped worker disjoint rows through per-row mutexes: the
+    // locks are uncontended (every index is claimed exactly once by
+    // fan_out_indexed) and cost nothing next to an NTT over the row.
+    let rows: Vec<Mutex<&mut [u64]>> = data.chunks_mut(n).map(Mutex::new).collect();
+    fan_out_indexed(count, budget, |i| {
+        let mut row = rows[i].lock().unwrap();
+        f(i, &mut row);
+    });
+}
+
 /// Steps 1–3 of `Mult` fanned out over at most `budget` threads.
 pub fn tensor_threaded_with_budget(
     ctx: &FvContext,
@@ -77,10 +114,14 @@ pub fn tensor_threaded_with_budget(
     let full = ctx.rns().base_full();
 
     // Phase 1: lift + forward-transform all four operand polynomials.
+    // Threads left over after the four-way fan-out go to limb-level
+    // parallelism inside each lift/transform (residue rows are
+    // independent, exactly like the paper's RPAUs).
+    let inner1 = (budget / 4).max(1);
     let inputs = [a.c0(), a.c1(), b.c0(), b.c1()];
     let mut lifted = fan_out_indexed(4, budget, |i| {
-        let mut l = lift_q_to_full(ctx, inputs[i], backend);
-        l.ntt_forward(ctx.ntt_full());
+        let mut l = eval::lift_q_to_full_with_budget(ctx, inputs[i], backend, inner1);
+        l.ntt_forward_with_budget(ctx.ntt_full(), inner1);
         l
     });
     let l11 = lifted.pop().unwrap();
@@ -89,19 +130,20 @@ pub fn tensor_threaded_with_budget(
     let l00 = lifted.pop().unwrap();
 
     // Phase 2: the three tensor outputs, each with its inverse transform
-    // and scale.
+    // and scale; surplus threads again fan across residue rows.
+    let inner2 = (budget / 3).max(1);
     let mut outs = fan_out_indexed(3, budget, |i| {
         let mut t = match i {
-            0 => l00.pointwise_mul(&l10, full),
+            0 => l00.pointwise_mul_with_budget(&l10, full, inner2),
             1 => {
-                let mut t = l00.pointwise_mul(&l11, full);
-                t.pointwise_mul_acc(&l01, &l10, full);
+                let mut t = l00.pointwise_mul_with_budget(&l11, full, inner2);
+                t.pointwise_mul_acc_with_budget(&l01, &l10, full, inner2);
                 t
             }
-            _ => l01.pointwise_mul(&l11, full),
+            _ => l01.pointwise_mul_with_budget(&l11, full, inner2),
         };
-        t.ntt_inverse(ctx.ntt_full());
-        scale_full_to_q(ctx, &t, backend)
+        t.ntt_inverse_with_budget(ctx.ntt_full(), inner2);
+        eval::scale_full_to_q_with_budget(ctx, &t, backend, inner2)
     });
     let d2 = outs.pop().unwrap();
     let d1 = outs.pop().unwrap();
@@ -156,13 +198,14 @@ pub fn relinearize_threaded_with_budget(
     let k = ctx.params().k();
     assert_eq!(rlk.digits(), k, "relin key digit count mismatch");
 
+    let inner = (budget / k).max(1);
     let partials = fan_out_indexed(k, budget, |i| {
-        let spread = ctx.spread_digit(&t.d2.residues()[i]);
-        let mut digit = RnsPoly::from_residues(spread, Domain::Coefficient);
-        digit.ntt_forward(ctx.ntt_q());
+        let spread = ctx.spread_digit(t.d2.row(i));
+        let mut digit = RnsPoly::from_flat(spread, k, Domain::Coefficient);
+        digit.ntt_forward_with_budget(ctx.ntt_q(), inner);
         (
-            digit.pointwise_mul(rlk.rlk0(i), basis),
-            digit.pointwise_mul(rlk.rlk1(i), basis),
+            digit.pointwise_mul_with_budget(rlk.rlk0(i), basis, inner),
+            digit.pointwise_mul_with_budget(rlk.rlk1(i), basis, inner),
         )
     });
 

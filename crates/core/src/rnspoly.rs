@@ -1,10 +1,15 @@
 //! RNS polynomials: elements of `R_q` (or `R_Q`) held as parallel residue
 //! polynomials.
 //!
-//! The residue-major layout (`residues[i][c]` = coefficient `c` modulo the
-//! i-th prime) is exactly how the paper distributes work across RPAUs: each
-//! RPAU owns one (or two) residue rows.
+//! Storage is one contiguous `k·n` buffer in limb-major order (residue row
+//! `i` occupies `data[i·n .. (i+1)·n]`) — the software mirror of how the
+//! paper distributes work across RPAUs: each RPAU owns one (or two) residue
+//! rows, and rows stream through the datapath as dense vectors. A single
+//! allocation per polynomial (instead of one per row) keeps the hot kernels
+//! cache-friendly and lets callers hand whole row ranges to the flat-slice
+//! `Lift`/`Scale` APIs without copying.
 
+use crate::parallel::for_each_row_mut;
 use hefv_math::ntt::NttTable;
 use hefv_math::rns::RnsBasis;
 use serde::{Deserialize, Serialize};
@@ -25,52 +30,97 @@ pub enum Domain {
 /// implementation bug).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RnsPoly {
-    residues: Vec<Vec<u64>>,
+    /// Contiguous limb-major coefficients: row `i`, coefficient `c` at
+    /// `data[i * n + c]`.
+    data: Vec<u64>,
+    k: usize,
+    n: usize,
     domain: Domain,
 }
 
 impl RnsPoly {
     /// The zero polynomial over `k` residues of length `n`.
     pub fn zero(k: usize, n: usize) -> Self {
+        Self::zero_in(k, n, Domain::Coefficient)
+    }
+
+    /// The zero polynomial tagged with an explicit domain (NTT-domain
+    /// accumulators start here).
+    pub fn zero_in(k: usize, n: usize, domain: Domain) -> Self {
+        assert!(k > 0, "need at least one residue row");
         RnsPoly {
-            residues: vec![vec![0; n]; k],
-            domain: Domain::Coefficient,
+            data: vec![0; k * n],
+            k,
+            n,
+            domain,
         }
     }
 
-    /// Wraps residue rows produced elsewhere.
+    /// Wraps a flat limb-major buffer produced elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or does not divide `data.len()`.
+    pub fn from_flat(data: Vec<u64>, k: usize, domain: Domain) -> Self {
+        assert!(k > 0, "need at least one residue row");
+        assert_eq!(data.len() % k, 0, "flat buffer not a multiple of k");
+        let n = data.len() / k;
+        RnsPoly { data, k, n, domain }
+    }
+
+    /// Wraps residue rows produced elsewhere (flattening them into the
+    /// contiguous layout).
     ///
     /// # Panics
     ///
     /// Panics if rows are ragged or empty.
     pub fn from_residues(residues: Vec<Vec<u64>>, domain: Domain) -> Self {
         assert!(!residues.is_empty(), "need at least one residue row");
+        let k = residues.len();
         let n = residues[0].len();
-        assert!(residues.iter().all(|r| r.len() == n), "ragged rows");
-        RnsPoly { residues, domain }
+        let mut data = Vec::with_capacity(k * n);
+        for row in residues {
+            assert_eq!(row.len(), n, "ragged rows");
+            data.extend_from_slice(&row);
+        }
+        RnsPoly {
+            data,
+            k,
+            n,
+            domain: Domain::Coefficient,
+        }
+        .with_domain(domain)
+    }
+
+    fn with_domain(mut self, domain: Domain) -> Self {
+        self.domain = domain;
+        self
     }
 
     /// Builds from signed coefficients, reducing into each prime of `basis`.
     pub fn from_signed(coeffs: &[i64], basis: &RnsBasis) -> Self {
-        let residues = basis
-            .moduli()
-            .iter()
-            .map(|m| coeffs.iter().map(|&c| m.from_i64(c)).collect())
-            .collect();
+        let k = basis.len();
+        let n = coeffs.len();
+        let mut data = Vec::with_capacity(k * n);
+        for m in basis.moduli() {
+            data.extend(coeffs.iter().map(|&c| m.from_i64(c)));
+        }
         RnsPoly {
-            residues,
+            data,
+            k,
+            n,
             domain: Domain::Coefficient,
         }
     }
 
     /// Number of residue rows.
     pub fn k(&self) -> usize {
-        self.residues.len()
+        self.k
     }
 
     /// Ring degree.
     pub fn n(&self) -> usize {
-        self.residues[0].len()
+        self.n
     }
 
     /// Current domain.
@@ -78,24 +128,54 @@ impl RnsPoly {
         self.domain
     }
 
-    /// Residue rows.
-    pub fn residues(&self) -> &[Vec<u64>] {
-        &self.residues
+    /// The whole limb-major buffer (`k·n` values, stride `n`).
+    pub fn flat(&self) -> &[u64] {
+        &self.data
     }
 
-    /// Mutable residue rows (domain discipline is the caller's burden).
-    pub fn residues_mut(&mut self) -> &mut [Vec<u64>] {
-        &mut self.residues
+    /// Mutable view of the whole buffer (domain discipline is the
+    /// caller's burden).
+    pub fn flat_mut(&mut self) -> &mut [u64] {
+        &mut self.data
     }
 
-    /// Consumes into the raw rows.
-    pub fn into_residues(self) -> Vec<Vec<u64>> {
-        self.residues
+    /// Residue row `i` (coefficients mod the `i`-th prime).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable residue row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Flat mutable view of rows `i..j` (still limb-major, stride `n`) —
+    /// the seam the flat-slice `Lift`/`Scale` kernels write through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > j` or `j > k`.
+    pub fn rows_mut(&mut self, i: usize, j: usize) -> &mut [u64] {
+        assert!(i <= j && j <= self.k, "row range out of bounds");
+        &mut self.data[i * self.n..j * self.n]
+    }
+
+    /// Iterates residue rows as dense slices.
+    pub fn rows(&self) -> std::slice::Chunks<'_, u64> {
+        self.data.chunks(self.n)
+    }
+
+    /// Copies the rows out as owned vectors (bridge for the simulator's
+    /// per-lane BRAM models; not used on the hot path).
+    pub fn to_rows(&self) -> Vec<Vec<u64>> {
+        self.rows().map(<[u64]>::to_vec).collect()
     }
 
     fn check(&self, other: &Self) {
-        assert_eq!(self.k(), other.k(), "residue count mismatch");
-        assert_eq!(self.n(), other.n(), "degree mismatch");
+        assert_eq!(self.k, other.k, "residue count mismatch");
+        assert_eq!(self.n, other.n, "degree mismatch");
         assert_eq!(self.domain, other.domain, "domain mismatch");
     }
 
@@ -106,18 +186,20 @@ impl RnsPoly {
     /// Panics on shape or domain mismatch.
     pub fn add(&self, other: &Self, basis: &RnsBasis) -> Self {
         self.check(other);
-        let residues = (0..self.k())
-            .map(|i| {
-                let m = basis.modulus(i);
-                self.residues[i]
+        let mut data = Vec::with_capacity(self.data.len());
+        for i in 0..self.k {
+            let m = basis.modulus(i);
+            data.extend(
+                self.row(i)
                     .iter()
-                    .zip(&other.residues[i])
-                    .map(|(&a, &b)| m.add(a, b))
-                    .collect()
-            })
-            .collect();
+                    .zip(other.row(i))
+                    .map(|(&a, &b)| m.add(a, b)),
+            );
+        }
         RnsPoly {
-            residues,
+            data,
+            k: self.k,
+            n: self.n,
             domain: self.domain,
         }
     }
@@ -129,32 +211,35 @@ impl RnsPoly {
     /// Panics on shape or domain mismatch.
     pub fn sub(&self, other: &Self, basis: &RnsBasis) -> Self {
         self.check(other);
-        let residues = (0..self.k())
-            .map(|i| {
-                let m = basis.modulus(i);
-                self.residues[i]
+        let mut data = Vec::with_capacity(self.data.len());
+        for i in 0..self.k {
+            let m = basis.modulus(i);
+            data.extend(
+                self.row(i)
                     .iter()
-                    .zip(&other.residues[i])
-                    .map(|(&a, &b)| m.sub(a, b))
-                    .collect()
-            })
-            .collect();
+                    .zip(other.row(i))
+                    .map(|(&a, &b)| m.sub(a, b)),
+            );
+        }
         RnsPoly {
-            residues,
+            data,
+            k: self.k,
+            n: self.n,
             domain: self.domain,
         }
     }
 
     /// Negation.
     pub fn neg(&self, basis: &RnsBasis) -> Self {
-        let residues = (0..self.k())
-            .map(|i| {
-                let m = basis.modulus(i);
-                self.residues[i].iter().map(|&a| m.neg(a)).collect()
-            })
-            .collect();
+        let mut data = Vec::with_capacity(self.data.len());
+        for i in 0..self.k {
+            let m = basis.modulus(i);
+            data.extend(self.row(i).iter().map(|&a| m.neg(a)));
+        }
         RnsPoly {
-            residues,
+            data,
+            k: self.k,
+            n: self.n,
             domain: self.domain,
         }
     }
@@ -165,25 +250,59 @@ impl RnsPoly {
     ///
     /// Panics on shape mismatch or if either operand is coefficient-domain.
     pub fn pointwise_mul(&self, other: &Self, basis: &RnsBasis) -> Self {
+        self.pointwise_mul_with_budget(other, basis, 1)
+    }
+
+    /// [`RnsPoly::pointwise_mul`] with residue rows fanned out over at
+    /// most `budget` OS threads (the paper's RPAU-per-residue
+    /// distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if either operand is coefficient-domain.
+    pub fn pointwise_mul_with_budget(&self, other: &Self, basis: &RnsBasis, budget: usize) -> Self {
         self.check(other);
         assert_eq!(
             self.domain,
             Domain::Ntt,
             "pointwise product needs NTT domain"
         );
-        let residues = (0..self.k())
-            .map(|i| {
-                let m = basis.modulus(i);
-                self.residues[i]
-                    .iter()
-                    .zip(&other.residues[i])
-                    .map(|(&a, &b)| m.mul(a, b))
-                    .collect()
-            })
-            .collect();
+        let mut data = vec![0u64; self.data.len()];
+        for_each_row_mut(&mut data, self.n, budget, |i, row| {
+            let m = basis.modulus(i);
+            for ((d, &a), &b) in row.iter_mut().zip(self.row(i)).zip(other.row(i)) {
+                *d = m.mul(a, b);
+            }
+        });
         RnsPoly {
-            residues,
+            data,
+            k: self.k,
+            n: self.n,
             domain: Domain::Ntt,
+        }
+    }
+
+    /// In-place pointwise product: `self ⊙= other` in NTT domain — the
+    /// allocation-free sibling of [`RnsPoly::pointwise_mul`] for callers
+    /// that already own their output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or wrong domains.
+    pub fn pointwise_mul_assign(&mut self, other: &Self, basis: &RnsBasis) {
+        self.check(other);
+        assert_eq!(
+            self.domain,
+            Domain::Ntt,
+            "pointwise product needs NTT domain"
+        );
+        let n = self.n;
+        for i in 0..self.k {
+            let m = *basis.modulus(i);
+            let dst = &mut self.data[i * n..(i + 1) * n];
+            for (d, &b) in dst.iter_mut().zip(other.row(i)) {
+                *d = m.mul(*d, b);
+            }
         }
     }
 
@@ -193,17 +312,34 @@ impl RnsPoly {
     ///
     /// Panics on shape mismatch or wrong domains.
     pub fn pointwise_mul_acc(&mut self, a: &Self, b: &Self, basis: &RnsBasis) {
+        self.pointwise_mul_acc_with_budget(a, b, basis, 1);
+    }
+
+    /// [`RnsPoly::pointwise_mul_acc`] with residue rows fanned out over at
+    /// most `budget` OS threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or wrong domains.
+    pub fn pointwise_mul_acc_with_budget(
+        &mut self,
+        a: &Self,
+        b: &Self,
+        basis: &RnsBasis,
+        budget: usize,
+    ) {
         a.check(b);
-        assert_eq!(self.k(), a.k());
+        assert_eq!(self.k, a.k, "residue count mismatch");
+        assert_eq!(self.n, a.n, "degree mismatch");
         assert_eq!(self.domain, Domain::Ntt);
         assert_eq!(a.domain, Domain::Ntt);
-        for i in 0..self.k() {
+        let n = self.n;
+        for_each_row_mut(&mut self.data, n, budget, |i, row| {
             let m = basis.modulus(i);
-            for c in 0..self.n() {
-                self.residues[i][c] =
-                    m.mul_add(a.residues[i][c], b.residues[i][c], self.residues[i][c]);
+            for ((d, &x), &y) in row.iter_mut().zip(a.row(i)).zip(b.row(i)) {
+                *d = m.mul_add(x, y, *d);
             }
-        }
+        });
     }
 
     /// Multiplies every coefficient by per-residue scalars (e.g. `Δ mod q_i`).
@@ -212,16 +348,17 @@ impl RnsPoly {
     ///
     /// Panics if `scalars.len() != k`.
     pub fn scalar_mul(&self, scalars: &[u64], basis: &RnsBasis) -> Self {
-        assert_eq!(scalars.len(), self.k(), "scalar count mismatch");
-        let residues = (0..self.k())
-            .map(|i| {
-                let m = basis.modulus(i);
-                let s = m.reduce(scalars[i]);
-                self.residues[i].iter().map(|&a| m.mul(a, s)).collect()
-            })
-            .collect();
+        assert_eq!(scalars.len(), self.k, "scalar count mismatch");
+        let mut data = Vec::with_capacity(self.data.len());
+        for (i, &scalar) in scalars.iter().enumerate() {
+            let m = basis.modulus(i);
+            let s = m.reduce(scalar);
+            data.extend(self.row(i).iter().map(|&a| m.mul(a, s)));
+        }
         RnsPoly {
-            residues,
+            data,
+            k: self.k,
+            n: self.n,
             domain: self.domain,
         }
     }
@@ -232,11 +369,22 @@ impl RnsPoly {
     ///
     /// Panics if already in NTT domain or if table count mismatches.
     pub fn ntt_forward(&mut self, tables: &[NttTable]) {
+        self.ntt_forward_with_budget(tables, 1);
+    }
+
+    /// Forward NTT with residue rows fanned out over at most `budget` OS
+    /// threads — one row per task, mirroring the paper's one-RPAU-per-prime
+    /// distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in NTT domain or if table count mismatches.
+    pub fn ntt_forward_with_budget(&mut self, tables: &[NttTable], budget: usize) {
         assert_eq!(self.domain, Domain::Coefficient, "already in NTT domain");
-        assert_eq!(tables.len(), self.k(), "table count mismatch");
-        for (row, t) in self.residues.iter_mut().zip(tables) {
-            t.forward(row);
-        }
+        assert_eq!(tables.len(), self.k, "table count mismatch");
+        for_each_row_mut(&mut self.data, self.n, budget, |i, row| {
+            tables[i].forward(row);
+        });
         self.domain = Domain::Ntt;
     }
 
@@ -246,11 +394,21 @@ impl RnsPoly {
     ///
     /// Panics if already in coefficient domain or if table count mismatches.
     pub fn ntt_inverse(&mut self, tables: &[NttTable]) {
+        self.ntt_inverse_with_budget(tables, 1);
+    }
+
+    /// Inverse NTT with residue rows fanned out over at most `budget` OS
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already in coefficient domain or if table count mismatches.
+    pub fn ntt_inverse_with_budget(&mut self, tables: &[NttTable], budget: usize) {
         assert_eq!(self.domain, Domain::Ntt, "already in coefficient domain");
-        assert_eq!(tables.len(), self.k(), "table count mismatch");
-        for (row, t) in self.residues.iter_mut().zip(tables) {
-            t.inverse(row);
-        }
+        assert_eq!(tables.len(), self.k, "table count mismatch");
+        for_each_row_mut(&mut self.data, self.n, budget, |i, row| {
+            tables[i].inverse(row);
+        });
         self.domain = Domain::Coefficient;
     }
 }
@@ -280,18 +438,32 @@ mod tests {
         assert_eq!(p.k(), 3);
         assert_eq!(p.n(), 16);
         assert_eq!(p.domain(), Domain::Coefficient);
+        assert_eq!(p.flat().len(), 48);
     }
 
     #[test]
-    fn signed_roundtrip_through_basis() {
+    fn flat_layout_is_limb_major() {
         let b = basis();
         let coeffs = vec![-1i64, 0, 1, 5, -7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2];
         let p = RnsPoly::from_signed(&coeffs, &b);
         for (i, m) in b.moduli().iter().enumerate() {
             for (c, &v) in coeffs.iter().enumerate() {
-                assert_eq!(p.residues()[i][c], m.from_i64(v));
+                assert_eq!(p.row(i)[c], m.from_i64(v));
+                assert_eq!(p.flat()[i * 16 + c], m.from_i64(v));
             }
         }
+        assert_eq!(p.to_rows()[1], p.row(1));
+        assert_eq!(RnsPoly::from_residues(p.to_rows(), Domain::Coefficient), p);
+    }
+
+    #[test]
+    fn rows_mut_spans_a_contiguous_range() {
+        let mut p = RnsPoly::zero(4, 8);
+        p.rows_mut(1, 3).iter_mut().for_each(|x| *x = 7);
+        assert!(p.row(0).iter().all(|&x| x == 0));
+        assert!(p.row(1).iter().all(|&x| x == 7));
+        assert!(p.row(2).iter().all(|&x| x == 7));
+        assert!(p.row(3).iter().all(|&x| x == 0));
     }
 
     #[test]
@@ -362,6 +534,50 @@ mod tests {
         acc.pointwise_mul_acc(&a, &c, &b);
         let double = a.pointwise_mul(&c, &b).add(&a.pointwise_mul(&c, &b), &b);
         assert_eq!(acc, double);
+    }
+
+    #[test]
+    fn pointwise_assign_matches_allocating_product() {
+        let b = basis();
+        let t = tables(&b, 16);
+        let mut a = RnsPoly::from_signed(&[5, -2, 3, 1, 0, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1], &b);
+        let mut c = RnsPoly::from_signed(&[2; 16], &b);
+        a.ntt_forward(&t);
+        c.ntt_forward(&t);
+        let expect = a.pointwise_mul(&c, &b);
+        let mut got = a.clone();
+        got.pointwise_mul_assign(&c, &b);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn budgeted_kernels_match_serial() {
+        let b = basis();
+        let t = tables(&b, 16);
+        let mut a = RnsPoly::from_signed(&[3, 1, 4, 1, 5, 9, 2, 6, 0, 0, 0, 0, 0, 0, 0, 0], &b);
+        let mut c = RnsPoly::from_signed(&[2, 7, 1, 8, 2, 8, 1, 8, 0, 0, 0, 0, 0, 0, 0, 0], &b);
+        let (a0, c0) = (a.clone(), c.clone());
+        a.ntt_forward(&t);
+        c.ntt_forward(&t);
+        let serial = a.pointwise_mul(&c, &b);
+        for budget in [2usize, 3, 8] {
+            let (mut ap, mut cp) = (a0.clone(), c0.clone());
+            ap.ntt_forward_with_budget(&t, budget);
+            cp.ntt_forward_with_budget(&t, budget);
+            assert_eq!(ap, a, "forward budget {budget}");
+            let par = ap.pointwise_mul_with_budget(&cp, &b, budget);
+            assert_eq!(par, serial, "pointwise budget {budget}");
+            let mut acc_serial = serial.clone();
+            acc_serial.pointwise_mul_acc(&a, &c, &b);
+            let mut acc_par = serial.clone();
+            acc_par.pointwise_mul_acc_with_budget(&ap, &cp, &b, budget);
+            assert_eq!(acc_par, acc_serial, "mul_acc budget {budget}");
+            let mut inv_serial = serial.clone();
+            inv_serial.ntt_inverse(&t);
+            let mut inv_par = par.clone();
+            inv_par.ntt_inverse_with_budget(&t, budget);
+            assert_eq!(inv_par, inv_serial, "inverse budget {budget}");
+        }
     }
 
     #[test]

@@ -11,12 +11,11 @@ use rand::Rng;
 
 /// Samples a polynomial with uniform coefficients modulo each prime.
 pub fn uniform_poly<R: Rng + ?Sized>(rng: &mut R, basis: &RnsBasis, n: usize) -> RnsPoly {
-    let residues = basis
-        .moduli()
-        .iter()
-        .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
-        .collect();
-    RnsPoly::from_residues(residues, Domain::Coefficient)
+    let mut data = Vec::with_capacity(basis.len() * n);
+    for m in basis.moduli() {
+        data.extend((0..n).map(|_| rng.gen_range(0..m.value())));
+    }
+    RnsPoly::from_flat(data, basis.len(), Domain::Coefficient)
 }
 
 /// Samples signed ternary coefficients (uniform over `{-1, 0, 1}`).
@@ -80,7 +79,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let p = uniform_poly(&mut rng, &b, 64);
         for (i, m) in b.moduli().iter().enumerate() {
-            assert!(p.residues()[i].iter().all(|&c| c < m.value()));
+            assert!(p.row(i).iter().all(|&c| c < m.value()));
         }
     }
 

@@ -28,12 +28,12 @@ pub fn encode_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.extend_from_slice(&k.to_le_bytes());
     out.extend_from_slice(&n.to_le_bytes());
+    // The contiguous limb-major buffer already *is* the paper's DMA
+    // layout (residue-major, coefficient-contiguous): stream it out.
     for poly in [ct.c0(), ct.c1()] {
-        for row in poly.residues() {
-            for &c in row {
-                debug_assert!(c < 1 << 32, "coefficient exceeds 4-byte lane");
-                out.extend_from_slice(&(c as u32).to_le_bytes());
-            }
+        for &c in poly.flat() {
+            debug_assert!(c < 1 << 32, "coefficient exceeds 4-byte lane");
+            out.extend_from_slice(&(c as u32).to_le_bytes());
         }
     }
     out
@@ -73,23 +73,21 @@ pub fn decode_ciphertext(ctx: &FvContext, bytes: &[u8]) -> Result<Ciphertext, Er
     }
     let mut off = 12;
     let mut read_poly = || -> RnsPoly {
-        let mut rows = Vec::with_capacity(k);
-        for _ in 0..k {
-            let mut row = Vec::with_capacity(n);
-            for _ in 0..n {
-                let b = &bytes[off..off + 4];
-                row.push(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64);
-                off += 4;
-            }
-            rows.push(row);
+        // One flat k·n read straight into the polynomial's contiguous
+        // storage — no per-row vectors.
+        let mut data = Vec::with_capacity(k * n);
+        for _ in 0..k * n {
+            let b = &bytes[off..off + 4];
+            data.push(u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64);
+            off += 4;
         }
-        RnsPoly::from_residues(rows, Domain::Coefficient)
+        RnsPoly::from_flat(data, k, Domain::Coefficient)
     };
     let c0 = read_poly();
     let c1 = read_poly();
     // Validate coefficients against the moduli (C-VALIDATE).
     for (poly, name) in [(&c0, "c0"), (&c1, "c1")] {
-        for (i, row) in poly.residues().iter().enumerate() {
+        for (i, row) in poly.rows().enumerate() {
             let q = ctx.base_q().modulus(i).value();
             if row.iter().any(|&c| c >= q) {
                 return Err(Error::Wire(format!(

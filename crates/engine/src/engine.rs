@@ -33,6 +33,11 @@ pub struct EngineConfig {
     /// Worker threads executing jobs (≥ 1).
     pub workers: usize,
     /// OS threads one job may fan out over (0 = machine budget / workers).
+    /// This budget reaches all the way down the kernel stack: heavy ops
+    /// first split across their coarse phases (lifts, tensor outputs,
+    /// relin digits), and any surplus threads fan across residue rows
+    /// inside each NTT / pointwise / basis-extension kernel — the
+    /// paper's RPAU-per-residue distribution in software.
     pub threads_per_job: usize,
     /// Key-registry capacity in tenants.
     pub registry_capacity: usize,
@@ -78,6 +83,9 @@ struct Job {
     id: u64,
     req: EvalRequest,
     cost_us: f64,
+    /// Model-attributed kernel split of `cost_us`:
+    /// `(ntt_us, basis_conv_us)`, recorded into the stats on completion.
+    kernel_us: (f64, f64),
     /// The concrete datapath this job runs on (`Auto` is resolved at
     /// submission time against the cost model).
     backend: Backend,
@@ -189,10 +197,12 @@ impl Shared {
             tenant: req.tenant,
             deadline_us: req.deadline_us,
         };
+        let kernel_us = self.estimator.request_kernel_us_for(&req, backend);
         let job = Job {
             id,
             req,
             cost_us,
+            kernel_us,
             backend,
             enqueued: Instant::now(),
             done: Box::new(done),
@@ -462,6 +472,7 @@ fn worker_loop(shared: &Shared, worker: u32) {
             id,
             req,
             cost_us,
+            kernel_us,
             backend,
             done,
             ..
@@ -480,6 +491,7 @@ fn worker_loop(shared: &Shared, worker: u32) {
         let result = match result {
             Ok((result, noise_bits)) => {
                 shared.stats.on_complete(exec_ns, cost_us, noise_bits);
+                shared.stats.on_kernel_time(kernel_us.0, kernel_us.1);
                 Ok(EvalResponse {
                     job_id: id,
                     result,

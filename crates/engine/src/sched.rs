@@ -47,7 +47,10 @@ use crate::request::{EvalOp, EvalRequest};
 use hefv_core::context::FvContext;
 use hefv_core::eval::Backend;
 use hefv_sim::clock::ClockConfig;
-use hefv_sim::coproc::{trad_add_us, trad_mult_us_for, trad_rotate_us_for, Coprocessor};
+use hefv_sim::coproc::{
+    trad_add_us, trad_mult_kernel_split_us, trad_mult_us_for, trad_rotate_kernel_split_us,
+    trad_rotate_us_for, Coprocessor,
+};
 use hefv_sim::cost::TradCostModel;
 use hefv_sim::dma::DmaModel;
 use std::collections::{BinaryHeap, HashMap};
@@ -60,6 +63,10 @@ struct OpPrices {
     add_us: f64,
     rotate_us: f64,
     sum_slots_us: f64,
+    /// (transform µs, basis-conversion µs) inside one `Mult`.
+    mult_split: (f64, f64),
+    /// (transform µs, basis-conversion µs) inside one rotation.
+    rotate_split: (f64, f64),
 }
 
 impl OpPrices {
@@ -79,6 +86,29 @@ impl OpPrices {
 
     fn request_us(&self, req: &EvalRequest) -> f64 {
         req.ops.iter().map(|o| self.op_us(o)).sum()
+    }
+
+    /// Where an op's kernel time goes: `(ntt_us, basis_conv_us)`.
+    /// Coefficient-wise ops contribute to neither bucket; `MulPlain` is
+    /// transform-only (it never lifts or scales).
+    fn op_kernel_us(&self, op: &EvalOp) -> (f64, f64) {
+        let rotations = |n: f64| (self.rotate_split.0 * n, self.rotate_split.1 * n);
+        match op {
+            EvalOp::Add(..) | EvalOp::Sub(..) | EvalOp::Neg(..) => (0.0, 0.0),
+            EvalOp::Mul(..) => self.mult_split,
+            EvalOp::MulPlain(..) => (self.mult_split.0 / 4.0, 0.0),
+            EvalOp::Rotate(..) => self.rotate_split,
+            EvalOp::SumSlots(..) => {
+                rotations((self.sum_slots_us / (self.rotate_us + self.add_us)).max(0.0))
+            }
+        }
+    }
+
+    fn request_kernel_us(&self, req: &EvalRequest) -> (f64, f64) {
+        req.ops.iter().fold((0.0, 0.0), |(n, b), op| {
+            let (dn, db) = self.op_kernel_us(op);
+            (n + dn, b + db)
+        })
     }
 }
 
@@ -118,6 +148,8 @@ impl CostEstimator {
                 add_us,
                 rotate_us,
                 sum_slots_us: rotations * (rotate_us + add_us),
+                mult_split: cop.mult_kernel_split_us(ctx),
+                rotate_split: cop.rotate_kernel_split_us(ctx),
             }
         };
         let trad = {
@@ -135,6 +167,8 @@ impl CostEstimator {
                 add_us,
                 rotate_us,
                 sum_slots_us: rotations * (rotate_us + add_us),
+                mult_split: trad_mult_kernel_split_us(ctx, &model, &clocks),
+                rotate_split: trad_rotate_kernel_split_us(ctx, &model, &clocks),
             }
         };
         CostEstimator { hps, trad }
@@ -191,6 +225,17 @@ impl CostEstimator {
     /// aging weight).
     pub fn mult_us(&self) -> f64 {
         self.hps.mult_us
+    }
+
+    /// Model-attributed kernel time of a whole request on a concrete
+    /// datapath: `(ntt_us, basis_conv_us)` — how much of the priced cost
+    /// is transforms vs `Lift`/`Scale` basis conversion. [`Backend::Auto`]
+    /// attributes on the HPS model (callers that resolved `Auto` per job
+    /// should pass the resolved backend). Feeds the engine's
+    /// `ntt_us`/`basis_conv_us` telemetry so fleet stats expose where
+    /// kernel time goes.
+    pub fn request_kernel_us_for(&self, req: &EvalRequest, backend: Backend) -> (f64, f64) {
+        self.prices(backend.resolve()).request_kernel_us(req)
     }
 }
 

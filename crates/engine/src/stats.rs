@@ -55,6 +55,10 @@ pub struct EngineStats {
     batched_requests: AtomicU64,
     jobs_traditional: AtomicU64,
     jobs_hps: AtomicU64,
+    /// Model-attributed NTT/transform µs ×1000 (fixed-point for atomics).
+    ntt_mus: AtomicU64,
+    /// Model-attributed Lift/Scale basis-conversion µs ×1000.
+    basis_conv_mus: AtomicU64,
 }
 
 impl EngineStats {
@@ -85,6 +89,18 @@ impl EngineStats {
             .fetch_add((sim_cost_us * 1000.0) as u64, Ordering::Relaxed);
         self.noise_bits_milli
             .fetch_add((noise_bits.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Records where a completed job's kernel time went under the cycle
+    /// model: transform (NTT + rearrange) vs `Lift`/`Scale` basis
+    /// conversion. Aggregated alongside `sim_cost_us` so fleet stats show
+    /// not just how much simulated time a shard burned but *which kernels*
+    /// burned it.
+    pub fn on_kernel_time(&self, ntt_us: f64, basis_conv_us: f64) {
+        self.ntt_mus
+            .fetch_add((ntt_us.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+        self.basis_conv_mus
+            .fetch_add((basis_conv_us.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
     }
 
     /// A job failed (after validation, i.e. at execution time).
@@ -149,6 +165,8 @@ impl EngineStats {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             jobs_traditional: self.jobs_traditional.load(Ordering::Relaxed),
             jobs_hps: self.jobs_hps.load(Ordering::Relaxed),
+            ntt_us: self.ntt_mus.load(Ordering::Relaxed) as f64 / 1000.0,
+            basis_conv_us: self.basis_conv_mus.load(Ordering::Relaxed) as f64 / 1000.0,
         }
     }
 }
@@ -206,6 +224,11 @@ pub struct StatsSnapshot {
     pub jobs_traditional: u64,
     /// Jobs executed on the HPS Lift/Scale datapath.
     pub jobs_hps: u64,
+    /// Model-attributed transform (NTT + rearrange) time, µs — the share
+    /// of `sim_cost_us` the cycle model charges to transforms.
+    pub ntt_us: f64,
+    /// Model-attributed `Lift`/`Scale` basis-conversion time, µs.
+    pub basis_conv_us: f64,
 }
 
 impl StatsSnapshot {
@@ -231,6 +254,8 @@ impl StatsSnapshot {
         self.batched_requests += other.batched_requests;
         self.jobs_traditional += other.jobs_traditional;
         self.jobs_hps += other.jobs_hps;
+        self.ntt_us += other.ntt_us;
+        self.basis_conv_us += other.basis_conv_us;
     }
 }
 
@@ -257,6 +282,11 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "datapath: {} jobs HPS, {} jobs traditional",
             self.jobs_hps, self.jobs_traditional
+        )?;
+        writeln!(
+            f,
+            "kernels: {:.1} µs transforms (NTT), {:.1} µs basis conversion (Lift/Scale)",
+            self.ntt_us, self.basis_conv_us
         )?;
         for op in self.per_op.iter().filter(|o| o.count > 0) {
             writeln!(
@@ -287,6 +317,7 @@ mod tests {
         s.record_op("mul", 4000);
         s.record_op("add", 100);
         s.on_complete(6000, 42.5, 3.25);
+        s.on_kernel_time(30.25, 10.5);
         s.on_dequeue(500);
         s.on_fail();
         s.on_batch(64);
@@ -300,6 +331,12 @@ mod tests {
         assert!((snap.sim_cost_us - 42.5).abs() < 1e-3);
         assert!((snap.noise_bits_consumed - 3.25).abs() < 1e-3);
         assert_eq!(snap.batched_requests, 64);
+        assert!((snap.ntt_us - 30.25).abs() < 1e-3);
+        assert!((snap.basis_conv_us - 10.5).abs() < 1e-3);
+        let mut folded = snap.clone();
+        folded.absorb(&snap);
+        assert!((folded.ntt_us - 60.5).abs() < 1e-3);
+        assert!((folded.basis_conv_us - 21.0).abs() < 1e-3);
 
         let mul = snap.per_op.iter().find(|o| o.name == "mul").unwrap();
         assert_eq!(mul.count, 2);

@@ -150,6 +150,14 @@ fn auto_dispatch_beats_both_single_backend_fleets() {
         total_auto.jobs_traditional,
         total_auto.jobs_hps
     );
+    // Fleet-level kernel attribution: the absorbed totals must expose
+    // where kernel time went across all shards.
+    assert!(
+        total_auto.ntt_us > 0.0 && total_auto.basis_conv_us > 0.0,
+        "fleet stats expose kernel split: ntt {} µs, basis {} µs",
+        total_auto.ntt_us,
+        total_auto.basis_conv_us
+    );
     let auto_cost = total_auto.sim_cost_us;
     assert!(
         auto_cost < total_hps - 1.0 && auto_cost < total_trad - 1.0,

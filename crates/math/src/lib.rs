@@ -20,6 +20,31 @@
 //! * [`fixed`] — the fixed-point reciprocal arithmetic the paper substitutes
 //!   for HPS's floating-point divisions (89-bit fractions).
 //!
+//! # Lazy-reduction range invariants
+//!
+//! The NTT hot path uses Harvey's lazy reduction: butterflies operate on
+//! *relaxed* residues instead of strictly reduced ones, and a single exact
+//! pass restores canonical `[0, q)` form at the end. The invariants, all
+//! checked by property tests:
+//!
+//! * [`zq::ShoupMul::mul_lazy`] returns a value in `[0, 2q)` congruent to
+//!   the strict product, for **any** 64-bit operand — the Shoup quotient
+//!   estimate undershoots by at most one, so at most one extra `q`
+//!   survives.
+//! * [`ntt::NttTable::forward`] keeps coefficients in `[0, 4q)` across
+//!   Cooley-Tukey stages (each butterfly folds its upper operand once into
+//!   `[0, 2q)`, then adds/subtracts a lazy product `< 2q`).
+//! * [`ntt::NttTable::inverse`] keeps coefficients in `[0, 2q)` across
+//!   Gentleman-Sande stages; the strict `n^{-1}` scaling pass doubles as
+//!   the final reduction.
+//!
+//! These are safe because [`zq::Modulus::new`] enforces `q < 2^62`, so the
+//! relaxed bound `4q` never exceeds `2^64` and `u64` arithmetic cannot
+//! wrap. The lazy transforms are bit-identical to the strict reference
+//! paths ([`ntt::NttTable::forward_strict`] /
+//! [`ntt::NttTable::inverse_strict`]), which stay in-tree as oracles and
+//! as the before/after benchmark baseline.
+//!
 //! # Example
 //!
 //! ```

@@ -12,6 +12,30 @@
 //! * [`NttTable::inverse`]: Gentleman-Sande butterflies; bit-reversed input,
 //!   natural-order output, with the final scaling by `n^{-1}` folded in.
 //!
+//! # Harvey lazy reduction
+//!
+//! The hot transforms use David Harvey's lazy-reduction butterflies
+//! ("Faster arithmetic for number-theoretic transforms", J. Symb. Comp.
+//! 2014) instead of strictly reduced arithmetic. The range invariants are:
+//!
+//! * **Forward (CT)**: operands enter a butterfly in `[0, 4q)`. The upper
+//!   operand is folded once into `[0, 2q)`, the twiddle product uses
+//!   [`crate::zq::ShoupMul::mul_lazy`] (result in `[0, 2q)` for *any*
+//!   64-bit input), and the two outputs `u + v` and `u + 2q − v` stay in
+//!   `[0, 4q)`. One final pass reduces everything to `[0, q)`.
+//! * **Inverse (GS)**: values stay in `[0, 2q)` across all stages — the
+//!   sum `u + v < 4q` is folded once, and the lazy twiddle product of
+//!   `u + 2q − v < 4q` again lands in `[0, 2q)`. The closing `n^{-1}`
+//!   scaling pass uses the strict Shoup product, which both scales and
+//!   performs the single final reduction to `[0, q)`.
+//!
+//! Soundness needs `4q ≤ 2^64` so the relaxed values never wrap; every
+//! [`Modulus`] enforces `q < 2^62`, which is exactly that bound. Because
+//! each lazy intermediate is congruent mod `q` to its strictly reduced
+//! counterpart and the final pass reduces exactly, the lazy transforms are
+//! **bit-identical** to the strict reference ([`NttTable::forward_strict`],
+//! [`NttTable::inverse_strict`]) — a property-test suite asserts this.
+//!
 //! Pointwise multiplication between two forward transforms followed by the
 //! inverse transform computes negacyclic convolution, which the test suite
 //! checks against a schoolbook reference.
@@ -156,10 +180,58 @@ impl NttTable {
 
     /// Forward negacyclic NTT: natural-order input, bit-reversed output.
     ///
+    /// Runs the Harvey lazy-reduction butterflies (coefficients relaxed to
+    /// `[0, 4q)` between stages, one exact reduction pass at the end — see
+    /// the module docs for the invariants). Output is bit-identical to
+    /// [`NttTable::forward_strict`].
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        let q = self.modulus.value();
+        let two_q = q << 1;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_brev[m + i];
+                for j in j1..j1 + t {
+                    // Inputs < 4q. Fold u once to < 2q; the lazy twiddle
+                    // product is < 2q for any 64-bit v; outputs < 4q.
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = s.mul_lazy(a[j + t], q);
+                    a[j] = u + v;
+                    a[j + t] = u + two_q - v;
+                }
+            }
+            m <<= 1;
+        }
+        for x in a.iter_mut() {
+            let mut r = *x;
+            if r >= two_q {
+                r -= two_q;
+            }
+            if r >= q {
+                r -= q;
+            }
+            *x = r;
+        }
+    }
+
+    /// Strictly reduced forward NTT — the pre-lazy reference path, kept
+    /// for equivalence tests and before/after benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         let q = self.modulus.value();
         let mut t = self.n;
@@ -183,10 +255,54 @@ impl NttTable {
     /// Inverse negacyclic NTT: bit-reversed input, natural-order output,
     /// including the `n^{-1}` scaling.
     ///
+    /// Runs the Harvey lazy-reduction butterflies (coefficients stay in
+    /// `[0, 2q)` across stages; the strict `n^{-1}` Shoup product doubles
+    /// as the single final reduction). Output is bit-identical to
+    /// [`NttTable::inverse_strict`].
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        let q = self.modulus.value();
+        let two_q = q << 1;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.inv_psi_brev[h + i];
+                for j in j1..j1 + t {
+                    // Inputs < 2q: the folded sum stays < 2q and the lazy
+                    // product of u + 2q − v (< 4q) lands < 2q again.
+                    let u = a[j];
+                    let v = a[j + t];
+                    let mut sum = u + v;
+                    if sum >= two_q {
+                        sum -= two_q;
+                    }
+                    a[j] = sum;
+                    a[j + t] = s.mul_lazy(u + two_q - v, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+
+    /// Strictly reduced inverse NTT — the pre-lazy reference path, kept
+    /// for equivalence tests and before/after benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         let q = self.modulus.value();
         let mut t = 1usize;
@@ -384,6 +500,42 @@ mod tests {
         let fast = t.negacyclic_mul(&a, &b);
         let slow = negacyclic_mul_schoolbook(&a, &b, t.modulus());
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn lazy_matches_strict_both_directions() {
+        for n in [4usize, 64, 1024] {
+            let t = table(n);
+            let q = t.modulus().value();
+            let a: Vec<u64> = (0..n as u64).map(|i| (i * 0x9E3779B9 + 11) % q).collect();
+            let (mut lazy_f, mut strict_f) = (a.clone(), a.clone());
+            t.forward(&mut lazy_f);
+            t.forward_strict(&mut strict_f);
+            assert_eq!(lazy_f, strict_f, "forward n={n}");
+            let (mut lazy_i, mut strict_i) = (lazy_f.clone(), lazy_f);
+            t.inverse(&mut lazy_i);
+            t.inverse_strict(&mut strict_i);
+            assert_eq!(lazy_i, strict_i, "inverse n={n}");
+            assert_eq!(lazy_i, a, "roundtrip n={n}");
+        }
+    }
+
+    #[test]
+    fn lazy_matches_strict_near_62_bit_bound() {
+        // The 4q ≤ 2^64 invariant is tightest for the largest admissible
+        // moduli; exercise a 61-bit NTT prime with extremal coefficients.
+        let n = 64;
+        let q = ntt_prime(61, n, 0).unwrap();
+        let t = NttTable::new(Modulus::new(q), n).unwrap();
+        let mut a: Vec<u64> = (0..n as u64).map(|i| (q - 1).wrapping_sub(i) % q).collect();
+        a[0] = q - 1;
+        let mut strict = a.clone();
+        t.forward(&mut a);
+        t.forward_strict(&mut strict);
+        assert_eq!(a, strict);
+        t.inverse(&mut a);
+        t.inverse_strict(&mut strict);
+        assert_eq!(a, strict);
     }
 
     #[test]

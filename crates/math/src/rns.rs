@@ -244,15 +244,15 @@ impl Extender {
         &self.recips
     }
 
-    /// The `y_i = a_i · q̃_i mod q_i` premultiplication (Fig. 6 "Block 1").
-    fn premultiply(&self, residues: &[u64]) -> Vec<u64> {
+    /// The `y_i = a_i · q̃_i mod q_i` premultiplication (Fig. 6 "Block 1"),
+    /// written into a caller-provided scratch row (the hot path calls this
+    /// once per coefficient and must not allocate).
+    fn premultiply_into(&self, residues: &[u64], ys: &mut [u64]) {
         assert_eq!(residues.len(), self.from.len(), "residue count mismatch");
-        (0..self.from.len())
-            .map(|i| {
-                let m = self.from.modulus(i);
-                m.mul(m.reduce(residues[i]), self.from.tilde(i))
-            })
-            .collect()
+        for (i, y) in ys.iter_mut().enumerate() {
+            let m = self.from.modulus(i);
+            *y = m.mul(m.reduce(residues[i]), self.from.tilde(i));
+        }
     }
 
     /// The HPS quotient `v' = ⌈Σ y_i/q_i⌋` (Fig. 6 "Block 3").
@@ -267,13 +267,35 @@ impl Extender {
                 s.round() as u64
             }
             HpsPrecision::Fixed => {
-                let terms: Vec<u128> = ys
-                    .iter()
-                    .zip(&self.recips)
-                    .map(|(&y, r)| r.mul(y))
-                    .collect();
-                SmallReciprocal::round_sum(&terms)
+                // Exact u128 accumulation (each term < 2^91, k ≤ a few
+                // dozen), equivalent to `SmallReciprocal::round_sum` but
+                // without materializing the term list.
+                let s: u128 = ys.iter().zip(&self.recips).map(|(&y, r)| r.mul(y)).sum();
+                ((s + (1u128 << (SmallReciprocal::FRAC_BITS - 1))) >> SmallReciprocal::FRAC_BITS)
+                    as u64
             }
+        }
+    }
+
+    /// Shared HPS extension kernel: premultiplied `ys` in, one output
+    /// residue per destination modulus out through `put(j, value)`.
+    #[inline]
+    fn extend_core_hps(
+        &self,
+        ys: &[u64],
+        precision: HpsPrecision,
+        mut put: impl FnMut(usize, u64),
+    ) {
+        let v = self.quotient(ys, precision);
+        for j in 0..self.to.len() {
+            let m = self.to.modulus(j);
+            let mut acc = 0u128;
+            for (&y, row) in ys.iter().zip(&self.cross) {
+                acc += y as u128 * row[j] as u128;
+            }
+            let pos = m.reduce_u128(acc);
+            let neg = m.reduce_u128(v as u128 * self.product_mod_to[j] as u128);
+            put(j, m.sub(pos, neg));
         }
     }
 
@@ -298,74 +320,112 @@ impl Extender {
     ///
     /// Panics if `residues.len()` differs from the source basis size.
     pub fn extend_hps(&self, residues: &[u64], precision: HpsPrecision) -> Vec<u64> {
-        let ys = self.premultiply(residues);
-        let v = self.quotient(&ys, precision);
-        (0..self.to.len())
-            .map(|j| {
+        let mut ys = vec![0u64; self.from.len()];
+        self.premultiply_into(residues, &mut ys);
+        let mut out = vec![0u64; self.to.len()];
+        self.extend_core_hps(&ys, precision, |j, v| out[j] = v);
+        out
+    }
+
+    /// HPS extension of a column range of a flat residue-major polynomial.
+    ///
+    /// `src` holds the source polynomial as one contiguous
+    /// `from.len() × n` buffer (limb-major: coefficient `c` of residue `i`
+    /// at `src[i·n + c]`). The destination residues of columns `cols` are
+    /// written into `out`, laid out `to.len() × cols.len()` with stride
+    /// `cols.len()`. No allocation happens per coefficient — this is the
+    /// software analogue of the paper's block-pipelined Lift datapath
+    /// streaming one coefficient per initiation interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`out` sizes or the column range are inconsistent.
+    pub fn extend_poly_hps_cols_into(
+        &self,
+        src: &[u64],
+        n: usize,
+        cols: std::ops::Range<usize>,
+        out: &mut [u64],
+        precision: HpsPrecision,
+    ) {
+        let k = self.from.len();
+        let l = self.to.len();
+        assert_eq!(src.len(), k * n, "flat source length mismatch");
+        assert!(cols.end <= n, "column range out of bounds");
+        let w = cols.len();
+        assert_eq!(out.len(), l * w, "flat destination length mismatch");
+        let mut ys = vec![0u64; k];
+        for (o, c) in cols.enumerate() {
+            for (i, y) in ys.iter_mut().enumerate() {
+                let m = self.from.modulus(i);
+                *y = m.mul(m.reduce(src[i * n + c]), self.from.tilde(i));
+            }
+            self.extend_core_hps(&ys, precision, |j, v| out[j * w + o] = v);
+        }
+    }
+
+    /// HPS extension of a whole flat residue-major polynomial into a
+    /// caller-provided `to.len() × n` buffer. See
+    /// [`Extender::extend_poly_hps_cols_into`] for the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes are inconsistent.
+    pub fn extend_poly_hps_into(
+        &self,
+        src: &[u64],
+        n: usize,
+        out: &mut [u64],
+        precision: HpsPrecision,
+    ) {
+        self.extend_poly_hps_cols_into(src, n, 0..n, out, precision);
+    }
+
+    /// Exact (long-integer) extension of a column range; the oracle and
+    /// the traditional architecture's behaviour. Layout as in
+    /// [`Extender::extend_poly_hps_cols_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`out` sizes or the column range are inconsistent.
+    pub fn extend_poly_exact_cols_into(
+        &self,
+        src: &[u64],
+        n: usize,
+        cols: std::ops::Range<usize>,
+        out: &mut [u64],
+    ) {
+        let k = self.from.len();
+        let l = self.to.len();
+        assert_eq!(src.len(), k * n, "flat source length mismatch");
+        assert!(cols.end <= n, "column range out of bounds");
+        let w = cols.len();
+        assert_eq!(out.len(), l * w, "flat destination length mismatch");
+        let mut buf = vec![0u64; k];
+        for (o, c) in cols.enumerate() {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = src[i * n + c];
+            }
+            let centered = self.from.decode_centered(&buf);
+            for j in 0..l {
                 let m = self.to.modulus(j);
-                let mut acc = 0u128;
-                for (&y, row) in ys.iter().zip(&self.cross) {
-                    acc += y as u128 * row[j] as u128;
-                }
-                let pos = m.reduce_u128(acc);
-                let neg = m.reduce_u128(v as u128 * self.product_mod_to[j] as u128);
-                m.sub(pos, neg)
-            })
-            .collect()
+                out[j * w + o] = centered
+                    .rem_euclid(&UBig::from(m.value()))
+                    .to_u64()
+                    .expect("residue fits u64");
+            }
+        }
     }
 
-    /// Extends a whole residue polynomial (residue-major layout:
-    /// `polys[i][c]` is coefficient `c` mod `m_i`).
+    /// Exact extension of a whole flat polynomial into a caller-provided
+    /// `to.len() × n` buffer.
     ///
     /// # Panics
     ///
-    /// Panics if the residue count or coefficient lengths are inconsistent.
-    pub fn extend_poly_hps(&self, polys: &[Vec<u64>], precision: HpsPrecision) -> Vec<Vec<u64>> {
-        let n = check_residue_major(polys, self.from.len());
-        let mut out = vec![vec![0u64; n]; self.to.len()];
-        let mut buf = vec![0u64; self.from.len()];
-        for c in 0..n {
-            for i in 0..self.from.len() {
-                buf[i] = polys[i][c];
-            }
-            let ext = self.extend_hps(&buf, precision);
-            for j in 0..self.to.len() {
-                out[j][c] = ext[j];
-            }
-        }
-        out
+    /// Panics if the buffer sizes are inconsistent.
+    pub fn extend_poly_exact_into(&self, src: &[u64], n: usize, out: &mut [u64]) {
+        self.extend_poly_exact_cols_into(src, n, 0..n, out);
     }
-
-    /// Exact (long-integer) polynomial extension; the oracle and the
-    /// traditional architecture's behaviour.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the residue count or coefficient lengths are inconsistent.
-    pub fn extend_poly_exact(&self, polys: &[Vec<u64>]) -> Vec<Vec<u64>> {
-        let n = check_residue_major(polys, self.from.len());
-        let mut out = vec![vec![0u64; n]; self.to.len()];
-        let mut buf = vec![0u64; self.from.len()];
-        for c in 0..n {
-            for i in 0..self.from.len() {
-                buf[i] = polys[i][c];
-            }
-            let ext = self.extend_exact(&buf);
-            for j in 0..self.to.len() {
-                out[j][c] = ext[j];
-            }
-        }
-        out
-    }
-}
-
-fn check_residue_major(polys: &[Vec<u64>], expected: usize) -> usize {
-    assert_eq!(polys.len(), expected, "residue count mismatch");
-    let n = polys[0].len();
-    for p in polys {
-        assert_eq!(p.len(), n, "ragged residue polynomial");
-    }
-    n
 }
 
 /// A paired RNS context: the ciphertext basis `q` and the extension basis
@@ -579,20 +639,49 @@ impl ScaleContext {
         let pb = ctx.base_p();
         assert_eq!(a_q.len(), qb.len(), "q-basis residue count mismatch");
         assert_eq!(a_p.len(), pb.len(), "p-basis residue count mismatch");
+        let mut yq = vec![0u64; qb.len()];
+        let mut yp = vec![0u64; pb.len()];
+        let mut d_p = vec![0u64; pb.len()];
+        self.scale_to_p_core(
+            qb,
+            pb,
+            |i| a_q[i],
+            |j| a_p[j],
+            &mut yq,
+            &mut yp,
+            &mut d_p,
+            precision,
+        );
+        d_p
+    }
 
+    /// Fig. 9 Blocks 1–3 on one coefficient, running entirely on
+    /// caller-provided scratch rows (`yq`/`yp`) — the single source of the
+    /// step-1 arithmetic shared by the scalar [`ScaleContext::scale_to_p`]
+    /// and the polynomial column-streaming path. `a(i)` / `b(j)` yield the
+    /// q- and p-basis residues of the coefficient; `d_p` receives
+    /// `⌈t·a/q⌋ mod p_m`.
+    #[allow(clippy::too_many_arguments)]
+    fn scale_to_p_core(
+        &self,
+        qb: &RnsBasis,
+        pb: &RnsBasis,
+        a: impl Fn(usize) -> u64,
+        b: impl Fn(usize) -> u64,
+        yq: &mut [u64],
+        yp: &mut [u64],
+        d_p: &mut [u64],
+        precision: HpsPrecision,
+    ) {
         // y_k = a_k * Q̃_k mod m_k for every modulus of Q.
-        let yq: Vec<u64> = (0..qb.len())
-            .map(|i| {
-                let m = qb.modulus(i);
-                m.mul(m.reduce(a_q[i]), self.big_q_tilde_q[i])
-            })
-            .collect();
-        let yp: Vec<u64> = (0..pb.len())
-            .map(|j| {
-                let m = pb.modulus(j);
-                m.mul(m.reduce(a_p[j]), self.big_q_tilde_p[j])
-            })
-            .collect();
+        for (i, y) in yq.iter_mut().enumerate() {
+            let m = qb.modulus(i);
+            *y = m.mul(m.reduce(a(i)), self.big_q_tilde_q[i]);
+        }
+        for (j, y) in yp.iter_mut().enumerate() {
+            let m = pb.modulus(j);
+            *y = m.mul(m.reduce(b(j)), self.big_q_tilde_p[j]);
+        }
 
         // Rounded fractional contribution G = ⌈Σ_i y_i · frac(t·p/q_i)⌋.
         let g: u64 = match precision {
@@ -614,19 +703,17 @@ impl ScaleContext {
             }
         };
 
-        (0..pb.len())
-            .map(|m| {
-                let modulus = pb.modulus(m);
-                let mut acc = g as u128;
-                for (j, &y) in yp.iter().enumerate() {
-                    acc += y as u128 * self.c_jm[j][m] as u128;
-                }
-                for (i, &y) in yq.iter().enumerate() {
-                    acc += y as u128 * self.int_im[i][m] as u128;
-                }
-                modulus.reduce_u128(acc)
-            })
-            .collect()
+        for (m_idx, d) in d_p.iter_mut().enumerate() {
+            let modulus = pb.modulus(m_idx);
+            let mut acc = g as u128;
+            for (j, &y) in yp.iter().enumerate() {
+                acc += y as u128 * self.c_jm[j][m_idx] as u128;
+            }
+            for (i, &y) in yq.iter().enumerate() {
+                acc += y as u128 * self.int_im[i][m_idx] as u128;
+            }
+            *d = modulus.reduce_u128(acc);
+        }
     }
 
     /// Full HPS `Scale Q→q` on one coefficient: step 1 then the `p → q`
@@ -652,60 +739,114 @@ impl ScaleContext {
         ctx.base_q().encode_signed(&d)
     }
 
-    /// Polynomial-level HPS scale. Input layout: residues of the full `Q`
-    /// basis (q residues first), residue-major.
+    /// HPS `Scale Q→q` of a column range of a flat residue-major
+    /// polynomial over the full `Q` basis (q residues first: coefficient
+    /// `c` of residue `i` at `src[i·n + c]`, `i < k + l`). Output columns
+    /// land in `out`, laid out `k × cols.len()` with stride `cols.len()`.
+    /// Per-coefficient work runs entirely on hoisted scratch rows — no
+    /// allocation inside the loop.
     ///
     /// # Panics
     ///
-    /// Panics if the layout is inconsistent with the context.
-    pub fn scale_poly_hps(
+    /// Panics if `src`/`out` sizes or the column range are inconsistent.
+    pub fn scale_poly_hps_cols_into(
         &self,
         ctx: &RnsContext,
-        polys: &[Vec<u64>],
+        src: &[u64],
+        n: usize,
+        cols: std::ops::Range<usize>,
+        out: &mut [u64],
         precision: HpsPrecision,
-    ) -> Vec<Vec<u64>> {
-        let k = ctx.base_q().len();
-        let l = ctx.base_p().len();
-        let n = check_residue_major(polys, k + l);
-        let mut out = vec![vec![0u64; n]; k];
-        let mut bq = vec![0u64; k];
-        let mut bp = vec![0u64; l];
-        for c in 0..n {
-            for i in 0..k {
-                bq[i] = polys[i][c];
-            }
-            for j in 0..l {
-                bp[j] = polys[k + j][c];
-            }
-            let d = self.scale_hps(ctx, &bq, &bp, precision);
-            for i in 0..k {
-                out[i][c] = d[i];
-            }
+    ) {
+        let qb = ctx.base_q();
+        let pb = ctx.base_p();
+        let (k, l) = (qb.len(), pb.len());
+        assert_eq!(src.len(), (k + l) * n, "flat source length mismatch");
+        assert!(cols.end <= n, "column range out of bounds");
+        let w = cols.len();
+        assert_eq!(out.len(), k * w, "flat destination length mismatch");
+        let unlift = ctx.unlift();
+        let mut yq = vec![0u64; k];
+        let mut yp = vec![0u64; l];
+        let mut d_p = vec![0u64; l];
+        let mut ys = vec![0u64; l];
+        for (o, c) in cols.enumerate() {
+            // Step 1 (Fig. 9 Blocks 1–3): d = ⌈t·a/q⌋ in the p basis —
+            // the same core the scalar path runs, fed by strided reads.
+            self.scale_to_p_core(
+                qb,
+                pb,
+                |i| src[i * n + c],
+                |j| src[(k + j) * n + c],
+                &mut yq,
+                &mut yp,
+                &mut d_p,
+                precision,
+            );
+            // Step 2: basis switch p → q through the Lift datapath.
+            unlift.premultiply_into(&d_p, &mut ys);
+            unlift.extend_core_hps(&ys, precision, |i, v| out[i * w + o] = v);
         }
-        out
     }
 
-    /// Polynomial-level exact scale (oracle / traditional architecture).
+    /// HPS `Scale Q→q` of a whole flat polynomial into a caller-provided
+    /// `k × n` buffer. See [`ScaleContext::scale_poly_hps_cols_into`].
     ///
     /// # Panics
     ///
-    /// Panics if the layout is inconsistent with the context.
-    pub fn scale_poly_exact(&self, ctx: &RnsContext, polys: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    /// Panics if the buffer sizes are inconsistent.
+    pub fn scale_poly_hps_into(
+        &self,
+        ctx: &RnsContext,
+        src: &[u64],
+        n: usize,
+        out: &mut [u64],
+        precision: HpsPrecision,
+    ) {
+        self.scale_poly_hps_cols_into(ctx, src, n, 0..n, out, precision);
+    }
+
+    /// Exact `Scale Q→q` of a column range (oracle / traditional
+    /// architecture); layout as in
+    /// [`ScaleContext::scale_poly_hps_cols_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`out` sizes or the column range are inconsistent.
+    pub fn scale_poly_exact_cols_into(
+        &self,
+        ctx: &RnsContext,
+        src: &[u64],
+        n: usize,
+        cols: std::ops::Range<usize>,
+        out: &mut [u64],
+    ) {
         let k = ctx.base_q().len();
         let l = ctx.base_p().len();
-        let n = check_residue_major(polys, k + l);
-        let mut out = vec![vec![0u64; n]; k];
+        assert_eq!(src.len(), (k + l) * n, "flat source length mismatch");
+        assert!(cols.end <= n, "column range out of bounds");
+        let w = cols.len();
+        assert_eq!(out.len(), k * w, "flat destination length mismatch");
         let mut buf = vec![0u64; k + l];
-        for c in 0..n {
-            for i in 0..k + l {
-                buf[i] = polys[i][c];
+        for (o, c) in cols.enumerate() {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = src[i * n + c];
             }
             let d = self.scale_exact(ctx, &buf);
-            for i in 0..k {
-                out[i][c] = d[i];
+            for (i, &v) in d.iter().enumerate() {
+                out[i * w + o] = v;
             }
         }
-        out
+    }
+
+    /// Exact `Scale Q→q` of a whole flat polynomial into a caller-provided
+    /// `k × n` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes are inconsistent.
+    pub fn scale_poly_exact_into(&self, ctx: &RnsContext, src: &[u64], n: usize, out: &mut [u64]) {
+        self.scale_poly_exact_cols_into(ctx, src, n, 0..n, out);
     }
 }
 
@@ -817,18 +958,32 @@ mod tests {
     fn poly_extension_layouts() {
         let ctx = paper_context();
         let n = 8;
-        let polys: Vec<Vec<u64>> = (0..6)
-            .map(|i| {
-                (0..n as u64)
-                    .map(|c| (c * 7919 + i as u64 * 104729) % ctx.base_q().modulus(i).value())
-                    .collect()
-            })
-            .collect();
-        let hps = ctx.lift().extend_poly_hps(&polys, HpsPrecision::Fixed);
-        let exact = ctx.lift().extend_poly_exact(&polys);
+        let mut src = vec![0u64; 6 * n];
+        for i in 0..6 {
+            for c in 0..n {
+                src[i * n + c] =
+                    (c as u64 * 7919 + i as u64 * 104729) % ctx.base_q().modulus(i).value();
+            }
+        }
+        let mut hps = vec![0u64; 7 * n];
+        let mut exact = vec![0u64; 7 * n];
+        ctx.lift()
+            .extend_poly_hps_into(&src, n, &mut hps, HpsPrecision::Fixed);
+        ctx.lift().extend_poly_exact_into(&src, n, &mut exact);
         assert_eq!(hps, exact);
-        assert_eq!(hps.len(), 7);
-        assert_eq!(hps[0].len(), n);
+        // Column-range calls must agree with the full-width call.
+        let mut cols = vec![0u64; 7 * 3];
+        ctx.lift()
+            .extend_poly_hps_cols_into(&src, n, 2..5, &mut cols, HpsPrecision::Fixed);
+        for j in 0..7 {
+            assert_eq!(&cols[j * 3..(j + 1) * 3], &hps[j * n + 2..j * n + 5]);
+        }
+        // And with the scalar per-coefficient path.
+        let buf: Vec<u64> = (0..6).map(|i| src[i * n + 3]).collect();
+        let scalar = ctx.lift().extend_hps(&buf, HpsPrecision::Fixed);
+        for j in 0..7 {
+            assert_eq!(scalar[j], hps[j * n + 3]);
+        }
     }
 
     #[test]
@@ -900,23 +1055,27 @@ mod tests {
         let n = 4;
         // Encode bounded values (like FV tensor coefficients, far below
         // Q/2) — HPS scaling is only specified for such inputs.
-        let polys: Vec<Vec<u64>> = {
-            let q = ctx.base_q().product().clone();
-            let vals: Vec<UBig> = (0..n as u64)
-                .map(|c| (&(&q * &q) >> 3).mul_u64(c + 1))
-                .collect();
-            (0..13)
-                .map(|i| {
-                    vals.iter()
-                        .map(|v| v.rem_u64(ctx.base_full().modulus(i).value()))
-                        .collect()
-                })
-                .collect()
-        };
-        let hps = sc.scale_poly_hps(&ctx, &polys, HpsPrecision::Fixed);
-        let exact = sc.scale_poly_exact(&ctx, &polys);
+        let q = ctx.base_q().product().clone();
+        let vals: Vec<UBig> = (0..n as u64)
+            .map(|c| (&(&q * &q) >> 3).mul_u64(c + 1))
+            .collect();
+        let mut src = vec![0u64; 13 * n];
+        for i in 0..13 {
+            for (c, v) in vals.iter().enumerate() {
+                src[i * n + c] = v.rem_u64(ctx.base_full().modulus(i).value());
+            }
+        }
+        let mut hps = vec![0u64; 6 * n];
+        let mut exact = vec![0u64; 6 * n];
+        sc.scale_poly_hps_into(&ctx, &src, n, &mut hps, HpsPrecision::Fixed);
+        sc.scale_poly_exact_into(&ctx, &src, n, &mut exact);
         assert_eq!(hps, exact);
-        assert_eq!(hps.len(), 6);
+        // Column-range call agrees with the full-width call.
+        let mut cols = vec![0u64; 6 * 2];
+        sc.scale_poly_hps_cols_into(&ctx, &src, n, 1..3, &mut cols, HpsPrecision::Fixed);
+        for i in 0..6 {
+            assert_eq!(&cols[i * 2..(i + 1) * 2], &hps[i * n + 1..i * n + 3]);
+        }
     }
 
     #[test]

@@ -84,8 +84,15 @@ impl Modulus {
         let mid = ll + (lh & 0xFFFF_FFFF_FFFF_FFFF) + (hl & 0xFFFF_FFFF_FFFF_FFFF);
         let hh = xh as u128 * self.barrett_hi as u128;
         let q_hat = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+        // The Barrett quotient underestimates floor(x/q) by at most 2, so
+        // the remainder sits in [0, 3q) — and 3q < 2^64 since q < 2^62.
+        // Two conditional subtractions therefore replace the unbounded
+        // correction loop (constant work per reduction, branch-predictable).
         let mut r = (x.wrapping_sub(q_hat.wrapping_mul(self.q as u128))) as u64;
-        while r >= self.q {
+        if r >= self.q << 1 {
+            r -= self.q << 1;
+        }
+        if r >= self.q {
             r -= self.q;
         }
         r
@@ -330,16 +337,35 @@ impl ShoupMul {
         }
     }
 
-    /// Computes `a * w mod q` for `a < q`; result in `[0, q)`.
+    /// Computes `a * w mod q`; result in `[0, q)`. Like
+    /// [`ShoupMul::mul_lazy`] this accepts any `a < 2^64` — lazily
+    /// relaxed operands included — since the lazy product is below `2q`
+    /// and one conditional subtraction finishes the reduction.
     #[inline(always)]
     pub fn mul(&self, a: u64, q: u64) -> u64 {
-        let q_hat = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
-        let r = (self.w.wrapping_mul(a)).wrapping_sub(q_hat.wrapping_mul(q));
+        let r = self.mul_lazy(a, q);
         if r >= q {
             r - q
         } else {
             r
         }
+    }
+
+    /// Harvey's lazy Shoup product: `a * w mod q` **without** the final
+    /// correction — the result lands in `[0, 2q)` and is congruent to
+    /// `a·w` modulo `q`.
+    ///
+    /// Valid for *any* `a < 2^64` (not just `a < q`): with
+    /// `w' = ⌊w·2^64/q⌋` the quotient estimate `⌊w'·a/2^64⌋`
+    /// undershoots `⌊w·a/q⌋` by less than `1 + a·(w·2^64 mod q)/2^64 <
+    /// 2`, so exactly zero or one extra `q` survives. This is what lets
+    /// the NTT butterflies run with relaxed `[0, 4q)` operands (see
+    /// [`crate::ntt`]); soundness needs `2q < 2^64`, guaranteed by
+    /// [`Modulus::new`]'s `q < 2^62` bound.
+    #[inline(always)]
+    pub fn mul_lazy(&self, a: u64, q: u64) -> u64 {
+        let q_hat = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
+        (self.w.wrapping_mul(a)).wrapping_sub(q_hat.wrapping_mul(q))
     }
 }
 
@@ -494,6 +520,45 @@ mod tests {
             let s = ShoupMul::new(w, q);
             for a in [0u64, 1, 7, q / 2, q - 1] {
                 assert_eq!(s.mul(a, q), m.mul(a, w), "w={w} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_mul_lazy_range_and_congruence() {
+        // mul_lazy must stay below 2q and agree with the strict product
+        // mod q — including for operands already relaxed into [q, 4q).
+        for q in [P30, P31, (1u64 << 61) - 1] {
+            let m = Modulus::new(q);
+            for w in [0u64, 1, q / 3, q - 1] {
+                let s = ShoupMul::new(w, q);
+                for a in [0u64, 1, q - 1, q, 2 * q - 1, 4 * q - 1] {
+                    let lazy = s.mul_lazy(a, q);
+                    assert!(lazy < 2 * q, "q={q} w={w} a={a}: {lazy}");
+                    let strict = m.mul(m.reduce(a), w);
+                    assert_eq!(lazy % q, strict, "q={q} w={w} a={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_u128_worst_case_corrections() {
+        // Inputs engineered so the Barrett estimate needs 0, 1 and 2
+        // corrective subtractions; the bounded two-step must cover all.
+        for q in [3u64, P30, (1u64 << 61) - 1, (1u64 << 62) - 57] {
+            let m = Modulus::new(q);
+            for &x in &[
+                0u128,
+                q as u128 - 1,
+                q as u128,
+                2 * q as u128 - 1,
+                3 * q as u128 - 1,
+                (q as u128) * (q as u128) - 1,
+                u128::MAX >> 4,
+                u128::MAX >> 1,
+            ] {
+                assert_eq!(m.reduce_u128(x) as u128, x % q as u128, "q={q} x={x}");
             }
         }
     }

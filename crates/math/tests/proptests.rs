@@ -169,6 +169,58 @@ proptest! {
     }
 
     #[test]
+    fn lazy_ntt_bit_identical_to_strict(
+        coeffs in prop::collection::vec(any::<u64>(), 128),
+        bits in 20u32..62,
+        size_sel in 0usize..4,
+        idx in 0usize..2,
+    ) {
+        // Random (q, n): prime width 20..62 bits, n ∈ {16, 32, 64, 128}.
+        let n = 16usize << size_sel;
+        prop_assume!(bits >= 12 + size_sel as u32); // prime ≡ 1 mod 2n must exist below 2^bits
+        let Some(q) = hefv_math::primes::ntt_prime(bits, n, idx) else {
+            return Ok(());
+        };
+        let t = NttTable::new(Modulus::new(q), n).unwrap();
+        let a: Vec<u64> = coeffs[..n].iter().map(|&c| c % q).collect();
+
+        let (mut lazy, mut strict) = (a.clone(), a.clone());
+        t.forward(&mut lazy);
+        t.forward_strict(&mut strict);
+        prop_assert_eq!(&lazy, &strict, "forward q={} n={}", q, n);
+
+        // Inverse on the (bit-reversed) forward output and on a raw
+        // random vector — both must match the strict path bit for bit.
+        let (mut li, mut si) = (lazy.clone(), strict.clone());
+        t.inverse(&mut li);
+        t.inverse_strict(&mut si);
+        prop_assert_eq!(&li, &si, "inverse q={} n={}", q, n);
+        prop_assert_eq!(&li, &a, "roundtrip q={} n={}", q, n);
+
+        let (mut ri, mut rs) = (a.clone(), a);
+        t.inverse(&mut ri);
+        t.inverse_strict(&mut rs);
+        prop_assert_eq!(&ri, &rs, "inverse-of-raw q={} n={}", q, n);
+    }
+
+    #[test]
+    fn lazy_ntt_convolution_still_matches_schoolbook(
+        a in prop::collection::vec(any::<u64>(), 64),
+        b in prop::collection::vec(any::<u64>(), 64),
+    ) {
+        // Regression for the Harvey rewrite: negacyclic convolution through
+        // the lazy transforms must still equal the O(n²) reference.
+        let t = ntt_setup(64);
+        let q = t.modulus().value();
+        let a: Vec<u64> = a.iter().map(|&c| c % q).collect();
+        let b: Vec<u64> = b.iter().map(|&c| c % q).collect();
+        prop_assert_eq!(
+            t.negacyclic_mul(&a, &b),
+            negacyclic_mul_schoolbook(&a, &b, t.modulus())
+        );
+    }
+
+    #[test]
     fn ntt_is_linear(
         a in prop::collection::vec(any::<u64>(), 32),
         s in any::<u64>(),

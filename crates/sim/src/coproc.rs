@@ -21,6 +21,12 @@ use hefv_math::rns::HpsPrecision;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Software sync overhead charged once per high-level op, µs — the
+/// calibrated residue of Table I's Mult after instructions and key DMA.
+/// Shared by the HPS default ([`Coprocessor::mult_sync_us`]) and every
+/// traditional-datapath pricing helper so the two stay in lockstep.
+pub const MULT_SYNC_US: f64 = 19.64;
+
 /// One microcode step of a high-level operation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Op {
@@ -187,7 +193,7 @@ impl Default for Coprocessor {
             cost: CostModel::default(),
             dma: DmaModel::default(),
             clocks: ClockConfig::default(),
-            mult_sync_us: 19.64,
+            mult_sync_us: MULT_SYNC_US,
         }
     }
 }
@@ -258,6 +264,25 @@ impl Coprocessor {
         self.run(&ops)
     }
 
+    /// Splits one `Mult`'s instruction time into (transform µs,
+    /// basis-conversion µs) — see [`kernel_split_us`].
+    pub fn mult_kernel_split_us(&self, ctx: &FvContext) -> (f64, f64) {
+        let p = ctx.params();
+        let rpaus = (p.k() + p.l()).div_ceil(2);
+        let ops = mult_microcode(p.k(), p.l(), p.k(), rpaus, p.n, self.mult_sync_us);
+        kernel_split_us(&ops, &self.cost, &self.clocks)
+    }
+
+    /// Splits one rotation's instruction time into (transform µs,
+    /// basis-conversion µs); rotations never lift or scale, so the second
+    /// component is zero.
+    pub fn rotate_kernel_split_us(&self, ctx: &FvContext) -> (f64, f64) {
+        let p = ctx.params();
+        let rpaus = (p.k() + p.l()).div_ceil(2);
+        let ops = rotate_microcode(p.k(), p.k(), rpaus, p.n, self.mult_sync_us);
+        kernel_split_us(&ops, &self.cost, &self.clocks)
+    }
+
     /// Executes a real multiplication (bit-exact against `hefv-core` with
     /// the HPS fixed-point backend — the datapath the RTL implements) and
     /// returns the result together with its timing report.
@@ -281,6 +306,69 @@ impl Coprocessor {
     ) -> (Ciphertext, OpReport) {
         (eval::add(ctx, a, b), self.run_add())
     }
+}
+
+/// Splits a microcode sequence's instruction time into the two kernel
+/// classes operators care about: **transform** time (NTT, inverse NTT and
+/// the Memory-Rearrange passes around them) and **basis-conversion** time
+/// (`Lift q→Q` / `Scale Q→q`). Coefficient-wise arithmetic, DMA and sync
+/// fall in neither bucket. Returns `(ntt_us, basis_conv_us)`.
+pub fn kernel_split_us(ops: &[Op], cost: &CostModel, clocks: &ClockConfig) -> (f64, f64) {
+    let mut ntt = 0u64;
+    let mut basis = 0u64;
+    for op in ops {
+        if let Op::Instr(i) = *op {
+            match i {
+                Instr::Ntt | Instr::InverseNtt | Instr::MemoryRearrange => {
+                    ntt += cost.instr_cycles(i);
+                }
+                Instr::Lift | Instr::Scale => basis += cost.instr_cycles(i),
+                _ => {}
+            }
+        }
+    }
+    (
+        clocks.fpga_cycles_to_us(ntt),
+        clocks.fpga_cycles_to_us(basis),
+    )
+}
+
+/// [`kernel_split_us`] for one `Mult` on the traditional-CRT coprocessor:
+/// transforms run on the shared RPAU model at the non-HPS clock, basis
+/// conversion is the long-integer `Lift`/`Scale` phases of
+/// [`trad_mult_us_for`].
+pub fn trad_mult_kernel_split_us(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    clocks: &ClockConfig,
+) -> (f64, f64) {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    let ops = mult_microcode(k, l, digits, rpaus, n, MULT_SYNC_US);
+    let (ntt_us, _) = kernel_split_us(&ops, &model.poly, clocks);
+    let lift_waves = 4usize.div_ceil(model.cores) as u64;
+    let scale_waves = 3usize.div_ceil(model.cores) as u64;
+    let basis_us = clocks.fpga_cycles_to_us(
+        lift_waves * n as u64 * model.lift_ii + scale_waves * n as u64 * model.scale_ii,
+    );
+    (ntt_us, basis_us)
+}
+
+/// [`kernel_split_us`] for one rotation on the traditional-CRT
+/// coprocessor (no `Lift`/`Scale`, so basis-conversion time is zero).
+pub fn trad_rotate_kernel_split_us(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    clocks: &ClockConfig,
+) -> (f64, f64) {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    let ops = rotate_microcode(k, digits, rpaus, n, MULT_SYNC_US);
+    kernel_split_us(&ops, &model.poly, clocks)
 }
 
 /// Prices a microcode sequence on the traditional polynomial datapath:
@@ -311,7 +399,7 @@ pub fn trad_mult_us(model: &TradCostModel, dma: &DmaModel, clocks: &ClockConfig)
     // Phase 3: three scales in parallel.
     let scale_us = clocks.fpga_cycles_to_us(model.scale_cycles());
     // Polynomial instructions: same microcode minus Lift/Scale.
-    let ops = mult_microcode(6, 7, model.relin_digits, 7, model.poly.n, 19.64);
+    let ops = mult_microcode(6, 7, model.relin_digits, 7, model.poly.n, MULT_SYNC_US);
     lift_us + scale_us + trad_poly_us(&ops, model, dma, clocks)
 }
 
@@ -337,7 +425,7 @@ pub fn trad_mult_us_for(
     let scale_waves = 3usize.div_ceil(model.cores) as u64;
     let lift_us = clocks.fpga_cycles_to_us(lift_waves * n as u64 * model.lift_ii);
     let scale_us = clocks.fpga_cycles_to_us(scale_waves * n as u64 * model.scale_ii);
-    let ops = mult_microcode(k, l, digits, rpaus, n, 19.64);
+    let ops = mult_microcode(k, l, digits, rpaus, n, MULT_SYNC_US);
     lift_us + scale_us + trad_poly_us(&ops, model, dma, clocks)
 }
 
@@ -356,7 +444,7 @@ pub fn trad_rotate_us_for(
     let (k, l, n) = (p.k(), p.l(), p.n);
     let digits = model.relin_digits.min(k);
     let rpaus = (k + l).div_ceil(2);
-    let ops = rotate_microcode(k, digits, rpaus, n, 19.64);
+    let ops = rotate_microcode(k, digits, rpaus, n, MULT_SYNC_US);
     trad_poly_us(&ops, model, dma, clocks)
 }
 

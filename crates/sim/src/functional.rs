@@ -70,7 +70,7 @@ impl<'a> FunctionalCoprocessor<'a> {
     }
 
     fn to_mems(poly: &RnsPoly) -> Vec<PolyMem> {
-        poly.residues().iter().map(|r| PolyMem::load(r)).collect()
+        poly.rows().map(PolyMem::load).collect()
     }
 
     fn from_mems(mems: Vec<PolyMem>, domain: Domain) -> RnsPoly {
@@ -115,7 +115,7 @@ impl<'a> FunctionalCoprocessor<'a> {
 
     /// `Lift q→Q` of one polynomial: returns all rows of the full basis.
     fn lift_poly(&self, poly: &RnsPoly, trace: &mut DatapathTrace) -> Vec<PolyMem> {
-        let (ext, cycles_one_core) = self.lift.lift_poly(poly.residues());
+        let (ext, cycles_one_core) = self.lift.lift_poly(&poly.to_rows());
         trace.liftscale += cycles_one_core / self.lift_cores as u64;
         let mut mems = Self::to_mems(poly);
         mems.extend(ext.iter().map(|r| PolyMem::load(r)));
@@ -190,13 +190,13 @@ impl<'a> FunctionalCoprocessor<'a> {
             // Spread the digit row across the q lanes (the 2 CWA-class
             // passes of the microcode).
             let spread = ctx.spread_digit(d2_row.coeffs());
-            let mut digit_mems: Vec<PolyMem> = spread.iter().map(|r| PolyMem::load(r)).collect();
+            let mut digit_mems: Vec<PolyMem> = spread.chunks(n).map(PolyMem::load).collect();
             trace.coeffwise += 2 * batches_q * (n as u64 / 2);
             self.transform_rows(&mut digit_mems, &mut trace);
             for i in 0..k {
                 let lane = self.lanes.lane(i);
-                let r0 = PolyMem::load(&rlk.rlk0(digit).residues()[i]);
-                let r1 = PolyMem::load(&rlk.rlk1(digit).residues()[i]);
+                let r0 = PolyMem::load(rlk.rlk0(digit).row(i));
+                let r1 = PolyMem::load(rlk.rlk1(digit).row(i));
                 lane.cwm_acc(&mut acc0[i], &digit_mems[i], &r0);
                 lane.cwm_acc(&mut acc1[i], &digit_mems[i], &r1);
             }

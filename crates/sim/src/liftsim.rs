@@ -300,7 +300,12 @@ mod tests {
             })
             .collect();
         let (out, cycles) = unit.lift_poly(&rows);
-        assert_eq!(out, ctx.lift().extend_poly_hps(&rows, HpsPrecision::Fixed));
+        let src: Vec<u64> = rows.iter().flatten().copied().collect();
+        let mut expect = vec![0u64; 7 * n];
+        ctx.lift()
+            .extend_poly_hps_into(&src, n, &mut expect, HpsPrecision::Fixed);
+        let got: Vec<u64> = out.iter().flatten().copied().collect();
+        assert_eq!(got, expect);
         assert_eq!(cycles, 5 * 7 + 64 * 7);
     }
 
@@ -346,7 +351,11 @@ mod tests {
             })
             .collect();
         let (out, cycles) = unit.scale_poly(&rows);
-        assert_eq!(out, sc.scale_poly_hps(&ctx, &rows, HpsPrecision::Fixed));
+        let src: Vec<u64> = rows.iter().flatten().copied().collect();
+        let mut expect = vec![0u64; 6 * n];
+        sc.scale_poly_hps_into(&ctx, &src, n, &mut expect, HpsPrecision::Fixed);
+        let got: Vec<u64> = out.iter().flatten().copied().collect();
+        assert_eq!(got, expect);
         assert_eq!(cycles, 2 * 5 * 7 + 16 * 7);
     }
 

@@ -420,10 +420,10 @@ mod tests {
         let cb = encrypt(&ctx, &pk, &pb, &mut rng);
 
         let mut m = Machine::new(&ctx, 6);
-        m.load(0, 0, ca.c0().residues());
-        m.load(1, 0, ca.c1().residues());
-        m.load(2, 0, cb.c0().residues());
-        m.load(3, 0, cb.c1().residues());
+        m.load(0, 0, &ca.c0().to_rows());
+        m.load(1, 0, &ca.c1().to_rows());
+        m.load(2, 0, &cb.c0().to_rows());
+        m.load(3, 0, &cb.c1().to_rows());
         let report = m.run(&assemble_add(k));
         let out = Ciphertext::from_parts(
             RnsPoly::from_residues(m.store(4, 0, k), Domain::Coefficient),
@@ -453,13 +453,13 @@ mod tests {
         mpoly.ntt_forward(ctx.ntt_q());
         let mut run_half = |a_rows: &[Vec<u64>], b_rows: &[Vec<u64>]| -> Vec<Vec<u64>> {
             mach.load(0, 0, a_rows);
-            mach.load(1, 0, mpoly.residues());
+            mach.load(1, 0, &mpoly.to_rows());
             mach.load(2, 0, b_rows);
             mach.run(&assemble_fma(k));
             mach.store(3, 0, k)
         };
-        let r0 = run_half(ca.c0().residues(), cb.c0().residues());
-        let r1 = run_half(ca.c1().residues(), cb.c1().residues());
+        let r0 = run_half(&ca.c0().to_rows(), &cb.c0().to_rows());
+        let r1 = run_half(&ca.c1().to_rows(), &cb.c1().to_rows());
         let out = Ciphertext::from_parts(
             RnsPoly::from_residues(r0, Domain::Coefficient),
             RnsPoly::from_residues(r1, Domain::Coefficient),

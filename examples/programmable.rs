@@ -46,14 +46,14 @@ fn main() -> Result<(), String> {
     let clocks = ClockConfig::default();
     let mut run_half = |a_rows: &[Vec<u64>], b_rows: &[Vec<u64>]| {
         machine.load(0, 0, a_rows);
-        machine.load(1, 0, mpoly.residues());
+        machine.load(1, 0, &mpoly.to_rows());
         machine.load(2, 0, b_rows);
         let report = machine.run(&program);
         total_us += report.us(&clocks);
         machine.store(3, 0, k)
     };
-    let r0 = run_half(ca.c0().residues(), cb.c0().residues());
-    let r1 = run_half(ca.c1().residues(), cb.c1().residues());
+    let r0 = run_half(&ca.c0().to_rows(), &cb.c0().to_rows());
+    let r1 = run_half(&ca.c1().to_rows(), &cb.c1().to_rows());
     let out = Ciphertext::from_parts(
         RnsPoly::from_residues(r0, Domain::Coefficient),
         RnsPoly::from_residues(r1, Domain::Coefficient),
