@@ -3,9 +3,11 @@
 use crate::error::Error;
 use crate::params::FvParams;
 use hefv_math::bigint::UBig;
-use hefv_math::ntt::NttTable;
+use hefv_math::ntt::{GaloisPermutation, NttTable};
 use hefv_math::rns::{RnsBasis, RnsContext, ScaleContext};
 use hefv_math::zq::Modulus;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Precomputed context for one FV parameter set: RNS bases and extenders,
 /// NTT tables for every prime of `Q`, the scaling constants, and `Δ = ⌊q/t⌋`
@@ -33,6 +35,9 @@ pub struct FvContext {
     delta_rns: Vec<u64>,
     /// `Δ` as a big integer (used by decryption and noise measurement).
     delta: UBig,
+    /// Lazily built NTT-domain automorphism permutation tables, one per
+    /// Galois exponent (shared by every prime — see [`GaloisPermutation`]).
+    auto_perms: Mutex<HashMap<usize, Arc<GaloisPermutation>>>,
 }
 
 impl FvContext {
@@ -63,6 +68,7 @@ impl FvContext {
             tables_full,
             delta_rns,
             delta,
+            auto_perms: Mutex::new(HashMap::new()),
         })
     }
 
@@ -120,12 +126,44 @@ impl FvContext {
     /// `digit_row.len()`), ready for [`crate::rnspoly::RnsPoly::from_flat`].
     pub fn spread_digit(&self, digit_row: &[u64]) -> Vec<u64> {
         let moduli = self.base_q().moduli();
-        let mut out = Vec::with_capacity(moduli.len() * digit_row.len());
-        for m in moduli {
-            let q = m.value();
-            out.extend(digit_row.iter().map(|&a| if a >= q { a - q } else { a }));
-        }
+        let mut out = vec![0u64; moduli.len() * digit_row.len()];
+        self.spread_digit_into(digit_row, &mut out);
         out
+    }
+
+    /// [`FvContext::spread_digit`] writing into a caller-provided flat
+    /// `k·n` buffer (the arena-recycled hot path — no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != k · digit_row.len()`.
+    pub fn spread_digit_into(&self, digit_row: &[u64], out: &mut [u64]) {
+        let moduli = self.base_q().moduli();
+        let n = digit_row.len();
+        assert_eq!(out.len(), moduli.len() * n, "spread buffer size mismatch");
+        for (j, m) in moduli.iter().enumerate() {
+            let q = m.value();
+            for (d, &a) in out[j * n..(j + 1) * n].iter_mut().zip(digit_row) {
+                *d = if a >= q { a - q } else { a };
+            }
+        }
+    }
+
+    /// The NTT-domain permutation table for `σ_g`, built on first use and
+    /// cached for the context's lifetime (the software analogue of the
+    /// coprocessor's Memory-Rearrange address ROM). One table serves every
+    /// residue row — the permutation depends only on `(n, g)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not a valid odd exponent in `[1, 2n)`.
+    pub fn automorphism_table(&self, g: usize) -> Arc<GaloisPermutation> {
+        let mut cache = self.auto_perms.lock().unwrap();
+        Arc::clone(
+            cache
+                .entry(g)
+                .or_insert_with(|| Arc::new(GaloisPermutation::new(self.params.n, g))),
+        )
     }
 }
 

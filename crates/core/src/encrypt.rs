@@ -43,6 +43,12 @@ impl Ciphertext {
         &self.c1
     }
 
+    /// Decomposes into the two component polynomials (the seam through
+    /// which the scratch arena recycles dead ciphertexts).
+    pub fn into_parts(self) -> (RnsPoly, RnsPoly) {
+        (self.c0, self.c1)
+    }
+
     /// Bytes moved when this ciphertext is DMA-transferred with 4-byte
     /// residue coefficients (the paper's Table III workload: one ciphertext
     /// of two polynomials × 6 residues × 4096 coefficients × 4 B =

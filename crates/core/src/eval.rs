@@ -15,6 +15,7 @@ use crate::context::FvContext;
 use crate::encrypt::Ciphertext;
 use crate::keys::RelinKey;
 use crate::rnspoly::{Domain, RnsPoly};
+use crate::scratch::Arena;
 use hefv_math::rns::HpsPrecision;
 use serde::{Deserialize, Serialize};
 
@@ -90,20 +91,80 @@ pub fn neg(ctx: &FvContext, a: &Ciphertext) -> Ciphertext {
     }
 }
 
+/// A plaintext operand with its forward NTT precomputed, for reuse across
+/// any number of ciphertexts.
+///
+/// [`mul_plain`] transforms the plaintext on every call; workloads that
+/// multiply many ciphertexts by the same plaintext (the engine's
+/// `MulPlain` op-graphs, masked reductions, matrix rows) build a
+/// `PlainOperand` once and pay only the two ciphertext transforms per
+/// product.
+#[derive(Debug, Clone)]
+pub struct PlainOperand {
+    m_ntt: RnsPoly,
+}
+
+impl PlainOperand {
+    /// Encodes a plaintext into the `q` basis and transforms it once.
+    pub fn new(ctx: &FvContext, pt: &crate::encoder::Plaintext) -> Self {
+        let mut m = crate::encoder::plaintext_to_rns(ctx, pt);
+        m.ntt_forward(ctx.ntt_q());
+        PlainOperand { m_ntt: m }
+    }
+
+    /// The cached NTT-domain polynomial.
+    pub fn poly_ntt(&self) -> &RnsPoly {
+        &self.m_ntt
+    }
+
+    /// Consumes the operand, yielding the transformed polynomial (so its
+    /// buffer can be recycled into a scratch arena).
+    pub fn into_poly_ntt(self) -> RnsPoly {
+        self.m_ntt
+    }
+}
+
 /// Multiplies a ciphertext by a plaintext polynomial (NTT pointwise; no
-/// relinearization needed).
+/// relinearization needed). Transforms the plaintext on every call — reuse
+/// a [`PlainOperand`] when the same plaintext multiplies several
+/// ciphertexts.
 pub fn mul_plain(ctx: &FvContext, a: &Ciphertext, pt: &crate::encoder::Plaintext) -> Ciphertext {
+    mul_plain_operand(ctx, a, &PlainOperand::new(ctx, pt))
+}
+
+/// Multiplies a ciphertext by a precomputed [`PlainOperand`].
+pub fn mul_plain_operand(ctx: &FvContext, a: &Ciphertext, pt: &PlainOperand) -> Ciphertext {
     let basis = ctx.base_q();
-    let mut m = crate::encoder::plaintext_to_rns(ctx, pt);
-    m.ntt_forward(ctx.ntt_q());
     // The clones *are* the output buffers: transform in place, multiply in
     // place, transform back — no intermediate product allocation.
     let mut r0 = a.c0.clone();
     let mut r1 = a.c1.clone();
     r0.ntt_forward(ctx.ntt_q());
     r1.ntt_forward(ctx.ntt_q());
-    r0.pointwise_mul_assign(&m, basis);
-    r1.pointwise_mul_assign(&m, basis);
+    r0.pointwise_mul_assign(&pt.m_ntt, basis);
+    r1.pointwise_mul_assign(&pt.m_ntt, basis);
+    r0.ntt_inverse(ctx.ntt_q());
+    r1.ntt_inverse(ctx.ntt_q());
+    Ciphertext { c0: r0, c1: r1 }
+}
+
+/// [`mul_plain_operand`] with the output buffers drawn from `arena`.
+pub fn mul_plain_operand_in(
+    ctx: &FvContext,
+    a: &Ciphertext,
+    pt: &PlainOperand,
+    arena: &Arena,
+) -> Ciphertext {
+    let basis = ctx.base_q();
+    let (k, n) = (a.c0.k(), a.c0.n());
+    let mut r0 = arena.take_poly(k, n, Domain::Coefficient);
+    let mut r1 = arena.take_poly(k, n, Domain::Coefficient);
+    r0.copy_from(&a.c0);
+    r1.copy_from(&a.c1);
+    r0.ntt_forward(ctx.ntt_q());
+    r1.ntt_forward(ctx.ntt_q());
+    r0.pointwise_mul_assign(&pt.m_ntt, basis);
+    r1.pointwise_mul_assign(&pt.m_ntt, basis);
     r0.ntt_inverse(ctx.ntt_q());
     r1.ntt_inverse(ctx.ntt_q());
     Ciphertext { c0: r0, c1: r1 }
@@ -120,9 +181,10 @@ pub fn lift_q_to_full(ctx: &FvContext, poly: &RnsPoly, backend: Backend) -> RnsP
 /// OS threads over disjoint coefficient ranges (the extension is
 /// coefficient-streaming, so columns — not rows — are the parallel axis).
 ///
-/// The output buffer is allocated **once** at full `(k+l)·n` size: the `q`
-/// rows are copied in as one memcpy and the extender writes the `p` rows
-/// directly through [`RnsPoly::rows_mut`].
+/// Every output coefficient is written exactly once: the `q` rows stream
+/// straight into the output buffer as it is built (no zero-fill followed by
+/// a second memcpy pass) and the extender writes the `p` rows in place
+/// through [`RnsPoly::rows_mut`].
 pub fn lift_q_to_full_with_budget(
     ctx: &FvContext,
     poly: &RnsPoly,
@@ -137,9 +199,51 @@ pub fn lift_q_to_full_with_budget(
     let k = poly.k();
     let l = ctx.rns().base_p().len();
     let n = poly.n();
-    let lift = ctx.rns().lift();
-    let mut out = RnsPoly::zero(k + l, n);
+    // The q rows are the buffer's initial contents; only the l extension
+    // rows get a placeholder value before the extender overwrites them.
+    let mut data = Vec::with_capacity((k + l) * n);
+    data.extend_from_slice(poly.flat());
+    data.resize((k + l) * n, 0);
+    let mut out = RnsPoly::from_flat(data, k + l, Domain::Coefficient);
+    lift_extension_rows(ctx, poly, backend, budget, &mut out);
+    out
+}
+
+/// [`lift_q_to_full`] with the output drawn from `arena` (single-threaded;
+/// the q rows are written once, directly into the recycled buffer).
+pub fn lift_q_to_full_in(
+    ctx: &FvContext,
+    poly: &RnsPoly,
+    backend: Backend,
+    arena: &Arena,
+) -> RnsPoly {
+    assert_eq!(
+        poly.domain(),
+        Domain::Coefficient,
+        "lift needs coefficients"
+    );
+    let k = poly.k();
+    let l = ctx.rns().base_p().len();
+    let n = poly.n();
+    let mut out = arena.take_poly(k + l, n, Domain::Coefficient);
     out.rows_mut(0, k).copy_from_slice(poly.flat());
+    lift_extension_rows(ctx, poly, backend, 1, &mut out);
+    out
+}
+
+/// Computes the `l` extension rows of a lift into `out[k..k+l]` (the `q`
+/// rows are already in place).
+fn lift_extension_rows(
+    ctx: &FvContext,
+    poly: &RnsPoly,
+    backend: Backend,
+    budget: usize,
+    out: &mut RnsPoly,
+) {
+    let k = poly.k();
+    let l = ctx.rns().base_p().len();
+    let n = poly.n();
+    let lift = ctx.rns().lift();
     let backend = backend.resolve();
     let src = poly.flat();
     fan_out_cols(
@@ -153,7 +257,6 @@ pub fn lift_q_to_full_with_budget(
             Backend::Auto => unreachable!("resolve() never returns Auto"),
         },
     );
-    out
 }
 
 /// Scales a coefficient-domain polynomial over the full `Q` basis down to
@@ -187,6 +290,34 @@ pub fn scale_full_to_q_with_budget(
         Backend::Hps(prec) => sc.scale_poly_hps_cols_into(rns, src, n, cols, dst, prec),
         Backend::Auto => unreachable!("resolve() never returns Auto"),
     });
+    out
+}
+
+/// [`scale_full_to_q`] with the output drawn from `arena`
+/// (single-threaded).
+pub fn scale_full_to_q_in(
+    ctx: &FvContext,
+    poly: &RnsPoly,
+    backend: Backend,
+    arena: &Arena,
+) -> RnsPoly {
+    assert_eq!(
+        poly.domain(),
+        Domain::Coefficient,
+        "scale needs coefficients"
+    );
+    let k = ctx.rns().base_q().len();
+    let n = poly.n();
+    let rns = ctx.rns();
+    let sc = ctx.scale();
+    let mut out = arena.take_poly(k, n, Domain::Coefficient);
+    let backend = backend.resolve();
+    let src = poly.flat();
+    match backend {
+        Backend::Traditional => sc.scale_poly_exact_into(rns, src, n, out.flat_mut()),
+        Backend::Hps(prec) => sc.scale_poly_hps_into(rns, src, n, out.flat_mut(), prec),
+        Backend::Auto => unreachable!("resolve() never returns Auto"),
+    }
     out
 }
 
@@ -236,56 +367,93 @@ pub struct TensorResult {
 
 /// Steps 1–3 of `Mult`: lift, tensor in the NTT domain over `Q`, scale.
 pub fn tensor(ctx: &FvContext, a: &Ciphertext, b: &Ciphertext, backend: Backend) -> TensorResult {
+    tensor_in(ctx, a, b, backend, &Arena::new())
+}
+
+/// [`tensor`] with every intermediate drawn from (and dead operands
+/// recycled into) `arena`: the four `(k+l)·n` lifted operands become the
+/// tensor outputs in place where possible, so a warm arena makes the whole
+/// phase allocation-free.
+pub fn tensor_in(
+    ctx: &FvContext,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    backend: Backend,
+    arena: &Arena,
+) -> TensorResult {
     let full = ctx.rns().base_full();
-    let mut l00 = lift_q_to_full(ctx, &a.c0, backend);
-    let mut l01 = lift_q_to_full(ctx, &a.c1, backend);
-    let mut l10 = lift_q_to_full(ctx, &b.c0, backend);
-    let mut l11 = lift_q_to_full(ctx, &b.c1, backend);
+    let mut l00 = lift_q_to_full_in(ctx, &a.c0, backend, arena);
+    let mut l01 = lift_q_to_full_in(ctx, &a.c1, backend, arena);
+    let mut l10 = lift_q_to_full_in(ctx, &b.c0, backend, arena);
+    let mut l11 = lift_q_to_full_in(ctx, &b.c1, backend, arena);
     l00.ntt_forward(ctx.ntt_full());
     l01.ntt_forward(ctx.ntt_full());
     l10.ntt_forward(ctx.ntt_full());
     l11.ntt_forward(ctx.ntt_full());
 
-    let mut t0 = l00.pointwise_mul(&l10, full);
-    let mut t1 = l00.pointwise_mul(&l11, full);
+    // c̃1 first, while all four operands are live; then the operands
+    // themselves become c̃0 and c̃2 in place.
+    let mut t1 = arena.take_poly(l00.k(), l00.n(), Domain::Ntt);
+    l00.pointwise_mul_into(&l11, full, &mut t1);
     t1.pointwise_mul_acc(&l01, &l10, full);
-    let mut t2 = l01.pointwise_mul(&l11, full);
+    l00.pointwise_mul_assign(&l10, full);
+    let mut t0 = l00;
+    l01.pointwise_mul_assign(&l11, full);
+    let mut t2 = l01;
+    arena.recycle(l10);
+    arena.recycle(l11);
 
     t0.ntt_inverse(ctx.ntt_full());
     t1.ntt_inverse(ctx.ntt_full());
     t2.ntt_inverse(ctx.ntt_full());
 
-    TensorResult {
-        d0: scale_full_to_q(ctx, &t0, backend),
-        d1: scale_full_to_q(ctx, &t1, backend),
-        d2: scale_full_to_q(ctx, &t2, backend),
-    }
+    let out = TensorResult {
+        d0: scale_full_to_q_in(ctx, &t0, backend, arena),
+        d1: scale_full_to_q_in(ctx, &t1, backend, arena),
+        d2: scale_full_to_q_in(ctx, &t2, backend, arena),
+    };
+    arena.recycle(t0);
+    arena.recycle(t1);
+    arena.recycle(t2);
+    out
 }
 
 /// Step 4 of `Mult`: `WordDecomp` + `ReLin` (summation of products against
 /// the relinearization key).
 pub fn relinearize(ctx: &FvContext, t: &TensorResult, rlk: &RelinKey) -> Ciphertext {
+    relinearize_in(ctx, t, rlk, &Arena::new())
+}
+
+/// [`relinearize`] with the digit scratch and both accumulators drawn from
+/// `arena`; the accumulators become the output ciphertext, so nothing is
+/// allocated once the arena is warm.
+pub fn relinearize_in(
+    ctx: &FvContext,
+    t: &TensorResult,
+    rlk: &RelinKey,
+    arena: &Arena,
+) -> Ciphertext {
     let basis = ctx.base_q();
     let k = ctx.params().k();
     assert_eq!(rlk.digits(), k, "relin key digit count mismatch");
     let n = ctx.params().n;
 
-    let mut acc0 = RnsPoly::zero_in(k, n, Domain::Ntt);
-    let mut acc1 = RnsPoly::zero_in(k, n, Domain::Ntt);
+    let mut acc0 = arena.take_poly_zeroed(k, n, Domain::Ntt);
+    let mut acc1 = arena.take_poly_zeroed(k, n, Domain::Ntt);
     for i in 0..k {
         // WordDecomp digit i = residue row i of d2, spread across all rows.
-        let spread = ctx.spread_digit(t.d2.row(i));
-        let mut digit = RnsPoly::from_flat(spread, k, Domain::Coefficient);
+        let mut digit = arena.take_poly(k, n, Domain::Coefficient);
+        ctx.spread_digit_into(t.d2.row(i), digit.flat_mut());
         digit.ntt_forward(ctx.ntt_q());
         acc0.pointwise_mul_acc(&digit, rlk.rlk0(i), basis);
         acc1.pointwise_mul_acc(&digit, rlk.rlk1(i), basis);
+        arena.recycle(digit);
     }
     acc0.ntt_inverse(ctx.ntt_q());
     acc1.ntt_inverse(ctx.ntt_q());
-    Ciphertext {
-        c0: t.d0.add(&acc0, basis),
-        c1: t.d1.add(&acc1, basis),
-    }
+    acc0.add_assign(&t.d0, basis);
+    acc1.add_assign(&t.d1, basis);
+    Ciphertext { c0: acc0, c1: acc1 }
 }
 
 /// Full homomorphic multiplication (Fig. 2).
@@ -296,8 +464,27 @@ pub fn mul(
     rlk: &RelinKey,
     backend: Backend,
 ) -> Ciphertext {
-    let t = tensor(ctx, a, b, backend);
-    relinearize(ctx, &t, rlk)
+    mul_in(ctx, a, b, rlk, backend, &Arena::new())
+}
+
+/// [`mul`] with every intermediate drawn from `arena` — the steady-state
+/// zero-allocation `Mult` hot path (asserted by
+/// `tests/alloc_steady_state.rs`). Recycle the previous output into the
+/// arena between calls to close the loop.
+pub fn mul_in(
+    ctx: &FvContext,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    rlk: &RelinKey,
+    backend: Backend,
+    arena: &Arena,
+) -> Ciphertext {
+    let t = tensor_in(ctx, a, b, backend, arena);
+    let out = relinearize_in(ctx, &t, rlk, arena);
+    arena.recycle(t.d0);
+    arena.recycle(t.d1);
+    arena.recycle(t.d2);
+    out
 }
 
 /// Homomorphic squaring (saves one lift and one tensor product).

@@ -1,4 +1,4 @@
-//! Galois automorphisms and key switching.
+//! Galois automorphisms, key switching, and **hoisted** rotations.
 //!
 //! The map `σ_g : a(x) ↦ a(x^g)` (odd `g`, modulo `x^n + 1`) permutes the
 //! SIMD slots of a batched plaintext. Applying it to a ciphertext yields an
@@ -6,20 +6,60 @@
 //! it back to `s` using the same RNS-digit machinery as relinearization
 //! (§II-B's `WordDecomp` + `SoP`).
 //!
-//! This is the standard extension the paper's Discussion invites ("the
-//! design decisions can be tweaked"): rotations cost exactly one
-//! relinearization-shaped SoP on the coprocessor, so the instruction
-//! model prices them with the existing Table II entries.
+//! # The hoisted key-switch datapath
 //!
-//! [`sum_slots`] folds a ciphertext over the whole Galois group with the
-//! rotate-and-add doubling trick, leaving the sum of *all* slots in every
-//! slot — used by the smart-meter aggregation example.
+//! A rotation has two very different halves. The expensive half — digit
+//! decomposition of `c1` and the `k` forward NTTs of each spread digit
+//! (`k²` row transforms in total) — does **not depend on the rotation
+//! amount**. Only the cheap half does: an automorphism permutation and the
+//! summation-of-products against that exponent's switching key. This module
+//! therefore decomposes *first* and permutes *second* (Halevi–Shoup
+//! hoisting, as in HElib):
+//!
+//! 1. [`HoistedCiphertext::new`] computes `D_i = NTT(spread(c1 mod q_i))`
+//!    **once** — the σ-independent part.
+//! 2. Each rotation applies `σ_g` to the NTT-domain digits as a pure index
+//!    permutation ([`hefv_math::ntt::GaloisPermutation`]; the evaluation
+//!    points absorb every sign flip) fused into the key inner product, then
+//!    runs two inverse NTTs.
+//!
+//! Correctness rests on two invariants:
+//!
+//! * **Permutation invariant.** `NTT(σ_g(a))[t] = NTT(a)[π_g(t)]` with
+//!   `π_g(t) = brev((g·(2·brev(t)+1) mod 2n − 1)/2)` — the same table for
+//!   every prime, because each residue row uses the same index↦exponent
+//!   map.
+//! * **Digit-order invariant.** `Σ_i σ_g(D_i(c1))·h_i = σ_g(c1)` because
+//!   the gadget constants `h_i` are scalars (σ-invariant) and `σ_g` is a
+//!   ring homomorphism — so decompose-then-permute is a valid key-switch
+//!   decomposition of `σ_g(c1)`, and one decomposition serves *every*
+//!   rotation of the same ciphertext.
+//!
+//! [`apply_galois`] is exactly a hoist of one rotation, so a property-test
+//! suite pins [`HoistedCiphertext::rotate`] **bit-identical** to it across
+//! random `(q, n, g)`. The pre-hoisting permute-first implementation is
+//! kept as [`apply_galois_reference`] / [`sum_slots_reference`] — the
+//! oracle for semantic tests and the "per-rotation path" baseline the
+//! rotation benchmarks measure against (`benches/rotate.rs`).
+//!
+//! [`sum_slots`] folds a ciphertext over the whole Galois group. The
+//! classic rotate-and-add doubling trick rotates an *evolving* accumulator,
+//! which hoisting cannot help — so the key set groups
+//! [`HOIST_GROUP_ROUNDS`] doubling rounds and applies the identity
+//! `Π_{r∈G}(1 + σ_r) = Σ_{S⊆G} σ_{Π S}`: one decomposition of the
+//! accumulator serves the `2^|G|−1` rotations of a group, with all their
+//! SoPs accumulated in the NTT domain and a single pair of inverse NTTs per
+//! group. [`GaloisKeySet::for_slot_sum`] generates the subset-product keys
+//! this needs.
 
 use crate::context::FvContext;
 use crate::encrypt::Ciphertext;
 use crate::keys::SecretKey;
 use crate::rnspoly::{Domain, RnsPoly};
 use crate::sampler;
+use crate::scratch::Arena;
+use hefv_math::ntt::GaloisPermutation;
+use hefv_math::rns::RnsBasis;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +97,57 @@ pub fn apply_automorphism(ctx: &FvContext, poly: &RnsPoly, g: usize) -> RnsPoly 
     out
 }
 
+/// Applies `σ_g` to an **NTT-domain** polynomial: a pure index permutation
+/// per residue row, no negations (see the module docs' permutation
+/// invariant). Uses the context's cached
+/// [`GaloisPermutation`] table.
+///
+/// # Panics
+///
+/// Panics if the polynomial is in coefficient domain or `g` is invalid.
+pub fn apply_automorphism_ntt(ctx: &FvContext, poly: &RnsPoly, g: usize) -> RnsPoly {
+    assert_eq!(poly.domain(), Domain::Ntt, "NTT-domain automorphism");
+    assert!(
+        is_valid_exponent(g, poly.n()),
+        "invalid Galois exponent {g}"
+    );
+    let perm = ctx.automorphism_table(g);
+    let mut out = RnsPoly::zero_in(poly.k(), poly.n(), Domain::Ntt);
+    for r in 0..poly.k() {
+        perm.apply(poly.row(r), out.row_mut(r));
+    }
+    out
+}
+
+/// Accumulates `σ_g(src)` onto `acc`, both coefficient-domain:
+/// `acc[σ_g(i)] ± = src[i]`. Saves materializing the permuted polynomial on
+/// the hoisted `c0` path; the target position advances incrementally (one
+/// conditional subtraction per coefficient, no division).
+fn add_automorphism_assign(ctx: &FvContext, acc: &mut RnsPoly, src: &RnsPoly, g: usize) {
+    assert_eq!(src.domain(), Domain::Coefficient, "automorphism domain");
+    assert_eq!(acc.domain(), Domain::Coefficient, "accumulator domain");
+    let n = src.n();
+    assert!(is_valid_exponent(g, n), "invalid Galois exponent {g}");
+    let two_n = 2 * n;
+    let basis = ctx.base_q();
+    for r in 0..src.k() {
+        let m = *basis.modulus(r);
+        let dst = acc.row_mut(r);
+        let mut pos = 0usize;
+        for &c in src.row(r) {
+            if pos < n {
+                dst[pos] = m.add(dst[pos], c);
+            } else {
+                dst[pos - n] = m.sub(dst[pos - n], c);
+            }
+            pos += g;
+            if pos >= two_n {
+                pos -= two_n;
+            }
+        }
+    }
+}
+
 /// A key-switching key for one Galois exponent: digit-wise encryptions of
 /// `h_i · σ_g(s)` under `s`, in NTT domain.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -65,6 +156,14 @@ pub struct GaloisKey {
     pub g: usize,
     ksk0: Vec<RnsPoly>,
     ksk1: Vec<RnsPoly>,
+    /// 32-bit shadow copy of the key, **slot-major transposed**: entry
+    /// `(j·n + t)·k + i` holds `ksk0[i]` row `j` slot `t`. Present when
+    /// every prime is narrow enough for the u64-accumulating SoP fast path
+    /// (see [`narrow_sop_ok`]). Built once at generation; the hot loop
+    /// then reads one contiguous `k`-wide line per slot and streams half
+    /// the key bytes.
+    ksk0_narrow: Vec<u32>,
+    ksk1_narrow: Vec<u32>,
 }
 
 impl GaloisKey {
@@ -107,22 +206,475 @@ impl GaloisKey {
             ksk0.push(key0);
             ksk1.push(a);
         }
-        GaloisKey { g, ksk0, ksk1 }
+        let (ksk0_narrow, ksk1_narrow) = if narrow_sop_ok(basis, k) {
+            let transpose = |polys: &[RnsPoly]| {
+                let mut out = vec![0u32; k * k * n];
+                for (i, p) in polys.iter().enumerate() {
+                    for j in 0..k {
+                        for (t, &v) in p.row(j).iter().enumerate() {
+                            out[(j * n + t) * k + i] = v as u32;
+                        }
+                    }
+                }
+                out
+            };
+            (transpose(&ksk0), transpose(&ksk1))
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        GaloisKey {
+            g,
+            ksk0,
+            ksk1,
+            ksk0_narrow,
+            ksk1_narrow,
+        }
     }
 
     /// Number of digits.
     pub fn digits(&self) -> usize {
         self.ksk0.len()
     }
+
+    /// `ksk0_i` in NTT domain.
+    pub fn ksk0(&self, i: usize) -> &RnsPoly {
+        &self.ksk0[i]
+    }
+
+    /// `ksk1_i` in NTT domain.
+    pub fn ksk1(&self, i: usize) -> &RnsPoly {
+        &self.ksk1[i]
+    }
+}
+
+/// Whether the u64-accumulating SoP fast path is sound for a basis: every
+/// prime must fit `u32` and a whole `k`-digit dot (plus the fused `c0`
+/// seed) must fit `u64` without reduction:
+/// `(k·(q−1) + 1)·(q−1) < 2^64`. True for the paper's 30-bit primes with a
+/// wide margin.
+fn narrow_sop_ok(basis: &RnsBasis, k: usize) -> bool {
+    basis.moduli().iter().all(|m| {
+        let q = m.value() as u128;
+        q < (1 << 32) && (k as u128 * (q - 1) + 1) * (q - 1) < (1 << 64)
+    })
+}
+
+/// One ciphertext's σ-independent key-switch precomputation: the
+/// NTT-domain digit decomposition of `c1`, computed once and shared by any
+/// number of rotations (the Halevi–Shoup hoisting of the module docs).
+///
+/// On narrow (≤ 31-bit) primes the digits are stored as one slot-major
+/// transposed 32-bit buffer — entry `(j·n + t)·k + i` is digit `i`, row
+/// `j`, slot `t` — so a rotation's gather reads one contiguous `k`-wide
+/// line per slot, matching the transposed key shadow. Wider primes fall
+/// back to `k` digit polynomials packed into a flat `k² × n` `u64` buffer.
+/// Either way the precomputation is a handful of arena-recyclable buffers
+/// and construction allocates nothing when served from a warm [`Arena`].
+#[derive(Debug)]
+pub struct HoistedCiphertext {
+    /// `c0`, coefficient domain.
+    c0: RnsPoly,
+    /// `c1`, coefficient domain (needed by the slot-sum group fold).
+    c1: RnsPoly,
+    /// Wide fallback: `NTT(spread(c1 mod q_i))`, rows `i·k..(i+1)·k`.
+    digits: Option<RnsPoly>,
+    /// Narrow fast path: the same digits, slot-major transposed `u32`.
+    digits32: Option<Vec<u32>>,
+    k: usize,
+}
+
+impl HoistedCiphertext {
+    /// Hoists the decomposition of `ct` (allocating fresh buffers).
+    pub fn new(ctx: &FvContext, ct: &Ciphertext) -> Self {
+        Self::new_in(ctx, ct, &Arena::new())
+    }
+
+    /// Hoists the decomposition of `ct`, drawing every buffer from `arena`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is not coefficient-domain or its shape
+    /// mismatches the context.
+    pub fn new_in(ctx: &FvContext, ct: &Ciphertext, arena: &Arena) -> Self {
+        let k = ctx.params().k();
+        let n = ctx.params().n;
+        assert_eq!(ct.c1().k(), k, "ciphertext shape mismatch");
+        assert_eq!(ct.c1().n(), n, "ciphertext shape mismatch");
+        assert_eq!(ct.c1().domain(), Domain::Coefficient, "hoist domain");
+        let mut c0 = arena.take_poly(k, n, Domain::Coefficient);
+        c0.copy_from(ct.c0());
+        let mut c1 = arena.take_poly(k, n, Domain::Coefficient);
+        c1.copy_from(ct.c1());
+        let (digits, digits32) = if narrow_sop_ok(ctx.base_q(), k) {
+            let mut d32 = arena.take32(k * k * n);
+            let mut scratch = arena.take_poly(k, n, Domain::Coefficient);
+            decompose_narrow_into(ctx, &c1, &mut scratch, &mut d32);
+            arena.recycle(scratch);
+            (None, Some(d32))
+        } else {
+            let mut digits = arena.take_poly(k * k, n, Domain::Ntt);
+            decompose_wide_into(ctx, &c1, &mut digits);
+            (Some(digits), None)
+        };
+        HoistedCiphertext {
+            c0,
+            c1,
+            digits,
+            digits32,
+            k,
+        }
+    }
+
+    /// Recycles the hoisted buffers into an arena.
+    pub fn recycle(self, arena: &Arena) {
+        arena.recycle(self.c0);
+        arena.recycle(self.c1);
+        if let Some(d) = self.digits {
+            arena.recycle(d);
+        }
+        if let Some(d32) = self.digits32 {
+            arena.put32(d32);
+        }
+    }
+
+    /// Dispatches one rotation's SoP accumulation onto the narrow or wide
+    /// kernel, matching the digit storage built at hoist time.
+    fn sop_acc(
+        &self,
+        basis: &RnsBasis,
+        key: &GaloisKey,
+        perm: &GaloisPermutation,
+        c0_ntt: Option<&RnsPoly>,
+        acc0: &mut RnsPoly,
+        acc1: &mut RnsPoly,
+    ) {
+        match (&self.digits32, &self.digits) {
+            (Some(d32), _) => {
+                assert!(
+                    !key.ksk0_narrow.is_empty(),
+                    "narrow hoisted digits but key lacks the 32-bit shadow \
+                     (key generated against a different basis?)"
+                );
+                sop_acc_narrow(basis, d32, key, perm, c0_ntt, acc0, acc1);
+            }
+            (None, Some(digits)) => {
+                sop_acc_wide(basis, digits, key, perm, c0_ntt, acc0, acc1);
+            }
+            (None, None) => unreachable!("hoisted ciphertext always stores digits"),
+        }
+    }
+
+    /// One hoisted rotation: permutation + key inner product + two inverse
+    /// NTTs. Bit-identical to [`apply_galois`] on the source ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key's digit count mismatches the context.
+    pub fn rotate(&self, ctx: &FvContext, key: &GaloisKey) -> Ciphertext {
+        self.rotate_in(ctx, key, &Arena::new())
+    }
+
+    /// [`HoistedCiphertext::rotate`] drawing its output buffers from
+    /// `arena` (zero allocation once the arena is warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key's digit count mismatches the context.
+    pub fn rotate_in(&self, ctx: &FvContext, key: &GaloisKey, arena: &Arena) -> Ciphertext {
+        let (k, n) = (self.k, self.c0.n());
+        assert_eq!(key.digits(), k, "digit count mismatch");
+        let basis = ctx.base_q();
+        let perm = ctx.automorphism_table(key.g);
+        let mut acc0 = arena.take_poly_zeroed(k, n, Domain::Ntt);
+        let mut acc1 = arena.take_poly_zeroed(k, n, Domain::Ntt);
+        self.sop_acc(basis, key, &perm, None, &mut acc0, &mut acc1);
+        acc0.ntt_inverse(ctx.ntt_q());
+        acc1.ntt_inverse(ctx.ntt_q());
+        // c0' = σ_g(c0) + SoP0, accumulated without materializing σ_g(c0).
+        add_automorphism_assign(ctx, &mut acc0, &self.c0, key.g);
+        Ciphertext { c0: acc0, c1: acc1 }
+    }
+
+    /// The slot-sum group fold: returns `ct + Σ_r σ_r(ct)` (key-switched)
+    /// over the given rotation keys, with every rotation's SoP accumulated
+    /// in the NTT domain — one decomposition, `|keys|` cheap rotations,
+    /// one pair of inverse NTTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key's digit count mismatches the context.
+    pub fn sum_self_plus_rotations_in<'k>(
+        &self,
+        ctx: &FvContext,
+        keys: impl IntoIterator<Item = &'k GaloisKey>,
+        arena: &Arena,
+    ) -> Ciphertext {
+        let (k, n) = (self.k, self.c0.n());
+        let basis = ctx.base_q();
+        let mut acc0 = arena.take_poly_zeroed(k, n, Domain::Ntt);
+        let mut acc1 = arena.take_poly_zeroed(k, n, Domain::Ntt);
+        // Σ_r σ_r(c0), accumulated in the coefficient domain. A `g = 1`
+        // key (possible only with degenerate key sets) goes through the
+        // same path: it is an identity key switch, which is still a valid
+        // re-encryption.
+        let mut c0_rot = arena.take_poly_zeroed(k, n, Domain::Coefficient);
+        for key in keys {
+            assert_eq!(key.digits(), k, "digit count mismatch");
+            let perm = ctx.automorphism_table(key.g);
+            self.sop_acc(basis, key, &perm, None, &mut acc0, &mut acc1);
+            add_automorphism_assign(ctx, &mut c0_rot, &self.c0, key.g);
+        }
+        acc0.ntt_inverse(ctx.ntt_q());
+        acc1.ntt_inverse(ctx.ntt_q());
+        acc0.add_assign(&c0_rot, basis);
+        acc0.add_assign(&self.c0, basis);
+        acc1.add_assign(&self.c1, basis);
+        arena.recycle(c0_rot);
+        Ciphertext { c0: acc0, c1: acc1 }
+    }
+}
+
+/// Slots the hoisted SoP processes per stack block (bounds the `u128`
+/// partial-sum scratch at `2 × 8 KiB`).
+const SOP_BLOCK: usize = 512;
+
+/// Accumulates one rotation's key inner product into the NTT-domain
+/// accumulators, with the automorphism permutation fused in as a gather:
+///
+/// `acc_b[j][t] += Σ_i digits[i·k+j][π(t)] · ksk_b[i][j][t]  (mod q_j)`
+///
+/// When `c0_ntt` is given (the slot-sum fold, which keeps `c0` NTT-domain
+/// for its whole lifetime), the permuted `c0` value `c0[j][π(t)]` is
+/// seeded into the same partial sum, so the rotation's entire `acc0`
+/// contribution costs one extra gather — no separate automorphism pass.
+///
+/// The digit products accumulate in `u128` and reduce **once** per slot
+/// (Barrett), instead of once per digit — safe because at most
+/// `⌊2¹²⁸/(q−1)²⌋` terms are folded between reductions (for 30-bit primes
+/// that is astronomically more than `k`; near the 62-bit modulus bound the
+/// loop reduces intermittently).
+fn sop_acc_wide(
+    basis: &RnsBasis,
+    digits: &RnsPoly,
+    key: &GaloisKey,
+    perm: &GaloisPermutation,
+    c0_ntt: Option<&RnsPoly>,
+    acc0: &mut RnsPoly,
+    acc1: &mut RnsPoly,
+) {
+    let k = acc0.k();
+    let n = acc0.n();
+    let table = perm.table();
+    let mut s0 = [0u128; SOP_BLOCK];
+    let mut s1 = [0u128; SOP_BLOCK];
+    for j in 0..k {
+        let m = basis.modulus(j);
+        let qm1 = (m.value() - 1) as u128;
+        // How many q²-sized terms fit in u128 before a reduction is due.
+        let max_terms = (u128::MAX / (qm1 * qm1).max(1)).min(usize::MAX as u128) as usize;
+        let a0 = acc0.row_mut(j);
+        let a1 = acc1.row_mut(j);
+        let mut start = 0usize;
+        while start < n {
+            let w = SOP_BLOCK.min(n - start);
+            let tbl = &table[start..start + w];
+            match c0_ntt {
+                Some(c0) => {
+                    let row = c0.row(j);
+                    for (s, &p) in s0[..w].iter_mut().zip(tbl) {
+                        *s = row[p as usize] as u128;
+                    }
+                }
+                None => s0[..w].fill(0),
+            }
+            s1[..w].fill(0);
+            let mut folded = 0usize;
+            for i in 0..k {
+                let digit = digits.row(i * k + j);
+                let k0 = &key.ksk0[i].row(j)[start..start + w];
+                let k1 = &key.ksk1[i].row(j)[start..start + w];
+                for (((s0t, s1t), &p), (&w0, &w1)) in s0[..w]
+                    .iter_mut()
+                    .zip(s1[..w].iter_mut())
+                    .zip(tbl)
+                    .zip(k0.iter().zip(k1))
+                {
+                    let d = digit[p as usize] as u128;
+                    *s0t += d * w0 as u128;
+                    *s1t += d * w1 as u128;
+                }
+                folded += 1;
+                if folded >= max_terms && i + 1 < k {
+                    // Large-modulus safety valve: compress the partials so
+                    // the next max_terms products cannot overflow.
+                    for (s0t, s1t) in s0[..w].iter_mut().zip(s1[..w].iter_mut()) {
+                        *s0t = m.reduce_u128(*s0t) as u128;
+                        *s1t = m.reduce_u128(*s1t) as u128;
+                    }
+                    folded = 1;
+                }
+            }
+            for ((&s0t, &s1t), (a0t, a1t)) in s0[..w].iter().zip(s1[..w].iter()).zip(
+                a0[start..start + w]
+                    .iter_mut()
+                    .zip(&mut a1[start..start + w]),
+            ) {
+                *a0t = m.add(*a0t, m.reduce_u128(s0t));
+                *a1t = m.add(*a1t, m.reduce_u128(s1t));
+            }
+            start += w;
+        }
+    }
+}
+
+/// The u64-accumulating SoP fast path for narrow (≤ 31-bit) primes. Both
+/// the hoisted digits and the key shadow are slot-major transposed, so
+/// each slot's whole `k`-digit dot reads three contiguous `k`-wide lines
+/// (digit line gathered at `π(t)`, two key lines at `t`), accumulates in
+/// `u64` — sound by [`narrow_sop_ok`], including the fused `c0` seed — and
+/// reduces once with the single-word Barrett
+/// ([`hefv_math::zq::Modulus::reduce_u64`]).
+fn sop_acc_narrow(
+    basis: &RnsBasis,
+    digits32: &[u32],
+    key: &GaloisKey,
+    perm: &GaloisPermutation,
+    c0_ntt: Option<&RnsPoly>,
+    acc0: &mut RnsPoly,
+    acc1: &mut RnsPoly,
+) {
+    let k = acc0.k();
+    let n = acc0.n();
+    debug_assert_eq!(digits32.len(), k * k * n);
+    debug_assert_eq!(key.ksk0_narrow.len(), k * k * n);
+    let table = perm.table();
+    for j in 0..k {
+        let m = basis.modulus(j);
+        let c0_row = c0_ntt.map(|c0| c0.row(j));
+        let a0 = acc0.row_mut(j);
+        let a1 = acc1.row_mut(j);
+        let base = j * n;
+        for t in 0..n {
+            let p = table[t] as usize;
+            let dl = &digits32[(base + p) * k..(base + p) * k + k];
+            let w0 = &key.ksk0_narrow[(base + t) * k..(base + t) * k + k];
+            let w1 = &key.ksk1_narrow[(base + t) * k..(base + t) * k + k];
+            let mut s0 = match c0_row {
+                Some(row) => row[p],
+                None => 0,
+            };
+            let mut s1 = 0u64;
+            for ((&d, &x0), &x1) in dl.iter().zip(w0).zip(w1) {
+                let d = d as u64;
+                s0 += d * x0 as u64;
+                s1 += d * x1 as u64;
+            }
+            a0[t] = m.add(a0[t], m.reduce_u64(s0));
+            a1[t] = m.add(a1[t], m.reduce_u64(s1));
+        }
+    }
+}
+
+/// Builds the wide (`u64`) hoisted digit buffer: digit `i` spread across
+/// the `q` residues and forward-transformed, at rows `i·k .. (i+1)·k`.
+fn decompose_wide_into(ctx: &FvContext, c1: &RnsPoly, digits: &mut RnsPoly) {
+    let k = c1.k();
+    let n = c1.n();
+    let tables = ctx.ntt_q();
+    for i in 0..k {
+        let rows = digits.rows_mut(i * k, (i + 1) * k);
+        ctx.spread_digit_into(c1.row(i), rows);
+        for (j, row) in rows.chunks_mut(n).enumerate() {
+            tables[j].forward(row);
+        }
+    }
+}
+
+/// Builds the narrow slot-major transposed digit buffer: each digit is
+/// spread and transformed in the `k × n` u64 scratch, then scattered into
+/// `d32[(j·n + t)·k + i]` (one sequential stride-`k` write pass per row).
+fn decompose_narrow_into(ctx: &FvContext, c1: &RnsPoly, scratch: &mut RnsPoly, d32: &mut [u32]) {
+    let k = c1.k();
+    let n = c1.n();
+    debug_assert_eq!(d32.len(), k * k * n);
+    let tables = ctx.ntt_q();
+    for i in 0..k {
+        ctx.spread_digit_into(c1.row(i), scratch.flat_mut());
+        for (j, row) in scratch.flat_mut().chunks_mut(n).enumerate() {
+            tables[j].forward(row);
+        }
+        for j in 0..k {
+            for (t, &v) in scratch.row(j).iter().enumerate() {
+                d32[(j * n + t) * k + i] = v as u32;
+            }
+        }
+    }
 }
 
 /// Applies `σ_g` to a ciphertext and switches back to the original key:
-/// `ct' = (σc0 + SoP(D(σc1), ksk0), SoP(D(σc1), ksk1))`.
+/// `ct' = (σc0 + SoP(σ(D(c1)), ksk0), SoP(σ(D(c1)), ksk1))`.
+///
+/// This *is* a hoist of exactly one rotation (decompose, then permute in
+/// the NTT domain — see the module docs' digit-order invariant), so its
+/// output is bit-identical to [`HoistedCiphertext::rotate`] on the same
+/// ciphertext. Callers rotating one ciphertext several times should hoist
+/// explicitly and amortize the decomposition.
 ///
 /// # Panics
 ///
 /// Panics if the key's digit count mismatches the context.
 pub fn apply_galois(ctx: &FvContext, ct: &Ciphertext, key: &GaloisKey) -> Ciphertext {
+    apply_galois_in(ctx, ct, key, &Arena::new())
+}
+
+/// [`apply_galois`] drawing every intermediate from `arena`.
+///
+/// # Panics
+///
+/// Panics if the key's digit count mismatches the context.
+pub fn apply_galois_in(
+    ctx: &FvContext,
+    ct: &Ciphertext,
+    key: &GaloisKey,
+    arena: &Arena,
+) -> Ciphertext {
+    let hoisted = HoistedCiphertext::new_in(ctx, ct, arena);
+    let out = hoisted.rotate_in(ctx, key, arena);
+    hoisted.recycle(arena);
+    out
+}
+
+/// All hoisted rotations of one ciphertext: a single decomposition serves
+/// every key (returned in key order).
+pub fn rotate_many(ctx: &FvContext, ct: &Ciphertext, keys: &[&GaloisKey]) -> Vec<Ciphertext> {
+    rotate_many_in(ctx, ct, keys, &Arena::new())
+}
+
+/// [`rotate_many`] with every buffer — the hoisted digits and the output
+/// ciphertexts — drawn from `arena`: with a warm arena (and outputs
+/// recycled back once consumed) the whole batch allocates nothing.
+pub fn rotate_many_in(
+    ctx: &FvContext,
+    ct: &Ciphertext,
+    keys: &[&GaloisKey],
+    arena: &Arena,
+) -> Vec<Ciphertext> {
+    let hoisted = HoistedCiphertext::new_in(ctx, ct, arena);
+    let out = keys
+        .iter()
+        .map(|key| hoisted.rotate_in(ctx, key, arena))
+        .collect();
+    hoisted.recycle(arena);
+    out
+}
+
+/// The **pre-hoisting** rotation path: permutes the ciphertext in the
+/// coefficient domain first, then decomposes and transforms the permuted
+/// `c1` — re-spreading the digits and re-running the `k²` forward NTTs on
+/// every call. Kept in-tree as the semantic oracle and the "per-rotation"
+/// baseline `benches/rotate.rs` measures hoisting against (the same role
+/// `forward_strict` plays for the lazy NTT).
+pub fn apply_galois_reference(ctx: &FvContext, ct: &Ciphertext, key: &GaloisKey) -> Ciphertext {
     let basis = ctx.base_q();
     let k = ctx.params().k();
     assert_eq!(key.digits(), k, "digit count mismatch");
@@ -148,42 +700,206 @@ pub fn apply_galois(ctx: &FvContext, ct: &Ciphertext, key: &GaloisKey) -> Cipher
     }
 }
 
+/// How many doubling rounds one hoist group covers in
+/// [`GaloisKeySet::for_slot_sum`]: a group of `J` rounds folds with
+/// `2^J − 1` hoisted rotations off one decomposition (subset-product
+/// identity). `J = 3` balances the amortized `k²` forward NTTs against the
+/// exponential growth in per-group SoPs and switching keys.
+pub const HOIST_GROUP_ROUNDS: usize = 3;
+
 /// The key set needed to fold a ciphertext over the whole Galois group:
-/// exponents `3^(2^i) mod 2n` for `i = 0 .. log2(n/2)` plus `2n − 1`.
+/// the doubling-chain exponents `3^(2^i) mod 2n` plus the conjugation
+/// `2n − 1`, **and** the subset-product keys that let [`sum_slots`] hoist
+/// [`HOIST_GROUP_ROUNDS`] rounds at a time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GaloisKeySet {
     keys: Vec<GaloisKey>,
+    /// Key indices of the doubling-chain rounds, in application order
+    /// (what [`sum_slots_reference`] walks).
+    chain: Vec<usize>,
+    /// Hoist groups: each entry lists the key indices of every non-empty
+    /// subset product of up to [`HOIST_GROUP_ROUNDS`] consecutive rounds.
+    groups: Vec<Vec<usize>>,
 }
 
 impl GaloisKeySet {
-    /// Generates the slot-sum key set (log2(n) keys).
+    /// Generates the slot-sum key set: one key per doubling round plus the
+    /// subset-product keys of each hoist group (deduplicated by exponent).
     pub fn for_slot_sum<R: Rng + ?Sized>(ctx: &FvContext, sk: &SecretKey, rng: &mut R) -> Self {
         let n = ctx.params().n;
         let two_n = 2 * n;
-        let mut keys = Vec::new();
-        let mut g = 3usize;
-        let steps = (n / 2).trailing_zeros();
-        for _ in 0..steps {
-            keys.push(GaloisKey::generate(ctx, sk, g % two_n, rng));
+        // The doubling-round exponents: 3^(2^i), then the conjugation.
+        let mut rounds = Vec::new();
+        let mut g = 3usize % two_n;
+        for _ in 0..(n / 2).trailing_zeros() {
+            rounds.push(g);
             g = (g * g) % two_n;
         }
-        keys.push(GaloisKey::generate(ctx, sk, two_n - 1, rng));
-        GaloisKeySet { keys }
+        rounds.push(two_n - 1);
+
+        let mut keys: Vec<GaloisKey> = Vec::new();
+        let mut index_of = std::collections::HashMap::new();
+        let mut key_for = |e: usize, rng: &mut R, keys: &mut Vec<GaloisKey>| -> usize {
+            *index_of.entry(e).or_insert_with(|| {
+                keys.push(GaloisKey::generate(ctx, sk, e, rng));
+                keys.len() - 1
+            })
+        };
+        let mut chain = Vec::with_capacity(rounds.len());
+        let mut groups = Vec::new();
+        for group_rounds in rounds.chunks(HOIST_GROUP_ROUNDS) {
+            for &e in group_rounds {
+                chain.push(key_for(e, rng, &mut keys));
+            }
+            // Every non-empty subset product of this group's rounds.
+            let mut group = Vec::with_capacity((1 << group_rounds.len()) - 1);
+            for mask in 1u32..(1 << group_rounds.len()) {
+                let mut prod = 1usize;
+                for (b, &e) in group_rounds.iter().enumerate() {
+                    if mask & (1 << b) != 0 {
+                        prod = (prod * e) % two_n;
+                    }
+                }
+                group.push(key_for(prod, rng, &mut keys));
+            }
+            groups.push(group);
+        }
+        GaloisKeySet {
+            keys,
+            chain,
+            groups,
+        }
     }
 
-    /// The contained keys.
+    /// The contained keys (chain and subset-product keys alike).
     pub fn keys(&self) -> &[GaloisKey] {
         &self.keys
+    }
+
+    /// Number of doubling rounds a slot sum performs (`log2(n)`).
+    pub fn rounds(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Key indices of the doubling-chain rounds, in order.
+    pub fn chain(&self) -> &[usize] {
+        &self.chain
+    }
+
+    /// The hoist groups (key indices of each group's subset products).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Looks up the key for an exponent, if present.
+    pub fn key_for(&self, g: usize) -> Option<&GaloisKey> {
+        self.keys.iter().find(|k| k.g == g)
     }
 }
 
 /// Sums all SIMD slots: afterwards every slot holds `Σ_j slot_j`.
 ///
-/// Uses the rotate-and-add doubling trick: `log2(n)` Galois applications.
+/// Runs the hoisted group fold described in the module docs: per hoist
+/// group, one digit decomposition of the accumulator serves every subset
+/// rotation, and `acc ← Σ_{S⊆G} σ_{Π S}(acc)` advances
+/// [`HOIST_GROUP_ROUNDS`] doubling rounds at once.
 pub fn sum_slots(ctx: &FvContext, ct: &Ciphertext, keys: &GaloisKeySet) -> Ciphertext {
+    sum_slots_in(ctx, ct, keys, &Arena::new())
+}
+
+/// [`sum_slots`] drawing every intermediate from `arena`.
+///
+/// The fold keeps `c0` in the **NTT domain for its entire lifetime**: a
+/// rotation's `c0` contribution is then one fused gather inside the SoP
+/// pass (no automorphism scatter, no per-group inverse transform for
+/// `c0`), and only `c1` — which each group must re-decompose — round-trips
+/// through the coefficient domain. One digit buffer is reused across all
+/// groups.
+pub fn sum_slots_in(
+    ctx: &FvContext,
+    ct: &Ciphertext,
+    keys: &GaloisKeySet,
+    arena: &Arena,
+) -> Ciphertext {
+    if keys.groups().is_empty() {
+        return ct.clone();
+    }
+    let basis = ctx.base_q();
+    let k = ctx.params().k();
+    let n = ctx.params().n;
+    assert_eq!(ct.c0().k(), k, "ciphertext shape mismatch");
+    let tables = ctx.ntt_q();
+
+    // The evolving accumulator: c0 held in NTT domain, c1 in coefficient
+    // domain (the decomposition needs coefficients).
+    let mut c0_ntt = arena.take_poly(k, n, Domain::Coefficient);
+    c0_ntt.copy_from(ct.c0());
+    c0_ntt.ntt_forward(tables);
+    let mut c1 = arena.take_poly(k, n, Domain::Coefficient);
+    c1.copy_from(ct.c1());
+
+    // Narrow fast path only if the basis qualifies AND every key carries
+    // its 32-bit shadow.
+    let narrow =
+        narrow_sop_ok(ctx.base_q(), k) && keys.keys.iter().all(|key| !key.ksk0_narrow.is_empty());
+    let mut digits = (!narrow).then(|| arena.take_poly(k * k, n, Domain::Ntt));
+    let mut digits32 = narrow.then(|| arena.take32(k * k * n));
+    let mut scratch = narrow.then(|| arena.take_poly(k, n, Domain::Coefficient));
+    let mut acc0 = arena.take_poly_zeroed(k, n, Domain::Ntt);
+    for group in keys.groups() {
+        // Decompose the current c1 (the group's hoisted precomputation).
+        match (&mut digits32, &mut digits) {
+            (Some(d32), _) => {
+                decompose_narrow_into(ctx, &c1, scratch.as_mut().expect("narrow scratch"), d32);
+            }
+            (None, Some(d)) => decompose_wide_into(ctx, &c1, d),
+            (None, None) => unreachable!(),
+        }
+        acc0.flat_mut().fill(0);
+        let mut acc1 = arena.take_poly_zeroed(k, n, Domain::Ntt);
+        for &ki in group {
+            let key = &keys.keys[ki];
+            let perm = ctx.automorphism_table(key.g);
+            match (&digits32, &digits) {
+                (Some(d32), _) => {
+                    sop_acc_narrow(basis, d32, key, &perm, Some(&c0_ntt), &mut acc0, &mut acc1);
+                }
+                (None, Some(d)) => {
+                    sop_acc_wide(basis, d, key, &perm, Some(&c0_ntt), &mut acc0, &mut acc1);
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        // C0 ← C0 + Σ_r (π_r(C0) + SoP0_r): still NTT-domain, no inverse.
+        c0_ntt.add_assign(&acc0, basis);
+        // c1 ← c1 + InvNTT(Σ_r SoP1_r): the only transform this group pays
+        // beyond the decomposition.
+        acc1.ntt_inverse(tables);
+        c1.add_assign(&acc1, basis);
+        arena.recycle(acc1);
+    }
+    if let Some(d) = digits {
+        arena.recycle(d);
+    }
+    if let Some(d32) = digits32 {
+        arena.put32(d32);
+    }
+    if let Some(s) = scratch {
+        arena.recycle(s);
+    }
+    arena.recycle(acc0);
+    c0_ntt.ntt_inverse(tables);
+    Ciphertext { c0: c0_ntt, c1 }
+}
+
+/// The **pre-hoisting** slot sum: `log2(n)` rotate-and-add doubling rounds,
+/// each through [`apply_galois_reference`] — re-decomposing and
+/// re-transforming on every rotation. The baseline `benches/rotate.rs`
+/// measures [`sum_slots`] against.
+pub fn sum_slots_reference(ctx: &FvContext, ct: &Ciphertext, keys: &GaloisKeySet) -> Ciphertext {
     let mut acc = ct.clone();
-    for key in keys.keys() {
-        let rotated = apply_galois(ctx, &acc, key);
+    for &idx in keys.chain() {
+        let rotated = apply_galois_reference(ctx, &acc, &keys.keys[idx]);
         acc = crate::eval::add(ctx, &acc, &rotated);
     }
     acc
@@ -259,6 +975,22 @@ mod tests {
     }
 
     #[test]
+    fn ntt_domain_automorphism_matches_coefficient_domain() {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let n = ctx.params().n;
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| i * 5 - 11).collect();
+        let p = RnsPoly::from_signed(&coeffs, ctx.base_q());
+        for g in [3usize, 5, 2 * n - 1] {
+            let mut via_coeff = apply_automorphism(&ctx, &p, g);
+            via_coeff.ntt_forward(ctx.ntt_q());
+            let mut p_ntt = p.clone();
+            p_ntt.ntt_forward(ctx.ntt_q());
+            let via_perm = apply_automorphism_ntt(&ctx, &p_ntt, g);
+            assert_eq!(via_perm, via_coeff, "g={g}");
+        }
+    }
+
+    #[test]
     fn galois_ciphertext_decrypts_to_permuted_plaintext() {
         let (ctx, _) = batching_ctx();
         let mut rng = StdRng::seed_from_u64(51);
@@ -280,6 +1012,55 @@ mod tests {
             let signed = m0.to_centered(expect_rns.row(0)[c]);
             let expect = signed.rem_euclid(7681) as u64;
             assert_eq!(got.coeffs()[c], expect, "coeff {c}");
+        }
+    }
+
+    #[test]
+    fn reference_and_hoisted_rotation_decrypt_identically() {
+        // The permute-first oracle and the hoisted decompose-first path use
+        // different (equally valid) digit decompositions, so ciphertext
+        // bits differ — but the decrypted plaintext must match exactly.
+        let (ctx, enc) = batching_ctx();
+        let mut rng = StdRng::seed_from_u64(57);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let vals: Vec<u64> = (0..256u64).map(|i| i * 3 + 1).collect();
+        let ct = encrypt(&ctx, &pk, &enc.encode(&vals), &mut rng);
+        let key = GaloisKey::generate(&ctx, &sk, 3, &mut rng);
+        let hoisted = apply_galois(&ctx, &ct, &key);
+        let reference = apply_galois_reference(&ctx, &ct, &key);
+        assert_ne!(hoisted, reference, "independent decompositions");
+        assert_eq!(
+            enc.decode(&decrypt(&ctx, &sk, &hoisted)),
+            enc.decode(&decrypt(&ctx, &sk, &reference)),
+        );
+    }
+
+    #[test]
+    fn hoisted_rotation_is_bit_identical_to_apply_galois() {
+        let (ctx, enc) = batching_ctx();
+        let mut rng = StdRng::seed_from_u64(58);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let vals: Vec<u64> = (0..256u64).map(|i| (i * 7 + 2) % 7681).collect();
+        let ct = encrypt(&ctx, &pk, &enc.encode(&vals), &mut rng);
+        let n = ctx.params().n;
+        let keys: Vec<GaloisKey> = [3usize, 9, 2 * n - 1]
+            .iter()
+            .map(|&g| GaloisKey::generate(&ctx, &sk, g, &mut rng))
+            .collect();
+        // One decomposition, three rotations — each must equal the
+        // one-shot path bit for bit.
+        let hoisted = HoistedCiphertext::new(&ctx, &ct);
+        for key in &keys {
+            assert_eq!(
+                hoisted.rotate(&ctx, key),
+                apply_galois(&ctx, &ct, key),
+                "g={}",
+                key.g
+            );
+        }
+        let many = rotate_many(&ctx, &ct, &keys.iter().collect::<Vec<_>>());
+        for (out, key) in many.iter().zip(&keys) {
+            assert_eq!(out, &apply_galois(&ctx, &ct, key), "g={}", key.g);
         }
     }
 
@@ -311,13 +1092,52 @@ mod tests {
         let total: u64 = vals.iter().sum::<u64>() % 7681;
         let ct = encrypt(&ctx, &pk, &enc.encode(&vals), &mut rng);
         let keys = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);
-        assert_eq!(keys.keys().len(), 8, "log2(128) + 1 keys for n=256");
+        assert_eq!(keys.rounds(), 8, "log2(128) + 1 rounds for n=256");
+        // 8 rounds in groups of 3: (7 + 7 + 3) subset-product keys.
+        assert_eq!(keys.groups().len(), 3);
+        assert_eq!(keys.keys().len(), 17);
         let summed = sum_slots(&ctx, &ct, &keys);
         let got = enc.decode(&decrypt(&ctx, &sk, &summed));
         assert!(
             got.iter().all(|&v| v == total),
             "all slots = {total}, got {:?}",
             &got[..4]
+        );
+        // The per-rotation reference computes the same sum.
+        let reference = sum_slots_reference(&ctx, &ct, &keys);
+        let got_ref = enc.decode(&decrypt(&ctx, &sk, &reference));
+        assert_eq!(got, got_ref);
+    }
+
+    #[test]
+    fn hoisted_group_fold_matches_sequential_rounds() {
+        // One hoist group must advance the accumulator exactly like its
+        // rounds applied one at a time (same decomposition order, so the
+        // comparison is on decrypted values).
+        let (ctx, enc) = batching_ctx();
+        let mut rng = StdRng::seed_from_u64(54);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let vals: Vec<u64> = (0..256u64).map(|i| (i * 11 + 5) % 97).collect();
+        let ct = encrypt(&ctx, &pk, &enc.encode(&vals), &mut rng);
+        let keys = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);
+        // Sequential doubling over the first group's rounds.
+        let first_rounds: Vec<usize> = keys.chain()[..HOIST_GROUP_ROUNDS].to_vec();
+        let mut seq = ct.clone();
+        for idx in first_rounds {
+            let rot = apply_galois(&ctx, &seq, &keys.keys()[idx]);
+            seq = crate::eval::add(&ctx, &seq, &rot);
+        }
+        // The hoisted group fold.
+        let arena = Arena::new();
+        let hoisted = HoistedCiphertext::new_in(&ctx, &ct, &arena);
+        let folded = hoisted.sum_self_plus_rotations_in(
+            &ctx,
+            keys.groups()[0].iter().map(|&i| &keys.keys()[i]),
+            &arena,
+        );
+        assert_eq!(
+            enc.decode(&decrypt(&ctx, &sk, &folded)),
+            enc.decode(&decrypt(&ctx, &sk, &seq)),
         );
     }
 

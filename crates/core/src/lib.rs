@@ -40,6 +40,7 @@ pub mod parallel;
 pub mod params;
 pub mod rnspoly;
 pub mod sampler;
+pub mod scratch;
 pub mod security;
 pub mod wire;
 
@@ -51,12 +52,15 @@ pub mod prelude {
     pub use crate::encoder::{BatchEncoder, IntegerEncoder, Plaintext};
     pub use crate::encrypt::{decrypt, encrypt, encrypt_symmetric, trivial_encrypt, Ciphertext};
     pub use crate::error::Error;
-    pub use crate::eval::{add, mul, mul_plain, neg, square, sub, Backend};
-    pub use crate::galois::{apply_galois, sum_slots, GaloisKey, GaloisKeySet};
+    pub use crate::eval::{add, mul, mul_plain, neg, square, sub, Backend, PlainOperand};
+    pub use crate::galois::{
+        apply_galois, rotate_many, sum_slots, GaloisKey, GaloisKeySet, HoistedCiphertext,
+    };
     pub use crate::keys::{keygen, PublicKey, RelinKey, SecretKey};
     pub use crate::noise::measure;
     pub use crate::parallel::mul_threaded;
     pub use crate::params::FvParams;
     pub use crate::rnspoly::{Domain, RnsPoly};
+    pub use crate::scratch::Arena;
     pub use hefv_math::rns::HpsPrecision;
 }

@@ -133,6 +133,12 @@ impl RnsPoly {
         &self.data
     }
 
+    /// Consumes the polynomial, yielding its backing buffer (the seam the
+    /// [`crate::scratch::Arena`] recycles through).
+    pub fn into_flat(self) -> Vec<u64> {
+        self.data
+    }
+
     /// Mutable view of the whole buffer (domain discipline is the
     /// caller's burden).
     pub fn flat_mut(&mut self) -> &mut [u64] {
@@ -304,6 +310,65 @@ impl RnsPoly {
                 *d = m.mul(*d, b);
             }
         }
+    }
+
+    /// Pointwise product written into a caller-provided output polynomial
+    /// (shape-checked; `out`'s previous contents and domain are
+    /// overwritten). The allocation-free form of [`RnsPoly::pointwise_mul`]
+    /// for arena-recycled outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or if either operand is coefficient-domain.
+    pub fn pointwise_mul_into(&self, other: &Self, basis: &RnsBasis, out: &mut Self) {
+        self.check(other);
+        assert_eq!(
+            self.domain,
+            Domain::Ntt,
+            "pointwise product needs NTT domain"
+        );
+        assert_eq!(out.k, self.k, "residue count mismatch");
+        assert_eq!(out.n, self.n, "degree mismatch");
+        out.domain = Domain::Ntt;
+        let n = self.n;
+        for i in 0..self.k {
+            let m = *basis.modulus(i);
+            let dst = &mut out.data[i * n..(i + 1) * n];
+            for ((d, &a), &b) in dst.iter_mut().zip(self.row(i)).zip(other.row(i)) {
+                *d = m.mul(a, b);
+            }
+        }
+    }
+
+    /// In-place coefficient-wise sum: `self += other` (valid in either
+    /// domain) — the allocation-free sibling of [`RnsPoly::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape or domain mismatch.
+    pub fn add_assign(&mut self, other: &Self, basis: &RnsBasis) {
+        self.check(other);
+        let n = self.n;
+        for i in 0..self.k {
+            let m = *basis.modulus(i);
+            let dst = &mut self.data[i * n..(i + 1) * n];
+            for (d, &b) in dst.iter_mut().zip(other.row(i)) {
+                *d = m.add(*d, b);
+            }
+        }
+    }
+
+    /// Copies another polynomial's coefficients and domain into this one's
+    /// buffer (shapes must match) — a clone that reuses the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "residue count mismatch");
+        assert_eq!(self.n, other.n, "degree mismatch");
+        self.data.copy_from_slice(&other.data);
+        self.domain = other.domain;
     }
 
     /// Multiply-accumulate: `acc += a ⊙ b` in NTT domain.

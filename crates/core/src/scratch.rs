@@ -1,0 +1,191 @@
+//! The eval scratch arena: a pool of recycled flat limb buffers.
+//!
+//! Steady-state homomorphic evaluation touches the same buffer shapes over
+//! and over — `k·n` ciphertext polynomials, `(k+l)·n` lifted operands,
+//! `k·n` digit polynomials — and the paper's coprocessor never allocates at
+//! all: every intermediate lives in pre-sized BRAM. [`Arena`] is the
+//! software analogue: a thread-safe pool of `Vec<u64>` buffers that
+//! `tensor`/`relinearize`/`apply_galois`/hoisting draw from and return to,
+//! so after a warm-up evaluation the hot path performs **zero heap
+//! allocation** (asserted by `tests/alloc_steady_state.rs` with a counting
+//! global allocator).
+//!
+//! The pool is deliberately simple: a mutex-guarded stack of buffers,
+//! **bounded** at [`Arena::DEFAULT_CAPACITY`] buffers per pool —
+//! [`Arena::put`] drops a buffer instead of pooling it once the pool is
+//! full, so recycling more than you take (e.g. an engine worker feeding
+//! every job's operand ciphertexts back) cannot grow memory without
+//! bound. The lock is uncontended in the common per-job usage (one arena
+//! per engine worker) and is taken a handful of times per evaluation —
+//! noise next to a single row NTT. Pooled buffers keep whatever capacity
+//! they grew to, so one arena serving mixed shapes converges to the
+//! largest working set and stays there.
+
+use crate::rnspoly::{Domain, RnsPoly};
+use std::sync::Mutex;
+
+/// A recycling pool of flat `u64` buffers (see the module docs).
+///
+/// `Arena` is `Send + Sync`; clones of buffers never escape — callers get
+/// owned `Vec<u64>`/[`RnsPoly`] values and hand them back with
+/// [`Arena::put`]/[`Arena::recycle`].
+#[derive(Debug)]
+pub struct Arena {
+    pool: Mutex<Vec<Vec<u64>>>,
+    /// Separate pool for the 32-bit buffers of the narrow key-switch SoP
+    /// fast path (transposed hoisted digits).
+    pool32: Mutex<Vec<Vec<u32>>>,
+    capacity: usize,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl Arena {
+    /// Default bound on pooled buffers per pool. Generously above the
+    /// deepest single-evaluation working set (a `Mult` holds ~12 live
+    /// buffers; a hoisted slot sum fewer), so the hot path never misses,
+    /// while the worst case stays around `32 × (k+l)·n` words.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// An empty arena (buffers are created on first use) with the default
+    /// pool bound.
+    pub fn new() -> Self {
+        Arena::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty arena keeping at most `capacity` buffers per pool (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Arena {
+            pool: Mutex::new(Vec::new()),
+            pool32: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Takes a buffer of exactly `len` elements with **unspecified
+    /// contents** (callers that overwrite every element skip the zeroing
+    /// pass). Reuses the pooled buffer with the largest capacity when one
+    /// exists, growing it if needed.
+    pub fn take(&self, len: usize) -> Vec<u64> {
+        let mut buf = self.pool.lock().unwrap().pop().unwrap_or_default();
+        // `resize` only writes when growing past the current length; a
+        // recycled buffer of the right size costs nothing here.
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Takes a buffer of `len` zeros (for accumulators).
+    pub fn take_zeroed(&self, len: usize) -> Vec<u64> {
+        let mut buf = self.take(len);
+        buf.fill(0);
+        buf
+    }
+
+    /// Returns a buffer to the pool; dropped instead once the pool holds
+    /// [`Arena::DEFAULT_CAPACITY`] (or the configured bound) buffers.
+    pub fn put(&self, buf: Vec<u64>) {
+        if buf.capacity() > 0 {
+            let mut pool = self.pool.lock().unwrap();
+            if pool.len() < self.capacity {
+                pool.push(buf);
+            }
+        }
+    }
+
+    /// Takes a 32-bit buffer of exactly `len` elements with unspecified
+    /// contents (the narrow-SoP digit scratch).
+    pub fn take32(&self, len: usize) -> Vec<u32> {
+        let mut buf = self.pool32.lock().unwrap().pop().unwrap_or_default();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a 32-bit buffer to the pool (same bound as [`Arena::put`]).
+    pub fn put32(&self, buf: Vec<u32>) {
+        if buf.capacity() > 0 {
+            let mut pool = self.pool32.lock().unwrap();
+            if pool.len() < self.capacity {
+                pool.push(buf);
+            }
+        }
+    }
+
+    /// Takes a `k × n` polynomial with unspecified coefficients in the
+    /// given domain (for outputs that are fully overwritten).
+    pub fn take_poly(&self, k: usize, n: usize, domain: Domain) -> RnsPoly {
+        RnsPoly::from_flat(self.take(k * n), k, domain)
+    }
+
+    /// Takes a zeroed `k × n` polynomial (for accumulators).
+    pub fn take_poly_zeroed(&self, k: usize, n: usize, domain: Domain) -> RnsPoly {
+        RnsPoly::from_flat(self.take_zeroed(k * n), k, domain)
+    }
+
+    /// Recycles a polynomial's backing buffer.
+    pub fn recycle(&self, poly: RnsPoly) {
+        self.put(poly.into_flat());
+    }
+
+    /// Recycles both polynomials of a ciphertext.
+    pub fn recycle_ciphertext(&self, ct: crate::encrypt::Ciphertext) {
+        let (c0, c1) = ct.into_parts();
+        self.recycle(c0);
+        self.recycle(c1);
+    }
+
+    /// Buffers currently pooled (for tests and telemetry).
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_capacity() {
+        let arena = Arena::new();
+        let mut buf = arena.take(64);
+        buf.iter_mut().for_each(|x| *x = 7);
+        let ptr = buf.as_ptr();
+        arena.put(buf);
+        assert_eq!(arena.pooled(), 1);
+        let again = arena.take(64);
+        assert_eq!(again.as_ptr(), ptr, "same allocation reused");
+        assert_eq!(arena.pooled(), 0);
+        // take() leaves stale contents; take_zeroed() clears them.
+        arena.put(again);
+        let z = arena.take_zeroed(64);
+        assert!(z.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let arena = Arena::with_capacity(2);
+        for _ in 0..5 {
+            arena.put(vec![0u64; 8]);
+        }
+        assert_eq!(arena.pooled(), 2, "excess buffers are dropped, not kept");
+        // The default bound also applies to a fresh arena.
+        let arena = Arena::new();
+        for _ in 0..Arena::DEFAULT_CAPACITY + 10 {
+            arena.put(vec![0u64; 8]);
+        }
+        assert_eq!(arena.pooled(), Arena::DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn poly_roundtrip_keeps_shape() {
+        let arena = Arena::new();
+        let p = arena.take_poly_zeroed(3, 8, Domain::Ntt);
+        assert_eq!((p.k(), p.n(), p.domain()), (3, 8, Domain::Ntt));
+        arena.recycle(p);
+        let q = arena.take_poly(2, 12, Domain::Coefficient);
+        assert_eq!(q.flat().len(), 24);
+    }
+}

@@ -73,6 +73,81 @@ proptest! {
         prop_assert_eq!(lhs, rhs);
     }
 
+    /// The PR-5 acceptance pin: across random `(q, n, exponent)` — prime
+    /// widths 30/31 bits (all `FvContext` supports: the `Lift`/`Scale`
+    /// reciprocal ROMs are 30-bit-lane hardware), ring degrees 16..128,
+    /// digit counts 1..7 — a hoisted rotation is **bit-identical** to
+    /// `apply_galois`, and both match an independently evaluated
+    /// decompose → NTT-permute → pointwise-SoP oracle. At 31-bit primes
+    /// with k ≥ 4 the dot exceeds `u64`, so the draws cover both the
+    /// narrow u64-accumulating SoP fast path and the wide u128 fallback.
+    #[test]
+    fn hoisted_rotation_bit_identical_to_apply_galois(
+        bits in 30u32..32,
+        log_n in 4u32..8,
+        k in 1usize..7,
+        g_raw in 0usize..256,
+        seed in any::<u64>(),
+    ) {
+        use hefv_core::galois::{apply_automorphism_ntt, HoistedCiphertext};
+        use hefv_core::rnspoly::Domain;
+        use hefv_math::primes::ntt_primes;
+
+        let n = 1usize << log_n;
+        let g = (2 * g_raw + 1) % (2 * n);
+        // k ciphertext primes plus one extension prime of the same width.
+        let Ok(ps) = ntt_primes(bits, n, k + 1) else {
+            // Some (bits, n) pools are too small; skip such draws.
+            return Ok(());
+        };
+        let params = FvParams {
+            name: "prop".into(),
+            n,
+            q_primes: ps[..k].to_vec(),
+            p_primes: ps[k..].to_vec(),
+            t: 2,
+            sigma: 3.2,
+        };
+        let Ok(ctx) = FvContext::new(params) else { return Ok(()); };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk, _) = keygen(&ctx, &mut rng);
+        let key = GaloisKey::generate(&ctx, &sk, g, &mut rng);
+        let pt = Plaintext::new(vec![1, 0, 1, 1], 2, n);
+        let ct = encrypt(&ctx, &pk, &pt, &mut rng);
+
+        // One hoist, rotated — must equal the one-shot path bit for bit.
+        let hoisted = HoistedCiphertext::new(&ctx, &ct);
+        let via_hoist = hoisted.rotate(&ctx, &key);
+        let via_apply = apply_galois(&ctx, &ct, &key);
+        prop_assert_eq!(&via_hoist, &via_apply);
+
+        // Independent oracle through different code: materialize each
+        // permuted digit with the NTT-domain automorphism and run the SoP
+        // with the generic pointwise kernels.
+        let basis = ctx.base_q();
+        let kk = ctx.params().k();
+        let mut acc0 = RnsPoly::zero_in(kk, n, Domain::Ntt);
+        let mut acc1 = RnsPoly::zero_in(kk, n, Domain::Ntt);
+        for i in 0..kk {
+            let mut digit = RnsPoly::from_flat(
+                ctx.spread_digit(ct.c1().row(i)),
+                kk,
+                Domain::Coefficient,
+            );
+            digit.ntt_forward(ctx.ntt_q());
+            let permuted = apply_automorphism_ntt(&ctx, &digit, g);
+            acc0.pointwise_mul_acc(&permuted, key.ksk0(i), basis);
+            acc1.pointwise_mul_acc(&permuted, key.ksk1(i), basis);
+        }
+        acc0.ntt_inverse(ctx.ntt_q());
+        acc1.ntt_inverse(ctx.ntt_q());
+        let c0 = apply_automorphism(&ctx, ct.c0(), g).add(&acc0, basis);
+        prop_assert_eq!(via_apply.c0(), &c0);
+        prop_assert_eq!(via_apply.c1(), &acc1);
+        // And the rotation decrypts to the automorphism of the plaintext.
+        let _ = decrypt(&ctx, &sk, &via_hoist);
+    }
+
     #[test]
     fn automorphism_preserves_addition(seed in any::<u64>()) {
         let f = fix();

@@ -37,8 +37,15 @@ pub enum ScalarOp {
     Add,
     /// Slot-wise `lhs - rhs`.
     Sub,
-    /// Slot-wise `lhs × rhs`.
+    /// Slot-wise `lhs × rhs` (both operands encrypted; needs the relin
+    /// key).
     Mul,
+    /// Slot-wise `lhs × rhs` with `rhs` packed as a **plaintext** operand:
+    /// only `lhs` is encrypted, the evaluation is one `MulPlain` (about a
+    /// quarter of a full `Mult`, no relinearization key), and the engine's
+    /// cached [`hefv_core::eval::PlainOperand`] transforms the packed
+    /// plaintext exactly once.
+    MulPlain,
 }
 
 impl ScalarOp {
@@ -48,6 +55,7 @@ impl ScalarOp {
             ScalarOp::Add => EvalOp::Add(a, b),
             ScalarOp::Sub => EvalOp::Sub(a, b),
             ScalarOp::Mul => EvalOp::Mul(a, b),
+            ScalarOp::MulPlain => EvalOp::MulPlain(a, 0),
         }
     }
 }
@@ -199,17 +207,26 @@ fn dispatch_batch(
     let ctx = shared.ctx();
     let pa = batching.encoder.encode(&batch.lhs);
     let pb = batching.encoder.encode(&batch.rhs);
-    let (ca, cb) = {
+    // MulPlain keeps the right operand as a plaintext: one encryption and
+    // a quarter-Mult evaluation instead of two encryptions and a full one.
+    let (inputs, plaintexts) = {
         let mut rng = batching.rng.lock().unwrap();
-        (
-            encrypt(ctx, pk, &pa, &mut *rng),
-            encrypt(ctx, pk, &pb, &mut *rng),
-        )
+        if op == ScalarOp::MulPlain {
+            (vec![encrypt(ctx, pk, &pa, &mut *rng)], vec![pb])
+        } else {
+            (
+                vec![
+                    encrypt(ctx, pk, &pa, &mut *rng),
+                    encrypt(ctx, pk, &pb, &mut *rng),
+                ],
+                Vec::new(),
+            )
+        }
     };
     let req = EvalRequest {
         tenant,
-        inputs: vec![ca, cb],
-        plaintexts: Vec::new(),
+        inputs,
+        plaintexts,
         ops: vec![op.eval_op()],
         deadline_us: None,
     };

@@ -17,10 +17,11 @@ use crate::sched::{CostEstimator, JobQueue, QosSpec};
 use crate::stats::EngineStats;
 use hefv_core::context::FvContext;
 use hefv_core::encrypt::Ciphertext;
-use hefv_core::eval::{self, Backend};
-use hefv_core::galois::{apply_galois, sum_slots};
+use hefv_core::eval::{self, Backend, PlainOperand};
+use hefv_core::galois::{apply_galois_in, sum_slots_in, HoistedCiphertext};
 use hefv_core::noise::NoiseModel;
 use hefv_core::parallel;
+use hefv_core::scratch::Arena;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -53,6 +54,12 @@ pub struct EngineConfig {
     pub batch_linger: Option<Duration>,
     /// Scheduler aging weight in µs per arrival (0 = `mult_us / 16`).
     pub aging_weight_us: f64,
+    /// Recycle evaluation buffers through a per-worker scratch arena
+    /// ([`hefv_core::scratch::Arena`]): after warm-up, the Mult/rotate hot
+    /// path performs no steady-state heap allocation. Disable to fall back
+    /// to per-job allocation (diagnostics only — there is no performance
+    /// reason to turn this off).
+    pub scratch: bool,
     /// Lift/Scale datapath for multiplications. [`Backend::Auto`] lets the
     /// scheduler pick Traditional vs HPS per job, whichever the cost model
     /// prices cheaper for that job's op mix and parameter size.
@@ -71,6 +78,7 @@ impl Default for EngineConfig {
             max_batch: 0,
             batch_linger: Some(Duration::from_millis(100)),
             aging_weight_us: 0.0,
+            scratch: true,
             backend: Backend::default(),
             seed: 0x4845_4154, // "HEAT"
         }
@@ -101,6 +109,7 @@ pub(crate) struct Shared {
     noise: NoiseModel,
     backend: Backend,
     threads_per_job: usize,
+    scratch: bool,
     estimator: CostEstimator,
     next_job_id: AtomicU64,
     pub(crate) batching: Option<crate::batch::Batching>,
@@ -270,6 +279,7 @@ impl Engine {
             queue: JobQueue::new(aging, config.queue_capacity),
             backend: config.backend,
             threads_per_job,
+            scratch: config.scratch,
             estimator,
             next_job_id: AtomicU64::new(0),
             batching,
@@ -465,6 +475,9 @@ impl Drop for Engine {
 }
 
 fn worker_loop(shared: &Shared, worker: u32) {
+    // The worker's scratch arena persists across jobs: after the first
+    // few evaluations warm it up, the hot path allocates nothing.
+    let worker_arena = Arena::new();
     while let Some(job) = shared.queue.pop() {
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         shared.stats.on_dequeue(queue_ns);
@@ -479,8 +492,15 @@ fn worker_loop(shared: &Shared, worker: u32) {
         } = job;
         shared.stats.on_backend(backend);
         let started = Instant::now();
+        let job_arena;
+        let arena = if shared.scratch {
+            &worker_arena
+        } else {
+            job_arena = Arena::new();
+            &job_arena
+        };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(shared, &req, backend)
+            execute(shared, &req, backend, arena)
         }))
         .unwrap_or_else(|_| {
             Err(EngineError::Internal(
@@ -510,6 +530,13 @@ fn worker_loop(shared: &Shared, worker: u32) {
             }
         };
         done(result);
+        if shared.scratch {
+            // The job's operand ciphertexts are dead: feed their buffers
+            // back to the arena for the next job.
+            for ct in req.inputs {
+                worker_arena.recycle_ciphertext(ct);
+            }
+        }
     }
 }
 
@@ -518,10 +545,19 @@ fn worker_loop(shared: &Shared, worker: u32) {
 /// `log2(out_magnitude / fresh_magnitude)` under the analytic worst-case
 /// [`NoiseModel`] (decryption is never possible here because the engine
 /// holds no secret keys).
+///
+/// Every heavy kernel draws its buffers from `arena`; dead intermediates
+/// are recycled back into it before returning, so a warm worker arena
+/// makes steady-state evaluation allocation-free. Runs of consecutive
+/// `Rotate` ops over the same source value execute **hoisted**: one digit
+/// decomposition ([`HoistedCiphertext`]) serves the whole run — this is
+/// how wire clients request hoisted rotation batches (just list the
+/// rotations back to back in the op program).
 fn execute(
     shared: &Shared,
     req: &EvalRequest,
     backend: Backend,
+    arena: &Arena,
 ) -> Result<(Ciphertext, f64), EngineError> {
     let ctx = &*shared.ctx;
     let keys = shared
@@ -531,6 +567,10 @@ fn execute(
     let fresh = shared.noise.fresh();
     let mut values: Vec<Ciphertext> = Vec::with_capacity(req.ops.len());
     let mut noise: Vec<f64> = Vec::with_capacity(req.ops.len());
+    // Plaintext operands transform once per job and serve every MulPlain
+    // referencing them.
+    let mut plain_ops: Vec<Option<PlainOperand>> = Vec::new();
+    plain_ops.resize_with(req.plaintexts.len(), || None);
     // Operands resolve to borrows: a ciphertext is hundreds of KB at the
     // paper's parameters, so cloning per reference would dominate cheap ops.
     fn val<'a>(inputs: &'a [Ciphertext], values: &'a [Ciphertext], r: ValRef) -> &'a Ciphertext {
@@ -545,9 +585,54 @@ fn execute(
             ValRef::Op(j) => noise[j as usize],
         }
     };
-    for op in &req.ops {
+    let galois_key = |g: u32| {
+        let set = keys.galois.as_ref().ok_or(EngineError::MissingKey {
+            tenant: req.tenant,
+            which: "galois",
+        })?;
+        set.keys()
+            .iter()
+            .find(|k| k.g == g as usize)
+            .ok_or(EngineError::MissingKey {
+                tenant: req.tenant,
+                which: "galois",
+            })
+    };
+    let mut at = 0usize;
+    while at < req.ops.len() {
+        let op = req.ops[at];
+        // A run of consecutive rotations of the same value hoists the
+        // digit decomposition once for the whole run.
+        if let EvalOp::Rotate(a, _) = op {
+            let run = req.ops[at..]
+                .iter()
+                .take_while(|o| matches!(o, EvalOp::Rotate(b, _) if *b == a))
+                .count();
+            if run >= 2 {
+                let t0 = Instant::now();
+                let hoisted = HoistedCiphertext::new_in(ctx, val(&req.inputs, &values, a), arena);
+                for o in &req.ops[at..at + run] {
+                    let EvalOp::Rotate(_, g) = *o else {
+                        unreachable!("run contains only rotations")
+                    };
+                    let key = galois_key(g)?;
+                    values.push(hoisted.rotate_in(ctx, key, arena));
+                    noise.push(shared.noise.after_key_switch(mag(&noise, a)));
+                }
+                hoisted.recycle(arena);
+                // Telemetry: each rotation records an equal share of the
+                // run's total (hoisted decomposition included), so the
+                // per-op sums match wall time.
+                let share = t0.elapsed().as_nanos() as u64 / run as u64;
+                for o in &req.ops[at..at + run] {
+                    shared.stats.record_op(o.name(), share);
+                }
+                at += run;
+                continue;
+            }
+        }
         let t0 = Instant::now();
-        let (out, out_bits) = match *op {
+        let (out, out_bits) = match op {
             EvalOp::Add(a, b) => (
                 eval::add(
                     ctx,
@@ -581,31 +666,22 @@ fn execute(
                         shared.threads_per_job,
                     )
                 } else {
-                    eval::mul(ctx, ca, cb, rlk, backend)
+                    eval::mul_in(ctx, ca, cb, rlk, backend, arena)
                 };
                 (out, shared.noise.after_mul(mag(&noise, a), mag(&noise, b)))
             }
-            EvalOp::MulPlain(a, p) => (
-                eval::mul_plain(
-                    ctx,
-                    val(&req.inputs, &values, a),
-                    &req.plaintexts[p as usize],
-                ),
-                shared.noise.after_mul_plain(mag(&noise, a)),
-            ),
-            EvalOp::Rotate(a, g) => {
-                let set = keys.galois.as_ref().ok_or(EngineError::MissingKey {
-                    tenant: req.tenant,
-                    which: "galois",
-                })?;
-                let key = set.keys().iter().find(|k| k.g == g as usize).ok_or(
-                    EngineError::MissingKey {
-                        tenant: req.tenant,
-                        which: "galois",
-                    },
-                )?;
+            EvalOp::MulPlain(a, p) => {
+                let operand = plain_ops[p as usize]
+                    .get_or_insert_with(|| PlainOperand::new(ctx, &req.plaintexts[p as usize]));
                 (
-                    apply_galois(ctx, val(&req.inputs, &values, a), key),
+                    eval::mul_plain_operand_in(ctx, val(&req.inputs, &values, a), operand, arena),
+                    shared.noise.after_mul_plain(mag(&noise, a)),
+                )
+            }
+            EvalOp::Rotate(a, g) => {
+                let key = galois_key(g)?;
+                (
+                    apply_galois_in(ctx, val(&req.inputs, &values, a), key, arena),
                     shared.noise.after_key_switch(mag(&noise, a)),
                 )
             }
@@ -614,7 +690,7 @@ fn execute(
                     tenant: req.tenant,
                     which: "galois",
                 })?;
-                let rounds = set.keys().len();
+                let rounds = set.rounds();
                 // Each round adds the rotated (key-switched) ciphertext
                 // back onto the accumulator.
                 let mut acc = mag(&noise, a);
@@ -623,7 +699,10 @@ fn execute(
                         .noise
                         .after_add(shared.noise.after_key_switch(acc), acc);
                 }
-                (sum_slots(ctx, val(&req.inputs, &values, a), set), acc)
+                (
+                    sum_slots_in(ctx, val(&req.inputs, &values, a), set, arena),
+                    acc,
+                )
             }
         };
         shared
@@ -631,8 +710,16 @@ fn execute(
             .record_op(op.name(), t0.elapsed().as_nanos() as u64);
         values.push(out);
         noise.push(out_bits);
+        at += 1;
     }
     let result = values.pop().expect("validated: at least one op");
+    // Dead intermediates feed the arena for the next job.
+    for v in values {
+        arena.recycle_ciphertext(v);
+    }
+    for p in plain_ops.into_iter().flatten() {
+        arena.recycle(p.into_poly_ntt());
+    }
     // Magnitudes → consumed bits relative to a fresh ciphertext.
     let out_magnitude = noise.last().copied().unwrap_or(fresh).max(fresh);
     let consumed = (out_magnitude.log2() - fresh.log2()).max(0.0);

@@ -48,6 +48,16 @@ impl TenantKeys {
             galois: None,
         }
     }
+
+    /// Key set for linear workloads (add/sub/neg, plaintext products,
+    /// scalar `MulPlain` batches): just the public key.
+    pub fn encrypt_only(pk: PublicKey) -> Self {
+        TenantKeys {
+            pk: Some(Arc::new(pk)),
+            rlk: None,
+            galois: None,
+        }
+    }
 }
 
 struct Entry {

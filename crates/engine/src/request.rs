@@ -104,6 +104,25 @@ impl EvalRequest {
         self
     }
 
+    /// Convenience: a **hoisted rotation batch** — every exponent in `gs`
+    /// applied to the same input ciphertext. The engine detects the
+    /// consecutive same-source rotations and computes the digit
+    /// decomposition once for the whole run (Halevi–Shoup hoisting); the
+    /// scheduler prices it accordingly. The result value is the *last*
+    /// rotation; use `ValRef::Op(i)` follow-up ops to combine several.
+    pub fn rotations(tenant: TenantId, ct: Ciphertext, gs: &[u32]) -> Self {
+        EvalRequest {
+            tenant,
+            inputs: vec![ct],
+            plaintexts: Vec::new(),
+            ops: gs
+                .iter()
+                .map(|&g| EvalOp::Rotate(ValRef::Input(0), g))
+                .collect(),
+            deadline_us: None,
+        }
+    }
+
     /// Structural validation against a context: reference ranges, shapes,
     /// exponent validity. Key availability is checked at execution time.
     ///

@@ -43,13 +43,14 @@
 //!      key is the minimum.
 
 use crate::registry::TenantId;
-use crate::request::{EvalOp, EvalRequest};
+use crate::request::{EvalOp, EvalRequest, ValRef};
 use hefv_core::context::FvContext;
 use hefv_core::eval::Backend;
 use hefv_sim::clock::ClockConfig;
 use hefv_sim::coproc::{
-    trad_add_us, trad_mult_kernel_split_us, trad_mult_us_for, trad_rotate_kernel_split_us,
-    trad_rotate_us_for, Coprocessor,
+    trad_add_us, trad_hoisted_rotations_kernel_split_us, trad_hoisted_rotations_us_for,
+    trad_mult_kernel_split_us, trad_mult_us_for, trad_rotate_kernel_split_us, trad_rotate_us_for,
+    trad_sum_slots_kernel_split_us, trad_sum_slots_us_for, Coprocessor,
 };
 use hefv_sim::cost::TradCostModel;
 use hefv_sim::dma::DmaModel;
@@ -62,11 +63,34 @@ struct OpPrices {
     mult_us: f64,
     add_us: f64,
     rotate_us: f64,
+    /// Marginal price of one *additional* rotation in a hoisted batch
+    /// (the decomposition already paid by the run's first rotation).
+    rotate_hoisted_extra_us: f64,
+    /// One hoisted slot sum (grouped doubling rounds).
     sum_slots_us: f64,
     /// (transform µs, basis-conversion µs) inside one `Mult`.
     mult_split: (f64, f64),
     /// (transform µs, basis-conversion µs) inside one rotation.
     rotate_split: (f64, f64),
+    /// Kernel split of the marginal hoisted rotation.
+    rotate_hoisted_extra_split: (f64, f64),
+    /// Kernel split of one hoisted slot sum.
+    sum_slots_split: (f64, f64),
+}
+
+/// Walks a request's ops, telling the callback whether each `Rotate`
+/// rides a hoisted run (consecutive rotations of the same source value
+/// share one digit decomposition — exactly how the engine executes them).
+fn for_each_op_hoisted(ops: &[EvalOp], mut f: impl FnMut(&EvalOp, bool)) {
+    let mut prev: Option<ValRef> = None;
+    for op in ops {
+        let hoisted = matches!(op, EvalOp::Rotate(a, _) if prev == Some(*a));
+        f(op, hoisted);
+        prev = match op {
+            EvalOp::Rotate(a, _) => Some(*a),
+            _ => None,
+        };
+    }
 }
 
 impl OpPrices {
@@ -85,30 +109,41 @@ impl OpPrices {
     }
 
     fn request_us(&self, req: &EvalRequest) -> f64 {
-        req.ops.iter().map(|o| self.op_us(o)).sum()
+        let mut total = 0.0;
+        for_each_op_hoisted(&req.ops, |op, hoisted| {
+            total += if hoisted {
+                self.rotate_hoisted_extra_us
+            } else {
+                self.op_us(op)
+            };
+        });
+        total
     }
 
     /// Where an op's kernel time goes: `(ntt_us, basis_conv_us)`.
     /// Coefficient-wise ops contribute to neither bucket; `MulPlain` is
     /// transform-only (it never lifts or scales).
     fn op_kernel_us(&self, op: &EvalOp) -> (f64, f64) {
-        let rotations = |n: f64| (self.rotate_split.0 * n, self.rotate_split.1 * n);
         match op {
             EvalOp::Add(..) | EvalOp::Sub(..) | EvalOp::Neg(..) => (0.0, 0.0),
             EvalOp::Mul(..) => self.mult_split,
             EvalOp::MulPlain(..) => (self.mult_split.0 / 4.0, 0.0),
             EvalOp::Rotate(..) => self.rotate_split,
-            EvalOp::SumSlots(..) => {
-                rotations((self.sum_slots_us / (self.rotate_us + self.add_us)).max(0.0))
-            }
+            EvalOp::SumSlots(..) => self.sum_slots_split,
         }
     }
 
     fn request_kernel_us(&self, req: &EvalRequest) -> (f64, f64) {
-        req.ops.iter().fold((0.0, 0.0), |(n, b), op| {
-            let (dn, db) = self.op_kernel_us(op);
-            (n + dn, b + db)
-        })
+        let mut acc = (0.0, 0.0);
+        for_each_op_hoisted(&req.ops, |op, hoisted| {
+            let (dn, db) = if hoisted {
+                self.rotate_hoisted_extra_split
+            } else {
+                self.op_kernel_us(op)
+            };
+            acc = (acc.0 + dn, acc.1 + db);
+        });
+        acc
     }
 }
 
@@ -138,18 +173,26 @@ impl CostEstimator {
             cost: poly,
             ..Coprocessor::default()
         };
-        let rotations = (ctx.params().n / 2).trailing_zeros() as f64 + 1.0;
         let hps = {
             let mult_us = cop.run_mult(ctx).total_us;
             let add_us = cop.run_add().total_us;
             let rotate_us = cop.run_rotate(ctx).total_us;
+            // Marginal hoisted rotation: the cost a batch pays for one
+            // more rotation once the decomposition exists.
+            let hoist1 = cop.run_hoisted_rotations(ctx, 1).total_us;
+            let hoist2 = cop.run_hoisted_rotations(ctx, 2).total_us;
+            let split1 = cop.hoisted_rotations_kernel_split_us(ctx, 1);
+            let split2 = cop.hoisted_rotations_kernel_split_us(ctx, 2);
             OpPrices {
                 mult_us,
                 add_us,
                 rotate_us,
-                sum_slots_us: rotations * (rotate_us + add_us),
+                rotate_hoisted_extra_us: hoist2 - hoist1,
+                sum_slots_us: cop.run_sum_slots(ctx).total_us,
                 mult_split: cop.mult_kernel_split_us(ctx),
                 rotate_split: cop.rotate_kernel_split_us(ctx),
+                rotate_hoisted_extra_split: (split2.0 - split1.0, split2.1 - split1.1),
+                sum_slots_split: cop.sum_slots_kernel_split_us(ctx),
             }
         };
         let trad = {
@@ -162,13 +205,20 @@ impl CostEstimator {
             let mult_us = trad_mult_us_for(ctx, &model, &dma, &clocks);
             let add_us = trad_add_us(&model, &clocks);
             let rotate_us = trad_rotate_us_for(ctx, &model, &dma, &clocks);
+            let hoist1 = trad_hoisted_rotations_us_for(ctx, &model, &dma, &clocks, 1);
+            let hoist2 = trad_hoisted_rotations_us_for(ctx, &model, &dma, &clocks, 2);
+            let split1 = trad_hoisted_rotations_kernel_split_us(ctx, &model, &clocks, 1);
+            let split2 = trad_hoisted_rotations_kernel_split_us(ctx, &model, &clocks, 2);
             OpPrices {
                 mult_us,
                 add_us,
                 rotate_us,
-                sum_slots_us: rotations * (rotate_us + add_us),
+                rotate_hoisted_extra_us: hoist2 - hoist1,
+                sum_slots_us: trad_sum_slots_us_for(ctx, &model, &dma, &clocks),
                 mult_split: trad_mult_kernel_split_us(ctx, &model, &clocks),
                 rotate_split: trad_rotate_kernel_split_us(ctx, &model, &clocks),
+                rotate_hoisted_extra_split: (split2.0 - split1.0, split2.1 - split1.1),
+                sum_slots_split: trad_sum_slots_kernel_split_us(ctx, &model, &clocks),
             }
         };
         CostEstimator { hps, trad }
@@ -665,6 +715,52 @@ mod tests {
             assert!(auto <= est.op_us_for(&op, Backend::Traditional) + 1e-9);
             assert!(auto <= est.op_us_for(&op, Backend::default()) + 1e-9);
         }
+    }
+
+    #[test]
+    fn consecutive_rotations_price_as_a_hoisted_batch() {
+        use crate::request::ValRef;
+        use hefv_core::encoder::Plaintext;
+        use hefv_core::encrypt::trivial_encrypt;
+        let ctx = FvContext::new(FvParams::insecure_medium()).unwrap();
+        let est = CostEstimator::new(&ctx);
+        let ct = || {
+            trivial_encrypt(
+                &ctx,
+                &Plaintext::new(vec![1], ctx.params().t, ctx.params().n),
+            )
+        };
+        let run = |ops: Vec<EvalOp>| EvalRequest {
+            tenant: 1,
+            inputs: vec![ct(), ct()],
+            plaintexts: Vec::new(),
+            ops,
+            deadline_us: None,
+        };
+        let same = ValRef::Input(0);
+        let batch = run(vec![
+            EvalOp::Rotate(same, 3),
+            EvalOp::Rotate(same, 9),
+            EvalOp::Rotate(same, 27),
+        ]);
+        let independent = run(vec![
+            EvalOp::Rotate(ValRef::Input(0), 3),
+            EvalOp::Rotate(ValRef::Input(1), 9),
+            EvalOp::Rotate(ValRef::Input(0), 27),
+        ]);
+        for backend in [Backend::default(), Backend::Traditional, Backend::Auto] {
+            let hoisted = est.request_us_for(&batch, backend);
+            let separate = est.request_us_for(&independent, backend);
+            assert!(
+                hoisted < separate,
+                "{backend:?}: hoisted {hoisted} vs separate {separate}"
+            );
+        }
+        // Kernel attribution shrinks too: the marginal rotations re-run no
+        // forward transforms of the digits.
+        let (batch_ntt, _) = est.request_kernel_us_for(&batch, Backend::default());
+        let (sep_ntt, _) = est.request_kernel_us_for(&independent, Backend::default());
+        assert!(batch_ntt < sep_ntt);
     }
 
     #[test]

@@ -169,6 +169,108 @@ fn galois_ops_run_through_the_engine() {
 }
 
 #[test]
+fn hoisted_rotation_batches_run_through_the_engine() {
+    // A run of consecutive rotations of the same input executes off one
+    // hoisted decomposition; results must be bit-identical to the
+    // one-rotation-at-a-time path.
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681;
+    let ctx = Arc::new(FvContext::new(params).unwrap());
+    let engine = Engine::start(Arc::clone(&ctx), EngineConfig::default());
+    let mut rng = StdRng::seed_from_u64(1007);
+    let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let galois = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);
+    let exps: Vec<u32> = galois.chain()[..3]
+        .iter()
+        .map(|&i| galois.keys()[i].g as u32)
+        .collect();
+    engine.register_tenant(1, TenantKeys::full(pk.clone(), rlk, galois));
+
+    let encdr = engine.batch_encoder().expect("SIMD params");
+    let vals: Vec<u64> = (0..encdr.slots() as u64).map(|v| v % 97).collect();
+    let ct = encrypt(&ctx, &pk, &encdr.encode(&vals), &mut rng);
+
+    // The hoisted batch: three rotations of input 0, result = the last.
+    let batch = EvalRequest::rotations(1, ct.clone(), &exps);
+    // The per-op path: each rotation as its own single-op request.
+    let single = |g: u32| EvalRequest {
+        tenant: 1,
+        inputs: vec![ct.clone()],
+        plaintexts: vec![],
+        ops: vec![EvalOp::Rotate(ValRef::Input(0), g)],
+        deadline_us: None,
+    };
+    // The batch must be priced cheaper than the three independent ops.
+    let separate_cost: f64 = exps
+        .iter()
+        .map(|&g| engine.estimate_cost_us(&single(g)))
+        .sum();
+    let batch_cost = engine.estimate_cost_us(&batch);
+    assert!(
+        batch_cost < separate_cost,
+        "hoisted batch {batch_cost} vs separate {separate_cost}"
+    );
+    let batched = engine.call(batch).unwrap();
+    let lone = engine.call(single(exps[2])).unwrap();
+    assert_eq!(
+        batched.result, lone.result,
+        "hoisted run bit-identical to the single-rotation path"
+    );
+    let slots = encdr.decode(&decrypt(&ctx, &sk, &batched.result));
+    let mut sorted = slots.clone();
+    sorted.sort_unstable();
+    let mut expect = vals.clone();
+    expect.sort_unstable();
+    assert_eq!(sorted, expect, "rotation permutes the slots");
+    engine.shutdown();
+}
+
+#[test]
+fn scalar_mul_plain_batches_skip_the_second_encryption() {
+    let mut params = FvParams::insecure_medium();
+    params.t = 7681;
+    let t = params.t;
+    let ctx = Arc::new(FvContext::new(params).unwrap());
+    let engine = Engine::start(
+        Arc::clone(&ctx),
+        EngineConfig {
+            max_batch: 4,
+            ..EngineConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(1008);
+    let (sk, pk, _rlk) = keygen(&ctx, &mut rng);
+    // MulPlain needs no relinearization key at all.
+    engine.register_tenant(1, TenantKeys::encrypt_only(pk));
+    let encdr = engine.batch_encoder().unwrap().clone();
+
+    let tickets: Vec<_> = (0..4u64)
+        .map(|i| {
+            engine
+                .submit_scalar(ScalarRequest {
+                    tenant: 1,
+                    op: ScalarOp::MulPlain,
+                    lhs: 11 + i,
+                    rhs: 301 + i,
+                })
+                .unwrap()
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let r = ticket.wait().unwrap();
+        let i = i as u64;
+        let slots = encdr.decode(&decrypt(&ctx, &sk, &r.packed));
+        assert_eq!(slots[r.slot], (11 + i) * (301 + i) % t, "request {i}");
+        assert_eq!(r.batch_size, 4);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.batches_formed, 1);
+    let mul_plain = stats.per_op.iter().find(|o| o.name == "mul_plain").unwrap();
+    assert_eq!(mul_plain.count, 1, "one MulPlain evaluated the batch");
+    engine.shutdown();
+}
+
+#[test]
 fn scalar_batching_muxes_and_demuxes_correctly() {
     let mut params = FvParams::insecure_medium();
     params.t = 7681;

@@ -69,6 +69,112 @@ pub fn bit_reverse_permute<T>(a: &mut [T]) {
     }
 }
 
+/// Precomputed index permutation realizing the Galois automorphism
+/// `σ_g : a(x) ↦ a(x^g)` directly on NTT-domain (evaluation) vectors.
+///
+/// The negacyclic forward transform evaluates `a` at the odd powers of a
+/// primitive `2n`-th root `ψ`, storing `a(ψ^{2·brev(i)+1})` at index `i`
+/// (Cooley-Tukey bit-reversed output — see [`NttTable::forward`]). Since
+/// `σ_g(a)(ψ^e) = a(ψ^{g·e mod 2n})` and odd `g` permutes the odd
+/// exponents, the automorphism acts on an NTT vector as a **pure index
+/// permutation with no negations**: the sign flips of the coefficient-domain
+/// automorphism (`x^n = −1`) are absorbed by the evaluation points.
+///
+/// The table depends only on `(n, g)` — *not* on the prime — because every
+/// [`NttTable`] uses the same index↦exponent map `i ↦ 2·brev(i)+1`
+/// regardless of which `ψ` the modulus provides. One table therefore serves
+/// all residue rows of an RNS polynomial, which is what makes hoisted
+/// key-switching's per-rotation work a cheap gather.
+///
+/// # Example
+///
+/// ```
+/// use hefv_math::{ntt::{GaloisPermutation, NttTable}, primes::ntt_prime, zq::Modulus};
+/// let n = 16;
+/// let q = ntt_prime(30, n, 0).unwrap();
+/// let t = NttTable::new(Modulus::new(q), n).unwrap();
+/// let mut a: Vec<u64> = (0..n as u64).collect();
+/// // Reference: automorphism in the coefficient domain, then transform.
+/// let g = 3;
+/// let mut sigma_a = vec![0u64; n];
+/// for (i, &c) in a.iter().enumerate() {
+///     let pos = (i * g) % (2 * n);
+///     if pos < n { sigma_a[pos] = c; } else { sigma_a[pos - n] = Modulus::new(q).neg(c); }
+/// }
+/// t.forward(&mut a);
+/// t.forward(&mut sigma_a);
+/// // NTT-domain: the same automorphism is just a permutation.
+/// let perm = GaloisPermutation::new(n, g);
+/// let mut out = vec![0u64; n];
+/// perm.apply(&a, &mut out);
+/// assert_eq!(out, sigma_a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaloisPermutation {
+    g: usize,
+    n: usize,
+    /// `out[i] = in[perm[i]]` for every residue row.
+    perm: Vec<u32>,
+}
+
+impl GaloisPermutation {
+    /// Builds the permutation for exponent `g` (odd, `1 ≤ g < 2n`) over
+    /// ring degree `n` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `g` is even / out of range.
+    pub fn new(n: usize, g: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two");
+        assert!(g % 2 == 1 && g < 2 * n, "invalid Galois exponent {g}");
+        let log_n = n.trailing_zeros();
+        let mask = 2 * n - 1;
+        let perm = (0..n)
+            .map(|i| {
+                // Slot i holds the evaluation at exponent 2·brev(i)+1;
+                // σ_g reads the evaluation at g times that exponent.
+                let e = (g * (2 * bit_reverse(i, log_n) + 1)) & mask;
+                bit_reverse((e - 1) / 2, log_n) as u32
+            })
+            .collect();
+        GaloisPermutation { g, n, perm }
+    }
+
+    /// The automorphism exponent.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The gather index: output slot `i` reads input slot `index(i)`.
+    #[inline(always)]
+    pub fn index(&self, i: usize) -> usize {
+        self.perm[i] as usize
+    }
+
+    /// The raw gather table (`out[i] = in[table[i]]`).
+    pub fn table(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Applies the permutation to one NTT-domain residue row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from `n`.
+    pub fn apply(&self, src: &[u64], dst: &mut [u64]) {
+        assert_eq!(src.len(), self.n, "row length mismatch");
+        assert_eq!(dst.len(), self.n, "row length mismatch");
+        for (d, &p) in dst.iter_mut().zip(&self.perm) {
+            *d = src[p as usize];
+        }
+    }
+}
+
 /// Precomputed twiddle tables for a fixed `(q, n)` pair.
 ///
 /// # Example
@@ -544,5 +650,70 @@ mod tests {
         let t = table(16);
         let mut a = vec![0u64; 8];
         t.forward(&mut a);
+    }
+
+    /// Coefficient-domain automorphism reference: `i·g mod 2n` with a sign
+    /// flip past `n`.
+    fn automorphism_coeff(a: &[u64], g: usize, m: &Modulus) -> Vec<u64> {
+        let n = a.len();
+        let mut out = vec![0u64; n];
+        for (i, &c) in a.iter().enumerate() {
+            let pos = (i * g) % (2 * n);
+            if pos < n {
+                out[pos] = c;
+            } else {
+                out[pos - n] = m.neg(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn galois_permutation_matches_coefficient_automorphism() {
+        // For several (n, g, prime) combinations: permuting the forward
+        // transform equals transforming the coefficient-domain automorphism.
+        for n in [4usize, 16, 64, 256] {
+            for offset in [0, 1] {
+                let q = ntt_prime(30, n, offset).unwrap();
+                let t = NttTable::new(Modulus::new(q), n).unwrap();
+                for g in [1usize, 3, 5, n - 1, n + 1, 2 * n - 1] {
+                    if g % 2 == 0 {
+                        continue;
+                    }
+                    let a: Vec<u64> = (0..n as u64).map(|i| (i * 7919 + 31) % q).collect();
+                    let mut via_coeff = automorphism_coeff(&a, g, t.modulus());
+                    t.forward(&mut via_coeff);
+                    let mut fa = a.clone();
+                    t.forward(&mut fa);
+                    let perm = GaloisPermutation::new(n, g);
+                    let mut via_perm = vec![0u64; n];
+                    perm.apply(&fa, &mut via_perm);
+                    assert_eq!(via_perm, via_coeff, "n={n} g={g} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn galois_permutation_is_prime_independent_and_bijective() {
+        let n = 64;
+        let perm = GaloisPermutation::new(n, 3);
+        assert_eq!(perm.g(), 3);
+        assert_eq!(perm.n(), n);
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let j = perm.index(i);
+            assert!(!seen[j], "index {j} hit twice");
+            seen[j] = true;
+        }
+        // Identity exponent produces the identity permutation.
+        let id = GaloisPermutation::new(n, 1);
+        assert!((0..n).all(|i| id.index(i) == i));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Galois exponent")]
+    fn galois_permutation_rejects_even_exponent() {
+        let _ = GaloisPermutation::new(16, 4);
     }
 }

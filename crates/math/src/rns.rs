@@ -24,6 +24,13 @@ use crate::fixed::SmallReciprocal;
 use crate::zq::Modulus;
 use serde::{Deserialize, Serialize};
 
+/// Upper bound on RNS limbs per basis supported by the allocation-free
+/// column-streaming kernels (their per-coefficient scratch rows live on the
+/// stack at this size, so the hot loops perform zero heap allocation). Far
+/// above any realistic parameter set — the paper's largest shape uses
+/// 12 + 13 limbs.
+pub const MAX_STREAM_LIMBS: usize = 64;
+
 /// Which arithmetic computes the HPS approximate quotient.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HpsPrecision {
@@ -354,13 +361,15 @@ impl Extender {
         assert!(cols.end <= n, "column range out of bounds");
         let w = cols.len();
         assert_eq!(out.len(), l * w, "flat destination length mismatch");
-        let mut ys = vec![0u64; k];
+        assert!(k <= MAX_STREAM_LIMBS, "basis exceeds MAX_STREAM_LIMBS");
+        let mut ys_buf = [0u64; MAX_STREAM_LIMBS];
+        let ys = &mut ys_buf[..k];
         for (o, c) in cols.enumerate() {
             for (i, y) in ys.iter_mut().enumerate() {
                 let m = self.from.modulus(i);
                 *y = m.mul(m.reduce(src[i * n + c]), self.from.tilde(i));
             }
-            self.extend_core_hps(&ys, precision, |j, v| out[j * w + o] = v);
+            self.extend_core_hps(ys, precision, |j, v| out[j * w + o] = v);
         }
     }
 
@@ -766,10 +775,18 @@ impl ScaleContext {
         let w = cols.len();
         assert_eq!(out.len(), k * w, "flat destination length mismatch");
         let unlift = ctx.unlift();
-        let mut yq = vec![0u64; k];
-        let mut yp = vec![0u64; l];
-        let mut d_p = vec![0u64; l];
-        let mut ys = vec![0u64; l];
+        assert!(
+            k <= MAX_STREAM_LIMBS && l <= MAX_STREAM_LIMBS,
+            "basis exceeds MAX_STREAM_LIMBS"
+        );
+        let mut yq_buf = [0u64; MAX_STREAM_LIMBS];
+        let mut yp_buf = [0u64; MAX_STREAM_LIMBS];
+        let mut d_p_buf = [0u64; MAX_STREAM_LIMBS];
+        let mut ys_buf = [0u64; MAX_STREAM_LIMBS];
+        let yq = &mut yq_buf[..k];
+        let yp = &mut yp_buf[..l];
+        let d_p = &mut d_p_buf[..l];
+        let ys = &mut ys_buf[..l];
         for (o, c) in cols.enumerate() {
             // Step 1 (Fig. 9 Blocks 1–3): d = ⌈t·a/q⌋ in the p basis —
             // the same core the scalar path runs, fed by strided reads.
@@ -778,14 +795,14 @@ impl ScaleContext {
                 pb,
                 |i| src[i * n + c],
                 |j| src[(k + j) * n + c],
-                &mut yq,
-                &mut yp,
-                &mut d_p,
+                yq,
+                yp,
+                d_p,
                 precision,
             );
             // Step 2: basis switch p → q through the Lift datapath.
-            unlift.premultiply_into(&d_p, &mut ys);
-            unlift.extend_core_hps(&ys, precision, |i, v| out[i * w + o] = v);
+            unlift.premultiply_into(d_p, ys);
+            unlift.extend_core_hps(ys, precision, |i, v| out[i * w + o] = v);
         }
     }
 

@@ -155,6 +155,120 @@ pub fn rotate_microcode(k: usize, digits: usize, rpaus: usize, n: usize, sync_us
     ops
 }
 
+/// Emits the **hoisted** rotation-batch microcode: the digit decomposition
+/// of `c1` (spread + sign-correct + transform per digit) runs **once**,
+/// then each of the `rotations` key switches is only a permutation pass, a
+/// key-streaming SoP and its inverse transforms — the Halevi–Shoup
+/// hoisting `hefv_core::galois::HoistedCiphertext` implements in software.
+/// Software sync is charged once for the whole batch (one fused dispatch).
+pub fn hoisted_rotations_microcode(
+    k: usize,
+    digits: usize,
+    rpaus: usize,
+    n: usize,
+    rotations: usize,
+    sync_us: f64,
+) -> Vec<Op> {
+    let q_batches = k.div_ceil(rpaus);
+    let mut ops = Vec::new();
+    // Hoisted decomposition: once for every rotation in the batch.
+    for _ in 0..digits {
+        for _ in 0..2 * q_batches {
+            ops.push(Op::Instr(Instr::CoeffAdd));
+        }
+        ops.push(Op::Instr(Instr::MemoryRearrange));
+        ops.push(Op::Instr(Instr::Ntt));
+    }
+    for _ in 0..rotations {
+        // σ_g on c0 plus the NTT-domain digit permutations.
+        for _ in 0..1 + digits {
+            ops.push(Op::Instr(Instr::MemoryRearrange));
+        }
+        // SoP against both key halves, streaming this rotation's key.
+        for _ in 0..digits {
+            ops.push(Op::RlkDma { bytes: k * n * 4 });
+            ops.push(Op::RlkDma { bytes: k * n * 4 });
+            for _ in 0..2 * q_batches {
+                ops.push(Op::Instr(Instr::CoeffMul));
+            }
+        }
+        for _ in 0..2 * digits.saturating_sub(1) * q_batches {
+            ops.push(Op::Instr(Instr::CoeffAdd));
+        }
+        // This rotation's own inverse transforms and final add.
+        for _ in 0..2 * q_batches {
+            ops.push(Op::Instr(Instr::InverseNtt));
+            ops.push(Op::Instr(Instr::MemoryRearrange));
+        }
+        for _ in 0..q_batches {
+            ops.push(Op::Instr(Instr::CoeffAdd));
+        }
+    }
+    ops.push(Op::SyncUs(sync_us));
+    ops
+}
+
+/// Emits the hoisted slot-sum microcode: `log2(n)` rotate-and-add doubling
+/// rounds folded in groups of `group_rounds` — per group, one digit
+/// decomposition of the accumulator serves the `2^J − 1` subset-product
+/// rotations, whose SoPs accumulate in the NTT domain and share a single
+/// pair of inverse transforms (the `c0` track never leaves the NTT
+/// domain, so only `c1` pays an inverse per group).
+pub fn sum_slots_microcode(
+    k: usize,
+    digits: usize,
+    rpaus: usize,
+    n: usize,
+    group_rounds: usize,
+    sync_us: f64,
+) -> Vec<Op> {
+    let q_batches = k.div_ceil(rpaus);
+    let rounds = (n / 2).trailing_zeros() as usize + 1;
+    let group_rounds = group_rounds.max(1);
+    let mut ops = Vec::new();
+    let mut done = 0usize;
+    while done < rounds {
+        let in_group = group_rounds.min(rounds - done);
+        let rotations = (1usize << in_group) - 1;
+        // Decomposition of the evolving accumulator, once per group.
+        for _ in 0..digits {
+            for _ in 0..2 * q_batches {
+                ops.push(Op::Instr(Instr::CoeffAdd));
+            }
+            ops.push(Op::Instr(Instr::MemoryRearrange));
+            ops.push(Op::Instr(Instr::Ntt));
+        }
+        for _ in 0..rotations {
+            // Fused digit + c0 permutations, key DMA and SoP.
+            for _ in 0..1 + digits {
+                ops.push(Op::Instr(Instr::MemoryRearrange));
+            }
+            for _ in 0..digits {
+                ops.push(Op::RlkDma { bytes: k * n * 4 });
+                ops.push(Op::RlkDma { bytes: k * n * 4 });
+                for _ in 0..2 * q_batches {
+                    ops.push(Op::Instr(Instr::CoeffMul));
+                }
+            }
+            for _ in 0..2 * digits.saturating_sub(1) * q_batches {
+                ops.push(Op::Instr(Instr::CoeffAdd));
+            }
+        }
+        // One inverse transform for the accumulated c1 SoP, plus the
+        // group's accumulator adds.
+        for _ in 0..q_batches {
+            ops.push(Op::Instr(Instr::InverseNtt));
+            ops.push(Op::Instr(Instr::MemoryRearrange));
+        }
+        for _ in 0..2 * q_batches {
+            ops.push(Op::Instr(Instr::CoeffAdd));
+        }
+        done += in_group;
+    }
+    ops.push(Op::SyncUs(sync_us));
+    ops
+}
+
 /// Timing report for one high-level operation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpReport {
@@ -262,6 +376,65 @@ impl Coprocessor {
         let rpaus = (p.k() + p.l()).div_ceil(2);
         let ops = rotate_microcode(p.k(), p.k(), rpaus, p.n, self.mult_sync_us);
         self.run(&ops)
+    }
+
+    /// Prices a hoisted batch of `rotations` Galois rotations of one
+    /// ciphertext: the decomposition's transforms are paid once, every
+    /// rotation is a permutation + key-streaming SoP + its own inverse
+    /// transforms (see [`hoisted_rotations_microcode`]).
+    pub fn run_hoisted_rotations(&self, ctx: &FvContext, rotations: usize) -> OpReport {
+        let p = ctx.params();
+        let rpaus = (p.k() + p.l()).div_ceil(2);
+        let ops =
+            hoisted_rotations_microcode(p.k(), p.k(), rpaus, p.n, rotations, self.mult_sync_us);
+        self.run(&ops)
+    }
+
+    /// Prices one hoisted slot sum (grouped doubling rounds — see
+    /// [`sum_slots_microcode`]).
+    pub fn run_sum_slots(&self, ctx: &FvContext) -> OpReport {
+        let p = ctx.params();
+        let rpaus = (p.k() + p.l()).div_ceil(2);
+        let ops = sum_slots_microcode(
+            p.k(),
+            p.k(),
+            rpaus,
+            p.n,
+            hefv_core::galois::HOIST_GROUP_ROUNDS,
+            self.mult_sync_us,
+        );
+        self.run(&ops)
+    }
+
+    /// Splits a hoisted rotation batch's instruction time into (transform
+    /// µs, basis-conversion µs); rotations never lift or scale, so the
+    /// second component is zero.
+    pub fn hoisted_rotations_kernel_split_us(
+        &self,
+        ctx: &FvContext,
+        rotations: usize,
+    ) -> (f64, f64) {
+        let p = ctx.params();
+        let rpaus = (p.k() + p.l()).div_ceil(2);
+        let ops =
+            hoisted_rotations_microcode(p.k(), p.k(), rpaus, p.n, rotations, self.mult_sync_us);
+        kernel_split_us(&ops, &self.cost, &self.clocks)
+    }
+
+    /// Splits one hoisted slot sum's instruction time into (transform µs,
+    /// basis-conversion µs).
+    pub fn sum_slots_kernel_split_us(&self, ctx: &FvContext) -> (f64, f64) {
+        let p = ctx.params();
+        let rpaus = (p.k() + p.l()).div_ceil(2);
+        let ops = sum_slots_microcode(
+            p.k(),
+            p.k(),
+            rpaus,
+            p.n,
+            hefv_core::galois::HOIST_GROUP_ROUNDS,
+            self.mult_sync_us,
+        );
+        kernel_split_us(&ops, &self.cost, &self.clocks)
     }
 
     /// Splits one `Mult`'s instruction time into (transform µs,
@@ -454,6 +627,85 @@ pub fn trad_add_us(model: &TradCostModel, clocks: &ClockConfig) -> f64 {
     clocks.fpga_cycles_to_us(model.poly.add_op_cycles())
 }
 
+/// Timing of a hoisted batch of `rotations` Galois rotations on the
+/// traditional-CRT coprocessor (same microcode as
+/// [`hoisted_rotations_microcode`], the architecture's coarser digit count
+/// and non-HPS clock; no `Lift`/`Scale` involved).
+pub fn trad_hoisted_rotations_us_for(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    dma: &DmaModel,
+    clocks: &ClockConfig,
+    rotations: usize,
+) -> f64 {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    let ops = hoisted_rotations_microcode(k, digits, rpaus, n, rotations, MULT_SYNC_US);
+    trad_poly_us(&ops, model, dma, clocks)
+}
+
+/// Timing of one hoisted slot sum on the traditional-CRT coprocessor.
+pub fn trad_sum_slots_us_for(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    dma: &DmaModel,
+    clocks: &ClockConfig,
+) -> f64 {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    let ops = sum_slots_microcode(
+        k,
+        digits,
+        rpaus,
+        n,
+        hefv_core::galois::HOIST_GROUP_ROUNDS,
+        MULT_SYNC_US,
+    );
+    trad_poly_us(&ops, model, dma, clocks)
+}
+
+/// [`kernel_split_us`] for a hoisted rotation batch on the
+/// traditional-CRT coprocessor.
+pub fn trad_hoisted_rotations_kernel_split_us(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    clocks: &ClockConfig,
+    rotations: usize,
+) -> (f64, f64) {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    let ops = hoisted_rotations_microcode(k, digits, rpaus, n, rotations, MULT_SYNC_US);
+    kernel_split_us(&ops, &model.poly, clocks)
+}
+
+/// [`kernel_split_us`] for one hoisted slot sum on the traditional-CRT
+/// coprocessor.
+pub fn trad_sum_slots_kernel_split_us(
+    ctx: &FvContext,
+    model: &TradCostModel,
+    clocks: &ClockConfig,
+) -> (f64, f64) {
+    let p = ctx.params();
+    let (k, l, n) = (p.k(), p.l(), p.n);
+    let digits = model.relin_digits.min(k);
+    let rpaus = (k + l).div_ceil(2);
+    let ops = sum_slots_microcode(
+        k,
+        digits,
+        rpaus,
+        n,
+        hefv_core::galois::HOIST_GROUP_ROUNDS,
+        MULT_SYNC_US,
+    );
+    kernel_split_us(&ops, &model.poly, clocks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +809,77 @@ mod tests {
         // Rotation ≈ the relinearization tail of Mult: same digit count,
         // so the same rlk DMA volume.
         assert!((rot.rlk_dma_us - mult.rlk_dma_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hoisting_amortizes_the_decomposition() {
+        let cop = Coprocessor::default();
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let one = cop.run_hoisted_rotations(&ctx, 1).total_us;
+        let eight = cop.run_hoisted_rotations(&ctx, 8).total_us;
+        let per_rotation = cop.run_rotate(&ctx).total_us;
+        // The marginal hoisted rotation must be strictly cheaper than a
+        // full rotation (no re-decomposition, no re-transform of digits).
+        let marginal = (eight - one) / 7.0;
+        assert!(
+            marginal < per_rotation,
+            "marginal {marginal} vs full {per_rotation}"
+        );
+        // And eight hoisted rotations beat eight independent ones.
+        assert!(eight < 8.0 * per_rotation);
+        // A batch of one costs at most one per-rotation key switch plus
+        // bookkeeping (same instruction classes).
+        assert!(one < 1.5 * per_rotation);
+    }
+
+    #[test]
+    fn hoisted_sum_slots_trades_transforms_for_key_dma() {
+        // The grouped hoisted fold amortizes the decomposition transforms
+        // (4 decompositions instead of 12) but streams the subset-product
+        // keys (28 instead of 12): on the paper's coprocessor, transform
+        // cycles shrink while DMA time grows — exactly what the cycle
+        // model must record so `Backend::Auto` prices it correctly.
+        let cop = Coprocessor::default();
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let rounds = (ctx.params().n / 2).trailing_zeros() as f64 + 1.0;
+        let (sum_ntt_us, sum_basis_us) = cop.sum_slots_kernel_split_us(&ctx);
+        let (rot_ntt_us, _) = cop.rotate_kernel_split_us(&ctx);
+        assert!(
+            sum_ntt_us < rounds * rot_ntt_us,
+            "hoisting must amortize transform time: {sum_ntt_us} vs {}",
+            rounds * rot_ntt_us
+        );
+        // Rotations never lift/scale: basis-conversion time must be zero.
+        assert!(sum_ntt_us > 0.0);
+        assert_eq!(sum_basis_us, 0.0);
+        let sum = cop.run_sum_slots(&ctx);
+        let rot = cop.run_rotate(&ctx);
+        assert!(
+            sum.rlk_dma_us > rounds * rot.rlk_dma_us,
+            "subset-product keys stream more DMA"
+        );
+    }
+
+    #[test]
+    fn trad_hoisted_rotations_follow_the_same_shape() {
+        let ctx = FvContext::new(FvParams::hpca19()).unwrap();
+        let model = TradCostModel::default();
+        let dma = DmaModel::default();
+        let clocks = ClockConfig::non_hps();
+        let one = trad_hoisted_rotations_us_for(&ctx, &model, &dma, &clocks, 1);
+        let eight = trad_hoisted_rotations_us_for(&ctx, &model, &dma, &clocks, 8);
+        let full = trad_rotate_us_for(&ctx, &model, &dma, &clocks);
+        assert!((eight - one) / 7.0 < full);
+        let sum = trad_sum_slots_us_for(&ctx, &model, &dma, &clocks);
+        assert!(sum > full, "a slot sum is many rotations");
+        let rounds = (ctx.params().n / 2).trailing_zeros() as f64 + 1.0;
+        let (ntt_us, basis_us) = trad_sum_slots_kernel_split_us(&ctx, &model, &clocks);
+        let (rot_ntt_us, _) = trad_rotate_kernel_split_us(&ctx, &model, &clocks);
+        assert!(ntt_us > 0.0 && ntt_us < rounds * rot_ntt_us);
+        assert_eq!(basis_us, 0.0);
+        let (rn, rb) = trad_hoisted_rotations_kernel_split_us(&ctx, &model, &clocks, 3);
+        assert!(rn > 0.0);
+        assert_eq!(rb, 0.0);
     }
 
     #[test]
