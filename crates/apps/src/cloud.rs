@@ -176,6 +176,13 @@ impl CloudServer {
         &self.router
     }
 
+    /// The Prometheus-text metrics exposition of this server's fleet —
+    /// the same body the TCP front-end serves for a `HEVS` metrics
+    /// scrape, minus the transport counters.
+    pub fn prometheus(&self) -> String {
+        hefv_engine::render_prometheus(&self.router.stats())
+    }
+
     /// Shuts the server down, joining the worker threads.
     pub fn shutdown(self) {
         self.router.shutdown();

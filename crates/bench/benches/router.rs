@@ -85,6 +85,7 @@ fn run_burst(router: &ShardRouter, f: &Fixture) {
                     plaintexts: vec![],
                     ops: vec![EvalOp::Rotate(ValRef::Input(0), 3)],
                     deadline_us: None,
+                    trace_id: None,
                 }
             };
             router.submit(req).unwrap()

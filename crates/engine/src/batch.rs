@@ -229,27 +229,32 @@ fn dispatch_batch(
         plaintexts,
         ops: vec![op.eval_op()],
         deadline_us: None,
+        trace_id: None,
     };
     let replies = batch.replies;
+    // The batch phase of the job's trace span: how long the oldest
+    // request waited for the batch to fill (or the linger to expire).
+    let batch_ns = batch.opened.elapsed().as_nanos() as u64;
     shared.stats().on_batch(size);
-    let submitted = shared.submit_with_callback(req, move |outcome| match outcome {
-        Ok(resp) => {
-            for (slot, tx) in replies.iter().enumerate() {
-                let _ = tx.send(Ok(BatchResult {
-                    job_id: resp.job_id,
-                    packed: resp.result.clone(),
-                    slot,
-                    batch_size: size,
-                    report: resp.report,
-                }));
+    let submitted =
+        shared.submit_batched_with_callback(req, batch_ns, move |outcome| match outcome {
+            Ok(resp) => {
+                for (slot, tx) in replies.iter().enumerate() {
+                    let _ = tx.send(Ok(BatchResult {
+                        job_id: resp.job_id,
+                        packed: resp.result.clone(),
+                        slot,
+                        batch_size: size,
+                        report: resp.report,
+                    }));
+                }
             }
-        }
-        Err(e) => {
-            for tx in &replies {
-                let _ = tx.send(Err(e.clone()));
+            Err(e) => {
+                for tx in &replies {
+                    let _ = tx.send(Err(e.clone()));
+                }
             }
-        }
-    });
+        });
     match submitted {
         Ok(_) => Ok(()),
         Err(e) => {

@@ -15,6 +15,7 @@ use crate::registry::{KeyRegistry, TenantId, TenantKeys};
 use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
 use crate::sched::{CostEstimator, JobQueue, QosSpec};
 use crate::stats::EngineStats;
+use crate::trace::{mix64, FlightRecorder, SpanRecord};
 use hefv_core::context::FvContext;
 use hefv_core::encrypt::Ciphertext;
 use hefv_core::eval::{self, Backend, PlainOperand};
@@ -66,6 +67,14 @@ pub struct EngineConfig {
     pub backend: Backend,
     /// Seed for the engine's internal randomness (batch encryption).
     pub seed: u64,
+    /// Capacity of the flight recorder's span rings (recent and slow
+    /// each hold this many [`SpanRecord`]s); see [`crate::trace`].
+    pub trace_ring: usize,
+    /// Completed jobs whose total latency (batch + queue + exec + reply)
+    /// crosses this threshold are counted as slow and their spans
+    /// promoted to the flight recorder's slow ring. `None` disables
+    /// promotion.
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +90,8 @@ impl Default for EngineConfig {
             scratch: true,
             backend: Backend::default(),
             seed: 0x4845_4154, // "HEAT"
+            trace_ring: 256,
+            slow_threshold: Some(Duration::from_millis(100)),
         }
     }
 }
@@ -89,6 +100,12 @@ type Callback = Box<dyn FnOnce(Result<EvalResponse, EngineError>) + Send + 'stat
 
 struct Job {
     id: u64,
+    /// End-to-end trace id: the request's own if the client set one,
+    /// minted deterministically at admission otherwise.
+    trace_id: u64,
+    /// Time the request spent waiting in a scalar batch before
+    /// submission (0 for directly-submitted jobs).
+    batch_ns: u64,
     req: EvalRequest,
     cost_us: f64,
     /// Model-attributed kernel split of `cost_us`:
@@ -105,6 +122,9 @@ pub(crate) struct Shared {
     ctx: Arc<FvContext>,
     registry: KeyRegistry,
     stats: EngineStats,
+    recorder: FlightRecorder,
+    /// Mixed with the job id to mint trace ids for requests without one.
+    trace_seed: u64,
     queue: JobQueue<Job>,
     noise: NoiseModel,
     backend: Backend,
@@ -128,6 +148,10 @@ impl Shared {
         &self.stats
     }
 
+    pub(crate) fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
     /// The submission path shared by [`Engine::submit_with_callback`] and
     /// the batching front-end (including its linger timer thread).
     pub(crate) fn submit_with_callback<F>(
@@ -138,7 +162,22 @@ impl Shared {
     where
         F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
     {
-        let (id, cost_us, qos, job) = self.prepare(req, done)?;
+        self.submit_batched_with_callback(req, 0, done)
+    }
+
+    /// [`Shared::submit_with_callback`] with the time the request already
+    /// spent waiting in a scalar batch, so the job's trace span carries
+    /// the full `batch → queue → execute → reply` breakdown.
+    pub(crate) fn submit_batched_with_callback<F>(
+        &self,
+        req: EvalRequest,
+        batch_ns: u64,
+        done: F,
+    ) -> Result<u64, EngineError>
+    where
+        F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
+    {
+        let (id, cost_us, qos, job) = self.prepare(req, batch_ns, done)?;
         self.stats.on_submit();
         if !self.queue.push_qos(cost_us, qos, job) {
             self.stats.on_reject();
@@ -159,21 +198,32 @@ impl Shared {
     where
         F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
     {
-        let (id, cost_us, qos, job) = self.prepare(req, done)?;
+        let (id, cost_us, qos, job) = self.prepare(req, 0, done)?;
         match self.queue.try_push_qos(cost_us, qos, job) {
             crate::sched::TryPush::Queued => {
                 self.stats.on_submit();
                 Ok(Some(id))
             }
-            crate::sched::TryPush::Full(_) => Ok(None),
-            crate::sched::TryPush::Closed(_) => Err(EngineError::QueueClosed),
+            crate::sched::TryPush::Full(_) => {
+                self.stats.on_refused();
+                Ok(None)
+            }
+            crate::sched::TryPush::Closed(_) => {
+                self.stats.on_refused();
+                Err(EngineError::QueueClosed)
+            }
         }
     }
 
     /// Validation, key checks, pricing and job construction — everything
     /// up to the actual enqueue.
     #[allow(clippy::type_complexity)]
-    fn prepare<F>(&self, req: EvalRequest, done: F) -> Result<(u64, f64, QosSpec, Job), EngineError>
+    fn prepare<F>(
+        &self,
+        req: EvalRequest,
+        batch_ns: u64,
+        done: F,
+    ) -> Result<(u64, f64, QosSpec, Job), EngineError>
     where
         F: FnOnce(Result<EvalResponse, EngineError>) + Send + 'static,
     {
@@ -207,8 +257,15 @@ impl Shared {
             deadline_us: req.deadline_us,
         };
         let kernel_us = self.estimator.request_kernel_us_for(&req, backend);
+        // Client-supplied trace ids propagate verbatim; everyone else
+        // gets a deterministic id minted from the engine seed and job id.
+        let trace_id = req
+            .trace_id
+            .unwrap_or_else(|| mix64(self.trace_seed.wrapping_add(mix64(id))));
         let job = Job {
             id,
+            trace_id,
+            batch_ns,
             req,
             cost_us,
             kernel_us,
@@ -276,6 +333,11 @@ impl Engine {
             noise: NoiseModel::new(&ctx),
             registry: KeyRegistry::new(config.registry_capacity),
             stats: EngineStats::default(),
+            recorder: FlightRecorder::new(
+                config.trace_ring,
+                config.slow_threshold.map(|d| d.as_nanos() as u64),
+            ),
+            trace_seed: config.seed,
             queue: JobQueue::new(aging, config.queue_capacity),
             backend: config.backend,
             threads_per_job,
@@ -372,6 +434,12 @@ impl Engine {
     /// Current telemetry snapshot.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// The engine's flight recorder: the most recent (and most recent
+    /// slow) job spans. See [`crate::trace`].
+    pub fn recorder(&self) -> &FlightRecorder {
+        self.shared.recorder()
     }
 
     pub(crate) fn shared(&self) -> &Arc<Shared> {
@@ -478,11 +546,13 @@ fn worker_loop(shared: &Shared, worker: u32) {
     // The worker's scratch arena persists across jobs: after the first
     // few evaluations warm it up, the hot path allocates nothing.
     let worker_arena = Arena::new();
-    while let Some(job) = shared.queue.pop() {
+    while let Some((job, level)) = shared.queue.pop_labeled() {
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
-        shared.stats.on_dequeue(queue_ns);
+        shared.stats.on_dequeue(queue_ns, level);
         let Job {
             id,
+            trace_id,
+            batch_ns,
             req,
             cost_us,
             kernel_us,
@@ -491,6 +561,7 @@ fn worker_loop(shared: &Shared, worker: u32) {
             ..
         } = job;
         shared.stats.on_backend(backend);
+        let tenant = req.tenant;
         let started = Instant::now();
         let job_arena;
         let arena = if shared.scratch {
@@ -508,10 +579,16 @@ fn worker_loop(shared: &Shared, worker: u32) {
             ))
         });
         let exec_ns = started.elapsed().as_nanos() as u64;
+        let ok = result.is_ok();
         let result = match result {
             Ok((result, noise_bits)) => {
-                shared.stats.on_complete(exec_ns, cost_us, noise_bits);
+                shared
+                    .stats
+                    .on_complete(exec_ns, cost_us, noise_bits, backend);
                 shared.stats.on_kernel_time(kernel_us.0, kernel_us.1);
+                shared
+                    .stats
+                    .on_tenant(tenant, queue_ns + exec_ns, noise_bits);
                 Ok(EvalResponse {
                     job_id: id,
                     result,
@@ -529,7 +606,26 @@ fn worker_loop(shared: &Shared, worker: u32) {
                 Err(e)
             }
         };
+        let reply_start = Instant::now();
         done(result);
+        let reply_ns = reply_start.elapsed().as_nanos() as u64;
+        let span = SpanRecord {
+            trace_id,
+            job_id: id,
+            tenant,
+            worker: worker as usize,
+            ok,
+            backend: backend_label(backend),
+            level: level.as_str(),
+            est_cost_us: cost_us,
+            batch_ns,
+            queue_ns,
+            exec_ns,
+            reply_ns,
+        };
+        if shared.recorder.record(span) {
+            shared.stats.on_slow();
+        }
         if shared.scratch {
             // The job's operand ciphertexts are dead: feed their buffers
             // back to the arena for the next job.
@@ -537,6 +633,15 @@ fn worker_loop(shared: &Shared, worker: u32) {
                 worker_arena.recycle_ciphertext(ct);
             }
         }
+    }
+}
+
+/// Metric label of a resolved datapath (the order of
+/// [`crate::stats::BACKEND_KINDS`]).
+fn backend_label(backend: Backend) -> &'static str {
+    match backend.resolve() {
+        Backend::Traditional => crate::stats::BACKEND_KINDS[0],
+        _ => crate::stats::BACKEND_KINDS[1],
     }
 }
 

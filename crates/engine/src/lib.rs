@@ -32,9 +32,16 @@
 //! * [`sched`] — the two-datapath cost estimator and the deterministic
 //!   EDF/stride/aged-cost queue (per-tenant weights, optional deadlines);
 //! * [`wire`] — shard-addressed request/response framing extending
-//!   `hefv_core::wire`;
-//! * [`stats`] — per-op latency, queue depth, datapath dispatch and
-//!   noise-budget telemetry.
+//!   `hefv_core::wire`, plus the `HEVS` admin frames that serve metrics
+//!   and trace dumps over the same connection;
+//! * [`stats`] — per-op latency distributions, queue depth, datapath and
+//!   scheduler-level attribution, per-tenant and noise-budget telemetry;
+//! * [`metrics`] — mergeable log-linear latency [`Histogram`]s
+//!   (p50/p95/p99/max) and the Prometheus-text exposition of a fleet's
+//!   [`RouterStats`];
+//! * [`trace`] — per-job [`trace::SpanRecord`]s (`admit → queue → batch →
+//!   execute → reply-write`) in a lock-free-on-the-hot-path flight
+//!   recorder with slow-job promotion.
 //!
 //! # Example
 //!
@@ -67,6 +74,7 @@
 //!         EvalOp::Add(ValRef::Op(0), ValRef::Input(2)),
 //!     ],
 //!     deadline_us: None,
+//!     trace_id: None,
 //! };
 //! let resp = engine.call(req).unwrap();
 //! assert_eq!(decrypt(&ctx, &sk_a, &resp.result).coeffs()[0], 10);
@@ -77,28 +85,36 @@
 pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod router;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 pub mod wire;
 
 pub use batch::{BatchResult, ScalarOp, ScalarRequest, ScalarTicket};
 pub use engine::{Engine, EngineConfig, JobHandle};
 pub use error::EngineError;
+pub use metrics::{render_prometheus, Histogram, HistogramSnapshot};
 pub use registry::{KeyRegistry, TenantId, TenantKeys};
 pub use request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
 pub use router::{RouterStats, ShardId, ShardRouter, ShardSpec, ShardStats};
+pub use sched::SchedLevel;
 pub use stats::StatsSnapshot;
+pub use trace::{FlightRecorder, SpanRecord};
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::batch::{BatchResult, ScalarOp, ScalarRequest, ScalarTicket};
     pub use crate::engine::{Engine, EngineConfig, JobHandle};
     pub use crate::error::EngineError;
+    pub use crate::metrics::{render_prometheus, Histogram, HistogramSnapshot};
     pub use crate::registry::{KeyRegistry, TenantId, TenantKeys};
     pub use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
     pub use crate::router::{RouterStats, ShardId, ShardRouter, ShardSpec, ShardStats};
+    pub use crate::sched::SchedLevel;
     pub use crate::stats::StatsSnapshot;
+    pub use crate::trace::{FlightRecorder, SpanRecord};
 }

@@ -75,6 +75,12 @@ pub struct EvalRequest {
     /// aged-cost turn once the deadline is at stake. `None` jobs are
     /// scheduled purely by weighted aged cost.
     pub deadline_us: Option<f64>,
+    /// Optional end-to-end trace id. Propagated from the `HEVQ`
+    /// envelope's trace field when the client set one; `None` requests
+    /// get an id minted at admission. The id is stamped on the job's
+    /// [`crate::trace::SpanRecord`] in the engine's flight recorder, so
+    /// a client-chosen id ties a wire request to its span dump.
+    pub trace_id: Option<u64>,
 }
 
 /// Hard cap on request size (inputs + ops), a denial-of-service guard.
@@ -94,6 +100,7 @@ impl EvalRequest {
             plaintexts: Vec::new(),
             ops: vec![op(ValRef::Input(0), ValRef::Input(1))],
             deadline_us: None,
+            trace_id: None,
         }
     }
 
@@ -101,6 +108,13 @@ impl EvalRequest {
     /// service) to this request.
     pub fn with_deadline(mut self, deadline_us: f64) -> Self {
         self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Attaches a client-chosen end-to-end trace id (see the field docs
+    /// on [`EvalRequest::trace_id`]).
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = Some(trace_id);
         self
     }
 
@@ -120,6 +134,7 @@ impl EvalRequest {
                 .map(|&g| EvalOp::Rotate(ValRef::Input(0), g))
                 .collect(),
             deadline_us: None,
+            trace_id: None,
         }
     }
 

@@ -532,6 +532,7 @@ impl ShardRouter {
         // remains the authority on the race.
         let shard = self.resolve_shard(frame)?;
         if shard.engine.queue_is_full() {
+            shard.engine.shared().stats().on_refused();
             return Ok(None);
         }
         let req = wire::decode_request(shard.engine.context(), frame)?;
@@ -567,6 +568,44 @@ impl ShardRouter {
             per_shard,
             total: total.unwrap_or_else(|| crate::stats::EngineStats::default().snapshot()),
         }
+    }
+
+    /// The most recent job spans from every shard's flight recorder, as
+    /// `(shard id, shard name, spans oldest-first)`.
+    pub fn trace_spans(&self) -> Vec<(ShardId, String, Vec<crate::trace::SpanRecord>)> {
+        self.all_shards()
+            .into_iter()
+            .map(|s| (s.id, s.name.clone(), s.engine.recorder().recent()))
+            .collect()
+    }
+
+    /// The most recent *slow* job spans (over each engine's slow-job
+    /// threshold) from every shard's flight recorder.
+    pub fn slow_spans(&self) -> Vec<(ShardId, String, Vec<crate::trace::SpanRecord>)> {
+        self.all_shards()
+            .into_iter()
+            .map(|s| (s.id, s.name.clone(), s.engine.recorder().slow_spans()))
+            .collect()
+    }
+
+    /// Plain-text rendering of [`ShardRouter::trace_spans`] and
+    /// [`ShardRouter::slow_spans`] — the `HEVS` traces payload: one
+    /// `trace=0x…` line per span, grouped per shard, slow spans last.
+    pub fn render_traces(&self) -> String {
+        let mut out = String::new();
+        for (section, groups) in [("recent", self.trace_spans()), ("slow", self.slow_spans())] {
+            for (id, name, spans) in groups {
+                out.push_str(&format!(
+                    "# shard {id} ({name}): {} {section} spans\n",
+                    spans.len()
+                ));
+                for span in spans {
+                    out.push_str(&span.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
     }
 
     /// Shuts every shard down: pending jobs drain, workers join. Takes

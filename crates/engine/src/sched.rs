@@ -299,6 +299,51 @@ pub struct QosSpec {
     pub deadline_us: Option<f64>,
 }
 
+/// The scheduler level that released a job — which of the three-level
+/// policy's decisions was binding for that pop. Telemetry attributes
+/// queue wait per level so an operator can see whether latency comes
+/// from deadline pressure (`edf`), cross-tenant contention (`weighted`),
+/// or plain backlog (`sjf`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedLevel {
+    /// Level 1: the earliest-deadline-first guard (including admission
+    /// diverts that protect a still-feasible deadline).
+    Deadline,
+    /// Level 2: the stride pick between multiple backlogged tenants.
+    Weighted,
+    /// Level 3: a single tenant's aged shortest-job-first heap.
+    Shortest,
+}
+
+impl SchedLevel {
+    /// All levels, in table order (`edf`, `weighted`, `sjf`).
+    pub const ALL: [SchedLevel; 3] = [
+        SchedLevel::Deadline,
+        SchedLevel::Weighted,
+        SchedLevel::Shortest,
+    ];
+
+    /// Metric label: `"edf"` / `"weighted"` / `"sjf"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedLevel::Deadline => "edf",
+            SchedLevel::Weighted => "weighted",
+            SchedLevel::Shortest => "sjf",
+        }
+    }
+
+    /// Index into per-level tables (the order of [`SchedLevel::ALL`]).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SchedLevel::Deadline => 0,
+            SchedLevel::Weighted => 1,
+            SchedLevel::Shortest => 2,
+        }
+    }
+}
+
 /// Outcome of a [`JobQueue::try_push_qos`]: a refused job is handed
 /// back so the caller can retry later (or drop it) without the queue
 /// ever invoking — or losing — its callback.
@@ -532,9 +577,15 @@ impl<T> JobQueue<T> {
     /// EDF/stride/aged-cost policy) or the queue is closed and drained
     /// (returning `None`).
     pub fn pop(&self) -> Option<T> {
+        self.pop_labeled().map(|(job, _)| job)
+    }
+
+    /// [`JobQueue::pop`], also reporting which scheduler level was
+    /// binding for the pick (telemetry attributes queue wait per level).
+    pub fn pop_labeled(&self) -> Option<(T, SchedLevel)> {
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if let Some(seq) = Self::select(&mut inner) {
+            if let Some((seq, level)) = Self::select(&mut inner) {
                 let entry = inner.slab.remove(&seq).expect("selected seq is live");
                 let t = inner
                     .tenants
@@ -555,7 +606,7 @@ impl<T> JobQueue<T> {
                 }
                 drop(inner);
                 self.not_full.notify_one();
-                return Some(entry.job);
+                return Some((entry.job, level));
             }
             if inner.closed {
                 return None;
@@ -564,9 +615,10 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// Picks the next job's seq, or `None` when empty. Caller holds the
+    /// Picks the next job's seq (and the scheduler level that was
+    /// binding for the pick), or `None` when empty. Caller holds the
     /// lock and removes the returned seq from the slab.
-    fn select(inner: &mut QueueInner<T>) -> Option<u64> {
+    fn select(inner: &mut QueueInner<T>) -> Option<(u64, SchedLevel)> {
         if inner.slab.is_empty() {
             return None;
         }
@@ -587,10 +639,13 @@ impl<T> JobQueue<T> {
         // Level 1: deadline work is already at stake — serve deadline
         // jobs earliest-deadline-first until the slack recovers.
         if min_lst.is_some_and(|lst| lst <= inner.virtual_now_us) {
-            return Some(Self::pop_earliest_deadline(inner));
+            return Some((Self::pop_earliest_deadline(inner), SchedLevel::Deadline));
         }
         // Level 2: the backlogged tenant with the smallest stride pass
-        // (ties broken by tenant id for determinism).
+        // (ties broken by tenant id for determinism). With more than one
+        // backlogged tenant the stride pick is the binding decision;
+        // alone, it's a pass-through and level 3's heap decides.
+        let contended = inner.tenants.values().filter(|t| t.live > 0).count() > 1;
         let tenant = inner
             .tenants
             .iter()
@@ -619,7 +674,7 @@ impl<T> JobQueue<T> {
         // now, while the deadline is still makeable.
         let cost = inner.slab[&candidate].cost_us;
         if min_lst.is_some_and(|lst| inner.virtual_now_us + cost > lst) {
-            return Some(Self::pop_earliest_deadline(inner));
+            return Some((Self::pop_earliest_deadline(inner), SchedLevel::Deadline));
         }
         inner
             .tenants
@@ -627,7 +682,12 @@ impl<T> JobQueue<T> {
             .expect("selected tenant")
             .queued
             .pop();
-        Some(candidate)
+        let level = if contended {
+            SchedLevel::Weighted
+        } else {
+            SchedLevel::Shortest
+        };
+        Some((candidate, level))
     }
 
     /// Pops the live job with the earliest deadline (the deadline guard's
@@ -736,6 +796,7 @@ mod tests {
             plaintexts: Vec::new(),
             ops,
             deadline_us: None,
+            trace_id: None,
         };
         let same = ValRef::Input(0);
         let batch = run(vec![

@@ -1,10 +1,22 @@
-//! Engine telemetry: per-op latency, queue depth, noise-budget accounting.
+//! Engine telemetry: per-op latency distributions, queue depth,
+//! datapath/scheduler attribution, per-tenant and noise-budget
+//! accounting.
 //!
-//! Everything is lock-free atomics so the hot path (workers) never
-//! serializes on the stats; [`EngineStats::snapshot`] produces a consistent
-//! read-mostly view for operators.
+//! Everything on the recording side is lock-free atomics (the per-op
+//! tables are [`Histogram`]s — a handful of relaxed fetch-adds per
+//! sample) so the hot path never serializes on the stats; the per-tenant
+//! table takes a read lock only to find an existing tenant's cell and a
+//! write lock only the first time a tenant is seen.
+//! [`EngineStats::snapshot`] produces a consistent read-mostly view for
+//! operators, and [`StatsSnapshot::absorb`] folds shard snapshots into a
+//! fleet view without losing quantile fidelity (histograms merge
+//! exactly).
 
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::sched::SchedLevel;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Op classes tracked separately (indexes into the per-op tables).
 pub const OP_KINDS: [&str; 7] = [
@@ -22,31 +34,42 @@ pub fn op_index(name: &str) -> Option<usize> {
     OP_KINDS.iter().position(|&k| k == name)
 }
 
-#[derive(Default)]
-struct OpCell {
-    count: AtomicU64,
-    total_ns: AtomicU64,
-    max_ns: AtomicU64,
+/// Datapath labels, in the order of the per-backend tables.
+pub const BACKEND_KINDS: [&str; 2] = ["traditional", "hps"];
+
+fn backend_index(backend: hefv_core::eval::Backend) -> usize {
+    match backend.resolve() {
+        hefv_core::eval::Backend::Traditional => 0,
+        _ => 1,
+    }
 }
 
-impl OpCell {
-    fn record(&self, ns: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
-    }
+/// Distinct tenants tracked individually; traffic beyond this folds into
+/// one overflow cell (tenant id [`u64::MAX`]) so a tenant-id scan cannot
+/// grow the table without bound.
+pub const MAX_TENANT_CELLS: usize = 1024;
+
+#[derive(Default)]
+struct TenantCell {
+    requests: AtomicU64,
+    latency_ns: AtomicU64,
+    /// Noise bits ×1000 (fixed-point for atomics).
+    noise_bits_milli: AtomicU64,
 }
 
 /// Shared engine counters.
 #[derive(Default)]
 pub struct EngineStats {
-    per_op: [OpCell; OP_KINDS.len()],
+    per_op: [Histogram; OP_KINDS.len()],
+    exec_by_backend: [Histogram; BACKEND_KINDS.len()],
+    queue_wait_by_level: [Histogram; SchedLevel::ALL.len()],
+    tenants: RwLock<HashMap<u64, Arc<TenantCell>>>,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_slow: AtomicU64,
     queue_depth: AtomicU64,
-    queue_wait_ns: AtomicU64,
-    exec_ns: AtomicU64,
     /// Simulated coprocessor µs ×1000 (stored fixed-point for atomics).
     sim_cost_mus: AtomicU64,
     /// Noise bits consumed ×1000.
@@ -75,16 +98,24 @@ impl EngineStats {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A job left the queue for a worker after waiting `queue_ns`.
-    pub fn on_dequeue(&self, queue_ns: u64) {
+    /// A job left the queue for a worker after waiting `queue_ns`,
+    /// released by scheduler level `level`.
+    pub fn on_dequeue(&self, queue_ns: u64, level: SchedLevel) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        self.queue_wait_ns.fetch_add(queue_ns, Ordering::Relaxed);
+        self.queue_wait_by_level[level.index()].record(queue_ns);
     }
 
-    /// A job finished successfully.
-    pub fn on_complete(&self, exec_ns: u64, sim_cost_us: f64, noise_bits: f64) {
+    /// A job finished successfully on datapath `backend` (resolved — for
+    /// `Backend::Auto` engines this is the cost model's per-job choice).
+    pub fn on_complete(
+        &self,
+        exec_ns: u64,
+        sim_cost_us: f64,
+        noise_bits: f64,
+        backend: hefv_core::eval::Backend,
+    ) {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
-        self.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.exec_by_backend[backend_index(backend)].record(exec_ns);
         self.sim_cost_mus
             .fetch_add((sim_cost_us * 1000.0) as u64, Ordering::Relaxed);
         self.noise_bits_milli
@@ -109,10 +140,25 @@ impl EngineStats {
     }
 
     /// A submitted job was refused by a closing queue: undo its
-    /// submission so `submitted = completed + failed + queued` holds.
+    /// submission so `submitted = completed + failed + queued` holds,
+    /// and count the refusal so it stays visible in telemetry.
     pub fn on_reject(&self) {
         self.jobs_submitted.fetch_sub(1, Ordering::Relaxed);
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was refused *before* admission (queue at capacity):
+    /// nothing to undo, just count it. Retries count each time —
+    /// `jobs_rejected` measures refused attempts, not distinct jobs.
+    pub fn on_refused(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A completed job crossed the slow-job threshold (its span was
+    /// promoted to the flight recorder's slow ring).
+    pub fn on_slow(&self) {
+        self.jobs_slow.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A job was dispatched onto a concrete Lift/Scale datapath (for
@@ -135,6 +181,29 @@ impl EngineStats {
             .fetch_add(size as u64, Ordering::Relaxed);
     }
 
+    /// Accounts one completed request to its tenant: end-to-end latency
+    /// (queue + exec) and estimated noise bits consumed.
+    pub fn on_tenant(&self, tenant: u64, latency_ns: u64, noise_bits: f64) {
+        let cell = self.tenant_cell(tenant);
+        cell.requests.fetch_add(1, Ordering::Relaxed);
+        cell.latency_ns.fetch_add(latency_ns, Ordering::Relaxed);
+        cell.noise_bits_milli
+            .fetch_add((noise_bits.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    fn tenant_cell(&self, tenant: u64) -> Arc<TenantCell> {
+        if let Some(cell) = self.tenants.read().expect("tenant table lock").get(&tenant) {
+            return Arc::clone(cell);
+        }
+        let mut table = self.tenants.write().expect("tenant table lock");
+        let key = if table.len() >= MAX_TENANT_CELLS && !table.contains_key(&tenant) {
+            u64::MAX // overflow cell
+        } else {
+            tenant
+        };
+        Arc::clone(table.entry(key).or_default())
+    }
+
     /// Jobs currently queued.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -142,23 +211,58 @@ impl EngineStats {
 
     /// Consistent-enough copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            per_op: OP_KINDS
-                .iter()
-                .zip(&self.per_op)
-                .map(|(&name, c)| OpSnapshot {
+        let per_op: Vec<OpSnapshot> = OP_KINDS
+            .iter()
+            .zip(&self.per_op)
+            .map(|(&name, h)| {
+                let latency = h.snapshot();
+                OpSnapshot {
                     name,
-                    count: c.count.load(Ordering::Relaxed),
-                    total_ns: c.total_ns.load(Ordering::Relaxed),
-                    max_ns: c.max_ns.load(Ordering::Relaxed),
-                })
-                .collect(),
+                    count: latency.count,
+                    total_ns: latency.sum,
+                    max_ns: latency.max,
+                    latency,
+                }
+            })
+            .collect();
+        let exec_by_backend: Vec<(&'static str, HistogramSnapshot)> = BACKEND_KINDS
+            .iter()
+            .zip(&self.exec_by_backend)
+            .map(|(&name, h)| (name, h.snapshot()))
+            .collect();
+        let queue_wait_by_level: Vec<(&'static str, HistogramSnapshot)> = SchedLevel::ALL
+            .iter()
+            .zip(&self.queue_wait_by_level)
+            .map(|(level, h)| (level.as_str(), h.snapshot()))
+            .collect();
+        let mut per_tenant: Vec<TenantSnapshot> = self
+            .tenants
+            .read()
+            .expect("tenant table lock")
+            .iter()
+            .map(|(&tenant, cell)| TenantSnapshot {
+                tenant,
+                requests: cell.requests.load(Ordering::Relaxed),
+                latency_ns: cell.latency_ns.load(Ordering::Relaxed),
+                noise_bits: cell.noise_bits_milli.load(Ordering::Relaxed) as f64 / 1000.0,
+            })
+            .collect();
+        per_tenant.sort_by_key(|t| t.tenant);
+        StatsSnapshot {
+            // Totals derive from the histograms' exact sums, so the
+            // aggregate and distribution views can never disagree.
+            queue_wait_ns: queue_wait_by_level.iter().map(|(_, h)| h.sum).sum(),
+            exec_ns: exec_by_backend.iter().map(|(_, h)| h.sum).sum(),
+            per_op,
+            exec_by_backend,
+            queue_wait_by_level,
+            per_tenant,
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_slow: self.jobs_slow.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
-            exec_ns: self.exec_ns.load(Ordering::Relaxed),
             sim_cost_us: self.sim_cost_mus.load(Ordering::Relaxed) as f64 / 1000.0,
             noise_bits_consumed: self.noise_bits_milli.load(Ordering::Relaxed) as f64 / 1000.0,
             batches_formed: self.batches_formed.load(Ordering::Relaxed),
@@ -172,7 +276,7 @@ impl EngineStats {
 }
 
 /// Frozen view of one op class.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpSnapshot {
     /// Op class name.
     pub name: &'static str,
@@ -180,8 +284,11 @@ pub struct OpSnapshot {
     pub count: u64,
     /// Total execution time, ns.
     pub total_ns: u64,
-    /// Worst single execution, ns.
+    /// Worst single execution, ns (exact).
     pub max_ns: u64,
+    /// Full latency distribution (p50/p95/p99 via
+    /// [`HistogramSnapshot::quantile`]).
+    pub latency: HistogramSnapshot,
 }
 
 impl OpSnapshot {
@@ -195,22 +302,58 @@ impl OpSnapshot {
     }
 }
 
+/// Frozen per-tenant accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant id ([`u64::MAX`] is the overflow cell past
+    /// [`MAX_TENANT_CELLS`] distinct tenants).
+    pub tenant: u64,
+    /// Completed requests.
+    pub requests: u64,
+    /// Cumulative queue + exec latency, ns.
+    pub latency_ns: u64,
+    /// Estimated noise bits consumed.
+    pub noise_bits: f64,
+}
+
+/// How a [`StatsSnapshot`] field folds under [`StatsSnapshot::absorb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fold {
+    /// Counts and totals: shard values add.
+    Add,
+    /// Maxima: the fleet value is the max over shards.
+    Max,
+}
+
 /// Frozen view of the whole engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     /// Per-op latency table (one entry per [`OP_KINDS`] class).
     pub per_op: Vec<OpSnapshot>,
+    /// Job execution latency per Lift/Scale datapath (one entry per
+    /// [`BACKEND_KINDS`] label).
+    pub exec_by_backend: Vec<(&'static str, HistogramSnapshot)>,
+    /// Queue wait per scheduler level that released the job (one entry
+    /// per [`SchedLevel`], labelled `edf` / `weighted` / `sjf`).
+    pub queue_wait_by_level: Vec<(&'static str, HistogramSnapshot)>,
+    /// Per-tenant accounting, sorted by tenant id.
+    pub per_tenant: Vec<TenantSnapshot>,
     /// Jobs accepted into the queue.
     pub jobs_submitted: u64,
     /// Jobs finished successfully.
     pub jobs_completed: u64,
     /// Jobs failed at execution time.
     pub jobs_failed: u64,
+    /// Submissions refused (queue at capacity or closed); retries count
+    /// each attempt.
+    pub jobs_rejected: u64,
+    /// Completed jobs over the slow-job threshold.
+    pub jobs_slow: u64,
     /// Jobs waiting right now.
     pub queue_depth: u64,
-    /// Cumulative queue wait, ns.
+    /// Cumulative queue wait, ns (sum over `queue_wait_by_level`).
     pub queue_wait_ns: u64,
-    /// Cumulative execution wall time, ns.
+    /// Cumulative execution wall time, ns (sum over `exec_by_backend`).
     pub exec_ns: u64,
     /// Cumulative simulated coprocessor cost, µs.
     pub sim_cost_us: f64,
@@ -233,29 +376,198 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// Folds another snapshot into this one (the shard router aggregates
-    /// its shards' engines this way): counts and totals add, per-op maxima
-    /// take the max.
+    /// its shards' engines this way): counts, totals and histogram
+    /// buckets add, maxima take the max, tenants merge by id. Absorbing
+    /// N shard snapshots produces exactly the snapshot of one engine
+    /// that had recorded the union of their samples.
     pub fn absorb(&mut self, other: &StatsSnapshot) {
-        for (mine, theirs) in self.per_op.iter_mut().zip(&other.per_op) {
+        // Exhaustive destructuring (no `..`): adding a StatsSnapshot
+        // field without deciding how it folds is a compile error here.
+        let StatsSnapshot {
+            per_op,
+            exec_by_backend,
+            queue_wait_by_level,
+            per_tenant,
+            jobs_submitted,
+            jobs_completed,
+            jobs_failed,
+            jobs_rejected,
+            jobs_slow,
+            queue_depth,
+            queue_wait_ns,
+            exec_ns,
+            sim_cost_us,
+            noise_bits_consumed,
+            batches_formed,
+            batched_requests,
+            jobs_traditional,
+            jobs_hps,
+            ntt_us,
+            basis_conv_us,
+        } = other;
+        for (mine, theirs) in self.per_op.iter_mut().zip(per_op) {
             debug_assert_eq!(mine.name, theirs.name, "OP_KINDS order is fixed");
             mine.count += theirs.count;
             mine.total_ns += theirs.total_ns;
             mine.max_ns = mine.max_ns.max(theirs.max_ns);
+            mine.latency.merge(&theirs.latency);
         }
-        self.jobs_submitted += other.jobs_submitted;
-        self.jobs_completed += other.jobs_completed;
-        self.jobs_failed += other.jobs_failed;
-        self.queue_depth += other.queue_depth;
-        self.queue_wait_ns += other.queue_wait_ns;
-        self.exec_ns += other.exec_ns;
-        self.sim_cost_us += other.sim_cost_us;
-        self.noise_bits_consumed += other.noise_bits_consumed;
-        self.batches_formed += other.batches_formed;
-        self.batched_requests += other.batched_requests;
-        self.jobs_traditional += other.jobs_traditional;
-        self.jobs_hps += other.jobs_hps;
-        self.ntt_us += other.ntt_us;
-        self.basis_conv_us += other.basis_conv_us;
+        for (mine, theirs) in self.exec_by_backend.iter_mut().zip(exec_by_backend) {
+            debug_assert_eq!(mine.0, theirs.0, "BACKEND_KINDS order is fixed");
+            mine.1.merge(&theirs.1);
+        }
+        for (mine, theirs) in self.queue_wait_by_level.iter_mut().zip(queue_wait_by_level) {
+            debug_assert_eq!(mine.0, theirs.0, "SchedLevel order is fixed");
+            mine.1.merge(&theirs.1);
+        }
+        for t in per_tenant {
+            match self
+                .per_tenant
+                .binary_search_by_key(&t.tenant, |x| x.tenant)
+            {
+                Ok(i) => {
+                    self.per_tenant[i].requests += t.requests;
+                    self.per_tenant[i].latency_ns += t.latency_ns;
+                    self.per_tenant[i].noise_bits += t.noise_bits;
+                }
+                Err(i) => self.per_tenant.insert(i, t.clone()),
+            }
+        }
+        self.jobs_submitted += jobs_submitted;
+        self.jobs_completed += jobs_completed;
+        self.jobs_failed += jobs_failed;
+        self.jobs_rejected += jobs_rejected;
+        self.jobs_slow += jobs_slow;
+        self.queue_depth += queue_depth;
+        self.queue_wait_ns += queue_wait_ns;
+        self.exec_ns += exec_ns;
+        self.sim_cost_us += sim_cost_us;
+        self.noise_bits_consumed += noise_bits_consumed;
+        self.batches_formed += batches_formed;
+        self.batched_requests += batched_requests;
+        self.jobs_traditional += jobs_traditional;
+        self.jobs_hps += jobs_hps;
+        self.ntt_us += ntt_us;
+        self.basis_conv_us += basis_conv_us;
+    }
+
+    /// Every scalar the snapshot carries, flattened to `(name, value,
+    /// fold-kind)`. The exhaustive destructuring (no `..`) makes "added
+    /// a counter, forgot to audit it" a compile error, and the stats
+    /// tests drive every recorder and assert each entry both shows up
+    /// here and folds correctly under [`StatsSnapshot::absorb`] — the
+    /// add-a-counter-forget-absorb bug class dies in CI.
+    pub fn audit_fields(&self) -> Vec<(String, f64, Fold)> {
+        let StatsSnapshot {
+            per_op,
+            exec_by_backend,
+            queue_wait_by_level,
+            per_tenant,
+            jobs_submitted,
+            jobs_completed,
+            jobs_failed,
+            jobs_rejected,
+            jobs_slow,
+            queue_depth,
+            queue_wait_ns,
+            exec_ns,
+            sim_cost_us,
+            noise_bits_consumed,
+            batches_formed,
+            batched_requests,
+            jobs_traditional,
+            jobs_hps,
+            ntt_us,
+            basis_conv_us,
+        } = self;
+        let mut out: Vec<(String, f64, Fold)> = Vec::new();
+        for op in per_op {
+            out.push((
+                format!("per_op.{}.count", op.name),
+                op.count as f64,
+                Fold::Add,
+            ));
+            out.push((
+                format!("per_op.{}.total_ns", op.name),
+                op.total_ns as f64,
+                Fold::Add,
+            ));
+            out.push((
+                format!("per_op.{}.max_ns", op.name),
+                op.max_ns as f64,
+                Fold::Max,
+            ));
+        }
+        for (name, h) in exec_by_backend {
+            out.push((
+                format!("exec_by_backend.{name}.count"),
+                h.count as f64,
+                Fold::Add,
+            ));
+            out.push((
+                format!("exec_by_backend.{name}.sum"),
+                h.sum as f64,
+                Fold::Add,
+            ));
+            out.push((
+                format!("exec_by_backend.{name}.max"),
+                h.max as f64,
+                Fold::Max,
+            ));
+        }
+        for (name, h) in queue_wait_by_level {
+            out.push((
+                format!("queue_wait_by_level.{name}.count"),
+                h.count as f64,
+                Fold::Add,
+            ));
+            out.push((
+                format!("queue_wait_by_level.{name}.sum"),
+                h.sum as f64,
+                Fold::Add,
+            ));
+            out.push((
+                format!("queue_wait_by_level.{name}.max"),
+                h.max as f64,
+                Fold::Max,
+            ));
+        }
+        out.push((
+            "per_tenant.requests".into(),
+            per_tenant.iter().map(|t| t.requests as f64).sum(),
+            Fold::Add,
+        ));
+        out.push((
+            "per_tenant.latency_ns".into(),
+            per_tenant.iter().map(|t| t.latency_ns as f64).sum(),
+            Fold::Add,
+        ));
+        out.push((
+            "per_tenant.noise_bits".into(),
+            per_tenant.iter().map(|t| t.noise_bits).sum(),
+            Fold::Add,
+        ));
+        for (name, v, fold) in [
+            ("jobs_submitted", *jobs_submitted as f64, Fold::Add),
+            ("jobs_completed", *jobs_completed as f64, Fold::Add),
+            ("jobs_failed", *jobs_failed as f64, Fold::Add),
+            ("jobs_rejected", *jobs_rejected as f64, Fold::Add),
+            ("jobs_slow", *jobs_slow as f64, Fold::Add),
+            ("queue_depth", *queue_depth as f64, Fold::Add),
+            ("queue_wait_ns", *queue_wait_ns as f64, Fold::Add),
+            ("exec_ns", *exec_ns as f64, Fold::Add),
+            ("sim_cost_us", *sim_cost_us, Fold::Add),
+            ("noise_bits_consumed", *noise_bits_consumed, Fold::Add),
+            ("batches_formed", *batches_formed as f64, Fold::Add),
+            ("batched_requests", *batched_requests as f64, Fold::Add),
+            ("jobs_traditional", *jobs_traditional as f64, Fold::Add),
+            ("jobs_hps", *jobs_hps as f64, Fold::Add),
+            ("ntt_us", *ntt_us, Fold::Add),
+            ("basis_conv_us", *basis_conv_us, Fold::Add),
+        ] {
+            out.push((name.into(), v, fold));
+        }
+        out
     }
 }
 
@@ -263,8 +575,13 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "jobs: {} submitted, {} completed, {} failed, {} queued",
-            self.jobs_submitted, self.jobs_completed, self.jobs_failed, self.queue_depth
+            "jobs: {} submitted, {} completed, {} failed, {} rejected, {} queued, {} slow",
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_rejected,
+            self.queue_depth,
+            self.jobs_slow
         )?;
         writeln!(
             f,
@@ -291,11 +608,23 @@ impl std::fmt::Display for StatsSnapshot {
         for op in self.per_op.iter().filter(|o| o.count > 0) {
             writeln!(
                 f,
-                "  {:<10} × {:<6} mean {:>9.1} µs  max {:>9.1} µs",
+                "  {:<10} × {:<6} mean {:>9.1} µs  p50 {:>9.1} µs  p99 {:>9.1} µs  max {:>9.1} µs",
                 op.name,
                 op.count,
                 op.mean_us(),
+                op.latency.quantile(0.5) as f64 / 1000.0,
+                op.latency.quantile(0.99) as f64 / 1000.0,
                 op.max_ns as f64 / 1000.0
+            )?;
+        }
+        for t in self.per_tenant.iter().filter(|t| t.requests > 0) {
+            writeln!(
+                f,
+                "  tenant {:<12} × {:<6} mean {:>9.1} µs  {:>8.1} noise bits",
+                t.tenant,
+                t.requests,
+                t.latency_ns as f64 / t.requests as f64 / 1000.0,
+                t.noise_bits
             )?;
         }
         Ok(())
@@ -305,6 +634,7 @@ impl std::fmt::Display for StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hefv_core::eval::Backend;
 
     #[test]
     fn records_and_snapshots() {
@@ -312,13 +642,13 @@ mod tests {
         s.on_submit();
         s.on_submit();
         assert_eq!(s.queue_depth(), 2);
-        s.on_dequeue(500);
+        s.on_dequeue(500, SchedLevel::Shortest);
         s.record_op("mul", 2000);
         s.record_op("mul", 4000);
         s.record_op("add", 100);
-        s.on_complete(6000, 42.5, 3.25);
+        s.on_complete(6000, 42.5, 3.25, Backend::Auto);
         s.on_kernel_time(30.25, 10.5);
-        s.on_dequeue(500);
+        s.on_dequeue(500, SchedLevel::Deadline);
         s.on_fail();
         s.on_batch(64);
 
@@ -328,6 +658,7 @@ mod tests {
         assert_eq!(snap.jobs_failed, 1);
         assert_eq!(snap.queue_depth, 0);
         assert_eq!(snap.queue_wait_ns, 1000);
+        assert_eq!(snap.exec_ns, 6000);
         assert!((snap.sim_cost_us - 42.5).abs() < 1e-3);
         assert!((snap.noise_bits_consumed - 3.25).abs() < 1e-3);
         assert_eq!(snap.batched_requests, 64);
@@ -342,6 +673,24 @@ mod tests {
         assert_eq!(mul.count, 2);
         assert_eq!(mul.max_ns, 4000);
         assert!((mul.mean_us() - 3.0).abs() < 1e-9);
+        assert_eq!(mul.latency.quantile(1.0), 4000);
+
+        // Backend::Auto resolves to HPS; its exec histogram got the job.
+        let hps = &snap
+            .exec_by_backend
+            .iter()
+            .find(|(n, _)| *n == "hps")
+            .unwrap()
+            .1;
+        assert_eq!(hps.count, 1);
+        assert_eq!(hps.max, 6000);
+        let sjf = &snap
+            .queue_wait_by_level
+            .iter()
+            .find(|(n, _)| *n == "sjf")
+            .unwrap()
+            .1;
+        assert_eq!(sjf.sum, 500);
 
         let text = snap.to_string();
         assert!(text.contains("2 submitted"));
@@ -354,5 +703,89 @@ mod tests {
         let s = EngineStats::default();
         s.record_op("nonsense", 1);
         assert!(s.snapshot().per_op.iter().all(|o| o.count == 0));
+    }
+
+    #[test]
+    fn rejects_are_counted_not_just_undone() {
+        let s = EngineStats::default();
+        s.on_submit();
+        s.on_reject(); // closing queue: undo + count
+        s.on_refused(); // at capacity: count only
+        let snap = s.snapshot();
+        assert_eq!(snap.jobs_submitted, 0);
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.jobs_rejected, 2);
+    }
+
+    #[test]
+    fn tenant_table_caps_and_overflows() {
+        let s = EngineStats::default();
+        for t in 0..(MAX_TENANT_CELLS as u64 + 10) {
+            s.on_tenant(t, 100, 0.5);
+        }
+        s.on_tenant(3, 100, 0.5); // existing tenant still accumulates
+        let snap = s.snapshot();
+        assert_eq!(snap.per_tenant.len(), MAX_TENANT_CELLS + 1);
+        let overflow = snap.per_tenant.last().unwrap();
+        assert_eq!(overflow.tenant, u64::MAX);
+        assert_eq!(overflow.requests, 10);
+        let t3 = snap.per_tenant.iter().find(|t| t.tenant == 3).unwrap();
+        assert_eq!(t3.requests, 2);
+    }
+
+    /// Drives EVERY recorder, then checks that every audited field is
+    /// nonzero in the snapshot (so each `EngineStats` counter provably
+    /// reaches `snapshot()`) and that self-absorption doubles the
+    /// additive fields and holds the maxima (so each provably reaches
+    /// `absorb()`). Adding a field to `StatsSnapshot` without updating
+    /// `absorb`/`audit_fields` is a compile error; adding a recorder
+    /// without driving it here fails the nonzero sweep.
+    #[test]
+    fn every_field_flows_through_snapshot_and_absorb() {
+        let s = EngineStats::default();
+        for _ in 0..5 {
+            s.on_submit();
+        }
+        for op in OP_KINDS {
+            s.record_op(op, 1000);
+        }
+        s.on_dequeue(500, SchedLevel::Deadline);
+        s.on_dequeue(600, SchedLevel::Weighted);
+        s.on_dequeue(700, SchedLevel::Shortest);
+        s.on_complete(900, 1.5, 0.5, Backend::Traditional);
+        s.on_complete(1100, 2.5, 0.75, Backend::Auto);
+        s.on_backend(Backend::Traditional);
+        s.on_backend(Backend::Auto);
+        s.on_kernel_time(3.0, 4.0);
+        s.on_fail();
+        s.on_reject(); // submitted 5 → 4, depth 2 → 1
+        s.on_refused();
+        s.on_slow();
+        s.on_batch(3);
+        s.on_tenant(42, 2000, 1.25);
+
+        let snap = s.snapshot();
+        let before = snap.audit_fields();
+        for (name, value, _) in &before {
+            assert!(*value > 0.0, "field {name} never reached snapshot()");
+        }
+
+        let mut folded = snap.clone();
+        folded.absorb(&snap);
+        let after = folded.audit_fields();
+        assert_eq!(before.len(), after.len());
+        for ((name, v0, fold), (name2, v1, _)) in before.iter().zip(&after) {
+            assert_eq!(name, name2);
+            match fold {
+                Fold::Add => assert!(
+                    (v1 - 2.0 * v0).abs() < 1e-6,
+                    "additive field {name} did not double under absorb: {v0} -> {v1}"
+                ),
+                Fold::Max => assert!(
+                    (v1 - v0).abs() < 1e-9,
+                    "max field {name} changed under self-absorb: {v0} -> {v1}"
+                ),
+            }
+        }
     }
 }

@@ -11,6 +11,7 @@
 //! request  := "HEVQ" u32 | version=2 u16 | flags u16 | tenant u64
 //!           | shard u16 | n_inputs u16 | n_plaintexts u16 | n_ops u16
 //!           | deadline_us f64            (only when flags bit 0 is set)
+//!           | trace_id u64               (only when flags bit 1 is set)
 //!           | inputs…(len u32, core-wire ciphertext)
 //!           | plaintexts…(n_coeffs u32, coeffs u64…)
 //!           | ops…(opcode u8, a_tag u8, a_idx u32, b_tag u8, b_idx u32)
@@ -20,7 +21,16 @@
 //!                | est_cost_us f64 | noise_bits f64
 //!                | len u32 | core-wire ciphertext
 //!           | err: len u32 | utf-8 message
+//! stats-rq := "HEVS" u32 | version=2 u16 | dir=0 u8 | kind u8
+//! stats-rp := "HEVS" u32 | version=2 u16 | dir=1 u8 | kind u8
+//!           | len u32 | utf-8 body
 //! ```
+//!
+//! The `HEVS` admin frames carry no ciphertexts: `kind` 0 requests the
+//! Prometheus-text metrics exposition of the serving fleet, `kind` 1 a
+//! plain-text dump of recent/slow trace spans. A server answers them
+//! synchronously on its poll thread (see `hefv-net`), so the same
+//! connection that pipelines `HEVQ` work can scrape health.
 //!
 //! `shard` names the target engine shard; [`NO_SHARD`] (`0xFFFF`) asks the
 //! router to place the request by consistent-hashing its tenant id.
@@ -43,10 +53,14 @@ use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
 
 const REQ_MAGIC: u32 = 0x4845_5651; // "HEVQ"
 const RESP_MAGIC: u32 = 0x4845_5650; // "HEVP"
+const STATS_MAGIC: u32 = 0x4845_5653; // "HEVS"
 const VERSION: u16 = 2;
 
 /// Flag bit: the header carries a relative virtual-clock deadline.
 const FLAG_DEADLINE: u16 = 1;
+
+/// Flag bit: the header carries a client-chosen end-to-end trace id.
+const FLAG_TRACE: u16 = 2;
 
 /// Shard value meaning "unrouted — place by tenant hash".
 pub const NO_SHARD: u16 = 0xFFFF;
@@ -201,11 +215,13 @@ pub fn encode_request_for_shard(req: &EvalRequest, shard: u16) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, REQ_MAGIC);
     put_u16(&mut out, VERSION);
-    let flags = if req.deadline_us.is_some() {
-        FLAG_DEADLINE
-    } else {
-        0
-    };
+    let mut flags = 0;
+    if req.deadline_us.is_some() {
+        flags |= FLAG_DEADLINE;
+    }
+    if req.trace_id.is_some() {
+        flags |= FLAG_TRACE;
+    }
     put_u16(&mut out, flags);
     put_u64(&mut out, req.tenant);
     put_u16(&mut out, shard);
@@ -214,6 +230,9 @@ pub fn encode_request_for_shard(req: &EvalRequest, shard: u16) -> Vec<u8> {
     put_u16(&mut out, req.ops.len() as u16);
     if let Some(d) = req.deadline_us {
         put_u64(&mut out, d.to_bits());
+    }
+    if let Some(id) = req.trace_id {
+        put_u64(&mut out, id);
     }
     for ct in &req.inputs {
         let bytes = encode_ciphertext(ct);
@@ -294,7 +313,7 @@ pub fn decode_request(ctx: &FvContext, bytes: &[u8]) -> Result<EvalRequest, Engi
         return Err(wire_err("unsupported request version"));
     }
     let flags = c.u16()?;
-    if flags & !FLAG_DEADLINE != 0 {
+    if flags & !(FLAG_DEADLINE | FLAG_TRACE) != 0 {
         return Err(wire_err(format!("unknown request flags {flags:#06x}")));
     }
     let tenant = c.u64()?;
@@ -308,6 +327,11 @@ pub fn decode_request(ctx: &FvContext, bytes: &[u8]) -> Result<EvalRequest, Engi
             return Err(wire_err(format!("bad deadline {d} in request header")));
         }
         Some(d)
+    } else {
+        None
+    };
+    let trace_id = if flags & FLAG_TRACE != 0 {
+        Some(c.u64()?)
     } else {
         None
     };
@@ -371,9 +395,41 @@ pub fn decode_request(ctx: &FvContext, bytes: &[u8]) -> Result<EvalRequest, Engi
         plaintexts,
         ops,
         deadline_us,
+        trace_id,
     };
     req.validate(ctx)?;
     Ok(req)
+}
+
+/// Reads a request frame's client-chosen trace id from the header alone
+/// (`None` when the client did not set one and the engine will mint an
+/// id at admission).
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the header is not a
+/// well-formed v2 request header.
+pub fn peek_trace_id(bytes: &[u8]) -> Result<Option<u64>, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != REQ_MAGIC {
+        return Err(wire_err("bad request magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported request version"));
+    }
+    let flags = c.u16()?;
+    if flags & FLAG_TRACE == 0 {
+        return Ok(None);
+    }
+    c.u64()?; // tenant
+    c.u16()?; // shard
+    c.u16()?; // n_inputs
+    c.u16()?; // n_plaintexts
+    c.u16()?; // n_ops
+    if flags & FLAG_DEADLINE != 0 {
+        c.u64()?;
+    }
+    Ok(Some(c.u64()?))
 }
 
 /// Reads a request frame's shard address from the header alone (no
@@ -557,4 +613,165 @@ pub fn peek_response_job_id(bytes: &[u8]) -> Result<u64, EngineError> {
     c.u8()?; // status
     c.u8()?; // shard
     c.u64()
+}
+
+/// What a `HEVS` admin frame asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsKind {
+    /// The Prometheus-text metrics exposition of the serving fleet.
+    Metrics,
+    /// A plain-text dump of recent and slow trace spans.
+    Traces,
+}
+
+impl StatsKind {
+    fn from_byte(b: u8) -> Result<StatsKind, EngineError> {
+        match b {
+            0 => Ok(StatsKind::Metrics),
+            1 => Ok(StatsKind::Traces),
+            k => Err(wire_err(format!("bad stats kind {k}"))),
+        }
+    }
+
+    fn byte(self) -> u8 {
+        match self {
+            StatsKind::Metrics => 0,
+            StatsKind::Traces => 1,
+        }
+    }
+}
+
+const STATS_DIR_REQUEST: u8 = 0;
+const STATS_DIR_RESPONSE: u8 = 1;
+
+/// Whether a frame is a `HEVS` admin frame (cheap magic check — lets a
+/// server route admin frames before any request decode).
+#[must_use]
+pub fn is_stats_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == STATS_MAGIC.to_le_bytes()
+}
+
+/// Serializes a `HEVS` admin request.
+#[must_use]
+pub fn encode_stats_request(kind: StatsKind) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    put_u32(&mut out, STATS_MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(STATS_DIR_REQUEST);
+    out.push(kind.byte());
+    out
+}
+
+/// Deserializes a `HEVS` admin request.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames (bad
+/// magic/version/kind, a response where a request was expected, or
+/// trailing bytes).
+pub fn decode_stats_request(bytes: &[u8]) -> Result<StatsKind, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != STATS_MAGIC {
+        return Err(wire_err("bad stats magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported stats version"));
+    }
+    if c.u8()? != STATS_DIR_REQUEST {
+        return Err(wire_err("stats frame is not a request"));
+    }
+    let kind = StatsKind::from_byte(c.u8()?)?;
+    c.finish()?;
+    Ok(kind)
+}
+
+/// Serializes a `HEVS` admin response carrying `body` (Prometheus text
+/// for [`StatsKind::Metrics`], span dump for [`StatsKind::Traces`]).
+#[must_use]
+pub fn encode_stats_response(kind: StatsKind, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + body.len());
+    put_u32(&mut out, STATS_MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(STATS_DIR_RESPONSE);
+    out.push(kind.byte());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Deserializes a `HEVS` admin response into `(kind, body)`.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames
+/// (including bodies beyond [`MAX_FRAME_BYTES`] or invalid UTF-8).
+pub fn decode_stats_response(bytes: &[u8]) -> Result<(StatsKind, String), EngineError> {
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(wire_err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            bytes.len()
+        )));
+    }
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != STATS_MAGIC {
+        return Err(wire_err("bad stats magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported stats version"));
+    }
+    if c.u8()? != STATS_DIR_RESPONSE {
+        return Err(wire_err("stats frame is not a response"));
+    }
+    let kind = StatsKind::from_byte(c.u8()?)?;
+    let len = c.u32()? as usize;
+    let body = std::str::from_utf8(c.take(len)?)
+        .map_err(|_| wire_err("stats body is not UTF-8"))?
+        .to_string();
+    c.finish()?;
+    Ok((kind, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_frames_roundtrip() {
+        for kind in [StatsKind::Metrics, StatsKind::Traces] {
+            let rq = encode_stats_request(kind);
+            assert!(is_stats_frame(&rq));
+            assert_eq!(decode_stats_request(&rq).unwrap(), kind);
+
+            let body = "hefv_jobs_completed_total 42\n";
+            let rp = encode_stats_response(kind, body);
+            assert!(is_stats_frame(&rp));
+            let (k, b) = decode_stats_response(&rp).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(b, body);
+
+            // Directions don't cross-decode.
+            assert!(decode_stats_request(&rp).is_err());
+            assert!(decode_stats_response(&rq).is_err());
+        }
+    }
+
+    #[test]
+    fn stats_frames_reject_malformed() {
+        assert!(!is_stats_frame(b"HEV"));
+        assert!(!is_stats_frame(&REQ_MAGIC.to_le_bytes()));
+        let mut rq = encode_stats_request(StatsKind::Metrics);
+        rq.push(0); // trailing byte
+        assert!(decode_stats_request(&rq).is_err());
+        let mut rp = encode_stats_response(StatsKind::Metrics, "x");
+        rp[7] = 9; // bad kind
+        assert!(decode_stats_response(&rp).is_err());
+    }
+
+    #[test]
+    fn request_frames_are_not_stats_frames() {
+        // `HEVQ` vs `HEVS` magic differ in one byte; the router must
+        // never confuse them.
+        assert_ne!(REQ_MAGIC, STATS_MAGIC);
+        assert_ne!(RESP_MAGIC, STATS_MAGIC);
+    }
 }

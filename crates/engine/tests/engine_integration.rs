@@ -159,6 +159,7 @@ fn galois_ops_run_through_the_engine() {
         plaintexts: vec![],
         ops: vec![EvalOp::SumSlots(ValRef::Input(0))],
         deadline_us: None,
+        trace_id: None,
     };
     let resp = engine.call(req).unwrap();
     let sum: u64 = vals.iter().sum::<u64>() % ctx.params().t;
@@ -199,6 +200,7 @@ fn hoisted_rotation_batches_run_through_the_engine() {
         plaintexts: vec![],
         ops: vec![EvalOp::Rotate(ValRef::Input(0), g)],
         deadline_us: None,
+        trace_id: None,
     };
     // The batch must be priced cheaper than the three independent ops.
     let separate_cost: f64 = exps

@@ -115,6 +115,7 @@ fn auto_dispatch_beats_both_single_backend_fleets() {
                 EvalOp::Rotate(ValRef::Op(0), 3),
             ],
             deadline_us: None,
+            trace_id: None,
         });
         tenants.push((id, sk));
     }

@@ -6,8 +6,8 @@
 use hefv_core::prelude::*;
 use hefv_engine::wire::{
     decode_request, decode_response, encode_request, encode_request_for_shard, encode_response,
-    encode_response_from_shard, peek_response_shard, peek_shard, peek_tenant, ResponseFrame,
-    MAX_FRAME_BYTES, NO_SHARD,
+    encode_response_from_shard, peek_response_shard, peek_shard, peek_tenant, peek_trace_id,
+    ResponseFrame, MAX_FRAME_BYTES, NO_SHARD,
 };
 use hefv_engine::{EngineError, EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
 use proptest::prelude::*;
@@ -37,7 +37,7 @@ fn is_wire_err(e: &EngineError) -> bool {
 
 /// Builds a structurally valid random request: every op references only
 /// earlier values, plaintext/rotation indices stay in range; one request
-/// in three carries a deadline.
+/// in three carries a deadline, one in two a trace id.
 fn random_request(seed: u64, n_inputs: usize, n_plain: usize, n_ops: usize) -> EvalRequest {
     let f = fix();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -78,12 +78,14 @@ fn random_request(seed: u64, n_inputs: usize, n_plain: usize, n_ops: usize) -> E
         ops.push(op);
     }
     let deadline_us = (seed.is_multiple_of(3)).then(|| (seed % 100_000) as f64 / 3.0);
+    let trace_id = (seed.is_multiple_of(2)).then(|| seed.rotate_left(17) ^ 0xA5A5_A5A5);
     EvalRequest {
         tenant: rng.gen_range(0..u64::MAX),
         inputs,
         plaintexts,
         ops,
         deadline_us,
+        trace_id,
     }
 }
 
@@ -96,6 +98,8 @@ proptest! {
         let req = random_request(seed, n_inputs, n_plain, n_ops);
         prop_assume!(req.validate(&f.ctx).is_ok());
         let bytes = encode_request(&req);
+        // The header peek sees the same trace id the decoder reconstructs.
+        prop_assert_eq!(peek_trace_id(&bytes).unwrap(), req.trace_id);
         let back = decode_request(&f.ctx, &bytes).unwrap();
         prop_assert_eq!(&back, &req);
         // The embedded ciphertexts survive intact: decrypt one.
@@ -111,6 +115,7 @@ proptest! {
         let routed = encode_request_for_shard(&req, shard);
         prop_assert_eq!(peek_shard(&routed).unwrap(), Some(shard));
         prop_assert_eq!(peek_tenant(&routed).unwrap(), req.tenant);
+        prop_assert_eq!(peek_trace_id(&routed).unwrap(), req.trace_id);
         // The shard address is transport metadata: the decoded request is
         // identical however the frame was addressed.
         prop_assert_eq!(decode_request(&f.ctx, &routed).unwrap(), req);

@@ -119,6 +119,29 @@ impl Client {
         self.recv_reply_for(corr)
     }
 
+    /// Scrapes the server's `HEVS` admin endpoint: the Prometheus-text
+    /// metrics exposition ([`wire::StatsKind::Metrics`]) or the trace
+    /// span dump ([`wire::StatsKind::Traces`]). Served synchronously by
+    /// the poll thread, so it works even while every shard queue is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; `InvalidData` when the reply is not a
+    /// well-formed `HEVS` response of the requested kind.
+    pub fn scrape_stats(&mut self, kind: wire::StatsKind) -> io::Result<String> {
+        let reply = self.call(&wire::encode_stats_request(kind))?;
+        let (got, body) = wire::decode_stats_response(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if got != kind {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("asked for {kind:?} stats, server answered {got:?}"),
+            ));
+        }
+        Ok(body)
+    }
+
     /// Half-closes the write side: tells the server no more requests are
     /// coming while replies to pipelined frames keep arriving.
     ///

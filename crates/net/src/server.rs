@@ -21,6 +21,13 @@
 //! error reply while the stream skips the oversized body and keeps
 //! serving, and connections idle past [`ServerConfig::idle_timeout`]
 //! with nothing pending are closed.
+//!
+//! `HEVS` admin frames ([`wire::is_stats_frame`]) are answered
+//! synchronously on the poll thread — a metrics scrape or trace dump
+//! never enters a shard queue, so observability stays available while
+//! the fleet is saturated. The metrics body is the router-wide
+//! Prometheus exposition ([`hefv_engine::render_prometheus`]) with the
+//! transport's own `hefv_net_*` counters appended.
 
 use crate::envelope::{self, CORR_BYTES, LEN_BYTES};
 use hefv_core::error::Error;
@@ -455,6 +462,20 @@ fn parse_frames(
         }
         let corr = envelope::read_corr(rest);
         let frame = &rest[LEN_BYTES + CORR_BYTES..LEN_BYTES + len];
+        if wire::is_stats_frame(frame) {
+            // Admin frames are answered inline on the poll thread: no
+            // shard queue, no worker — a scrape works even while every
+            // queue is full (that is when it matters most).
+            let reply = answer_stats(frame, router, stats);
+            conn.shared
+                .lock()
+                .unwrap()
+                .replies
+                .push_back(envelope::encode(corr, &reply));
+            stats.frames_in.fetch_add(1, Ordering::Relaxed);
+            off += LEN_BYTES + len;
+            continue;
+        }
         if !dispatch(conn, router, corr, frame) {
             // Shard queue full: keep the frame and retry next sweep.
             // This counts as liveness — a connection with admissible
@@ -525,6 +546,61 @@ fn dispatch(conn: &Conn, router: &Arc<ShardRouter>, corr: u64, frame: &[u8]) -> 
             true
         }
     }
+}
+
+/// Serves one `HEVS` admin frame synchronously: the merged router-wide
+/// metrics exposition (with transport counters appended) or the trace
+/// dump. Malformed admin frames get an ordinary error reply under the
+/// same corr id, so a confused client is told rather than hung.
+fn answer_stats(frame: &[u8], router: &Arc<ShardRouter>, stats: &Arc<NetStats>) -> Vec<u8> {
+    match wire::decode_stats_request(frame) {
+        Ok(wire::StatsKind::Metrics) => {
+            let mut body = hefv_engine::render_prometheus(&router.stats());
+            render_net_metrics(&mut body, &stats.snapshot());
+            wire::encode_stats_response(wire::StatsKind::Metrics, &body)
+        }
+        Ok(wire::StatsKind::Traces) => {
+            wire::encode_stats_response(wire::StatsKind::Traces, &router.render_traces())
+        }
+        Err(e) => wire::encode_response(&Err((u64::MAX, e))),
+    }
+}
+
+/// Appends the transport's own counter families to a metrics body, in
+/// the same Prometheus text grammar the engine exposition uses. Lives
+/// here (not in `hefv-engine`) so the engine stays net-independent.
+fn render_net_metrics(out: &mut String, s: &NetStatsSnapshot) {
+    use std::fmt::Write;
+    let mut family = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    family(
+        "hefv_net_connections_total",
+        "Connections accepted by the TCP front-end.",
+        s.connections,
+    );
+    family(
+        "hefv_net_connections_refused_total",
+        "Connections refused at the connection cap.",
+        s.connections_refused,
+    );
+    family(
+        "hefv_net_frames_in_total",
+        "Complete request frames read off sockets.",
+        s.frames_in,
+    );
+    family(
+        "hefv_net_frames_rejected_total",
+        "Frames refused before reaching the router (oversized).",
+        s.frames_rejected,
+    );
+    family(
+        "hefv_net_replies_out_total",
+        "Reply envelopes fully written back.",
+        s.replies_out,
+    );
 }
 
 /// Flushes the write queue as far as the socket allows.

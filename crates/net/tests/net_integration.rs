@@ -356,6 +356,15 @@ fn tiny_shard_queue_backpressure_loses_nothing() {
         assert!(seen.insert(corr));
         assert_eq!(expect_ok(&ctx, &tenant.sk, &reply), expected[&corr]);
     }
+    // Every refused dispatch attempt is *counted*, not silently undone:
+    // a 2-deep queue under a 48-frame burst must have turned work away
+    // at least once, even though every frame eventually ran.
+    let fleet = router.stats();
+    assert!(
+        fleet.total.jobs_rejected > 0,
+        "a 2-deep queue absorbed a 48-frame burst without one refusal"
+    );
+    assert_eq!(fleet.total.jobs_completed, 48);
     server.shutdown();
     router.shutdown();
 }
@@ -389,6 +398,7 @@ fn shutdown_drains_jobs_in_flight() {
         plaintexts: vec![],
         ops,
         deadline_us: None,
+        trace_id: None,
     };
     let frame = wire::encode_request(&req);
     let mut corrs = HashSet::new();
@@ -415,6 +425,83 @@ fn shutdown_drains_jobs_in_flight() {
         }
     }
     assert_eq!(seen, corrs);
+    router.shutdown();
+}
+
+/// The `HEVS` admin route end to end: after real load, a metrics scrape
+/// over the same connection returns a parseable Prometheus exposition
+/// with the engine, tenant, shard and transport families, and a trace
+/// scrape returns spans whose trace ids are exactly the ones the client
+/// stamped into its request envelopes.
+#[test]
+fn hevs_scrape_returns_metrics_and_matching_trace_ids() {
+    const FRAMES: u64 = 16;
+    let (ctx, router) = toy_router(2, 64);
+    let tenant = onboard(&ctx, &router, 9, 31);
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&router), ServerConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    let t = ctx.params().t;
+    let n = ctx.params().n;
+    let enc = |v, rng: &mut StdRng| encrypt(&ctx, &tenant.pk, &Plaintext::new(vec![v], t, n), rng);
+    let mut sent_ids = HashSet::new();
+    for f in 0..FRAMES {
+        let trace_id = 0xD00D_0000 + f;
+        sent_ids.insert(trace_id);
+        let req = EvalRequest::binary(tenant.id, EvalOp::Add, enc(f, &mut rng), enc(1, &mut rng))
+            .with_trace_id(trace_id);
+        let reply = client.call(&wire::encode_request(&req)).unwrap();
+        assert_eq!(expect_ok(&ctx, &tenant.sk, &reply), (f + 1) % t);
+    }
+
+    let metrics = client.scrape_stats(wire::StatsKind::Metrics).unwrap();
+    for family in [
+        "hefv_jobs_submitted_total",
+        "hefv_jobs_completed_total",
+        "hefv_op_latency_seconds",
+        "hefv_backend_latency_seconds",
+        "hefv_queue_wait_seconds",
+        "hefv_tenant_requests_total",
+        "hefv_shard_up",
+        "hefv_net_connections_total",
+        "hefv_net_replies_out_total",
+    ] {
+        assert!(metrics.contains(family), "missing family {family}");
+    }
+    for q in ["quantile=\"0.5\"", "quantile=\"0.95\"", "quantile=\"0.99\""] {
+        assert!(metrics.contains(q), "missing {q} in exposition");
+    }
+    assert!(
+        metrics.contains("hefv_tenant_requests_total{tenant=\"9\"} 16"),
+        "per-tenant accounting missing from the scrape"
+    );
+
+    // Every trace id the dump mentions is one this client stamped, and
+    // at least one request is actually in the (large enough) ring.
+    let traces = client.scrape_stats(wire::StatsKind::Traces).unwrap();
+    let mut matched = 0u64;
+    for line in traces.lines().filter(|l| !l.starts_with('#')) {
+        let token = line
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("trace=0x"))
+            .unwrap_or_else(|| panic!("span line without a trace id: {line}"));
+        let id = u64::from_str_radix(token, 16).unwrap();
+        assert!(
+            sent_ids.contains(&id),
+            "span with an id nobody sent: {line}"
+        );
+        matched += 1;
+    }
+    assert_eq!(
+        matched, FRAMES,
+        "every request fits the default ring, so every span must show"
+    );
+    server.shutdown();
     router.shutdown();
 }
 

@@ -72,6 +72,7 @@ fn main() -> Result<(), String> {
                     EvalOp::Add(ValRef::Op(0), ValRef::Input(2)),
                 ],
                 deadline_us: None,
+                trace_id: None,
             };
             expected.push((tenant.id, (a * b + c) % t));
             handles.push(engine.submit(req).map_err(String::from)?);

@@ -91,6 +91,7 @@ fn main() -> Result<(), String> {
                 EvalOp::Rotate(ValRef::Op(0), 3),
             ],
             deadline_us: None,
+            trace_id: None,
         };
         expected.push((tenant.id, 5));
         handles.push(router.submit(req).map_err(String::from)?);

@@ -3,11 +3,19 @@
 //! A four-shard router is served over TCP by `hefv_net::NetServer`; four
 //! client threads (one tenant each, every tenant hashing to a distinct
 //! shard) pipeline 256 encrypted additions apiece through one connection
-//! each, half-close, and collect replies in completion order. The
-//! process exits non-zero if any frame is lost, duplicated, misrouted
-//! (reply stamped with the wrong shard), or decrypts to the wrong value.
+//! each, half-close, and collect replies in completion order. Every
+//! request envelope carries a deterministic trace id. The process exits
+//! non-zero if any frame is lost, duplicated, misrouted (reply stamped
+//! with the wrong shard), or decrypts to the wrong value — and then
+//! exercises the `HEVS` admin route: a metrics scrape must return a
+//! Prometheus exposition with the expected families and quantiles, and
+//! a trace scrape must return spans whose ids are exactly the ones the
+//! clients stamped.
 //!
 //! Run with: `cargo run --release --example tcp_service`
+//!
+//! Pass `--metrics` to dump the scraped exposition between
+//! `=== HEVS metrics ===` / `=== end ===` markers (what CI parses).
 
 use hefv::core::prelude::*;
 use hefv::engine::prelude::*;
@@ -23,7 +31,14 @@ const SHARDS: usize = 4;
 const CLIENTS: u64 = 4;
 const FRAMES_PER_CLIENT: u64 = 256;
 
+/// Deterministic trace id for client `i`, frame `f` — recognizable in a
+/// span dump and reproducible by the validator below.
+fn trace_id(i: u64, f: u64) -> u64 {
+    0x7C00_0000_0000_0000 | (i << 32) | f
+}
+
 fn main() -> Result<(), String> {
+    let dump_metrics = std::env::args().any(|a| a == "--metrics");
     let ctx = Arc::new(FvContext::new(FvParams::insecure_toy())?);
     let t = ctx.params().t;
     let n = ctx.params().n;
@@ -95,7 +110,8 @@ fn main() -> Result<(), String> {
                         EvalOp::Add,
                         enc(a, &mut rng),
                         enc(b, &mut rng),
-                    );
+                    )
+                    .with_trace_id(trace_id(i as u64, f));
                     // Every fourth frame is explicitly addressed to the
                     // tenant's home shard; the rest let the router place it.
                     let frame = if f % 4 == 0 {
@@ -151,18 +167,10 @@ fn main() -> Result<(), String> {
             .map_err(|e| format!("client {i}: {e}"))?;
     }
 
+    // Transport and fleet invariants, snapshotted before the admin
+    // scrapes add their own frames to the counters.
     let net = server.stats();
     let fleet = router.stats();
-    println!(
-        "{} frames in, {} replies out over {} connections",
-        net.frames_in, net.replies_out, net.connections
-    );
-    for s in &fleet.per_shard {
-        println!(
-            "shard {} ({}): {} jobs",
-            s.id, s.name, s.stats.jobs_completed
-        );
-    }
     let total = CLIENTS * FRAMES_PER_CLIENT;
     assert_eq!(net.frames_in, total, "server read every frame");
     assert_eq!(net.replies_out, total, "every reply was written");
@@ -174,9 +182,92 @@ fn main() -> Result<(), String> {
             s.id
         );
     }
+    println!(
+        "{} frames in, {} replies out over {} connections",
+        net.frames_in, net.replies_out, net.connections
+    );
+
+    // The HEVS admin route, over the same TCP protocol as the workload.
+    let mut admin = Client::connect(addr).map_err(|e| e.to_string())?;
+    let metrics = admin
+        .scrape_stats(wire::StatsKind::Metrics)
+        .map_err(|e| e.to_string())?;
+    for family in [
+        "hefv_jobs_submitted_total",
+        "hefv_jobs_completed_total",
+        "hefv_jobs_rejected_total",
+        "hefv_op_latency_seconds",
+        "hefv_backend_latency_seconds",
+        "hefv_queue_wait_seconds",
+        "hefv_tenant_requests_total",
+        "hefv_shard_up",
+        "hefv_shard_op_latency_seconds",
+        "hefv_net_connections_total",
+        "hefv_net_replies_out_total",
+    ] {
+        assert!(metrics.contains(family), "scrape missing family {family}");
+    }
+    for q in ["quantile=\"0.5\"", "quantile=\"0.95\"", "quantile=\"0.99\""] {
+        assert!(metrics.contains(q), "scrape missing {q}");
+    }
+    if dump_metrics {
+        println!("=== HEVS metrics ===");
+        print!("{metrics}");
+        println!("=== end ===");
+    }
+
+    // Every span the trace dump mentions must carry an id some client
+    // stamped — trace ids propagate end to end, never get reminted.
+    let sent: HashSet<u64> = (0..CLIENTS)
+        .flat_map(|i| (0..FRAMES_PER_CLIENT).map(move |f| trace_id(i, f)))
+        .collect();
+    let traces = admin
+        .scrape_stats(wire::StatsKind::Traces)
+        .map_err(|e| e.to_string())?;
+    let mut matched = 0u64;
+    for line in traces.lines().filter(|l| !l.starts_with('#')) {
+        let token = line
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("trace=0x"))
+            .ok_or_else(|| format!("span line without a trace id: {line}"))?;
+        let id = u64::from_str_radix(token, 16).map_err(|e| e.to_string())?;
+        if !sent.contains(&id) {
+            return Err(format!("span with an id nobody sent: {line}"));
+        }
+        matched += 1;
+    }
+    assert!(matched > 0, "trace scrape returned no spans");
+    println!("trace scrape: {matched} spans, all ids match sent envelopes");
+
+    // Percentile and per-tenant summary from the merged snapshot — the
+    // operator's view, not raw totals.
+    let s = 1.0 / 1e9;
+    for op in &fleet.total.per_op {
+        if op.count == 0 {
+            continue;
+        }
+        println!(
+            "op {:>9}: {:>5} jobs  p50 {:>9.6}s  p95 {:>9.6}s  p99 {:>9.6}s  max {:>9.6}s",
+            op.name,
+            op.count,
+            op.latency.quantile(0.5) as f64 * s,
+            op.latency.quantile(0.95) as f64 * s,
+            op.latency.quantile(0.99) as f64 * s,
+            op.max_ns as f64 * s,
+        );
+    }
+    for tn in &fleet.total.per_tenant {
+        println!(
+            "tenant {:>3}: {:>5} requests  {:>9.6}s total latency  {:.3} noise bits",
+            tn.tenant,
+            tn.requests,
+            tn.latency_ns as f64 * s,
+            tn.noise_bits,
+        );
+    }
 
     server.shutdown();
     router.shutdown();
-    println!("net-smoke OK: {total} frames, exactly once, correctly stamped");
+    println!("net-smoke OK: {total} frames, exactly once, correctly stamped and traced");
     Ok(())
 }
