@@ -534,6 +534,11 @@ fn sop_acc_wide(
 /// `u64` — sound by [`narrow_sop_ok`], including the fused `c0` seed — and
 /// reduces once with the single-word Barrett
 /// ([`hefv_math::zq::Modulus::reduce_u64`]).
+///
+/// The per-residue inner loop lives behind the
+/// [`hefv_math::dispatch`] kernel seam (`sop_narrow_row`), so the dot
+/// products run 4 digits per AVX2 lane where the hardware has them and
+/// fall back to the identical scalar accumulation otherwise.
 fn sop_acc_narrow(
     basis: &RnsBasis,
     digits32: &[u32],
@@ -548,30 +553,22 @@ fn sop_acc_narrow(
     debug_assert_eq!(digits32.len(), k * k * n);
     debug_assert_eq!(key.ksk0_narrow.len(), k * k * n);
     let table = perm.table();
+    let kernels = hefv_math::dispatch::kernels();
     for j in 0..k {
         let m = basis.modulus(j);
         let c0_row = c0_ntt.map(|c0| c0.row(j));
-        let a0 = acc0.row_mut(j);
-        let a1 = acc1.row_mut(j);
-        let base = j * n;
-        for t in 0..n {
-            let p = table[t] as usize;
-            let dl = &digits32[(base + p) * k..(base + p) * k + k];
-            let w0 = &key.ksk0_narrow[(base + t) * k..(base + t) * k + k];
-            let w1 = &key.ksk1_narrow[(base + t) * k..(base + t) * k + k];
-            let mut s0 = match c0_row {
-                Some(row) => row[p],
-                None => 0,
-            };
-            let mut s1 = 0u64;
-            for ((&d, &x0), &x1) in dl.iter().zip(w0).zip(w1) {
-                let d = d as u64;
-                s0 += d * x0 as u64;
-                s1 += d * x1 as u64;
-            }
-            a0[t] = m.add(a0[t], m.reduce_u64(s0));
-            a1[t] = m.add(a1[t], m.reduce_u64(s1));
-        }
+        let lo = j * n * k;
+        let hi = lo + n * k;
+        kernels.sop_narrow_row(
+            m,
+            table,
+            &digits32[lo..hi],
+            &key.ksk0_narrow[lo..hi],
+            &key.ksk1_narrow[lo..hi],
+            c0_row,
+            acc0.row_mut(j),
+            acc1.row_mut(j),
+        );
     }
 }
 

@@ -103,6 +103,52 @@ where
     });
 }
 
+/// Applies `f(first_row, span)` to contiguous multi-row **spans** of a
+/// flat limb-major buffer, splitting the rows into at most `budget`
+/// near-even contiguous chunks (each a whole number of rows). Unlike
+/// [`for_each_row_mut`] the callback sees many rows at once, which lets
+/// batched kernels — the dispatch seam's `ntt_forward_batch` /
+/// `ntt_inverse_batch` — keep SIMD lanes full across limbs instead of
+/// paying per-row dispatch. With `budget <= 1` the whole buffer is one
+/// span handled inline on the caller's thread.
+///
+/// # Panics
+///
+/// Panics if `n` does not divide `data.len()` (ragged rows).
+pub fn for_each_row_span_mut<F>(data: &mut [u64], n: usize, budget: usize, f: F)
+where
+    F: Fn(usize, &mut [u64]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        n > 0 && data.len().is_multiple_of(n),
+        "flat buffer not row-aligned"
+    );
+    let count = data.len() / n;
+    let workers = budget.max(1).min(count);
+    if workers == 1 {
+        f(0, data);
+        return;
+    }
+    let base = count / workers;
+    let rem = count % workers;
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut first = 0usize;
+        for w in 0..workers {
+            let rows = base + usize::from(w < rem);
+            let (span, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let start = first;
+            first += rows;
+            s.spawn(move || f(start, span));
+        }
+    });
+}
+
 /// Steps 1–3 of `Mult` fanned out over at most `budget` threads.
 pub fn tensor_threaded_with_budget(
     ctx: &FvContext,

@@ -275,10 +275,7 @@ impl RnsPoly {
         );
         let mut data = vec![0u64; self.data.len()];
         for_each_row_mut(&mut data, self.n, budget, |i, row| {
-            let m = basis.modulus(i);
-            for ((d, &a), &b) in row.iter_mut().zip(self.row(i)).zip(other.row(i)) {
-                *d = m.mul(a, b);
-            }
+            basis.modulus(i).mul_slice(self.row(i), other.row(i), row);
         });
         RnsPoly {
             data,
@@ -304,11 +301,8 @@ impl RnsPoly {
         );
         let n = self.n;
         for i in 0..self.k {
-            let m = *basis.modulus(i);
             let dst = &mut self.data[i * n..(i + 1) * n];
-            for (d, &b) in dst.iter_mut().zip(other.row(i)) {
-                *d = m.mul(*d, b);
-            }
+            basis.modulus(i).mul_slice_assign(dst, other.row(i));
         }
     }
 
@@ -332,11 +326,8 @@ impl RnsPoly {
         out.domain = Domain::Ntt;
         let n = self.n;
         for i in 0..self.k {
-            let m = *basis.modulus(i);
             let dst = &mut out.data[i * n..(i + 1) * n];
-            for ((d, &a), &b) in dst.iter_mut().zip(self.row(i)).zip(other.row(i)) {
-                *d = m.mul(a, b);
-            }
+            basis.modulus(i).mul_slice(self.row(i), other.row(i), dst);
         }
     }
 
@@ -400,10 +391,7 @@ impl RnsPoly {
         assert_eq!(a.domain, Domain::Ntt);
         let n = self.n;
         for_each_row_mut(&mut self.data, n, budget, |i, row| {
-            let m = basis.modulus(i);
-            for ((d, &x), &y) in row.iter_mut().zip(a.row(i)).zip(b.row(i)) {
-                *d = m.mul_add(x, y, *d);
-            }
+            basis.modulus(i).mul_acc_slice(a.row(i), b.row(i), row);
         });
     }
 
@@ -438,8 +426,10 @@ impl RnsPoly {
     }
 
     /// Forward NTT with residue rows fanned out over at most `budget` OS
-    /// threads — one row per task, mirroring the paper's one-RPAU-per-prime
-    /// distribution.
+    /// threads — contiguous row *spans* per task (the paper's
+    /// one-RPAU-per-prime distribution), handed to the dispatch seam's
+    /// batch entry so same-size transforms across limbs share one kernel
+    /// selection and keep SIMD lanes full.
     ///
     /// # Panics
     ///
@@ -447,8 +437,10 @@ impl RnsPoly {
     pub fn ntt_forward_with_budget(&mut self, tables: &[NttTable], budget: usize) {
         assert_eq!(self.domain, Domain::Coefficient, "already in NTT domain");
         assert_eq!(tables.len(), self.k, "table count mismatch");
-        for_each_row_mut(&mut self.data, self.n, budget, |i, row| {
-            tables[i].forward(row);
+        let n = self.n;
+        let kernels = hefv_math::dispatch::kernels();
+        crate::parallel::for_each_row_span_mut(&mut self.data, n, budget, |first, span| {
+            kernels.ntt_forward_batch(&tables[first..first + span.len() / n], span);
         });
         self.domain = Domain::Ntt;
     }
@@ -471,8 +463,10 @@ impl RnsPoly {
     pub fn ntt_inverse_with_budget(&mut self, tables: &[NttTable], budget: usize) {
         assert_eq!(self.domain, Domain::Ntt, "already in coefficient domain");
         assert_eq!(tables.len(), self.k, "table count mismatch");
-        for_each_row_mut(&mut self.data, self.n, budget, |i, row| {
-            tables[i].inverse(row);
+        let n = self.n;
+        let kernels = hefv_math::dispatch::kernels();
+        crate::parallel::for_each_row_span_mut(&mut self.data, n, budget, |first, span| {
+            kernels.ntt_inverse_batch(&tables[first..first + span.len() / n], span);
         });
         self.domain = Domain::Coefficient;
     }

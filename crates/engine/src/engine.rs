@@ -546,6 +546,11 @@ fn worker_loop(shared: &Shared, worker: u32) {
     // The worker's scratch arena persists across jobs: after the first
     // few evaluations warm it up, the hot path allocates nothing.
     let worker_arena = Arena::new();
+    // Occupancy last folded into the engine gauges; after each job the
+    // delta to the current occupancy is reported (see
+    // `EngineStats::on_arena`), so the gauges sum every worker's live
+    // pool without a registry of arenas.
+    let mut reported = worker_arena.stats();
     while let Some((job, level)) = shared.queue.pop_labeled() {
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         shared.stats.on_dequeue(queue_ns, level);
@@ -633,6 +638,9 @@ fn worker_loop(shared: &Shared, worker: u32) {
                 worker_arena.recycle_ciphertext(ct);
             }
         }
+        let now = worker_arena.stats();
+        shared.stats.on_arena(&reported, &now);
+        reported = now;
     }
 }
 

@@ -153,14 +153,27 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
-    /// The estimated `q`-quantile (`0.0 ..= 1.0`) of the recorded values:
-    /// the representative value of the bucket containing the ⌈q·count⌉-th
-    /// sample, clamped to the exact max. Returns 0 when empty.
+    /// The estimated `q`-quantile of the recorded values: the
+    /// representative value of the bucket containing the ⌈q·count⌉-th
+    /// sample, clamped to the exact max.
+    ///
+    /// Edge cases are pinned (and covered in `tests/stats_merge.rs`):
+    /// * **empty histogram** → `0`, whatever `q` is;
+    /// * **`q <= 0`** (including `-inf`) → the first sample's bucket
+    ///   value, i.e. the smallest quantile the bucketing can resolve;
+    /// * **`q >= 1`** (including `+inf`) → the **exact** recorded
+    ///   maximum, not a bucket representative;
+    /// * **`NaN`** → treated as `q = 0` (never panics, never yields a
+    ///   garbage bucket).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -249,12 +262,16 @@ fn summary(out: &mut String, name: &str, labels: &[(&str, &str)], h: &HistogramS
 }
 
 /// Jobs admitted but not yet finished or queued: `submitted − completed −
-/// failed − queue_depth`, clamped at 0 against racy snapshots.
+/// failed − queue_depth`, clamped at 0 against racy snapshots. The sum is
+/// computed once in signed arithmetic and clamped at the end — clamping
+/// between terms would make the result depend on subtraction order when a
+/// racy snapshot undercounts `submitted`.
 fn inflight(s: &StatsSnapshot) -> u64 {
-    s.jobs_submitted
-        .saturating_sub(s.jobs_completed)
-        .saturating_sub(s.jobs_failed)
-        .saturating_sub(s.queue_depth)
+    (s.jobs_submitted as i128
+        - s.jobs_completed as i128
+        - s.jobs_failed as i128
+        - s.queue_depth as i128)
+        .max(0) as u64
 }
 
 /// Renders the merged fleet snapshot plus a per-shard health block as
@@ -353,6 +370,11 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
             "Estimated noise bits consumed",
             t.noise_bits_consumed,
         ),
+        (
+            "hefv_arena_dropped_total",
+            "Scratch-arena returns dropped by a pool high-water mark",
+            t.arena_dropped as f64,
+        ),
     ] {
         header(out, name, help, "counter");
         line(out, name, &[], v);
@@ -372,6 +394,30 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
         "gauge",
     );
     line(out, "hefv_jobs_inflight", &[], inflight(t) as f64);
+    header(
+        out,
+        "hefv_arena_pooled_buffers",
+        "Scratch buffers pooled across worker arenas (fleet)",
+        "gauge",
+    );
+    line(
+        out,
+        "hefv_arena_pooled_buffers",
+        &[],
+        t.arena_pooled_buffers as f64,
+    );
+    header(
+        out,
+        "hefv_arena_pooled_bytes",
+        "Bytes of scratch capacity pooled across worker arenas (fleet)",
+        "gauge",
+    );
+    line(
+        out,
+        "hefv_arena_pooled_bytes",
+        &[],
+        t.arena_pooled_bytes as f64,
+    );
 
     header(
         out,

@@ -82,6 +82,12 @@ pub struct EngineStats {
     ntt_mus: AtomicU64,
     /// Model-attributed Lift/Scale basis-conversion µs ×1000.
     basis_conv_mus: AtomicU64,
+    /// Scratch-arena occupancy gauges, summed over workers (each worker
+    /// reports two's-complement deltas; see [`EngineStats::on_arena`]).
+    arena_pooled_buffers: AtomicU64,
+    arena_pooled_bytes: AtomicU64,
+    /// Arena returns dropped by a pool high-water mark (monotonic).
+    arena_dropped: AtomicU64,
 }
 
 impl EngineStats {
@@ -132,6 +138,30 @@ impl EngineStats {
             .fetch_add((ntt_us.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
         self.basis_conv_mus
             .fetch_add((basis_conv_us.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Folds one worker arena's occupancy change into the engine-wide
+    /// gauges. Each worker remembers the [`hefv_core::scratch::ArenaStats`]
+    /// it last reported and passes `(previous, current)`; the gauge adds
+    /// the two's-complement difference, so the engine totals stay the sum
+    /// of every worker's *current* occupancy no matter how reports
+    /// interleave (a shrinking pool wraps negative and the sum still
+    /// comes out right).
+    pub fn on_arena(
+        &self,
+        prev: &hefv_core::scratch::ArenaStats,
+        now: &hefv_core::scratch::ArenaStats,
+    ) {
+        self.arena_pooled_buffers.fetch_add(
+            now.pooled_buffers.wrapping_sub(prev.pooled_buffers),
+            Ordering::Relaxed,
+        );
+        self.arena_pooled_bytes.fetch_add(
+            now.pooled_bytes.wrapping_sub(prev.pooled_bytes),
+            Ordering::Relaxed,
+        );
+        self.arena_dropped
+            .fetch_add(now.dropped.wrapping_sub(prev.dropped), Ordering::Relaxed);
     }
 
     /// A job failed (after validation, i.e. at execution time).
@@ -271,6 +301,9 @@ impl EngineStats {
             jobs_hps: self.jobs_hps.load(Ordering::Relaxed),
             ntt_us: self.ntt_mus.load(Ordering::Relaxed) as f64 / 1000.0,
             basis_conv_us: self.basis_conv_mus.load(Ordering::Relaxed) as f64 / 1000.0,
+            arena_pooled_buffers: self.arena_pooled_buffers.load(Ordering::Relaxed),
+            arena_pooled_bytes: self.arena_pooled_bytes.load(Ordering::Relaxed),
+            arena_dropped: self.arena_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -372,6 +405,12 @@ pub struct StatsSnapshot {
     pub ntt_us: f64,
     /// Model-attributed `Lift`/`Scale` basis-conversion time, µs.
     pub basis_conv_us: f64,
+    /// Scratch buffers currently pooled across worker arenas (gauge).
+    pub arena_pooled_buffers: u64,
+    /// Bytes of backing capacity pooled across worker arenas (gauge).
+    pub arena_pooled_bytes: u64,
+    /// Arena returns dropped by a pool high-water mark (monotonic).
+    pub arena_dropped: u64,
 }
 
 impl StatsSnapshot {
@@ -404,6 +443,9 @@ impl StatsSnapshot {
             jobs_hps,
             ntt_us,
             basis_conv_us,
+            arena_pooled_buffers,
+            arena_pooled_bytes,
+            arena_dropped,
         } = other;
         for (mine, theirs) in self.per_op.iter_mut().zip(per_op) {
             debug_assert_eq!(mine.name, theirs.name, "OP_KINDS order is fixed");
@@ -449,6 +491,9 @@ impl StatsSnapshot {
         self.jobs_hps += jobs_hps;
         self.ntt_us += ntt_us;
         self.basis_conv_us += basis_conv_us;
+        self.arena_pooled_buffers += arena_pooled_buffers;
+        self.arena_pooled_bytes += arena_pooled_bytes;
+        self.arena_dropped += arena_dropped;
     }
 
     /// Every scalar the snapshot carries, flattened to `(name, value,
@@ -479,6 +524,9 @@ impl StatsSnapshot {
             jobs_hps,
             ntt_us,
             basis_conv_us,
+            arena_pooled_buffers,
+            arena_pooled_bytes,
+            arena_dropped,
         } = self;
         let mut out: Vec<(String, f64, Fold)> = Vec::new();
         for op in per_op {
@@ -564,6 +612,13 @@ impl StatsSnapshot {
             ("jobs_hps", *jobs_hps as f64, Fold::Add),
             ("ntt_us", *ntt_us, Fold::Add),
             ("basis_conv_us", *basis_conv_us, Fold::Add),
+            (
+                "arena_pooled_buffers",
+                *arena_pooled_buffers as f64,
+                Fold::Add,
+            ),
+            ("arena_pooled_bytes", *arena_pooled_bytes as f64, Fold::Add),
+            ("arena_dropped", *arena_dropped as f64, Fold::Add),
         ] {
             out.push((name.into(), v, fold));
         }
@@ -718,6 +773,30 @@ mod tests {
     }
 
     #[test]
+    fn arena_gauges_follow_worker_deltas() {
+        use hefv_core::scratch::ArenaStats;
+        let s = EngineStats::default();
+        let grown = ArenaStats {
+            pooled_buffers: 3,
+            pooled_bytes: 300,
+            dropped: 0,
+        };
+        let shrunk = ArenaStats {
+            pooled_buffers: 1,
+            pooled_bytes: 100,
+            dropped: 2,
+        };
+        s.on_arena(&ArenaStats::default(), &grown);
+        // Shrinking reports wrap negative and the gauge still lands on
+        // the worker's current occupancy.
+        s.on_arena(&grown, &shrunk);
+        let snap = s.snapshot();
+        assert_eq!(snap.arena_pooled_buffers, 1);
+        assert_eq!(snap.arena_pooled_bytes, 100);
+        assert_eq!(snap.arena_dropped, 2);
+    }
+
+    #[test]
     fn tenant_table_caps_and_overflows() {
         let s = EngineStats::default();
         for t in 0..(MAX_TENANT_CELLS as u64 + 10) {
@@ -763,6 +842,14 @@ mod tests {
         s.on_slow();
         s.on_batch(3);
         s.on_tenant(42, 2000, 1.25);
+        s.on_arena(
+            &hefv_core::scratch::ArenaStats::default(),
+            &hefv_core::scratch::ArenaStats {
+                pooled_buffers: 2,
+                pooled_bytes: 1024,
+                dropped: 1,
+            },
+        );
 
         let snap = s.snapshot();
         let before = snap.audit_fields();

@@ -74,6 +74,16 @@ fn replay(stats: &EngineStats, seed: u64, events: usize) {
         if rng.gen_bool(0.05) {
             stats.on_slow();
         }
+        if rng.gen_bool(0.2) {
+            // Arena occupancy deltas (always reported as prev → now).
+            let prev = hefv_core::scratch::ArenaStats::default();
+            let now = hefv_core::scratch::ArenaStats {
+                pooled_buffers: rng.gen_range(1..8u64),
+                pooled_bytes: rng.gen_range(64..4096u64),
+                dropped: rng.gen_range(0..3u64),
+            };
+            stats.on_arena(&prev, &now);
+        }
     }
 }
 
@@ -198,4 +208,98 @@ fn concurrent_recording_loses_no_events() {
         assert_eq!(t.requests, EVENTS);
         assert_eq!(t.latency_ns, per_thread);
     }
+}
+
+/// Pins the `HistogramSnapshot::quantile` edge-case contract: empty
+/// histograms, out-of-range `q` (both sides, including infinities), and
+/// `NaN` all return defined values — never a panic, never a garbage
+/// bucket.
+#[test]
+fn quantile_edge_case_contract() {
+    use hefv_engine::{Histogram, HistogramSnapshot};
+
+    let empty = HistogramSnapshot::default();
+    for q in [
+        f64::NAN,
+        f64::NEG_INFINITY,
+        -1.0,
+        0.0,
+        0.5,
+        1.0,
+        2.0,
+        f64::INFINITY,
+    ] {
+        assert_eq!(empty.quantile(q), 0, "empty histogram, q={q}");
+    }
+
+    let h = Histogram::default();
+    for v in [5u64, 17, 1000, 12_345] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    // q <= 0 and NaN target the first sample (5 sits in an exact linear
+    // bucket, so the value is exact).
+    let floor = s.quantile(0.0);
+    assert_eq!(floor, 5);
+    assert_eq!(s.quantile(f64::NAN), floor, "NaN behaves as q = 0");
+    assert_eq!(s.quantile(-3.0), floor);
+    assert_eq!(s.quantile(f64::NEG_INFINITY), floor);
+    // q >= 1 returns the EXACT recorded max, not a bucket representative.
+    assert_eq!(s.quantile(1.0), 12_345);
+    assert_eq!(s.quantile(7.5), 12_345);
+    assert_eq!(s.quantile(f64::INFINITY), 12_345);
+    // Interior quantiles stay monotone between the pinned endpoints.
+    let (mut prev, qs) = (floor, [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]);
+    for q in qs {
+        let v = s.quantile(q);
+        assert!(v >= prev, "quantile not monotone at q={q}");
+        prev = v;
+    }
+}
+
+/// Regression for the in-flight gauge on adversarial (racy) snapshots:
+/// the signed sum `submitted − completed − failed − queue_depth` is
+/// computed once and clamped at the end, so a snapshot whose subtrahends
+/// overshoot in *any* combination renders 0 — and a consistent snapshot
+/// renders the exact difference.
+#[test]
+fn inflight_gauge_clamps_adversarial_snapshots() {
+    use hefv_engine::{render_prometheus, RouterStats};
+
+    let gauge = |snap: hefv_engine::StatsSnapshot| -> String {
+        let text = render_prometheus(&RouterStats {
+            per_shard: vec![],
+            total: snap,
+        });
+        text.lines()
+            .find(|l| l.starts_with("hefv_jobs_inflight "))
+            .expect("inflight gauge rendered")
+            .to_string()
+    };
+
+    // Adversarial: every subtrahend individually exceeds what chained
+    // clamping would leave (5 − 3 → 2, then −4 clamps, then −2 clamps).
+    let mut snap = EngineStats::default().snapshot();
+    snap.jobs_submitted = 5;
+    snap.jobs_completed = 3;
+    snap.jobs_failed = 4;
+    snap.queue_depth = 2;
+    assert_eq!(gauge(snap), "hefv_jobs_inflight 0");
+
+    // Worst case: all subtrahends huge, submitted tiny — the signed sum
+    // is deeply negative and must still clamp to 0, not wrap.
+    let mut snap = EngineStats::default().snapshot();
+    snap.jobs_submitted = 1;
+    snap.jobs_completed = u64::MAX;
+    snap.jobs_failed = u64::MAX;
+    snap.queue_depth = u64::MAX;
+    assert_eq!(gauge(snap), "hefv_jobs_inflight 0");
+
+    // Consistent snapshot: exact difference.
+    let mut snap = EngineStats::default().snapshot();
+    snap.jobs_submitted = 10;
+    snap.jobs_completed = 2;
+    snap.jobs_failed = 3;
+    snap.queue_depth = 1;
+    assert_eq!(gauge(snap), "hefv_jobs_inflight 4");
 }

@@ -19,6 +19,28 @@
 //!   base extension (`Lift q→Q`), traditional and HPS scaling (`Scale Q→q`).
 //! * [`fixed`] — the fixed-point reciprocal arithmetic the paper substitutes
 //!   for HPS's floating-point divisions (89-bit fractions).
+//! * [`dispatch`] — the runtime kernel seam: the NTT butterflies, the
+//!   pointwise products and the hoisted key-switch sum-of-products all
+//!   route through a per-process function table that picks AVX2 lane
+//!   implementations when the CPU has them (scalar fallback otherwise,
+//!   `HEFV_FORCE_SCALAR` / `HEFV_KERNEL` to override).
+//!
+//! # The kernel dispatch seam
+//!
+//! [`dispatch::kernels`] resolves once per process, in order: an explicit
+//! `HEFV_KERNEL=scalar|avx2` request, then `HEFV_FORCE_SCALAR`, then
+//! `is_x86_feature_detected!("avx2")`. Backend choice is unobservable
+//! except in speed: every dispatched kernel ends with an exact reduction
+//! to the canonical `[0, q)` representative, and since that representative
+//! is unique, any backend that computes congruent intermediates within its
+//! proven lane ranges produces **bit-identical** output. The AVX2 lanes
+//! (in the crate-private `simd` module) come in two widths — a narrow path
+//! for `q < 2^30` whose relaxed `[0, 4q)` values fit 32-bit `pmuludq`
+//! operands (the truncated Shoup constant `⌊w·2^32/q⌋` is just the high
+//! half of the stored 64-bit one, so no extra twiddle storage), and a wide
+//! path for any `q < 2^62` that evaluates the exact scalar formulas with
+//! 4×64-bit lanes. `tests/simd_equivalence.rs` property-tests bit-identity
+//! across both widths, including `[0, 4q)` extremes near `q = 2^62`.
 //!
 //! # Lazy-reduction range invariants
 //!
@@ -61,11 +83,14 @@
 //! ```
 
 pub mod bigint;
+pub mod dispatch;
 pub mod fixed;
 pub mod ntt;
 pub mod poly;
 pub mod primes;
 pub mod rns;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 pub mod zq;
 
 pub use bigint::UBig;

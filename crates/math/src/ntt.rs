@@ -284,17 +284,49 @@ impl NttTable {
         self.n_inv.w
     }
 
+    /// The forward twiddle ROM with Shoup constants (for the SIMD lanes).
+    #[inline]
+    pub(crate) fn psi_brev_table(&self) -> &[ShoupMul] {
+        &self.psi_brev
+    }
+
+    /// The inverse twiddle ROM with Shoup constants (for the SIMD lanes).
+    #[inline]
+    pub(crate) fn inv_psi_brev_table(&self) -> &[ShoupMul] {
+        &self.inv_psi_brev
+    }
+
+    /// `n^{-1}` with its Shoup constant (for the SIMD scaling pass).
+    #[inline]
+    pub(crate) fn n_inv_shoup(&self) -> ShoupMul {
+        self.n_inv
+    }
+
     /// Forward negacyclic NTT: natural-order input, bit-reversed output.
     ///
-    /// Runs the Harvey lazy-reduction butterflies (coefficients relaxed to
-    /// `[0, 4q)` between stages, one exact reduction pass at the end — see
-    /// the module docs for the invariants). Output is bit-identical to
-    /// [`NttTable::forward_strict`].
+    /// Routes through the process-wide [`crate::dispatch`] kernel table
+    /// (AVX2 lanes when the CPU has them, the scalar Harvey butterflies
+    /// otherwise). Every backend produces the same exactly reduced
+    /// `[0, q)` output, so the choice is unobservable apart from speed;
+    /// output is bit-identical to [`NttTable::forward_strict`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        crate::dispatch::kernels().ntt_forward(self, a);
+    }
+
+    /// Forward Harvey NTT, portable scalar implementation — the
+    /// dispatch table's fallback entry (coefficients relaxed to
+    /// `[0, 4q)` between stages, one exact reduction pass at the end —
+    /// see the module docs for the invariants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward_scalar(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         let q = self.modulus.value();
         let two_q = q << 1;
@@ -361,15 +393,27 @@ impl NttTable {
     /// Inverse negacyclic NTT: bit-reversed input, natural-order output,
     /// including the `n^{-1}` scaling.
     ///
-    /// Runs the Harvey lazy-reduction butterflies (coefficients stay in
-    /// `[0, 2q)` across stages; the strict `n^{-1}` Shoup product doubles
-    /// as the single final reduction). Output is bit-identical to
+    /// Routes through the process-wide [`crate::dispatch`] kernel table,
+    /// like [`NttTable::forward`]. Output is bit-identical to
     /// [`NttTable::inverse_strict`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        crate::dispatch::kernels().ntt_inverse(self, a);
+    }
+
+    /// Inverse Harvey NTT, portable scalar implementation — the
+    /// dispatch table's fallback entry (coefficients stay in `[0, 2q)`
+    /// across stages; the strict `n^{-1}` Shoup product doubles as the
+    /// single final reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse_scalar(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         let q = self.modulus.value();
         let two_q = q << 1;

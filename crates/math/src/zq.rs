@@ -74,6 +74,14 @@ impl Modulus {
         64 - self.q.leading_zeros()
     }
 
+    /// `⌊(2^64−1)/q⌋` — exposed to the SIMD lanes so their vector
+    /// reduction evaluates the exact same Barrett formula as
+    /// [`Modulus::reduce_u64`].
+    #[inline(always)]
+    pub(crate) fn barrett_64(&self) -> u64 {
+        self.barrett_64
+    }
+
     /// Reduces a full 128-bit value modulo `q` (Barrett).
     #[inline]
     pub fn reduce_u128(&self, x: u128) -> u64 {
@@ -178,6 +186,42 @@ impl Modulus {
     pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
         debug_assert!(a < self.q && b < self.q && c < self.q);
         self.reduce_u128(a as u128 * b as u128 + c as u128)
+    }
+
+    /// Pointwise slice product `dst[i] = a[i]·b[i] mod q`, routed
+    /// through the [`crate::dispatch`] kernel seam (AVX2 lanes for
+    /// `q < 2^32`, the scalar Barrett path otherwise). Bit-identical to
+    /// calling [`Modulus::mul`] element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn mul_slice(&self, a: &[u64], b: &[u64], dst: &mut [u64]) {
+        crate::dispatch::kernels().pointwise_mul(self, a, b, dst)
+    }
+
+    /// In-place pointwise slice product `dst[i] = dst[i]·b[i] mod q`,
+    /// routed through the [`crate::dispatch`] kernel seam.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn mul_slice_assign(&self, dst: &mut [u64], b: &[u64]) {
+        crate::dispatch::kernels().pointwise_mul_assign(self, dst, b)
+    }
+
+    /// Pointwise multiply-accumulate `acc[i] = (a[i]·b[i] + acc[i]) mod
+    /// q`, routed through the [`crate::dispatch`] kernel seam.
+    /// Bit-identical to calling [`Modulus::mul_add`] element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[inline]
+    pub fn mul_acc_slice(&self, a: &[u64], b: &[u64], acc: &mut [u64]) {
+        crate::dispatch::kernels().pointwise_mul_acc(self, a, b, acc)
     }
 
     /// Modular exponentiation `base^exp mod q` by square-and-multiply.
@@ -338,6 +382,9 @@ impl SlidingWindowTable {
 /// multiplications and one conditional subtraction. This is the software
 /// analogue of the paper's fully pipelined twiddle multiplier (Fig. 4), where
 /// the twiddle factor comes from ROM together with its precomputed constant.
+// `repr(C)` pins the (w, w_shoup) field order so the SIMD twiddle loads
+// can read pairs of table entries as four consecutive `u64` lanes.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShoupMul {
     /// The multiplicand `w`.

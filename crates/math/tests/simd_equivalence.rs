@@ -1,0 +1,212 @@
+//! Bit-identity of the AVX2 kernel table against the scalar fallback.
+//!
+//! Every dispatched kernel ends with an exact reduction to the canonical
+//! `[0, q)` representative, so the SIMD and scalar paths must agree
+//! **bit-for-bit** — not just mod q. These tests compare the two tables
+//! directly via `dispatch::scalar_kernels()` / `dispatch::avx2_kernels()`,
+//! independently of which one the process-wide `HEFV_FORCE_SCALAR` /
+//! `HEFV_KERNEL` selection installed, so the suite is meaningful under
+//! both settings of the CI matrix (on non-AVX2 hardware the comparisons
+//! skip and only the scalar self-checks remain).
+//!
+//! Coverage deliberately includes both dispatch widths: moduli from 20
+//! bits (narrow `pmuludq` path, `q < 2^30`), through the pointwise
+//! narrow/wide boundary at `2^32`, up to the largest admissible primes
+//! just under `2^62` (wide path), with inputs relaxed across the full
+//! Harvey lazy range `[0, 4q)` for the forward transform and `[0, 2q)`
+//! for the inverse.
+
+use hefv_math::dispatch::{self, Kernels};
+use hefv_math::ntt::NttTable;
+use hefv_math::primes::ntt_prime;
+use hefv_math::zq::Modulus;
+use proptest::prelude::*;
+
+fn both_tables() -> Option<(&'static Kernels, &'static Kernels)> {
+    dispatch::avx2_kernels().map(|avx2| (dispatch::scalar_kernels(), avx2))
+}
+
+/// Deterministic fill of `len` values in `[0, bound)` from a seed.
+fn fill(seed: u64, len: usize, bound: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % bound
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ntt_bit_identical_across_widths(
+        bits in 20u32..=62,
+        log_n in 4u32..=12,
+        seed in any::<u64>(),
+    ) {
+        let Some((scalar, avx2)) = both_tables() else { return Ok(()); };
+        let n = 1usize << log_n;
+        let Some(q) = ntt_prime(bits, n, 0) else { return Ok(()); };
+        let table = NttTable::new(Modulus::new(q), n).unwrap();
+
+        // Forward accepts the relaxed Harvey range [0, 4q) — min with
+        // 2^64 for the largest moduli where 4q wraps.
+        let relaxed = (4u128 * q as u128).min(u128::from(u64::MAX) + 1) as u64;
+        let input = fill(seed, n, relaxed.max(1));
+        let (mut a, mut b) = (input.clone(), input.clone());
+        scalar.ntt_forward(&table, &mut a);
+        avx2.ntt_forward(&table, &mut b);
+        prop_assert_eq!(&a, &b, "forward q={} n={}", q, n);
+        prop_assert!(a.iter().all(|&x| x < q), "forward output not canonical");
+
+        // Inverse keeps values in [0, 2q); feed it the relaxed range too.
+        let input = fill(seed ^ 0xDEAD_BEEF, n, 2 * q);
+        let (mut a, mut b) = (input.clone(), input);
+        scalar.ntt_inverse(&table, &mut a);
+        avx2.ntt_inverse(&table, &mut b);
+        prop_assert_eq!(&a, &b, "inverse q={} n={}", q, n);
+        prop_assert!(a.iter().all(|&x| x < q), "inverse output not canonical");
+    }
+
+    #[test]
+    fn pointwise_bit_identical_across_widths(
+        bits in 20u32..=62,
+        len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let Some((scalar, avx2)) = both_tables() else { return Ok(()); };
+        // Pointwise operands are canonical [0, q); any odd modulus works.
+        let q = ntt_prime(bits, 8, 0).unwrap();
+        let m = Modulus::new(q);
+        let a = fill(seed, len, q);
+        let b = fill(seed ^ 0x5EED, len, q);
+        let acc = fill(seed ^ 0xACC, len, q);
+
+        let (mut d0, mut d1) = (vec![0u64; len], vec![0u64; len]);
+        scalar.pointwise_mul(&m, &a, &b, &mut d0);
+        avx2.pointwise_mul(&m, &a, &b, &mut d1);
+        prop_assert_eq!(&d0, &d1, "mul q={} len={}", q, len);
+
+        let (mut d0, mut d1) = (a.clone(), a.clone());
+        scalar.pointwise_mul_assign(&m, &mut d0, &b);
+        avx2.pointwise_mul_assign(&m, &mut d1, &b);
+        prop_assert_eq!(&d0, &d1, "mul_assign q={} len={}", q, len);
+
+        let (mut d0, mut d1) = (acc.clone(), acc);
+        scalar.pointwise_mul_acc(&m, &a, &b, &mut d0);
+        avx2.pointwise_mul_acc(&m, &a, &b, &mut d1);
+        prop_assert_eq!(&d0, &d1, "mul_acc q={} len={}", q, len);
+    }
+
+    #[test]
+    fn sop_bit_identical_across_digit_counts(
+        log_n in 2u32..=8,
+        k in 1usize..=9,
+        with_seed in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let Some((scalar, avx2)) = both_tables() else { return Ok(()); };
+        let n = 1usize << log_n;
+        // A 30-bit prime keeps k·(q−1)² + (q−1) < 2^64 for k ≤ 9 — the
+        // same no-overflow precondition `narrow_sop_ok` enforces upstream.
+        let q = ntt_prime(30, n, 0).unwrap();
+        let m = Modulus::new(q);
+        let digits: Vec<u32> = fill(seed, n * k, q).iter().map(|&v| v as u32).collect();
+        let ksk0: Vec<u32> = fill(seed ^ 0xF00D, n * k, q).iter().map(|&v| v as u32).collect();
+        let ksk1: Vec<u32> = fill(seed ^ 0xBEEF, n * k, q).iter().map(|&v| v as u32).collect();
+        let c0: Vec<u64> = fill(seed ^ 0xC0, n, q);
+        let c0_row = with_seed.then_some(c0.as_slice());
+        // An arbitrary permutation (index reversal) exercises the gather.
+        let perm: Vec<u32> = (0..n as u32).rev().collect();
+        let acc_init0 = fill(seed ^ 0xA0, n, q);
+        let acc_init1 = fill(seed ^ 0xA1, n, q);
+
+        let (mut s0, mut s1) = (acc_init0.clone(), acc_init1.clone());
+        scalar.sop_narrow_row(&m, &perm, &digits, &ksk0, &ksk1, c0_row, &mut s0, &mut s1);
+        let (mut v0, mut v1) = (acc_init0, acc_init1);
+        avx2.sop_narrow_row(&m, &perm, &digits, &ksk0, &ksk1, c0_row, &mut v0, &mut v1);
+        prop_assert_eq!(&s0, &v0, "sop acc0 n={} k={}", n, k);
+        prop_assert_eq!(&s1, &v1, "sop acc1 n={} k={}", n, k);
+    }
+}
+
+/// The `4q ≤ 2^64` invariant is tightest for the largest admissible
+/// moduli: pin bit-identity with every coefficient at the extreme ends
+/// of the relaxed range for a prime just below `2^62`.
+#[test]
+fn ntt_extremes_near_62_bit_bound() {
+    let Some((scalar, avx2)) = both_tables() else {
+        eprintln!("skipping: AVX2 not available on this CPU");
+        return;
+    };
+    for n in [16usize, 256, 4096] {
+        let q = ntt_prime(62, n, 0).unwrap();
+        assert!(q > (1 << 61), "expected a 62-bit prime");
+        let table = NttTable::new(Modulus::new(q), n).unwrap();
+        // Alternate the extremes of [0, 4q): 0, 4q−1, q−1, 2q, 2q−1, 3q...
+        let four_q_minus_1 = q.wrapping_mul(4).wrapping_sub(1); // 4q − 1 mod 2^64
+        let pattern = [0u64, four_q_minus_1, q - 1, 2 * q, 2 * q - 1, 3 * q, 1, q];
+        let input: Vec<u64> = (0..n).map(|i| pattern[i % pattern.len()]).collect();
+        let (mut a, mut b) = (input.clone(), input);
+        scalar.ntt_forward(&table, &mut a);
+        avx2.ntt_forward(&table, &mut b);
+        assert_eq!(a, b, "forward extremes q={q} n={n}");
+
+        let inv_pattern = [0u64, 2 * q - 1, q, q - 1, 1, 2 * q - 2];
+        let input: Vec<u64> = (0..n).map(|i| inv_pattern[i % inv_pattern.len()]).collect();
+        let (mut a, mut b) = (input.clone(), input);
+        scalar.ntt_inverse(&table, &mut a);
+        avx2.ntt_inverse(&table, &mut b);
+        assert_eq!(a, b, "inverse extremes q={q} n={n}");
+    }
+}
+
+/// The narrow/wide NTT boundary (`2^30`) and the narrow/wide pointwise
+/// boundary (`2^32`) both dispatch correctly: primes straddling each
+/// boundary agree with scalar and with the strict oracle.
+#[test]
+fn dispatch_width_boundaries() {
+    let Some((scalar, avx2)) = both_tables() else {
+        eprintln!("skipping: AVX2 not available on this CPU");
+        return;
+    };
+    let n = 64usize;
+    for bits in [29u32, 30, 31, 32, 33] {
+        let Some(q) = ntt_prime(bits, n, 0) else {
+            continue;
+        };
+        let table = NttTable::new(Modulus::new(q), n).unwrap();
+        let m = Modulus::new(q);
+        let input = fill(0x1234_5678 + bits as u64, n, q);
+        let (mut a, mut b, mut strict) = (input.clone(), input.clone(), input.clone());
+        scalar.ntt_forward(&table, &mut a);
+        avx2.ntt_forward(&table, &mut b);
+        table.forward_strict(&mut strict);
+        assert_eq!(a, b, "forward bits={bits}");
+        assert_eq!(a, strict, "forward vs strict bits={bits}");
+
+        let x = fill(0x9999 + bits as u64, n, q);
+        let (mut d0, mut d1) = (vec![0u64; n], vec![0u64; n]);
+        scalar.pointwise_mul(&m, &x, &input, &mut d0);
+        avx2.pointwise_mul(&m, &x, &input, &mut d1);
+        assert_eq!(d0, d1, "pointwise bits={bits}");
+    }
+}
+
+/// The process-wide selection honors the documented env-override order;
+/// whichever table is active, its output matches the scalar table.
+#[test]
+fn active_table_matches_scalar() {
+    let n = 256usize;
+    let q = ntt_prime(30, n, 0).unwrap();
+    let table = NttTable::new(Modulus::new(q), n).unwrap();
+    let input = fill(42, n, q);
+    let (mut active, mut scalar) = (input.clone(), input);
+    dispatch::kernels().ntt_forward(&table, &mut active);
+    dispatch::scalar_kernels().ntt_forward(&table, &mut scalar);
+    assert_eq!(active, scalar, "backend={}", dispatch::backend_name());
+}

@@ -11,6 +11,12 @@
 //!   visible so EXPERIMENTS.md can report both.
 //!
 //! All values are FPGA cycles; convert with [`crate::clock::ClockConfig`].
+//!
+//! The model is independent of the host's kernel backend: the cycle
+//! counts attribute time to the *coprocessor's* NTT/pointwise datapaths,
+//! so whether `hefv_math` dispatches to scalar or AVX2 kernels on the
+//! host only changes how fast the functional simulation runs, never the
+//! modeled kernel splits reported per instruction.
 
 use serde::{Deserialize, Serialize};
 
