@@ -206,7 +206,51 @@ impl GaloisKey {
             ksk0.push(key0);
             ksk1.push(a);
         }
-        let (ksk0_narrow, ksk1_narrow) = if narrow_sop_ok(basis, k) {
+        Self::assemble(basis, g, ksk0, ksk1)
+    }
+
+    /// Reassembles a key from its digit polynomials (e.g. after a wire
+    /// decode), rebuilding the narrow 32-bit shadows so the reassembled
+    /// key takes the same SoP fast path as a freshly generated one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Wire`] when the exponent is invalid or the
+    /// digit vectors disagree with the context's shape (digit count,
+    /// residue count, ring degree, NTT domain).
+    pub fn from_parts(
+        ctx: &FvContext,
+        g: usize,
+        ksk0: Vec<RnsPoly>,
+        ksk1: Vec<RnsPoly>,
+    ) -> Result<Self, crate::Error> {
+        let n = ctx.params().n;
+        let k = ctx.params().k();
+        if !is_valid_exponent(g, n) {
+            return Err(crate::Error::Wire(format!("invalid Galois exponent {g}")));
+        }
+        if ksk0.len() != k || ksk1.len() != k {
+            return Err(crate::Error::Wire(format!(
+                "galois key has {}+{} digits, context wants {k}",
+                ksk0.len(),
+                ksk1.len()
+            )));
+        }
+        for p in ksk0.iter().chain(&ksk1) {
+            if p.k() != k || p.n() != n || p.domain() != Domain::Ntt {
+                return Err(crate::Error::Wire(
+                    "galois key digit has the wrong shape or domain".into(),
+                ));
+            }
+        }
+        Ok(Self::assemble(ctx.base_q(), g, ksk0, ksk1))
+    }
+
+    /// Builds the key struct, deriving the narrow shadows from the digits.
+    fn assemble(basis: &RnsBasis, g: usize, ksk0: Vec<RnsPoly>, ksk1: Vec<RnsPoly>) -> Self {
+        let k = ksk0.len();
+        let (ksk0_narrow, ksk1_narrow) = if k > 0 && narrow_sop_ok(basis, k) {
+            let n = ksk0[0].n();
             let transpose = |polys: &[RnsPoly]| {
                 let mut out = vec![0u32; k * k * n];
                 for (i, p) in polys.iter().enumerate() {
@@ -244,6 +288,16 @@ impl GaloisKey {
     /// `ksk1_i` in NTT domain.
     pub fn ksk1(&self, i: usize) -> &RnsPoly {
         &self.ksk1[i]
+    }
+
+    /// All `ksk0` digits, in order (what the wire codec streams).
+    pub fn ksk0_polys(&self) -> &[RnsPoly] {
+        &self.ksk0
+    }
+
+    /// All `ksk1` digits, in order.
+    pub fn ksk1_polys(&self) -> &[RnsPoly] {
+        &self.ksk1
     }
 }
 
@@ -766,6 +820,36 @@ impl GaloisKeySet {
             chain,
             groups,
         }
+    }
+
+    /// Reassembles a key set from its parts (e.g. after a wire decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Wire`] when a chain or group entry indexes
+    /// past the key vector — the only structural invariant the fold
+    /// algorithms rely on (exponent validity is checked per key by
+    /// [`GaloisKey::from_parts`]).
+    pub fn from_parts(
+        keys: Vec<GaloisKey>,
+        chain: Vec<usize>,
+        groups: Vec<Vec<usize>>,
+    ) -> Result<Self, crate::Error> {
+        let bound = keys.len();
+        if chain
+            .iter()
+            .chain(groups.iter().flatten())
+            .any(|&i| i >= bound)
+        {
+            return Err(crate::Error::Wire(format!(
+                "galois key set indexes past its {bound} keys"
+            )));
+        }
+        Ok(GaloisKeySet {
+            keys,
+            chain,
+            groups,
+        })
     }
 
     /// The contained keys (chain and subset-product keys alike).

@@ -286,6 +286,15 @@ pub struct JobHandle {
 }
 
 impl JobHandle {
+    /// Wraps an id and a result channel — how the router builds handles
+    /// for jobs proxied to remote shards.
+    pub(crate) fn from_channel(
+        id: u64,
+        rx: mpsc::Receiver<Result<EvalResponse, EngineError>>,
+    ) -> Self {
+        JobHandle { id, rx }
+    }
+
     /// Blocks until the job completes.
     ///
     /// # Errors

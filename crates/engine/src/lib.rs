@@ -87,6 +87,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod registry;
+pub mod remote;
 pub mod request;
 pub mod router;
 pub mod sched;
@@ -99,8 +100,14 @@ pub use engine::{Engine, EngineConfig, JobHandle};
 pub use error::EngineError;
 pub use metrics::{render_prometheus, Histogram, HistogramSnapshot};
 pub use registry::{KeyRegistry, TenantId, TenantKeys};
+pub use remote::{
+    FrameReceiver, FrameSender, RemoteShard, RemoteShardConfig, RemoteStatsSnapshot, ShardConnector,
+};
 pub use request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
-pub use router::{RouterStats, ShardId, ShardRouter, ShardSpec, ShardStats};
+pub use router::{
+    HedgeConfig, HedgeStatsSnapshot, RemoteShardSpec, RemoteShardStats, RouterConfig, RouterStats,
+    ShardId, ShardRouter, ShardSpec, ShardStats,
+};
 pub use sched::SchedLevel;
 pub use stats::StatsSnapshot;
 pub use trace::{FlightRecorder, SpanRecord};
@@ -112,8 +119,15 @@ pub mod prelude {
     pub use crate::error::EngineError;
     pub use crate::metrics::{render_prometheus, Histogram, HistogramSnapshot};
     pub use crate::registry::{KeyRegistry, TenantId, TenantKeys};
+    pub use crate::remote::{
+        FrameReceiver, FrameSender, RemoteShard, RemoteShardConfig, RemoteStatsSnapshot,
+        ShardConnector,
+    };
     pub use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
-    pub use crate::router::{RouterStats, ShardId, ShardRouter, ShardSpec, ShardStats};
+    pub use crate::router::{
+        HedgeConfig, HedgeStatsSnapshot, RemoteShardSpec, RemoteShardStats, RouterConfig,
+        RouterStats, ShardId, ShardRouter, ShardSpec, ShardStats,
+    };
     pub use crate::sched::SchedLevel;
     pub use crate::stats::StatsSnapshot;
     pub use crate::trace::{FlightRecorder, SpanRecord};

@@ -537,7 +537,7 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
             out,
             "hefv_shard_up",
             &[("shard", &id), ("name", &s.name)],
-            1.0,
+            if s.up { 1.0 } else { 0.0 },
         );
     }
     for (name, help, pick) in [
@@ -589,6 +589,125 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
                 &op.latency,
             );
         }
+    }
+
+    // Remote-shard transport/health block (empty fleets still get the
+    // hedge counters, so scrapers see the families exist).
+    type RemotePick = fn(&crate::router::RemoteShardStats) -> f64;
+    for (name, help, kind, pick) in [
+        (
+            "hefv_remote_shard_up",
+            "Remote shard circuit state (1 = closed/serving)",
+            "gauge",
+            (|r| if r.stats.healthy { 1.0 } else { 0.0 }) as RemotePick,
+        ),
+        (
+            "hefv_remote_inflight",
+            "Frames forwarded to the node and awaiting replies",
+            "gauge",
+            |r| r.stats.inflight as f64,
+        ),
+        (
+            "hefv_remote_frames_forwarded_total",
+            "Frames handed to the remote transport",
+            "counter",
+            |r| r.stats.frames_forwarded as f64,
+        ),
+        (
+            "hefv_remote_replies_total",
+            "Replies matched back to a forwarded frame",
+            "counter",
+            |r| r.stats.replies as f64,
+        ),
+        (
+            "hefv_remote_send_errors_total",
+            "Transport-level send failures",
+            "counter",
+            |r| r.stats.send_errors as f64,
+        ),
+        (
+            "hefv_remote_connects_total",
+            "Successful connection establishments (initial + re-)",
+            "counter",
+            |r| r.stats.connects as f64,
+        ),
+        (
+            "hefv_remote_probe_failures_total",
+            "Failed liveness probes",
+            "counter",
+            |r| r.stats.probe_failures as f64,
+        ),
+        (
+            "hefv_remote_ejections_total",
+            "Circuit-breaker opens",
+            "counter",
+            |r| r.stats.ejections as f64,
+        ),
+        (
+            "hefv_remote_recoveries_total",
+            "Circuit-breaker closes after an ejection",
+            "counter",
+            |r| r.stats.recoveries as f64,
+        ),
+        (
+            "hefv_remote_timeouts_total",
+            "Forwarded frames that timed out after the retry",
+            "counter",
+            |r| r.stats.timeouts as f64,
+        ),
+        (
+            "hefv_remote_retries_total",
+            "Timeout-triggered re-sends of forwarded frames",
+            "counter",
+            |r| r.stats.retries as f64,
+        ),
+    ] {
+        header(out, name, help, kind);
+        for r in &fleet.remote {
+            let id = r.id.to_string();
+            line(
+                out,
+                name,
+                &[("shard", &id), ("name", &r.name), ("endpoint", &r.endpoint)],
+                pick(r),
+            );
+        }
+    }
+    let h = &fleet.hedge;
+    for (name, help, value) in [
+        (
+            "hefv_remote_hedges_total",
+            "Remote dispatches that armed a hedge timer",
+            h.armed as f64,
+        ),
+        (
+            "hefv_remote_hedges_fired_total",
+            "Hedge timers that fired a replica dispatch",
+            h.fired as f64,
+        ),
+        (
+            "hefv_remote_hedge_wins_total",
+            "Reply races won by the hedge replica",
+            h.wins as f64,
+        ),
+        (
+            "hefv_remote_failovers_total",
+            "Primary failures failed over to the replica",
+            h.failovers as f64,
+        ),
+        (
+            "hefv_remote_key_pushes_total",
+            "Tenant key payloads pushed to shards",
+            h.key_pushes as f64,
+        ),
+        (
+            "hefv_remote_key_push_failures_total",
+            "Key pushes that failed after retries",
+            h.key_push_failures as f64,
+        ),
+    ] {
+        header(out, name, help, "counter");
+        line(out, name, &[], value);
     }
 }
 

@@ -1,0 +1,719 @@
+//! Remote shards: proxying engine traffic to another node.
+//!
+//! A [`crate::router::ShardRouter`] fronting a cluster holds some shards
+//! in-process and proxies the rest to peer nodes over the envelope
+//! protocol `hefv-net` speaks. This module is the engine half of that
+//! seam: [`RemoteShard`] owns a small pool of connections to one node,
+//! forwards already-encoded `HEVQ`/`HEVK` frames, matches replies back to
+//! callers by correlation id, and tracks the node's health.
+//!
+//! The transport itself is abstracted behind [`ShardConnector`] /
+//! [`FrameSender`] / [`FrameReceiver`] so the engine crate stays free of
+//! socket code (`hefv-net` depends on this crate, not the other way
+//! around — its `TcpConnector` implements these traits, and tests drive a
+//! `RemoteShard` over in-process channels).
+//!
+//! # Backpressure, health, and ordering
+//!
+//! * **Backpressure.** [`RemoteShard::try_dispatch`] preserves the
+//!   router's non-blocking seam: at `max_inflight` outstanding frames it
+//!   returns `Ok(None)` ("at capacity, try later"), exactly like a full
+//!   local queue — so a TCP front-end keeps converting remote congestion
+//!   into client backpressure by not reading.
+//! * **Health.** A maintenance thread probes the node every
+//!   `probe_interval` through [`ShardConnector::probe`] (an `HEVS` stats
+//!   scrape in the TCP implementation). Consecutive failures — probes or
+//!   transport errors — trip a circuit breaker after `eject_after`: the
+//!   shard fails fast and every pending frame errors out (so the router
+//!   can fail jobs over to a replica immediately). The breaker is
+//!   *half-open*: probes keep running while ejected, and the first
+//!   success closes it again.
+//! * **Lossy links.** A pending frame unanswered for `reply_timeout` is
+//!   re-sent with its original correlation id (up to a configurable
+//!   attempt budget) before it errors out. The id makes every retry
+//!   idempotent end-to-end: whichever reply
+//!   arrives first resolves the entry, a late duplicate finds no pending
+//!   entry and is dropped. This is what rides out injected frame drops
+//!   (`HEFV_NET_FAULT`) without double-delivering.
+
+use crate::error::EngineError;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Write half of one connection to a peer node.
+pub trait FrameSender: Send {
+    /// Sends one frame under a correlation id. An `Err` marks the
+    /// connection dead (the pool discards it and reconnects).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure; the connection must not be reused afterwards.
+    fn send(&mut self, corr: u64, frame: &[u8]) -> io::Result<()>;
+
+    /// Tears the connection down, unblocking the paired receiver.
+    fn close(&mut self);
+}
+
+/// Read half of one connection to a peer node.
+pub trait FrameReceiver: Send {
+    /// Blocks for the next `(correlation id, frame)` reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or orderly close; the reader thread exits.
+    fn recv(&mut self) -> io::Result<(u64, Vec<u8>)>;
+}
+
+/// Factory for connections to one peer node, plus its liveness probe.
+pub trait ShardConnector: Send + Sync {
+    /// Opens a fresh connection (sender and receiver halves).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure (node down, unreachable, refused).
+    fn connect(&self) -> io::Result<(Box<dyn FrameSender>, Box<dyn FrameReceiver>)>;
+
+    /// Checks the node end-to-end within `timeout` (the TCP
+    /// implementation scrapes the `HEVS` admin route over a fresh
+    /// connection, proving accept + poll loop + router are all alive).
+    ///
+    /// # Errors
+    ///
+    /// The node failed to answer in time.
+    fn probe(&self, timeout: Duration) -> io::Result<()>;
+
+    /// Human-readable peer endpoint (metrics label, error messages).
+    fn endpoint(&self) -> String;
+}
+
+/// Tuning for one remote shard.
+#[derive(Debug, Clone)]
+pub struct RemoteShardConfig {
+    /// Pooled connections to the node (≥ 1). Frames hash over the pool by
+    /// correlation id; a dead connection's traffic moves to the rest.
+    pub connections: usize,
+    /// Outstanding-frame cap: at this many unanswered frames,
+    /// [`RemoteShard::try_dispatch`] reports "at capacity".
+    pub max_inflight: usize,
+    /// Unanswered-frame budget: past this age a pending frame is re-sent
+    /// once, past twice it fails with a timeout error.
+    pub reply_timeout: Duration,
+    /// How often the maintenance thread probes node health.
+    pub probe_interval: Duration,
+    /// Per-probe deadline.
+    pub probe_timeout: Duration,
+    /// Consecutive failures that trip the circuit breaker.
+    pub eject_after: u32,
+    /// Total transmissions per frame (≥ 1): the initial send plus up to
+    /// `send_attempts - 1` timeout-triggered re-sends under the same
+    /// correlation id before the frame errors out. Re-sends are
+    /// idempotent end-to-end — duplicate replies find no pending entry
+    /// and are dropped.
+    pub send_attempts: u32,
+    /// Initial reconnect backoff (doubles per failed attempt, capped at
+    /// 2 s).
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for RemoteShardConfig {
+    fn default() -> Self {
+        RemoteShardConfig {
+            connections: 2,
+            max_inflight: 256,
+            reply_timeout: Duration::from_secs(10),
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(1),
+            eject_after: 3,
+            send_attempts: 3,
+            reconnect_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Point-in-time counters for one remote shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteStatsSnapshot {
+    /// Circuit closed (node believed alive).
+    pub healthy: bool,
+    /// Frames currently awaiting a reply.
+    pub inflight: u64,
+    /// Frames handed to the transport.
+    pub frames_forwarded: u64,
+    /// Replies matched to a pending frame.
+    pub replies: u64,
+    /// Transport-level send failures.
+    pub send_errors: u64,
+    /// Successful connection establishments (initial + re-).
+    pub connects: u64,
+    /// Failed liveness probes.
+    pub probe_failures: u64,
+    /// Circuit-breaker opens.
+    pub ejections: u64,
+    /// Circuit-breaker closes after an open (probe-back successes).
+    pub recoveries: u64,
+    /// Pending frames that timed out after the retry.
+    pub timeouts: u64,
+    /// Timeout-triggered re-sends.
+    pub retries: u64,
+    /// Key-transfer pushes acknowledged by the node.
+    pub key_pushes: u64,
+}
+
+type ReplyCallback = Box<dyn FnOnce(Result<Vec<u8>, EngineError>) + Send>;
+
+struct Pending {
+    done: ReplyCallback,
+    /// Kept for timeout-triggered re-sends.
+    frame: Vec<u8>,
+    sent_at: Instant,
+    /// Transmissions so far (the initial send counts as the first).
+    attempts: u32,
+}
+
+#[derive(Default)]
+struct Counters {
+    frames_forwarded: AtomicU64,
+    replies: AtomicU64,
+    send_errors: AtomicU64,
+    connects: AtomicU64,
+    probe_failures: AtomicU64,
+    ejections: AtomicU64,
+    recoveries: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    key_pushes: AtomicU64,
+}
+
+struct ConnSlot {
+    sender: Mutex<Option<Box<dyn FrameSender>>>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct Inner {
+    name: String,
+    cfg: RemoteShardConfig,
+    connector: Arc<dyn ShardConnector>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    /// Signalled whenever inflight drops (reply, failure, timeout).
+    space: Condvar,
+    next_corr: AtomicU64,
+    conns: Vec<ConnSlot>,
+    stop: AtomicBool,
+    /// Circuit breaker: `true` = open = ejected.
+    open: AtomicBool,
+    consecutive_failures: AtomicU64,
+    stats: Counters,
+}
+
+impl Inner {
+    fn circuit_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    /// One failure signal (probe, transport, all-connections-dead).
+    fn note_failure(&self) {
+        let f = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if f >= u64::from(self.cfg.eject_after) && !self.open.swap(true, Ordering::AcqRel) {
+            self.stats.ejections.fetch_add(1, Ordering::Relaxed);
+            // Fail fast: jobs stuck behind a dead node miss their
+            // deadlines; erroring them out immediately lets the router
+            // fail over to a replica shard now.
+            self.fail_all_pending("node ejected by circuit breaker");
+        }
+    }
+
+    /// One success signal (reply or probe). Closes the breaker.
+    fn note_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        if self.open.swap(false, Ordering::AcqRel) {
+            self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Errors every pending frame out (callbacks run outside the lock).
+    fn fail_all_pending(&self, why: &str) {
+        let drained: Vec<Pending> = {
+            let mut p = self.pending.lock().unwrap();
+            p.drain().map(|(_, e)| e).collect()
+        };
+        if drained.is_empty() {
+            return;
+        }
+        for e in drained {
+            (e.done)(Err(EngineError::Internal(format!(
+                "remote shard '{}' ({}): {why}",
+                self.name,
+                self.connector.endpoint()
+            ))));
+        }
+        self.space.notify_all();
+    }
+
+    /// Sends on any live pooled connection, starting at the slot the
+    /// correlation id hashes to. Dead connections are discarded for the
+    /// maintenance thread to replace.
+    fn send_on_some_conn(&self, corr: u64, frame: &[u8]) -> Result<(), EngineError> {
+        let n = self.conns.len();
+        let start = (corr as usize) % n;
+        for i in 0..n {
+            let slot = &self.conns[(start + i) % n];
+            let mut guard = slot.sender.lock().unwrap();
+            if let Some(sender) = guard.as_mut() {
+                match sender.send(corr, frame) {
+                    Ok(()) => return Ok(()),
+                    Err(_) => {
+                        self.stats.send_errors.fetch_add(1, Ordering::Relaxed);
+                        if let Some(mut dead) = guard.take() {
+                            dead.close();
+                        }
+                    }
+                }
+            }
+        }
+        Err(EngineError::Internal(format!(
+            "remote shard '{}' ({}): no live connection",
+            self.name,
+            self.connector.endpoint()
+        )))
+    }
+
+    fn snapshot(&self) -> RemoteStatsSnapshot {
+        RemoteStatsSnapshot {
+            healthy: !self.circuit_open(),
+            inflight: self.pending.lock().unwrap().len() as u64,
+            frames_forwarded: self.stats.frames_forwarded.load(Ordering::Relaxed),
+            replies: self.stats.replies.load(Ordering::Relaxed),
+            send_errors: self.stats.send_errors.load(Ordering::Relaxed),
+            connects: self.stats.connects.load(Ordering::Relaxed),
+            probe_failures: self.stats.probe_failures.load(Ordering::Relaxed),
+            ejections: self.stats.ejections.load(Ordering::Relaxed),
+            recoveries: self.stats.recoveries.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            key_pushes: self.stats.key_pushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A shard living on another node, reached through a pooled, reconnecting
+/// transport. See the module docs for the health/backpressure model.
+pub struct RemoteShard {
+    inner: Arc<Inner>,
+    maintenance: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RemoteShard {
+    /// Spawns the shard: attempts the initial connections inline (so a
+    /// live node serves immediately), then starts the maintenance thread
+    /// that reconnects, probes, and sweeps timeouts. A dead node does not
+    /// fail construction — the breaker will simply never close until it
+    /// comes up.
+    pub fn new(
+        name: impl Into<String>,
+        connector: Arc<dyn ShardConnector>,
+        cfg: RemoteShardConfig,
+    ) -> Self {
+        let cfg = RemoteShardConfig {
+            connections: cfg.connections.max(1),
+            max_inflight: cfg.max_inflight.max(1),
+            ..cfg
+        };
+        let conns = (0..cfg.connections)
+            .map(|_| ConnSlot {
+                sender: Mutex::new(None),
+                reader: Mutex::new(None),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            name: name.into(),
+            cfg,
+            connector,
+            pending: Mutex::new(HashMap::new()),
+            space: Condvar::new(),
+            next_corr: AtomicU64::new(0),
+            conns,
+            stop: AtomicBool::new(false),
+            open: AtomicBool::new(false),
+            consecutive_failures: AtomicU64::new(0),
+            stats: Counters::default(),
+        });
+        for i in 0..inner.conns.len() {
+            let _ = try_connect_slot(&inner, i);
+        }
+        let maint = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("hefv-remote-maint".into())
+                .spawn(move || maintenance_loop(&inner))
+                .expect("spawn remote maintenance thread")
+        };
+        RemoteShard {
+            inner,
+            maintenance: Mutex::new(Some(maint)),
+        }
+    }
+
+    /// The peer endpoint (for metrics and error messages).
+    pub fn endpoint(&self) -> String {
+        self.inner.connector.endpoint()
+    }
+
+    /// Whether the circuit breaker is closed (node believed alive).
+    pub fn healthy(&self) -> bool {
+        !self.inner.circuit_open()
+    }
+
+    /// Whether a `try_dispatch` right now would report "at capacity".
+    pub fn at_capacity(&self) -> bool {
+        self.inner.pending.lock().unwrap().len() >= self.inner.cfg.max_inflight
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RemoteStatsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Forwards one frame without blocking. `done` fires exactly once
+    /// with the reply frame or a transport error — unless this call
+    /// returns `Ok(None)` (at capacity) or `Err` (nothing was sent), in
+    /// which case `done` never fires.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::QueueClosed`] after shutdown;
+    /// [`EngineError::Internal`] when the breaker is open or no pooled
+    /// connection accepted the frame.
+    pub fn try_dispatch<F>(&self, frame: &[u8], done: F) -> Result<Option<u64>, EngineError>
+    where
+        F: FnOnce(Result<Vec<u8>, EngineError>) + Send + 'static,
+    {
+        let inner = &self.inner;
+        if inner.stop.load(Ordering::Acquire) {
+            return Err(EngineError::QueueClosed);
+        }
+        if inner.circuit_open() {
+            return Err(EngineError::Internal(format!(
+                "remote shard '{}' ({}): node ejected by circuit breaker",
+                inner.name,
+                inner.connector.endpoint()
+            )));
+        }
+        let corr = {
+            let mut pending = inner.pending.lock().unwrap();
+            if pending.len() >= inner.cfg.max_inflight {
+                return Ok(None);
+            }
+            let corr = inner.next_corr.fetch_add(1, Ordering::Relaxed);
+            pending.insert(
+                corr,
+                Pending {
+                    done: Box::new(done),
+                    frame: frame.to_vec(),
+                    sent_at: Instant::now(),
+                    attempts: 1,
+                },
+            );
+            corr
+        };
+        match inner.send_on_some_conn(corr, frame) {
+            Ok(()) => {
+                inner.stats.frames_forwarded.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(corr))
+            }
+            Err(e) => {
+                // Contract: on a synchronous error the callback never
+                // fires — retract the entry (dropping `done`) so the
+                // caller can route the job elsewhere.
+                drop(inner.pending.lock().unwrap().remove(&corr));
+                inner.space.notify_all();
+                inner.note_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until there is room below `max_inflight`, or `timeout`.
+    pub(crate) fn wait_for_space(&self, timeout: Duration) {
+        let inner = &self.inner;
+        let pending = inner.pending.lock().unwrap();
+        if pending.len() < inner.cfg.max_inflight {
+            return;
+        }
+        drop(
+            inner
+                .space
+                .wait_timeout(pending, timeout)
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+    }
+
+    /// Blocking dispatch: forwards `frame` (waiting out backpressure up
+    /// to `timeout`) and returns the reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Dispatch errors from [`RemoteShard::try_dispatch`], plus
+    /// [`EngineError::Internal`] when no reply arrives within `timeout`.
+    pub fn dispatch_blocking(
+        &self,
+        frame: &[u8],
+        timeout: Duration,
+    ) -> Result<Vec<u8>, EngineError> {
+        let deadline = Instant::now() + timeout;
+        let (tx, rx) = std::sync::mpsc::channel();
+        loop {
+            let tx = tx.clone();
+            match self.try_dispatch(frame, move |result| {
+                let _ = tx.send(result);
+            }) {
+                Ok(Some(_)) => break,
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return Err(EngineError::Internal(format!(
+                            "remote shard '{}': still at capacity after {timeout:?}",
+                            self.inner.name
+                        )));
+                    }
+                    self.wait_for_space(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(remaining) {
+            Ok(result) => result,
+            Err(_) => Err(EngineError::Internal(format!(
+                "remote shard '{}': no reply within {timeout:?}",
+                self.inner.name
+            ))),
+        }
+    }
+
+    /// Streams one tenant's key material to the node and waits for its
+    /// acknowledgement. Retries the whole push once on failure — a
+    /// dropped push or ack (lossy link) must not abort a topology change
+    /// that a second attempt would land.
+    ///
+    /// # Errors
+    ///
+    /// The transport error or the node's rejection message, whichever the
+    /// final attempt produced.
+    pub fn push_keys(&self, tenant: u64, push_frame: &[u8]) -> Result<(), EngineError> {
+        let budget = self.inner.cfg.reply_timeout * 2;
+        let mut last = EngineError::Internal("key push never attempted".into());
+        for _ in 0..2 {
+            match self.dispatch_blocking(push_frame, budget) {
+                Ok(reply) => {
+                    let (acked, outcome) = crate::wire::decode_key_ack(&reply)?;
+                    if acked != tenant {
+                        return Err(EngineError::Internal(format!(
+                            "key ack for tenant {acked}, pushed {tenant}"
+                        )));
+                    }
+                    return match outcome {
+                        Ok(()) => {
+                            self.inner.stats.key_pushes.fetch_add(1, Ordering::Relaxed);
+                            Ok(())
+                        }
+                        Err(msg) => Err(EngineError::Internal(format!(
+                            "node {} rejected keys for tenant {tenant}: {msg}",
+                            self.inner.connector.endpoint()
+                        ))),
+                    };
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Stops the pool: joins the maintenance and reader threads, then
+    /// errors out any still-pending frames. Idempotent.
+    pub fn shutdown(&self) {
+        let inner = &self.inner;
+        if inner.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for slot in &inner.conns {
+            if let Some(mut sender) = slot.sender.lock().unwrap().take() {
+                sender.close();
+            }
+        }
+        if let Some(h) = self.maintenance.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        for slot in &inner.conns {
+            if let Some(h) = slot.reader.lock().unwrap().take() {
+                let _ = h.join();
+            }
+        }
+        inner.fail_all_pending("shard shut down");
+    }
+}
+
+impl Drop for RemoteShard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for RemoteShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShard")
+            .field("name", &self.inner.name)
+            .field("endpoint", &self.inner.connector.endpoint())
+            .field("healthy", &!self.inner.circuit_open())
+            .finish()
+    }
+}
+
+/// Attempts to (re)establish one pool slot, spawning its reader thread.
+fn try_connect_slot(inner: &Arc<Inner>, slot_idx: usize) -> bool {
+    let slot = &inner.conns[slot_idx];
+    // Join a finished reader from the previous connection, if any.
+    if let Some(h) = slot.reader.lock().unwrap().take() {
+        let _ = h.join();
+    }
+    match inner.connector.connect() {
+        Ok((sender, receiver)) => {
+            *slot.sender.lock().unwrap() = Some(sender);
+            inner.stats.connects.fetch_add(1, Ordering::Relaxed);
+            let reader = {
+                let inner = Arc::clone(inner);
+                std::thread::Builder::new()
+                    .name("hefv-remote-read".into())
+                    .spawn(move || reader_loop(&inner, slot_idx, receiver))
+                    .expect("spawn remote reader thread")
+            };
+            *slot.reader.lock().unwrap() = Some(reader);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn reader_loop(inner: &Arc<Inner>, slot_idx: usize, mut receiver: Box<dyn FrameReceiver>) {
+    while let Ok((corr, frame)) = receiver.recv() {
+        // Any reply is proof of life.
+        inner.note_success();
+        let entry = inner.pending.lock().unwrap().remove(&corr);
+        if let Some(e) = entry {
+            inner.stats.replies.fetch_add(1, Ordering::Relaxed);
+            (e.done)(Ok(frame));
+            inner.space.notify_all();
+        }
+        // else: duplicate of a retried frame, or a reply that raced a
+        // timeout — already resolved, drop it.
+    }
+    // The connection died: clear the slot so dispatch skips it and the
+    // maintenance thread reconnects it.
+    if let Some(mut sender) = inner.conns[slot_idx].sender.lock().unwrap().take() {
+        sender.close();
+    }
+    if inner.stop.load(Ordering::Acquire) {
+        return;
+    }
+    // With the whole pool down nothing can answer the pending frames;
+    // fail them now so callers (hedged retries) move on.
+    let all_down = inner
+        .conns
+        .iter()
+        .all(|c| c.sender.lock().unwrap().is_none());
+    if all_down {
+        inner.note_failure();
+        inner.fail_all_pending("every connection lost");
+    }
+}
+
+fn maintenance_loop(inner: &Arc<Inner>) {
+    let n = inner.conns.len();
+    let mut backoff = vec![inner.cfg.reconnect_backoff; n];
+    let mut next_attempt = vec![Instant::now(); n];
+    let mut next_probe = Instant::now() + inner.cfg.probe_interval;
+    const MAX_BACKOFF: Duration = Duration::from_secs(2);
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        for i in 0..n {
+            if inner.conns[i].sender.lock().unwrap().is_some() {
+                backoff[i] = inner.cfg.reconnect_backoff;
+                continue;
+            }
+            if now < next_attempt[i] {
+                continue;
+            }
+            if try_connect_slot(inner, i) {
+                backoff[i] = inner.cfg.reconnect_backoff;
+            } else {
+                next_attempt[i] = now + backoff[i];
+                backoff[i] = (backoff[i] * 2).min(MAX_BACKOFF);
+            }
+        }
+        if now >= next_probe {
+            next_probe = now + inner.cfg.probe_interval;
+            match inner.connector.probe(inner.cfg.probe_timeout) {
+                Ok(()) => inner.note_success(),
+                Err(_) => {
+                    inner.stats.probe_failures.fetch_add(1, Ordering::Relaxed);
+                    inner.note_failure();
+                }
+            }
+        }
+        sweep_pending(inner);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Re-sends pending frames past `reply_timeout` under their original
+/// correlation ids, failing the ones that exhausted their
+/// [`RemoteShardConfig::send_attempts`] budget.
+fn sweep_pending(inner: &Arc<Inner>) {
+    let now = Instant::now();
+    let mut to_resend: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut to_fail: Vec<Pending> = Vec::new();
+    {
+        let mut pending = inner.pending.lock().unwrap();
+        let expired: Vec<u64> = pending
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.sent_at) > inner.cfg.reply_timeout)
+            .map(|(&corr, _)| corr)
+            .collect();
+        for corr in expired {
+            let entry = pending.get_mut(&corr).expect("expired key present");
+            if entry.attempts >= inner.cfg.send_attempts.max(1) {
+                inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                to_fail.push(pending.remove(&corr).expect("expired key present"));
+            } else {
+                entry.attempts += 1;
+                entry.sent_at = now;
+                inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+                to_resend.push((corr, entry.frame.clone()));
+            }
+        }
+    }
+    for (corr, frame) in to_resend {
+        if inner.send_on_some_conn(corr, &frame).is_err() {
+            if let Some(e) = inner.pending.lock().unwrap().remove(&corr) {
+                inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                to_fail.push(e);
+            }
+        }
+    }
+    if to_fail.is_empty() {
+        return;
+    }
+    for e in to_fail {
+        (e.done)(Err(EngineError::Internal(format!(
+            "remote shard '{}' ({}): reply timed out",
+            inner.name,
+            inner.connector.endpoint()
+        ))));
+    }
+    inner.space.notify_all();
+}

@@ -45,15 +45,18 @@
 //! against the receiving context.
 
 use crate::error::EngineError;
+use crate::registry::{TenantId, TenantKeys};
 use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
 use hefv_core::context::FvContext;
 use hefv_core::encoder::Plaintext;
 use hefv_core::error::Error;
 use hefv_core::wire::{decode_ciphertext, encode_ciphertext};
+use std::sync::Arc;
 
 const REQ_MAGIC: u32 = 0x4845_5651; // "HEVQ"
 const RESP_MAGIC: u32 = 0x4845_5650; // "HEVP"
 const STATS_MAGIC: u32 = 0x4845_5653; // "HEVS"
+const KEY_MAGIC: u32 = 0x4845_564B; // "HEVK"
 const VERSION: u16 = 2;
 
 /// Flag bit: the header carries a relative virtual-clock deadline.
@@ -472,6 +475,40 @@ pub fn peek_tenant(bytes: &[u8]) -> Result<u64, EngineError> {
     c.u64()
 }
 
+/// Reads a request frame's relative deadline (µs of virtual clock) from
+/// the header alone: `None` when the client set no deadline. A cluster
+/// front-end uses this to budget hedged retries without decoding the
+/// payload.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the header is not a
+/// well-formed v2 request header or the deadline bits are not a finite
+/// non-negative float.
+pub fn peek_deadline(bytes: &[u8]) -> Result<Option<f64>, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != REQ_MAGIC {
+        return Err(wire_err("bad request magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported request version"));
+    }
+    let flags = c.u16()?;
+    if flags & FLAG_DEADLINE == 0 {
+        return Ok(None);
+    }
+    c.u64()?; // tenant
+    c.u16()?; // shard
+    c.u16()?; // n_inputs
+    c.u16()?; // n_plaintexts
+    c.u16()?; // n_ops
+    let d = f64::from_bits(c.u64()?);
+    if !d.is_finite() || d < 0.0 {
+        return Err(wire_err(format!("bad deadline {d} in request header")));
+    }
+    Ok(Some(d))
+}
+
 /// Serializes a job outcome that did not come from an identifiable
 /// shard, stamped [`ERROR_SHARD`] on the error path (single-engine
 /// deployments get shard 0 on success; routers use
@@ -593,6 +630,23 @@ pub fn peek_response_shard(bytes: &[u8]) -> Result<u8, EngineError> {
     }
     c.u8()?; // status
     c.u8()
+}
+
+/// Overwrites a response frame's shard stamp in place, so a cluster
+/// front-end can present replies produced by a remote node under the
+/// front-side shard id the client routed against. Frames that are not
+/// well-formed `HEVP` responses — and error responses already stamped
+/// [`ERROR_SHARD`] (the "never reached a shard" marker) — are left
+/// untouched.
+pub fn restamp_response_shard(frame: &mut [u8], shard: u8) {
+    // magic u32 | version u16 | status u8 | shard u8 — stamp is byte 7.
+    if frame.len() >= 8
+        && frame[..4] == RESP_MAGIC.to_le_bytes()
+        && frame[4..6] == VERSION.to_le_bytes()
+        && frame[7] != ERROR_SHARD
+    {
+        frame[7] = shard;
+    }
 }
 
 /// Reads a response frame's job id from the header alone (`u64::MAX`
@@ -731,6 +785,207 @@ pub fn decode_stats_response(bytes: &[u8]) -> Result<(StatsKind, String), Engine
     Ok((kind, body))
 }
 
+// ---------------------------------------------------------------------------
+// HEVK key-transfer frames
+// ---------------------------------------------------------------------------
+//
+// When a cluster front-end registers a tenant, re-pins it, or changes the
+// ring, the tenant's key material must reach the node that will execute
+// its jobs *before* any of those jobs do. The `HEVK` frame family carries
+// one tenant's keys (any subset of public / relin / Galois) node-to-node
+// over the same envelope protocol as requests:
+//
+// ```text
+// key-push := "HEVK" u32 | version=2 u16 | dir=0 u8 | sections u8
+//           | tenant u64
+//           | [sections bit 0] len u32 | core-wire public key
+//           | [sections bit 1] len u32 | core-wire relin key
+//           | [sections bit 2] len u32 | core-wire Galois key set
+// key-ack  := "HEVK" u32 | version=2 u16 | dir=1 u8 | status u8
+//           | tenant u64
+//           | [status=1] len u32 | utf-8 error message
+// ```
+
+const KEY_DIR_PUSH: u8 = 0;
+const KEY_DIR_ACK: u8 = 1;
+const KEY_SECTION_PUBLIC: u8 = 1;
+const KEY_SECTION_RELIN: u8 = 2;
+const KEY_SECTION_GALOIS: u8 = 4;
+
+/// Whether a frame is a `HEVK` key-transfer frame (cheap magic check, the
+/// same routing seam as [`is_stats_frame`]).
+#[must_use]
+pub fn is_key_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == KEY_MAGIC.to_le_bytes()
+}
+
+/// Serializes a key-transfer push carrying whichever keys the tenant has.
+#[must_use]
+pub fn encode_key_push(tenant: TenantId, keys: &TenantKeys) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, KEY_MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(KEY_DIR_PUSH);
+    let mut sections = 0;
+    if keys.pk.is_some() {
+        sections |= KEY_SECTION_PUBLIC;
+    }
+    if keys.rlk.is_some() {
+        sections |= KEY_SECTION_RELIN;
+    }
+    if keys.galois.is_some() {
+        sections |= KEY_SECTION_GALOIS;
+    }
+    out.push(sections);
+    put_u64(&mut out, tenant);
+    let mut put_blob = |blob: Vec<u8>| {
+        put_u32(&mut out, blob.len() as u32);
+        out.extend_from_slice(&blob);
+    };
+    if let Some(pk) = &keys.pk {
+        put_blob(hefv_core::wire::encode_public_key(pk));
+    }
+    if let Some(rlk) = &keys.rlk {
+        put_blob(hefv_core::wire::encode_relin_key(rlk));
+    }
+    if let Some(gks) = &keys.galois {
+        put_blob(hefv_core::wire::encode_galois_key_set(gks));
+    }
+    out
+}
+
+/// Reads a key-transfer frame's tenant id from the header alone (push and
+/// ack frames share the header layout).
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the header is not a
+/// well-formed v2 `HEVK` header.
+pub fn peek_key_tenant(bytes: &[u8]) -> Result<TenantId, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != KEY_MAGIC {
+        return Err(wire_err("bad key-transfer magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported key-transfer version"));
+    }
+    c.u8()?; // direction
+    c.u8()?; // sections / status
+    c.u64()
+}
+
+/// Deserializes and validates a key-transfer push against `ctx`, the
+/// parameter set of the shard that will own the tenant.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames and for
+/// key blobs failing the C-VALIDATE checks in `hefv_core::wire`.
+pub fn decode_key_push(
+    ctx: &FvContext,
+    bytes: &[u8],
+) -> Result<(TenantId, TenantKeys), EngineError> {
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(wire_err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            bytes.len()
+        )));
+    }
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != KEY_MAGIC {
+        return Err(wire_err("bad key-transfer magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported key-transfer version"));
+    }
+    if c.u8()? != KEY_DIR_PUSH {
+        return Err(wire_err("key-transfer frame is not a push"));
+    }
+    let sections = c.u8()?;
+    let known = KEY_SECTION_PUBLIC | KEY_SECTION_RELIN | KEY_SECTION_GALOIS;
+    if sections & !known != 0 {
+        return Err(wire_err(format!(
+            "unknown key-push sections {sections:#04x}"
+        )));
+    }
+    let tenant = c.u64()?;
+    let mut keys = TenantKeys::default();
+    if sections & KEY_SECTION_PUBLIC != 0 {
+        let len = c.u32()? as usize;
+        let pk = hefv_core::wire::decode_public_key(ctx, c.take(len)?)?;
+        keys.pk = Some(Arc::new(pk));
+    }
+    if sections & KEY_SECTION_RELIN != 0 {
+        let len = c.u32()? as usize;
+        let rlk = hefv_core::wire::decode_relin_key(ctx, c.take(len)?)?;
+        keys.rlk = Some(Arc::new(rlk));
+    }
+    if sections & KEY_SECTION_GALOIS != 0 {
+        let len = c.u32()? as usize;
+        let gks = hefv_core::wire::decode_galois_key_set(ctx, c.take(len)?)?;
+        keys.galois = Some(Arc::new(gks));
+    }
+    c.finish()?;
+    Ok((tenant, keys))
+}
+
+/// Serializes a key-transfer acknowledgement: the receiving node's verdict
+/// on a push (`Err` carries its message).
+#[must_use]
+pub fn encode_key_ack(tenant: TenantId, outcome: Result<(), &str>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, KEY_MAGIC);
+    put_u16(&mut out, VERSION);
+    out.push(KEY_DIR_ACK);
+    match outcome {
+        Ok(()) => {
+            out.push(0);
+            put_u64(&mut out, tenant);
+        }
+        Err(msg) => {
+            out.push(1);
+            put_u64(&mut out, tenant);
+            put_u32(&mut out, msg.len() as u32);
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a key-transfer acknowledgement into
+/// `(tenant, Ok | Err(message))`.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames.
+pub fn decode_key_ack(bytes: &[u8]) -> Result<(TenantId, Result<(), String>), EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != KEY_MAGIC {
+        return Err(wire_err("bad key-transfer magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported key-transfer version"));
+    }
+    if c.u8()? != KEY_DIR_ACK {
+        return Err(wire_err("key-transfer frame is not an ack"));
+    }
+    let status = c.u8()?;
+    let tenant = c.u64()?;
+    let outcome = match status {
+        0 => Ok(()),
+        1 => {
+            let len = c.u32()? as usize;
+            let msg = std::str::from_utf8(c.take(len)?)
+                .map_err(|_| wire_err("key-ack message is not UTF-8"))?
+                .to_string();
+            Err(msg)
+        }
+        s => return Err(wire_err(format!("bad key-ack status {s}"))),
+    };
+    c.finish()?;
+    Ok((tenant, outcome))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -773,5 +1028,110 @@ mod tests {
         // never confuse them.
         assert_ne!(REQ_MAGIC, STATS_MAGIC);
         assert_ne!(RESP_MAGIC, STATS_MAGIC);
+        assert_ne!(KEY_MAGIC, STATS_MAGIC);
+        assert_ne!(KEY_MAGIC, REQ_MAGIC);
+        assert_ne!(KEY_MAGIC, RESP_MAGIC);
+    }
+
+    #[test]
+    fn key_push_roundtrips() {
+        use hefv_core::keys::keygen;
+        use hefv_core::params::FvParams;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let (_, pk, rlk) = keygen(&ctx, &mut rng);
+        let keys = TenantKeys::compute(pk, rlk);
+
+        let frame = encode_key_push(7, &keys);
+        assert!(is_key_frame(&frame));
+        assert!(!is_stats_frame(&frame));
+        assert_eq!(peek_key_tenant(&frame).unwrap(), 7);
+
+        let (tenant, back) = decode_key_push(&ctx, &frame).unwrap();
+        assert_eq!(tenant, 7);
+        assert!(back.pk.is_some());
+        assert!(back.rlk.is_some());
+        assert!(back.galois.is_none());
+
+        // Empty key sets are legal (a tenant doing only additions).
+        let empty = encode_key_push(8, &TenantKeys::default());
+        let (t, k) = decode_key_push(&ctx, &empty).unwrap();
+        assert_eq!(t, 8);
+        assert!(k.pk.is_none() && k.rlk.is_none() && k.galois.is_none());
+
+        // Truncation and trailing bytes are rejected.
+        let mut bad = frame.clone();
+        bad.truncate(bad.len() - 1);
+        assert!(decode_key_push(&ctx, &bad).is_err());
+        let mut bad = frame.clone();
+        bad.push(0);
+        assert!(decode_key_push(&ctx, &bad).is_err());
+    }
+
+    #[test]
+    fn key_acks_roundtrip() {
+        let ok = encode_key_ack(3, Ok(()));
+        assert!(is_key_frame(&ok));
+        assert_eq!(peek_key_tenant(&ok).unwrap(), 3);
+        assert_eq!(decode_key_ack(&ok).unwrap(), (3, Ok(())));
+
+        let err = encode_key_ack(4, Err("no capacity"));
+        assert_eq!(
+            decode_key_ack(&err).unwrap(),
+            (4, Err("no capacity".to_string()))
+        );
+
+        // Pushes and acks don't cross-decode.
+        let ctx = FvContext::new(hefv_core::params::FvParams::insecure_toy()).unwrap();
+        assert!(decode_key_push(&ctx, &ok).is_err());
+        let push = encode_key_push(5, &TenantKeys::default());
+        assert!(decode_key_ack(&push).is_err());
+    }
+
+    #[test]
+    fn peek_deadline_reads_header_only() {
+        let req = EvalRequest {
+            tenant: 9,
+            inputs: vec![],
+            plaintexts: vec![],
+            ops: vec![],
+            deadline_us: Some(1500.0),
+            trace_id: Some(42),
+        };
+        let frame = encode_request(&req);
+        assert_eq!(peek_deadline(&frame).unwrap(), Some(1500.0));
+
+        let req = EvalRequest {
+            deadline_us: None,
+            ..req
+        };
+        let frame = encode_request(&req);
+        assert_eq!(peek_deadline(&frame).unwrap(), None);
+        assert!(peek_deadline(b"HEV").is_err());
+    }
+
+    #[test]
+    fn restamp_rewrites_only_real_shard_stamps() {
+        let outcome: Result<EvalResponse, (u64, EngineError)> = Err((1, EngineError::QueueClosed));
+        let mut frame = encode_response_from_shard(&outcome, 3);
+        assert_eq!(peek_response_shard(&frame).unwrap(), 3);
+        restamp_response_shard(&mut frame, 11);
+        assert_eq!(peek_response_shard(&frame).unwrap(), 11);
+
+        // ERROR_SHARD marks "never reached a shard" — restamping would
+        // disguise a transport failure as a shard outcome.
+        let mut frame = encode_response(&outcome);
+        assert_eq!(peek_response_shard(&frame).unwrap(), ERROR_SHARD);
+        restamp_response_shard(&mut frame, 11);
+        assert_eq!(peek_response_shard(&frame).unwrap(), ERROR_SHARD);
+
+        // Non-response frames are untouched.
+        let mut stats = encode_stats_request(StatsKind::Metrics);
+        let before = stats.clone();
+        restamp_response_shard(&mut stats, 11);
+        assert_eq!(stats, before);
     }
 }

@@ -291,8 +291,15 @@ fn partial_batches_drain_within_the_linger_latency() {
 
 #[test]
 fn frames_route_by_shard_address_and_tenant_hash() {
+    use hefv_engine::router::RouterConfig;
     let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
-    let router = ShardRouter::new();
+    // Single key holder per tenant, so the foreign-shard probe below
+    // genuinely finds no keys (default replication would place them on
+    // both shards of this two-shard fleet).
+    let router = ShardRouter::with_config(RouterConfig {
+        key_replicas: 1,
+        ..RouterConfig::default()
+    });
     for name in ["w0", "w1"] {
         router
             .add_shard(ShardSpec {

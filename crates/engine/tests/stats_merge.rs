@@ -269,6 +269,8 @@ fn inflight_gauge_clamps_adversarial_snapshots() {
     let gauge = |snap: hefv_engine::StatsSnapshot| -> String {
         let text = render_prometheus(&RouterStats {
             per_shard: vec![],
+            remote: vec![],
+            hedge: Default::default(),
             total: snap,
         });
         text.lines()

@@ -16,12 +16,18 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// How many out-of-order replies a client stashes before
+/// [`Client::recv_reply_for`] refuses to buffer more.
+pub const DEFAULT_STASH_LIMIT: usize = 1024;
+
 /// Blocking client over one connection. See the module docs.
 pub struct Client {
     stream: TcpStream,
     next_corr: u64,
     /// Replies read while waiting for a different correlation id.
     stashed: HashMap<u64, Vec<u8>>,
+    /// Cap on `stashed` — see [`Client::set_stash_limit`].
+    stash_limit: usize,
 }
 
 impl Client {
@@ -34,11 +40,26 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client {
+        Ok(Client::from_stream(stream))
+    }
+
+    /// Wraps an already-connected stream (the caller keeps whatever
+    /// socket options it set — no `TCP_NODELAY` is applied here).
+    pub fn from_stream(stream: TcpStream) -> Client {
+        Client {
             stream,
             next_corr: 0,
             stashed: HashMap::new(),
-        })
+            stash_limit: DEFAULT_STASH_LIMIT,
+        }
+    }
+
+    /// Caps how many out-of-order replies [`Client::recv_reply_for`]
+    /// buffers while waiting for its target (≥ 1; default
+    /// [`DEFAULT_STASH_LIMIT`]). At the cap it errors instead of growing
+    /// without bound — drain with [`Client::recv_reply`] and retry.
+    pub fn set_stash_limit(&mut self, limit: usize) {
+        self.stash_limit = limit.max(1);
     }
 
     /// The server's address.
@@ -91,16 +112,28 @@ impl Client {
     }
 
     /// Receives the reply to a specific request, stashing any other
-    /// replies that arrive first.
+    /// replies that arrive first (up to the stash limit — see
+    /// [`Client::set_stash_limit`]).
     ///
     /// # Errors
     ///
-    /// See [`Client::recv_reply`].
+    /// See [`Client::recv_reply`]; additionally fails — without reading
+    /// (and losing) further replies — once the stash is full, instead of
+    /// buffering without bound. Drain stashed replies with
+    /// [`Client::recv_reply`] and call again; the target reply may also
+    /// already be among them.
     pub fn recv_reply_for(&mut self, corr: u64) -> io::Result<Vec<u8>> {
         if let Some(frame) = self.stashed.remove(&corr) {
             return Ok(frame);
         }
         loop {
+            if self.stashed.len() >= self.stash_limit {
+                return Err(io::Error::other(format!(
+                    "{} replies stashed while waiting for corr {corr}; drain them with \
+                     recv_reply or raise the stash limit",
+                    self.stashed.len()
+                )));
+            }
             let (got, frame) = self.read_envelope()?;
             if got == corr {
                 return Ok(frame);

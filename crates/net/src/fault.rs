@@ -1,0 +1,130 @@
+//! Test-only fault injection for the remote-shard transport.
+//!
+//! The `HEFV_NET_FAULT` environment variable turns on a lossy/slow link
+//! simulation in [`crate::remote::TcpConnector`]'s data path (probes and
+//! ordinary [`crate::Client`] traffic are unaffected). Off by default;
+//! compiled in always, so CI can exercise the retry/backoff machinery
+//! without a special build. Format:
+//!
+//! ```text
+//! HEFV_NET_FAULT=drop:0.01,delay:5ms
+//! ```
+//!
+//! * `drop:P` — silently swallow each outbound frame with probability
+//!   `P` ∈ \[0, 1\] (the frame is "lost on the wire"; the remote-shard
+//!   sweep re-sends it after its reply timeout).
+//! * `delay:N(ms|us|s)` — sleep that long before each outbound frame.
+//!
+//! Either part may be omitted; unparsable specs are ignored (fail open:
+//! a typo must not make CI pass vacuously by crashing the harness —
+//! the cluster smoke asserts on retry counters instead).
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One parsed `HEFV_NET_FAULT` spec.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct FaultPlan {
+    /// Per-frame drop probability in \[0, 1\].
+    pub drop: f64,
+    /// Per-frame send delay.
+    pub delay: Duration,
+}
+
+impl FaultPlan {
+    pub(crate) fn active(&self) -> bool {
+        self.drop > 0.0 || self.delay > Duration::ZERO
+    }
+}
+
+/// The process-wide plan, read from the environment once.
+pub(crate) fn plan() -> FaultPlan {
+    static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+    *PLAN.get_or_init(|| parse(std::env::var("HEFV_NET_FAULT").ok().as_deref()))
+}
+
+fn parse(spec: Option<&str>) -> FaultPlan {
+    let mut plan = FaultPlan::default();
+    let Some(spec) = spec else { return plan };
+    for part in spec.split(',') {
+        let part = part.trim();
+        if let Some(p) = part.strip_prefix("drop:") {
+            if let Ok(p) = p.trim().parse::<f64>() {
+                if p.is_finite() {
+                    plan.drop = p.clamp(0.0, 1.0);
+                }
+            }
+        } else if let Some(d) = part.strip_prefix("delay:") {
+            plan.delay = parse_duration(d.trim()).unwrap_or(Duration::ZERO);
+        }
+    }
+    plan
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    for (suffix, scale_ns) in [("ms", 1_000_000u64), ("us", 1_000), ("s", 1_000_000_000)] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            // "s" would also strip "ms"/"us" tails; the longer suffixes
+            // are checked first so `num` here is purely numeric.
+            let v: f64 = num.trim().parse().ok()?;
+            if !v.is_finite() || v < 0.0 {
+                return None;
+            }
+            return Some(Duration::from_nanos((v * scale_ns as f64) as u64));
+        }
+    }
+    None
+}
+
+/// Deterministic per-connection coin flip: advances `state` through a
+/// splitmix64 step and compares the draw against the drop probability.
+pub(crate) fn should_drop(plan: &FaultPlan, state: &mut u64) -> bool {
+    if plan.drop <= 0.0 {
+        return false;
+    }
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64 / (1u64 << 53) as f64) < plan.drop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse() {
+        assert_eq!(parse(None), FaultPlan::default());
+        assert_eq!(parse(Some("")), FaultPlan::default());
+        let p = parse(Some("drop:0.01,delay:5ms"));
+        assert!((p.drop - 0.01).abs() < 1e-12);
+        assert_eq!(p.delay, Duration::from_millis(5));
+        assert_eq!(parse(Some("delay:250us")).delay, Duration::from_micros(250));
+        assert_eq!(parse(Some("delay:2s")).delay, Duration::from_secs(2));
+        assert_eq!(parse(Some("drop:1.5")).drop, 1.0, "clamped");
+        assert_eq!(parse(Some("drop:-1")).drop, 0.0, "clamped");
+        // Garbage fails open.
+        assert_eq!(parse(Some("drop:lots,delay:soon")), FaultPlan::default());
+        assert!(!parse(Some("nonsense")).active());
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan {
+            drop: 0.25,
+            delay: Duration::ZERO,
+        };
+        let mut state = 0xDEAD_BEEFu64;
+        let dropped = (0..10_000)
+            .filter(|_| should_drop(&plan, &mut state))
+            .count();
+        assert!(
+            (2_000..3_000).contains(&dropped),
+            "25% drop produced {dropped}/10000"
+        );
+        let none = FaultPlan::default();
+        assert!(!should_drop(&none, &mut state));
+    }
+}

@@ -83,7 +83,10 @@
 
 pub mod client;
 pub mod envelope;
+mod fault;
+pub mod remote;
 pub mod server;
 
 pub use client::Client;
+pub use remote::TcpConnector;
 pub use server::{NetServer, NetStatsSnapshot, ServerConfig};

@@ -1,0 +1,129 @@
+//! TCP transport for the engine's remote shards.
+//!
+//! [`TcpConnector`] implements [`hefv_engine::remote::ShardConnector`]
+//! over the envelope protocol: a router process attaches a peer node
+//! with [`ShardRouter::add_remote_shard`] and this connector supplies
+//! the pooled connections its `RemoteShard` forwards frames on, plus the
+//! liveness probe (an `HEVS` metrics scrape over a fresh connection —
+//! proving the node's accept loop, poll thread and router all answer).
+//!
+//! The data path honors the test-only fault-injection knob
+//! (`HEFV_NET_FAULT`); probes deliberately do not, so injected frame
+//! loss exercises the retry machinery without flapping the circuit
+//! breaker.
+//!
+//! [`ShardRouter::add_remote_shard`]:
+//! hefv_engine::router::ShardRouter::add_remote_shard
+
+use crate::client::Client;
+use crate::envelope::{self, CORR_BYTES, LEN_BYTES};
+use crate::fault::{self, FaultPlan};
+use hefv_engine::remote::{FrameReceiver, FrameSender, ShardConnector};
+use hefv_engine::wire;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Connection factory for one peer node. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TcpConnector {
+    addr: SocketAddr,
+    connect_timeout: Duration,
+}
+
+impl TcpConnector {
+    /// A connector for `addr` with a 2 s connect timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_timeout(addr, Duration::from_secs(2))
+    }
+
+    /// A connector with an explicit connect timeout.
+    pub fn with_timeout(addr: SocketAddr, connect_timeout: Duration) -> Self {
+        TcpConnector {
+            addr,
+            connect_timeout,
+        }
+    }
+}
+
+impl ShardConnector for TcpConnector {
+    fn connect(&self) -> io::Result<(Box<dyn FrameSender>, Box<dyn FrameReceiver>)> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        // Distinct fault-injection streams per connection, seeded off a
+        // process counter so reconnects do not replay the same coin
+        // flips.
+        static SEED: AtomicU64 = AtomicU64::new(0x5EED);
+        Ok((
+            Box::new(TcpFrameSender {
+                stream,
+                fault: fault::plan(),
+                rng: SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+            }),
+            Box::new(TcpFrameReceiver { stream: reader }),
+        ))
+    }
+
+    fn probe(&self, timeout: Duration) -> io::Result<()> {
+        let stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let mut client = Client::from_stream(stream);
+        client.scrape_stats(wire::StatsKind::Metrics).map(|_| ())
+    }
+
+    fn endpoint(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+struct TcpFrameSender {
+    stream: TcpStream,
+    fault: FaultPlan,
+    rng: u64,
+}
+
+impl FrameSender for TcpFrameSender {
+    fn send(&mut self, corr: u64, frame: &[u8]) -> io::Result<()> {
+        if self.fault.active() {
+            if self.fault.delay > Duration::ZERO {
+                std::thread::sleep(self.fault.delay);
+            }
+            if fault::should_drop(&self.fault, &mut self.rng) {
+                // "Lost on the wire": report success and send nothing —
+                // the remote shard's sweep re-sends after its timeout.
+                return Ok(());
+            }
+        }
+        self.stream.write_all(&envelope::encode(corr, frame))
+    }
+
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+struct TcpFrameReceiver {
+    stream: TcpStream,
+}
+
+impl FrameReceiver for TcpFrameReceiver {
+    fn recv(&mut self) -> io::Result<(u64, Vec<u8>)> {
+        let mut header = [0u8; LEN_BYTES + CORR_BYTES];
+        self.stream.read_exact(&mut header)?;
+        let len = envelope::read_len(&header);
+        if len < CORR_BYTES || len - CORR_BYTES > wire::MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply envelope of {len} bytes breaks the protocol"),
+            ));
+        }
+        let corr = envelope::read_corr(&header);
+        let mut frame = vec![0u8; len - CORR_BYTES];
+        self.stream.read_exact(&mut frame)?;
+        Ok((corr, frame))
+    }
+}

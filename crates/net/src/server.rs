@@ -476,6 +476,20 @@ fn parse_frames(
             off += LEN_BYTES + len;
             continue;
         }
+        if wire::is_key_frame(frame) {
+            // `HEVK` key pushes (cross-node key migration) are answered
+            // inline too: a topology change must be able to land keys
+            // even while every shard queue is saturated.
+            let reply = router.handle_key_push(frame);
+            conn.shared
+                .lock()
+                .unwrap()
+                .replies
+                .push_back(envelope::encode(corr, &reply));
+            stats.frames_in.fetch_add(1, Ordering::Relaxed);
+            off += LEN_BYTES + len;
+            continue;
+        }
         if !dispatch(conn, router, corr, frame) {
             // Shard queue full: keep the frame and retry next sweep.
             // This counts as liveness — a connection with admissible
