@@ -1,0 +1,283 @@
+//! Admission control: the engine's overload/brownout policy and the
+//! panic-quarantine table.
+//!
+//! Every gate here runs on the submission path *before* a job is
+//! enqueued, so work the engine cannot finish (or should not attempt)
+//! is refused with a typed [`crate::error::ErrorCode`] instead of
+//! burning worker time — the serving-tier analogue of the paper's
+//! observation that the host stack, not the coprocessor, bounds
+//! delivered throughput under load. The gates, in evaluation order:
+//!
+//! 1. **Quarantine** — a (tenant, op-class) signature that panicked
+//!    workers [`SheddingPolicy::quarantine_after`] times is refused
+//!    [`Quarantined`] until its TTL lapses (strikes halve on each
+//!    expiry, so a stale offender decays back to trusted).
+//! 2. **Noise budget** — the [`hefv_core::noise::NoiseModel`]
+//!    recurrence is replayed over the op graph (pure arithmetic, no
+//!    ciphertexts); a graph whose worst-case output noise crosses the
+//!    decryption-failure threshold is refused
+//!    [`NoiseBudgetExhausted`] at the door.
+//! 3. **Memory pressure** — admission is gated on the worker arenas'
+//!    pooled-byte gauge against a configurable high-water mark
+//!    ([`MemoryPressure`]).
+//! 4. **Brownout** — above a queue-occupancy fraction, deadline-less
+//!    (lowest-QoS) jobs are shed [`Overload`] first, with a
+//!    retry-after hint from the backlog estimate, so deadline traffic
+//!    keeps its headroom.
+//! 5. **Deadline feasibility** — a job whose priced cost plus the
+//!    current backlog estimate cannot meet its own deadline is refused
+//!    [`DeadlineInfeasible`] instead of executed-and-missed.
+//!
+//! [`Quarantined`]: crate::error::ErrorCode::Quarantined
+//! [`NoiseBudgetExhausted`]: crate::error::ErrorCode::NoiseBudgetExhausted
+//! [`MemoryPressure`]: crate::error::ErrorCode::MemoryPressure
+//! [`Overload`]: crate::error::ErrorCode::Overload
+//! [`DeadlineInfeasible`]: crate::error::ErrorCode::DeadlineInfeasible
+
+use crate::registry::TenantId;
+use crate::request::EvalOp;
+use crate::stats::EngineStats;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// When and what the engine sheds at admission. Lives on
+/// [`crate::engine::EngineConfig`]; all gates evaluate per submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SheddingPolicy {
+    /// Refuse `DeadlineInfeasible` when the backlog estimate plus the
+    /// job's priced cost exceeds its own deadline.
+    pub deadline_admission: bool,
+    /// Queue-occupancy fraction above which deadline-less (lowest-QoS)
+    /// jobs are shed `Overload` while deadline traffic is still
+    /// admitted. `>= 1.0` disables the brownout.
+    pub brownout_occupancy: f64,
+    /// Pooled-byte high-water mark across the worker scratch arenas;
+    /// admission refuses `MemoryPressure` above it. `0` disables.
+    pub memory_high_water_bytes: u64,
+    /// Refuse `NoiseBudgetExhausted` when the worst-case noise model
+    /// says the op graph cannot decrypt at these parameters.
+    pub noise_admission: bool,
+    /// Worker panics on one (tenant, op-class) signature before that
+    /// signature is quarantined. `0` disables quarantine.
+    pub quarantine_after: u32,
+    /// How long a quarantined signature is refused. On expiry the
+    /// signature's strike count halves (decay), so repeat offenders
+    /// re-quarantine faster while stale ones regain trust.
+    pub quarantine_ttl: Duration,
+}
+
+impl Default for SheddingPolicy {
+    fn default() -> Self {
+        SheddingPolicy {
+            deadline_admission: true,
+            brownout_occupancy: 0.9,
+            // Off by default: the right ceiling is deployment-sized
+            // (workers × arena limits), not guessable here.
+            memory_high_water_bytes: 0,
+            noise_admission: true,
+            quarantine_after: 3,
+            quarantine_ttl: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The panic signature admission gates on: which op classes a request
+/// uses, one bit per [`EvalOp`] kind. Coarser than the whole graph (so
+/// a poisoned input shape is caught across size variations), finer
+/// than the tenant (so one bad workload does not quarantine the
+/// tenant's unrelated traffic).
+pub(crate) fn op_class_mask(ops: &[EvalOp]) -> u8 {
+    let mut mask = 0u8;
+    for op in ops {
+        mask |= 1
+            << match op {
+                EvalOp::Add(..) => 0,
+                EvalOp::Sub(..) => 1,
+                EvalOp::Neg(..) => 2,
+                EvalOp::Mul(..) => 3,
+                EvalOp::MulPlain(..) => 4,
+                EvalOp::Rotate(..) => 5,
+                EvalOp::SumSlots(..) => 6,
+            };
+    }
+    mask
+}
+
+/// One signature's standing with the quarantine table.
+struct SigState {
+    /// Worker panics attributed to this signature (halved on each
+    /// quarantine expiry).
+    strikes: u32,
+    /// While `Some`, the signature is refused until this instant.
+    until: Option<Instant>,
+}
+
+/// Per-(tenant, op-class) panic bookkeeping. The worker pool reports
+/// panics in; the admission path checks membership; expiry is lazy
+/// (checked on admission and on [`Quarantine::sweep`]). The active
+/// count is mirrored into [`EngineStats`]' `quarantine_active` gauge
+/// on every transition so it reaches fleet snapshots like any other
+/// counter.
+pub(crate) struct Quarantine {
+    after: u32,
+    ttl: Duration,
+    table: Mutex<HashMap<(TenantId, u8), SigState>>,
+}
+
+impl Quarantine {
+    pub(crate) fn new(policy: &SheddingPolicy) -> Self {
+        Quarantine {
+            after: policy.quarantine_after,
+            ttl: policy.quarantine_ttl,
+            table: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.after > 0
+    }
+
+    /// Admission check: remaining TTL if `sig` is quarantined right
+    /// now. Expired entries decay here (strikes halve; the entry drops
+    /// once strikes reach zero).
+    pub(crate) fn check(&self, sig: (TenantId, u8), stats: &EngineStats) -> Option<Duration> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut table = self.table.lock().expect("quarantine table lock");
+        let state = table.get_mut(&sig)?;
+        let until = state.until?;
+        let now = Instant::now();
+        if until > now {
+            return Some(until - now);
+        }
+        state.until = None;
+        state.strikes /= 2;
+        stats.on_quarantine_exit();
+        if state.strikes == 0 {
+            table.remove(&sig);
+        }
+        None
+    }
+
+    /// A worker panicked executing a job with this signature. The K-th
+    /// strike (while not already quarantined) starts a TTL.
+    pub(crate) fn note_panic(&self, sig: (TenantId, u8), stats: &EngineStats) {
+        if !self.enabled() {
+            return;
+        }
+        let mut table = self.table.lock().expect("quarantine table lock");
+        let state = table.entry(sig).or_insert(SigState {
+            strikes: 0,
+            until: None,
+        });
+        state.strikes = state.strikes.saturating_add(1);
+        if state.until.is_none() && state.strikes >= self.after {
+            state.until = Some(Instant::now() + self.ttl);
+            stats.on_quarantine_enter();
+        }
+    }
+
+    /// Decays every expired entry (called on stats snapshots, so the
+    /// `quarantine_active` gauge self-corrects on scrape even for
+    /// signatures that stopped submitting).
+    pub(crate) fn sweep(&self, stats: &EngineStats) {
+        if !self.enabled() {
+            return;
+        }
+        let now = Instant::now();
+        let mut table = self.table.lock().expect("quarantine table lock");
+        table.retain(|_, state| {
+            if state.until.is_some_and(|until| until <= now) {
+                state.until = None;
+                state.strikes /= 2;
+                stats.on_quarantine_exit();
+            }
+            state.strikes > 0 || state.until.is_some()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ValRef;
+
+    fn policy(after: u32, ttl: Duration) -> SheddingPolicy {
+        SheddingPolicy {
+            quarantine_after: after,
+            quarantine_ttl: ttl,
+            ..SheddingPolicy::default()
+        }
+    }
+
+    #[test]
+    fn op_class_mask_separates_workload_shapes() {
+        let a = ValRef::Input(0);
+        let mul = op_class_mask(&[EvalOp::Mul(a, a)]);
+        let add = op_class_mask(&[EvalOp::Add(a, a)]);
+        assert_ne!(mul, add);
+        assert_eq!(
+            op_class_mask(&[EvalOp::Mul(a, a), EvalOp::Add(ValRef::Op(0), a)]),
+            mul | add
+        );
+        // Masks ignore graph size: same shape → same signature.
+        assert_eq!(op_class_mask(&[EvalOp::Mul(a, a); 10]), mul);
+    }
+
+    #[test]
+    fn k_strikes_quarantine_then_ttl_decays() {
+        let stats = EngineStats::default();
+        let q = Quarantine::new(&policy(3, Duration::from_millis(40)));
+        let sig = (7u64, 0b1000u8);
+
+        q.note_panic(sig, &stats);
+        q.note_panic(sig, &stats);
+        assert!(q.check(sig, &stats).is_none(), "below K: admitted");
+        q.note_panic(sig, &stats);
+        let rem = q.check(sig, &stats).expect("K strikes: quarantined");
+        assert!(rem <= Duration::from_millis(40));
+        assert_eq!(stats.snapshot().quarantine_active, 1);
+
+        // Other signatures are unaffected.
+        assert!(q.check((7, 0b0001), &stats).is_none());
+        assert!(q.check((8, 0b1000), &stats).is_none());
+
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(q.check(sig, &stats).is_none(), "TTL lapsed: admitted");
+        assert_eq!(stats.snapshot().quarantine_active, 0);
+
+        // Strikes halved (3 → 1), so one more panic does not re-trip…
+        q.note_panic(sig, &stats);
+        assert!(q.check(sig, &stats).is_none());
+        // …but the third does.
+        q.note_panic(sig, &stats);
+        assert!(q.check(sig, &stats).is_some());
+    }
+
+    #[test]
+    fn sweep_decays_idle_signatures() {
+        let stats = EngineStats::default();
+        let q = Quarantine::new(&policy(1, Duration::from_millis(10)));
+        q.note_panic((1, 1), &stats);
+        q.note_panic((2, 2), &stats);
+        assert_eq!(stats.snapshot().quarantine_active, 2);
+        std::thread::sleep(Duration::from_millis(25));
+        // Neither signature submits again; the scrape-path sweep still
+        // corrects the gauge.
+        q.sweep(&stats);
+        assert_eq!(stats.snapshot().quarantine_active, 0);
+    }
+
+    #[test]
+    fn disabled_quarantine_never_trips() {
+        let stats = EngineStats::default();
+        let q = Quarantine::new(&policy(0, Duration::from_secs(1)));
+        for _ in 0..10 {
+            q.note_panic((1, 1), &stats);
+        }
+        assert!(q.check((1, 1), &stats).is_none());
+        assert_eq!(stats.snapshot().quarantine_active, 0);
+    }
+}

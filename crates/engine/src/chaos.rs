@@ -1,0 +1,153 @@
+//! Test-only chaos injection for the engine interior.
+//!
+//! The `HEFV_CHAOS` environment variable arms fault injection inside
+//! the worker pool — the engine-side sibling of `HEFV_NET_FAULT` (which
+//! perturbs the transport). Off by default; compiled in always, so CI
+//! soaks can exercise panic quarantine, load shedding, and client
+//! backoff without a special build. Format:
+//!
+//! ```text
+//! HEFV_CHAOS=panic:0.01,delay:2ms,alloc_pressure:0.05
+//! ```
+//!
+//! * `panic:P` — each job panics inside the worker (before touching
+//!   ciphertexts) with probability `P` ∈ \[0, 1\]. The engine's
+//!   `catch_unwind` converts it into an `Internal` refusal and feeds
+//!   the quarantine table, exactly like an organic panic.
+//! * `delay:N(ms|us|s)` — sleep that long before executing each job
+//!   (simulates a slow datapath; drives deadline misses and backlog).
+//! * `alloc_pressure:P` — with probability `P` per job, park a 1 MiB
+//!   buffer in the worker's scratch arena, inflating the pooled-bytes
+//!   gauge that the `MemoryPressure` admission gate watches. Bounded
+//!   by [`hefv_core::scratch::ArenaLimits`], so pressure saturates
+//!   rather than growing without bound.
+//!
+//! Any part may be omitted; unparsable specs are ignored (fail open:
+//! a typo must not make CI pass vacuously by crashing the harness —
+//! the chaos soak asserts on shed/retry counters instead). Tests that
+//! need a plan without touching the process environment set
+//! [`crate::engine::EngineConfig::chaos`] directly.
+//!
+//! Draws are deterministic per worker: each worker thread seeds a
+//! splitmix64 stream from the engine seed and its worker index, so a
+//! given configuration replays the same fault schedule.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One parsed `HEFV_CHAOS` spec.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// Per-job worker-panic probability in \[0, 1\].
+    pub panic: f64,
+    /// Per-job execution delay.
+    pub delay: Duration,
+    /// Per-job probability of parking a pressure buffer in the arena.
+    pub alloc_pressure: f64,
+}
+
+impl ChaosPlan {
+    pub fn active(&self) -> bool {
+        self.panic > 0.0 || self.delay > Duration::ZERO || self.alloc_pressure > 0.0
+    }
+}
+
+/// Bytes parked in the worker arena per `alloc_pressure` hit.
+pub(crate) const PRESSURE_CHUNK_BYTES: usize = 1 << 20;
+
+/// The process-wide plan, read from the environment once.
+pub(crate) fn plan() -> ChaosPlan {
+    static PLAN: OnceLock<ChaosPlan> = OnceLock::new();
+    *PLAN.get_or_init(|| parse(std::env::var("HEFV_CHAOS").ok().as_deref()))
+}
+
+fn parse(spec: Option<&str>) -> ChaosPlan {
+    let mut plan = ChaosPlan::default();
+    let Some(spec) = spec else { return plan };
+    for part in spec.split(',') {
+        let part = part.trim();
+        if let Some(p) = part.strip_prefix("panic:") {
+            plan.panic = parse_probability(p).unwrap_or(0.0);
+        } else if let Some(p) = part.strip_prefix("alloc_pressure:") {
+            plan.alloc_pressure = parse_probability(p).unwrap_or(0.0);
+        } else if let Some(d) = part.strip_prefix("delay:") {
+            plan.delay = parse_duration(d.trim()).unwrap_or(Duration::ZERO);
+        }
+    }
+    plan
+}
+
+fn parse_probability(s: &str) -> Option<f64> {
+    let p: f64 = s.trim().parse().ok()?;
+    p.is_finite().then(|| p.clamp(0.0, 1.0))
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    for (suffix, scale_ns) in [("ms", 1_000_000u64), ("us", 1_000), ("s", 1_000_000_000)] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            // "s" would also strip "ms"/"us" tails; the longer suffixes
+            // are checked first so `num` here is purely numeric.
+            let v: f64 = num.trim().parse().ok()?;
+            if !v.is_finite() || v < 0.0 {
+                return None;
+            }
+            return Some(Duration::from_nanos((v * scale_ns as f64) as u64));
+        }
+    }
+    None
+}
+
+/// Deterministic per-worker coin flip: advances `state` through a
+/// splitmix64 step and compares the draw against probability `p`.
+pub(crate) fn roll(p: f64, state: &mut u64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64 / (1u64 << 53) as f64) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse() {
+        assert_eq!(parse(None), ChaosPlan::default());
+        assert_eq!(parse(Some("")), ChaosPlan::default());
+        let p = parse(Some("panic:0.01,delay:2ms,alloc_pressure:0.05"));
+        assert!((p.panic - 0.01).abs() < 1e-12);
+        assert_eq!(p.delay, Duration::from_millis(2));
+        assert!((p.alloc_pressure - 0.05).abs() < 1e-12);
+        assert_eq!(parse(Some("delay:250us")).delay, Duration::from_micros(250));
+        assert_eq!(parse(Some("panic:1.5")).panic, 1.0, "clamped");
+        assert_eq!(parse(Some("panic:-1")).panic, 0.0, "clamped");
+        // Garbage fails open.
+        assert_eq!(parse(Some("panic:lots,delay:soon")), ChaosPlan::default());
+        assert!(!parse(Some("nonsense")).active());
+    }
+
+    #[test]
+    fn roll_rate_tracks_probability() {
+        let mut state = 0xDEAD_BEEFu64;
+        let hits = (0..10_000).filter(|_| roll(0.25, &mut state)).count();
+        assert!(
+            (2_000..3_000).contains(&hits),
+            "25% chaos produced {hits}/10000"
+        );
+        assert!(!roll(0.0, &mut state));
+    }
+
+    #[test]
+    fn distinct_worker_seeds_diverge() {
+        let mut a = 1u64;
+        let mut b = 2u64;
+        let seq_a: Vec<bool> = (0..64).map(|_| roll(0.5, &mut a)).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| roll(0.5, &mut b)).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+}

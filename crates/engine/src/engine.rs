@@ -10,6 +10,8 @@
 //! timer drains partially-filled scalar batches under light load. All
 //! counters land in [`EngineStats`].
 
+use crate::admission::{op_class_mask, Quarantine, SheddingPolicy};
+use crate::chaos::{self, ChaosPlan};
 use crate::error::EngineError;
 use crate::registry::{KeyRegistry, TenantId, TenantKeys};
 use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
@@ -75,6 +77,14 @@ pub struct EngineConfig {
     /// promoted to the flight recorder's slow ring. `None` disables
     /// promotion.
     pub slow_threshold: Option<Duration>,
+    /// Overload-control policy: which admission gates are armed and
+    /// where they trip (see [`SheddingPolicy`]). Refusals carry a typed
+    /// [`crate::error::ErrorCode`] all the way to wire clients.
+    pub shedding: SheddingPolicy,
+    /// Chaos-injection override: `Some` replaces the process-wide
+    /// `HEFV_CHAOS` environment plan (tests set this to avoid touching
+    /// the environment); `None` reads the env once per process.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +102,8 @@ impl Default for EngineConfig {
             seed: 0x4845_4154, // "HEAT"
             trace_ring: 256,
             slow_threshold: Some(Duration::from_millis(100)),
+            shedding: SheddingPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -133,6 +145,13 @@ pub(crate) struct Shared {
     estimator: CostEstimator,
     next_job_id: AtomicU64,
     pub(crate) batching: Option<crate::batch::Batching>,
+    /// Worker-pool size: the admission deadline gate divides the queue
+    /// backlog by this for its serve-time estimate.
+    workers: usize,
+    shedding: SheddingPolicy,
+    quarantine: Quarantine,
+    /// Resolved chaos plan (config override or `HEFV_CHAOS`).
+    chaos: ChaosPlan,
 }
 
 impl Shared {
@@ -244,6 +263,39 @@ impl Shared {
                 which: "galois",
             });
         }
+        // ---- Admission control: refuse work the engine cannot finish
+        // (or should not attempt) with a typed, retryable-or-not code,
+        // instead of burning worker time on it. Gate order matches
+        // `crate::admission`'s module docs.
+        if self.quarantine.enabled() {
+            let sig = (req.tenant, op_class_mask(&req.ops));
+            if let Some(remaining) = self.quarantine.check(sig, &self.stats) {
+                return Err(self.shed(EngineError::Quarantined {
+                    retry_after_us: remaining.as_micros() as u64,
+                }));
+            }
+        }
+        if self.shedding.noise_admission {
+            let magnitude = self.predict_noise_magnitude(&req, &keys);
+            let needed_bits = magnitude.log2();
+            let budget_bits = self.noise.threshold_bits();
+            if needed_bits >= budget_bits {
+                return Err(self.shed(EngineError::NoiseBudgetExhausted {
+                    needed_bits: needed_bits.ceil() as u64,
+                    budget_bits: budget_bits.max(0.0) as u64,
+                }));
+            }
+        }
+        let high_water = self.shedding.memory_high_water_bytes;
+        if high_water > 0 {
+            let pooled_bytes = self.stats.arena_pooled_bytes_now();
+            if pooled_bytes >= high_water {
+                return Err(self.shed(EngineError::MemoryPressure {
+                    pooled_bytes,
+                    high_water_bytes: high_water,
+                }));
+            }
+        }
         let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
         // Backend::Auto resolves here, per job: the queue is priced (and
         // the job later executed) with whichever datapath the cost model
@@ -252,6 +304,33 @@ impl Shared {
             Backend::Auto => self.estimator.cheaper_backend(&req),
             b => (b, self.estimator.request_us_for(&req, b)),
         };
+        // Brownout: near saturation, deadline-less (lowest-QoS) traffic
+        // is shed first so jobs with deadlines keep their headroom.
+        if req.deadline_us.is_none() && self.shedding.brownout_occupancy < 1.0 {
+            let depth = self.queue.depth() as f64;
+            let capacity = self.queue.capacity() as f64;
+            if depth >= self.shedding.brownout_occupancy * capacity {
+                let drain_us = self.queue.backlog_us() / self.workers as f64;
+                return Err(self.shed(EngineError::Overload {
+                    retry_after_us: Some((drain_us as u64).max(1)),
+                }));
+            }
+        }
+        // Deadline feasibility: the job priced against the backlog. A
+        // deadline that cannot be met even under the optimistic
+        // all-workers-draining estimate is refused now, not executed
+        // and missed later.
+        if self.shedding.deadline_admission {
+            if let Some(deadline_us) = req.deadline_us {
+                let estimated_us = self.queue.backlog_us() / self.workers as f64 + cost_us;
+                if estimated_us > deadline_us {
+                    return Err(self.shed(EngineError::DeadlineInfeasible {
+                        estimated_us: estimated_us as u64,
+                        deadline_us: deadline_us.max(0.0) as u64,
+                    }));
+                }
+            }
+        }
         let qos = QosSpec {
             tenant: req.tenant,
             deadline_us: req.deadline_us,
@@ -274,6 +353,53 @@ impl Shared {
             done: Box::new(done),
         };
         Ok((id, cost_us, qos, job))
+    }
+
+    /// Counts an admission refusal in the shed telemetry and hands the
+    /// error back (every admission gate returns through here).
+    fn shed(&self, err: EngineError) -> EngineError {
+        self.stats.on_shed(err.code());
+        err
+    }
+
+    /// Replays `execute`'s worst-case noise recurrence over the op graph
+    /// — pure arithmetic on the [`NoiseModel`], no ciphertext is touched
+    /// — and returns the predicted output noise magnitude. The admission
+    /// noise gate compares this against the decryption-failure threshold
+    /// so a graph that cannot close is refused at the door.
+    fn predict_noise_magnitude(&self, req: &EvalRequest, keys: &TenantKeys) -> f64 {
+        let fresh = self.noise.fresh();
+        let mut noise: Vec<f64> = Vec::with_capacity(req.ops.len());
+        let mag = |noise: &[f64], r: ValRef| -> f64 {
+            match r {
+                ValRef::Input(_) => fresh,
+                ValRef::Op(j) => noise[j as usize],
+            }
+        };
+        for op in &req.ops {
+            let bits = match *op {
+                EvalOp::Add(a, b) | EvalOp::Sub(a, b) => {
+                    self.noise.after_add(mag(&noise, a), mag(&noise, b))
+                }
+                EvalOp::Neg(a) => mag(&noise, a),
+                EvalOp::Mul(a, b) => self.noise.after_mul(mag(&noise, a), mag(&noise, b)),
+                EvalOp::MulPlain(a, _) => self.noise.after_mul_plain(mag(&noise, a)),
+                EvalOp::Rotate(a, _) => self.noise.after_key_switch(mag(&noise, a)),
+                EvalOp::SumSlots(a) => {
+                    // Same per-round recurrence the executor applies:
+                    // each round key-switches the accumulator and adds
+                    // it back on.
+                    let rounds = keys.galois.as_ref().map_or(0, |set| set.rounds());
+                    let mut acc = mag(&noise, a);
+                    for _ in 0..rounds {
+                        acc = self.noise.after_add(self.noise.after_key_switch(acc), acc);
+                    }
+                    acc
+                }
+            };
+            noise.push(bits);
+        }
+        noise.last().copied().unwrap_or(fresh).max(fresh)
     }
 }
 
@@ -354,6 +480,10 @@ impl Engine {
             estimator,
             next_job_id: AtomicU64::new(0),
             batching,
+            workers,
+            quarantine: Quarantine::new(&config.shedding),
+            shedding: config.shedding,
+            chaos: config.chaos.unwrap_or_else(chaos::plan),
             ctx,
         });
         let handles = (0..workers)
@@ -442,6 +572,10 @@ impl Engine {
 
     /// Current telemetry snapshot.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        // Expired quarantines decay on the scrape path too, so the
+        // active gauge self-corrects even for signatures that stopped
+        // submitting after their TTL started.
+        self.shared.quarantine.sweep(&self.shared.stats);
         self.shared.stats.snapshot()
     }
 
@@ -560,6 +694,10 @@ fn worker_loop(shared: &Shared, worker: u32) {
     // `EngineStats::on_arena`), so the gauges sum every worker's live
     // pool without a registry of arenas.
     let mut reported = worker_arena.stats();
+    // Per-worker chaos stream: deterministic for a fixed engine seed,
+    // distinct per worker (mirrors the net layer's per-connection
+    // fault rng).
+    let mut chaos_rng = mix64(shared.trace_seed ^ 0xC4A0_5EED ^ u64::from(worker));
     while let Some((job, level)) = shared.queue.pop_labeled() {
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         shared.stats.on_dequeue(queue_ns, level);
@@ -584,10 +722,32 @@ fn worker_loop(shared: &Shared, worker: u32) {
             job_arena = Arena::new();
             &job_arena
         };
+        if shared.chaos.active() {
+            if shared.chaos.delay > Duration::ZERO {
+                std::thread::sleep(shared.chaos.delay);
+            }
+            if chaos::roll(shared.chaos.alloc_pressure, &mut chaos_rng) {
+                // Park a chunk in the arena: genuine pooled bytes,
+                // visible to the occupancy gauges and the
+                // MemoryPressure admission gate, bounded by the
+                // arena's own limits.
+                worker_arena.put(vec![0u64; chaos::PRESSURE_CHUNK_BYTES / 8]);
+            }
+        }
+        let inject_panic = chaos::roll(shared.chaos.panic, &mut chaos_rng);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("chaos: injected worker panic");
+            }
             execute(shared, &req, backend, arena)
         }))
         .unwrap_or_else(|_| {
+            // A panicking (tenant, op-class) signature strikes the
+            // quarantine table; K strikes and its submissions are
+            // refused at admission until the TTL lapses.
+            shared
+                .quarantine
+                .note_panic((tenant, op_class_mask(&req.ops)), &shared.stats);
             Err(EngineError::Internal(
                 "job panicked during execution".into(),
             ))

@@ -19,6 +19,14 @@
 //! * [`engine`] — the [`Engine`]: worker pool, submission, lifecycle;
 //!   `Backend::Auto` engines pick the Traditional or HPS datapath per job
 //!   from the cost model;
+//! * [`admission`] — overload control and failure containment at the
+//!   submission door: deadline-feasibility, memory-pressure,
+//!   noise-budget, and brownout gates ([`SheddingPolicy`]), plus the
+//!   per-(tenant, op-class) panic-quarantine table; refusals carry a
+//!   typed, retryable-or-not [`ErrorCode`] on the wire;
+//! * [`chaos`] — the `HEFV_CHAOS` worker-interior fault injector
+//!   (panics, delay, arena pressure): the engine-side sibling of the
+//!   transport's `HEFV_NET_FAULT`, off by default;
 //! * [`request`] — [`EvalRequest`]: a straight-line op-graph
 //!   (add/sub/neg/mul/mul_plain/rotate/sum_slots) over inline
 //!   ciphertexts, with an optional virtual-clock deadline;
@@ -82,7 +90,9 @@
 //! engine.shutdown();
 //! ```
 
+pub mod admission;
 pub mod batch;
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -95,13 +105,16 @@ pub mod stats;
 pub mod trace;
 pub mod wire;
 
+pub use admission::SheddingPolicy;
 pub use batch::{BatchResult, ScalarOp, ScalarRequest, ScalarTicket};
+pub use chaos::ChaosPlan;
 pub use engine::{Engine, EngineConfig, JobHandle};
-pub use error::EngineError;
+pub use error::{EngineError, ErrorCode, ERROR_CODES};
 pub use metrics::{render_prometheus, Histogram, HistogramSnapshot};
 pub use registry::{KeyRegistry, TenantId, TenantKeys};
 pub use remote::{
-    FrameReceiver, FrameSender, RemoteShard, RemoteShardConfig, RemoteStatsSnapshot, ShardConnector,
+    BreakerState, FrameReceiver, FrameSender, RemoteShard, RemoteShardConfig, RemoteStatsSnapshot,
+    ShardConnector,
 };
 pub use request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
 pub use router::{
@@ -114,14 +127,16 @@ pub use trace::{FlightRecorder, SpanRecord};
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::admission::SheddingPolicy;
     pub use crate::batch::{BatchResult, ScalarOp, ScalarRequest, ScalarTicket};
+    pub use crate::chaos::ChaosPlan;
     pub use crate::engine::{Engine, EngineConfig, JobHandle};
-    pub use crate::error::EngineError;
+    pub use crate::error::{EngineError, ErrorCode};
     pub use crate::metrics::{render_prometheus, Histogram, HistogramSnapshot};
     pub use crate::registry::{KeyRegistry, TenantId, TenantKeys};
     pub use crate::remote::{
-        FrameReceiver, FrameSender, RemoteShard, RemoteShardConfig, RemoteStatsSnapshot,
-        ShardConnector,
+        BreakerState, FrameReceiver, FrameSender, RemoteShard, RemoteShardConfig,
+        RemoteStatsSnapshot, ShardConnector,
     };
     pub use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
     pub use crate::router::{

@@ -421,6 +421,28 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
 
     header(
         out,
+        "hefv_shed_total",
+        "Submissions refused at the admission door, by refusal class",
+        "counter",
+    );
+    for &(reason, v) in &t.shed_by_reason {
+        line(out, "hefv_shed_total", &[("reason", reason)], v as f64);
+    }
+    header(
+        out,
+        "hefv_quarantine_active",
+        "(tenant, op-class) signatures currently quarantined after repeated panics",
+        "gauge",
+    );
+    line(
+        out,
+        "hefv_quarantine_active",
+        &[],
+        t.quarantine_active as f64,
+    );
+
+    header(
+        out,
         "hefv_jobs_backend_total",
         "Jobs dispatched per Lift/Scale datapath",
         "counter",
@@ -672,6 +694,20 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
                 pick(r),
             );
         }
+    }
+    header(
+        out,
+        "hefv_node_breaker_state",
+        "Remote node circuit-breaker position (0 = closed, 1 = half-open, 2 = open)",
+        "gauge",
+    );
+    for r in &fleet.remote {
+        line(
+            out,
+            "hefv_node_breaker_state",
+            &[("node", &r.name), ("endpoint", &r.endpoint)],
+            r.stats.breaker.as_gauge(),
+        );
     }
     let h = &fleet.hedge;
     for (name, help, value) in [

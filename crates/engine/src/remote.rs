@@ -134,11 +134,43 @@ impl Default for RemoteShardConfig {
     }
 }
 
+/// Circuit-breaker position for one remote shard.
+///
+/// The breaker opens after [`RemoteShardConfig::eject_after`] consecutive
+/// failures and fails traffic fast. Probes keep running while open; the
+/// breaker counts as *half-open* once at least one recovery probe has
+/// been attempted since the ejection (the first success closes it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; node believed alive.
+    #[default]
+    Closed,
+    /// Ejected, but a recovery probe has been attempted — the next
+    /// successful probe or reply closes the breaker.
+    HalfOpen,
+    /// Ejected and no recovery probe attempted yet.
+    Open,
+}
+
+impl BreakerState {
+    /// Gauge encoding for metrics: 0 = closed, 1 = half-open, 2 = open.
+    #[must_use]
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
 /// Point-in-time counters for one remote shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RemoteStatsSnapshot {
     /// Circuit closed (node believed alive).
     pub healthy: bool,
+    /// Circuit-breaker position (closed / half-open / open).
+    pub breaker: BreakerState,
     /// Frames currently awaiting a reply.
     pub inflight: u64,
     /// Frames handed to the transport.
@@ -206,6 +238,9 @@ struct Inner {
     /// Circuit breaker: `true` = open = ejected.
     open: AtomicBool,
     consecutive_failures: AtomicU64,
+    /// Recovery probes attempted since the breaker last opened; nonzero
+    /// while open means the breaker is half-open.
+    probes_while_open: AtomicU64,
     stats: Counters,
 }
 
@@ -214,11 +249,22 @@ impl Inner {
         self.open.load(Ordering::Acquire)
     }
 
+    fn breaker_state(&self) -> BreakerState {
+        if !self.circuit_open() {
+            BreakerState::Closed
+        } else if self.probes_while_open.load(Ordering::Acquire) > 0 {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Open
+        }
+    }
+
     /// One failure signal (probe, transport, all-connections-dead).
     fn note_failure(&self) {
         let f = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
         if f >= u64::from(self.cfg.eject_after) && !self.open.swap(true, Ordering::AcqRel) {
             self.stats.ejections.fetch_add(1, Ordering::Relaxed);
+            self.probes_while_open.store(0, Ordering::Release);
             // Fail fast: jobs stuck behind a dead node miss their
             // deadlines; erroring them out immediately lets the router
             // fail over to a replica shard now.
@@ -284,6 +330,7 @@ impl Inner {
     fn snapshot(&self) -> RemoteStatsSnapshot {
         RemoteStatsSnapshot {
             healthy: !self.circuit_open(),
+            breaker: self.breaker_state(),
             inflight: self.pending.lock().unwrap().len() as u64,
             frames_forwarded: self.stats.frames_forwarded.load(Ordering::Relaxed),
             replies: self.stats.replies.load(Ordering::Relaxed),
@@ -339,6 +386,7 @@ impl RemoteShard {
             stop: AtomicBool::new(false),
             open: AtomicBool::new(false),
             consecutive_failures: AtomicU64::new(0),
+            probes_while_open: AtomicU64::new(0),
             stats: Counters::default(),
         });
         for i in 0..inner.conns.len() {
@@ -365,6 +413,11 @@ impl RemoteShard {
     /// Whether the circuit breaker is closed (node believed alive).
     pub fn healthy(&self) -> bool {
         !self.inner.circuit_open()
+    }
+
+    /// Current circuit-breaker position (closed / half-open / open).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.inner.breaker_state()
     }
 
     /// Whether a `try_dispatch` right now would report "at capacity".
@@ -657,6 +710,10 @@ fn maintenance_loop(inner: &Arc<Inner>) {
         }
         if now >= next_probe {
             next_probe = now + inner.cfg.probe_interval;
+            if inner.circuit_open() {
+                // A probe attempted while ejected is the half-open trial.
+                inner.probes_while_open.fetch_add(1, Ordering::AcqRel);
+            }
             match inner.connector.probe(inner.cfg.probe_timeout) {
                 Ok(()) => inner.note_success(),
                 Err(_) => {

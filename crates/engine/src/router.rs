@@ -1156,9 +1156,14 @@ impl ShardRouter {
                 self.dispatch_frame_with_callback(&frame, move |reply| {
                     let outcome = match wire::decode_response(&ctx, &reply) {
                         Ok(wire::ResponseFrame::Ok(resp)) => Ok(resp),
-                        Ok(wire::ResponseFrame::Err { message, .. }) => {
-                            Err(EngineError::Internal(message))
-                        }
+                        // Re-raise a proxied refusal with its original
+                        // code and hint intact, not as a transport error.
+                        Ok(wire::ResponseFrame::Err {
+                            code,
+                            retry_after_us,
+                            message,
+                            ..
+                        }) => Err(EngineError::from_wire(code, retry_after_us, message)),
                         Err(e) => Err(e),
                     };
                     done(outcome);
@@ -1293,10 +1298,12 @@ impl ShardRouter {
                 Some(placed) => return Ok(placed),
                 None => {
                     if Instant::now() >= deadline {
-                        return Err(EngineError::Internal(format!(
-                            "remote shard {} still at capacity after 30s",
-                            primary.id
-                        )));
+                        // 30 s of sustained backpressure is an overload
+                        // refusal, not an internal fault — the caller's
+                        // retry policy should see it as such.
+                        return Err(EngineError::Overload {
+                            retry_after_us: None,
+                        });
                     }
                     if let Some(r) = primary.remote() {
                         r.wait_for_space(Duration::from_millis(5));

@@ -419,6 +419,9 @@ struct QueueInner<T> {
     lst: BinaryHeap<Keyed>,
     /// Virtual service clock: Σ cost of popped jobs, µs.
     virtual_now_us: f64,
+    /// Σ estimated cost of the jobs waiting right now, µs — the
+    /// backlog the admission deadline gate prices a new job against.
+    queued_cost_us: f64,
     /// Pass of the most recently selected tenant (activation clamp).
     vtime_us: f64,
     next_seq: u64,
@@ -455,6 +458,7 @@ impl<T> JobQueue<T> {
                 edf: BinaryHeap::new(),
                 lst: BinaryHeap::new(),
                 virtual_now_us: 0.0,
+                queued_cost_us: 0.0,
                 vtime_us: 0.0,
                 next_seq: 0,
                 closed: false,
@@ -537,6 +541,7 @@ impl<T> JobQueue<T> {
         let seq = inner.next_seq;
         inner.next_seq += 1;
         let cost_us = cost_us.max(0.0);
+        inner.queued_cost_us += cost_us;
         let key = seq as f64 * aging_weight_us + cost_us;
         let deadline_us = qos
             .deadline_us
@@ -597,6 +602,9 @@ impl<T> JobQueue<T> {
                 let drained = t.live == 0;
                 inner.vtime_us = inner.vtime_us.max(pass);
                 inner.virtual_now_us += entry.cost_us;
+                // Clamp: float cancellation must not leave a phantom
+                // backlog behind an empty queue.
+                inner.queued_cost_us = (inner.queued_cost_us - entry.cost_us).max(0.0);
                 if drained {
                     // Idle tenants carry no state: the stride scan stays
                     // O(backlogged tenants) and tenant churn cannot grow
@@ -704,6 +712,18 @@ impl<T> JobQueue<T> {
     /// Jobs currently waiting.
     pub fn depth(&self) -> usize {
         self.inner.lock().unwrap().slab.len()
+    }
+
+    /// Σ estimated cost of the jobs waiting right now, µs. Racy like
+    /// [`JobQueue::depth`]; the admission deadline gate divides it by
+    /// the worker count for a serve-time estimate.
+    pub fn backlog_us(&self) -> f64 {
+        self.inner.lock().unwrap().queued_cost_us
+    }
+
+    /// The backpressure bound this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Whether a push right now would block (or a try-push refuse). Racy
@@ -975,5 +995,19 @@ mod tests {
         assert!((q.virtual_now_us() - 25.0).abs() < 1e-9);
         q.pop();
         assert!((q.virtual_now_us() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_tracks_waiting_cost() {
+        let q = JobQueue::new(1.0, 64);
+        assert_eq!(q.backlog_us(), 0.0);
+        assert_eq!(q.capacity(), 64);
+        q.push(25.0, 1u32);
+        q.push(75.0, 2);
+        assert!((q.backlog_us() - 100.0).abs() < 1e-9);
+        q.pop();
+        assert!((q.backlog_us() - 75.0).abs() < 1e-9);
+        q.pop();
+        assert_eq!(q.backlog_us(), 0.0);
     }
 }

@@ -12,6 +12,7 @@
 //! fleet view without losing quantile fidelity (histograms merge
 //! exactly).
 
+use crate::error::ErrorCode;
 use crate::metrics::{Histogram, HistogramSnapshot};
 use crate::sched::SchedLevel;
 use std::collections::HashMap;
@@ -41,6 +42,30 @@ fn backend_index(backend: hefv_core::eval::Backend) -> usize {
     match backend.resolve() {
         hefv_core::eval::Backend::Traditional => 0,
         _ => 1,
+    }
+}
+
+/// Admission-refusal classes tracked by `hefv_shed_total{reason=}`, in
+/// [`ErrorCode`] discriminant order over the shed subset of the
+/// taxonomy (codes that admission control can refuse with).
+pub const SHED_REASONS: [&str; 6] = [
+    "overload",
+    "deadline_infeasible",
+    "memory_pressure",
+    "noise_budget_exhausted",
+    "quarantined",
+    "shutting_down",
+];
+
+fn shed_index(code: ErrorCode) -> Option<usize> {
+    match code {
+        ErrorCode::Overload => Some(0),
+        ErrorCode::DeadlineInfeasible => Some(1),
+        ErrorCode::MemoryPressure => Some(2),
+        ErrorCode::NoiseBudgetExhausted => Some(3),
+        ErrorCode::Quarantined => Some(4),
+        ErrorCode::ShuttingDown => Some(5),
+        _ => None,
     }
 }
 
@@ -88,6 +113,10 @@ pub struct EngineStats {
     arena_pooled_bytes: AtomicU64,
     /// Arena returns dropped by a pool high-water mark (monotonic).
     arena_dropped: AtomicU64,
+    /// Admission refusals by shed class (indexes match [`SHED_REASONS`]).
+    shed: [AtomicU64; SHED_REASONS.len()],
+    /// (tenant, op-class) panic signatures quarantined right now (gauge).
+    quarantine_active: AtomicU64,
 }
 
 impl EngineStats {
@@ -183,6 +212,32 @@ impl EngineStats {
     /// `jobs_rejected` measures refused attempts, not distinct jobs.
     pub fn on_refused(&self) {
         self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was shed at admission with refusal class `code`.
+    /// Codes outside the shed taxonomy (validation errors, missing
+    /// keys, …) are ignored: those are caller mistakes, not load.
+    pub fn on_shed(&self, code: ErrorCode) {
+        if let Some(i) = shed_index(code) {
+            self.shed[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A (tenant, op-class) panic signature entered quarantine.
+    pub fn on_quarantine_enter(&self) {
+        self.quarantine_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A quarantined signature's TTL lapsed.
+    pub fn on_quarantine_exit(&self) {
+        self.quarantine_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Bytes currently pooled across the worker arenas — the admission
+    /// memory gate reads this directly so it never pays for a full
+    /// [`EngineStats::snapshot`] on the submit path.
+    pub fn arena_pooled_bytes_now(&self) -> u64 {
+        self.arena_pooled_bytes.load(Ordering::Relaxed)
     }
 
     /// A completed job crossed the slow-job threshold (its span was
@@ -304,6 +359,12 @@ impl EngineStats {
             arena_pooled_buffers: self.arena_pooled_buffers.load(Ordering::Relaxed),
             arena_pooled_bytes: self.arena_pooled_bytes.load(Ordering::Relaxed),
             arena_dropped: self.arena_dropped.load(Ordering::Relaxed),
+            shed_by_reason: SHED_REASONS
+                .iter()
+                .zip(&self.shed)
+                .map(|(&name, c)| (name, c.load(Ordering::Relaxed)))
+                .collect(),
+            quarantine_active: self.quarantine_active.load(Ordering::Relaxed),
         }
     }
 }
@@ -411,6 +472,12 @@ pub struct StatsSnapshot {
     pub arena_pooled_bytes: u64,
     /// Arena returns dropped by a pool high-water mark (monotonic).
     pub arena_dropped: u64,
+    /// Admission refusals by shed class (one entry per
+    /// [`SHED_REASONS`], in that order).
+    pub shed_by_reason: Vec<(&'static str, u64)>,
+    /// (tenant, op-class) panic signatures quarantined right now
+    /// (gauge; a fleet view sums the shards').
+    pub quarantine_active: u64,
 }
 
 impl StatsSnapshot {
@@ -446,7 +513,14 @@ impl StatsSnapshot {
             arena_pooled_buffers,
             arena_pooled_bytes,
             arena_dropped,
+            shed_by_reason,
+            quarantine_active,
         } = other;
+        for (mine, theirs) in self.shed_by_reason.iter_mut().zip(shed_by_reason) {
+            debug_assert_eq!(mine.0, theirs.0, "SHED_REASONS order is fixed");
+            mine.1 += theirs.1;
+        }
+        self.quarantine_active += quarantine_active;
         for (mine, theirs) in self.per_op.iter_mut().zip(per_op) {
             debug_assert_eq!(mine.name, theirs.name, "OP_KINDS order is fixed");
             mine.count += theirs.count;
@@ -527,8 +601,13 @@ impl StatsSnapshot {
             arena_pooled_buffers,
             arena_pooled_bytes,
             arena_dropped,
+            shed_by_reason,
+            quarantine_active,
         } = self;
         let mut out: Vec<(String, f64, Fold)> = Vec::new();
+        for (name, v) in shed_by_reason {
+            out.push((format!("shed_by_reason.{name}"), *v as f64, Fold::Add));
+        }
         for op in per_op {
             out.push((
                 format!("per_op.{}.count", op.name),
@@ -619,6 +698,7 @@ impl StatsSnapshot {
             ),
             ("arena_pooled_bytes", *arena_pooled_bytes as f64, Fold::Add),
             ("arena_dropped", *arena_dropped as f64, Fold::Add),
+            ("quarantine_active", *quarantine_active as f64, Fold::Add),
         ] {
             out.push((name.into(), v, fold));
         }
@@ -797,6 +877,23 @@ mod tests {
     }
 
     #[test]
+    fn shed_counters_track_only_the_shed_taxonomy() {
+        let s = EngineStats::default();
+        // Caller mistakes are not load: no shed cell moves.
+        s.on_shed(ErrorCode::Validation);
+        s.on_shed(ErrorCode::Internal);
+        assert!(s.snapshot().shed_by_reason.iter().all(|&(_, v)| v == 0));
+        s.on_shed(ErrorCode::Overload);
+        s.on_shed(ErrorCode::Overload);
+        s.on_shed(ErrorCode::DeadlineInfeasible);
+        let snap = s.snapshot();
+        assert_eq!(snap.shed_by_reason[0], ("overload", 2));
+        assert_eq!(snap.shed_by_reason[1], ("deadline_infeasible", 1));
+        // The memory gate's fast-path read matches the snapshot gauge.
+        assert_eq!(s.arena_pooled_bytes_now(), snap.arena_pooled_bytes);
+    }
+
+    #[test]
     fn tenant_table_caps_and_overflows() {
         let s = EngineStats::default();
         for t in 0..(MAX_TENANT_CELLS as u64 + 10) {
@@ -842,6 +939,19 @@ mod tests {
         s.on_slow();
         s.on_batch(3);
         s.on_tenant(42, 2000, 1.25);
+        for code in [
+            ErrorCode::Overload,
+            ErrorCode::DeadlineInfeasible,
+            ErrorCode::MemoryPressure,
+            ErrorCode::NoiseBudgetExhausted,
+            ErrorCode::Quarantined,
+            ErrorCode::ShuttingDown,
+        ] {
+            s.on_shed(code);
+        }
+        s.on_quarantine_enter();
+        s.on_quarantine_enter();
+        s.on_quarantine_exit();
         s.on_arena(
             &hefv_core::scratch::ArenaStats::default(),
             &hefv_core::scratch::ArenaStats {

@@ -20,7 +20,9 @@
 //!           | ok:  worker u32 | queue_ns u64 | exec_ns u64
 //!                | est_cost_us f64 | noise_bits f64
 //!                | len u32 | core-wire ciphertext
-//!           | err: len u32 | utf-8 message
+//!           | err: code u8 | flags u8
+//!                | retry_after_us u64         (only when flags bit 0 is set)
+//!                | len u32 | utf-8 message
 //! stats-rq := "HEVS" u32 | version=2 u16 | dir=0 u8 | kind u8
 //! stats-rp := "HEVS" u32 | version=2 u16 | dir=1 u8 | kind u8
 //!           | len u32 | utf-8 body
@@ -37,6 +39,12 @@
 //! [`peek_shard`] and [`peek_response_shard`] read it without touching the
 //! payload, so a TCP front-end can route each frame in O(header).
 //!
+//! Error responses carry the machine-readable refusal taxonomy: `code`
+//! is an [`ErrorCode`] byte and flag bit 0 gates an optional
+//! retry-after-µs hint, so clients and proxying routers can classify a
+//! refusal (back off, re-route, give up) without parsing the rendered
+//! message ([`peek_response_error`] does it without a context).
+//!
 //! Decoding is strict: unknown magic/version/flags/opcodes, truncation,
 //! trailing bytes, frames beyond [`MAX_FRAME_BYTES`], or counts that
 //! disagree with the payload are all rejected with
@@ -44,7 +52,7 @@
 //! embedded ciphertexts go through `hefv_core::wire`'s C-VALIDATE checks
 //! against the receiving context.
 
-use crate::error::EngineError;
+use crate::error::{EngineError, ErrorCode};
 use crate::registry::{TenantId, TenantKeys};
 use crate::request::{EvalOp, EvalRequest, EvalResponse, JobReport, ValRef};
 use hefv_core::context::FvContext;
@@ -85,14 +93,23 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 pub enum ResponseFrame {
     /// The job succeeded.
     Ok(EvalResponse),
-    /// The job failed; the engine's error rendered as text.
+    /// The job failed; the refusal class plus the error rendered as
+    /// text.
     Err {
         /// The failing job's id.
         job_id: u64,
+        /// Machine-readable refusal class.
+        code: ErrorCode,
+        /// Suggested wait before retrying, when the producer had one.
+        retry_after_us: Option<u64>,
         /// Rendered error message.
         message: String,
     },
 }
+
+/// Flag bit in the error-response layout: a retry-after-µs hint
+/// follows the flags byte.
+const ERR_FLAG_RETRY_AFTER: u8 = 1;
 
 fn wire_err(reason: impl Into<String>) -> EngineError {
     EngineError::Core(Error::Wire(reason.into()))
@@ -544,6 +561,14 @@ pub fn encode_response_from_shard(
             out.push(1);
             out.push(shard);
             put_u64(&mut out, *job_id);
+            out.push(e.code().as_u8());
+            match e.retry_after_us() {
+                Some(us) => {
+                    out.push(ERR_FLAG_RETRY_AFTER);
+                    put_u64(&mut out, us);
+                }
+                None => out.push(0),
+            }
             let msg = e.to_string();
             put_u32(&mut out, msg.len() as u32);
             out.extend_from_slice(msg.as_bytes());
@@ -600,6 +625,7 @@ pub fn decode_response(ctx: &FvContext, bytes: &[u8]) -> Result<ResponseFrame, E
             }))
         }
         1 => {
+            let (code, retry_after_us) = read_error_tail(&mut c)?;
             let len = c.u32()? as usize;
             let msg = std::str::from_utf8(c.take(len)?)
                 .map_err(|_| wire_err("error message is not UTF-8"))?
@@ -607,8 +633,80 @@ pub fn decode_response(ctx: &FvContext, bytes: &[u8]) -> Result<ResponseFrame, E
             c.finish()?;
             Ok(ResponseFrame::Err {
                 job_id,
+                code,
+                retry_after_us,
                 message: msg,
             })
+        }
+        s => Err(wire_err(format!("bad response status {s}"))),
+    }
+}
+
+/// Reads the `code u8 | flags u8 | [retry_after_us u64]` error tail.
+fn read_error_tail(c: &mut Cursor) -> Result<(ErrorCode, Option<u64>), EngineError> {
+    let code_byte = c.u8()?;
+    let code = ErrorCode::from_u8(code_byte)
+        .ok_or_else(|| wire_err(format!("unknown error code {code_byte}")))?;
+    let flags = c.u8()?;
+    if flags & !ERR_FLAG_RETRY_AFTER != 0 {
+        return Err(wire_err(format!("unknown error flags {flags:#04x}")));
+    }
+    let retry_after_us = if flags & ERR_FLAG_RETRY_AFTER != 0 {
+        Some(c.u64()?)
+    } else {
+        None
+    };
+    Ok((code, retry_after_us))
+}
+
+/// The typed-refusal header of an error response, read without a
+/// context (error frames carry no ciphertext, so classification needs
+/// no key material — this is what a client's retry loop consumes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseErrorInfo {
+    /// The failing job's id (`u64::MAX` for transport-level failures).
+    pub job_id: u64,
+    /// Machine-readable refusal class.
+    pub code: ErrorCode,
+    /// Suggested wait before retrying, when the producer had one.
+    pub retry_after_us: Option<u64>,
+    /// Rendered error message.
+    pub message: String,
+}
+
+/// Classifies a response frame without a context: `Ok(None)` for
+/// success frames (whose ciphertext needs [`decode_response`]),
+/// `Ok(Some(..))` with the full typed refusal for error frames.
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` for malformed frames.
+pub fn peek_response_error(bytes: &[u8]) -> Result<Option<ResponseErrorInfo>, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != RESP_MAGIC {
+        return Err(wire_err("bad response magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported response version"));
+    }
+    let status = c.u8()?;
+    c.u8()?; // producing shard
+    let job_id = c.u64()?;
+    match status {
+        0 => Ok(None),
+        1 => {
+            let (code, retry_after_us) = read_error_tail(&mut c)?;
+            let len = c.u32()? as usize;
+            let message = std::str::from_utf8(c.take(len)?)
+                .map_err(|_| wire_err("error message is not UTF-8"))?
+                .to_string();
+            c.finish()?;
+            Ok(Some(ResponseErrorInfo {
+                job_id,
+                code,
+                retry_after_us,
+                message,
+            }))
         }
         s => Err(wire_err(format!("bad response status {s}"))),
     }
@@ -1111,6 +1209,61 @@ mod tests {
         let frame = encode_request(&req);
         assert_eq!(peek_deadline(&frame).unwrap(), None);
         assert!(peek_deadline(b"HEV").is_err());
+    }
+
+    #[test]
+    fn error_responses_carry_the_typed_taxonomy() {
+        use crate::error::ErrorCode;
+        let ctx = FvContext::new(hefv_core::params::FvParams::insecure_toy()).unwrap();
+
+        // A hint-carrying refusal roundtrips code + retry-after.
+        let e = EngineError::Overload {
+            retry_after_us: Some(1234),
+        };
+        let outcome: Result<EvalResponse, (u64, EngineError)> = Err((7, e.clone()));
+        let frame = encode_response_from_shard(&outcome, 2);
+        match decode_response(&ctx, &frame).unwrap() {
+            ResponseFrame::Err {
+                job_id,
+                code,
+                retry_after_us,
+                message,
+            } => {
+                assert_eq!(job_id, 7);
+                assert_eq!(code, ErrorCode::Overload);
+                assert_eq!(retry_after_us, Some(1234));
+                assert_eq!(message, e.to_string());
+            }
+            other => panic!("expected Err frame, got {other:?}"),
+        }
+
+        // The context-free peek reads the same refusal.
+        let info = peek_response_error(&frame).unwrap().unwrap();
+        assert_eq!(info.job_id, 7);
+        assert_eq!(info.code, ErrorCode::Overload);
+        assert_eq!(info.retry_after_us, Some(1234));
+        assert!(info.message.contains("overloaded"));
+
+        // A hint-free refusal omits the optional field entirely.
+        let outcome: Result<EvalResponse, (u64, EngineError)> =
+            Err((8, EngineError::Validation("empty graph".into())));
+        let frame = encode_response(&outcome);
+        let info = peek_response_error(&frame).unwrap().unwrap();
+        assert_eq!(info.code, ErrorCode::Validation);
+        assert_eq!(info.retry_after_us, None);
+
+        // Unknown codes and unknown flags are rejected, not guessed at.
+        let mut bad = frame.clone();
+        bad[16] = 0xF0; // code byte (after magic 4 | ver 2 | status 1 | shard 1 | job_id 8)
+        assert!(decode_response(&ctx, &bad).is_err());
+        let mut bad = frame.clone();
+        bad[17] = 0x80; // flags byte
+        assert!(peek_response_error(&bad).is_err());
+
+        // Trailing bytes still fail the strict decode.
+        let mut bad = frame;
+        bad.push(0);
+        assert!(decode_response(&ctx, &bad).is_err());
     }
 
     #[test]

@@ -349,7 +349,9 @@ fn frames_route_by_shard_address_and_tenant_hash() {
     // A frame addressed to a nonexistent shard is a transport error.
     let reply = router.dispatch_frame(&wire::encode_request_for_shard(&req, 200));
     match wire::decode_response(&ctx, &reply).unwrap() {
-        wire::ResponseFrame::Err { job_id, message } => {
+        wire::ResponseFrame::Err {
+            job_id, message, ..
+        } => {
             assert_eq!(job_id, u64::MAX);
             assert!(message.contains("unknown shard"), "{message}");
         }

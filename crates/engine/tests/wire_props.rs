@@ -203,8 +203,9 @@ proptest! {
         };
         let bytes = encode_response(&Err((job_id, err.clone())));
         match decode_response(&f.ctx, &bytes).unwrap() {
-            ResponseFrame::Err { job_id: got, message } => {
+            ResponseFrame::Err { job_id: got, code, message, .. } => {
                 prop_assert_eq!(got, job_id);
+                prop_assert_eq!(code, err.code());
                 prop_assert_eq!(message, err.to_string());
             }
             other => return Err(TestCaseError(format!("expected Err frame, got {other:?}"))),

@@ -14,11 +14,71 @@ use hefv_engine::wire;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// How many out-of-order replies a client stashes before
 /// [`Client::recv_reply_for`] refuses to buffer more.
 pub const DEFAULT_STASH_LIMIT: usize = 1024;
+
+/// Process-wide count of [`Client::call_with_retry`] re-submissions
+/// (rendered as `hefv_client_retries_total` in the metrics exposition).
+static CLIENT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Total frames this process re-submitted after a retryable refusal.
+pub fn client_retries_total() -> u64 {
+    CLIENT_RETRIES.load(Ordering::Relaxed)
+}
+
+/// Backoff tuning for [`Client::call_with_retry`].
+///
+/// A refused frame is re-submitted only when its typed error code says
+/// retrying can help ([`hefv_engine::ErrorCode::retryable`]) — refusals
+/// like `DeadlineInfeasible` or `Quarantined` come back to the caller
+/// immediately, since repeating the identical request cannot change the
+/// outcome before the server's own state does. When the refusal carries
+/// a `retry-after` hint (overload sheds do), the hint wins over the
+/// local exponential schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts, counting the first (≥ 1).
+    pub max_attempts: u32,
+    /// First backoff step; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling for any single wait, hinted or computed.
+    pub max_backoff: Duration,
+    /// Jitter seed: same seed + same refusal sequence = same waits, so
+    /// tests stay deterministic. Vary it per client to decorrelate a
+    /// thundering herd.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(250),
+            jitter_seed: 0x5EED_CAB1E,
+        }
+    }
+}
+
+/// splitmix64 — the same tiny deterministic generator the engine's fault
+/// injectors use; no RNG dependency for one jittered backoff.
+fn mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Full-jitter scale in `[0.5, 1.0)` of the nominal backoff step.
+fn jittered(step: Duration, rng: &mut u64) -> Duration {
+    let frac = 0.5 + 0.5 * (mix64(rng) >> 11) as f64 / (1u64 << 53) as f64;
+    step.mul_f64(frac)
+}
 
 /// Blocking client over one connection. See the module docs.
 pub struct Client {
@@ -150,6 +210,48 @@ impl Client {
     pub fn call(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
         let corr = self.send_frame(frame)?;
         self.recv_reply_for(corr)
+    }
+
+    /// [`Client::call`] with backoff-and-retry on *retryable* refusals.
+    ///
+    /// Each attempt is a fresh submission under a fresh correlation id —
+    /// safe because a refused job never executed. The reply returned is
+    /// the first success, the first non-retryable refusal, or the last
+    /// attempt's refusal once the budget is spent; the caller decodes it
+    /// exactly as it would a [`Client::call`] reply. Waits honor the
+    /// server's retry-after hint when present, else follow the policy's
+    /// jittered exponential schedule (see [`RetryPolicy`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from [`Client::call`], immediately — a broken
+    /// connection is not retried here (the stream is gone).
+    pub fn call_with_retry(&mut self, frame: &[u8], policy: &RetryPolicy) -> io::Result<Vec<u8>> {
+        let mut rng = policy.jitter_seed ^ self.next_corr;
+        let mut step = policy.base_backoff;
+        let budget = policy.max_attempts.max(1);
+        for attempt in 1..=budget {
+            let reply = self.call(frame)?;
+            let refusal = match wire::peek_response_error(&reply) {
+                Ok(Some(info)) => info,
+                // Success — or a frame the engine decoder rejects, which
+                // retrying verbatim cannot fix; the caller sees it either
+                // way.
+                Ok(None) | Err(_) => return Ok(reply),
+            };
+            if !refusal.code.retryable() || attempt == budget {
+                return Ok(reply);
+            }
+            CLIENT_RETRIES.fetch_add(1, Ordering::Relaxed);
+            let wait = refusal
+                .retry_after_us
+                .map(Duration::from_micros)
+                .unwrap_or_else(|| jittered(step, &mut rng))
+                .min(policy.max_backoff);
+            std::thread::sleep(wait);
+            step = (step * 2).min(policy.max_backoff);
+        }
+        unreachable!("loop returns on the final attempt")
     }
 
     /// Scrapes the server's `HEVS` admin endpoint: the Prometheus-text

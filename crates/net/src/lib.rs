@@ -87,6 +87,6 @@ mod fault;
 pub mod remote;
 pub mod server;
 
-pub use client::Client;
+pub use client::{client_retries_total, Client, RetryPolicy};
 pub use remote::TcpConnector;
 pub use server::{NetServer, NetStatsSnapshot, ServerConfig};

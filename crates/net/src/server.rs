@@ -34,7 +34,7 @@ use hefv_core::error::Error;
 use hefv_engine::router::ShardRouter;
 use hefv_engine::wire;
 use hefv_engine::EngineError;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -118,12 +118,19 @@ impl NetStats {
 }
 
 /// The half of a connection shared with engine worker threads: finished
-/// replies land here (in completion order) and the in-flight count
-/// gates how fast the poll thread admits new frames.
+/// replies land here (in completion order) and the in-flight set gates
+/// how fast the poll thread admits new frames.
+///
+/// In-flight jobs are tracked by correlation id, not just a count, so
+/// shutdown can answer every outstanding id when the drain window
+/// expires. A job's completion callback only replies if its id is still
+/// in the set — once shutdown has answered an id with `ShuttingDown`, a
+/// late completion finds its id gone and stays silent (each correlation
+/// id gets exactly one reply).
 #[derive(Default)]
 struct ConnShared {
     replies: VecDeque<Vec<u8>>,
-    inflight: usize,
+    inflight: HashSet<u64>,
 }
 
 struct Conn {
@@ -149,7 +156,7 @@ impl Conn {
     fn pending(&self) -> (usize, bool) {
         let s = self.shared.lock().unwrap();
         (
-            s.inflight,
+            s.inflight.len(),
             s.replies.is_empty() && self.woff >= self.wbuf.len(),
         )
     }
@@ -161,7 +168,7 @@ impl Conn {
     /// without bound while its jobs keep completing.
     fn outstanding(&self) -> usize {
         let s = self.shared.lock().unwrap();
-        s.inflight + s.replies.len()
+        s.inflight.len() + s.replies.len()
     }
 }
 
@@ -325,13 +332,70 @@ fn poll_loop(
                 let (inflight, flushed) = c.pending();
                 inflight == 0 && flushed
             });
+            if drained {
+                return;
+            }
             let expired = draining_since.is_some_and(|t| t.elapsed() > config.drain_timeout);
-            if drained || expired {
+            if expired {
+                // The drain window closed with jobs still in flight.
+                // Closing the sockets now would silently drop their
+                // correlation ids — the one thing the exactly-one-reply
+                // contract forbids. Answer every outstanding id with a
+                // ShuttingDown refusal and give the sockets one bounded
+                // final flush. A job that completes after this point
+                // finds its id gone and stays silent (see `dispatch`).
+                abort_undrained(&mut conns, stats);
                 return;
             }
         }
         if !progress {
             std::thread::sleep(config.poll_interval);
+        }
+    }
+}
+
+/// Drain-timeout expiry path: answers every still-outstanding
+/// correlation id with a [`EngineError::QueueClosed`] (`ShuttingDown` on
+/// the wire) refusal, then flushes the write queues for one bounded
+/// window. Clients waiting on those ids get a typed, retryable refusal
+/// instead of a silent connection close mid-request.
+fn abort_undrained(conns: &mut [Conn], stats: &Arc<NetStats>) {
+    const FINAL_FLUSH_BUDGET: Duration = Duration::from_millis(250);
+    for conn in conns.iter_mut() {
+        if conn.dead {
+            continue;
+        }
+        let mut s = conn.shared.lock().unwrap();
+        let mut orphans: Vec<u64> = s.inflight.drain().collect();
+        orphans.sort_unstable(); // deterministic reply order
+        for corr in orphans {
+            let reply = wire::encode_response(&Err((u64::MAX, EngineError::QueueClosed)));
+            s.replies.push_back(envelope::encode(corr, &reply));
+        }
+    }
+    let deadline = Instant::now() + FINAL_FLUSH_BUDGET;
+    loop {
+        let mut all_flushed = true;
+        let mut progress = false;
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            match write_some(conn, stats) {
+                Ok(p) => progress |= p,
+                Err(_) => {
+                    conn.dead = true;
+                    continue;
+                }
+            }
+            let (_, flushed) = conn.pending();
+            all_flushed &= flushed;
+        }
+        if all_flushed || Instant::now() >= deadline {
+            return;
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_micros(500));
         }
     }
 }
@@ -535,18 +599,22 @@ fn has_complete_frame(conn: &Conn, config: &ServerConfig) -> bool {
 /// completion callback runs on an engine worker thread and only touches
 /// the connection's shared half.
 fn dispatch(conn: &Conn, router: &Arc<ShardRouter>, corr: u64, frame: &[u8]) -> bool {
-    conn.shared.lock().unwrap().inflight += 1;
+    conn.shared.lock().unwrap().inflight.insert(corr);
     let shared = Arc::clone(&conn.shared);
     let sent = router.try_dispatch_frame_with_callback(frame, move |reply| {
         let mut s = shared.lock().unwrap();
-        s.inflight -= 1;
-        s.replies.push_back(envelope::encode(corr, &reply));
+        // Reply only while the id is still outstanding: drain-expired
+        // shutdown answers ids itself, and a late completion must not
+        // produce a second reply under the same correlation id.
+        if s.inflight.remove(&corr) {
+            s.replies.push_back(envelope::encode(corr, &reply));
+        }
     });
     match sent {
         Ok(Some(_)) => true,
         Ok(None) => {
             // Shard queue at capacity; the callback was dropped unused.
-            conn.shared.lock().unwrap().inflight -= 1;
+            conn.shared.lock().unwrap().inflight.remove(&corr);
             false
         }
         Err(e) => {
@@ -555,7 +623,7 @@ fn dispatch(conn: &Conn, router: &Arc<ShardRouter>, corr: u64, frame: &[u8]) -> 
             // error reply is produced here — the frame is consumed.
             let reply = envelope::encode(corr, &wire::encode_response(&Err((u64::MAX, e))));
             let mut s = conn.shared.lock().unwrap();
-            s.inflight -= 1;
+            s.inflight.remove(&corr);
             s.replies.push_back(reply);
             true
         }
@@ -614,6 +682,11 @@ fn render_net_metrics(out: &mut String, s: &NetStatsSnapshot) {
         "hefv_net_replies_out_total",
         "Reply envelopes fully written back.",
         s.replies_out,
+    );
+    family(
+        "hefv_client_retries_total",
+        "Frames this process re-submitted after a retryable refusal.",
+        crate::client::client_retries_total(),
     );
 }
 

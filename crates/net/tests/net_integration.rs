@@ -15,6 +15,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn toy_router(shards: usize, queue_capacity: usize) -> (Arc<FvContext>, Arc<ShardRouter>) {
+    toy_router_shedding(shards, queue_capacity, SheddingPolicy::default())
+}
+
+/// Like [`toy_router`] but with an explicit admission policy — the
+/// shutdown tests run deliberately over-budget chains as slow filler
+/// jobs, which the default noise gate would (correctly) refuse.
+fn toy_router_shedding(
+    shards: usize,
+    queue_capacity: usize,
+    shedding: SheddingPolicy,
+) -> (Arc<FvContext>, Arc<ShardRouter>) {
     let ctx = Arc::new(FvContext::new(FvParams::insecure_toy()).unwrap());
     let router = Arc::new(ShardRouter::new());
     for i in 0..shards {
@@ -26,6 +37,7 @@ fn toy_router(shards: usize, queue_capacity: usize) -> (Arc<FvContext>, Arc<Shar
                     workers: 2,
                     threads_per_job: 1,
                     queue_capacity,
+                    shedding: shedding.clone(),
                     ..EngineConfig::default()
                 },
             })
@@ -240,7 +252,9 @@ fn oversized_frame_is_rejected_mid_stream() {
         wire::ERROR_SHARD
     );
     match wire::decode_response(&ctx, &rejection).unwrap() {
-        wire::ResponseFrame::Err { job_id, message } => {
+        wire::ResponseFrame::Err {
+            job_id, message, ..
+        } => {
             assert_eq!(job_id, u64::MAX);
             assert!(message.contains("cap"), "unexpected error: {message}");
         }
@@ -374,7 +388,14 @@ fn tiny_shard_queue_backpressure_loses_nothing() {
 #[test]
 fn shutdown_drains_jobs_in_flight() {
     const JOBS: u64 = 24;
-    let (ctx, router) = toy_router(1, 64);
+    let (ctx, router) = toy_router_shedding(
+        1,
+        64,
+        SheddingPolicy {
+            noise_admission: false, // the filler chains are over-budget on purpose
+            ..SheddingPolicy::default()
+        },
+    );
     let tenant = onboard(&ctx, &router, 4, 13);
     let server =
         NetServer::bind("127.0.0.1:0", Arc::clone(&router), ServerConfig::default()).unwrap();
@@ -425,6 +446,90 @@ fn shutdown_drains_jobs_in_flight() {
         }
     }
     assert_eq!(seen, corrs);
+    router.shutdown();
+}
+
+/// Regression: when the drain window closes with jobs still in flight,
+/// the server must answer every outstanding correlation id with a typed
+/// `ShuttingDown` refusal before closing the socket — not silently drop
+/// them. Every id gets exactly one reply: Ok if it finished inside the
+/// window, `ShuttingDown` if it did not.
+#[test]
+fn drain_timeout_expiry_answers_undrained_jobs_with_shutting_down() {
+    const JOBS: u64 = 32;
+    let (ctx, router) = toy_router_shedding(
+        1,
+        64,
+        SheddingPolicy {
+            noise_admission: false, // the filler chains are over-budget on purpose
+            ..SheddingPolicy::default()
+        },
+    );
+    let tenant = onboard(&ctx, &router, 14, 19);
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        ServerConfig {
+            // Far shorter than the backlog needs: the drain WILL expire.
+            drain_timeout: Duration::from_millis(20),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Heavy filler: a chain of 200 squarings per job keeps two workers
+    // busy far past the 20 ms drain window.
+    let t = ctx.params().t;
+    let n = ctx.params().n;
+    let enc = |v, rng: &mut StdRng| encrypt(&ctx, &tenant.pk, &Plaintext::new(vec![v], t, n), rng);
+    let mut ops = vec![EvalOp::Mul(ValRef::Input(0), ValRef::Input(0))];
+    for i in 1..200 {
+        ops.push(EvalOp::Mul(ValRef::Op(i - 1), ValRef::Op(i - 1)));
+    }
+    let req = EvalRequest {
+        tenant: tenant.id,
+        inputs: vec![enc(1, &mut rng)],
+        plaintexts: vec![],
+        ops,
+        deadline_us: None,
+        trace_id: None,
+    };
+    let frame = wire::encode_request(&req);
+    let mut corrs = HashSet::new();
+    for _ in 0..JOBS {
+        corrs.insert(client.send_frame(&frame).unwrap());
+    }
+    while server.stats().frames_in < JOBS {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    server.shutdown();
+
+    // Every correlation id answers exactly once; the ones the window
+    // cut off carry the retryable ShuttingDown code, nothing vanishes.
+    let mut seen = HashSet::new();
+    let mut cut_off = 0u64;
+    for _ in 0..JOBS {
+        let (corr, reply) = client.recv_reply().unwrap();
+        assert!(seen.insert(corr), "duplicate reply for corr {corr}");
+        match wire::peek_response_error(&reply).unwrap() {
+            None => {} // finished inside the window
+            Some(info) => {
+                assert_eq!(info.code, ErrorCode::ShuttingDown, "wrong refusal class");
+                assert!(info.code.retryable(), "ShuttingDown must invite a retry");
+                cut_off += 1;
+            }
+        }
+    }
+    assert_eq!(seen, corrs, "a correlation id was dropped in the drain");
+    assert!(
+        cut_off > 0,
+        "a 20 ms window cannot drain 32 deep Mul chains — the expiry path never ran"
+    );
     router.shutdown();
 }
 

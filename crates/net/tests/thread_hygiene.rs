@@ -13,6 +13,8 @@ use hefv_core::prelude::*;
 use hefv_engine::prelude::*;
 use hefv_engine::router::ShardSpec;
 use hefv_net::{Client, NetServer, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -27,6 +29,10 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
 
 fn live_threads() -> usize {
     std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+fn live_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").unwrap().count()
 }
 
 fn toy_ctx() -> Arc<FvContext> {
@@ -96,6 +102,102 @@ fn repeated_router_and_server_start_stop_leaks_no_threads() {
     assert!(
         after <= before,
         "thread leak: {before} tasks before, {after} after 10 router+server cycles"
+    );
+}
+
+/// Chaos-injected worker panics must be fully contained: across 20
+/// engine lifecycles of forced panics, quarantine trips, and quarantine
+/// expiry, no OS thread leaks (`catch_unwind` keeps the worker alive, a
+/// panicking worker is not respawned-and-abandoned), no fd leaks, and
+/// every submission gets exactly one answer — an Ok, a contained
+/// `Internal` panic report, or a typed `Quarantined` refusal. Nothing
+/// hangs, nothing vanishes.
+#[test]
+fn chaos_panic_cycles_leak_no_threads_fds_or_replies() {
+    let _guard = serial();
+    // Injected panics would spray default-hook backtraces over the test
+    // output; filter exactly those, delegate everything else.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("chaos:"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("chaos:"));
+        if !injected {
+            prev(info);
+        }
+    }));
+
+    let ctx = toy_ctx();
+    let mut rng = StdRng::seed_from_u64(77);
+    let (_sk, pk, rlk) = keygen(&ctx, &mut rng);
+    let (t, n) = (ctx.params().t, ctx.params().n);
+    const TTL: Duration = Duration::from_millis(20);
+    let cycle = |rng: &mut StdRng| {
+        let engine = Engine::start(
+            Arc::clone(&ctx),
+            EngineConfig {
+                workers: 2,
+                shedding: SheddingPolicy {
+                    quarantine_after: 3,
+                    quarantine_ttl: TTL,
+                    ..SheddingPolicy::default()
+                },
+                chaos: Some(ChaosPlan {
+                    panic: 1.0, // every executed job panics in the worker
+                    ..ChaosPlan::default()
+                }),
+                ..EngineConfig::default()
+            },
+        );
+        engine.register_tenant(1, TenantKeys::compute(pk.clone(), rlk.clone()));
+        let enc =
+            |v: u64, rng: &mut StdRng| encrypt(&ctx, &pk, &Plaintext::new(vec![v], t, n), rng);
+        let (mut panicked, mut quarantined) = (0u32, 0u32);
+        for _ in 0..8 {
+            let req = EvalRequest::binary(1, EvalOp::Mul, enc(2, rng), enc(3, rng));
+            // Exactly one answer per submission: a refusal at the door
+            // or a (failed) reply from the worker. A lost correlation
+            // would hang `call` forever — the suite timeout catches it.
+            match engine.call(req) {
+                Ok(_) => panic!("panic:1.0 cannot produce a clean reply"),
+                Err(e) if e.code() == ErrorCode::Internal => panicked += 1,
+                Err(e) if e.code() == ErrorCode::Quarantined => quarantined += 1,
+                Err(e) => panic!("unexpected refusal class: {e}"),
+            }
+        }
+        assert_eq!(panicked, 3, "exactly K strikes execute");
+        assert_eq!(quarantined, 5, "the rest are fenced at admission");
+        assert_eq!(engine.stats().quarantine_active, 1);
+        // Quarantine expiry: after the TTL the signature is admitted
+        // (and panics) again, and the gauge self-corrects on scrape.
+        std::thread::sleep(TTL + Duration::from_millis(10));
+        assert_eq!(engine.stats().quarantine_active, 0, "TTL sweep");
+        let req = EvalRequest::binary(1, EvalOp::Mul, enc(4, rng), enc(5, rng));
+        assert_eq!(
+            engine.call(req).expect_err("still panicking").code(),
+            ErrorCode::Internal,
+            "expired quarantine admits the signature again"
+        );
+        engine.shutdown();
+    };
+    cycle(&mut rng); // warm-up
+    let (threads_before, fds_before) = (live_threads(), live_fds());
+    for _ in 0..20 {
+        cycle(&mut rng);
+    }
+    let (threads_after, fds_after) = (live_threads(), live_fds());
+    assert!(
+        threads_after <= threads_before,
+        "thread leak: {threads_before} tasks before, {threads_after} after 20 chaos cycles"
+    );
+    assert!(
+        fds_after <= fds_before,
+        "fd leak: {fds_before} fds before, {fds_after} after 20 chaos cycles"
     );
 }
 
