@@ -29,6 +29,7 @@
 //! ```
 
 pub mod context;
+pub mod crc32;
 pub mod encoder;
 pub mod encrypt;
 pub mod error;

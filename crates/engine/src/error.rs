@@ -53,10 +53,16 @@ pub enum ErrorCode {
     Wire = 10,
     /// Scalar batching unsupported at these parameters. Terminal.
     BatchUnsupported = 11,
+    /// An integrity check failed: a net envelope's CRC32 trailer did
+    /// not match its payload, or an `HEVR` registry snapshot was torn
+    /// or bit-flipped. The payload was rejected *before* decode — the
+    /// original request never executed, so a retry (over a clean link
+    /// or from a clean snapshot) is safe. Retryable.
+    IntegrityFailure = 12,
 }
 
 /// Every code, for exhaustive iteration (docs tables, metrics labels).
-pub const ERROR_CODES: [ErrorCode; 12] = [
+pub const ERROR_CODES: [ErrorCode; 13] = [
     ErrorCode::Internal,
     ErrorCode::Overload,
     ErrorCode::DeadlineInfeasible,
@@ -69,6 +75,7 @@ pub const ERROR_CODES: [ErrorCode; 12] = [
     ErrorCode::MissingKey,
     ErrorCode::Wire,
     ErrorCode::BatchUnsupported,
+    ErrorCode::IntegrityFailure,
 ];
 
 impl ErrorCode {
@@ -90,6 +97,7 @@ impl ErrorCode {
                 | ErrorCode::Overload
                 | ErrorCode::MemoryPressure
                 | ErrorCode::ShuttingDown
+                | ErrorCode::IntegrityFailure
         )
     }
 
@@ -108,6 +116,7 @@ impl ErrorCode {
             ErrorCode::MissingKey => "missing_key",
             ErrorCode::Wire => "wire",
             ErrorCode::BatchUnsupported => "batch_unsupported",
+            ErrorCode::IntegrityFailure => "integrity_failure",
         }
     }
 }
@@ -178,6 +187,11 @@ pub enum EngineError {
         /// Remaining quarantine TTL.
         retry_after_us: u64,
     },
+    /// An integrity check caught corruption before decode: a net
+    /// envelope whose CRC32 trailer disagrees with its payload, or a
+    /// torn/bit-flipped `HEVR` registry snapshot. Nothing was executed
+    /// or partially applied.
+    IntegrityFailure(String),
     /// A typed refusal proxied from a remote shard: the original code
     /// and hint survive the hop instead of degenerating to a transport
     /// error. `message` is the origin's rendered text.
@@ -207,6 +221,7 @@ impl EngineError {
             EngineError::MemoryPressure { .. } => ErrorCode::MemoryPressure,
             EngineError::NoiseBudgetExhausted { .. } => ErrorCode::NoiseBudgetExhausted,
             EngineError::Quarantined { .. } => ErrorCode::Quarantined,
+            EngineError::IntegrityFailure(_) => ErrorCode::IntegrityFailure,
             EngineError::Remote { code, .. } => *code,
         }
     }
@@ -285,6 +300,7 @@ impl fmt::Display for EngineError {
                 "request signature quarantined after repeated worker \
                  panics, retry after {retry_after_us} µs"
             ),
+            EngineError::IntegrityFailure(r) => write!(f, "integrity failure: {r}"),
             EngineError::Remote { code, message, .. } => {
                 write!(f, "remote {code}: {message}")
             }
@@ -357,6 +373,7 @@ mod tests {
             ErrorCode::Overload,
             ErrorCode::MemoryPressure,
             ErrorCode::ShuttingDown,
+            ErrorCode::IntegrityFailure,
         ] {
             assert!(code.retryable(), "{code} must be retryable");
         }

@@ -709,6 +709,20 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
             r.stats.breaker.as_gauge(),
         );
     }
+    header(
+        out,
+        "hefv_node_catching_up",
+        "Remote node recovered from an ejection but not yet re-verified by anti-entropy (replica-only until 0)",
+        "gauge",
+    );
+    for r in &fleet.remote {
+        line(
+            out,
+            "hefv_node_catching_up",
+            &[("node", &r.name), ("endpoint", &r.endpoint)],
+            if r.stats.catching_up { 1.0 } else { 0.0 },
+        );
+    }
     let h = &fleet.hedge;
     for (name, help, value) in [
         (
@@ -741,10 +755,44 @@ pub fn render_prometheus_into(out: &mut String, fleet: &RouterStats) {
             "Key pushes that failed after retries",
             h.key_push_failures as f64,
         ),
+        (
+            "hefv_keys_replicated_total",
+            "Tenant key payloads placed on (or received by) a non-primary replica holder",
+            h.keys_replicated as f64,
+        ),
+        (
+            "hefv_failover_total",
+            "Dispatches re-homed from a failed primary to a replica (breaker- or hedge-driven)",
+            h.failovers as f64,
+        ),
+        (
+            "hefv_keys_evicted_total",
+            "Tenant keys dropped by registry LRU capacity across local shards (anti-entropy re-pushes vaulted ones)",
+            fleet.keys_evicted as f64,
+        ),
     ] {
         header(out, name, help, "counter");
         line(out, name, &[], value);
     }
+    let (snap_ok, snap_failed) = crate::registry::snapshot_restore_counts();
+    header(
+        out,
+        "hefv_snapshot_restore_total",
+        "HEVR registry-snapshot restore attempts by outcome",
+        "counter",
+    );
+    line(
+        out,
+        "hefv_snapshot_restore_total",
+        &[("outcome", "ok")],
+        snap_ok as f64,
+    );
+    line(
+        out,
+        "hefv_snapshot_restore_total",
+        &[("outcome", "integrity_failure")],
+        snap_failed as f64,
+    );
 }
 
 #[cfg(test)]

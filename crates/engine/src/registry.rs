@@ -9,11 +9,39 @@
 //! least-recently-used tenant. Evicted tenants simply re-register (the
 //! client always holds its own keys); jobs in flight keep their `Arc`.
 
+use crate::error::EngineError;
+use hefv_core::context::FvContext;
 use hefv_core::galois::GaloisKeySet;
 use hefv_core::keys::{PublicKey, RelinKey};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Process-wide snapshot-restore outcome counters, rendered as
+/// `hefv_snapshot_restore_total{outcome=}` in the metrics exposition
+/// (statics, like the net client's retry counter: restores happen at
+/// process start, usually before any router exists to hang stats on).
+static SNAPSHOT_RESTORE_OK: AtomicU64 = AtomicU64::new(0);
+static SNAPSHOT_RESTORE_FAILED: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one snapshot-restore outcome (`true` = the snapshot verified
+/// and was applied).
+pub fn note_snapshot_restore(ok: bool) {
+    if ok {
+        SNAPSHOT_RESTORE_OK.fetch_add(1, Ordering::Relaxed);
+    } else {
+        SNAPSHOT_RESTORE_FAILED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `(ok, integrity_failure)` totals of every snapshot restore this
+/// process attempted.
+pub fn snapshot_restore_counts() -> (u64, u64) {
+    (
+        SNAPSHOT_RESTORE_OK.load(Ordering::Relaxed),
+        SNAPSHOT_RESTORE_FAILED.load(Ordering::Relaxed),
+    )
+}
 
 /// Tenant identifier (assigned by the operator, opaque to the engine).
 pub type TenantId = u64;
@@ -126,6 +154,55 @@ impl KeyRegistry {
         })
     }
 
+    /// Whether a tenant is resident, *without* refreshing its recency —
+    /// this is the anti-entropy probe: a sweep checking replica health
+    /// must see eviction pressure as it is, not mask it by touching
+    /// every tenant it audits.
+    pub fn contains(&self, tenant: TenantId) -> bool {
+        self.inner.read().unwrap().contains_key(&tenant)
+    }
+
+    /// Serializes every resident tenant into a checksummed `HEVR`
+    /// snapshot blob (see [`crate::wire::encode_registry_snapshot`]),
+    /// in ascending tenant order so identical populations produce
+    /// byte-identical snapshots.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut entries: Vec<(TenantId, Arc<TenantKeys>)> = {
+            let map = self.inner.read().unwrap();
+            map.iter().map(|(&t, e)| (t, Arc::clone(&e.keys))).collect()
+        };
+        entries.sort_by_key(|(t, _)| *t);
+        crate::wire::encode_registry_snapshot(&entries)
+    }
+
+    /// Restores tenants from an `HEVR` snapshot blob, registering every
+    /// entry (existing tenants are replaced; eviction applies as in
+    /// [`KeyRegistry::register`]). Returns how many tenants were
+    /// restored, and records the outcome in the process-wide
+    /// `hefv_snapshot_restore_total` counters.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::IntegrityFailure`] when the snapshot is torn,
+    /// bit-flipped, or otherwise fails verification — in which case
+    /// *nothing* was registered (the decode stages fully first).
+    pub fn restore(&self, ctx: &FvContext, bytes: &[u8]) -> Result<usize, EngineError> {
+        match crate::wire::decode_registry_snapshot(ctx, bytes) {
+            Ok(entries) => {
+                let n = entries.len();
+                for (tenant, keys) in entries {
+                    self.register(tenant, keys);
+                }
+                note_snapshot_restore(true);
+                Ok(n)
+            }
+            Err(e) => {
+                note_snapshot_restore(false);
+                Err(e)
+            }
+        }
+    }
+
     /// Drops a tenant's keys (no-op if absent).
     pub fn remove(&self, tenant: TenantId) -> bool {
         self.inner.write().unwrap().remove(&tenant).is_some()
@@ -200,6 +277,45 @@ mod tests {
         r.register(1, empty_keys());
         assert_eq!(r.len(), 2);
         assert_eq!(r.evictions(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_refresh_recency() {
+        let r = KeyRegistry::new(2);
+        r.register(1, empty_keys());
+        r.register(2, empty_keys());
+        // An anti-entropy probe of tenant 1 must not save it from LRU.
+        assert!(r.contains(1));
+        r.register(3, empty_keys());
+        assert!(!r.contains(1), "probed tenant still evicted as LRU");
+        assert!(r.contains(2) && r.contains(3));
+    }
+
+    #[test]
+    fn snapshots_roundtrip_through_the_registry() {
+        use hefv_core::params::FvParams;
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let r = KeyRegistry::new(8);
+        r.register(5, empty_keys());
+        r.register(1, empty_keys());
+        let blob = r.snapshot();
+        assert!(crate::wire::is_registry_snapshot(&blob));
+        // Same population → byte-identical snapshot (sorted entries).
+        assert_eq!(blob, r.snapshot());
+
+        let fresh = KeyRegistry::new(8);
+        assert_eq!(fresh.restore(&ctx, &blob).unwrap(), 2);
+        assert!(fresh.contains(1) && fresh.contains(5));
+
+        // A flipped bit refuses wholesale: nothing lands.
+        let mut bad = blob.clone();
+        bad[8] ^= 1;
+        let empty = KeyRegistry::new(8);
+        assert!(matches!(
+            empty.restore(&ctx, &bad),
+            Err(EngineError::IntegrityFailure(_))
+        ));
+        assert!(empty.is_empty(), "failed restore must not partially apply");
     }
 
     #[test]

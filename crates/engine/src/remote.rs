@@ -171,6 +171,10 @@ pub struct RemoteStatsSnapshot {
     pub healthy: bool,
     /// Circuit-breaker position (closed / half-open / open).
     pub breaker: BreakerState,
+    /// The node was ejected at some point and no anti-entropy sweep has
+    /// verified its key material since: eligible as a replica, but not
+    /// for promotion back to primary.
+    pub catching_up: bool,
     /// Frames currently awaiting a reply.
     pub inflight: u64,
     /// Frames handed to the transport.
@@ -237,6 +241,11 @@ struct Inner {
     stop: AtomicBool,
     /// Circuit breaker: `true` = open = ejected.
     open: AtomicBool,
+    /// Set when the breaker opens (the node may have missed key pushes,
+    /// or restarted empty); cleared by the router's anti-entropy sweep
+    /// once the node's replica key sets are re-verified. While set, a
+    /// recovered node is re-admitted as a *replica*, never primary.
+    catchup: AtomicBool,
     consecutive_failures: AtomicU64,
     /// Recovery probes attempted since the breaker last opened; nonzero
     /// while open means the breaker is half-open.
@@ -265,6 +274,7 @@ impl Inner {
         if f >= u64::from(self.cfg.eject_after) && !self.open.swap(true, Ordering::AcqRel) {
             self.stats.ejections.fetch_add(1, Ordering::Relaxed);
             self.probes_while_open.store(0, Ordering::Release);
+            self.catchup.store(true, Ordering::Release);
             // Fail fast: jobs stuck behind a dead node miss their
             // deadlines; erroring them out immediately lets the router
             // fail over to a replica shard now.
@@ -331,6 +341,7 @@ impl Inner {
         RemoteStatsSnapshot {
             healthy: !self.circuit_open(),
             breaker: self.breaker_state(),
+            catching_up: self.catchup.load(Ordering::Acquire),
             inflight: self.pending.lock().unwrap().len() as u64,
             frames_forwarded: self.stats.frames_forwarded.load(Ordering::Relaxed),
             replies: self.stats.replies.load(Ordering::Relaxed),
@@ -385,6 +396,7 @@ impl RemoteShard {
             conns,
             stop: AtomicBool::new(false),
             open: AtomicBool::new(false),
+            catchup: AtomicBool::new(false),
             consecutive_failures: AtomicU64::new(0),
             probes_while_open: AtomicU64::new(0),
             stats: Counters::default(),
@@ -418,6 +430,20 @@ impl RemoteShard {
     /// Current circuit-breaker position (closed / half-open / open).
     pub fn breaker_state(&self) -> BreakerState {
         self.inner.breaker_state()
+    }
+
+    /// Whether the node was ejected at some point and has not been
+    /// caught up by an anti-entropy sweep since — healthy enough to
+    /// serve as a replica, not yet trusted as a primary.
+    pub fn needs_catchup(&self) -> bool {
+        self.inner.catchup.load(Ordering::Acquire)
+    }
+
+    /// Clears the catch-up flag. Called by the router once an
+    /// anti-entropy sweep has re-pushed (and the node acknowledged)
+    /// every key set this node should hold.
+    pub fn mark_caught_up(&self) {
+        self.inner.catchup.store(false, Ordering::Release);
     }
 
     /// Whether a `try_dispatch` right now would report "at capacity".
@@ -478,6 +504,18 @@ impl RemoteShard {
                 Ok(Some(corr))
             }
             Err(e) => {
+                // The pool can be empty right after a node recovers (or
+                // the connector is retargeted): the probe closed the
+                // breaker before the maintenance thread's backed-off
+                // reconnect fired. Dial one connection inline rather
+                // than failing a job the node could serve — a genuinely
+                // dead node fails the dial and ejects as before.
+                let recovered = try_connect_slot(inner, (corr as usize) % inner.conns.len())
+                    && inner.send_on_some_conn(corr, frame).is_ok();
+                if recovered {
+                    inner.stats.frames_forwarded.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(corr));
+                }
                 // Contract: on a synchronous error the callback never
                 // fires — retract the entry (dropping `done`) so the
                 // caller can route the job elsewhere.
@@ -649,10 +687,47 @@ fn try_connect_slot(inner: &Arc<Inner>, slot_idx: usize) -> bool {
     }
 }
 
+/// Whether a reply frame is the node refusing *our* frame for failing
+/// its CRC check (`ErrorCode::IntegrityFailure`). Such a frame was never
+/// decoded, let alone executed, so re-sending it under the same
+/// correlation id is safe.
+fn reply_is_integrity_refusal(frame: &[u8]) -> bool {
+    matches!(
+        crate::wire::peek_response_error(frame),
+        Ok(Some(ref info)) if info.code == crate::error::ErrorCode::IntegrityFailure
+    )
+}
+
 fn reader_loop(inner: &Arc<Inner>, slot_idx: usize, mut receiver: Box<dyn FrameReceiver>) {
     while let Ok((corr, frame)) = receiver.recv() {
         // Any reply is proof of life.
         inner.note_success();
+        // An integrity refusal means our frame got corrupted in flight;
+        // re-send it under its original id while the attempt budget
+        // lasts (duplicate replies find no pending entry, as with
+        // timeout-triggered re-sends).
+        if reply_is_integrity_refusal(&frame) {
+            let resend = {
+                let mut pending = inner.pending.lock().unwrap();
+                match pending.get_mut(&corr) {
+                    Some(e) if e.attempts < inner.cfg.send_attempts.max(1) => {
+                        e.attempts += 1;
+                        e.sent_at = Instant::now();
+                        Some(e.frame.clone())
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(f) = resend {
+                inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+                if inner.send_on_some_conn(corr, &f).is_ok() {
+                    continue;
+                }
+                // No live connection: fall through, surface the refusal.
+            }
+            // Attempt budget exhausted (or corr unknown): deliver the
+            // typed refusal like any other reply so the caller sees it.
+        }
         let entry = inner.pending.lock().unwrap().remove(&corr);
         if let Some(e) = entry {
             inner.stats.replies.fetch_add(1, Ordering::Relaxed);

@@ -293,6 +293,9 @@ pub struct HedgeStatsSnapshot {
     pub key_pushes: u64,
     /// Key pushes that failed after retries.
     pub key_push_failures: u64,
+    /// Key sets placed on (or received by) *replica* holders — the
+    /// durability copies beyond each tenant's primary.
+    pub keys_replicated: u64,
 }
 
 /// Aggregated router telemetry.
@@ -305,6 +308,10 @@ pub struct RouterStats {
     pub remote: Vec<RemoteShardStats>,
     /// Hedging and key-migration counters.
     pub hedge: HedgeStatsSnapshot,
+    /// Tenants evicted from local shards' key registries (LRU pressure).
+    /// Nonzero means some replicas may be missing until the next
+    /// anti-entropy sweep re-pushes them.
+    pub keys_evicted: u64,
     /// All local shards folded together.
     pub total: StatsSnapshot,
 }
@@ -378,6 +385,7 @@ struct HedgeCounters {
     failovers: AtomicU64,
     key_pushes: AtomicU64,
     key_push_failures: AtomicU64,
+    keys_replicated: AtomicU64,
 }
 
 impl HedgeCounters {
@@ -389,6 +397,7 @@ impl HedgeCounters {
             failovers: self.failovers.load(Ordering::Relaxed),
             key_pushes: self.key_pushes.load(Ordering::Relaxed),
             key_push_failures: self.key_push_failures.load(Ordering::Relaxed),
+            keys_replicated: self.keys_replicated.load(Ordering::Relaxed),
         }
     }
 }
@@ -805,26 +814,42 @@ impl ShardRouter {
     }
 
     /// Pushes one tenant's keys to one shard: a registry write for local
-    /// shards, an acknowledged `HEVK` push for remote ones.
+    /// shards, an acknowledged `HEVK` push for remote ones. A push to
+    /// any shard other than the tenant's current primary goes out with
+    /// the replica direction bit set and counts toward
+    /// [`HedgeStatsSnapshot::keys_replicated`].
     fn push_keys_to(
         &self,
         shard: &Shard,
         tenant: TenantId,
         keys: &Arc<TenantKeys>,
     ) -> Result<(), EngineError> {
+        let replica = {
+            let topo = self.topo.read().unwrap();
+            Self::place(&topo, tenant) != Some(shard.id)
+        };
         let outcome = match &shard.imp {
             ShardImpl::Local(engine) => {
                 engine.register_tenant(tenant, (**keys).clone());
                 Ok(())
             }
             ShardImpl::Remote(r) => {
-                let frame = wire::encode_key_push(tenant, keys);
+                let frame = if replica {
+                    wire::encode_replica_key_push(tenant, keys)
+                } else {
+                    wire::encode_key_push(tenant, keys)
+                };
                 r.push_keys(tenant, &frame)
             }
         };
         match &outcome {
             Ok(()) => {
                 self.counters.key_pushes.fetch_add(1, Ordering::Relaxed);
+                if replica {
+                    self.counters
+                        .keys_replicated
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(_) => {
                 self.counters
@@ -946,7 +971,20 @@ impl ShardRouter {
             return None;
         }
         let up = |id: &ShardId| topo.shards.get(id).is_some_and(|s| s.is_up());
-        let primary_id = *order.iter().find(|id| up(id)).unwrap_or(&order[0]);
+        // A node that recovered from an ejection serves as a replica but
+        // is not promoted back to primary until an anti-entropy sweep
+        // has re-verified its key material (it may have restarted
+        // empty) — so the primary prefers up-and-caught-up shards.
+        let trusted = |id: &ShardId| {
+            topo.shards
+                .get(id)
+                .is_some_and(|s| s.is_up() && s.remote().is_none_or(|r| !r.needs_catchup()))
+        };
+        let primary_id = *order
+            .iter()
+            .find(|id| trusted(id))
+            .or_else(|| order.iter().find(|id| up(id)))
+            .unwrap_or(&order[0]);
         let primary = topo.shards.get(&primary_id)?.clone();
         // Only the first key_replicas shards hold this tenant's keys —
         // hedging past them would just manufacture UnknownTenant errors.
@@ -1073,6 +1111,13 @@ impl ShardRouter {
     fn apply_key_push(&self, tenant: TenantId, frame: &[u8]) -> Result<(), EngineError> {
         let shard = self.shard_of(tenant)?;
         let (_, keys) = wire::decode_key_push(&shard.ctx, frame)?;
+        // Count durability copies received: this node is holding the
+        // tenant's keys as a replica, not its primary.
+        if wire::peek_key_push_replica(frame).unwrap_or(false) {
+            self.counters
+                .keys_replicated
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let keys = Arc::new(keys);
         let targets = {
             let topo = self.topo.read().unwrap();
@@ -1089,6 +1134,125 @@ impl ShardRouter {
         }
         self.vault.lock().unwrap().insert(tenant, keys);
         Ok(())
+    }
+
+    /// Anti-entropy sweep: re-checks every vaulted tenant's replica set
+    /// and re-pushes keys to any holder that is missing them. A local
+    /// holder is "missing" when its registry no longer contains the
+    /// tenant (including LRU eviction — see
+    /// [`RouterStats::keys_evicted`]); a healthy remote holder that is
+    /// flagged as catching up after a breaker ejection is re-pushed
+    /// every vaulted tenant it should hold, then — if every push
+    /// succeeded — re-admitted as a primary candidate via
+    /// [`RemoteShard::mark_caught_up`]. Down remotes are skipped; the
+    /// next sweep retries them.
+    ///
+    /// Returns the number of key pushes performed.
+    ///
+    /// [`RemoteShard::mark_caught_up`]: crate::remote::RemoteShard::mark_caught_up
+    pub fn anti_entropy_sweep(&self) -> usize {
+        let _change = self.change_lock.lock().unwrap();
+        // Remote shards that are up but still flagged stale: assume they
+        // can be caught up, and clear the assumption on any failed push.
+        let mut catchup_ok: HashMap<ShardId, bool> = self
+            .all_shards()
+            .iter()
+            .filter(|s| s.remote().is_some_and(|r| r.healthy() && r.needs_catchup()))
+            .map(|s| (s.id, true))
+            .collect();
+        let vault: Vec<(TenantId, Arc<TenantKeys>)> = {
+            let vault = self.vault.lock().unwrap();
+            vault.iter().map(|(&t, k)| (t, Arc::clone(k))).collect()
+        };
+        let mut repaired = 0usize;
+        for (tenant, keys) in vault {
+            let targets = {
+                let topo = self.topo.read().unwrap();
+                self.key_targets(&topo, tenant)
+            };
+            for id in targets {
+                let Ok(target) = self.shard(id) else { continue };
+                let needs = match &target.imp {
+                    ShardImpl::Local(engine) => !engine.registry().contains(tenant),
+                    ShardImpl::Remote(r) => {
+                        if !r.healthy() {
+                            continue;
+                        }
+                        catchup_ok.contains_key(&id)
+                    }
+                };
+                if !needs {
+                    continue;
+                }
+                match self.push_keys_to(&target, tenant, &keys) {
+                    Ok(()) => repaired += 1,
+                    Err(_) => {
+                        if let Some(flag) = catchup_ok.get_mut(&id) {
+                            *flag = false;
+                        }
+                    }
+                }
+            }
+        }
+        for (id, ok) in catchup_ok {
+            if !ok {
+                continue;
+            }
+            if let Ok(shard) = self.shard(id) {
+                if let Some(r) = shard.remote() {
+                    r.mark_caught_up();
+                }
+            }
+        }
+        repaired
+    }
+
+    /// Serializes every vaulted tenant's keys as a checksummed `HEVR`
+    /// snapshot (see [`wire::encode_registry_snapshot`]). Byte-for-byte
+    /// deterministic for a given tenant population: entries are sorted
+    /// by tenant id.
+    pub fn snapshot_keys(&self) -> Vec<u8> {
+        let mut entries: Vec<(TenantId, Arc<TenantKeys>)> = {
+            let vault = self.vault.lock().unwrap();
+            vault.iter().map(|(&t, k)| (t, Arc::clone(k))).collect()
+        };
+        entries.sort_by_key(|(t, _)| *t);
+        wire::encode_registry_snapshot(&entries)
+    }
+
+    /// Restores tenants from an `HEVR` snapshot produced by
+    /// [`Self::snapshot_keys`] (or [`crate::registry::KeyRegistry::snapshot`]):
+    /// each tenant is re-registered through [`Self::register_tenant`],
+    /// so keys land in the vault and on every current key-holder shard.
+    /// Returns the number of tenants restored.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::IntegrityFailure`] when the snapshot's CRC does
+    /// not verify or its structure is malformed — nothing is restored in
+    /// that case (verification happens before any registration).
+    /// [`EngineError::Validation`] when the router has no shards.
+    pub fn restore_keys(&self, bytes: &[u8]) -> Result<usize, EngineError> {
+        let ctx = {
+            let shards = self.all_shards();
+            let Some(first) = shards.first() else {
+                return Err(EngineError::Validation("router has no shards".into()));
+            };
+            Arc::clone(&first.ctx)
+        };
+        let entries = match wire::decode_registry_snapshot(&ctx, bytes) {
+            Ok(entries) => entries,
+            Err(e) => {
+                crate::registry::note_snapshot_restore(false);
+                return Err(e);
+            }
+        };
+        let restored = entries.len();
+        for (tenant, keys) in entries {
+            self.register_tenant(tenant, keys)?;
+        }
+        crate::registry::note_snapshot_restore(true);
+        Ok(restored)
     }
 
     /// Sets a tenant's fair-share weight on its current shard.
@@ -1463,10 +1627,12 @@ impl ShardRouter {
         let mut total: Option<StatsSnapshot> = None;
         let mut per_shard = Vec::new();
         let mut remote = Vec::new();
+        let mut keys_evicted = 0u64;
         for shard in self.all_shards() {
             match &shard.imp {
                 ShardImpl::Local(engine) => {
                     let stats = engine.stats();
+                    keys_evicted += engine.registry().evictions();
                     match &mut total {
                         None => total = Some(stats.clone()),
                         Some(t) => t.absorb(&stats),
@@ -1492,6 +1658,7 @@ impl ShardRouter {
             per_shard,
             remote,
             hedge: self.counters.snapshot(),
+            keys_evicted,
             total: total.unwrap_or_else(|| crate::stats::EngineStats::default().snapshot()),
         }
     }
@@ -1716,6 +1883,57 @@ mod tests {
             );
         }
         router.shutdown();
+    }
+
+    #[test]
+    fn anti_entropy_restores_lost_local_replicas() {
+        let router = bare_router(3);
+        let tenant = 5;
+        router
+            .register_tenant(tenant, TenantKeys::default())
+            .unwrap();
+        let targets = {
+            let topo = router.topo.read().unwrap();
+            router.key_targets(&topo, tenant)
+        };
+        // Simulate a replica losing the keys (eviction, restart, …).
+        let victim = router.shard(targets[1]).unwrap();
+        assert!(victim.local().unwrap().registry().remove(tenant));
+        assert!(!victim.local().unwrap().registry().contains(tenant));
+        let repaired = router.anti_entropy_sweep();
+        assert_eq!(repaired, 1, "exactly the lost replica is re-pushed");
+        assert!(victim.local().unwrap().registry().contains(tenant));
+        // A second sweep finds nothing to do.
+        assert_eq!(router.anti_entropy_sweep(), 0);
+        router.shutdown();
+    }
+
+    #[test]
+    fn router_snapshots_restore_registered_tenants() {
+        let router = bare_router(2);
+        for tenant in [3u64, 9] {
+            router
+                .register_tenant(tenant, TenantKeys::default())
+                .unwrap();
+        }
+        let snapshot = router.snapshot_keys();
+        router.shutdown();
+
+        let fresh = bare_router(2);
+        assert_eq!(fresh.restore_keys(&snapshot).unwrap(), 2);
+        for tenant in [3u64, 9] {
+            let shard = fresh.shard_of(tenant).unwrap();
+            assert!(shard.local().unwrap().registry().contains(tenant));
+        }
+        // A corrupted snapshot is refused wholesale.
+        let mut torn = snapshot.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0x40;
+        assert!(matches!(
+            fresh.restore_keys(&torn),
+            Err(EngineError::IntegrityFailure(_))
+        ));
+        fresh.shutdown();
     }
 
     #[test]

@@ -65,6 +65,7 @@ const REQ_MAGIC: u32 = 0x4845_5651; // "HEVQ"
 const RESP_MAGIC: u32 = 0x4845_5650; // "HEVP"
 const STATS_MAGIC: u32 = 0x4845_5653; // "HEVS"
 const KEY_MAGIC: u32 = 0x4845_564B; // "HEVK"
+const SNAP_MAGIC: u32 = 0x4845_5652; // "HEVR"
 const VERSION: u16 = 2;
 
 /// Flag bit: the header carries a relative virtual-clock deadline.
@@ -894,7 +895,7 @@ pub fn decode_stats_response(bytes: &[u8]) -> Result<(StatsKind, String), Engine
 // over the same envelope protocol as requests:
 //
 // ```text
-// key-push := "HEVK" u32 | version=2 u16 | dir=0 u8 | sections u8
+// key-push := "HEVK" u32 | version=2 u16 | dir=0|2 u8 | sections u8
 //           | tenant u64
 //           | [sections bit 0] len u32 | core-wire public key
 //           | [sections bit 1] len u32 | core-wire relin key
@@ -903,9 +904,15 @@ pub fn decode_stats_response(bytes: &[u8]) -> Result<(StatsKind, String), Engine
 //           | tenant u64
 //           | [status=1] len u32 | utf-8 error message
 // ```
+//
+// Direction 2 is a *replica* push: identical payload, but the direction
+// bit tells the receiving node it is a ring-successor key holder rather
+// than the tenant's primary — durability bookkeeping
+// (`hefv_keys_replicated_total`) without a second frame family.
 
 const KEY_DIR_PUSH: u8 = 0;
 const KEY_DIR_ACK: u8 = 1;
+const KEY_DIR_REPLICA_PUSH: u8 = 2;
 const KEY_SECTION_PUBLIC: u8 = 1;
 const KEY_SECTION_RELIN: u8 = 2;
 const KEY_SECTION_GALOIS: u8 = 4;
@@ -920,10 +927,23 @@ pub fn is_key_frame(bytes: &[u8]) -> bool {
 /// Serializes a key-transfer push carrying whichever keys the tenant has.
 #[must_use]
 pub fn encode_key_push(tenant: TenantId, keys: &TenantKeys) -> Vec<u8> {
+    encode_key_push_dir(tenant, keys, KEY_DIR_PUSH)
+}
+
+/// Serializes a *replica* key push: same payload as
+/// [`encode_key_push`], but the direction bit tells the receiving node
+/// it is holding the tenant's keys as a ring-successor replica, not as
+/// the primary (it counts the push into `hefv_keys_replicated_total`).
+#[must_use]
+pub fn encode_replica_key_push(tenant: TenantId, keys: &TenantKeys) -> Vec<u8> {
+    encode_key_push_dir(tenant, keys, KEY_DIR_REPLICA_PUSH)
+}
+
+fn encode_key_push_dir(tenant: TenantId, keys: &TenantKeys, dir: u8) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, KEY_MAGIC);
     put_u16(&mut out, VERSION);
-    out.push(KEY_DIR_PUSH);
+    out.push(dir);
     let mut sections = 0;
     if keys.pk.is_some() {
         sections |= KEY_SECTION_PUBLIC;
@@ -972,6 +992,29 @@ pub fn peek_key_tenant(bytes: &[u8]) -> Result<TenantId, EngineError> {
     c.u64()
 }
 
+/// Whether a key-transfer push addresses the receiver as a replica key
+/// holder (direction 2) rather than the tenant's primary (direction 0).
+///
+/// # Errors
+///
+/// [`EngineError::Core`]`(`[`Error::Wire`]`)` when the frame is not a
+/// well-formed v2 `HEVK` push header (acks included — they carry no
+/// role).
+pub fn peek_key_push_replica(bytes: &[u8]) -> Result<bool, EngineError> {
+    let mut c = Cursor { bytes, off: 0 };
+    if c.u32()? != KEY_MAGIC {
+        return Err(wire_err("bad key-transfer magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported key-transfer version"));
+    }
+    match c.u8()? {
+        KEY_DIR_PUSH => Ok(false),
+        KEY_DIR_REPLICA_PUSH => Ok(true),
+        _ => Err(wire_err("key-transfer frame is not a push")),
+    }
+}
+
 /// Deserializes and validates a key-transfer push against `ctx`, the
 /// parameter set of the shard that will own the tenant.
 ///
@@ -996,7 +1039,8 @@ pub fn decode_key_push(
     if c.u16()? != VERSION {
         return Err(wire_err("unsupported key-transfer version"));
     }
-    if c.u8()? != KEY_DIR_PUSH {
+    let dir = c.u8()?;
+    if dir != KEY_DIR_PUSH && dir != KEY_DIR_REPLICA_PUSH {
         return Err(wire_err("key-transfer frame is not a push"));
     }
     let sections = c.u8()?;
@@ -1082,6 +1126,114 @@ pub fn decode_key_ack(bytes: &[u8]) -> Result<(TenantId, Result<(), String>), En
     };
     c.finish()?;
     Ok((tenant, outcome))
+}
+
+// ---------------------------------------------------------------------------
+// HEVR registry snapshots
+// ---------------------------------------------------------------------------
+//
+// A node's durability story: its `KeyRegistry` serializes every resident
+// tenant into one checksummed blob a restarted process can reload, so an
+// unplanned kill does not force every tenant through the expensive
+// re-registration path. Layout:
+//
+// ```text
+// snapshot := "HEVR" u32 | version=2 u16 | tenant_count u32
+//           | entries…(len u32 | HEVK key-push frame)
+//           | crc32 u32                  (over all preceding bytes)
+// ```
+//
+// Each entry embeds a complete length-prefixed `HEVK` push frame, so the
+// per-tenant payload reuses the key-transfer codec — including its
+// C-VALIDATE checks — verbatim. The CRC32 trailer is verified *before*
+// any parsing; a torn or bit-flipped file is refused whole with
+// [`EngineError::IntegrityFailure`], never partially restored.
+
+/// Serializes a registry snapshot over `(tenant, keys)` entries.
+#[must_use]
+pub fn encode_registry_snapshot(entries: &[(TenantId, Arc<TenantKeys>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, SNAP_MAGIC);
+    put_u16(&mut out, VERSION);
+    put_u32(&mut out, entries.len() as u32);
+    for (tenant, keys) in entries {
+        let frame = encode_key_push(*tenant, keys);
+        put_u32(&mut out, frame.len() as u32);
+        out.extend_from_slice(&frame);
+    }
+    let crc = hefv_core::crc32::crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Whether a blob is (the start of) an `HEVR` registry snapshot.
+#[must_use]
+pub fn is_registry_snapshot(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == SNAP_MAGIC.to_le_bytes()
+}
+
+/// Deserializes and validates a registry snapshot against `ctx`.
+///
+/// The CRC32 trailer is checked over the whole blob before a single
+/// field is parsed, and the entries are staged in full before being
+/// returned — there is no partial restore on any failure path.
+///
+/// # Errors
+///
+/// [`EngineError::IntegrityFailure`] for *every* rejection — CRC
+/// mismatch, truncation, trailing garbage, bad magic/version/counts,
+/// and key blobs failing the C-VALIDATE checks — so callers surface one
+/// typed outcome for "this snapshot cannot be trusted".
+pub fn decode_registry_snapshot(
+    ctx: &FvContext,
+    bytes: &[u8],
+) -> Result<Vec<(TenantId, TenantKeys)>, EngineError> {
+    decode_registry_snapshot_inner(ctx, bytes).map_err(|e| match e {
+        EngineError::IntegrityFailure(_) => e,
+        other => EngineError::IntegrityFailure(other.to_string()),
+    })
+}
+
+fn decode_registry_snapshot_inner(
+    ctx: &FvContext,
+    bytes: &[u8],
+) -> Result<Vec<(TenantId, TenantKeys)>, EngineError> {
+    // magic 4 | version 2 | count 4 | … | crc 4
+    if bytes.len() < 14 {
+        return Err(wire_err(format!(
+            "snapshot of {} bytes is shorter than an empty snapshot",
+            bytes.len()
+        )));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+    let computed = hefv_core::crc32::crc32(body);
+    if stored != computed {
+        return Err(EngineError::IntegrityFailure(format!(
+            "snapshot CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let mut c = Cursor {
+        bytes: body,
+        off: 0,
+    };
+    if c.u32()? != SNAP_MAGIC {
+        return Err(wire_err("bad snapshot magic"));
+    }
+    if c.u16()? != VERSION {
+        return Err(wire_err("unsupported snapshot version"));
+    }
+    let count = c.u32()? as usize;
+    let mut staged = Vec::with_capacity(count.min(1024));
+    for i in 0..count {
+        let len = c.u32()? as usize;
+        let frame = c.take(len)?;
+        let (tenant, keys) = decode_key_push(ctx, frame)
+            .map_err(|e| wire_err(format!("snapshot entry {i}: {e}")))?;
+        staged.push((tenant, keys));
+    }
+    c.finish()?;
+    Ok(staged)
 }
 
 #[cfg(test)]
@@ -1187,6 +1339,87 @@ mod tests {
         assert!(decode_key_push(&ctx, &ok).is_err());
         let push = encode_key_push(5, &TenantKeys::default());
         assert!(decode_key_ack(&push).is_err());
+    }
+
+    #[test]
+    fn replica_pushes_carry_the_role_bit() {
+        use hefv_core::keys::keygen;
+        use hefv_core::params::FvParams;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let (_, pk, rlk) = keygen(&ctx, &mut rng);
+        let keys = TenantKeys::compute(pk, rlk);
+
+        let primary = encode_key_push(11, &keys);
+        let replica = encode_replica_key_push(11, &keys);
+        assert!(!peek_key_push_replica(&primary).unwrap());
+        assert!(peek_key_push_replica(&replica).unwrap());
+        // Same payload either way — only the direction byte differs.
+        let (t, k) = decode_key_push(&ctx, &replica).unwrap();
+        assert_eq!(t, 11);
+        assert!(k.pk.is_some() && k.rlk.is_some());
+        assert_eq!(peek_key_tenant(&replica).unwrap(), 11);
+
+        // Acks have no role; unknown directions stay rejected.
+        let ack = encode_key_ack(11, Ok(()));
+        assert!(peek_key_push_replica(&ack).is_err());
+        let mut bad = primary;
+        bad[6] = 9;
+        assert!(decode_key_push(&ctx, &bad).is_err());
+        assert!(peek_key_push_replica(&bad).is_err());
+    }
+
+    #[test]
+    fn registry_snapshots_roundtrip_and_refuse_corruption() {
+        use hefv_core::keys::keygen;
+        use hefv_core::params::FvParams;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let (_, pk, rlk) = keygen(&ctx, &mut rng);
+        let entries = vec![
+            (3u64, Arc::new(TenantKeys::compute(pk.clone(), rlk))),
+            (9u64, Arc::new(TenantKeys::encrypt_only(pk))),
+            (12u64, Arc::new(TenantKeys::default())),
+        ];
+        let blob = encode_registry_snapshot(&entries);
+        assert!(is_registry_snapshot(&blob));
+        let back = decode_registry_snapshot(&ctx, &blob).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].0, 3);
+        assert!(back[0].1.pk.is_some() && back[0].1.rlk.is_some());
+        assert_eq!(back[1].0, 9);
+        assert!(back[1].1.rlk.is_none());
+        assert_eq!(back[2].0, 12);
+
+        // Empty snapshots are legal (a node with no tenants yet).
+        let empty = encode_registry_snapshot(&[]);
+        assert!(decode_registry_snapshot(&ctx, &empty).unwrap().is_empty());
+
+        // Every corruption class → IntegrityFailure, never a panic.
+        let refused = |bytes: &[u8]| match decode_registry_snapshot(&ctx, bytes) {
+            Err(EngineError::IntegrityFailure(_)) => (),
+            Err(other) => panic!("expected IntegrityFailure, got {other:?}"),
+            Ok(entries) => panic!(
+                "expected IntegrityFailure, got Ok with {} entries",
+                entries.len()
+            ),
+        };
+        let mut torn = blob.clone();
+        torn.truncate(blob.len() / 2);
+        refused(&torn);
+        let mut trailing = blob.clone();
+        trailing.push(0);
+        refused(&trailing);
+        let mut flipped = blob.clone();
+        flipped[10] ^= 0x40;
+        refused(&flipped);
+        refused(b"HEVR");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Property tests of the `HEVR` registry-snapshot format: round-trips
+//! over random tenant/key populations, and strict integrity — truncated,
+//! trailing-garbage and bit-flipped snapshots are all refused with
+//! `EngineError::IntegrityFailure`, never a panic and never a partial
+//! restore.
+
+use hefv_core::galois::GaloisKeySet;
+use hefv_core::keys::keygen;
+use hefv_core::params::FvParams;
+use hefv_core::prelude::FvContext;
+use hefv_engine::wire::{decode_registry_snapshot, encode_registry_snapshot, is_registry_snapshot};
+use hefv_engine::{ErrorCode, TenantId, TenantKeys};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+struct Fix {
+    ctx: FvContext,
+    /// The key-shape menu random populations draw from.
+    shapes: Vec<TenantKeys>,
+}
+
+fn fix() -> &'static Fix {
+    static F: OnceLock<Fix> = OnceLock::new();
+    F.get_or_init(|| {
+        let ctx = FvContext::new(FvParams::insecure_toy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0x5EED_5EED);
+        let (sk, pk, rlk) = keygen(&ctx, &mut rng);
+        let galois = GaloisKeySet::for_slot_sum(&ctx, &sk, &mut rng);
+        let shapes = vec![
+            TenantKeys::default(),
+            TenantKeys::encrypt_only(pk.clone()),
+            TenantKeys::compute(pk.clone(), rlk.clone()),
+            TenantKeys::full(pk, rlk, galois),
+        ];
+        Fix { ctx, shapes }
+    })
+}
+
+/// Builds a snapshot-able population from proptest-chosen tenant ids
+/// (each tenant's key shape is derived from its id, so random ids cover
+/// all four shapes): tenants deduplicated and sorted, like the router's
+/// vault dump.
+fn population(tenants: &[u64]) -> Vec<(TenantId, Arc<TenantKeys>)> {
+    let f = fix();
+    let mut entries: Vec<(TenantId, Arc<TenantKeys>)> = tenants
+        .iter()
+        .map(|&t| (t, Arc::new(f.shapes[(t % 4) as usize].clone())))
+        .collect();
+    entries.sort_by_key(|(t, _)| *t);
+    entries.dedup_by_key(|(t, _)| *t);
+    entries
+}
+
+fn assert_refused(bytes: &[u8], what: &str) {
+    match decode_registry_snapshot(&fix().ctx, bytes) {
+        Err(e) => assert_eq!(
+            e.code(),
+            ErrorCode::IntegrityFailure,
+            "{what} must be IntegrityFailure, got {e}"
+        ),
+        Ok(entries) => panic!("{what} decoded to {} entries", entries.len()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn snapshots_roundtrip(tenants in prop::collection::vec(any::<u64>(), 0..12)) {
+        let f = fix();
+        let entries = population(&tenants);
+        let blob = encode_registry_snapshot(&entries);
+        prop_assert!(is_registry_snapshot(&blob));
+        let back = decode_registry_snapshot(&f.ctx, &blob).unwrap();
+        prop_assert_eq!(back.len(), entries.len());
+        for ((t, keys), (bt, bkeys)) in entries.iter().zip(&back) {
+            prop_assert_eq!(t, bt);
+            prop_assert_eq!(keys.pk.is_some(), bkeys.pk.is_some());
+            prop_assert_eq!(keys.rlk.is_some(), bkeys.rlk.is_some());
+            prop_assert_eq!(keys.galois.is_some(), bkeys.galois.is_some());
+        }
+        // Re-encoding the decode is byte-identical: the format is
+        // canonical, so decoded key material survived exactly.
+        let re: Vec<(TenantId, Arc<TenantKeys>)> =
+            back.into_iter().map(|(t, k)| (t, Arc::new(k))).collect();
+        prop_assert_eq!(encode_registry_snapshot(&re), blob);
+    }
+
+    #[test]
+    fn truncations_are_refused(tenants in prop::collection::vec(any::<u64>(), 1..6), cut in 1usize..512) {
+        let entries = population(&tenants);
+        let blob = encode_registry_snapshot(&entries);
+        let cut = cut.min(blob.len() - 1);
+        assert_refused(&blob[..blob.len() - cut], "truncated snapshot");
+    }
+
+    #[test]
+    fn trailing_garbage_is_refused(tenants in prop::collection::vec(any::<u64>(), 0..6), extra in prop::collection::vec(any::<u8>(), 1..32)) {
+        let entries = population(&tenants);
+        let mut blob = encode_registry_snapshot(&entries);
+        blob.extend_from_slice(&extra);
+        assert_refused(&blob, "snapshot with trailing bytes");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_refused(tenants in prop::collection::vec(any::<u64>(), 1..4), at in any::<u64>(), bit in 0u8..8) {
+        let entries = population(&tenants);
+        let mut blob = encode_registry_snapshot(&entries);
+        let at = (at % blob.len() as u64) as usize;
+        blob[at] ^= 1 << bit;
+        // CRC32 detects every single-bit error, whatever byte it lands
+        // in — magic, counts, key material or the trailer itself.
+        assert_refused(&blob, &format!("bit {bit} of byte {at} flipped"));
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..1024)) {
+        // Arbitrary bytes either decode (vanishingly unlikely) or fail
+        // with a typed error — never a panic, never a partial parse.
+        let _ = decode_registry_snapshot(&fix().ctx, &bytes);
+    }
+}
+
+/// A corrupted snapshot restores nothing: registries stay untouched when
+/// the blob is refused (verification happens before any registration).
+#[test]
+fn refused_snapshots_restore_nothing() {
+    let f = fix();
+    let entries = population(&[7, 21]);
+    let mut blob = encode_registry_snapshot(&entries);
+    let registry = hefv_engine::KeyRegistry::new(8);
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x10;
+    let err = registry.restore(&f.ctx, &blob).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::IntegrityFailure);
+    assert!(!registry.contains(7) && !registry.contains(21));
+}

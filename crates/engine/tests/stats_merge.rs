@@ -271,6 +271,7 @@ fn inflight_gauge_clamps_adversarial_snapshots() {
             per_shard: vec![],
             remote: vec![],
             hedge: Default::default(),
+            keys_evicted: 0,
             total: snap,
         });
         text.lines()

@@ -9,7 +9,7 @@
 //! for other ids are stashed and returned by later calls, so the two
 //! styles mix freely).
 
-use crate::envelope::{self, CORR_BYTES, LEN_BYTES};
+use crate::envelope::{self, CORR_BYTES, CRC_BYTES, LEN_BYTES};
 use hefv_engine::wire;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -140,9 +140,9 @@ impl Client {
         self.stream.set_read_timeout(timeout)
     }
 
-    /// Sends one `HEVQ` frame, returning the correlation id its reply
-    /// will carry. Does not wait for the reply — call repeatedly to
-    /// pipeline.
+    /// Sends one `HEVQ` frame in a checked (CRC-trailered) envelope,
+    /// returning the correlation id its reply will carry. Does not wait
+    /// for the reply — call repeatedly to pipeline.
     ///
     /// # Errors
     ///
@@ -150,7 +150,8 @@ impl Client {
     pub fn send_frame(&mut self, frame: &[u8]) -> io::Result<u64> {
         let corr = self.next_corr;
         self.next_corr += 1;
-        self.stream.write_all(&envelope::encode(corr, frame))?;
+        self.stream
+            .write_all(&envelope::encode_checked(corr, frame))?;
         Ok(corr)
     }
 
@@ -291,7 +292,9 @@ impl Client {
         let mut header = [0u8; LEN_BYTES + CORR_BYTES];
         self.stream.read_exact(&mut header)?;
         let len = envelope::read_len(&header);
-        if len < CORR_BYTES || len - CORR_BYTES > wire::MAX_FRAME_BYTES {
+        let checked = envelope::is_checked(&header);
+        let overhead = CORR_BYTES + if checked { CRC_BYTES } else { 0 };
+        if len < overhead || len - overhead > wire::MAX_FRAME_BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("reply envelope of {len} bytes breaks the protocol"),
@@ -300,6 +303,17 @@ impl Client {
         let corr = envelope::read_corr(&header);
         let mut frame = vec![0u8; len - CORR_BYTES];
         self.stream.read_exact(&mut frame)?;
+        if checked {
+            let mut body = header[LEN_BYTES..].to_vec();
+            body.extend_from_slice(&frame);
+            if !envelope::trailer_ok(&body) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "reply envelope failed its CRC check",
+                ));
+            }
+            frame.truncate(frame.len() - CRC_BYTES);
+        }
         Ok((corr, frame))
     }
 }

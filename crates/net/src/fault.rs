@@ -7,12 +7,17 @@
 //! without a special build. Format:
 //!
 //! ```text
-//! HEFV_NET_FAULT=drop:0.01,delay:5ms
+//! HEFV_NET_FAULT=drop:0.01,corrupt:0.002,delay:5ms
 //! ```
 //!
 //! * `drop:P` — silently swallow each outbound frame with probability
 //!   `P` ∈ \[0, 1\] (the frame is "lost on the wire"; the remote-shard
 //!   sweep re-sends it after its reply timeout).
+//! * `corrupt:P` — flip one deterministic-pseudorandom bit in each
+//!   outbound envelope with probability `P` ∈ \[0, 1\] (past the length
+//!   prefix, so framing survives and the CRC layer must catch it; the
+//!   server refuses the frame with `IntegrityFailure` and the sender
+//!   re-sends under the same correlation id).
 //! * `delay:N(ms|us|s)` — sleep that long before each outbound frame.
 //!
 //! Either part may be omitted; unparsable specs are ignored (fail open:
@@ -27,13 +32,15 @@ use std::time::Duration;
 pub(crate) struct FaultPlan {
     /// Per-frame drop probability in \[0, 1\].
     pub drop: f64,
+    /// Per-frame single-bit corruption probability in \[0, 1\].
+    pub corrupt: f64,
     /// Per-frame send delay.
     pub delay: Duration,
 }
 
 impl FaultPlan {
     pub(crate) fn active(&self) -> bool {
-        self.drop > 0.0 || self.delay > Duration::ZERO
+        self.drop > 0.0 || self.corrupt > 0.0 || self.delay > Duration::ZERO
     }
 }
 
@@ -52,6 +59,12 @@ fn parse(spec: Option<&str>) -> FaultPlan {
             if let Ok(p) = p.trim().parse::<f64>() {
                 if p.is_finite() {
                     plan.drop = p.clamp(0.0, 1.0);
+                }
+            }
+        } else if let Some(p) = part.strip_prefix("corrupt:") {
+            if let Ok(p) = p.trim().parse::<f64>() {
+                if p.is_finite() {
+                    plan.corrupt = p.clamp(0.0, 1.0);
                 }
             }
         } else if let Some(d) = part.strip_prefix("delay:") {
@@ -76,18 +89,32 @@ fn parse_duration(s: &str) -> Option<Duration> {
     None
 }
 
-/// Deterministic per-connection coin flip: advances `state` through a
-/// splitmix64 step and compares the draw against the drop probability.
-pub(crate) fn should_drop(plan: &FaultPlan, state: &mut u64) -> bool {
-    if plan.drop <= 0.0 {
-        return false;
-    }
+/// One splitmix64 step over the per-connection state: the shared
+/// deterministic randomness source behind every fault decision.
+pub(crate) fn next_rand(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    ((z >> 11) as f64 / (1u64 << 53) as f64) < plan.drop
+    z ^ (z >> 31)
+}
+
+fn coin(p: f64, state: &mut u64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    ((next_rand(state) >> 11) as f64 / (1u64 << 53) as f64) < p
+}
+
+/// Deterministic per-connection coin flip against the drop probability.
+pub(crate) fn should_drop(plan: &FaultPlan, state: &mut u64) -> bool {
+    coin(plan.drop, state)
+}
+
+/// Deterministic per-connection coin flip against the corruption
+/// probability.
+pub(crate) fn should_corrupt(plan: &FaultPlan, state: &mut u64) -> bool {
+    coin(plan.corrupt, state)
 }
 
 #[cfg(test)]
@@ -98,9 +125,11 @@ mod tests {
     fn specs_parse() {
         assert_eq!(parse(None), FaultPlan::default());
         assert_eq!(parse(Some("")), FaultPlan::default());
-        let p = parse(Some("drop:0.01,delay:5ms"));
+        let p = parse(Some("drop:0.01,corrupt:0.002,delay:5ms"));
         assert!((p.drop - 0.01).abs() < 1e-12);
+        assert!((p.corrupt - 0.002).abs() < 1e-12);
         assert_eq!(p.delay, Duration::from_millis(5));
+        assert_eq!(parse(Some("corrupt:7")).corrupt, 1.0, "clamped");
         assert_eq!(parse(Some("delay:250us")).delay, Duration::from_micros(250));
         assert_eq!(parse(Some("delay:2s")).delay, Duration::from_secs(2));
         assert_eq!(parse(Some("drop:1.5")).drop, 1.0, "clamped");
@@ -114,7 +143,7 @@ mod tests {
     fn drop_rate_tracks_probability() {
         let plan = FaultPlan {
             drop: 0.25,
-            delay: Duration::ZERO,
+            ..FaultPlan::default()
         };
         let mut state = 0xDEAD_BEEFu64;
         let dropped = (0..10_000)

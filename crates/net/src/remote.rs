@@ -7,6 +7,10 @@
 //! liveness probe (an `HEVS` metrics scrape over a fresh connection —
 //! proving the node's accept loop, poll thread and router all answer).
 //!
+//! Data-path frames go out in *checked* envelopes (CRC32 trailer, see
+//! [`crate::envelope`]) and replies are verified on receipt, so a
+//! corrupted frame in either direction is refused instead of decoded.
+//!
 //! The data path honors the test-only fault-injection knob
 //! (`HEFV_NET_FAULT`); probes deliberately do not, so injected frame
 //! loss exercises the retry machinery without flapping the circuit
@@ -16,19 +20,26 @@
 //! hefv_engine::router::ShardRouter::add_remote_shard
 
 use crate::client::Client;
-use crate::envelope::{self, CORR_BYTES, LEN_BYTES};
+use crate::envelope::{self, CORR_BYTES, CRC_BYTES, LEN_BYTES};
 use crate::fault::{self, FaultPlan};
 use hefv_engine::remote::{FrameReceiver, FrameSender, ShardConnector};
 use hefv_engine::wire;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Connection factory for one peer node. See the module docs.
+///
+/// The target address is retargetable at runtime: pointing an existing
+/// `RemoteShard` at a node's replacement (same role, new address) lets
+/// its reconnect/probe machinery pick the new node up without tearing
+/// the shard out of the router — the breaker closes on the first
+/// successful probe and pending traffic resumes.
 #[derive(Debug, Clone)]
 pub struct TcpConnector {
-    addr: SocketAddr,
+    addr: Arc<Mutex<SocketAddr>>,
     connect_timeout: Duration,
 }
 
@@ -41,15 +52,25 @@ impl TcpConnector {
     /// A connector with an explicit connect timeout.
     pub fn with_timeout(addr: SocketAddr, connect_timeout: Duration) -> Self {
         TcpConnector {
-            addr,
+            addr: Arc::new(Mutex::new(addr)),
             connect_timeout,
         }
+    }
+
+    /// Points every future connection and probe at `addr` (shared across
+    /// clones, so the connector handed to a `RemoteShard` sees it).
+    pub fn retarget(&self, addr: SocketAddr) {
+        *self.addr.lock().unwrap() = addr;
+    }
+
+    fn current_addr(&self) -> SocketAddr {
+        *self.addr.lock().unwrap()
     }
 }
 
 impl ShardConnector for TcpConnector {
     fn connect(&self) -> io::Result<(Box<dyn FrameSender>, Box<dyn FrameReceiver>)> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        let stream = TcpStream::connect_timeout(&self.current_addr(), self.connect_timeout)?;
         stream.set_nodelay(true)?;
         let reader = stream.try_clone()?;
         // Distinct fault-injection streams per connection, seeded off a
@@ -67,7 +88,7 @@ impl ShardConnector for TcpConnector {
     }
 
     fn probe(&self, timeout: Duration) -> io::Result<()> {
-        let stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+        let stream = TcpStream::connect_timeout(&self.current_addr(), timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
@@ -76,7 +97,7 @@ impl ShardConnector for TcpConnector {
     }
 
     fn endpoint(&self) -> String {
-        self.addr.to_string()
+        self.current_addr().to_string()
     }
 }
 
@@ -88,6 +109,7 @@ struct TcpFrameSender {
 
 impl FrameSender for TcpFrameSender {
     fn send(&mut self, corr: u64, frame: &[u8]) -> io::Result<()> {
+        let mut bytes = envelope::encode_checked(corr, frame);
         if self.fault.active() {
             if self.fault.delay > Duration::ZERO {
                 std::thread::sleep(self.fault.delay);
@@ -97,8 +119,15 @@ impl FrameSender for TcpFrameSender {
                 // the remote shard's sweep re-sends after its timeout.
                 return Ok(());
             }
+            if fault::should_corrupt(&self.fault, &mut self.rng) {
+                // Flip one bit past the length prefix: framing survives,
+                // and the receiver's CRC check must refuse the envelope.
+                let span = bytes.len() - LEN_BYTES;
+                let at = LEN_BYTES + (fault::next_rand(&mut self.rng) as usize) % span;
+                bytes[at] ^= 1 << (fault::next_rand(&mut self.rng) % 8);
+            }
         }
-        self.stream.write_all(&envelope::encode(corr, frame))
+        self.stream.write_all(&bytes)
     }
 
     fn close(&mut self) {
@@ -115,7 +144,9 @@ impl FrameReceiver for TcpFrameReceiver {
         let mut header = [0u8; LEN_BYTES + CORR_BYTES];
         self.stream.read_exact(&mut header)?;
         let len = envelope::read_len(&header);
-        if len < CORR_BYTES || len - CORR_BYTES > wire::MAX_FRAME_BYTES {
+        let checked = envelope::is_checked(&header);
+        let overhead = CORR_BYTES + if checked { CRC_BYTES } else { 0 };
+        if len < overhead || len - overhead > wire::MAX_FRAME_BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("reply envelope of {len} bytes breaks the protocol"),
@@ -124,6 +155,21 @@ impl FrameReceiver for TcpFrameReceiver {
         let corr = envelope::read_corr(&header);
         let mut frame = vec![0u8; len - CORR_BYTES];
         self.stream.read_exact(&mut frame)?;
+        if checked {
+            // `corr || frame || crc` is what the trailer covers.
+            let mut body = header[LEN_BYTES..].to_vec();
+            body.extend_from_slice(&frame);
+            if !envelope::trailer_ok(&body) {
+                // A corrupted reply cannot be decoded; kill the
+                // connection so the pending frame is re-sent on a
+                // fresh one by the maintenance sweep.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "reply envelope failed its CRC check",
+                ));
+            }
+            frame.truncate(frame.len() - CRC_BYTES);
+        }
         Ok((corr, frame))
     }
 }

@@ -29,7 +29,7 @@
 //! Prometheus exposition ([`hefv_engine::render_prometheus`]) with the
 //! transport's own `hefv_net_*` counters appended.
 
-use crate::envelope::{self, CORR_BYTES, LEN_BYTES};
+use crate::envelope::{self, CORR_BYTES, CRC_BYTES, LEN_BYTES};
 use hefv_core::error::Error;
 use hefv_engine::router::ShardRouter;
 use hefv_engine::wire;
@@ -92,6 +92,10 @@ pub struct NetStatsSnapshot {
     pub frames_in: u64,
     /// Frames refused before reaching the router (oversized).
     pub frames_rejected: u64,
+    /// Checked envelopes refused for failing their CRC check. Every one
+    /// of these is a frame that would otherwise have fed corrupted bytes
+    /// into the engine decoder.
+    pub integrity_failures: u64,
     /// Reply envelopes fully written back.
     pub replies_out: u64,
 }
@@ -102,6 +106,7 @@ struct NetStats {
     connections_refused: AtomicU64,
     frames_in: AtomicU64,
     frames_rejected: AtomicU64,
+    integrity_failures: AtomicU64,
     replies_out: AtomicU64,
 }
 
@@ -112,6 +117,7 @@ impl NetStats {
             connections_refused: self.connections_refused.load(Ordering::Relaxed),
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            integrity_failures: self.integrity_failures.load(Ordering::Relaxed),
             replies_out: self.replies_out.load(Ordering::Relaxed),
         }
     }
@@ -131,6 +137,20 @@ impl NetStats {
 struct ConnShared {
     replies: VecDeque<Vec<u8>>,
     inflight: HashSet<u64>,
+    /// The peer has sent at least one checked (CRC-trailered) envelope;
+    /// every reply to it goes out checked too. This is the whole version
+    /// negotiation: legacy peers never set the flag and keep getting
+    /// legacy envelopes.
+    checked: bool,
+}
+
+/// Wraps a reply frame in the envelope flavor the connection negotiated.
+fn seal(checked: bool, corr: u64, reply: &[u8]) -> Vec<u8> {
+    if checked {
+        envelope::encode_checked(corr, reply)
+    } else {
+        envelope::encode(corr, reply)
+    }
 }
 
 struct Conn {
@@ -172,11 +192,22 @@ impl Conn {
     }
 }
 
-fn oversized_reply(corr: u64, frame_len: usize, cap: usize) -> Vec<u8> {
+fn oversized_reply(checked: bool, corr: u64, frame_len: usize, cap: usize) -> Vec<u8> {
     let e = EngineError::Core(Error::Wire(format!(
         "frame of {frame_len} bytes exceeds this server's {cap}-byte cap"
     )));
-    envelope::encode(corr, &wire::encode_response(&Err((u64::MAX, e))))
+    seal(checked, corr, &wire::encode_response(&Err((u64::MAX, e))))
+}
+
+/// The refusal for a checked envelope whose CRC trailer does not match:
+/// the frame was corrupted in flight and is never decoded. The reply
+/// goes out under whatever correlation id the (possibly corrupted)
+/// envelope carried — if the corruption hit the id itself, the sender
+/// finds no pending entry, drops the refusal, and its timeout sweep
+/// re-sends the original frame; either way, exactly-once holds.
+fn integrity_reply(corr: u64) -> Vec<u8> {
+    let e = EngineError::IntegrityFailure("request envelope failed its CRC check".into());
+    seal(true, corr, &wire::encode_response(&Err((u64::MAX, e))))
 }
 
 /// A running TCP front-end. Bind with [`NetServer::bind`]; the listener
@@ -366,11 +397,12 @@ fn abort_undrained(conns: &mut [Conn], stats: &Arc<NetStats>) {
             continue;
         }
         let mut s = conn.shared.lock().unwrap();
+        let checked = s.checked;
         let mut orphans: Vec<u64> = s.inflight.drain().collect();
         orphans.sort_unstable(); // deterministic reply order
         for corr in orphans {
             let reply = wire::encode_response(&Err((u64::MAX, EngineError::QueueClosed)));
-            s.replies.push_back(envelope::encode(corr, &reply));
+            s.replies.push_back(seal(checked, corr, &reply));
         }
     }
     let deadline = Instant::now() + FINAL_FLUSH_BUDGET;
@@ -494,13 +526,15 @@ fn parse_frames(
             break;
         }
         let len = envelope::read_len(rest);
-        if len < CORR_BYTES {
+        let checked = envelope::is_checked(rest);
+        let overhead = CORR_BYTES + if checked { CRC_BYTES } else { 0 };
+        if len < overhead {
             // The stream is not speaking the envelope protocol; there is
             // no way to resynchronize, and no corr id to reply under.
             conn.dead = true;
             break;
         }
-        if len - CORR_BYTES > config.max_frame_bytes {
+        if len - overhead > config.max_frame_bytes {
             if rest.len() < LEN_BYTES + CORR_BYTES {
                 break; // need the corr id to reject under
             }
@@ -511,7 +545,7 @@ fn parse_frames(
                 break;
             }
             let corr = envelope::read_corr(rest);
-            let reply = oversized_reply(corr, len - CORR_BYTES, config.max_frame_bytes);
+            let reply = oversized_reply(checked, corr, len - overhead, config.max_frame_bytes);
             conn.shared.lock().unwrap().replies.push_back(reply);
             stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
             off += LEN_BYTES + CORR_BYTES;
@@ -525,7 +559,26 @@ fn parse_frames(
             break;
         }
         let corr = envelope::read_corr(rest);
-        let frame = &rest[LEN_BYTES + CORR_BYTES..LEN_BYTES + len];
+        if checked {
+            // First checked envelope upgrades the connection: every
+            // reply from here on carries a trailer too. (That is the
+            // whole version negotiation — legacy peers never set the
+            // flag and keep the legacy reply format.)
+            conn.shared.lock().unwrap().checked = true;
+            if !envelope::trailer_ok(&rest[LEN_BYTES..LEN_BYTES + len]) {
+                // Corrupted in flight: refuse with a typed, retryable
+                // error instead of feeding garbage into the decoder.
+                stats.integrity_failures.fetch_add(1, Ordering::Relaxed);
+                conn.shared
+                    .lock()
+                    .unwrap()
+                    .replies
+                    .push_back(integrity_reply(corr));
+                off += LEN_BYTES + len;
+                continue;
+            }
+        }
+        let frame = &rest[LEN_BYTES + CORR_BYTES..LEN_BYTES + len - (overhead - CORR_BYTES)];
         if wire::is_stats_frame(frame) {
             // Admin frames are answered inline on the poll thread: no
             // shard queue, no worker — a scrape works even while every
@@ -535,7 +588,7 @@ fn parse_frames(
                 .lock()
                 .unwrap()
                 .replies
-                .push_back(envelope::encode(corr, &reply));
+                .push_back(seal(checked, corr, &reply));
             stats.frames_in.fetch_add(1, Ordering::Relaxed);
             off += LEN_BYTES + len;
             continue;
@@ -549,12 +602,12 @@ fn parse_frames(
                 .lock()
                 .unwrap()
                 .replies
-                .push_back(envelope::encode(corr, &reply));
+                .push_back(seal(checked, corr, &reply));
             stats.frames_in.fetch_add(1, Ordering::Relaxed);
             off += LEN_BYTES + len;
             continue;
         }
-        if !dispatch(conn, router, corr, frame) {
+        if !dispatch(conn, router, corr, frame, checked) {
             // Shard queue full: keep the frame and retry next sweep.
             // This counts as liveness — a connection with admissible
             // work waiting out fleet saturation must not be reaped as
@@ -582,10 +635,16 @@ fn has_complete_frame(conn: &Conn, config: &ServerConfig) -> bool {
         return false;
     }
     let len = envelope::read_len(&conn.rbuf);
-    if len < CORR_BYTES {
+    let overhead = CORR_BYTES
+        + if envelope::is_checked(&conn.rbuf) {
+            CRC_BYTES
+        } else {
+            0
+        };
+    if len < overhead {
         return false; // malformed: the next parse marks the conn dead
     }
-    if len - CORR_BYTES > config.max_frame_bytes {
+    if len - overhead > config.max_frame_bytes {
         // Rejectable (and answerable) once the corr id is present.
         return conn.rbuf.len() >= LEN_BYTES + CORR_BYTES;
     }
@@ -598,7 +657,13 @@ fn has_complete_frame(conn: &Conn, config: &ServerConfig) -> bool {
 /// frame buffered and engine backpressure becomes TCP backpressure. The
 /// completion callback runs on an engine worker thread and only touches
 /// the connection's shared half.
-fn dispatch(conn: &Conn, router: &Arc<ShardRouter>, corr: u64, frame: &[u8]) -> bool {
+fn dispatch(
+    conn: &Conn,
+    router: &Arc<ShardRouter>,
+    corr: u64,
+    frame: &[u8],
+    checked: bool,
+) -> bool {
     conn.shared.lock().unwrap().inflight.insert(corr);
     let shared = Arc::clone(&conn.shared);
     let sent = router.try_dispatch_frame_with_callback(frame, move |reply| {
@@ -607,7 +672,7 @@ fn dispatch(conn: &Conn, router: &Arc<ShardRouter>, corr: u64, frame: &[u8]) -> 
         // shutdown answers ids itself, and a late completion must not
         // produce a second reply under the same correlation id.
         if s.inflight.remove(&corr) {
-            s.replies.push_back(envelope::encode(corr, &reply));
+            s.replies.push_back(seal(checked, corr, &reply));
         }
     });
     match sent {
@@ -621,7 +686,7 @@ fn dispatch(conn: &Conn, router: &Arc<ShardRouter>, corr: u64, frame: &[u8]) -> 
             // Synchronous refusal (bad frame, unknown tenant/shard,
             // closed queue): the callback was never registered, so the
             // error reply is produced here — the frame is consumed.
-            let reply = envelope::encode(corr, &wire::encode_response(&Err((u64::MAX, e))));
+            let reply = seal(checked, corr, &wire::encode_response(&Err((u64::MAX, e))));
             let mut s = conn.shared.lock().unwrap();
             s.inflight.remove(&corr);
             s.replies.push_back(reply);
@@ -677,6 +742,11 @@ fn render_net_metrics(out: &mut String, s: &NetStatsSnapshot) {
         "hefv_net_frames_rejected_total",
         "Frames refused before reaching the router (oversized).",
         s.frames_rejected,
+    );
+    family(
+        "hefv_integrity_failures_total",
+        "Checked envelopes refused for failing their CRC check.",
+        s.integrity_failures,
     );
     family(
         "hefv_net_replies_out_total",

@@ -610,6 +610,80 @@ fn hevs_scrape_returns_metrics_and_matching_trace_ids() {
     router.shutdown();
 }
 
+/// A corrupted checked envelope is refused with `IntegrityFailure` —
+/// never decoded, never silently wrong — and the connection keeps
+/// serving the intact frames around it. Every reply on an upgraded
+/// connection carries a verifying CRC trailer of its own.
+#[test]
+fn corrupted_checked_envelope_is_refused_not_decoded() {
+    let (ctx, router) = toy_router(1, 64);
+    let tenant = onboard(&ctx, &router, 17, 91);
+    let server =
+        NetServer::bind("127.0.0.1:0", Arc::clone(&router), ServerConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Reads one reply, verifying (and stripping) the CRC trailer when
+    // the server sent a checked envelope.
+    let read_reply = |stream: &mut std::net::TcpStream| {
+        let mut header = [0u8; 12];
+        stream.read_exact(&mut header).unwrap();
+        let raw = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let checked = raw & envelope::CRC_FLAG != 0;
+        let len = (raw & !envelope::CRC_FLAG) as usize;
+        let corr = u64::from_le_bytes(header[4..].try_into().unwrap());
+        let mut frame = vec![0u8; len - 8];
+        stream.read_exact(&mut frame).unwrap();
+        if checked {
+            let mut body = header[4..].to_vec();
+            body.extend_from_slice(&frame);
+            let (payload, tail) = body.split_at(body.len() - 4);
+            assert_eq!(
+                hefv_core::crc32::crc32(payload),
+                u32::from_le_bytes(tail.try_into().unwrap()),
+                "server reply failed its own CRC"
+            );
+            frame.truncate(frame.len() - 4);
+        }
+        (corr, frame, checked)
+    };
+
+    // Good (checked) → corrupted (checked) → good: the middle one must
+    // come back as a typed IntegrityFailure, the outer two as Ok.
+    let good1 = envelope::encode_checked(31, &add_frame(&ctx, &tenant, 2, 3, &mut rng));
+    let mut corrupt = envelope::encode_checked(32, &add_frame(&ctx, &tenant, 4, 4, &mut rng));
+    let at = corrupt.len() / 2; // inside the frame body, past len+corr
+    corrupt[at] ^= 0x04;
+    let good2 = envelope::encode_checked(33, &add_frame(&ctx, &tenant, 5, 6, &mut rng));
+    stream.write_all(&good1).unwrap();
+    stream.write_all(&corrupt).unwrap();
+    stream.write_all(&good2).unwrap();
+    stream.flush().unwrap();
+
+    let mut replies = HashMap::new();
+    for _ in 0..3 {
+        let (corr, frame, checked) = read_reply(&mut stream);
+        assert!(checked, "upgraded connection must answer checked");
+        replies.insert(corr, frame);
+    }
+    assert_eq!(expect_ok(&ctx, &tenant.sk, &replies[&31]), 5);
+    assert_eq!(expect_ok(&ctx, &tenant.sk, &replies[&33]), 11);
+    let info = wire::peek_response_error(&replies[&32])
+        .unwrap()
+        .expect("corrupted envelope must answer with an error frame");
+    assert_eq!(info.code, ErrorCode::IntegrityFailure);
+    assert!(
+        info.code.retryable(),
+        "IntegrityFailure must invite a re-send"
+    );
+    assert_eq!(server.stats().integrity_failures, 1);
+    server.shutdown();
+    router.shutdown();
+}
+
 /// Idle connections past the timeout are closed; busy ones are not.
 #[test]
 fn idle_timeout_closes_quiet_connections() {
